@@ -1,0 +1,76 @@
+"""Shared fixtures and reporting for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (see the
+experiment index in DESIGN.md).  Rendered tables are accumulated in
+:data:`REPORTS` and printed in the terminal summary, so a plain
+
+    pytest benchmarks/ --benchmark-only | tee bench_output.txt
+
+captures both the timings and the reproduced rows/series.  Reports are
+also written to ``benchmark_reports/<id>.txt`` for diffing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.induction import InductionConfig, InductiveLearningSubsystem
+from repro.ker import SchemaBinding
+from repro.query import IntensionalQueryProcessor
+from repro.testbed import ship_database, ship_ker_schema
+
+SHIP_ORDER = ["SUBMARINE", "CLASS", "SONAR", "INSTALL"]
+
+#: (experiment id, title, rendered text), in execution order.
+REPORTS: list[tuple[str, str, str]] = []
+
+_REPORT_DIR = pathlib.Path(__file__).resolve().parent.parent / (
+    "benchmark_reports")
+
+
+def record_report(experiment_id: str, title: str, text: str) -> None:
+    """Register a reproduced table/figure for the terminal summary."""
+    REPORTS.append((experiment_id, title, text))
+    _REPORT_DIR.mkdir(exist_ok=True)
+    path = _REPORT_DIR / f"{experiment_id.lower()}.txt"
+    path.write_text(f"{title}\n\n{text}\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not REPORTS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 70)
+    write("Reproduced paper artifacts (also in benchmark_reports/)")
+    write("=" * 70)
+    for experiment_id, title, text in REPORTS:
+        write("")
+        write(f"--- {experiment_id}: {title}")
+        for line in text.splitlines():
+            write(line)
+
+
+@pytest.fixture(scope="session")
+def ship_db():
+    return ship_database()
+
+
+@pytest.fixture(scope="session")
+def ship_binding(ship_db):
+    return SchemaBinding(ship_ker_schema(), ship_db)
+
+
+@pytest.fixture(scope="session")
+def ship_rules(ship_binding):
+    return InductiveLearningSubsystem(
+        ship_binding, InductionConfig(n_c=3),
+        relation_order=SHIP_ORDER).induce()
+
+
+@pytest.fixture(scope="session")
+def ship_system(ship_db, ship_rules, ship_binding):
+    return IntensionalQueryProcessor(ship_db, ship_rules,
+                                     binding=ship_binding)

@@ -1,0 +1,77 @@
+"""E15 (extension) -- inter-object comparison constraints (Section 3.1).
+
+Reproduces the paper's "draft of the ship must be less than the depth of
+the port" knowledge: induces the constraint from VISIT instances, then
+shows the intensional answer it enables (a depth condition classifying
+the visiting ships).  Timed kernels: constraint induction over a scaled
+visit relation, and the propagate+chain inference.
+"""
+
+import random
+
+from repro.induction.interobject import induce_comparison_constraints
+from repro.ker import SchemaBinding
+from repro.query import IntensionalQueryProcessor
+from repro.relational import Database, INTEGER, char
+from repro.reporting import render_table
+from repro.testbed import harbor_database, harbor_ker_schema
+from repro.testbed.harbor import HARBOR_SCHEMA_DDL, PORT_ROWS, SHIP_ROWS
+
+from conftest import record_report
+
+DEPTH_QUERY = (
+    "SELECT SHIP.Name, SHIP.Size FROM SHIP, PORT, VISIT "
+    "WHERE SHIP.Id = VISIT.Ship AND PORT.Port = VISIT.Port "
+    "AND PORT.Depth <= 8")
+
+
+def scaled_harbor(n_visits: int, seed: int = 5) -> Database:
+    """Harbor database with *n_visits* random draft<depth visits."""
+    rng = random.Random(seed)
+    db = harbor_database()
+    visit = db.relation("VISIT")
+    visit.clear()
+    ships = [(row[0], row[2]) for row in SHIP_ROWS]
+    ports = [(row[0], row[2]) for row in PORT_ROWS]
+    rows = []
+    while len(rows) < n_visits:
+        ship_id, draft = rng.choice(ships)
+        port_id, depth = rng.choice(ports)
+        if draft < depth:
+            rows.append((ship_id, port_id))
+    visit.insert_many(rows)
+    return db
+
+
+def test_constraint_induction(benchmark):
+    db = scaled_harbor(2000)
+    binding = SchemaBinding(harbor_ker_schema(), db)
+
+    constraints = benchmark(induce_comparison_constraints, binding,
+                            "VISIT")
+
+    (constraint,) = constraints
+    assert constraint.render() == "SHIP.Draft < PORT.Depth"
+    assert constraint.support == 2000
+
+    record_report(
+        "E15", "Section 3.1 inter-object constraint (draft < depth)",
+        f"induced: {constraint.render()} "
+        f"(holds on {constraint.support}/2000 visits)\n"
+        "paper:   \"the draft of the ship must be less than the depth "
+        "of the port\"")
+
+
+def test_propagating_inference(benchmark):
+    system = IntensionalQueryProcessor.from_database(
+        harbor_database(), ker_schema=harbor_ker_schema(),
+        relation_order=["SHIP", "PORT", "VISIT"],
+        induce_comparisons=True)
+
+    result = benchmark(system.ask, DEPTH_QUERY)
+
+    assert result.inference.forward_subtypes() == ["SMALL"]
+    assert result.inference.propagations
+    record_report(
+        "E15b", "Bound propagation enabling a forward answer",
+        result.inference.summary())

@@ -1,0 +1,84 @@
+"""E3/E4/E5 -- the worked examples of Section 6.
+
+Each benchmark times the full ask() path (SQL parse + extensional
+execution + condition extraction + type inference) and asserts the
+paper's extensional rows and intensional characterizations, recording a
+side-by-side report.
+"""
+
+from conftest import record_report
+
+EXAMPLE_1 = (
+    "SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE "
+    "FROM SUBMARINE, CLASS "
+    "WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000")
+EXAMPLE_2 = (
+    "SELECT SUBMARINE.NAME, SUBMARINE.CLASS FROM SUBMARINE, CLASS "
+    "WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = 'SSBN'")
+EXAMPLE_3 = (
+    "SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE "
+    "FROM SUBMARINE, CLASS, INSTALL "
+    "WHERE SUBMARINE.CLASS = CLASS.CLASS AND SUBMARINE.ID = INSTALL.SHIP "
+    "AND INSTALL.SONAR = 'BQS-04'")
+
+
+def test_example1_forward(benchmark, ship_system):
+    result = benchmark(ship_system.ask, EXAMPLE_1)
+    assert sorted(result.extensional.rows) == [
+        ("SSBN130", "Typhoon", "1301", "SSBN"),
+        ("SSBN730", "Rhode Island", "0101", "SSBN")]
+    assert result.inference.forward_subtypes() == ["SSBN"]
+    record_report(
+        "E3", "Example 1 -- forward inference (Displacement > 8000)",
+        "paper:    A_I = \"Ship type SSBN has displacement greater "
+        "than 8000\"\n"
+        "measured: " + result.inference.forward_answers()[0].render()
+        + f"\nextensional rows: {len(result.extensional)} "
+          "(paper: 2 -- Rhode Island, Typhoon)")
+
+
+def test_example2_backward(benchmark, ship_system):
+    result = benchmark(ship_system.ask, EXAMPLE_2)
+    assert len(result.extensional) == 7
+    best = result.inference.best_backward_description()
+    assert (best["interval"].low, best["interval"].high) == (
+        "0101", "0103")
+    record_report(
+        "E4", "Example 2 -- backward inference (Type = SSBN)",
+        "paper:    A_I = \"Ship Classes in the range of 0101 to 0103 "
+        "are SSBN\" (partial: 1301 missing)\n"
+        "measured: " + best["interval"].render("Class")
+        + " are SSBN; 1301 not covered: "
+        + str(not best["interval"].contains_value("1301"))
+        + f"\nextensional rows: {len(result.extensional)} (paper: 7)")
+
+
+def test_example3_combined(benchmark, ship_system):
+    result = benchmark(ship_system.ask, EXAMPLE_3)
+    assert len(result.extensional) == 4
+    assert set(result.inference.forward_subtypes()) == {"BQS", "SSN"}
+    best = result.inference.best_backward_description()
+    assert (best["interval"].low, best["interval"].high) == (
+        "0208", "0215")
+    record_report(
+        "E5", "Example 3 -- combined inference (Sonar = BQS-04)",
+        "paper:    A_I = \"Ship type SSN with class 0208 to 0215 is "
+        "equipped with sonar BQS-04\"\n"
+        "measured: " + result.combined_answer()
+        + f"\nextensional rows: {len(result.extensional)} (paper: 4)")
+
+
+def test_example1_inference_only(benchmark, ship_system):
+    """Inference cost without extensional execution, for comparison."""
+    from repro.query.conditions import extract_conditions
+    from repro.sql.parser import parse_select
+
+    statement = parse_select(EXAMPLE_1)
+    conditions = extract_conditions(ship_system.database, statement)
+
+    def infer():
+        return ship_system.engine.infer(
+            conditions.clauses, equivalences=conditions.equivalences)
+
+    result = benchmark(infer)
+    assert result.forward_subtypes() == ["SSBN"]

@@ -1,0 +1,101 @@
+"""E12 -- model-based learning: ID3 descriptors vs pairwise intervals.
+
+Section 3.2 frames the ILS within the general inductive-learning loop
+(recursive best-descriptor selection).  This benchmark runs both
+learners on the same classification task -- ship type from class
+attributes -- and reports accuracy/complexity.  Expected shape: on the
+ship data both are perfect (the bands are clean); on overlapping Table 1
+surface types the tree (with the category descriptor) wins where
+single-attribute intervals cannot separate.
+"""
+
+from repro.induction import (
+    InductionConfig, id3_induce, induce_scheme, tree_to_rules,
+)
+from repro.induction.id3 import accuracy
+from repro.relational import algebra
+from repro.reporting import render_table
+from repro.rules.clause import AttributeRef
+from repro.testbed import battleship_database
+
+from conftest import record_report
+
+DISP = AttributeRef("SHIP", "Displacement")
+CATEGORY = AttributeRef("SHIPTYPE", "Category")
+TYPE = AttributeRef("SHIP", "Type")
+
+
+def fleet_records(db):
+    ship = db.relation("SHIP")
+    categories = {row[0]: row[2] for row in db.relation("SHIPTYPE")}
+    return [{
+        DISP: ship.value(row, "Displacement"),
+        CATEGORY: categories[ship.value(row, "Type")],
+        TYPE: ship.value(row, "Type"),
+    } for row in ship]
+
+
+def interval_rule_accuracy(rules, records):
+    """Fraction of records some rule classifies correctly (records no
+    rule covers count as wrong, mirroring tree fallback-free scoring)."""
+    correct = 0
+    for record in records:
+        fired = [rule for rule in rules
+                 if rule.premise_satisfied_by(record)]
+        if fired and all(rule.rhs.satisfied_by(record[TYPE])
+                         for rule in fired):
+            correct += 1
+    return correct / len(records)
+
+
+def test_id3_vs_intervals(benchmark):
+    db = battleship_database(ships_per_type=25, seed=7)
+    records = fleet_records(db)
+
+    tree = benchmark(id3_induce, records, [CATEGORY, DISP], TYPE)
+
+    tree_accuracy = accuracy(tree, records, TYPE)
+    tree_rules = tree_to_rules(tree, TYPE)
+
+    interval_rules = induce_scheme(
+        db.relation("SHIP"), "Displacement", "Type",
+        InductionConfig(n_c=3))
+    intervals_accuracy = interval_rule_accuracy(interval_rules, records)
+
+    subsurface = algebra.select_where(
+        db.relation("SHIP"), lambda r: r["Type"] in ("SSBN", "SSN"))
+    sub_rules = induce_scheme(subsurface, "Displacement", "Type",
+                              InductionConfig(n_c=3))
+    sub_records = [r for r in records
+                   if r[CATEGORY] == "Subsurface"]
+    sub_accuracy = interval_rule_accuracy(sub_rules, sub_records)
+
+    assert tree_accuracy == 1.0
+    assert sub_accuracy == 1.0
+    assert intervals_accuracy < 1.0  # overlapping surface ranges
+
+    record_report(
+        "E12", "ID3 descriptors vs pairwise interval rules",
+        render_table(
+            ["learner", "task", "rules", "training accuracy"],
+            [["ID3 (Category, Displacement)", "all 12 types",
+              len(tree_rules), f"{tree_accuracy:.3f}"],
+             ["intervals (Displacement)", "all 12 types",
+              len(interval_rules), f"{intervals_accuracy:.3f}"],
+             ["intervals (Displacement)", "Subsurface only",
+              len(sub_rules), f"{sub_accuracy:.3f}"]]))
+
+
+def test_id3_on_ship_classes(benchmark, ship_binding):
+    """Tree learner on the real CLASS relation (Displacement -> Type)."""
+    relation = ship_binding.database.relation("CLASS")
+    disp = AttributeRef("CLASS", "Displacement")
+    target = AttributeRef("CLASS", "Type")
+    records = [{disp: relation.value(row, "Displacement"),
+                target: relation.value(row, "Type")}
+               for row in relation]
+
+    tree = benchmark(id3_induce, records, [disp], target)
+    assert accuracy(tree, records, target) == 1.0
+    # The split threshold falls in the paper's gap [6955, 7250).
+    assert 6955 <= tree.threshold < 7250

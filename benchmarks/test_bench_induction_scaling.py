@@ -1,0 +1,82 @@
+"""E10 -- induction cost vs database size.
+
+Section 3.2 notes automated induction "has been used mainly in
+applications where the size of training examples is small" and motivates
+schema-guided candidate selection to cope with large databases.  This
+benchmark grows the ship database (cloning submarines with fresh hull
+numbers) and a synthetic single-scheme database, timing the full ILS on
+each and the two execution paths (native vs QUEL) against each other.
+
+Expected shape: native path roughly linear in rows (sorting dominates);
+the QUEL path pays the tuple-calculus overhead of the paper's
+self-join formulation (quadratic in distinct X for step 2), which is
+exactly why the paper pushed the work into the DBMS.
+"""
+
+import pytest
+
+from repro.induction import (
+    InductionConfig, InductiveLearningSubsystem, induce_scheme,
+)
+from repro.ker import SchemaBinding
+from repro.reporting import render_table
+from repro.testbed import ship_ker_schema, synthetic_classified_database
+from repro.testbed.generators import scaled_ship_database
+
+from conftest import SHIP_ORDER, record_report
+
+_SCALE_RESULTS: dict[int, float] = {}
+
+
+@pytest.mark.parametrize("scale", [1, 4, 16])
+def test_ils_scaling_on_ship_database(benchmark, scale):
+    db = scaled_ship_database(scale=scale)
+    binding = SchemaBinding(ship_ker_schema(), db)
+
+    def induce():
+        return InductiveLearningSubsystem(
+            binding, InductionConfig(n_c=3),
+            relation_order=SHIP_ORDER).induce()
+
+    rules = benchmark(induce)
+    rendered = rules.render(isa_style=True)
+    # Class-level knowledge is invariant under cloning.
+    assert "7250 <= CLASS.Displacement <= 30000" in rendered
+    _SCALE_RESULTS[scale] = benchmark.stats["mean"]
+    if scale == 16:
+        rows = [[s, 24 * s + 24 * s + 13 + 2 + 8,
+                 f"{_SCALE_RESULTS[s] * 1000:.2f}"]
+                for s in sorted(_SCALE_RESULTS)]
+        record_report(
+            "E10", "ILS wall time vs ship-database scale (native path)",
+            render_table(["scale", "total rows", "mean ms"], rows))
+
+
+@pytest.mark.parametrize("n_rows", [100, 1000, 10000])
+def test_single_scheme_scaling(benchmark, n_rows):
+    db = synthetic_classified_database(n_rows=n_rows, n_classes=10,
+                                       seed=23)
+
+    def induce():
+        return induce_scheme(db.relation("ITEM"), "Value", "Label",
+                             InductionConfig(n_c=3))
+
+    rules = benchmark(induce)
+    assert rules  # bands are recoverable at every size
+
+
+def test_native_vs_quel_path(benchmark):
+    """Head-to-head on one scheme at a fixed size (QUEL is the timed
+    kernel; the native result is asserted equal)."""
+    db = synthetic_classified_database(n_rows=300, n_classes=5, seed=29)
+    native = induce_scheme(db.relation("ITEM"), "Value", "Label",
+                           InductionConfig(n_c=3))
+
+    def induce_quel():
+        return induce_scheme(db.relation("ITEM"), "Value", "Label",
+                             InductionConfig(n_c=3, use_quel=True),
+                             database=db)
+
+    quel = benchmark(induce_quel)
+    assert [(r.lhs, r.rhs) for r in native] == [
+        (r.lhs, r.rhs) for r in quel]

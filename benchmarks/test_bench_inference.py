@@ -1,0 +1,70 @@
+"""E11 -- inference latency vs knowledge-base size.
+
+The paper stores rules in relations partly because "storing more rules
+... increases the overhead for storing and searching these rules".
+This benchmark times forward+backward inference against rule bases from
+18 (the ship knowledge) up to thousands of synthetic rules.  Expected
+shape: linear in the rule count for the chaining loop.
+"""
+
+import pytest
+
+from repro.inference import TypeInferenceEngine
+from repro.reporting import render_table
+from repro.rules import Clause, Rule, RuleSet
+
+from conftest import record_report
+
+_RESULTS: dict[int, float] = {}
+
+
+def synthetic_rules(n_rules: int) -> RuleSet:
+    """Chains of rules over disjoint attributes plus one live chain the
+    query conditions actually fire."""
+    rules = RuleSet()
+    rules.add(Rule([Clause.between("Q.A", 0, 100)],
+                   Clause.equals("Q.B", "hit"), support=5,
+                   rhs_subtype="HIT"))
+    rules.add(Rule([Clause.equals("Q.B", "hit")],
+                   Clause.equals("Q.C", "chained"), support=5))
+    for index in range(n_rules - 2):
+        attribute = f"T{index}.X"
+        rules.add(Rule(
+            [Clause.between(attribute, index, index + 10)],
+            Clause.equals(f"T{index}.Y", f"label{index}"),
+            support=index % 7))
+    return rules
+
+
+@pytest.mark.parametrize("n_rules", [18, 180, 1800])
+def test_inference_latency(benchmark, n_rules):
+    rules = synthetic_rules(n_rules)
+    engine = TypeInferenceEngine(rules)
+    conditions = [Clause.between("Q.A", 10, 20)]
+
+    result = benchmark(engine.infer, conditions)
+    assert result.forward_subtypes() == ["HIT"]
+    assert len(result.forward) == 2  # the chain fired
+
+    _RESULTS[n_rules] = benchmark.stats["mean"]
+    if n_rules == 1800:
+        rows = [[count, f"{_RESULTS[count] * 1e6:.1f}"]
+                for count in sorted(_RESULTS)]
+        record_report(
+            "E11", "Inference latency vs rule-base size",
+            render_table(["rules", "mean microseconds"], rows))
+
+
+def test_ship_inference_latency(benchmark, ship_system):
+    """Inference over the real ship knowledge base (Example 3 facts)."""
+    from repro.rules.clause import AttributeRef
+
+    conditions = [Clause.equals("INSTALL.Sonar", "BQS-04")]
+    equivalences = [
+        (AttributeRef("SUBMARINE", "Class"),
+         AttributeRef("CLASS", "Class")),
+        (AttributeRef("SUBMARINE", "Id"), AttributeRef("INSTALL", "Ship")),
+    ]
+
+    result = benchmark(ship_system.engine.infer, conditions, equivalences)
+    assert set(result.forward_subtypes()) == {"BQS", "SSN"}

@@ -1,0 +1,89 @@
+"""E8 -- the N_c tradeoff (Section 5.2.1, step 4).
+
+"N_c provides a tradeoff between the applicability of the rules and the
+overhead of storing and searching these rules."  Sweeps N_c over the
+ship database and a larger synthetic database, reporting rule counts,
+rule-relation storage rows, and how many of a fixed query workload stay
+answerable.  Expected shape: rules and storage fall monotonically with
+N_c; answerability falls in steps (the paper's R_new appears at N_c=1
+and completes Example 2's answer).
+"""
+
+from repro.induction import InductionConfig, InductiveLearningSubsystem
+from repro.induction.pruning import nc_sweep
+from repro.query import IntensionalQueryProcessor
+from repro.reporting import render_table
+from repro.rules import encode_rule_relations
+from repro.testbed import synthetic_classified_database
+
+from conftest import SHIP_ORDER, record_report
+from test_bench_examples import EXAMPLE_1, EXAMPLE_2, EXAMPLE_3
+
+THRESHOLDS = [1, 2, 3, 4, 5, 7, 9]
+
+
+def test_nc_sweep_ship_database(benchmark, ship_db, ship_binding):
+    def induce_at(threshold):
+        return InductiveLearningSubsystem(
+            ship_binding, InductionConfig(n_c=threshold),
+            relation_order=SHIP_ORDER).induce()
+
+    def sweep():
+        return {threshold: induce_at(threshold)
+                for threshold in THRESHOLDS}
+
+    rule_sets = benchmark(sweep)
+
+    rows = []
+    for threshold in THRESHOLDS:
+        rules = rule_sets[threshold]
+        storage = encode_rule_relations(rules).total_rows()
+        system = IntensionalQueryProcessor(ship_db, rules,
+                                           binding=ship_binding)
+        answered = sum(
+            1 for sql in (EXAMPLE_1, EXAMPLE_2, EXAMPLE_3)
+            if system.ask(sql).intensional)
+        complete_example2 = any(
+            "1301" in rule.render() for rule in rules)
+        rows.append([threshold, len(rules), storage, answered,
+                     "yes" if complete_example2 else "no"])
+
+    counts = [row[1] for row in rows]
+    assert counts == sorted(counts, reverse=True)
+    assert rows[0][4] == "yes"   # R_new present at N_c=1
+    assert rows[2][4] == "no"    # pruned at the default N_c=3
+
+    record_report(
+        "E8", "N_c sweep on the ship database "
+              "(applicability vs storage tradeoff)",
+        render_table(
+            ["N_c", "rules kept", "rule-relation rows",
+             "examples answerable", "R_new (completes Ex.2)"], rows))
+
+
+def test_nc_sweep_synthetic(benchmark):
+    db = synthetic_classified_database(n_rows=2000, n_classes=8, seed=17,
+                                       noise=0.05)
+    from repro.induction import induce_scheme
+
+    def sweep():
+        return nc_sweep(
+            lambda threshold: _as_ruleset(induce_scheme(
+                db.relation("ITEM"), "Value", "Label",
+                InductionConfig(n_c=threshold))),
+            [1, 2, 4, 8, 16, 32, 64])
+
+    points = benchmark(sweep)
+    counts = [point.rules_kept for point in points]
+    assert counts == sorted(counts, reverse=True)
+    record_report(
+        "E8b", "N_c sweep on a noisy synthetic database (2000 rows)",
+        render_table(
+            ["N_c", "rules kept", "min support", "max support"],
+            [[p.n_c, p.rules_kept, p.support_min, p.support_max]
+             for p in points]))
+
+
+def _as_ruleset(rules):
+    from repro.rules import RuleSet
+    return RuleSet(rules)

@@ -1,0 +1,69 @@
+"""E14 (extension) -- end-to-end query latency vs database size.
+
+Times the full ask() pipeline (parse + 3-way hash join + inference) for
+Example 3 on scaled ship databases.  Expected shape: near-linear in the
+joined row count (hash joins), with inference cost constant (the rule
+base does not grow with the data).
+"""
+
+import pytest
+
+from repro.ker import SchemaBinding
+from repro.query import IntensionalQueryProcessor
+from repro.reporting import render_table
+from repro.testbed import ship_ker_schema
+from repro.testbed.generators import scaled_ship_database
+
+from conftest import SHIP_ORDER, record_report
+from test_bench_examples import EXAMPLE_3
+
+_RESULTS: dict[int, float] = {}
+
+
+@pytest.mark.parametrize("scale", [1, 8, 32])
+def test_example3_latency_vs_scale(benchmark, scale):
+    db = scaled_ship_database(scale=scale)
+    system = IntensionalQueryProcessor.from_database(
+        db, ker_schema=ship_ker_schema(), relation_order=SHIP_ORDER)
+
+    result = benchmark(system.ask, EXAMPLE_3)
+    assert len(result.extensional) == 4 * scale
+    assert "SSN" in result.inference.forward_subtypes()
+
+    _RESULTS[scale] = benchmark.stats["mean"]
+    if scale == 32:
+        rows = [[s, 24 * s, f"{_RESULTS[s] * 1000:.2f}"]
+                for s in sorted(_RESULTS)]
+        record_report(
+            "E14", "Example 3 ask() latency vs database scale",
+            render_table(["scale", "submarines", "mean ms"], rows))
+
+
+def test_inference_cost_is_scale_invariant(benchmark):
+    """Same knowledge base regardless of data volume: rule count at
+    scale 32 equals scale 1 (class-level knowledge), so inference cost
+    does not grow with the data -- only the extensional join does."""
+    small = IntensionalQueryProcessor.from_database(
+        scaled_ship_database(scale=1), ker_schema=ship_ker_schema(),
+        relation_order=SHIP_ORDER)
+    big_db = scaled_ship_database(scale=32)
+    big = IntensionalQueryProcessor.from_database(
+        big_db, ker_schema=ship_ker_schema(), relation_order=SHIP_ORDER)
+
+    # Intra-CLASS/SONAR rules are identical; SUBMARINE hull-range rules
+    # may differ (clone ids form new runs), but the count stays modest.
+    small_class_rules = [r for r in small.rules
+                         if r.lhs[0].attribute.relation == "CLASS"]
+    big_class_rules = [r for r in big.rules
+                       if r.lhs[0].attribute.relation == "CLASS"]
+    assert [(r.lhs, r.rhs) for r in small_class_rules] == [
+        (r.lhs, r.rhs) for r in big_class_rules]
+
+    from repro.query.conditions import extract_conditions
+    from repro.sql.parser import parse_select
+    statement = parse_select(EXAMPLE_3)
+    conditions = extract_conditions(big_db, statement)
+
+    result = benchmark(big.engine.infer, conditions.clauses,
+                       conditions.equivalences)
+    assert "SSN" in result.forward_subtypes()

@@ -1,0 +1,67 @@
+"""E9 -- rule-relation storage and relocation (Section 5.2.2).
+
+Measures the encode -> relocate -> decode round trip for knowledge bases
+of growing size and reports the storage blow-up (clause rows + mapping
+rows per rule).  Expected shape: storage grows linearly in the rule
+count; decode reproduces the rule set exactly at every size.
+"""
+
+from repro.reporting import render_table
+from repro.rules import (
+    Clause, Rule, RuleSet, decode_rule_relations, encode_rule_relations,
+)
+
+from conftest import record_report
+
+
+def synthetic_ruleset(n_rules: int) -> RuleSet:
+    rules = RuleSet()
+    for index in range(n_rules):
+        attribute = f"T{index % 7}.X{index % 5}"
+        target = f"T{index % 7}.Y"
+        rules.add(Rule(
+            [Clause.between(attribute, index * 10, index * 10 + 9)],
+            Clause.equals(target, f"label{index % 13}"),
+            support=index % 11))
+    return rules
+
+
+def test_roundtrip_scaling(benchmark):
+    sizes = [10, 100, 1000]
+    rule_sets = {size: synthetic_ruleset(size) for size in sizes}
+
+    def roundtrip_largest():
+        bundle = encode_rule_relations(rule_sets[sizes[-1]])
+        return decode_rule_relations(bundle)
+
+    decoded = benchmark(roundtrip_largest)
+    assert len(decoded) == sizes[-1]
+
+    rows = []
+    for size in sizes:
+        ruleset = rule_sets[size]
+        bundle = encode_rule_relations(ruleset)
+        recovered = decode_rule_relations(bundle)
+        identical = all(
+            before.lhs == after.lhs and before.rhs == after.rhs
+            and before.support == after.support
+            for before, after in zip(ruleset, recovered))
+        rows.append([size, len(bundle.clauses), len(bundle.values),
+                     bundle.total_rows(),
+                     round(bundle.total_rows() / size, 1),
+                     "yes" if identical else "NO"])
+        assert identical
+
+    record_report(
+        "E9", "Rule-relation storage and relocation round trip",
+        render_table(
+            ["rules", "clause rows", "value-map rows", "total rows",
+             "rows/rule", "decode identical"], rows))
+
+
+def test_ship_knowledge_roundtrip(benchmark, ship_rules):
+    def roundtrip():
+        return decode_rule_relations(encode_rule_relations(ship_rules))
+
+    decoded = benchmark(roundtrip)
+    assert decoded.render() == ship_rules.render()

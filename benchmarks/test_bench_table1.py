@@ -1,0 +1,70 @@
+"""E1 -- Table 1: classification characteristics of navy battleships.
+
+Regenerates the paper's Table 1 from a synthetic fleet: per-type
+displacement ranges recovered by aggregation, and the induced
+``Displacement --> Type`` rules for the disjoint (Subsurface) category.
+The timed kernel is the induction pass over the fleet.
+"""
+
+from repro.induction import InductionConfig, induce_scheme
+from repro.relational import algebra
+from repro.reporting import render_table
+from repro.testbed import (
+    BATTLESHIP_CLASSES, battleship_database, battleship_table,
+)
+
+from conftest import record_report
+
+
+def test_table1_characteristics(benchmark):
+    db = battleship_database(ships_per_type=25, seed=1981)
+    ship = db.relation("SHIP")
+
+    def induce_subsurface():
+        members = {"SSBN", "SSN"}
+        subset = algebra.select_where(
+            ship, lambda r: r["Type"] in members)
+        return induce_scheme(subset, "Displacement", "Type",
+                             InductionConfig(n_c=5))
+
+    rules = benchmark(induce_subsurface)
+
+    # Aggregate view == the printed table.
+    joined = algebra.equijoin(ship, db.relation("SHIPTYPE"),
+                              [("Type", "Type")])
+    grouped = algebra.group_by(
+        joined, ["Category", "SHIP_Type"],
+        {"lo": ("min", "Displacement"), "hi": ("max", "Displacement")})
+    observed = {row[1]: (row[0], row[2], row[3]) for row in grouped}
+    table_rows = []
+    matches = 0
+    for entry in BATTLESHIP_CLASSES:
+        category, low, high = observed[entry.type_code]
+        exact = (low == entry.displacement_low
+                 and high == entry.displacement_high)
+        matches += exact
+        table_rows.append([
+            category, entry.type_code,
+            f"{entry.displacement_low}-{entry.displacement_high}",
+            f"{low}-{high}", "yes" if exact else "NO"])
+    assert matches == len(BATTLESHIP_CLASSES)
+
+    # Induced Subsurface rules reproduce the table's disjoint ranges.
+    spans = {rule.rhs.interval.low:
+             (rule.lhs[0].interval.low, rule.lhs[0].interval.high)
+             for rule in rules}
+    assert spans["SSBN"] == (7250, 16600)
+    assert spans["SSN"] == (1720, 6000)
+
+    record_report(
+        "E1", "Table 1 -- battleship classification characteristics",
+        render_table(
+            ["Category", "Type", "paper range", "measured range", "match"],
+            table_rows)
+        + "\n\nInduced Subsurface rules: "
+        + "; ".join(rule.render() for rule in rules))
+
+
+def test_table1_is_twelve_types(benchmark):
+    table = benchmark(battleship_table)
+    assert len(table) == 12

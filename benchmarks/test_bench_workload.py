@@ -1,0 +1,41 @@
+"""E16 (extension) -- answerability over a random query workload.
+
+The paper demonstrates three hand-picked queries; this bench asks 100
+randomly generated conjunctive queries (conditions sampled from the data
+distribution) and reports how often the two systems can say anything
+intensional.  Expected shape: the induced-rule system answers a strict
+superset of the constraint-only baseline's queries.
+"""
+
+from repro.baseline import ConstraintOnlyAnswerer
+from repro.reporting import render_table
+from repro.testbed.workload import generate_workload, run_workload
+
+from conftest import record_report
+
+
+def test_workload_answerability(benchmark, ship_binding, ship_system):
+    queries = generate_workload(ship_binding, n_queries=100, seed=2026)
+
+    stats = benchmark(run_workload, ship_system, queries)
+
+    baseline = ConstraintOnlyAnswerer.from_binding(ship_binding)
+    baseline_stats = run_workload(baseline, queries)
+
+    assert stats.queries == 100
+    assert stats.with_any >= baseline_stats.with_any
+    assert stats.with_forward >= baseline_stats.with_forward
+
+    record_report(
+        "E16", "Answerability over 100 random queries "
+               "(induced rules vs constraints only)",
+        render_table(
+            ["metric", "induced rules", "constraints only"],
+            [["with forward answers", stats.with_forward,
+              baseline_stats.with_forward],
+             ["with backward answers", stats.with_backward,
+              baseline_stats.with_backward],
+             ["with any answer", stats.with_any,
+              baseline_stats.with_any],
+             ["empty extension", stats.empty_extension,
+              baseline_stats.empty_extension]]))

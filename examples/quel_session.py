@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Driving the induction algorithm by hand in QUEL.
+
+The prototype was written in EQUEL on INGRES, and Section 5.2.1 states
+the rule-induction algorithm as QUEL statements.  This example runs that
+exact statement sequence interactively against the ship database for the
+scheme ``Class --> Type``, printing each intermediate relation -- useful
+to see *why* step 2 removes what it removes and how value ranges form.
+
+Run:  python examples/quel_session.py
+"""
+
+from repro.induction.runs import build_runs
+from repro.quel import QuelSession
+from repro.testbed import ship_database
+
+
+def main() -> None:
+    db = ship_database()
+    session = QuelSession(db)
+
+    print("range of r is CLASS")
+    session.execute("range of r is CLASS")
+
+    print("retrieve into S unique (r.Type, r.Class) sort by r.Type")
+    step1 = session.execute(
+        "retrieve into S unique (r.Type, r.Class) sort by r.Type")
+    print(step1.render())
+    print()
+
+    print("range of s is S")
+    print("retrieve into T unique (s.Type, s.Class) "
+          "where (r.Class = s.Class and r.Type != s.Type)")
+    session.execute("range of s is S")
+    step2 = session.execute(
+        "retrieve into T unique (s.Type, s.Class) "
+        "where (r.Class = s.Class and r.Type != s.Type)")
+    print("Inconsistent pairs (same Class, different Type):")
+    print(step2.render() if len(step2) else "  (none -- Class is a key)")
+    print()
+
+    print("range of t is T")
+    print("delete s where (s.Class = t.Class and s.Type = t.Type)")
+    session.execute("range of t is T")
+    deleted = session.execute(
+        "delete s where (s.Class = t.Class and s.Type = t.Type)")
+    print(f"deleted {deleted} rows; S now:")
+    survivors = db.relation("S")
+    print(survivors.sorted_by("Class").render())
+    print()
+
+    # Step 3 by hand: maximal runs over the surviving pairs.
+    mapping = {survivors.value(row, "Class"):
+               survivors.value(row, "Type") for row in survivors}
+    occurring = sorted(db.relation("CLASS").column_values("Class"))
+    counts = {value: 1 for value in mapping}
+    runs = build_runs(occurring, mapping, frozenset(), counts)
+    print("Value ranges (step 3):")
+    for run in runs:
+        print(f"  if {run.low} <= Class <= {run.high} "
+              f"then Type = {run.y}   (support {run.instances})")
+    print()
+    print("Step 4 at N_c = 3 keeps the first two ranges and prunes the")
+    print("single-instance 1301 rule -- the R_new of Example 2.")
+
+
+if __name__ == "__main__":
+    main()

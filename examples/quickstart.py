@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Quickstart: intensional answers over the paper's ship database.
+
+Builds the full Figure 6 pipeline in three lines -- load the Appendix C
+database, parse the Appendix B KER schema, induce the knowledge base --
+then asks the paper's Example 1 query and prints both answer forms.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.query import IntensionalQueryProcessor
+from repro.testbed import ship_database, ship_ker_schema
+
+
+def main() -> None:
+    system = IntensionalQueryProcessor.from_database(
+        ship_database(), ker_schema=ship_ker_schema(),
+        relation_order=["SUBMARINE", "CLASS", "SONAR", "INSTALL"])
+
+    print("Induced knowledge base "
+          f"({len(system.rules)} rules, N_c = 3):")
+    print(system.rules.render(isa_style=True))
+    print()
+
+    result = system.ask("""
+        SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE
+        FROM SUBMARINE, CLASS
+        WHERE SUBMARINE.CLASS = CLASS.CLASS
+        AND CLASS.DISPLACEMENT > 8000
+    """)
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

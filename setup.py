@@ -1,0 +1,6 @@
+"""Setup shim for environments whose setuptools predates PEP 660 editable
+installs (pip falls back to `setup.py develop` when this file exists)."""
+
+from setuptools import setup
+
+setup()

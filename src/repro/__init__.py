@@ -1,0 +1,48 @@
+"""Reproduction of Chu & Lee, "Using Type Inference and Induced Rules to
+Provide Intensional Answers" (UCLA CSD-900006 / ICDE 1991).
+
+The package provides, bottom-up:
+
+* :mod:`repro.relational` -- an in-memory relational engine (the INGRES
+  substitute the prototype ran on).
+* :mod:`repro.quel` -- the QUEL query-language subset the paper's rule
+  induction algorithm is written in.
+* :mod:`repro.sql` -- the SQL SELECT subset used by the paper's worked
+  examples.
+* :mod:`repro.ker` -- the Knowledge-based Entity-Relationship (KER) data
+  model, including a parser for the Appendix A DDL.
+* :mod:`repro.rules` -- interval rules, rule schemes, and the relational
+  "rule relation" encoding of Section 5.2.2.
+* :mod:`repro.induction` -- the Inductive Learning Subsystem (ILS):
+  the pairwise rule-induction algorithm of Section 5.2.1, schema-guided
+  candidate selection, pruning, and an ID3-style tree learner.
+* :mod:`repro.dictionary` -- the intelligent (extended) data dictionary:
+  frames plus the rule base.
+* :mod:`repro.inference` -- the inference processor: forward, backward,
+  and combined *type inference* producing intensional answers.
+* :mod:`repro.query` -- the end-to-end intensional query processing
+  system of Figure 6.
+* :mod:`repro.baseline` -- the integrity-constraint-only baseline in the
+  style of Motro (1989).
+* :mod:`repro.testbed` -- the naval ship database of Appendix C, the
+  Appendix B KER schema, the Table 1 battleship fleet, and synthetic
+  workload generators.
+
+Quickstart::
+
+    from repro.testbed import ship_database, ship_ker_schema
+    from repro.query import IntensionalQueryProcessor
+
+    system = IntensionalQueryProcessor.from_database(
+        ship_database(), ker_schema=ship_ker_schema())
+    result = system.ask(
+        "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS "
+        "WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000")
+    print(result.extensional)            # the tuples
+    for answer in result.intensional:    # the characterizations
+        print(answer.render())
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

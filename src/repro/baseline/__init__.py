@@ -1,0 +1,12 @@
+"""Baselines.
+
+:mod:`repro.baseline.motro` -- intensional answers from integrity
+constraints only (no induced rules), in the style of Motro (1989), the
+comparison point of the paper's conclusion: "type inference with induced
+rules is a more effective technique to derive intensional answers than
+using integrity constraints".
+"""
+
+from repro.baseline.motro import ConstraintOnlyAnswerer, compare_systems
+
+__all__ = ["ConstraintOnlyAnswerer", "compare_systems"]

@@ -1,0 +1,95 @@
+"""Integrity-constraint-only intensional answering (Motro-style baseline).
+
+Motro (1989) derives intensional answers from declared integrity
+constraints.  In our setting that corresponds to running the same type-
+inference engine over only the *schema-declared* with-constraint rules
+(no induced knowledge).  The paper's conclusion claims type inference
+with induced rules is more effective "when the database schema has
+strong type hierarchy and semantic knowledge"; :func:`compare_systems`
+quantifies that claim over a query workload (benchmark E7).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence
+
+from repro.ker.binding import SchemaBinding
+from repro.query.system import IntensionalQueryProcessor, QueryResult
+
+
+class ConstraintOnlyAnswerer(IntensionalQueryProcessor):
+    """The Figure 6 pipeline with the ILS switched off."""
+
+    @classmethod
+    def from_binding(cls, binding: SchemaBinding) -> "ConstraintOnlyAnswerer":
+        return cls(binding.database, binding.schema_rules(),
+                   binding=binding)
+
+
+class ComparisonRow(NamedTuple):
+    """Per-query comparison of the two systems."""
+
+    sql: str
+    induced_forward: int      #: forward answers from induced rules
+    induced_backward: int
+    baseline_forward: int     #: forward answers from constraints only
+    baseline_backward: int
+
+    @property
+    def induced_total(self) -> int:
+        return self.induced_forward + self.induced_backward
+
+    @property
+    def baseline_total(self) -> int:
+        return self.baseline_forward + self.baseline_backward
+
+
+class ComparisonReport(NamedTuple):
+    """Workload-level summary (benchmark E7's output)."""
+
+    rows: list[ComparisonRow]
+
+    @property
+    def queries(self) -> int:
+        return len(self.rows)
+
+    @property
+    def induced_answered(self) -> int:
+        """Queries for which induced rules produced any answer."""
+        return sum(1 for row in self.rows if row.induced_total > 0)
+
+    @property
+    def baseline_answered(self) -> int:
+        return sum(1 for row in self.rows if row.baseline_total > 0)
+
+    @property
+    def induced_only(self) -> int:
+        """Queries only the induced-rule system could characterize."""
+        return sum(1 for row in self.rows
+                   if row.induced_total > 0 and row.baseline_total == 0)
+
+    def render(self) -> str:
+        lines = [
+            f"queries:                     {self.queries}",
+            f"answered with induced rules: {self.induced_answered}",
+            f"answered by constraints:     {self.baseline_answered}",
+            f"answered only via induction: {self.induced_only}",
+        ]
+        return "\n".join(lines)
+
+
+def compare_systems(induced_system: IntensionalQueryProcessor,
+                    baseline: IntensionalQueryProcessor,
+                    queries: Sequence[str]) -> ComparisonReport:
+    """Run *queries* through both systems and tally their answers."""
+    rows: list[ComparisonRow] = []
+    for sql in queries:
+        with_rules: QueryResult = induced_system.ask(sql)
+        constraints_only: QueryResult = baseline.ask(sql)
+        rows.append(ComparisonRow(
+            sql,
+            len(with_rules.inference.forward),
+            len(with_rules.inference.backward),
+            len(constraints_only.inference.forward),
+            len(constraints_only.inference.backward)))
+    return ComparisonReport(rows)

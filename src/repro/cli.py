@@ -1,0 +1,202 @@
+"""Interactive shell for the intensional query processing system.
+
+Usage::
+
+    python -m repro.cli                 # ship database, knowledge induced
+    python -m repro.cli --db dump.txt --ker schema.ker
+
+Plain input is SQL and is answered extensionally *and* intensionally.
+Backslash commands inspect the system:
+
+=================  ====================================================
+``\\rules``         print the knowledge base (isa style)
+``\\schema``        print the KER schema
+``\\hierarchy T``   print the type hierarchy rooted at T
+``\\tables``        list relations with row counts
+``\\show T``        print relation T
+``\\explain <sql>`` run a query and print the derivation trace
+``\\lint``          run the KER schema linter against the data
+``\\quel <stmt>``   run a QUEL statement
+``\\help``          this table
+``\\quit``          leave
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import TextIO
+
+from repro.errors import ReproError
+from repro.induction import InductionConfig
+from repro.ker import parse_ker
+from repro.ker.diagram import render_hierarchy, render_schema
+from repro.quel import QuelSession
+from repro.query import IntensionalQueryProcessor
+from repro.relational.relation import Relation
+from repro.relational.textio import load_database
+from repro.testbed import ship_database, ship_ker_schema
+
+
+class Shell:
+    """The command interpreter; I/O-injectable for testing."""
+
+    def __init__(self, system: IntensionalQueryProcessor,
+                 out: TextIO | None = None):
+        self.system = system
+        self.out = out or sys.stdout
+        self.quel = QuelSession(system.database)
+
+    def write(self, text: str = "") -> None:
+        self.out.write(text + "\n")
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False when the shell should
+        exit."""
+        line = line.strip()
+        if not line:
+            return True
+        try:
+            if line.startswith("\\"):
+                return self._command(line)
+            if line.split(None, 1)[0].lower() in ("insert", "delete",
+                                                  "update"):
+                from repro.sql import execute_statement
+                count = execute_statement(self.system.database, line)
+                self.write(f"{count} rows affected")
+                return True
+            result = self.system.ask(line)
+            self.write(result.render())
+        except ReproError as error:
+            self.write(f"error: {error}")
+        return True
+
+    def _command(self, line: str) -> bool:
+        command, _sep, argument = line[1:].partition(" ")
+        command = command.lower()
+        argument = argument.strip()
+        if command in ("quit", "q", "exit"):
+            return False
+        if command == "help":
+            self.write(__doc__.split("=" * 17, 1)[-1]
+                       if "=" in __doc__ else __doc__)
+            return True
+        if command == "rules":
+            if len(self.system.rules):
+                self.write(self.system.rules.render(isa_style=True))
+            else:
+                self.write("(no rules -- no KER schema was supplied)")
+            return True
+        if command == "schema":
+            if self.system.binding is None:
+                self.write("(no KER schema loaded)")
+            else:
+                self.write(render_schema(self.system.binding.schema))
+            return True
+        if command == "hierarchy":
+            if self.system.binding is None:
+                self.write("(no KER schema loaded)")
+            elif not argument:
+                self.write("usage: \\hierarchy TYPE")
+            else:
+                self.write(render_hierarchy(
+                    self.system.binding.schema, argument.upper()))
+            return True
+        if command == "tables":
+            for relation in self.system.database.catalog:
+                self.write(f"{relation.name}: {len(relation)} rows")
+            return True
+        if command == "show":
+            if not argument:
+                self.write("usage: \\show RELATION")
+            else:
+                self.write(
+                    self.system.database.relation(argument).render())
+            return True
+        if command == "lint":
+            if self.system.binding is None:
+                self.write("(no KER schema loaded)")
+                return True
+            from repro.ker import analyze_binding
+            findings = analyze_binding(self.system.binding)
+            if not findings:
+                self.write("schema and data are clean")
+            for finding in findings:
+                self.write(finding.render())
+            return True
+        if command == "explain":
+            if not argument:
+                self.write("usage: \\explain SELECT ...")
+                return True
+            from repro.inference import explain_inference
+            result = self.system.ask(argument)
+            self.write(explain_inference(result.inference))
+            return True
+        if command == "quel":
+            if not argument:
+                self.write("usage: \\quel <statement>")
+                return True
+            result = self.quel.execute(argument)
+            if isinstance(result, Relation):
+                self.write(result.render())
+            elif result is not None:
+                self.write(f"{result} rows affected")
+            else:
+                self.write("ok")
+            return True
+        self.write(f"unknown command \\{command} (try \\help)")
+        return True
+
+    def repl(self, stream: TextIO | None = None) -> None:
+        """Read-eval-print over *stream* (stdin by default)."""
+        stream = stream or sys.stdin
+        self.write("intensional query shell -- \\help for commands")
+        while True:
+            self.out.write("iqp> ")
+            self.out.flush()
+            line = stream.readline()
+            if not line:
+                break
+            if not self.handle(line):
+                break
+
+
+def build_system(db_path: str | None = None,
+                 ker_path: str | None = None,
+                 n_c: float = 3) -> IntensionalQueryProcessor:
+    """Assemble the system for the CLI: the ship test bed by default,
+    or a text-dumped database plus optional KER DDL file."""
+    if db_path is None:
+        return IntensionalQueryProcessor.from_database(
+            ship_database(), ker_schema=ship_ker_schema(),
+            config=InductionConfig(n_c=n_c),
+            relation_order=["SUBMARINE", "CLASS", "SONAR", "INSTALL"])
+    with open(db_path) as handle:
+        database = load_database(handle.readlines())
+    schema = None
+    if ker_path is not None:
+        with open(ker_path) as handle:
+            schema = parse_ker(handle.read())
+    return IntensionalQueryProcessor.from_database(
+        database, ker_schema=schema, config=InductionConfig(n_c=n_c))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Intensional query shell (Chu & Lee reproduction)")
+    parser.add_argument("--db", help="database dump (repro.relational."
+                                     "textio format); default: ship DB")
+    parser.add_argument("--ker", help="KER DDL file for --db")
+    parser.add_argument("--nc", type=float, default=3,
+                        help="induction support threshold N_c")
+    arguments = parser.parse_args(argv)
+    shell = Shell(build_system(arguments.db, arguments.ker,
+                               n_c=arguments.nc))
+    shell.repl()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""The intelligent (extended) data dictionary.
+
+Section 5.3: "a knowledge-based data dictionary which includes database
+schema and semantic knowledge represented in KER.  The knowledge
+representation combines both frame-based and rule-based knowledge
+representation."  Here:
+
+* :mod:`repro.dictionary.frames` -- each object type as a frame; the
+  hierarchy as a hierarchy of frames with slot inheritance;
+* :mod:`repro.dictionary.knowledge_base` -- the dictionary object owning
+  the frame system and the rule base, with save/load through rule
+  relations so knowledge relocates with the database.
+"""
+
+from repro.dictionary.frames import Frame, FrameSystem
+from repro.dictionary.knowledge_base import IntelligentDataDictionary
+
+__all__ = ["Frame", "FrameSystem", "IntelligentDataDictionary"]

@@ -1,0 +1,164 @@
+"""Frame-based representation of the database schema.
+
+"Each object type is represented as a frame and the object hierarchy is
+represented as a hierarchy of frames."  A frame's slots are its
+attributes (with resolved data types and any declared value ranges);
+slot lookup follows the hierarchy upward, implementing property
+inheritance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, NamedTuple
+
+from repro.errors import KerError
+from repro.ker.model import KerSchema
+from repro.relational.datatypes import DataType
+from repro.rules.clause import Clause, Interval
+
+
+class Slot(NamedTuple):
+    """One frame slot (attribute facet set)."""
+
+    name: str
+    datatype: DataType | None
+    domain_name: str | None
+    is_key: bool
+    value_range: Interval | None
+
+
+class Frame:
+    """One object type's frame."""
+
+    def __init__(self, name: str, parent: "Frame | None" = None,
+                 membership: tuple[Clause, ...] = ()):
+        self.name = name
+        self.parent = parent
+        self.membership = membership
+        self._slots: dict[str, Slot] = {}
+
+    def add_slot(self, slot: Slot) -> None:
+        self._slots[slot.name.lower()] = slot
+
+    def own_slots(self) -> list[Slot]:
+        return list(self._slots.values())
+
+    def slot(self, name: str) -> Slot | None:
+        """Slot lookup with inheritance (own slots shadow ancestors)."""
+        own = self._slots.get(name.lower())
+        if own is not None:
+            return own
+        if self.parent is not None:
+            return self.parent.slot(name)
+        return None
+
+    def slots(self) -> list[Slot]:
+        """All slots visible on this frame (inherited included)."""
+        out: dict[str, Slot] = {}
+        if self.parent is not None:
+            for slot in self.parent.slots():
+                out[slot.name.lower()] = slot
+        out.update(self._slots)
+        return list(out.values())
+
+    def ancestors(self) -> list["Frame"]:
+        out = []
+        current = self.parent
+        while current is not None:
+            out.append(current)
+            current = current.parent
+        return out
+
+    def isa(self, name: str) -> bool:
+        if self.name.lower() == name.lower():
+            return True
+        return any(frame.name.lower() == name.lower()
+                   for frame in self.ancestors())
+
+    def __repr__(self) -> str:
+        return f"<Frame {self.name}, {len(self._slots)} own slots>"
+
+
+class FrameSystem:
+    """All frames of a schema, built from a :class:`KerSchema`."""
+
+    def __init__(self) -> None:
+        self._frames: dict[str, Frame] = {}
+
+    @classmethod
+    def from_ker(cls, schema: KerSchema) -> "FrameSystem":
+        system = cls()
+        # Create frames top-down so parents exist before children.
+        pending = list(schema.object_types.values())
+        created: set[str] = set()
+        while pending:
+            progressed = False
+            for object_type in list(pending):
+                parent_name = schema.parent_of(object_type.name)
+                if parent_name is not None and (
+                        parent_name.lower() not in created):
+                    continue
+                parent = (system.frame(parent_name)
+                          if parent_name is not None else None)
+                frame = Frame(object_type.name, parent=parent,
+                              membership=schema.membership_clauses(
+                                  object_type.name))
+                for attribute in object_type.attributes:
+                    datatype = None
+                    domain_name = attribute.domain_name
+                    try:
+                        datatype = schema.resolve_datatype(attribute.domain)
+                    except KerError:
+                        pass
+                    value_range = None
+                    if domain_name is not None:
+                        value_range = schema.domain_interval(domain_name)
+                    for constraint in object_type.range_constraints:
+                        if (constraint.attribute.lower()
+                                == attribute.name.lower()
+                                and constraint.interval is not None):
+                            value_range = constraint.interval
+                    frame.add_slot(Slot(attribute.name, datatype,
+                                        domain_name, attribute.is_key,
+                                        value_range))
+                system._frames[frame.name.lower()] = frame
+                created.add(frame.name.lower())
+                pending.remove(object_type)
+                progressed = True
+            if not progressed:
+                raise KerError("frame hierarchy contains a cycle")
+        return system
+
+    def frame(self, name: str) -> Frame:
+        try:
+            return self._frames[name.lower()]
+        except KeyError:
+            raise KerError(f"no frame named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._frames
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self._frames.values())
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def classify_value(self, root: str, attribute: str,
+                       value: Any) -> str | None:
+        """Most specific subtype of *root* whose membership clause on
+        *attribute* accepts *value* (frame-level has-instance test)."""
+        best: str | None = None
+        frontier = [self.frame(root)]
+        while frontier:
+            frame = frontier.pop(0)
+            for child in self._frames.values():
+                if child.parent is not frame:
+                    continue
+                for clause in child.membership:
+                    if (clause.attribute.attribute.lower()
+                            == attribute.lower()
+                            and clause.satisfied_by(value)):
+                        best = child.name
+                        frontier.append(child)
+        return best

@@ -1,0 +1,87 @@
+"""The intelligent data dictionary: frames + rule base + relocation.
+
+"When the database is used in a location, the associated schema and
+rules are loaded into the system.  The rule relations are then converted
+into the KER representation and stored in the intelligent data
+dictionary."  The dictionary owns:
+
+* the frame system (schema knowledge),
+* the rule base (induced + declared rules),
+
+and supports the relocation round trip: :meth:`store_into` writes the
+rule relations into a database; :meth:`load_from` reads them back out at
+the new location.
+"""
+
+from __future__ import annotations
+
+from repro.dictionary.frames import FrameSystem
+from repro.ker.binding import SchemaBinding
+from repro.ker.model import KerSchema
+from repro.relational.database import Database
+from repro.rules.rule_relations import (
+    RuleRelationBundle, decode_rule_relations, encode_rule_relations,
+    RULE_RELATION_NAME,
+)
+from repro.rules.ruleset import RuleSet
+
+
+class IntelligentDataDictionary:
+    """Schema knowledge (frames) plus semantic knowledge (rules)."""
+
+    def __init__(self, schema: KerSchema, rules: RuleSet):
+        self.schema = schema
+        self.frames = FrameSystem.from_ker(schema)
+        self.rules = rules
+
+    @classmethod
+    def build(cls, binding: SchemaBinding, induced: RuleSet,
+              include_schema_rules: bool = True
+              ) -> "IntelligentDataDictionary":
+        """Assemble the dictionary from a binding and induced rules."""
+        rules = induced
+        if include_schema_rules:
+            rules = induced.merged_with(binding.schema_rules())
+        return cls(binding.schema, rules)
+
+    # -- relocation ---------------------------------------------------------
+
+    def store_into(self, database: Database) -> RuleRelationBundle:
+        """Write the rule base into *database* as rule relations."""
+        bundle = encode_rule_relations(self.rules)
+        bundle.register_into(database)
+        return bundle
+
+    @classmethod
+    def load_from(cls, database: Database, schema: KerSchema
+                  ) -> "IntelligentDataDictionary":
+        """Rebuild the dictionary at a new location from the rule
+        relations travelling with *database*."""
+        bundle = RuleRelationBundle.from_database(database)
+        return cls(schema, decode_rule_relations(bundle))
+
+    @staticmethod
+    def has_knowledge(database: Database) -> bool:
+        return RULE_RELATION_NAME in database
+
+    # -- reporting ---------------------------------------------------------
+
+    def render(self) -> str:
+        lines = [f"Intelligent data dictionary: {len(self.frames)} frames, "
+                 f"{len(self.rules)} rules", ""]
+        for frame in self.frames:
+            ancestry = " isa ".join(
+                [frame.name] + [a.name for a in frame.ancestors()])
+            lines.append(f"frame {ancestry}")
+            for slot in frame.own_slots():
+                rendered_type = (slot.datatype.render()
+                                 if slot.datatype else slot.domain_name)
+                marker = " (key)" if slot.is_key else ""
+                lines.append(f"  {slot.name}: {rendered_type}{marker}")
+        lines.append("")
+        lines.append(self.rules.render(isa_style=True))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<IntelligentDataDictionary {len(self.frames)} frames, "
+                f"{len(self.rules)} rules>")

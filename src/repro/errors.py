@@ -1,0 +1,70 @@
+"""Exception hierarchy for the whole package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems raise the most specific
+subclass that applies; parsers attach source positions where available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or used inconsistently."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not conform to the declared column data type."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup failed or a name collision occurred."""
+
+
+class ExpressionError(ReproError):
+    """An expression references unknown columns or mixes types illegally."""
+
+
+class ParseError(ReproError):
+    """A query or DDL text could not be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based source position of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}, col {column}: {message}"
+        super().__init__(message)
+
+
+class QuelError(ReproError):
+    """A QUEL statement failed at execution time."""
+
+
+class SqlError(ReproError):
+    """A SQL statement failed at execution time."""
+
+
+class KerError(ReproError):
+    """A KER model construct is inconsistent (bad hierarchy, domain, ...)."""
+
+
+class RuleError(ReproError):
+    """A rule or clause is malformed."""
+
+
+class InductionError(ReproError):
+    """The inductive learning subsystem was given unusable input."""
+
+
+class InferenceError(ReproError):
+    """The inference processor could not interpret a query or fact."""

@@ -1,0 +1,50 @@
+"""The Inductive Learning Subsystem (ILS).
+
+Implements Section 5.2's model-based learning methodology:
+
+1. schema-guided candidate selection -- which attribute pairs (X, Y) to
+   induce over, derived from the KER schema's classification attributes
+   (:mod:`repro.induction.candidates`);
+2. the four-step pairwise rule-induction algorithm of Section 5.2.1
+   (:mod:`repro.induction.pairwise`), with both a *native* execution path
+   and a *QUEL* path that runs the paper's own statements;
+3. value-range ("run") construction (:mod:`repro.induction.runs`);
+4. support-based pruning with the ``N_c`` threshold
+   (:mod:`repro.induction.pruning`);
+5. the :class:`~repro.induction.ils.InductiveLearningSubsystem` facade
+   tying it together against a schema binding;
+6. an ID3-style decision-tree learner for multi-attribute classification
+   characteristics (:mod:`repro.induction.id3`), the inductive-learning
+   technique Section 3.2 sketches.
+"""
+
+from repro.induction.config import InductionConfig
+from repro.induction.pairwise import (
+    PairExtraction, extract_pairs_native, extract_pairs_quel,
+    induce_from_pairs, induce_scheme,
+)
+from repro.induction.candidates import CandidateScheme, candidate_schemes
+from repro.induction.ils import InductiveLearningSubsystem
+from repro.induction.id3 import DecisionTree, id3_induce, tree_to_rules
+from repro.induction.maintenance import (
+    RefreshReport, RuleViolation, refresh_rules, verify_rules,
+)
+
+__all__ = [
+    "InductionConfig",
+    "PairExtraction",
+    "extract_pairs_native",
+    "extract_pairs_quel",
+    "induce_from_pairs",
+    "induce_scheme",
+    "CandidateScheme",
+    "candidate_schemes",
+    "InductiveLearningSubsystem",
+    "DecisionTree",
+    "id3_induce",
+    "tree_to_rules",
+    "RefreshReport",
+    "RuleViolation",
+    "refresh_rules",
+    "verify_rules",
+]

@@ -1,0 +1,153 @@
+"""Schema-guided candidate selection.
+
+"Since a database schema is created by the designer based on the
+semantic characteristics of the application, such semantic
+characteristics can be used as the candidates for rule induction"
+(Section 3.2).  Concretely:
+
+* **classification attributes** are the attributes appearing in subtype
+  derivation specifications (``CLASS.Type``, ``SONAR.SonarType``,
+  ``SUBMARINE.Class`` in the ship schema) -- they are what the hierarchy
+  classifies by;
+* **intra-object schemes**: within each backed object type, every other
+  attribute X is paired with each classification attribute Y of the same
+  relation (``Id --> Class``, ``Displacement --> Type``, ...);
+* **inter-object schemes**: for each relationship type (a backed type
+  with two or more object-typed attributes), the key and classification
+  attributes of one side are paired with the classification attributes
+  of the *other* side, through the relationship join
+  (``SUBMARINE.Id --> SONAR.SonarType``, ``SONAR.Sonar --> CLASS.Type``).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.ker.binding import SchemaBinding
+from repro.rules.clause import AttributeRef
+
+
+class CandidateScheme(NamedTuple):
+    """One (X, Y) pair selected for induction."""
+
+    x_ref: AttributeRef
+    y_ref: AttributeRef
+    kind: str                    #: "intra" or "inter"
+    relationship: str | None     #: relationship relation (inter only)
+
+    def render(self) -> str:
+        via = f" via {self.relationship}" if self.relationship else ""
+        return f"{self.x_ref.render()} --> {self.y_ref.render()}{via}"
+
+
+def classification_attributes(binding: SchemaBinding) -> list[AttributeRef]:
+    """Attributes referenced by subtype derivation specs, in schema
+    declaration order."""
+    seen: dict[tuple[str, str], AttributeRef] = {}
+    for link in binding.schema.links():
+        for clause in link.membership:
+            seen.setdefault(clause.attribute.key, clause.attribute)
+    return list(seen.values())
+
+
+def foreign_key_map(binding: SchemaBinding
+                    ) -> dict[AttributeRef, AttributeRef]:
+    """Referencing attribute -> referenced key attribute."""
+    return dict(binding.foreign_key_pairs())
+
+
+def side_closure(binding: SchemaBinding, root_relation: str) -> list[str]:
+    """Relations reachable from *root_relation* by following foreign
+    keys (root first, breadth-first, no repeats)."""
+    fk = foreign_key_map(binding)
+    out = [root_relation]
+    frontier = [root_relation]
+    while frontier:
+        relation = frontier.pop(0)
+        for source, target in fk.items():
+            if source.relation.lower() == relation.lower():
+                if target.relation.lower() not in {
+                        name.lower() for name in out}:
+                    out.append(target.relation)
+                    frontier.append(target.relation)
+    return out
+
+
+def candidate_schemes(binding: SchemaBinding,
+                      relation_order: list[str] | None = None
+                      ) -> list[CandidateScheme]:
+    """All induction candidates for a bound schema."""
+    classify = classification_attributes(binding)
+    by_relation: dict[str, list[AttributeRef]] = {}
+    for attribute in classify:
+        by_relation.setdefault(attribute.relation.lower(), []).append(
+            attribute)
+
+    type_names = [t.name for t in binding.schema.object_types.values()
+                  if binding.is_backed(t.name)]
+    if relation_order:
+        ordering = {name.lower(): index
+                    for index, name in enumerate(relation_order)}
+        type_names.sort(key=lambda name: ordering.get(name.lower(),
+                                                      len(ordering)))
+
+    fk = foreign_key_map(binding)
+    schemes: list[CandidateScheme] = []
+
+    for type_name in type_names:
+        relation_name = binding.relation_name_of(type_name)
+        object_type = binding.schema.object_type(type_name)
+        fk_attributes = [
+            a for a in object_type.attributes
+            if AttributeRef(relation_name, a.name) in fk]
+
+        if len(fk_attributes) >= 2:
+            schemes.extend(_inter_schemes(
+                binding, relation_name, fk_attributes, fk, by_relation))
+            continue
+
+        targets = by_relation.get(relation_name.lower(), [])
+        for y_ref in targets:
+            for attribute in object_type.attributes:
+                if attribute.name.lower() == y_ref.attribute.lower():
+                    continue
+                schemes.append(CandidateScheme(
+                    AttributeRef(relation_name, attribute.name), y_ref,
+                    "intra", None))
+    return schemes
+
+
+def _inter_schemes(binding: SchemaBinding, relationship: str,
+                   fk_attributes, fk, by_relation
+                   ) -> list[CandidateScheme]:
+    sides: list[dict] = []
+    for attribute in fk_attributes:
+        target = fk[AttributeRef(relationship, attribute.name)]
+        closure = side_closure(binding, target.relation)
+        classification = [
+            ref for relation in closure
+            for ref in by_relation.get(relation.lower(), [])]
+        sides.append({
+            "root_key": target,
+            "closure": closure,
+            "classification": classification,
+        })
+
+    schemes: list[CandidateScheme] = []
+    for a_index, side_a in enumerate(sides):
+        x_candidates: list[AttributeRef] = [side_a["root_key"]]
+        for ref in side_a["classification"]:
+            if ref not in x_candidates:
+                x_candidates.append(ref)
+        y_candidates: list[AttributeRef] = []
+        for b_index, side_b in enumerate(sides):
+            if b_index == a_index:
+                continue
+            for ref in side_b["classification"]:
+                if ref not in y_candidates:
+                    y_candidates.append(ref)
+        for x_ref in x_candidates:
+            for y_ref in y_candidates:
+                schemes.append(CandidateScheme(
+                    x_ref, y_ref, "inter", relationship))
+    return schemes

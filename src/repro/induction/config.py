@@ -1,0 +1,59 @@
+"""Induction configuration: the design knobs of Section 5.2.1.
+
+``N_c`` "can be a percentage of the total number of instances of a
+relation" -- both absolute and fractional thresholds are supported.
+The remaining knobs are behaviours the paper fixes implicitly; they are
+exposed because DESIGN.md benchmarks them as ablations:
+
+* ``break_on_removed`` -- whether X values removed as inconsistent in
+  step 2 break value ranges.  Required (True) to obtain the paper's
+  R15/R16 as separate rules.
+* ``support_metric`` -- ``"instances"`` counts original relation rows
+  satisfying the rule (the paper's wording); ``"pairs"`` counts distinct
+  (X, Y) pairs.
+* ``use_quel`` -- execute steps 1-2 through the QUEL interpreter (the
+  statements printed in the paper) instead of the native fast path.
+  Both paths must agree; a test asserts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import InductionError
+
+
+@dataclass(frozen=True)
+class InductionConfig:
+    """Knobs for the rule-induction algorithm."""
+
+    #: Minimum support N_c.  Interpreted per ``n_c_fraction``.
+    n_c: float = 3
+    #: When True, ``n_c`` is a fraction of the source relation size
+    #: (e.g. 0.1 keeps rules satisfied by >= 10% of instances).
+    n_c_fraction: bool = False
+    #: Inconsistent X values break value ranges (paper behaviour).
+    break_on_removed: bool = True
+    #: "instances" or "pairs".
+    support_metric: str = "instances"
+    #: Run steps 1-2 through the QUEL interpreter.
+    use_quel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.support_metric not in ("instances", "pairs"):
+            raise InductionError(
+                f"unknown support metric {self.support_metric!r}")
+        if self.n_c < 0:
+            raise InductionError("N_c must be non-negative")
+        if self.n_c_fraction and not 0 <= self.n_c <= 1:
+            raise InductionError("fractional N_c must be in [0, 1]")
+
+    def threshold_for(self, relation_size: int) -> float:
+        """The effective minimum support for a relation of given size."""
+        if self.n_c_fraction:
+            return self.n_c * relation_size
+        return self.n_c
+
+    def with_n_c(self, n_c: float, fraction: bool = False
+                 ) -> "InductionConfig":
+        return replace(self, n_c=n_c, n_c_fraction=fraction)

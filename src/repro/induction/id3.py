@@ -1,0 +1,270 @@
+"""ID3-style decision-tree induction (Quinlan).
+
+Section 3.2 describes the general inductive-learning loop the ILS is an
+instance of: "selects the best descriptor from a set of examples based
+on a statistical estimation or a theoretical information content" and
+recursively partitions.  The pairwise interval algorithm of Section 5.2.1
+is the paper's production variant; this module provides the classic
+information-gain tree over multiple descriptors, used by the E12
+benchmark to compare single-attribute interval rules against
+multi-attribute tree rules on the same classification task.
+
+Categorical attributes split per value; numeric (orderable) attributes
+split on a binary threshold chosen among class-boundary midpoints.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import InductionError
+from repro.rules.clause import AttributeRef, Clause, Interval
+from repro.rules.rule import Rule
+
+
+class DecisionTree:
+    """A decision tree node.
+
+    Leaves carry ``label`` and ``count``; internal nodes carry the split
+    ``attribute`` and either ``branches`` (categorical: value -> subtree)
+    or ``threshold``/``low``/``high`` (numeric binary split,
+    ``value <= threshold`` goes low).
+    """
+
+    def __init__(self, label: Any = None, count: int = 0,
+                 attribute: AttributeRef | None = None,
+                 branches: dict[Any, "DecisionTree"] | None = None,
+                 threshold: Any = None,
+                 low: "DecisionTree | None" = None,
+                 high: "DecisionTree | None" = None):
+        self.label = label
+        self.count = count
+        self.attribute = attribute
+        self.branches = branches
+        self.threshold = threshold
+        self.low = low
+        self.high = high
+
+    def is_leaf(self) -> bool:
+        return self.attribute is None
+
+    def depth(self) -> int:
+        if self.is_leaf():
+            return 0
+        children = (list(self.branches.values()) if self.branches
+                    else [self.low, self.high])
+        return 1 + max(child.depth() for child in children if child)
+
+    def leaf_count(self) -> int:
+        if self.is_leaf():
+            return 1
+        children = (list(self.branches.values()) if self.branches
+                    else [self.low, self.high])
+        return sum(child.leaf_count() for child in children if child)
+
+    def classify(self, record: Mapping[AttributeRef, Any]) -> Any:
+        """Predicted label for *record* (majority label on missing
+        branches)."""
+        if self.is_leaf():
+            return self.label
+        value = record.get(self.attribute)
+        if self.branches is not None:
+            child = self.branches.get(value)
+            if child is None:
+                return self.label
+            return child.classify(record)
+        if value is None:
+            return self.label
+        child = self.low if value <= self.threshold else self.high
+        return child.classify(record) if child else self.label
+
+    def render(self, indent: str = "") -> str:
+        if self.is_leaf():
+            return f"{indent}-> {self.label} ({self.count})"
+        lines = []
+        if self.branches is not None:
+            for value, child in self.branches.items():
+                lines.append(f"{indent}{self.attribute.render()} = {value}:")
+                lines.append(child.render(indent + "  "))
+        else:
+            lines.append(
+                f"{indent}{self.attribute.render()} <= {self.threshold}:")
+            lines.append(self.low.render(indent + "  "))
+            lines.append(
+                f"{indent}{self.attribute.render()} > {self.threshold}:")
+            lines.append(self.high.render(indent + "  "))
+        return "\n".join(lines)
+
+
+def _entropy(labels: Sequence[Any]) -> float:
+    total = len(labels)
+    if total == 0:
+        return 0.0
+    counts: dict[Any, int] = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    out = 0.0
+    for count in counts.values():
+        p = count / total
+        out -= p * math.log2(p)
+    return out
+
+
+def _majority(labels: Sequence[Any]) -> Any:
+    counts: dict[Any, int] = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    return max(counts.items(), key=lambda item: (item[1],))[0]
+
+
+def id3_induce(records: Sequence[Mapping[AttributeRef, Any]],
+               features: Sequence[AttributeRef],
+               target: AttributeRef,
+               min_samples: int = 1,
+               max_depth: int | None = None) -> DecisionTree:
+    """Induce a decision tree classifying *target* from *features*."""
+    rows = [record for record in records
+            if record.get(target) is not None]
+    if not rows:
+        raise InductionError("no labeled records to learn from")
+    return _grow(rows, list(features), target, min_samples, max_depth, 0)
+
+
+def _grow(rows, features, target, min_samples, max_depth, depth
+          ) -> DecisionTree:
+    labels = [row[target] for row in rows]
+    majority = _majority(labels)
+    if (len(set(labels)) == 1 or not features
+            or len(rows) <= min_samples
+            or (max_depth is not None and depth >= max_depth)):
+        return DecisionTree(label=majority, count=len(rows))
+
+    base = _entropy(labels)
+    best_gain = 0.0
+    best: tuple | None = None
+    for feature in features:
+        values = [row.get(feature) for row in rows]
+        if all(value is None for value in values):
+            continue
+        if all(isinstance(value, (int, float)) or value is None
+               for value in values):
+            split = _best_numeric_split(rows, feature, target, base)
+            if split is not None and split[0] > best_gain:
+                best_gain = split[0]
+                best = ("numeric", feature, split[1])
+        else:
+            gain = _categorical_gain(rows, feature, target, base)
+            if gain > best_gain:
+                best_gain = gain
+                best = ("categorical", feature, None)
+
+    if best is None or best_gain <= 1e-12:
+        return DecisionTree(label=majority, count=len(rows))
+
+    kind, feature, threshold = best
+    if kind == "categorical":
+        partitions: dict[Any, list] = {}
+        for row in rows:
+            partitions.setdefault(row.get(feature), []).append(row)
+        remaining = [f for f in features if f != feature]
+        branches = {
+            value: _grow(subset, remaining, target, min_samples,
+                         max_depth, depth + 1)
+            for value, subset in partitions.items()}
+        return DecisionTree(label=majority, count=len(rows),
+                            attribute=feature, branches=branches)
+
+    low_rows = [row for row in rows
+                if row.get(feature) is not None
+                and row[feature] <= threshold]
+    high_rows = [row for row in rows
+                 if row.get(feature) is not None
+                 and row[feature] > threshold]
+    return DecisionTree(
+        label=majority, count=len(rows), attribute=feature,
+        threshold=threshold,
+        low=_grow(low_rows, features, target, min_samples, max_depth,
+                  depth + 1),
+        high=_grow(high_rows, features, target, min_samples, max_depth,
+                   depth + 1))
+
+
+def _categorical_gain(rows, feature, target, base: float) -> float:
+    partitions: dict[Any, list] = {}
+    for row in rows:
+        partitions.setdefault(row.get(feature), []).append(row[target])
+    weighted = sum(
+        len(labels) / len(rows) * _entropy(labels)
+        for labels in partitions.values())
+    return base - weighted
+
+
+def _best_numeric_split(rows, feature, target, base: float
+                        ) -> tuple[float, Any] | None:
+    pairs = sorted(
+        (row[feature], row[target]) for row in rows
+        if row.get(feature) is not None)
+    if len(pairs) < 2:
+        return None
+    best: tuple[float, Any] | None = None
+    values = [value for value, _label in pairs]
+    for index in range(1, len(pairs)):
+        # Every distinct-value boundary is a candidate.  (Restricting to
+        # label-change boundaries is the textbook optimization, but it
+        # misses splits next to values with *mixed* labels.)
+        if values[index] == values[index - 1]:
+            continue
+        threshold = values[index - 1]
+        low = [label for value, label in pairs if value <= threshold]
+        high = [label for value, label in pairs if value > threshold]
+        weighted = (len(low) / len(pairs) * _entropy(low)
+                    + len(high) / len(pairs) * _entropy(high))
+        gain = base - weighted
+        if best is None or gain > best[0]:
+            best = (gain, threshold)
+    return best
+
+
+def tree_to_rules(tree: DecisionTree, target: AttributeRef) -> list[Rule]:
+    """Flatten a tree into path rules ``if <path clauses> then target = label``."""
+    rules: list[Rule] = []
+
+    def walk(node: DecisionTree, path: list[Clause]) -> None:
+        if node.is_leaf():
+            if path and node.count > 0:
+                rules.append(Rule(
+                    list(path), Clause(target, Interval.point(node.label)),
+                    support=node.count, source="id3"))
+            return
+        if node.branches is not None:
+            for value, child in node.branches.items():
+                if value is None:
+                    continue
+                walk(child, path + [Clause(node.attribute,
+                                           Interval.point(value))])
+            return
+        walk(node.low, path + [Clause(
+            node.attribute, Interval.at_most(node.threshold))])
+        walk(node.high, path + [Clause(
+            node.attribute, Interval.at_least(node.threshold,
+                                              strict=True))])
+
+    walk(tree, [])
+    return rules
+
+
+def accuracy(tree: DecisionTree,
+             records: Iterable[Mapping[AttributeRef, Any]],
+             target: AttributeRef) -> float:
+    """Fraction of records the tree classifies correctly."""
+    total = 0
+    correct = 0
+    for record in records:
+        expected = record.get(target)
+        if expected is None:
+            continue
+        total += 1
+        if tree.classify(record) == expected:
+            correct += 1
+    return correct / total if total else 0.0

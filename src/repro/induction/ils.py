@@ -1,0 +1,210 @@
+"""The Inductive Learning Subsystem facade.
+
+Ties schema-guided candidate selection, pair extraction (native or
+QUEL), run construction and pruning into one call::
+
+    ils = InductiveLearningSubsystem(binding, InductionConfig(n_c=3))
+    knowledge = ils.induce()          # a RuleSet
+
+Induced consequences that realize a subtype's derivation specification
+are tagged with the subtype name, so they print exactly like the paper's
+rule list (``if 7250 <= Displacement <= 30000 then x isa SSBN``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import InductionError
+from repro.induction.candidates import (
+    CandidateScheme, candidate_schemes, foreign_key_map,
+)
+from repro.induction.config import InductionConfig
+from repro.induction.pairwise import (
+    extract_pairs_native, extract_pairs_quel, induce_from_pairs,
+)
+from repro.ker.binding import SchemaBinding
+from repro.relational.indexes import HashIndex
+from repro.rules.clause import AttributeRef
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+
+class JoinExpander:
+    """Expands a relationship relation into joined attribute records.
+
+    Every row of the relationship becomes a mapping
+    ``AttributeRef -> value`` covering the relationship's own attributes
+    and, transitively, the attributes of every relation reachable through
+    foreign keys (SUBMARINE pulls in its CLASS, the CLASS its TYPE, ...).
+    """
+
+    def __init__(self, binding: SchemaBinding):
+        self.binding = binding
+        self.fk = foreign_key_map(binding)
+        self._indexes: dict[str, HashIndex] = {}
+
+    def _index(self, relation_name: str, key_column: str) -> HashIndex:
+        cache_key = f"{relation_name.lower()}.{key_column.lower()}"
+        if cache_key not in self._indexes:
+            relation = self.binding.database.relation(relation_name)
+            self._indexes[cache_key] = HashIndex(relation, key_column)
+        return self._indexes[cache_key]
+
+    def expand(self, relationship: str) -> list[dict[AttributeRef, Any]]:
+        relation = self.binding.database.relation(relationship)
+        records: list[dict[AttributeRef, Any]] = []
+        for row in relation:
+            record: dict[AttributeRef, Any] = {}
+            self._add_row(record, relation.name, relation.schema, row,
+                          visited=set())
+            records.append(record)
+        return records
+
+    def _add_row(self, record: dict, relation_name: str, schema, row,
+                 visited: set) -> None:
+        if relation_name.lower() in visited:
+            return
+        visited.add(relation_name.lower())
+        for column in schema.columns:
+            ref = AttributeRef(relation_name, column.name)
+            value = row[schema.position(column.name)]
+            record.setdefault(ref, value)
+            target = self.fk.get(ref)
+            if target is None or value is None:
+                continue
+            index = self._index(target.relation, target.attribute)
+            matches = index.lookup(value)
+            if matches:
+                target_relation = self.binding.database.relation(
+                    target.relation)
+                self._add_row(record, target_relation.name,
+                              target_relation.schema, matches[0],
+                              visited)
+
+
+class InductiveLearningSubsystem:
+    """Model-based inductive learning over a bound KER schema."""
+
+    def __init__(self, binding: SchemaBinding,
+                 config: InductionConfig | None = None,
+                 relation_order: list[str] | None = None):
+        self.binding = binding
+        self.config = config or InductionConfig()
+        self.relation_order = relation_order
+        self._expander = JoinExpander(binding)
+
+    # -- candidates -----------------------------------------------------
+
+    def schemes(self) -> list[CandidateScheme]:
+        return candidate_schemes(self.binding,
+                                 relation_order=self.relation_order)
+
+    # -- induction ---------------------------------------------------------
+
+    def induce(self, include_tree_rules: bool = False) -> RuleSet:
+        """Induce the full knowledge base (all candidate schemes).
+
+        With ``include_tree_rules``, classification attributes are
+        additionally learned with the ID3 tree over *all* other
+        attributes of the relation, and the resulting multi-clause path
+        rules (premises conjoining several attributes -- the general
+        Horn form of Section 5.2.2 that the pairwise algorithm never
+        produces) are added with source ``"id3"``.  Single-clause tree
+        rules that duplicate pairwise rules are skipped.
+        """
+        ruleset = RuleSet()
+        for scheme in self.schemes():
+            for rule in self.induce_one(scheme):
+                ruleset.add(rule)
+        if include_tree_rules:
+            for rule in self._induce_tree_rules(ruleset):
+                ruleset.add(rule)
+        return ruleset
+
+    def _induce_tree_rules(self, existing: RuleSet) -> list[Rule]:
+        from repro.induction.candidates import classification_attributes
+        from repro.induction.id3 import id3_induce, tree_to_rules
+
+        out: list[Rule] = []
+        for target in classification_attributes(self.binding):
+            relation = self.binding.database.relation(target.relation)
+            threshold = self.config.threshold_for(len(relation))
+            key_columns = {name.lower() for name in relation.schema.key}
+            features = [
+                AttributeRef(relation.name, column.name)
+                for column in relation.schema.columns
+                if column.name.lower() != target.attribute.lower()
+                # Keys are identifiers, not characteristics: a tree
+                # splitting on them memorizes rows instead of learning
+                # classification semantics.
+                and column.name.lower() not in key_columns]
+            if len(features) < 2:
+                continue  # single-feature trees duplicate pairwise rules
+            records = []
+            for row in relation:
+                record = {AttributeRef(relation.name, column.name):
+                          row[relation.schema.position(column.name)]
+                          for column in relation.schema.columns}
+                records.append(record)
+            tree = id3_induce(records, features, target)
+            for rule in tree_to_rules(tree, target):
+                if len(rule.lhs) < 2:
+                    continue  # single-clause: pairwise territory
+                if rule.support < threshold:
+                    continue
+                if not rule.sound_on(records):
+                    # Impure leaves (identical feature vectors with
+                    # conflicting labels) yield majority rules; unlike
+                    # the pairwise algorithm's step 2, the tree has no
+                    # inconsistency-removal, so enforce soundness here.
+                    continue
+                self._tag_subtype(rule)
+                out.append(rule)
+        return out
+
+    def induce_one(self, scheme: CandidateScheme) -> list[Rule]:
+        """Induce the rules of a single candidate scheme."""
+        if scheme.kind == "intra":
+            rules = self._induce_intra(scheme)
+        elif scheme.kind == "inter":
+            rules = self._induce_inter(scheme)
+        else:
+            raise InductionError(f"unknown scheme kind {scheme.kind!r}")
+        for rule in rules:
+            self._tag_subtype(rule)
+        return rules
+
+    def _induce_intra(self, scheme: CandidateScheme) -> list[Rule]:
+        database = self.binding.database
+        relation = database.relation(scheme.x_ref.relation)
+        if self.config.use_quel:
+            extraction = extract_pairs_quel(
+                database, relation.name,
+                scheme.x_ref.attribute, scheme.y_ref.attribute)
+        else:
+            x_position = relation.schema.position(scheme.x_ref.attribute)
+            y_position = relation.schema.position(scheme.y_ref.attribute)
+            extraction = extract_pairs_native(
+                (row[x_position], row[y_position]) for row in relation)
+        return induce_from_pairs(extraction, scheme.x_ref, scheme.y_ref,
+                                 self.config, relation_size=len(relation))
+
+    def _induce_inter(self, scheme: CandidateScheme) -> list[Rule]:
+        records = self._expander.expand(scheme.relationship)
+        pairs = [(record.get(scheme.x_ref), record.get(scheme.y_ref))
+                 for record in records]
+        extraction = extract_pairs_native(pairs)
+        return induce_from_pairs(extraction, scheme.x_ref, scheme.y_ref,
+                                 self.config, relation_size=len(records))
+
+    # -- subtype tagging --------------------------------------------------------
+
+    def _tag_subtype(self, rule: Rule) -> None:
+        schema = self.binding.schema
+        subtype = schema.subtype_for_clause(rule.rhs)
+        if subtype is None and rule.rhs.is_equality():
+            subtype = schema.subtype_for_interval(
+                rule.rhs.attribute, rule.rhs.interval)
+        if subtype is not None:
+            rule.rhs_subtype = subtype

@@ -1,0 +1,99 @@
+"""Induction of inter-attribute comparison constraints.
+
+Complements the pairwise interval algorithm with the other inter-object
+knowledge form Section 3.1 names: constraints like "the draft of the
+ship must be less than the depth of the port", induced by scanning a
+relationship's joined instances for attribute pairs whose order relation
+is uniform.
+
+For each candidate pair (L, R) of comparable attributes from *different*
+sides of the relationship, the induced constraint is:
+
+* ``L < R``  when every instance has ``L < R``;
+* ``L <= R`` when every instance has ``L <= R`` with at least one tie;
+* nothing otherwise (violations; or fewer than ``min_support``
+  instances with both values present).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.induction.candidates import foreign_key_map, side_closure
+from repro.induction.ils import JoinExpander
+from repro.ker.binding import SchemaBinding
+from repro.rules.clause import AttributeRef
+from repro.rules.comparisons import ComparisonConstraint
+
+
+def comparison_candidates(binding: SchemaBinding, relationship: str
+                          ) -> list[tuple[AttributeRef, AttributeRef]]:
+    """Cross-side attribute pairs with comparable (numeric) types."""
+    relation = binding.database.relation(relationship)
+    object_type = binding.schema.object_type(relationship)
+    fk = foreign_key_map(binding)
+
+    sides: list[list[AttributeRef]] = []
+    for attribute in object_type.attributes:
+        ref = AttributeRef(relation.name, attribute.name)
+        target = fk.get(ref)
+        if target is None:
+            continue
+        members: list[AttributeRef] = []
+        for side_relation in side_closure(binding, target.relation):
+            schema = binding.database.relation(side_relation).schema
+            for column in schema.columns:
+                if column.datatype.is_numeric():
+                    members.append(AttributeRef(side_relation,
+                                                column.name))
+        sides.append(members)
+
+    pairs: list[tuple[AttributeRef, AttributeRef]] = []
+    for index, left_side in enumerate(sides):
+        for right_side in sides[index + 1:]:
+            for left in left_side:
+                for right in right_side:
+                    pairs.append((left, right))
+    return pairs
+
+
+def induce_comparison_constraints(
+        binding: SchemaBinding, relationship: str,
+        min_support: int = 2) -> list[ComparisonConstraint]:
+    """Scan the relationship's joined instances for uniform order
+    relations among the candidate pairs."""
+    expander = JoinExpander(binding)
+    records = expander.expand(relationship)
+    constraints: list[ComparisonConstraint] = []
+    for left, right in comparison_candidates(binding, relationship):
+        constraint = _classify_pair(records, left, right, min_support)
+        if constraint is not None:
+            constraints.append(constraint)
+    return constraints
+
+
+def _classify_pair(records: Sequence[Mapping[AttributeRef, Any]],
+                   left: AttributeRef, right: AttributeRef,
+                   min_support: int) -> ComparisonConstraint | None:
+    strictly_less = False
+    tied = False
+    support = 0
+    for record in records:
+        left_value = record.get(left)
+        right_value = record.get(right)
+        if left_value is None or right_value is None:
+            continue
+        support += 1
+        if left_value < right_value:
+            strictly_less = True
+        elif left_value == right_value:
+            tied = True
+        else:
+            return None  # violated; no uniform constraint
+    if support < min_support or not strictly_less:
+        # All-ties means the attributes are equal on every instance --
+        # an equivalence, not an order constraint; and without any
+        # strict case a `<` claim would be vacuous.
+        return None
+    op = "<=" if tied else "<"
+    return ComparisonConstraint(left, op, right, support=support)

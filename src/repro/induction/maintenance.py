@@ -1,0 +1,115 @@
+"""Knowledge maintenance after database updates.
+
+The paper induces once and stores the rules with the database; when the
+EDB changes, the stored IDB can silently go stale (a new submarine whose
+displacement contradicts R9 would make forward answers wrong).  This
+module provides the two maintenance operations a deployment needs:
+
+* :func:`verify_rules` -- recheck every rule against the current data
+  and report the violated ones (with the offending records);
+* :func:`refresh_rules` -- re-run the ILS and diff old vs new knowledge
+  (added / removed / kept), so callers can update the stored rule
+  relations incrementally.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.induction.candidates import foreign_key_map
+from repro.induction.config import InductionConfig
+from repro.induction.ils import InductiveLearningSubsystem, JoinExpander
+from repro.ker.binding import SchemaBinding
+from repro.rules.clause import AttributeRef
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+
+class RuleViolation(NamedTuple):
+    """A rule contradicted by current data."""
+
+    rule: Rule
+    record: dict      #: the offending attribute record
+    observed: object  #: the consequence attribute's actual value
+
+    def render(self) -> str:
+        return (f"{self.rule.render()} violated: observed "
+                f"{self.rule.rhs.attribute.render()} = {self.observed!r}")
+
+
+def _records_for_verification(binding: SchemaBinding) -> list[dict]:
+    """Attribute records covering every rule's vocabulary: one record
+    per relationship row (joined over FKs) plus one per row of each
+    non-relationship relation."""
+    expander = JoinExpander(binding)
+    fk = foreign_key_map(binding)
+    records: list[dict] = []
+    for object_type in binding.schema.object_types.values():
+        if not binding.is_backed(object_type.name):
+            continue
+        relation = binding.database.relation(object_type.name)
+        fk_count = sum(
+            1 for attribute in object_type.attributes
+            if AttributeRef(relation.name, attribute.name) in fk)
+        if fk_count >= 2:
+            records.extend(expander.expand(relation.name))
+            continue
+        for row in relation:
+            records.append({
+                AttributeRef(relation.name, column.name):
+                    row[relation.schema.position(column.name)]
+                for column in relation.schema.columns})
+    return records
+
+
+def verify_rules(binding: SchemaBinding,
+                 ruleset: RuleSet) -> list[RuleViolation]:
+    """Every (rule, record) pair where the premise holds but the
+    consequence is contradicted by a non-NULL value."""
+    records = _records_for_verification(binding)
+    violations: list[RuleViolation] = []
+    for rule in ruleset:
+        for record in records:
+            if not rule.premise_satisfied_by(record):
+                continue
+            value = record.get(rule.rhs.attribute)
+            if value is None:
+                continue
+            if not rule.rhs.satisfied_by(value):
+                violations.append(RuleViolation(rule, record, value))
+    return violations
+
+
+class RefreshReport(NamedTuple):
+    """Diff between stored knowledge and a fresh induction pass."""
+
+    refreshed: RuleSet
+    added: list[Rule]      #: in the fresh set only
+    removed: list[Rule]    #: in the stored set only
+    kept: int
+
+    def render(self) -> str:
+        lines = [f"kept {self.kept}, added {len(self.added)}, "
+                 f"removed {len(self.removed)}"]
+        for rule in self.added:
+            lines.append(f"  + {rule.render()}")
+        for rule in self.removed:
+            lines.append(f"  - {rule.render()}")
+        return "\n".join(lines)
+
+
+def refresh_rules(binding: SchemaBinding, stored: RuleSet,
+                  config: InductionConfig | None = None,
+                  relation_order: list[str] | None = None) -> RefreshReport:
+    """Re-induce and diff against *stored* (matching on premise and
+    consequence; support changes alone count as kept)."""
+    fresh = InductiveLearningSubsystem(
+        binding, config, relation_order=relation_order).induce()
+    stored_keys = {(rule.lhs, rule.rhs) for rule in stored}
+    fresh_keys = {(rule.lhs, rule.rhs) for rule in fresh}
+    added = [rule for rule in fresh
+             if (rule.lhs, rule.rhs) not in stored_keys]
+    removed = [rule for rule in stored
+               if (rule.lhs, rule.rhs) not in fresh_keys]
+    kept = len(fresh) - len(added)
+    return RefreshReport(fresh, added, removed, kept)

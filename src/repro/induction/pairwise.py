@@ -1,0 +1,180 @@
+"""The rule-induction algorithm of Section 5.2.1.
+
+Four steps, for the rule scheme X --> Y over a source of (X, Y) pairs:
+
+1. retrieve the distinct (X, Y) pairs (``retrieve into S unique``);
+2. remove pairs whose X maps to multiple Y values (the self-join into T
+   followed by the delete);
+3. construct one rule ``if x1 <= X <= x2 then Y = y`` per maximal value
+   range (see :mod:`repro.induction.runs`);
+4. prune rules with support below ``N_c``.
+
+Steps 1-2 can execute on either of two equivalent paths:
+
+* :func:`extract_pairs_native` -- plain Python over the relation rows;
+* :func:`extract_pairs_quel` -- the literal QUEL statements the paper
+  prints, run through :class:`repro.quel.QuelSession`.
+
+Both produce a :class:`PairExtraction`; a test pins their equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, NamedTuple
+
+from repro.errors import InductionError
+from repro.induction.config import InductionConfig
+from repro.induction.runs import build_runs
+from repro.quel.interpreter import QuelSession
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.rules.clause import AttributeRef, Clause, Interval
+from repro.rules.rule import Rule
+
+#: Temporary relation names used by the QUEL execution path (INGRES-style
+#: working relations; dropped after extraction).
+_QUEL_S = "_ILS_S"
+_QUEL_T = "_ILS_T"
+
+
+class PairExtraction(NamedTuple):
+    """Steps 1-2 output, ready for run construction."""
+
+    occurring_x: tuple           #: sorted distinct non-NULL X values
+    mapping: dict                #: consistent X -> Y
+    removed: frozenset           #: X values removed as inconsistent
+    counts: dict                 #: X -> source row count (consistent X only)
+    source_size: int             #: rows considered (non-NULL X)
+
+
+def extract_pairs_native(pairs: Iterable[tuple[Any, Any]]) -> PairExtraction:
+    """Run steps 1-2 natively over raw (x, y) pairs.
+
+    Rows with NULL X are unusable for range construction and are
+    skipped; rows with NULL Y keep their X in the occurring set (they
+    break runs) but never produce a mapping.
+    """
+    ys_by_x: dict[Any, set] = {}
+    counts: dict[Any, int] = {}
+    source_size = 0
+    null_y_xs: set = set()
+    for x, y in pairs:
+        if x is None:
+            continue
+        source_size += 1
+        if y is None:
+            null_y_xs.add(x)
+            continue
+        ys_by_x.setdefault(x, set()).add(y)
+        counts[x] = counts.get(x, 0) + 1
+
+    removed = frozenset(x for x, ys in ys_by_x.items() if len(ys) > 1)
+    mapping = {x: next(iter(ys)) for x, ys in ys_by_x.items()
+               if len(ys) == 1}
+    occurring = sorted(set(ys_by_x) | null_y_xs)
+    consistent_counts = {x: n for x, n in counts.items() if x in mapping}
+    return PairExtraction(tuple(occurring), mapping, removed,
+                          consistent_counts, source_size)
+
+
+def extract_pairs_quel(database: Database, relation_name: str,
+                       x_column: str, y_column: str) -> PairExtraction:
+    """Run steps 1-2 through the QUEL interpreter, using the statements
+    printed in Section 5.2.1 verbatim (modulo attribute names)."""
+    session = QuelSession(database)
+    session.execute(f"range of r is {relation_name}")
+    session.execute(
+        f"retrieve into {_QUEL_S} unique (r.{y_column}, r.{x_column}) "
+        f"sort by r.{y_column}")
+    session.execute(f"range of s is {_QUEL_S}")
+    session.execute(
+        f"retrieve into {_QUEL_T} unique (s.{y_column}, s.{x_column}) "
+        f"where (r.{x_column} = s.{x_column} "
+        f"and r.{y_column} != s.{y_column})")
+    session.execute(f"range of t is {_QUEL_T}")
+    session.execute(
+        f"delete s where (s.{x_column} = t.{x_column} "
+        f"and s.{y_column} = t.{y_column})")
+
+    survivors = database.relation(_QUEL_S)
+    removed_rel = database.relation(_QUEL_T)
+    # NULL X cannot anchor a range; NULL Y classifies nothing.  (INGRES
+    # would keep such pairs in S; the native path drops them, so drop
+    # them here too.)
+    mapping = {
+        survivors.value(row, x_column): survivors.value(row, y_column)
+        for row in survivors
+        if survivors.value(row, x_column) is not None
+        and survivors.value(row, y_column) is not None}
+    removed = frozenset(removed_rel.value(row, x_column)
+                        for row in removed_rel)
+
+    source = database.relation(relation_name)
+    counts: dict[Any, int] = {}
+    occurring: set = set()
+    source_size = 0
+    x_position = source.schema.position(x_column)
+    y_position = source.schema.position(y_column)
+    for row in source:
+        x = row[x_position]
+        if x is None:
+            continue
+        source_size += 1
+        occurring.add(x)
+        if row[y_position] is not None and x in mapping:
+            counts[x] = counts.get(x, 0) + 1
+
+    database.drop(_QUEL_S)
+    database.drop(_QUEL_T)
+    return PairExtraction(tuple(sorted(occurring)), mapping, removed,
+                          counts, source_size)
+
+
+def induce_from_pairs(extraction: PairExtraction,
+                      x_ref: AttributeRef, y_ref: AttributeRef,
+                      config: InductionConfig,
+                      relation_size: int | None = None) -> list[Rule]:
+    """Steps 3-4: build value-range rules and prune by support."""
+    runs = build_runs(extraction.occurring_x, extraction.mapping,
+                      extraction.removed, extraction.counts,
+                      break_on_removed=config.break_on_removed)
+    threshold = config.threshold_for(
+        relation_size if relation_size is not None
+        else extraction.source_size)
+    rules = []
+    for run in runs:
+        if run.support(config.support_metric) < threshold:
+            continue
+        rules.append(Rule(
+            [Clause(x_ref, Interval.closed(run.low, run.high))],
+            Clause(y_ref, Interval.point(run.y)),
+            support=run.instances))
+    return rules
+
+
+def induce_scheme(relation: Relation, x_column: str, y_column: str,
+                  config: InductionConfig | None = None,
+                  x_ref: AttributeRef | None = None,
+                  y_ref: AttributeRef | None = None,
+                  database: Database | None = None) -> list[Rule]:
+    """Induce the full rule set for one scheme X --> Y over *relation*.
+
+    With ``config.use_quel`` the extraction runs through QUEL, which
+    requires *database* (the relation must be registered in it).
+    """
+    config = config or InductionConfig()
+    x_ref = x_ref or AttributeRef(relation.name, x_column)
+    y_ref = y_ref or AttributeRef(relation.name, y_column)
+    if config.use_quel:
+        if database is None:
+            raise InductionError(
+                "the QUEL induction path needs the owning database")
+        extraction = extract_pairs_quel(database, relation.name,
+                                        x_column, y_column)
+    else:
+        x_position = relation.schema.position(x_column)
+        y_position = relation.schema.position(y_column)
+        extraction = extract_pairs_native(
+            (row[x_position], row[y_position]) for row in relation)
+    return induce_from_pairs(extraction, x_ref, y_ref, config,
+                             relation_size=len(relation))

@@ -1,0 +1,45 @@
+"""Standalone pruning utilities (step 4 of the induction algorithm).
+
+Pruning normally happens inside :func:`repro.induction.pairwise.
+induce_from_pairs`; these helpers support the N_c ablation benchmark
+(E8): re-pruning an unpruned rule set at different thresholds without
+re-running extraction, and sweeping thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, NamedTuple
+
+from repro.rules.ruleset import RuleSet
+
+
+def prune_by_support(ruleset: RuleSet, n_c: float) -> RuleSet:
+    """Keep rules with support >= n_c (renumbered)."""
+    return ruleset.filtered(lambda rule: rule.support >= n_c)
+
+
+class SweepPoint(NamedTuple):
+    """One N_c sweep measurement."""
+
+    n_c: float
+    rules_kept: int
+    support_min: int | None
+    support_max: int | None
+
+
+def nc_sweep(induce_at: Callable[[float], RuleSet],
+             thresholds: Iterable[float]) -> list[SweepPoint]:
+    """Run induction (or re-pruning) at each threshold and summarize.
+
+    *induce_at* maps a threshold to the resulting rule set; it may
+    re-run the full ILS or just re-prune a cached N_c=0 rule set.
+    """
+    points: list[SweepPoint] = []
+    for threshold in thresholds:
+        ruleset = induce_at(threshold)
+        supports = [rule.support for rule in ruleset]
+        points.append(SweepPoint(
+            threshold, len(ruleset),
+            min(supports) if supports else None,
+            max(supports) if supports else None))
+    return points

@@ -1,0 +1,86 @@
+"""Value-range ("run") construction -- step 3 of the induction algorithm.
+
+"For each distinct value of Y in S, say y, determine the value range x
+of X ... A value range is defined as a consecutive sequence of X values
+that occur in the database."  Concretely: sort every X value occurring
+in the source, walk them in order, and emit a maximal run for each
+stretch that consistently maps to one Y value.  X values removed as
+inconsistent in step 2 break runs (the paper's INSTALL rules R14/R15/R16
+are three rules precisely because the classes between them were removed);
+this behaviour is the ``break_on_removed`` knob.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, NamedTuple, Sequence
+
+
+class ValueRun(NamedTuple):
+    """One maximal consecutive value range mapping to a single Y."""
+
+    y: Any
+    low: Any                 #: first X value of the run (inclusive)
+    high: Any                #: last X value of the run (inclusive)
+    xs: tuple                #: the X values the run covers, in order
+    instances: int           #: original rows satisfied (support, paper)
+    pairs: int               #: distinct (X, Y) pairs covered
+
+    def support(self, metric: str) -> int:
+        return self.instances if metric == "instances" else self.pairs
+
+
+def build_runs(occurring_x: Sequence[Any],
+               mapping: Mapping[Any, Any],
+               removed: frozenset | set,
+               counts: Mapping[Any, int],
+               break_on_removed: bool = True) -> list[ValueRun]:
+    """Construct maximal runs.
+
+    Parameters
+    ----------
+    occurring_x:
+        Every distinct X value occurring in the source relation, sorted
+        ascending (including values later removed as inconsistent).
+    mapping:
+        Consistent X -> Y mapping (step 2 output).
+    removed:
+        X values removed as inconsistent.
+    counts:
+        X -> number of original source rows carrying that X value.
+    break_on_removed:
+        Whether removed values close the current run.
+    """
+    runs: list[ValueRun] = []
+    current_y: Any = None
+    current_xs: list[Any] = []
+    current_instances = 0
+
+    def close() -> None:
+        nonlocal current_xs, current_instances, current_y
+        if current_xs:
+            runs.append(ValueRun(
+                current_y, current_xs[0], current_xs[-1],
+                tuple(current_xs), current_instances, len(current_xs)))
+        current_xs = []
+        current_instances = 0
+        current_y = None
+
+    for x in occurring_x:
+        if x in removed:
+            if break_on_removed:
+                close()
+            continue
+        if x not in mapping:
+            # X occurs in the source but produced no (X, Y) pair -- the
+            # Y value was NULL.  NULLs classify nothing; break the run.
+            close()
+            continue
+        y = mapping[x]
+        if current_xs and y != current_y:
+            close()
+        if not current_xs:
+            current_y = y
+        current_xs.append(x)
+        current_instances += counts.get(x, 1)
+    close()
+    return runs

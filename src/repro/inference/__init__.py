@@ -1,0 +1,37 @@
+"""The inference processor: *type inference* over induced rules.
+
+Given the query's conditions (as interval clauses), the engine
+
+* **forward-infers** (Modus Ponens): a rule fires when the condition on
+  each premise attribute is subsumed by the premise interval (widened by
+  declared attribute domains), yielding facts every answer satisfies --
+  "the intensional answer characterizes a set *containing* the
+  extensional answer";
+* **backward-infers**: a rule whose consequence lies inside an
+  established fact describes a *subset* of the answers -- "a set
+  *contained in* the extensional answer";
+* **combines** the two into the most specific characterization
+  (Example 3 of the paper).
+
+Attribute references are canonicalized through foreign-key equivalences
+from the KER schema and the query's own join conditions, which is how a
+condition on ``INSTALL.Sonar`` reaches rules written on ``SONAR.Sonar``.
+"""
+
+from repro.inference.facts import Canonicalizer, FactBase
+from repro.inference.answers import (
+    IntensionalAnswer, InferenceResult,
+)
+from repro.inference.engine import TypeInferenceEngine
+from repro.inference.explain import explain_inference
+from repro.inference.verification import verify_answers
+
+__all__ = [
+    "Canonicalizer",
+    "FactBase",
+    "IntensionalAnswer",
+    "InferenceResult",
+    "TypeInferenceEngine",
+    "explain_inference",
+    "verify_answers",
+]

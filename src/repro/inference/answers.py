@@ -1,0 +1,231 @@
+"""Intensional answers and their English rendering.
+
+Two answer kinds mirror Section 4's semantics:
+
+* ``forward`` -- a characterization every answer satisfies; the
+  characterized set *contains* the extensional answer.
+* ``backward`` -- a description of instances guaranteed to satisfy the
+  established facts; the characterized set is *contained in* (or, when
+  matched against forward-derived facts, approximates) the extensional
+  answer.
+
+:class:`InferenceResult` carries both lists plus the fact base, and
+composes them into a single combined sentence the way Example 3 does:
+the forward subtype facts, conjoined with the most informative backward
+premise -- where backward descriptions sharing a premise attribute are
+*intersected* (Example 3's ``0201..0215`` from R6 and ``0208..0215``
+from R16 combine to ``0208..0215``), and premise attributes that are
+classification attributes of the schema are preferred (Example 2 answers
+with the class range, not the displacement range).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.inference.backward import PartialDescription
+from repro.inference.forward import ForwardDerivation
+from repro.inference.facts import FactBase
+from repro.rules.clause import AttributeRef, Clause
+
+
+class IntensionalAnswer:
+    """One renderable intensional answer."""
+
+    def __init__(self, kind: str, clauses: Sequence[Clause],
+                 subtype: str | None = None,
+                 conclusion: Clause | None = None,
+                 via: Sequence[int | None] = (),
+                 approximate: bool = False):
+        self.kind = kind
+        self.clauses = tuple(clauses)
+        self.subtype = subtype
+        self.conclusion = conclusion
+        self.via = tuple(number for number in via if number is not None)
+        self.approximate = approximate
+
+    def _target(self) -> str:
+        if self.subtype:
+            return f"of type {self.subtype}"
+        return f"satisfying {self.conclusion.render()}"
+
+    def render(self) -> str:
+        via = ""
+        if self.via:
+            via = " [via " + ", ".join(f"R{n}" for n in self.via) + "]"
+        if self.kind == "forward":
+            return f"Every answer is {self._target()}.{via}"
+        premise = " and ".join(clause.render() for clause in self.clauses)
+        qualifier = ("approximate description" if self.approximate
+                     else "partial description")
+        return (f"Instances with {premise} are {self._target()} "
+                f"({qualifier}).{via}")
+
+    def __repr__(self) -> str:
+        return f"<IntensionalAnswer {self.render()}>"
+
+
+class InferenceResult:
+    """Everything the inference processor derived for one query."""
+
+    def __init__(self, conditions: Sequence[Clause],
+                 facts: FactBase,
+                 forward: Sequence[ForwardDerivation],
+                 backward: Sequence[PartialDescription],
+                 classification_attributes: Sequence[AttributeRef] = (),
+                 unsatisfiable: bool = False,
+                 propagations: Sequence = ()):
+        self.conditions = tuple(conditions)
+        self.facts = facts
+        self.forward = tuple(forward)
+        self.backward = tuple(backward)
+        #: bounds transferred through comparison constraints.
+        self.propagations = tuple(propagations)
+        #: True when the query conditions contradict each other: the
+        #: answer set is provably empty before touching the EDB.
+        self.unsatisfiable = unsatisfiable
+        self._classification = {
+            facts.canonicalizer.canon(ref).key
+            for ref in classification_attributes}
+
+    # -- answer lists ----------------------------------------------------
+
+    def forward_answers(self) -> list[IntensionalAnswer]:
+        out = []
+        for derivation in self.forward:
+            out.append(IntensionalAnswer(
+                "forward", derivation.rule.lhs,
+                subtype=derivation.rule.rhs_subtype,
+                conclusion=derivation.clause,
+                via=(derivation.rule.number,)))
+        return out
+
+    def backward_answers(self) -> list[IntensionalAnswer]:
+        out = []
+        for description in self.backward:
+            out.append(IntensionalAnswer(
+                "backward", description.rule.lhs,
+                subtype=description.rule.rhs_subtype,
+                conclusion=description.rule.rhs,
+                via=(description.rule.number,),
+                approximate=description.via_derived_fact))
+        return out
+
+    def answers(self) -> list[IntensionalAnswer]:
+        return self.forward_answers() + self.backward_answers()
+
+    def forward_subtypes(self) -> list[str]:
+        """Subtype names every answer was proven to belong to."""
+        out: list[str] = []
+        for derivation in self.forward:
+            subtype = derivation.rule.rhs_subtype
+            if subtype and subtype not in out:
+                out.append(subtype)
+        return out
+
+    # -- the combined sentence ------------------------------------------------
+
+    def _backward_groups(self) -> list[dict]:
+        """Single-premise backward descriptions grouped by (canonical)
+        premise attribute, premise intervals intersected."""
+        canon = self.facts.canonicalizer.canon
+        groups: dict[tuple[str, str], dict] = {}
+        order: list[tuple[str, str]] = []
+        for description in self.backward:
+            if len(description.rule.lhs) != 1:
+                continue
+            clause = description.rule.lhs[0]
+            key = canon(clause.attribute).key
+            if key not in groups:
+                groups[key] = {
+                    "attribute": clause.attribute,
+                    "interval": clause.interval,
+                    "rules": [description.rule],
+                    "support": description.rule.support,
+                    "classification": key in self._classification,
+                }
+                order.append(key)
+                continue
+            merged = groups[key]["interval"].intersect(clause.interval)
+            if merged is None:
+                continue  # disjoint descriptions cannot be conjoined
+            groups[key]["interval"] = merged
+            groups[key]["rules"].append(description.rule)
+            groups[key]["support"] = max(groups[key]["support"],
+                                         description.rule.support)
+        return [groups[key] for key in order]
+
+    def best_backward_description(self) -> dict | None:
+        """The most informative backward premise group: classification
+        attributes first, then most corroborating rules, then support."""
+        groups = self._backward_groups()
+        if not groups:
+            return None
+        return max(groups, key=lambda group: (
+            group["classification"], len(group["rules"]), group["support"]))
+
+    def combined_answer(self) -> str | None:
+        """One sentence merging the forward characterization with the
+        best backward description (Example 3's form), or ``None`` when
+        nothing was derived."""
+        if self.unsatisfiable:
+            condition = " and ".join(c.render() for c in self.conditions)
+            return ("The query conditions are contradictory; no "
+                    f"instance can satisfy {condition}.")
+        subtypes = self.forward_subtypes()
+        for derivation in self.forward:
+            if derivation.rule.rhs_subtype is None:
+                label = derivation.clause.render()
+                if label not in subtypes:
+                    subtypes.append(label)
+        best = self.best_backward_description()
+
+        if not subtypes and best is None:
+            return None
+        parts = []
+        if subtypes:
+            parts.append("Every answer is " + " and ".join(subtypes))
+        if best is not None:
+            premise = best["interval"].render(best["attribute"].render())
+            via = ", ".join(f"R{rule.number}" for rule in best["rules"]
+                            if rule.number is not None)
+            parts.append(
+                f"in particular, instances with {premise} qualify"
+                + (f" [{via}]" if via else ""))
+        condition = " and ".join(c.render() for c in self.conditions)
+        sentence = "; ".join(parts)
+        if condition:
+            sentence += f" (query condition: {condition})"
+        return sentence + "."
+
+    def summary(self) -> str:
+        """Multi-line report: conditions, derived facts, answers."""
+        lines = ["Query conditions:"]
+        for clause in self.conditions:
+            lines.append(f"  {clause.render()}")
+        if self.unsatisfiable:
+            lines.append(self.combined_answer())
+            return "\n".join(lines)
+        if self.propagations:
+            lines.append("Propagated bounds (via comparison constraints):")
+            for step in self.propagations:
+                lines.append(f"  {step.clause.render()} "
+                             f"[via {step.constraint.render()}]")
+        if self.forward:
+            lines.append("Forward inference (contains the answer set):")
+            for answer in self.forward_answers():
+                lines.append(f"  {answer.render()}")
+        if self.backward:
+            lines.append("Backward inference (subset descriptions):")
+            for answer in self.backward_answers():
+                lines.append(f"  {answer.render()}")
+        combined = self.combined_answer()
+        if combined:
+            lines.append(f"Combined: {combined}")
+        if not self.forward and not self.backward:
+            lines.append("No intensional answer derivable.")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<InferenceResult {len(self.forward)} forward, "
+                f"{len(self.backward)} backward>")

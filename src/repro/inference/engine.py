@@ -1,0 +1,108 @@
+"""The type-inference engine facade.
+
+Wires canonicalization, the fact base, forward chaining and backward
+matching into a single call::
+
+    engine = TypeInferenceEngine(ruleset, binding=binding)
+    result = engine.infer(conditions, equivalences=query_joins)
+    print(result.summary())
+
+*binding* is optional: without a KER schema the engine still chains over
+whatever rule set it is given (no foreign-key canonicalization, no
+domain widening) -- this is the configuration the Motro-style baseline
+uses with declared constraints only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import InferenceError
+from repro.inference.answers import InferenceResult
+from repro.inference.backward import backward_match
+from repro.inference.facts import Canonicalizer, FactBase
+from repro.inference.forward import forward_chain
+from repro.ker.binding import SchemaBinding
+from repro.rules.comparisons import propagate_bounds
+from repro.rules.clause import AttributeRef, Clause
+from repro.rules.ruleset import RuleSet
+
+
+class TypeInferenceEngine:
+    """Forward/backward type inference over a knowledge base."""
+
+    def __init__(self, rules: RuleSet,
+                 binding: SchemaBinding | None = None,
+                 extra_equivalences: Iterable[
+                     tuple[AttributeRef, AttributeRef]] = (),
+                 constraints: Iterable = ()):
+        self.rules = rules
+        self.binding = binding
+        #: inter-attribute comparison constraints (bound propagation).
+        self.constraints = list(constraints)
+        pairs = list(extra_equivalences)
+        if binding is not None:
+            pairs = binding.foreign_key_pairs() + pairs
+        self._base_canonicalizer = Canonicalizer(pairs)
+        self._domains = binding.domains() if binding is not None else {}
+        if binding is not None:
+            from repro.induction.candidates import classification_attributes
+            self._classification = tuple(classification_attributes(binding))
+        else:
+            self._classification = ()
+
+    def infer(self, conditions: Sequence[Clause],
+              equivalences: Iterable[tuple[AttributeRef, AttributeRef]] = (),
+              forward: bool = True, backward: bool = True
+              ) -> InferenceResult:
+        """Run type inference for the given query conditions.
+
+        Parameters
+        ----------
+        conditions:
+            Interval clauses extracted from the query qualification.
+        equivalences:
+            Extra attribute equivalences from the query's own equi-join
+            conditions (``SUBMARINE.CLASS = CLASS.CLASS``).
+        forward / backward:
+            Enable each direction (the paper uses them "individually or
+            combined").
+        """
+        canonicalizer = self._base_canonicalizer.copy()
+        for left, right in equivalences:
+            canonicalizer.unite(left, right)
+        facts = FactBase(canonicalizer, self._domains)
+        try:
+            for clause in conditions:
+                facts.add_condition(clause)
+        except InferenceError:
+            # Contradictory conditions: the query denotes the empty set.
+            # That *is* an intensional answer ("no instance can
+            # qualify"), not an execution failure.
+            return InferenceResult(conditions, facts, [], [],
+                                   classification_attributes=(
+                                       self._classification),
+                                   unsatisfiable=True)
+
+        derivations = []
+        propagations = []
+        if forward:
+            fired: set[int] = set()
+            for _round in range(20):
+                new_derivations = forward_chain(facts, self.rules,
+                                                fired=fired)
+                new_propagations = (
+                    propagate_bounds(facts, self.constraints)
+                    if self.constraints else [])
+                derivations.extend(new_derivations)
+                propagations.extend(new_propagations)
+                if not new_derivations and not new_propagations:
+                    break
+        else:
+            fired = set()
+        descriptions = (backward_match(facts, self.rules, exclude=fired)
+                        if backward else [])
+        return InferenceResult(conditions, facts, derivations, descriptions,
+                               classification_attributes=(
+                                   self._classification),
+                               propagations=propagations)

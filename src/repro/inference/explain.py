@@ -1,0 +1,72 @@
+"""Derivation traces for intensional answers.
+
+An intensional answer is only as trustworthy as its derivation; this
+module renders the inference record as a proof trace, e.g. for
+Example 1::
+
+    established: 8000 < CLASS.Displacement          (query condition)
+    R9 fires:    8000 < CLASS.Displacement is subsumed by
+                 7250 <= CLASS.Displacement <= 30000
+                 (domain CLASS.Displacement in [2000..30000])
+      => CLASS.Type = SSBN   (x isa SSBN)
+
+Backward descriptions are traced through the fact they matched.
+"""
+
+from __future__ import annotations
+
+from repro.inference.answers import InferenceResult
+
+
+def explain_inference(result: InferenceResult) -> str:
+    """Multi-line derivation trace for *result*."""
+    lines: list[str] = []
+
+    lines.append("Established from the query:")
+    if result.conditions:
+        for clause in result.conditions:
+            lines.append(f"  {clause.render()}")
+    else:
+        lines.append("  (no interval conditions)")
+
+    if result.forward:
+        lines.append("")
+        lines.append("Forward derivations (in firing order):")
+        for step, derivation in enumerate(result.forward, start=1):
+            rule = derivation.rule
+            number = f"R{rule.number}" if rule.number else "rule"
+            lines.append(f"  step {step}: {number} fires")
+            for premise, trigger in zip(rule.lhs, derivation.triggers):
+                domain = result.facts.domain_for(premise.attribute)
+                domain_note = ""
+                if domain is not None:
+                    domain_note = (
+                        f"  [domain {domain.render(premise.attribute.render())}]")
+                lines.append(
+                    f"    fact {trigger.render()} is subsumed by "
+                    f"premise {premise.render()}{domain_note}")
+            conclusion = derivation.clause.render()
+            if rule.rhs_subtype:
+                conclusion += f"   (x isa {rule.rhs_subtype})"
+            lines.append(f"    => {conclusion}")
+
+    if result.backward:
+        lines.append("")
+        lines.append("Backward matches:")
+        for description in result.backward:
+            rule = description.rule
+            number = f"R{rule.number}" if rule.number else "rule"
+            fact = result.facts.interval_for(rule.rhs.attribute)
+            origin = ("a derived fact" if description.via_derived_fact
+                      else "the query condition")
+            lines.append(
+                f"  {number}: consequence {rule.rhs.render()} lies "
+                f"inside {origin} "
+                f"({fact.render(rule.rhs.attribute.render())})")
+            premise = " and ".join(c.render() for c in rule.lhs)
+            lines.append(f"    hence instances with {premise} satisfy it")
+
+    if not result.forward and not result.backward:
+        lines.append("")
+        lines.append("No rule was applicable.")
+    return "\n".join(lines)

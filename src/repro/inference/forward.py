@@ -1,0 +1,80 @@
+"""Forward type inference (Modus Ponens over interval subsumption).
+
+"Using forward inference, we can traverse the type hierarchies of the
+object types specified in the query based on the query condition and the
+with constraints to derive intensional answers."  A rule fires when the
+established fact on each premise attribute is *subsumed by* the premise
+interval (the declared attribute domain widens the check: Displacement >
+8000 within a [2000..30000] domain is subsumed by [7250..30000]).  Fired
+rules add their consequences as new facts; chaining runs to fixpoint, so
+a derived ``SonarType = BQS`` can enable further rules.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.inference.facts import FactBase
+from repro.rules.clause import Clause
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+from repro.rules.subsumption import interval_subsumes
+
+
+class ForwardDerivation(NamedTuple):
+    """One forward-derived fact."""
+
+    rule: Rule
+    clause: Clause        #: the consequence asserted
+    narrowed: bool        #: whether it changed the fact base
+    #: snapshot of the established fact on each premise attribute at the
+    #: moment the rule fired (the subsumption witnesses) -- used by
+    #: :mod:`repro.inference.explain` to print derivation traces.
+    triggers: tuple = ()
+
+
+def rule_fires(rule: Rule, facts: FactBase) -> bool:
+    """Whether every premise of *rule* is implied by the current facts."""
+    for clause in rule.lhs:
+        fact = facts.interval_for(clause.attribute)
+        if fact is None:
+            return False
+        domain = facts.domain_for(clause.attribute)
+        if not interval_subsumes(clause.interval, fact, domain):
+            return False
+    return True
+
+
+def forward_chain(facts: FactBase, rules: RuleSet,
+                  max_iterations: int = 100,
+                  fired: set[int] | None = None
+                  ) -> list[ForwardDerivation]:
+    """Run forward inference to fixpoint; returns the derivations in
+    firing order.  Each rule fires at most once.
+
+    Passing *fired* lets the engine interleave chaining with bound
+    propagation without re-firing rules across rounds.
+    """
+    derivations: list[ForwardDerivation] = []
+    if fired is None:
+        fired = set()
+    for _round in range(max_iterations):
+        progressed = False
+        for rule in rules:
+            if id(rule) in fired:
+                continue
+            if not rule_fires(rule, facts):
+                continue
+            fired.add(id(rule))
+            triggers = tuple(
+                Clause(premise.attribute,
+                       facts.interval_for(premise.attribute))
+                for premise in rule.lhs)
+            narrowed = facts.assert_interval(
+                rule.rhs.attribute, rule.rhs.interval, rule)
+            derivations.append(ForwardDerivation(
+                rule, rule.rhs, narrowed, triggers))
+            progressed = True
+        if not progressed:
+            break
+    return derivations

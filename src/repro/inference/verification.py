@@ -1,0 +1,125 @@
+"""Empirical verification of intensional answers against the extension.
+
+Section 4 states the two containment guarantees:
+
+* forward answers "characterize a set of instances *containing* the
+  extensional answer" -- every answer tuple satisfies every derived fact;
+* backward answers "characterize a set of answers *contained in* the
+  extensional answer" -- when matched against query-given facts, every
+  instance satisfying the description satisfies the matched fact.
+
+These are theorems of the inference procedure, but a production system
+wants to *check* them (and our property tests do).  This module turns a
+:class:`~repro.query.system.QueryResult` into a checked report.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, TYPE_CHECKING
+
+from repro.relational.relation import Relation
+from repro.rules.clause import AttributeRef
+
+if TYPE_CHECKING:  # avoid the query <-> inference import cycle
+    from repro.query.system import QueryResult
+
+
+class AnswerCheck(NamedTuple):
+    """One verified guarantee."""
+
+    kind: str          #: "forward" or "backward"
+    description: str
+    holds: bool
+    detail: str
+
+
+def _column_for(extensional: Relation, ref: AttributeRef) -> str | None:
+    """Best-effort match of an attribute reference to an output column
+    (the extensional answer's columns carry bare names)."""
+    if extensional.schema.has_column(ref.attribute):
+        return ref.attribute
+    return None
+
+
+def verify_forward_answers(result: QueryResult) -> list[AnswerCheck]:
+    """Check that every extensional tuple satisfies every forward-derived
+    fact whose attribute appears among the output columns."""
+    checks: list[AnswerCheck] = []
+    extensional = result.extensional
+    for derivation in result.inference.forward:
+        clause = derivation.clause
+        column = _column_for(extensional, clause.attribute)
+        if column is None:
+            checks.append(AnswerCheck(
+                "forward", derivation.rule.render(),
+                True, "not checkable: attribute not in output columns"))
+            continue
+        violating = [
+            row for row in extensional
+            if not clause.interval.contains_value(
+                extensional.value(row, column))]
+        checks.append(AnswerCheck(
+            "forward", derivation.rule.render(),
+            not violating,
+            f"{len(extensional) - len(violating)}/{len(extensional)} "
+            "tuples satisfy the derived fact"))
+    return checks
+
+
+def verify_backward_answers(result: QueryResult) -> list[AnswerCheck]:
+    """Check that each backward description (matched on a query-given
+    fact) denotes a subset of the extension, measured over the output
+    columns available."""
+    checks: list[AnswerCheck] = []
+    extensional = result.extensional
+    for description in result.inference.backward:
+        if description.via_derived_fact:
+            checks.append(AnswerCheck(
+                "backward", description.rule.render(),
+                True, "approximate (matched a derived fact); "
+                      "no containment guarantee to check"))
+            continue
+        columns = [(_column_for(extensional, clause.attribute), clause)
+                   for clause in description.rule.lhs]
+        if any(column is None for column, _clause in columns):
+            checks.append(AnswerCheck(
+                "backward", description.rule.render(),
+                True, "not checkable: premise attribute not in output"))
+            continue
+        described = [
+            row for row in extensional
+            if all(clause.interval.contains_value(
+                extensional.value(row, column))
+                for column, clause in columns)]
+        checks.append(AnswerCheck(
+            "backward", description.rule.render(),
+            True,
+            f"description covers {len(described)}/{len(extensional)} "
+            "extensional tuples (a subset, possibly proper)"))
+    return checks
+
+
+class VerificationReport(NamedTuple):
+    """All checks for one query."""
+
+    checks: list[AnswerCheck]
+
+    @property
+    def all_hold(self) -> bool:
+        return all(check.holds for check in self.checks)
+
+    def render(self) -> str:
+        lines = []
+        for check in self.checks:
+            mark = "ok " if check.holds else "FAIL"
+            lines.append(f"[{mark}] ({check.kind}) {check.description}")
+            lines.append(f"       {check.detail}")
+        lines.append("all guarantees hold" if self.all_hold
+                     else "GUARANTEE VIOLATED")
+        return "\n".join(lines)
+
+
+def verify_answers(result: QueryResult) -> VerificationReport:
+    """Run every check for *result*."""
+    return VerificationReport(
+        verify_forward_answers(result) + verify_backward_answers(result))

@@ -1,0 +1,44 @@
+"""The Knowledge-based Entity-Relationship (KER) model.
+
+KER extends the ER model with three constructs (Section 2):
+
+* ``has/with`` -- aggregation: object types own typed attributes, with
+  constraint knowledge attached (``with Displacement in [2000..30000]``).
+* ``isa/with`` and ``contains/with`` -- generalization/specialization:
+  subtype links carrying derivation specifications
+  (``SSBN isa SUBMARINE with ShipType = "SSBN"``).
+* ``has-instance`` -- classification: tuples of the bound relation are
+  the instances of the type.
+
+This package provides the model objects (:mod:`repro.ker.model`), the
+with-constraint varieties (:mod:`repro.ker.constraints`), a parser for
+the Appendix A DDL (:mod:`repro.ker.ddl`), text diagram rendering
+(:mod:`repro.ker.diagram`), and the binding of a KER schema onto a
+relational database (:mod:`repro.ker.binding`).
+"""
+
+from repro.ker.model import (
+    Attribute, Domain, KerSchema, ObjectType, SubtypeLink,
+)
+from repro.ker.constraints import (
+    ClassificationRule, ConstraintRule, DomainRangeConstraint,
+)
+from repro.ker.ddl import parse_ker
+from repro.ker.binding import SchemaBinding
+from repro.ker.analysis import Finding, analyze_binding, analyze_schema
+
+__all__ = [
+    "Attribute",
+    "Domain",
+    "KerSchema",
+    "ObjectType",
+    "SubtypeLink",
+    "ClassificationRule",
+    "ConstraintRule",
+    "DomainRangeConstraint",
+    "parse_ker",
+    "SchemaBinding",
+    "Finding",
+    "analyze_binding",
+    "analyze_schema",
+]

@@ -1,0 +1,204 @@
+"""Schema diagnostics: a linter for KER models.
+
+The KER constructs carry semantic commitments -- ``contains`` declares
+*disjoint* subtypes, derivation specs ground ``isa`` conclusions,
+object-typed attribute domains are foreign keys.  This module checks
+them, statically (:func:`analyze_schema`) and against a bound database
+(:func:`analyze_binding`).  The checks caught two classes of authoring
+mistakes while building the ship test bed, so they ship as a tool.
+
+Finding codes
+-------------
+``no-derivation``        subtype has no derivation specification
+``overlap``              sibling derivation specs overlap (contains
+                         promises disjointness)
+``uncovered-value``      a data value of a classification attribute
+                         belongs to no sibling subtype
+``dangling-domain``      attribute references an unknown domain/type
+``foreign-key-orphan``   referencing value absent from the target key
+``range-violation``      declared range constraint violated by data
+``cross-type-conclusion`` structure rule concludes into a subtype of a
+                         different hierarchy than its variable's type
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import KerError
+from repro.ker.binding import SchemaBinding
+from repro.ker.model import KerSchema
+from repro.relational.indexes import HashIndex
+
+
+class Finding(NamedTuple):
+    """One diagnostic."""
+
+    severity: str      #: "error" or "warning"
+    code: str
+    subject: str       #: type/attribute the finding is about
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.severity}] {self.code} ({self.subject}): " \
+               f"{self.message}"
+
+
+def analyze_schema(schema: KerSchema) -> list[Finding]:
+    """Static checks (no database needed)."""
+    findings: list[Finding] = []
+    findings.extend(_check_derivations(schema))
+    findings.extend(_check_sibling_overlap(schema))
+    findings.extend(_check_domains(schema))
+    findings.extend(_check_rule_conclusions(schema))
+    return findings
+
+
+def analyze_binding(binding: SchemaBinding) -> list[Finding]:
+    """Static checks plus data-level checks."""
+    findings = analyze_schema(binding.schema)
+    findings.extend(_check_foreign_keys(binding))
+    findings.extend(_check_ranges(binding))
+    findings.extend(_check_coverage(binding))
+    return findings
+
+
+# -- static checks ----------------------------------------------------------
+
+
+def _check_derivations(schema: KerSchema) -> list[Finding]:
+    out = []
+    for link in schema.links():
+        if not link.membership:
+            out.append(Finding(
+                "warning", "no-derivation", link.child,
+                f"subtype of {link.parent} has no derivation "
+                "specification; it cannot appear in rule conclusions"))
+    return out
+
+
+def _check_sibling_overlap(schema: KerSchema) -> list[Finding]:
+    out = []
+    for parent in list(schema.object_types.values()):
+        children = schema.children_of(parent.name)
+        for index, left_name in enumerate(children):
+            for right_name in children[index + 1:]:
+                left = schema.membership_clauses(left_name)
+                right = schema.membership_clauses(right_name)
+                if len(left) != 1 or len(right) != 1:
+                    continue
+                if left[0].attribute != right[0].attribute:
+                    continue
+                if left[0].interval.overlaps(right[0].interval):
+                    out.append(Finding(
+                        "error", "overlap", f"{left_name}/{right_name}",
+                        f"derivation specs overlap on "
+                        f"{left[0].attribute.render()}; contains "
+                        "declares disjoint subtypes"))
+    return out
+
+
+def _check_domains(schema: KerSchema) -> list[Finding]:
+    out = []
+    for object_type in schema.object_types.values():
+        for attribute in object_type.attributes:
+            try:
+                schema.resolve_datatype(attribute.domain)
+            except KerError:
+                out.append(Finding(
+                    "error", "dangling-domain",
+                    f"{object_type.name}.{attribute.name}",
+                    f"references unknown domain {attribute.domain!r}"))
+    return out
+
+
+def _check_rule_conclusions(schema: KerSchema) -> list[Finding]:
+    out = []
+    for object_type in schema.object_types.values():
+        for rule in object_type.classification_rules:
+            role_type = rule.role_type(rule.conclusion_variable)
+            if role_type is None:
+                continue
+            if not schema.has_object_type(rule.subtype):
+                out.append(Finding(
+                    "error", "cross-type-conclusion",
+                    object_type.name,
+                    f"rule concludes into undeclared subtype "
+                    f"{rule.subtype!r}"))
+                continue
+            if not schema.is_subtype_of(rule.subtype, role_type):
+                out.append(Finding(
+                    "warning", "cross-type-conclusion",
+                    object_type.name,
+                    f"rule binds {rule.conclusion_variable} isa "
+                    f"{role_type} but concludes {rule.subtype} (a "
+                    f"subtype of "
+                    f"{schema.parent_of(rule.subtype) or '?'}); the "
+                    "conclusion classifies through the membership "
+                    "attribute instead"))
+    return out
+
+
+# -- data-level checks --------------------------------------------------------
+
+
+def _check_foreign_keys(binding: SchemaBinding) -> list[Finding]:
+    out = []
+    for source, target in binding.foreign_key_pairs():
+        source_relation = binding.database.relation(source.relation)
+        target_relation = binding.database.relation(target.relation)
+        index = HashIndex(target_relation, target.attribute)
+        orphans = sorted({
+            value for value in source_relation.column_values(
+                source.attribute)
+            if value is not None and value not in index})
+        if orphans:
+            shown = ", ".join(str(o) for o in orphans[:5])
+            out.append(Finding(
+                "error", "foreign-key-orphan", source.render(),
+                f"{len(orphans)} value(s) missing from "
+                f"{target.render()}: {shown}"))
+    return out
+
+
+def _check_ranges(binding: SchemaBinding) -> list[Finding]:
+    return [Finding("error", "range-violation", "instance", message)
+            for message in binding.validate_instances()]
+
+
+def _check_coverage(binding: SchemaBinding) -> list[Finding]:
+    """Every observed value of a classification attribute should fall
+    into some sibling subtype's derivation spec."""
+    out = []
+    schema = binding.schema
+    for parent in list(schema.object_types.values()):
+        children = schema.children_of(parent.name)
+        if not children:
+            continue
+        # Group single-clause memberships by attribute.
+        by_attribute: dict = {}
+        for child in children:
+            membership = schema.membership_clauses(child)
+            if len(membership) == 1:
+                by_attribute.setdefault(
+                    membership[0].attribute, []).append(
+                        (child, membership[0]))
+        for attribute, entries in by_attribute.items():
+            relation_name = attribute.relation
+            if relation_name not in binding.database:
+                continue
+            relation = binding.database.relation(relation_name)
+            if not relation.schema.has_column(attribute.attribute):
+                continue
+            for value in sorted(set(
+                    relation.column_values(attribute.attribute))):
+                if value is None:
+                    continue
+                if not any(clause.satisfied_by(value)
+                           for _child, clause in entries):
+                    out.append(Finding(
+                        "warning", "uncovered-value",
+                        attribute.render(),
+                        f"value {value!r} belongs to no subtype of "
+                        f"{parent.name}"))
+    return out

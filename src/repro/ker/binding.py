@@ -1,0 +1,243 @@
+"""Binding a KER schema onto a relational database.
+
+The KER model is conceptual; the EDB is relational.  The binding
+resolves, for every object type, which relation stores its instances
+(subtypes are *virtual* -- their instances live in an ancestor's
+relation, distinguished by the derivation spec), and derives the three
+knowledge artifacts the inference processor consumes:
+
+* ``domains()`` -- declared value ranges per attribute (used to widen
+  subsumption tests, Section 4's ``Displacement > 8000`` example);
+* ``foreign_key_pairs()`` -- attribute equivalences induced by object-
+  typed attribute domains (``INSTALL.Ship`` *is* a ``SUBMARINE.Id``);
+* ``schema_rules()`` -- the declared with-constraint rules, normalized
+  to :class:`repro.rules.Rule` (this is exactly the knowledge the
+  integrity-constraint baseline of Motro-style answering has available).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import KerError
+from repro.relational.database import Database
+from repro.relational.datatypes import DataType
+from repro.rules.clause import AttributeRef, Clause, Interval
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+from repro.ker.model import Attribute, KerSchema
+
+
+class SchemaBinding:
+    """A KER schema bound to a database instance."""
+
+    def __init__(self, schema: KerSchema, database: Database,
+                 relation_map: Mapping[str, str] | None = None):
+        self.schema = schema
+        self.database = database
+        self._relation_map = {
+            key.lower(): value
+            for key, value in (relation_map or {}).items()}
+        self.check()
+
+    # -- resolution ------------------------------------------------------
+
+    def relation_name_of(self, type_name: str) -> str | None:
+        """The relation backing *type_name*, walking up the hierarchy for
+        virtual subtypes; ``None`` when no ancestor is backed either."""
+        current: str | None = type_name
+        while current is not None:
+            mapped = self._relation_map.get(current.lower(), current)
+            if mapped in self.database:
+                return self.database.relation(mapped).name
+            current = self.schema.parent_of(current)
+        return None
+
+    def is_backed(self, type_name: str) -> bool:
+        mapped = self._relation_map.get(type_name.lower(), type_name)
+        return mapped in self.database
+
+    def attribute_ref(self, type_name: str, attribute: str) -> AttributeRef:
+        """Relation-qualified reference for *attribute* of *type_name*.
+
+        The owning type is the nearest type in the supertype chain that
+        declares the attribute; the reference uses that type's relation.
+        """
+        chain = [type_name] + self.schema.ancestor_names(type_name)
+        for candidate in chain:
+            if self.schema.object_type(candidate).has_attribute(attribute):
+                relation = self.relation_name_of(candidate)
+                if relation is None:
+                    raise KerError(
+                        f"type {candidate} (owner of {attribute!r}) has "
+                        "no backing relation")
+                return AttributeRef(relation, attribute)
+        raise KerError(
+            f"type {type_name} has no attribute {attribute!r}")
+
+    # -- checks ----------------------------------------------------------------
+
+    def check(self) -> None:
+        """Verify that every backed type's attributes exist with
+        compatible columns."""
+        for object_type in self.schema.object_types.values():
+            if not self.is_backed(object_type.name):
+                continue
+            relation = self.database.relation(
+                self._relation_map.get(object_type.name.lower(),
+                                       object_type.name))
+            for attribute in object_type.attributes:
+                if not relation.schema.has_column(attribute.name):
+                    raise KerError(
+                        f"relation {relation.name} lacks column "
+                        f"{attribute.name!r} declared on type "
+                        f"{object_type.name}")
+                declared = self._datatype_of(attribute)
+                actual = relation.schema.column(attribute.name).datatype
+                if declared is not None and type(declared) is not type(
+                        actual) and not (
+                            declared.is_numeric() and actual.is_numeric()):
+                    raise KerError(
+                        f"column {relation.name}.{attribute.name} is "
+                        f"{actual.render()} but the schema declares "
+                        f"{declared.render()}")
+
+    def _datatype_of(self, attribute: Attribute) -> DataType | None:
+        try:
+            return self.schema.resolve_datatype(attribute.domain)
+        except KerError:
+            return None
+
+    def validate_instances(self) -> list[str]:
+        """Check declared range constraints against the data; returns a
+        list of violation descriptions (empty when the EDB conforms)."""
+        violations: list[str] = []
+        for object_type in self.schema.object_types.values():
+            if not self.is_backed(object_type.name):
+                continue
+            relation = self.database.relation(object_type.name)
+            for constraint in object_type.range_constraints:
+                position = relation.schema.position(constraint.attribute)
+                for row in relation:
+                    value = row[position]
+                    if value is None:
+                        continue
+                    if constraint.interval is not None and not (
+                            constraint.interval.contains_value(value)):
+                        violations.append(
+                            f"{relation.name}.{constraint.attribute} = "
+                            f"{value!r} violates {constraint.render()}")
+                    if constraint.values is not None and value not in (
+                            constraint.values):
+                        violations.append(
+                            f"{relation.name}.{constraint.attribute} = "
+                            f"{value!r} not in the declared value set")
+        return violations
+
+    # -- knowledge artifacts ----------------------------------------------------
+
+    def domains(self) -> dict[AttributeRef, Interval]:
+        """Declared interval per attribute, from with-range constraints
+        and (derived) domain ranges."""
+        out: dict[AttributeRef, Interval] = {}
+        for object_type in self.schema.object_types.values():
+            relation = self.relation_name_of(object_type.name)
+            if relation is None:
+                continue
+            for constraint in object_type.range_constraints:
+                if constraint.interval is not None:
+                    out[AttributeRef(relation, constraint.attribute)] = (
+                        constraint.interval)
+            for attribute in object_type.attributes:
+                ref = AttributeRef(relation, attribute.name)
+                if ref in out:
+                    continue
+                if isinstance(attribute.domain, str):
+                    interval = self.schema.domain_interval(attribute.domain)
+                    if interval is not None:
+                        out[ref] = interval
+        return out
+
+    def foreign_key_pairs(self) -> list[tuple[AttributeRef, AttributeRef]]:
+        """(referencing attribute, referenced key attribute) pairs from
+        object-typed attribute domains."""
+        pairs: list[tuple[AttributeRef, AttributeRef]] = []
+        for object_type in self.schema.object_types.values():
+            relation = self.relation_name_of(object_type.name)
+            if relation is None:
+                continue
+            for attribute in object_type.attributes:
+                target_name = self._referenced_type(attribute)
+                if target_name is None:
+                    continue
+                target = self.schema.object_type(target_name)
+                keys = target.key_attributes()
+                if len(keys) != 1:
+                    continue
+                target_relation = self.relation_name_of(target.name)
+                if target_relation is None:
+                    continue
+                pairs.append((
+                    AttributeRef(relation, attribute.name),
+                    AttributeRef(target_relation, keys[0].name)))
+        return pairs
+
+    def _referenced_type(self, attribute: Attribute) -> str | None:
+        domain = attribute.domain
+        if not isinstance(domain, str):
+            return None
+        if self.schema.has_object_type(domain):
+            return domain
+        named = self.schema.domain(domain)
+        if named is not None and named.object_type:
+            return named.object_type
+        return None
+
+    def schema_rules(self) -> RuleSet:
+        """Declared with-constraint rules as a normalized rule set."""
+        ruleset = RuleSet()
+        for object_type in self.schema.object_types.values():
+            relation = self.relation_name_of(object_type.name)
+            if relation is None:
+                continue
+            for constraint_rule in object_type.constraint_rules:
+                lhs = [Clause(self.attribute_ref(object_type.name, name),
+                              interval)
+                       for name, interval in constraint_rule.premises]
+                rhs = Clause(
+                    self.attribute_ref(
+                        object_type.name,
+                        constraint_rule.conclusion_attribute),
+                    constraint_rule.conclusion)
+                subtype = self.schema.subtype_for_clause(rhs)
+                ruleset.add(Rule(lhs, rhs, rhs_subtype=subtype,
+                                 source="schema"))
+            for classification in object_type.classification_rules:
+                rule = self._classification_to_rule(
+                    object_type.name, classification)
+                if rule is not None:
+                    ruleset.add(rule)
+        return ruleset
+
+    def _classification_to_rule(self, owner: str, classification
+                                ) -> Rule | None:
+        roles = {variable.lower(): type_name
+                 for variable, type_name in classification.roles}
+        lhs = []
+        for variable, attribute, interval in classification.premises:
+            type_name = roles.get(variable.lower(), owner)
+            lhs.append(Clause(
+                self.attribute_ref(type_name, attribute), interval))
+        membership = self.schema.membership_clauses(classification.subtype)
+        if len(membership) != 1:
+            # A conclusion subtype without a one-clause derivation spec
+            # cannot be expressed as a Horn consequence; Appendix B gives
+            # every concluded subtype one, so reaching here means the
+            # schema author left the derivation out.
+            raise KerError(
+                f"subtype {classification.subtype!r} needs a single-"
+                "clause derivation spec to appear in a rule conclusion")
+        if not lhs:
+            return None
+        return Rule(lhs, membership[0],
+                    rhs_subtype=classification.subtype, source="schema")

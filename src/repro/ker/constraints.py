@@ -1,0 +1,156 @@
+"""With-constraint varieties.
+
+Appendix A distinguishes three constraint forms attachable to a KER
+definition:
+
+* *domain range constraints* -- ``Displacement in [2000..30000]``;
+* *constraint rules* -- ``if "0101" <= Class <= "0103" then Type = "SSBN"``;
+* *structure rules* -- ``if x isa SUBMARINE and x.Displacement >= 7250
+  then x isa SSBN`` (the conclusion names a subtype rather than an
+  attribute value).
+
+Constraint and structure rules normalize to :class:`repro.rules.Rule`
+values once the schema is bound to a database (see
+:meth:`repro.ker.binding.SchemaBinding.schema_rules`); structure rules
+keep the subtype name so intensional answers can speak in type terms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.rules.clause import Interval
+
+
+def render_interval_ddl(interval: Interval, name: str) -> str:
+    """Interval rendering for DDL output: string bounds are quoted (the
+    Appendix B convention), so the text re-parses with the right types.
+    """
+    def fmt(value):
+        if isinstance(value, str):
+            return '"' + value.replace('"', '\\"') + '"'
+        return str(value)
+
+    if interval.is_point():
+        return f"{name} = {fmt(interval.low)}"
+    parts = []
+    if interval.low is not None:
+        parts.append(f"{fmt(interval.low)} "
+                     f"{'<' if interval.low_open else '<='} {name}")
+    if interval.high is not None:
+        if parts:
+            parts[0] += (f" {'<' if interval.high_open else '<='} "
+                         f"{fmt(interval.high)}")
+        else:
+            parts.append(f"{name} {'<' if interval.high_open else '<='} "
+                         f"{fmt(interval.high)}")
+    return parts[0] if parts else f"{name} is anything"
+
+
+class DomainRangeConstraint:
+    """``attribute in [low..high]`` (or a value-set constraint)."""
+
+    def __init__(self, attribute: str, interval: Interval | None = None,
+                 values: Sequence | None = None):
+        self.attribute = attribute
+        self.interval = interval
+        self.values = tuple(values) if values is not None else None
+
+    def render(self) -> str:
+        if self.interval is not None:
+            low = self.interval.low if self.interval.low is not None else ""
+            high = (self.interval.high
+                    if self.interval.high is not None else "")
+            lo_bracket = "(" if self.interval.low_open else "["
+            hi_bracket = ")" if self.interval.high_open else "]"
+            return (f"{self.attribute} in "
+                    f"{lo_bracket}{low}..{high}{hi_bracket}")
+        return (f"{self.attribute} in set of "
+                "{" + ", ".join(str(v) for v in self.values or ()) + "}")
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, DomainRangeConstraint)
+                and self.attribute.lower() == other.attribute.lower()
+                and self.interval == other.interval
+                and self.values == other.values)
+
+    def __repr__(self) -> str:
+        return f"<DomainRangeConstraint {self.render()}>"
+
+
+class ConstraintRule:
+    """``if <clauses on own attributes> then <attribute> = <constant>``.
+
+    Attribute names are unqualified here (they refer to the enclosing
+    object type); binding qualifies them with the backing relation.
+    """
+
+    def __init__(self, premises: Sequence[tuple[str, Interval]],
+                 conclusion_attribute: str, conclusion: Interval):
+        self.premises = tuple(premises)
+        self.conclusion_attribute = conclusion_attribute
+        self.conclusion = conclusion
+
+    def render(self) -> str:
+        premise = " and ".join(render_interval_ddl(interval, name)
+                               for name, interval in self.premises)
+        return (f"if {premise} then "
+                + render_interval_ddl(self.conclusion,
+                                      self.conclusion_attribute))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ConstraintRule)
+                and self.premises == other.premises
+                and self.conclusion_attribute.lower()
+                == other.conclusion_attribute.lower()
+                and self.conclusion == other.conclusion)
+
+    def __repr__(self) -> str:
+        return f"<ConstraintRule {self.render()}>"
+
+
+class ClassificationRule:
+    """A structure rule: premises over role attributes conclude a subtype.
+
+    ``roles`` carries the role definitions ``variable isa TYPE``; each
+    premise is ``(variable, attribute, interval)`` and the conclusion is
+    ``(variable, subtype_name)``.  With a single role this is the Figure 5
+    form; with two roles it is the INSTALL inter-object form.
+    """
+
+    def __init__(self, roles: Sequence[tuple[str, str]],
+                 premises: Sequence[tuple[str, str, Interval]],
+                 conclusion_variable: str, subtype: str):
+        self.roles = tuple(roles)
+        self.premises = tuple(premises)
+        self.conclusion_variable = conclusion_variable
+        self.subtype = subtype
+
+    def role_type(self, variable: str) -> str | None:
+        for role_variable, type_name in self.roles:
+            if role_variable.lower() == variable.lower():
+                return type_name
+        return None
+
+    def render(self) -> str:
+        """Parseable structure-rule form (roles stated explicitly, the
+        Appendix A.5 shape)."""
+        roles = " and ".join(f"{variable} isa {type_name}"
+                             for variable, type_name in self.roles)
+        premise = " and ".join(
+            render_interval_ddl(interval, f"{variable}.{attribute}")
+            for variable, attribute, interval in self.premises)
+        body = " and ".join(part for part in (roles, premise) if part)
+        return (f"if {body} then "
+                f"{self.conclusion_variable} isa {self.subtype}")
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ClassificationRule)
+                and self.roles == other.roles
+                and self.premises == other.premises
+                and self.conclusion_variable.lower()
+                == other.conclusion_variable.lower()
+                and self.subtype.lower() == other.subtype.lower())
+
+    def __repr__(self) -> str:
+        return f"<ClassificationRule {self.render()}>"

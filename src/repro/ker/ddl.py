@@ -1,0 +1,445 @@
+"""Parser for the KER data-definition language of Appendix A.
+
+Accepted forms (matching Appendix B's usage)::
+
+    domain: SHIP_NAME isa NAME
+    domain: AGE isa integer range [0..200]
+
+    object type CLASS
+        has key: Class         domain: CHAR[4]
+        has:     ClassName     domain: CLASS_NAME
+        has:     Type          domain: type
+        has:     Displacement  domain: INTEGER
+        with
+            if "0101" <= Class <= "0103" then Type = "SSBN"
+            Displacement in [2000..30000]
+
+    CLASS contains SSBN, SSN
+        with
+            if x isa CLASS and 2145 <= x.Displacement <= 6955
+                then x isa SSN
+
+    SSBN isa CLASS with Type = "SSBN"
+
+Notes on lexical conventions, all documented deviations being paper-
+faithful readings rather than extensions:
+
+* identifiers may contain dashes (``BQS-04``, ``BQQ-2``), since Section 6
+  writes sonar designators unquoted inside rules;
+* an unquoted number with a leading zero (``0203``) denotes the *string*
+  ``"0203"`` -- ship classes are 4-character codes and the paper writes
+  them both quoted and bare;
+* comments ``/* ... */`` are skipped, so role declarations must be stated
+  in rule premises (the structure-rule form of Appendix A.5), not in
+  comments as the Figure 5 listing does;
+* a ``with`` block extends while the next token starts a constraint
+  (``if``, or ``<ident> in``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import KerError, ParseError
+from repro.langutil import Scanner, TokenStream, TokenKind
+from repro.langutil.tokens import Token
+from repro.ker.constraints import (
+    ClassificationRule, ConstraintRule, DomainRangeConstraint,
+)
+from repro.ker.model import (
+    Attribute, Domain, KerSchema, ObjectType,
+)
+from repro.relational.datatypes import char
+from repro.rules.clause import AttributeRef, Clause, Interval
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", ".",
+              "..", "[", "]", "{", "}", ":", ";")
+_SCANNER = Scanner(operators=_OPERATORS, ident_continue_dash=True)
+
+_COMPARISON_TOKENS = {"=": "=", "!=": "!=", "<>": "!=", "<": "<",
+                      "<=": "<=", ">": ">", ">=": ">="}
+
+_STANDARD = {"integer", "real", "string", "date"}
+
+
+def parse_ker(text: str, name: str = "schema") -> KerSchema:
+    """Parse KER DDL *text* into a fresh :class:`KerSchema`."""
+    parser = _Parser(TokenStream(_SCANNER.scan(text)), KerSchema(name))
+    parser.parse()
+    return parser.schema
+
+
+class _Parser:
+    def __init__(self, stream: TokenStream, schema: KerSchema):
+        self.stream = stream
+        self.schema = schema
+        #: (child, parent, clauses) gathered before all types exist
+        self._pending_isa: list[tuple[str, str,
+                                      list[tuple[str, Interval]]]] = []
+
+    def parse(self) -> None:
+        while not self.stream.at_end():
+            if self.stream.at_keyword("domain"):
+                self._domain_definition()
+            elif self.stream.at_keyword("object"):
+                self._object_type_definition()
+            elif self.stream.current.kind is TokenKind.IDENT:
+                self._hierarchy_definition()
+            else:
+                self.stream.fail("expected a KER definition")
+        self._resolve_pending_isa()
+
+    # -- domains ---------------------------------------------------------
+
+    def _domain_definition(self) -> None:
+        self.stream.expect_keyword("domain")
+        self.stream.accept_op(":")
+        name = self.stream.expect_ident("domain name").text
+        self.stream.expect_keyword("isa")
+        base, parent, object_type = self._domain_reference()
+        interval = None
+        values = None
+        if self.stream.accept_keyword("range"):
+            interval = self._range_literal()
+        elif self.stream.at_op("[") or self.stream.at_op("("):
+            interval = self._range_literal()
+        elif self.stream.accept_keyword("set"):
+            self.stream.expect_keyword("of")
+            values = self._set_literal()
+        self.schema.add_domain(Domain(
+            name, base=base, parent=parent, interval=interval,
+            values=values, object_type=object_type))
+
+    def _domain_reference(self):
+        """Returns (base datatype | None, parent name | None, object type
+        | None)."""
+        token = self.stream.expect_ident("domain reference")
+        word = token.text.lower()
+        if word == "char":
+            self.stream.expect_op("[")
+            width = self.stream.advance()
+            if width.kind is not TokenKind.NUMBER:
+                self.stream.fail("expected a char width")
+            self.stream.expect_op("]")
+            return char(int(width.value)), None, None
+        if word in _STANDARD:
+            from repro.relational.datatypes import (
+                INTEGER, REAL, DATE)
+            mapping = {"integer": INTEGER, "real": REAL, "date": DATE,
+                       "string": char(None)}
+            return mapping[word], None, None
+        if self.schema.has_object_type(token.text):
+            return None, None, token.text
+        return None, token.text, None
+
+    def _range_literal(self) -> Interval:
+        low_open = False
+        if self.stream.accept_op("("):
+            low_open = True
+        else:
+            self.stream.expect_op("[")
+        low = self._value()
+        self.stream.expect_op("..")
+        high = self._value()
+        high_open = False
+        if self.stream.accept_op(")"):
+            high_open = True
+        else:
+            self.stream.expect_op("]")
+        return Interval(low, high, low_open=low_open, high_open=high_open)
+
+    def _set_literal(self) -> list[Any]:
+        self.stream.expect_op("{")
+        values = [self._value()]
+        while self.stream.accept_op(","):
+            values.append(self._value())
+        self.stream.expect_op("}")
+        return values
+
+    def _value(self) -> Any:
+        token = self.stream.advance()
+        if token.kind is TokenKind.NUMBER:
+            return _number_value(token)
+        if token.kind in (TokenKind.STRING, TokenKind.IDENT):
+            return token.value
+        self.stream.fail("expected a value")
+        raise AssertionError("unreachable")
+
+    # -- object types ----------------------------------------------------------
+
+    def _object_type_definition(self) -> None:
+        self.stream.expect_keyword("object")
+        self.stream.expect_keyword("type")
+        name = self.stream.expect_ident("object type name").text
+        object_type = self.schema.ensure_object_type(name)
+        while self.stream.at_keyword("has"):
+            object_type.add_attribute(self._attribute())
+        if self.stream.accept_keyword("with"):
+            self._with_block(object_type)
+
+    def _attribute(self) -> Attribute:
+        self.stream.expect_keyword("has")
+        is_key = self.stream.accept_keyword("key")
+        self.stream.accept_op(":")
+        name = self.stream.expect_ident("attribute name").text
+        self.stream.expect_keyword("domain")
+        self.stream.accept_op(":")
+        base, parent, object_type = self._domain_reference()
+        if base is not None:
+            return Attribute(name, base, is_key=is_key)
+        return Attribute(name, object_type or parent, is_key=is_key)
+
+    # -- hierarchies -----------------------------------------------------------
+
+    def _hierarchy_definition(self) -> None:
+        name = self.stream.expect_ident("object type name").text
+        if self.stream.accept_keyword("contains"):
+            children = [self.stream.expect_ident("subtype name").text]
+            while self.stream.accept_op(","):
+                children.append(self.stream.expect_ident("subtype name").text)
+            parent = self.schema.ensure_object_type(name)
+            self.schema.declare_contains(name, children)
+            while self.stream.at_keyword("has"):
+                parent.add_attribute(self._attribute())
+            if self.stream.accept_keyword("with"):
+                self._with_block(parent)
+            return
+        if self.stream.accept_keyword("isa"):
+            parent = self.stream.expect_ident("supertype name").text
+            if not self.schema.has_object_type(parent):
+                self.stream.fail(
+                    f"supertype {parent!r} must be defined before "
+                    f"{name!r} (attribute names in the derivation spec "
+                    "are resolved against it)")
+            owner = self.schema.object_type(parent)
+            clauses: list[tuple[str, Interval]] = []
+            if self.stream.accept_keyword("with"):
+                clauses.append(self._membership_clause(owner))
+                while self.stream.accept_keyword("and"):
+                    clauses.append(self._membership_clause(owner))
+            self._pending_isa.append((name, parent, clauses))
+            return
+        self.stream.fail(f"expected 'contains' or 'isa' after {name!r}")
+
+    def _membership_clause(self, owner: ObjectType) -> tuple[str, Interval]:
+        """One derivation-spec clause: ``Attr = const`` or a chain."""
+        chain = self._comparison_chain(owner=owner, roles={})
+        if chain is None:
+            self.stream.fail("expected a derivation clause")
+        variable, attribute, interval = chain
+        if variable is not None:
+            self.stream.fail("derivation clauses must not use role "
+                             "variables")
+        return attribute, interval
+
+    def _resolve_pending_isa(self) -> None:
+        for child, parent, raw_clauses in self._pending_isa:
+            membership = []
+            for attribute, interval in raw_clauses:
+                owner = self._attribute_owner(parent, attribute)
+                membership.append(
+                    Clause(AttributeRef(owner, attribute), interval))
+            self.schema.add_subtype(child, parent, membership)
+
+    def _attribute_owner(self, type_name: str, attribute: str) -> str:
+        """Nearest type in *type_name*'s ancestor chain (self first)
+        declaring *attribute*."""
+        chain = [type_name] + self.schema.ancestor_names(type_name)
+        for candidate in chain:
+            if self.schema.object_type(candidate).has_attribute(attribute):
+                return candidate
+        raise KerError(
+            f"type {type_name} has no attribute {attribute!r} "
+            "(searched the supertype chain)")
+
+    # -- with-blocks -------------------------------------------------------------
+
+    def _with_block(self, object_type: ObjectType) -> None:
+        while True:
+            if self.stream.at_keyword("if"):
+                self._rule(object_type)
+                continue
+            if (self.stream.current.kind is TokenKind.IDENT
+                    and not self._starts_definition()
+                    and self.stream.peek().is_keyword("in")):
+                self._range_constraint(object_type)
+                continue
+            break
+
+    def _starts_definition(self) -> bool:
+        current = self.stream.current
+        if current.is_keyword("domain") or current.is_keyword("object"):
+            return True
+        nxt = self.stream.peek()
+        return nxt.is_keyword("contains") or nxt.is_keyword("isa")
+
+    def _range_constraint(self, object_type: ObjectType) -> None:
+        attribute = self.stream.expect_ident("attribute name").text
+        self.stream.expect_keyword("in")
+        if self.stream.accept_keyword("set"):
+            self.stream.expect_keyword("of")
+            values = self._set_literal()
+            object_type.range_constraints.append(
+                DomainRangeConstraint(attribute, values=values))
+            return
+        if self.stream.accept_keyword("range"):
+            pass
+        interval = self._range_literal()
+        if not object_type.has_attribute(attribute):
+            raise KerError(
+                f"range constraint on unknown attribute "
+                f"{object_type.name}.{attribute}")
+        object_type.range_constraints.append(
+            DomainRangeConstraint(attribute, interval=interval))
+
+    def _rule(self, object_type: ObjectType) -> None:
+        self.stream.expect_keyword("if")
+        roles: dict[str, str] = {}
+        premises: list[tuple[str | None, str, Interval]] = []
+        while True:
+            role = self._try_role_definition()
+            if role is not None:
+                variable, type_name = role
+                roles[variable.lower()] = type_name
+            else:
+                chain = self._comparison_chain(object_type, roles)
+                if chain is None:
+                    self.stream.fail("expected a rule premise")
+                premises.append(chain)
+            if not self.stream.accept_keyword("and"):
+                break
+        self.stream.expect_keyword("then")
+        # Conclusion: `x isa SUB` (structure) or `Attr = const` (value).
+        conclusion_role = self._try_role_definition()
+        if conclusion_role is not None:
+            variable, subtype = conclusion_role
+            variable = variable.lower()
+            # Unqualified premise attributes and undeclared role
+            # variables default to the enclosing object type (the
+            # Figure 5 listing relies on this, declaring its role only
+            # in a comment).
+            normalized = []
+            for premise_variable, attribute, interval in premises:
+                bound = (premise_variable or variable).lower()
+                roles.setdefault(bound, object_type.name)
+                normalized.append((bound, attribute, interval))
+            roles.setdefault(variable, object_type.name)
+            object_type.classification_rules.append(ClassificationRule(
+                sorted(roles.items()), normalized, variable, subtype))
+            return
+        chain = self._comparison_chain(object_type, roles)
+        if chain is None or not chain[2].is_point():
+            self.stream.fail("rule conclusion must be `attr = constant` "
+                             "or `var isa TYPE`")
+        _variable, attribute, interval = chain
+        object_type.constraint_rules.append(ConstraintRule(
+            [(a, i) for _v, a, i in premises], attribute, interval))
+
+    def _try_role_definition(self) -> tuple[str, str] | None:
+        """``variable isa TYPE`` lookahead."""
+        current = self.stream.current
+        if (current.kind is TokenKind.IDENT
+                and self.stream.peek().is_keyword("isa")):
+            variable = self.stream.advance().text
+            self.stream.expect_keyword("isa")
+            type_name = self.stream.expect_ident("object type name").text
+            return variable, type_name
+        return None
+
+    def _comparison_chain(self, owner: ObjectType | None,
+                          roles: dict[str, str]
+                          ) -> tuple[str | None, str, Interval] | None:
+        """Parse ``a <= x.Attr <= b``, ``Attr = c``, ``x.Attr >= c`` etc.
+
+        Returns ``(role variable | None, attribute name, interval)``.
+        """
+        first = self._operand(owner, roles)
+        op_token = self.stream.current
+        if (op_token.kind is not TokenKind.OP
+                or op_token.text not in _COMPARISON_TOKENS):
+            self.stream.fail("expected a comparison operator")
+        self.stream.advance()
+        op = _COMPARISON_TOKENS[op_token.text]
+        second = self._operand(owner, roles)
+
+        third = None
+        chain_op = None
+        nxt = self.stream.current
+        if (nxt.kind is TokenKind.OP and nxt.text in _COMPARISON_TOKENS
+                and _is_attribute(second)):
+            chain_op = _COMPARISON_TOKENS[self.stream.advance().text]
+            third = self._operand(owner, roles)
+
+        if third is not None:
+            # const OP attr OP const
+            if _is_attribute(first) or _is_attribute(third):
+                self.stream.fail("chained comparison must be "
+                                 "constant OP attribute OP constant")
+            if op not in ("<", "<=") or chain_op not in ("<", "<="):
+                self.stream.fail("chained comparisons must use < or <=")
+            variable, attribute = second[1], second[2]
+            return variable, attribute, Interval(
+                first[1], third[1],
+                low_open=(op == "<"), high_open=(chain_op == "<"))
+
+        if _is_attribute(first) and not _is_attribute(second):
+            variable, attribute = first[1], first[2]
+            return variable, attribute, Interval.from_comparison(
+                op, second[1])
+        if _is_attribute(second) and not _is_attribute(first):
+            from repro.relational.expressions import FLIPPED_OP
+            variable, attribute = second[1], second[2]
+            return variable, attribute, Interval.from_comparison(
+                FLIPPED_OP[op], first[1])
+        self.stream.fail("comparison must relate an attribute to a constant")
+        raise AssertionError("unreachable")
+
+    def _operand(self, owner: ObjectType | None, roles: dict[str, str]):
+        """Returns ('attr', variable|None, name) or ('const', value)."""
+        token = self.stream.current
+        if token.kind is TokenKind.NUMBER:
+            self.stream.advance()
+            return ("const", _number_value(token))
+        if token.kind is TokenKind.STRING:
+            self.stream.advance()
+            return ("const", token.value)
+        if token.kind is TokenKind.IDENT:
+            self.stream.advance()
+            if self.stream.accept_op("."):
+                attribute = self.stream.expect_ident("attribute name").text
+                return ("attr", token.text, attribute)
+            # Bare identifier: attribute of the enclosing type or of a
+            # role type wins over a string constant.
+            if owner is not None and owner.has_attribute(token.text):
+                return ("attr", None, token.text)
+            if owner is not None and self._inherited_attribute(
+                    owner, token.text):
+                return ("attr", None, token.text)
+            for type_name in roles.values():
+                if self.schema.has_object_type(type_name) and (
+                        self.schema.object_type(type_name)
+                        .has_attribute(token.text)):
+                    return ("attr", None, token.text)
+            return ("const", token.value)
+        self.stream.fail("expected an operand")
+        raise AssertionError("unreachable")
+
+    def _inherited_attribute(self, owner: ObjectType, name: str) -> bool:
+        try:
+            return any(a.name.lower() == name.lower()
+                       for a in self.schema.attributes_of(owner.name))
+        except KerError:
+            return False
+
+
+def _is_attribute(operand) -> bool:
+    return operand[0] == "attr"
+
+
+def _number_value(token: Token) -> Any:
+    """Leading-zero integers denote code strings (ship classes)."""
+    text = token.text
+    if (isinstance(token.value, int) and len(text) > 1
+            and text.startswith("0")):
+        return text
+    return token.value

@@ -1,0 +1,90 @@
+"""Text renderings of KER schemas.
+
+The paper's Figures 1-5 are diagrams of the KER model; this module
+reproduces them as text artifacts:
+
+* :func:`render_object_type` -- the Figure 1 block form;
+* :func:`render_hierarchy` -- the Figure 2 type-hierarchy tree;
+* :func:`render_schema` -- the whole schema, Appendix-B style;
+* :func:`render_with_rules` -- the Figure 5 form: an object type with a
+  ``with`` block of (induced) rules printed in ``x isa SUBTYPE`` style.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ker.model import KerSchema
+from repro.rules.rule import Rule
+
+
+def render_object_type(schema: KerSchema, name: str) -> str:
+    """Figure 1 style::
+
+        object type SUBMARINE
+          has key: Id            domain: char[7]
+          has:     Name          domain: SHIP_NAME
+          with Displacement in [2000..30000]
+    """
+    object_type = schema.object_type(name)
+    lines = [f"object type {object_type.name}"]
+    width = max((len(a.name) for a in object_type.attributes), default=0)
+    for attribute in object_type.attributes:
+        keyword = "has key:" if attribute.is_key else "has:    "
+        domain = (attribute.domain if isinstance(attribute.domain, str)
+                  else attribute.domain.render())
+        lines.append(f"  {keyword} {attribute.name.ljust(width)}"
+                     f"  domain: {domain}")
+    constraints = ([c.render() for c in object_type.range_constraints]
+                   + [c.render() for c in object_type.constraint_rules]
+                   + [c.render() for c in object_type.classification_rules])
+    if constraints:
+        lines.append("  with")
+        lines.extend(f"    {text}" for text in constraints)
+    return "\n".join(lines)
+
+
+def render_hierarchy(schema: KerSchema, root: str,
+                     _prefix: str = "") -> str:
+    """ASCII tree of the type hierarchy rooted at *root* (Figure 2)."""
+    lines = [root]
+    children = schema.children_of(root)
+    for index, child in enumerate(children):
+        last = index == len(children) - 1
+        branch = "`-- " if last else "|-- "
+        continuation = "    " if last else "|   "
+        subtree = render_hierarchy(schema, child).splitlines()
+        lines.append(_prefix + branch + subtree[0])
+        lines.extend(_prefix + continuation + line for line in subtree[1:])
+    return "\n".join(lines)
+
+
+def render_schema(schema: KerSchema) -> str:
+    """Whole-schema dump: domains, object types, hierarchy links."""
+    blocks: list[str] = []
+    if schema.domains:
+        blocks.append("\n".join(domain.render()
+                                for domain in schema.domains.values()))
+    for object_type in schema.object_types.values():
+        if schema.parent_of(object_type.name) is not None and not (
+                object_type.attributes):
+            continue  # pure subtypes render via their links
+        blocks.append(render_object_type(schema, object_type.name))
+    links = list(schema.links())
+    if links:
+        blocks.append("\n".join(link.render() for link in links))
+    return "\n\n".join(blocks)
+
+
+def render_with_rules(schema: KerSchema, name: str,
+                      rules: Iterable[Rule]) -> str:
+    """Figure 5 style: the object type block with induced rules attached.
+
+    Rules are printed ``if <premise> then x isa <subtype>`` when they
+    classify into a named subtype, as Section 6 prints R1..R17.
+    """
+    header = render_object_type(schema, name)
+    lines = [header, "  with /* induced rules */"]
+    for rule in rules:
+        lines.append(f"    {rule.render(isa_style=True)}")
+    return "\n".join(lines)

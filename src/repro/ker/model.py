@@ -1,0 +1,414 @@
+"""KER model objects: domains, attributes, object types, hierarchies.
+
+A :class:`KerSchema` gathers the whole application model: named domains
+(derived from the four standard domains), object types with their
+attributes and with-constraints, and the type hierarchy -- subtype links
+with derivation specifications plus classification (structure) rules.
+
+The type hierarchy is what "type inference" traverses: the inference
+processor walks from a queried object type down to the subtypes whose
+derivation specs or induced rules the query conditions imply.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import KerError
+from repro.relational.datatypes import (
+    DataType, INTEGER, REAL, DATE, char,
+)
+from repro.rules.clause import AttributeRef, Clause, Interval
+from repro.ker.constraints import (
+    ClassificationRule, ConstraintRule, DomainRangeConstraint,
+)
+
+_STANDARD_DOMAINS: dict[str, DataType] = {
+    "integer": INTEGER,
+    "real": REAL,
+    "date": DATE,
+    "string": char(None),
+}
+
+
+class Domain:
+    """A named value domain.
+
+    Domains bottom out at a standard domain (``integer``, ``real``,
+    ``string``/``char[n]``, ``date``) and may restrict it with a range or
+    a value set, or may reference another named domain (``SHIP_NAME isa
+    NAME``).  A domain may instead reference an *object type* (foreign
+    key), in which case ``object_type`` is set and the value domain is
+    that type's key domain.
+    """
+
+    def __init__(self, name: str, base: DataType | None = None,
+                 parent: str | None = None,
+                 interval: Interval | None = None,
+                 values: Sequence[Any] | None = None,
+                 object_type: str | None = None):
+        if base is None and parent is None and object_type is None:
+            raise KerError(f"domain {name} needs a base, parent or type")
+        self.name = name
+        self.base = base
+        self.parent = parent
+        self.interval = interval
+        self.values = tuple(values) if values is not None else None
+        self.object_type = object_type
+
+    def render(self) -> str:
+        if self.object_type:
+            return f"domain: {self.name} isa object {self.object_type}"
+        base = self.parent if self.parent else self.base.render()
+        extra = ""
+        if self.interval is not None:
+            low_bracket = "(" if self.interval.low_open else "["
+            high_bracket = ")" if self.interval.high_open else "]"
+            extra = (f" range {low_bracket}{self.interval.low}.."
+                     f"{self.interval.high}{high_bracket}")
+        elif self.values is not None:
+            extra = " set of {" + ", ".join(
+                _render_value(v) for v in self.values) + "}"
+        return f"domain: {self.name} isa {base}{extra}"
+
+    def __repr__(self) -> str:
+        return f"<Domain {self.render()}>"
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, str):
+        return f'"{value}"'
+    return str(value)
+
+
+class Attribute:
+    """One ``has [key]`` attribute of an object type."""
+
+    def __init__(self, name: str, domain: str | DataType,
+                 is_key: bool = False):
+        self.name = name
+        self.domain = domain
+        self.is_key = is_key
+
+    @property
+    def domain_name(self) -> str | None:
+        return self.domain if isinstance(self.domain, str) else None
+
+    def render(self) -> str:
+        keyword = "has key:" if self.is_key else "has:"
+        domain = (self.domain if isinstance(self.domain, str)
+                  else self.domain.render())
+        return f"{keyword} {self.name}  domain: {domain}"
+
+    def __repr__(self) -> str:
+        return f"<Attribute {self.name}>"
+
+
+class ObjectType:
+    """An entity or relationship type (both model as object types)."""
+
+    def __init__(self, name: str, attributes: Sequence[Attribute] = (),
+                 kind: str = "entity"):
+        self.name = name
+        self.attributes: list[Attribute] = list(attributes)
+        self.kind = kind
+        self.range_constraints: list[DomainRangeConstraint] = []
+        self.constraint_rules: list[ConstraintRule] = []
+        self.classification_rules: list[ClassificationRule] = []
+
+    def attribute(self, name: str) -> Attribute | None:
+        for attribute in self.attributes:
+            if attribute.name.lower() == name.lower():
+                return attribute
+        return None
+
+    def has_attribute(self, name: str) -> bool:
+        return self.attribute(name) is not None
+
+    def key_attributes(self) -> list[Attribute]:
+        return [a for a in self.attributes if a.is_key]
+
+    def add_attribute(self, attribute: Attribute) -> None:
+        if self.has_attribute(attribute.name):
+            raise KerError(
+                f"object type {self.name} already has attribute "
+                f"{attribute.name!r}")
+        self.attributes.append(attribute)
+
+    def __repr__(self) -> str:
+        return f"<ObjectType {self.name}, {len(self.attributes)} attrs>"
+
+
+class SubtypeLink:
+    """``child isa parent with <derivation>``.
+
+    ``membership`` is the derivation specification as clauses over
+    *relation-qualified* attributes (e.g. ``CLASS.Type = "SSBN"``); it
+    may be empty for purely nominal subtypes.
+    """
+
+    def __init__(self, child: str, parent: str,
+                 membership: Sequence[Clause] = (),
+                 source: str = "isa"):
+        self.child = child
+        self.parent = parent
+        self.membership = tuple(membership)
+        self.source = source
+
+    def render(self) -> str:
+        """Parseable DDL form; membership attributes render unqualified
+        (they refer to the supertype chain by construction) and string
+        values quoted (the Appendix B convention)."""
+        from repro.ker.constraints import render_interval_ddl
+        text = f"{self.child} isa {self.parent}"
+        if self.membership:
+            text += " with " + " and ".join(
+                render_interval_ddl(clause.interval,
+                                    clause.attribute.attribute)
+                for clause in self.membership)
+        return text
+
+    def __repr__(self) -> str:
+        return f"<SubtypeLink {self.render()}>"
+
+
+class KerSchema:
+    """A complete KER application schema."""
+
+    def __init__(self, name: str = "schema"):
+        self.name = name
+        self.domains: dict[str, Domain] = {}
+        self.object_types: dict[str, ObjectType] = {}
+        self._links: dict[str, SubtypeLink] = {}   # child -> link
+        self._children: dict[str, list[str]] = {}  # parent -> children
+
+    # -- domains -------------------------------------------------------------
+
+    def add_domain(self, domain: Domain) -> Domain:
+        key = domain.name.lower()
+        if key in self.domains:
+            raise KerError(f"domain {domain.name!r} already defined")
+        self.domains[key] = domain
+        return domain
+
+    def domain(self, name: str) -> Domain | None:
+        return self.domains.get(name.lower())
+
+    def resolve_datatype(self, domain: str | DataType) -> DataType:
+        """Resolve a domain reference to its base data type."""
+        if isinstance(domain, DataType):
+            return domain
+        name = domain.lower()
+        if name in _STANDARD_DOMAINS:
+            return _STANDARD_DOMAINS[name]
+        named = self.domains.get(name)
+        if named is not None:
+            if named.object_type:
+                target = self.object_type(named.object_type)
+                keys = target.key_attributes()
+                if len(keys) != 1:
+                    raise KerError(
+                        f"domain {domain!r} references type "
+                        f"{named.object_type} without a single key")
+                return self.resolve_datatype(keys[0].domain)
+            if named.base is not None:
+                return named.base
+            return self.resolve_datatype(named.parent)
+        if name in self.object_types:
+            target = self.object_types[name]
+            keys = target.key_attributes()
+            if len(keys) != 1:
+                raise KerError(
+                    f"attribute domain {domain!r} references object type "
+                    f"{target.name} without a single-attribute key")
+            return self.resolve_datatype(keys[0].domain)
+        raise KerError(f"unknown domain {domain!r}")
+
+    def domain_interval(self, domain: str | DataType) -> Interval | None:
+        """The value-range restriction of a (possibly derived) domain."""
+        if isinstance(domain, DataType):
+            return None
+        named = self.domains.get(domain.lower())
+        if named is None:
+            return None
+        if named.interval is not None:
+            return named.interval
+        if named.parent is not None:
+            return self.domain_interval(named.parent)
+        return None
+
+    # -- object types -----------------------------------------------------------
+
+    def add_object_type(self, object_type: ObjectType) -> ObjectType:
+        key = object_type.name.lower()
+        if key in self.object_types:
+            raise KerError(f"object type {object_type.name!r} already defined")
+        self.object_types[key] = object_type
+        return object_type
+
+    def object_type(self, name: str) -> ObjectType:
+        try:
+            return self.object_types[name.lower()]
+        except KeyError:
+            raise KerError(f"unknown object type {name!r}") from None
+
+    def has_object_type(self, name: str) -> bool:
+        return name.lower() in self.object_types
+
+    def ensure_object_type(self, name: str, kind: str = "entity"
+                           ) -> ObjectType:
+        if not self.has_object_type(name):
+            return self.add_object_type(ObjectType(name, kind=kind))
+        return self.object_type(name)
+
+    # -- hierarchy ----------------------------------------------------------------
+
+    def add_subtype(self, child: str, parent: str,
+                    membership: Sequence[Clause] = (),
+                    source: str = "isa") -> SubtypeLink:
+        """Declare ``child isa parent with membership``.
+
+        The child object type is created if it does not exist yet
+        (subtypes routinely add no attributes of their own).
+        """
+        self.object_type(parent)  # must exist
+        self.ensure_object_type(child)
+        key = child.lower()
+        existing = self._links.get(key)
+        if existing is not None:
+            # `CLASS contains SSBN, SSN` followed by `SSBN isa CLASS with
+            # Type = "SSBN"` refines the same link with its derivation
+            # spec; a different parent is a real conflict.
+            if existing.parent.lower() != parent.lower():
+                raise KerError(
+                    f"{child!r} already has a supertype "
+                    f"({existing.parent})")
+            if membership and not existing.membership:
+                existing.membership = tuple(membership)
+                return existing
+            if not membership:
+                return existing
+            raise KerError(
+                f"{child!r} already has a derivation specification")
+        if key == parent.lower() or key in {
+                name.lower() for name in self.ancestor_names(parent)}:
+            raise KerError(
+                f"subtype cycle: {parent!r} already descends from "
+                f"{child!r}")
+        link = SubtypeLink(child, parent, membership, source=source)
+        self._links[key] = link
+        self._children.setdefault(parent.lower(), []).append(child)
+        return link
+
+    def declare_contains(self, parent: str, children: Sequence[str],
+                         memberships: dict[str, Sequence[Clause]] | None = None
+                         ) -> list[SubtypeLink]:
+        """``parent contains child1, child2, ...`` -- disjoint subtypes."""
+        memberships = memberships or {}
+        return [
+            self.add_subtype(child, parent,
+                             memberships.get(child, ()), source="contains")
+            for child in children
+        ]
+
+    def link_of(self, child: str) -> SubtypeLink | None:
+        return self._links.get(child.lower())
+
+    def parent_of(self, child: str) -> str | None:
+        link = self._links.get(child.lower())
+        return link.parent if link else None
+
+    def children_of(self, parent: str) -> list[str]:
+        return list(self._children.get(parent.lower(), ()))
+
+    def ancestor_names(self, name: str) -> list[str]:
+        """Proper ancestors, nearest first."""
+        out: list[str] = []
+        seen: set[str] = {name.lower()}
+        current = self.parent_of(name)
+        while current is not None:
+            if current.lower() in seen:
+                raise KerError(f"subtype cycle through {current!r}")
+            out.append(current)
+            seen.add(current.lower())
+            current = self.parent_of(current)
+        return out
+
+    def descendant_names(self, name: str) -> list[str]:
+        """Proper descendants, breadth-first."""
+        out: list[str] = []
+        frontier = self.children_of(name)
+        while frontier:
+            child = frontier.pop(0)
+            out.append(child)
+            frontier.extend(self.children_of(child))
+        return out
+
+    def is_subtype_of(self, child: str, parent: str) -> bool:
+        if child.lower() == parent.lower():
+            return True
+        return parent.lower() in {
+            name.lower() for name in self.ancestor_names(child)}
+
+    def root_names(self) -> list[str]:
+        return [t.name for t in self.object_types.values()
+                if self.parent_of(t.name) is None]
+
+    # -- inheritance ----------------------------------------------------------------
+
+    def attributes_of(self, name: str) -> list[Attribute]:
+        """Own attributes plus inherited ones (own definitions win).
+
+        "A subtype inherits all the properties of its supertypes, unless
+        some of the properties have been redefined in the subtype."
+        """
+        chain = [self.object_type(name)] + [
+            self.object_type(ancestor) for ancestor in self.ancestor_names(
+                name)]
+        out: list[Attribute] = []
+        seen: set[str] = set()
+        for object_type in chain:
+            for attribute in object_type.attributes:
+                if attribute.name.lower() not in seen:
+                    seen.add(attribute.name.lower())
+                    out.append(attribute)
+        return out
+
+    # -- membership knowledge -----------------------------------------------------
+
+    def membership_clauses(self, subtype: str) -> tuple[Clause, ...]:
+        link = self._links.get(subtype.lower())
+        return link.membership if link else ()
+
+    def subtype_for_clause(self, clause: Clause) -> str | None:
+        """The subtype whose (single-clause) derivation spec equals
+        *clause* -- lets the ILS tag induced consequences with subtype
+        names (``Class = "0103"`` realizes ``x isa C0103``)."""
+        for link in self._links.values():
+            if len(link.membership) == 1 and link.membership[0] == clause:
+                return link.child
+        return None
+
+    def subtype_for_interval(self, attribute: AttributeRef,
+                             interval: Interval) -> str | None:
+        """The subtype whose derivation spec on *attribute* contains
+        *interval* entirely (e.g. SonarType values inside BQS)."""
+        best: str | None = None
+        for link in self._links.values():
+            for clause in link.membership:
+                if clause.attribute != attribute:
+                    continue
+                if clause.interval.contains(interval):
+                    # Prefer the most specific (deepest) subtype.
+                    if best is None or self.is_subtype_of(link.child, best):
+                        best = link.child
+        return best
+
+    # -- iteration ----------------------------------------------------------------
+
+    def links(self) -> Iterable[SubtypeLink]:
+        return list(self._links.values())
+
+    def __repr__(self) -> str:
+        return (f"<KerSchema {self.name}: {len(self.object_types)} types, "
+                f"{len(self._links)} subtype links>")

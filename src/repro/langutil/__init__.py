@@ -1,0 +1,7 @@
+"""Shared lexing machinery for the three little languages in the package
+(QUEL, the SQL subset, and the KER DDL of Appendix A)."""
+
+from repro.langutil.tokens import Token, TokenKind
+from repro.langutil.scanner import Scanner, TokenStream
+
+__all__ = ["Token", "TokenKind", "Scanner", "TokenStream"]

@@ -1,0 +1,40 @@
+"""Token types shared by the QUEL, SQL and KER-DDL scanners."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENT = "ident"        #: identifier (case preserved; keywords match CI)
+    NUMBER = "number"      #: integer or real literal (value is int/float)
+    STRING = "string"      #: quoted string literal (value is the content)
+    OP = "op"              #: operator or punctuation
+    EOF = "eof"            #: end of input
+
+
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    __slots__ = ("kind", "text", "value", "line", "column")
+
+    def __init__(self, kind: TokenKind, text: str, value: Any,
+                 line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def is_keyword(self, word: str) -> bool:
+        """Case-insensitive keyword check against an identifier token."""
+        return self.kind is TokenKind.IDENT and self.text.lower() == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind is TokenKind.OP and self.text == op
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r})"

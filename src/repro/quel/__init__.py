@@ -1,0 +1,24 @@
+"""QUEL subset interpreter.
+
+The paper's prototype was written in EQUEL (embedded QUEL) on INGRES and
+Section 5.2.1 states the rule-induction algorithm as QUEL statements.
+This package executes that dialect directly against a
+:class:`~repro.relational.database.Database`::
+
+    from repro.quel import QuelSession
+
+    session = QuelSession(db)
+    session.execute("range of r is SUBMARINE")
+    result = session.execute(
+        "retrieve into S unique (r.Class, r.Id) sort by r.Class")
+
+Supported statements: ``range of``, ``retrieve [into] [unique] (...)
+[where ...] [sort by ...]``, ``delete <var> [where ...]``, and
+``append to <relation> (...) [where ...]``.
+"""
+
+from repro.quel.parser import parse_quel
+from repro.quel.interpreter import QuelSession
+from repro.quel import ast
+
+__all__ = ["QuelSession", "parse_quel", "ast"]

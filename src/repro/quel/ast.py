@@ -1,0 +1,165 @@
+"""AST nodes for the QUEL subset.
+
+Scalar and predicate expressions reuse the engine-level AST from
+:mod:`repro.relational.expressions`; only statements are defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.relational.expressions import Expression
+
+
+class Statement:
+    """Abstract QUEL statement."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.render()!r}>"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+
+class RangeStmt(Statement):
+    """``range of <variable> is <relation>``"""
+
+    def __init__(self, variable: str, relation: str):
+        self.variable = variable
+        self.relation = relation
+
+    def render(self) -> str:
+        return f"range of {self.variable} is {self.relation}"
+
+
+class Aggregate:
+    """A whole-relation aggregate target: ``count(r.X)``, ``min(r.X)``,
+    ``max(r.X)``, ``sum(r.X)``, ``avg(r.X)``, ``countu(r.X)`` (distinct
+    count).  Aggregates appear only in retrieve target lists; the
+    interpreter evaluates the operand per qualifying assignment and
+    folds."""
+
+    OPS = ("count", "countu", "min", "max", "sum", "avg")
+
+    def __init__(self, op: str, operand: Expression):
+        if op not in self.OPS:
+            raise ValueError(f"unknown aggregate {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def render(self) -> str:
+        return f"{self.op}({self.operand.render()})"
+
+    def references(self):
+        yield from self.operand.references()
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Aggregate)
+                and self.op == other.op and self.operand == other.operand)
+
+    def __repr__(self) -> str:
+        return f"<Aggregate {self.render()}>"
+
+
+class Target:
+    """One element of a retrieve target list: ``[alias =] expression``
+    where the expression may also be an :class:`Aggregate`."""
+
+    def __init__(self, expression: "Expression | Aggregate",
+                 alias: str | None = None):
+        self.expression = expression
+        self.alias = alias
+
+    def render(self) -> str:
+        if self.alias:
+            return f"{self.alias} = {self.expression.render()}"
+        return self.expression.render()
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Target)
+                and self.alias == other.alias
+                and self.expression == other.expression)
+
+    def __repr__(self) -> str:
+        return f"<Target {self.render()}>"
+
+
+class RetrieveStmt(Statement):
+    """``retrieve [into R] [unique] (targets) [where q] [sort by keys]``"""
+
+    def __init__(self, targets: Sequence[Target],
+                 into: str | None = None,
+                 unique: bool = False,
+                 where: Expression | None = None,
+                 sort_by: Sequence[Expression] = ()):
+        self.targets = tuple(targets)
+        self.into = into
+        self.unique = unique
+        self.where = where
+        self.sort_by = tuple(sort_by)
+
+    def render(self) -> str:
+        parts = ["retrieve"]
+        if self.into:
+            parts.append(f"into {self.into}")
+        if self.unique:
+            parts.append("unique")
+        parts.append("(" + ", ".join(t.render() for t in self.targets) + ")")
+        if self.where is not None:
+            parts.append(f"where {self.where.render()}")
+        if self.sort_by:
+            parts.append(
+                "sort by " + ", ".join(k.render() for k in self.sort_by))
+        return " ".join(parts)
+
+
+class DeleteStmt(Statement):
+    """``delete <variable> [where q]``"""
+
+    def __init__(self, variable: str, where: Expression | None = None):
+        self.variable = variable
+        self.where = where
+
+    def render(self) -> str:
+        text = f"delete {self.variable}"
+        if self.where is not None:
+            text += f" where {self.where.render()}"
+        return text
+
+
+class ReplaceStmt(Statement):
+    """``replace <variable> (attr = expr, ...) [where q]`` -- INGRES
+    QUEL's update statement."""
+
+    def __init__(self, variable: str, assignments: Sequence[Target],
+                 where: Expression | None = None):
+        self.variable = variable
+        self.assignments = tuple(assignments)
+        self.where = where
+
+    def render(self) -> str:
+        body = ", ".join(a.render() for a in self.assignments)
+        text = f"replace {self.variable} ({body})"
+        if self.where is not None:
+            text += f" where {self.where.render()}"
+        return text
+
+
+class AppendStmt(Statement):
+    """``append to <relation> (attr = expr, ...) [where q]``"""
+
+    def __init__(self, relation: str, assignments: Sequence[Target],
+                 where: Expression | None = None):
+        self.relation = relation
+        self.assignments = tuple(assignments)
+        self.where = where
+
+    def render(self) -> str:
+        body = ", ".join(a.render() for a in self.assignments)
+        text = f"append to {self.relation} ({body})"
+        if self.where is not None:
+            text += f" where {self.where.render()}"
+        return text

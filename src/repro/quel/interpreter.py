@@ -1,0 +1,381 @@
+"""Executor for the QUEL subset against the in-memory engine.
+
+A :class:`QuelSession` owns a database connection and the set of declared
+range variables.  Retrieval follows QUEL's tuple-calculus semantics: all
+range variables mentioned in the target list or qualification are
+iterated; variables appearing only in the qualification act as
+existential witnesses (their multiplicity still shows in non-``unique``
+retrieves, exactly as INGRES would produce before duplicate removal).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Sequence
+
+from repro.errors import QuelError
+from repro.quel import ast
+from repro.quel.parser import parse_quel
+from repro.relational.database import Database
+from repro.relational.datatypes import infer_type, REAL
+from repro.relational.expressions import (
+    ColumnRef, Environment, Expression,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+
+
+class QuelSession:
+    """A QUEL session: a database plus live range-variable declarations."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        #: range variable name (lowered) -> relation name
+        self.ranges: dict[str, str] = {}
+
+    # -- public API -----------------------------------------------------
+
+    def execute(self, text: str) -> Relation | int | None:
+        """Parse and run one or more statements; return the last result.
+
+        ``retrieve`` returns a :class:`Relation`; ``delete``/``append``
+        return the affected row count; ``range`` returns ``None``.
+        """
+        result: Relation | int | None = None
+        for statement in parse_quel(text):
+            result = self.run(statement)
+        return result
+
+    def run(self, statement: ast.Statement) -> Relation | int | None:
+        if isinstance(statement, ast.RangeStmt):
+            return self._run_range(statement)
+        if isinstance(statement, ast.RetrieveStmt):
+            return self._run_retrieve(statement)
+        if isinstance(statement, ast.DeleteStmt):
+            return self._run_delete(statement)
+        if isinstance(statement, ast.AppendStmt):
+            return self._run_append(statement)
+        if isinstance(statement, ast.ReplaceStmt):
+            return self._run_replace(statement)
+        raise QuelError(f"unsupported statement {statement!r}")
+
+    # -- statements ---------------------------------------------------------
+
+    def _run_range(self, statement: ast.RangeStmt) -> None:
+        if statement.relation not in self.database:
+            raise QuelError(
+                f"range declaration references unknown relation "
+                f"{statement.relation!r}")
+        self.ranges[statement.variable.lower()] = statement.relation
+        return None
+
+    def _run_retrieve(self, statement: ast.RetrieveStmt) -> Relation:
+        if any(isinstance(t.expression, ast.Aggregate)
+               for t in statement.targets):
+            return self._run_aggregate_retrieve(statement)
+        variables = self._variables_of(
+            [t.expression for t in statement.targets]
+            + ([statement.where] if statement.where else [])
+            + list(statement.sort_by))
+        names = self._result_names(statement.targets)
+
+        rows: list[tuple] = []
+        sort_values: list[tuple] = []
+        for env in self._assignments(variables):
+            if statement.where is not None and not statement.where.evaluate(
+                    env):
+                continue
+            rows.append(tuple(
+                target.expression.evaluate(env)
+                for target in statement.targets))
+            if statement.sort_by:
+                sort_values.append(tuple(
+                    key.evaluate(env) for key in statement.sort_by))
+
+        schema = self._result_schema(
+            statement.into or "result", names, statement.targets, rows)
+        if statement.sort_by:
+            order = sorted(range(len(rows)),
+                           key=lambda i: _null_safe(sort_values[i]))
+            rows = [rows[i] for i in order]
+        result = Relation(schema, rows, validated=True)
+        if statement.unique:
+            result = result.distinct()
+        if statement.into:
+            self.database.catalog.register(result, replace=True)
+        return result
+
+    def _run_aggregate_retrieve(self, statement: ast.RetrieveStmt
+                                ) -> Relation:
+        """Whole-relation aggregates: every target must be one (this
+        subset has no by-list grouping)."""
+        if not all(isinstance(t.expression, ast.Aggregate)
+                   for t in statement.targets):
+            raise QuelError(
+                "aggregate and plain targets cannot be mixed "
+                "(no by-list grouping in this QUEL subset)")
+        if statement.sort_by:
+            raise QuelError("sort by is meaningless on aggregates")
+        variables = self._variables_of(
+            [t.expression.operand for t in statement.targets]
+            + ([statement.where] if statement.where else []))
+        columns_of_values: list[list[Any]] = [
+            [] for _target in statement.targets]
+        for env in self._assignments(variables):
+            if statement.where is not None and not statement.where.evaluate(
+                    env):
+                continue
+            for position, target in enumerate(statement.targets):
+                columns_of_values[position].append(
+                    target.expression.operand.evaluate(env))
+        row = tuple(
+            _fold_aggregate(target.expression.op, values)
+            for target, values in zip(statement.targets,
+                                      columns_of_values))
+        names = self._result_names(statement.targets)
+        columns = []
+        for name, target, value in zip(names, statement.targets, row):
+            op = target.expression.op
+            if op in ("count", "countu"):
+                datatype = infer_type(0)
+            elif op in ("sum", "avg"):
+                datatype = REAL
+            else:
+                datatype = (infer_type(value) if value is not None
+                            else REAL)
+            columns.append(Column(name, datatype))
+        schema = RelationSchema(statement.into or "result", columns)
+        result = Relation(schema, [row], validated=True)
+        if statement.into:
+            self.database.catalog.register(result, replace=True)
+        return result
+
+    def _run_delete(self, statement: ast.DeleteStmt) -> int:
+        variable = statement.variable.lower()
+        if variable not in self.ranges:
+            raise QuelError(
+                f"delete references undeclared range variable "
+                f"{statement.variable!r}")
+        relation = self.database.relation(self.ranges[variable])
+        if statement.where is None:
+            count = len(relation)
+            relation.clear()
+            return count
+
+        other_variables = [
+            v for v in self._variables_of([statement.where]) if v != variable]
+        doomed: set[tuple] = set()
+        for row in relation:
+            env = Environment()
+            env.bind(variable, relation.schema, row)
+            if self._exists(other_variables, statement.where, env):
+                doomed.add(row)
+        return relation.delete_where(lambda row: row in doomed)
+
+    def _run_append(self, statement: ast.AppendStmt) -> int:
+        relation = self.database.relation(statement.relation)
+        for target in statement.assignments:
+            if target.alias is None:
+                raise QuelError(
+                    "append targets must be of the form attr = expression")
+        variables = self._variables_of(
+            [t.expression for t in statement.assignments]
+            + ([statement.where] if statement.where else []))
+        appended = 0
+        batch: list[list[Any]] = []
+        for env in self._assignments(variables):
+            if statement.where is not None and not statement.where.evaluate(
+                    env):
+                continue
+            record = {t.alias.lower(): t.expression.evaluate(env)
+                      for t in statement.assignments}
+            unknown = set(record) - {c.key for c in relation.schema.columns}
+            if unknown:
+                raise QuelError(
+                    f"append to {relation.name}: unknown attributes "
+                    f"{sorted(unknown)}")
+            batch.append([record.get(c.key) for c in relation.schema.columns])
+            appended += 1
+        relation.insert_many(batch)
+        return appended
+
+    def _run_replace(self, statement: ast.ReplaceStmt) -> int:
+        """``replace r (attr = expr, ...) where q`` -- update in place.
+
+        Assignment expressions may reference the replaced variable and
+        any qualification witnesses (the first satisfying witness
+        binding is used, INGRES-style)."""
+        variable = statement.variable.lower()
+        if variable not in self.ranges:
+            raise QuelError(
+                f"replace references undeclared range variable "
+                f"{statement.variable!r}")
+        relation = self.database.relation(self.ranges[variable])
+        for target in statement.assignments:
+            if target.alias is None:
+                raise QuelError(
+                    "replace targets must be of the form attr = "
+                    "expression")
+            if not relation.schema.has_column(target.alias):
+                raise QuelError(
+                    f"replace: {relation.name} has no attribute "
+                    f"{target.alias!r}")
+
+        referenced = self._variables_of(
+            [t.expression for t in statement.assignments]
+            + ([statement.where] if statement.where else []))
+        other_variables = [v for v in referenced if v != variable]
+
+        from repro.relational.expressions import TRUE
+        qualification = (statement.where if statement.where is not None
+                         else TRUE)
+        updates: dict[int, tuple] = {}
+        for index, row in enumerate(relation.rows):
+            env = Environment()
+            env.bind(variable, relation.schema, row)
+            # _exists leaves the first satisfying witness bound in env.
+            if not self._exists(other_variables, qualification, env):
+                continue
+            record = {target.alias.lower():
+                      target.expression.evaluate(env)
+                      for target in statement.assignments}
+            new_row = [
+                record.get(column.key, row[position])
+                for position, column in enumerate(relation.schema.columns)]
+            updates[index] = relation.schema.check_row(new_row)
+        for index, new_row in updates.items():
+            relation.rows[index] = new_row
+        return len(updates)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _variables_of(self, expressions: Sequence[Expression]) -> list[str]:
+        """Range variables referenced by *expressions*, in declaration
+        order.  Unqualified references are rejected (QUEL requires a
+        range variable)."""
+        seen: set[str] = set()
+        for expression in expressions:
+            for ref in expression.references():
+                if ref.qualifier is None:
+                    raise QuelError(
+                        f"unqualified column {ref.column!r}: QUEL "
+                        "references must use a range variable")
+                name = ref.qualifier.lower()
+                if name not in self.ranges:
+                    raise QuelError(
+                        f"undeclared range variable {ref.qualifier!r}")
+                seen.add(name)
+        return [name for name in self.ranges if name in seen]
+
+    def _assignments(self, variables: Sequence[str]):
+        """Yield environments for the cross product of variable ranges."""
+        relations = [self.database.relation(self.ranges[v])
+                     for v in variables]
+        if not variables:
+            yield Environment()
+            return
+        for combination in itertools.product(*(r.rows for r in relations)):
+            env = Environment()
+            for variable, relation, row in zip(variables, relations,
+                                               combination):
+                env.bind(variable, relation.schema, row)
+            yield env
+
+    def _exists(self, variables: Sequence[str], where: Expression,
+                base: Environment) -> bool:
+        relations = [self.database.relation(self.ranges[v])
+                     for v in variables]
+        if not variables:
+            return bool(where.evaluate(base))
+        for combination in itertools.product(*(r.rows for r in relations)):
+            for variable, relation, row in zip(variables, relations,
+                                               combination):
+                base.bind(variable, relation.schema, row)
+            if where.evaluate(base):
+                return True
+        return False
+
+    def _result_names(self, targets: Sequence[ast.Target]) -> list[str]:
+        names: list[str] = []
+        used: set[str] = set()
+        for index, target in enumerate(targets):
+            if target.alias:
+                name = target.alias
+            elif isinstance(target.expression, ColumnRef):
+                name = target.expression.column
+            elif isinstance(target.expression, ast.Aggregate):
+                name = target.expression.op
+            else:
+                name = f"col{index + 1}"
+            base = name
+            suffix = 2
+            while name.lower() in used:
+                name = f"{base}_{suffix}"
+                suffix += 1
+            used.add(name.lower())
+            names.append(name)
+        return names
+
+    def _result_schema(self, name: str, column_names: Sequence[str],
+                       targets: Sequence[ast.Target],
+                       rows: Sequence[tuple]) -> RelationSchema:
+        columns = []
+        for position, (column_name, target) in enumerate(
+                zip(column_names, targets)):
+            datatype = None
+            expression = target.expression
+            if isinstance(expression, ColumnRef) and expression.qualifier:
+                source = self.database.relation(
+                    self.ranges[expression.qualifier.lower()])
+                datatype = source.schema.column(expression.column).datatype
+            if datatype is None:
+                sample = next(
+                    (row[position] for row in rows
+                     if row[position] is not None), None)
+                datatype = infer_type(sample) if sample is not None else REAL
+            columns.append(Column(column_name, datatype))
+        return RelationSchema(name, columns)
+
+
+def _fold_aggregate(op: str, values: list) -> Any:
+    """Fold one aggregate over its collected values (NULLs ignored,
+    matching the engine's comparison semantics)."""
+    present = [value for value in values if value is not None]
+    if op == "count":
+        return len(present)
+    if op == "countu":
+        return len(set(present))
+    if not present:
+        return None
+    if op == "min":
+        return min(present)
+    if op == "max":
+        return max(present)
+    if op == "sum":
+        return float(sum(present))
+    if op == "avg":
+        return float(sum(present)) / len(present)
+    raise QuelError(f"unknown aggregate {op!r}")
+
+
+class _NullLowKey:
+    """Sort key wrapper ordering None below everything."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_NullLowKey") -> bool:
+        if self.value is None:
+            return other.value is not None
+        if other.value is None:
+            return False
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NullLowKey) and self.value == other.value
+
+
+def _null_safe(values: tuple) -> tuple:
+    return tuple(_NullLowKey(v) for v in values)

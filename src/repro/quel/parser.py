@@ -1,0 +1,264 @@
+"""Recursive-descent parser for the QUEL subset.
+
+Grammar (keywords case-insensitive)::
+
+    program    := statement*
+    statement  := range | retrieve | delete | append
+    range      := "range" "of" IDENT "is" IDENT
+    retrieve   := "retrieve" ["into" IDENT] ["unique"]
+                  "(" target ("," target)* ")"
+                  ["where" qual] ["sort" "by" sortkey ("," sortkey)*]
+    target     := [IDENT "="] expr
+    delete     := "delete" IDENT ["where" qual]
+    append     := "append" "to" IDENT "(" target ("," target)* ")"
+                  ["where" qual]
+    qual       := andterm ("or" andterm)*
+    andterm    := notterm ("and" notterm)*
+    notterm    := "not" notterm | "(" qual ")" | comparison
+    comparison := expr CMP expr
+    expr       := term (("+"|"-") term)*
+    term       := factor (("*"|"/") factor)*
+    factor     := "-" factor | NUMBER | STRING | IDENT ["." IDENT]
+                  | "(" expr ")"
+
+Statements may be separated by newlines or ``;``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.langutil import Scanner, TokenStream, TokenKind
+from repro.quel import ast
+from repro.relational.expressions import (
+    And, Arithmetic, ColumnRef, Comparison, Expression, Literal, Not, Or,
+)
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", ".",
+              "+", "-", "*", "/", ";")
+_SCANNER = Scanner(operators=_OPERATORS)
+
+#: Words that terminate an expression at statement level.
+_KEYWORDS = {
+    "range", "of", "is", "retrieve", "into", "unique", "where", "sort",
+    "by", "delete", "append", "to", "and", "or", "not", "replace",
+}
+
+_COMPARISON_TOKENS = {"=": "=", "!=": "!=", "<>": "!=", "<": "<",
+                      "<=": "<=", ">": ">", ">=": ">="}
+
+
+def parse_quel(text: str) -> list[ast.Statement]:
+    """Parse QUEL *text* into a list of statements."""
+    stream = TokenStream(_SCANNER.scan(text))
+    statements: list[ast.Statement] = []
+    while not stream.at_end():
+        while stream.accept_op(";"):
+            pass
+        if stream.at_end():
+            break
+        statements.append(_statement(stream))
+    return statements
+
+
+def _statement(stream: TokenStream) -> ast.Statement:
+    if stream.at_keyword("range"):
+        return _range(stream)
+    if stream.at_keyword("retrieve"):
+        return _retrieve(stream)
+    if stream.at_keyword("delete"):
+        return _delete(stream)
+    if stream.at_keyword("append"):
+        return _append(stream)
+    if stream.at_keyword("replace"):
+        return _replace(stream)
+    stream.fail("expected a QUEL statement "
+                "(range / retrieve / delete / append / replace)")
+    raise AssertionError("unreachable")
+
+
+def _range(stream: TokenStream) -> ast.RangeStmt:
+    stream.expect_keyword("range")
+    stream.expect_keyword("of")
+    variable = stream.expect_ident("range variable").text
+    stream.expect_keyword("is")
+    relation = stream.expect_ident("relation name").text
+    return ast.RangeStmt(variable, relation)
+
+
+def _retrieve(stream: TokenStream) -> ast.RetrieveStmt:
+    stream.expect_keyword("retrieve")
+    into = None
+    if stream.accept_keyword("into"):
+        into = stream.expect_ident("result relation name").text
+    unique = stream.accept_keyword("unique")
+    targets = _target_list(stream)
+    where = _optional_where(stream)
+    sort_by: list[Expression] = []
+    if stream.accept_keyword("sort"):
+        stream.expect_keyword("by")
+        sort_by.append(_expression(stream))
+        while stream.accept_op(","):
+            sort_by.append(_expression(stream))
+    return ast.RetrieveStmt(targets, into=into, unique=unique,
+                            where=where, sort_by=sort_by)
+
+
+def _delete(stream: TokenStream) -> ast.DeleteStmt:
+    stream.expect_keyword("delete")
+    variable = stream.expect_ident("range variable").text
+    where = _optional_where(stream)
+    return ast.DeleteStmt(variable, where)
+
+
+def _append(stream: TokenStream) -> ast.AppendStmt:
+    stream.expect_keyword("append")
+    stream.expect_keyword("to")
+    relation = stream.expect_ident("relation name").text
+    assignments = _target_list(stream)
+    where = _optional_where(stream)
+    return ast.AppendStmt(relation, assignments, where)
+
+
+def _replace(stream: TokenStream) -> ast.ReplaceStmt:
+    stream.expect_keyword("replace")
+    variable = stream.expect_ident("range variable").text
+    assignments = _target_list(stream)
+    where = _optional_where(stream)
+    return ast.ReplaceStmt(variable, assignments, where)
+
+
+def _target_list(stream: TokenStream) -> list[ast.Target]:
+    stream.expect_op("(")
+    targets = [_target(stream)]
+    while stream.accept_op(","):
+        targets.append(_target(stream))
+    stream.expect_op(")")
+    return targets
+
+
+def _target(stream: TokenStream) -> ast.Target:
+    # Lookahead for `alias = expr`: IDENT '=' not followed by comparison use.
+    if (stream.current.kind is TokenKind.IDENT
+            and stream.current.text.lower() not in _KEYWORDS
+            and stream.peek().is_op("=")):
+        alias = stream.advance().text
+        stream.expect_op("=")
+        return ast.Target(_target_expression(stream), alias=alias)
+    return ast.Target(_target_expression(stream))
+
+
+def _target_expression(stream: TokenStream):
+    """An aggregate call or a plain scalar expression."""
+    token = stream.current
+    if (token.kind is TokenKind.IDENT
+            and token.text.lower() in ast.Aggregate.OPS
+            and stream.peek().is_op("(")):
+        op = stream.advance().text.lower()
+        stream.expect_op("(")
+        operand = _expression(stream)
+        stream.expect_op(")")
+        return ast.Aggregate(op, operand)
+    return _expression(stream)
+
+
+def _optional_where(stream: TokenStream) -> Expression | None:
+    if stream.accept_keyword("where"):
+        return _qualification(stream)
+    return None
+
+
+def _qualification(stream: TokenStream) -> Expression:
+    parts = [_and_term(stream)]
+    while stream.accept_keyword("or"):
+        parts.append(_and_term(stream))
+    return parts[0] if len(parts) == 1 else Or(parts)
+
+
+def _and_term(stream: TokenStream) -> Expression:
+    parts = [_not_term(stream)]
+    while stream.accept_keyword("and"):
+        parts.append(_not_term(stream))
+    return parts[0] if len(parts) == 1 else And(parts)
+
+
+def _not_term(stream: TokenStream) -> Expression:
+    if stream.accept_keyword("not"):
+        return Not(_not_term(stream))
+    if stream.at_op("("):
+        # Could be a parenthesized qualification or the left side of a
+        # comparison; try a qualification and backtrack if it fails or a
+        # comparison operator follows (parenthesized scalar expression).
+        saved = stream._index
+        try:
+            stream.expect_op("(")
+            inner = _qualification(stream)
+            stream.expect_op(")")
+        except ParseError:
+            stream._index = saved
+        else:
+            follows_comparison = (
+                stream.current.kind is TokenKind.OP
+                and stream.current.text in _COMPARISON_TOKENS)
+            if follows_comparison:
+                stream._index = saved
+            else:
+                return inner
+    return _comparison(stream)
+
+
+def _comparison(stream: TokenStream) -> Expression:
+    left = _expression(stream)
+    token = stream.current
+    if token.kind is not TokenKind.OP or (
+            token.text not in _COMPARISON_TOKENS):
+        stream.fail("expected a comparison operator")
+    stream.advance()
+    op = _COMPARISON_TOKENS[token.text]
+    right = _expression(stream)
+    return Comparison(op, left, right)
+
+
+def _expression(stream: TokenStream) -> Expression:
+    left = _term(stream)
+    while stream.at_op("+", "-"):
+        op = stream.advance().text
+        left = Arithmetic(op, left, _term(stream))
+    return left
+
+
+def _term(stream: TokenStream) -> Expression:
+    left = _factor(stream)
+    while stream.at_op("*", "/"):
+        op = stream.advance().text
+        left = Arithmetic(op, left, _factor(stream))
+    return left
+
+
+def _factor(stream: TokenStream) -> Expression:
+    token = stream.current
+    if stream.accept_op("-"):
+        operand = _factor(stream)
+        if isinstance(operand, Literal) and isinstance(
+                operand.value, (int, float)):
+            return Literal(-operand.value)
+        return Arithmetic("-", Literal(0), operand)
+    if token.kind is TokenKind.NUMBER:
+        stream.advance()
+        return Literal(token.value)
+    if token.kind is TokenKind.STRING:
+        stream.advance()
+        return Literal(token.value)
+    if stream.accept_op("("):
+        inner = _expression(stream)
+        stream.expect_op(")")
+        return inner
+    if token.kind is TokenKind.IDENT:
+        if token.text.lower() in _KEYWORDS:
+            stream.fail(f"unexpected keyword {token.text!r} in expression")
+        stream.advance()
+        if stream.accept_op("."):
+            column = stream.expect_ident("attribute name").text
+            return ColumnRef(column, qualifier=token.text)
+        return ColumnRef(token.text)
+    stream.fail("expected an expression")
+    raise AssertionError("unreachable")

@@ -1,0 +1,26 @@
+"""The intensional query processing system (Figure 6).
+
+One object ties the architecture together: the traditional query
+processor (our SQL executor) produces the extensional answer, the
+intelligent data dictionary supplies schema knowledge and induced rules,
+and the inference processor derives the intensional answers::
+
+    from repro.query import IntensionalQueryProcessor
+    from repro.testbed import ship_database, ship_ker_schema
+
+    system = IntensionalQueryProcessor.from_database(
+        ship_database(), ker_schema=ship_ker_schema())
+    result = system.ask("SELECT ... FROM ... WHERE ...")
+    result.extensional          # Relation
+    result.inference.summary()  # intensional answers
+"""
+
+from repro.query.conditions import QueryConditions, extract_conditions
+from repro.query.system import IntensionalQueryProcessor, QueryResult
+
+__all__ = [
+    "QueryConditions",
+    "extract_conditions",
+    "IntensionalQueryProcessor",
+    "QueryResult",
+]

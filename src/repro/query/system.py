@@ -1,0 +1,137 @@
+"""The end-to-end intensional query processing system.
+
+Architecture (Figure 6): query -> traditional query processor (the SQL
+executor, producing the extensional answer) + inference processor over
+the intelligent data dictionary (schema + induced rules), producing the
+intensional answers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.induction.config import InductionConfig
+from repro.induction.ils import InductiveLearningSubsystem
+from repro.inference.answers import InferenceResult, IntensionalAnswer
+from repro.inference.engine import TypeInferenceEngine
+from repro.ker.binding import SchemaBinding
+from repro.ker.model import KerSchema
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.rules.ruleset import RuleSet
+from repro.query.conditions import extract_conditions
+from repro.sql.ast import SelectStmt
+from repro.sql.executor import execute_select
+from repro.sql.parser import parse_select
+
+
+def _induce_all_comparisons(binding: SchemaBinding) -> list:
+    """Comparison constraints over every relationship type (a backed
+    type with two or more object-typed attributes)."""
+    from repro.induction.candidates import foreign_key_map
+    from repro.induction.interobject import induce_comparison_constraints
+    from repro.rules.clause import AttributeRef
+
+    fk = foreign_key_map(binding)
+    constraints: list = []
+    for object_type in binding.schema.object_types.values():
+        if not binding.is_backed(object_type.name):
+            continue
+        relation = binding.database.relation(object_type.name)
+        fk_count = sum(
+            1 for attribute in object_type.attributes
+            if AttributeRef(relation.name, attribute.name) in fk)
+        if fk_count >= 2:
+            constraints.extend(
+                induce_comparison_constraints(binding, relation.name))
+    return constraints
+
+
+class QueryResult:
+    """Extensional answer plus intensional characterizations."""
+
+    def __init__(self, statement: SelectStmt, extensional: Relation,
+                 inference: InferenceResult, unused: Sequence):
+        self.statement = statement
+        self.extensional = extensional
+        self.inference = inference
+        self.unused = tuple(unused)
+
+    @property
+    def intensional(self) -> list[IntensionalAnswer]:
+        return self.inference.answers()
+
+    def combined_answer(self) -> str | None:
+        return self.inference.combined_answer()
+
+    def render(self, max_rows: int | None = 20) -> str:
+        lines = [self.statement.render(), "",
+                 "Extensional answer:",
+                 self.extensional.render(max_rows=max_rows), "",
+                 self.inference.summary()]
+        if self.unused:
+            lines.append(
+                "(conditions unused by inference: "
+                + "; ".join(e.render() for e in self.unused) + ")")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<QueryResult {len(self.extensional)} tuples, "
+                f"{len(self.intensional)} intensional answers>")
+
+
+class IntensionalQueryProcessor:
+    """SQL in; extensional tuples and intensional answers out."""
+
+    def __init__(self, database: Database, rules: RuleSet,
+                 binding: SchemaBinding | None = None,
+                 constraints: list | None = None):
+        self.database = database
+        self.rules = rules
+        self.binding = binding
+        self.constraints = constraints or []
+        self.engine = TypeInferenceEngine(rules, binding=binding,
+                                          constraints=self.constraints)
+
+    @classmethod
+    def from_database(cls, database: Database,
+                      ker_schema: KerSchema | None = None,
+                      config: InductionConfig | None = None,
+                      relation_order: list[str] | None = None,
+                      include_schema_rules: bool = False,
+                      induce_comparisons: bool = False,
+                      ) -> "IntensionalQueryProcessor":
+        """Build the full pipeline: bind the schema, induce the rules.
+
+        With ``include_schema_rules`` the declared with-constraint rules
+        are merged into the knowledge base alongside the induced ones.
+        With ``induce_comparisons`` inter-attribute comparison
+        constraints (Section 3.1's "draft < depth" form) are induced
+        over every relationship type and used for bound propagation.
+        """
+        binding = None
+        rules = RuleSet()
+        constraints: list = []
+        if ker_schema is not None:
+            binding = SchemaBinding(ker_schema, database)
+            ils = InductiveLearningSubsystem(
+                binding, config, relation_order=relation_order)
+            rules = ils.induce()
+            if include_schema_rules:
+                rules = rules.merged_with(binding.schema_rules())
+            if induce_comparisons:
+                constraints = _induce_all_comparisons(binding)
+        return cls(database, rules, binding=binding,
+                   constraints=constraints)
+
+    def ask(self, sql: str, forward: bool = True,
+            backward: bool = True) -> QueryResult:
+        """Answer *sql* extensionally and intensionally."""
+        statement = parse_select(sql)
+        extensional = execute_select(self.database, statement)
+        conditions = extract_conditions(self.database, statement)
+        inference = self.engine.infer(
+            conditions.clauses, equivalences=conditions.equivalences,
+            forward=forward, backward=backward)
+        return QueryResult(statement, extensional, inference,
+                           conditions.unused)

@@ -1,0 +1,60 @@
+"""The catalog: a case-insensitive namespace of relations.
+
+INGRES kept system tables describing user relations; the reproduction
+keeps the same idea small: the catalog knows every relation by name and
+can enumerate them in creation order (rule relations are registered here
+alongside base data so knowledge "relocates with the database").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CatalogError
+from repro.relational.relation import Relation
+
+
+class Catalog:
+    """A named collection of relations."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._order: list[str] = []
+
+    def register(self, relation: Relation, replace: bool = False) -> Relation:
+        key = relation.name.lower()
+        if key in self._relations and not replace:
+            raise CatalogError(f"relation {relation.name!r} already exists")
+        if key not in self._relations:
+            self._order.append(key)
+        self._relations[key] = relation
+        return relation
+
+    def get(self, name: str) -> Relation:
+        try:
+            return self._relations[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no relation named {name!r}; catalog has "
+                f"{', '.join(self.names()) or 'no relations'}") from None
+
+    def drop(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._relations:
+            raise CatalogError(f"no relation named {name!r}")
+        del self._relations[key]
+        self._order.remove(key)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        for key in self._order:
+            yield self._relations[key]
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def names(self) -> list[str]:
+        """Declared relation names in creation order."""
+        return [self._relations[key].name for key in self._order]

@@ -1,0 +1,226 @@
+"""Column data types.
+
+The KER model (Appendix A of the paper) provides four standard domains --
+``string``, ``integer``, ``real`` and ``date`` -- from which richer
+domains are derived.  This module provides the corresponding column
+types for the relational engine, with validation, coercion, and a total
+order per type (needed by the rule-induction algorithm, whose "value
+ranges" are defined over sorted attribute values).
+
+Values are plain Python objects: ``int``, ``float``, ``str``,
+:class:`datetime.date`, and ``None`` for NULL.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+
+class DataType:
+    """Abstract column data type.
+
+    Concrete subclasses implement :meth:`validate` and :meth:`coerce`.
+    Instances are immutable and compare by structural equality so that two
+    independently built schemas with the same types are equal.
+    """
+
+    #: short name used in schema rendering, e.g. ``"integer"``.
+    name: str = "abstract"
+
+    def validate(self, value: Any) -> bool:
+        """Return True when *value* is a legal value of this type.
+
+        ``None`` (NULL) is always legal; nullability is enforced at the
+        column level, not here.
+        """
+        raise NotImplementedError
+
+    def coerce(self, value: Any) -> Any:
+        """Convert *value* into this type's canonical representation.
+
+        Raises
+        ------
+        TypeMismatchError
+            If the value cannot be represented in this type.
+        """
+        raise NotImplementedError
+
+    def render(self) -> str:
+        """Human-readable rendering, e.g. ``char[20]``."""
+        return self.name
+
+    def is_numeric(self) -> bool:
+        """Whether values of this type support arithmetic."""
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.render()}>"
+
+
+class IntegerType(DataType):
+    """Whole numbers.  ``bool`` is rejected to avoid silent surprises."""
+
+    name = "integer"
+
+    def validate(self, value: Any) -> bool:
+        if value is None:
+            return True
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def coerce(self, value: Any) -> Any:
+        if value is None or self.validate(value):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            text = value.strip()
+            try:
+                return int(text)
+            except ValueError:
+                pass
+        raise TypeMismatchError(f"cannot coerce {value!r} to integer")
+
+    def is_numeric(self) -> bool:
+        return True
+
+
+class RealType(DataType):
+    """Floating-point numbers.  Integers are accepted and widened."""
+
+    name = "real"
+
+    def validate(self, value: Any) -> bool:
+        if value is None:
+            return True
+        if isinstance(value, bool):
+            return False
+        return isinstance(value, (int, float))
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            raise TypeMismatchError("cannot coerce bool to real")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value.strip())
+            except ValueError:
+                pass
+        raise TypeMismatchError(f"cannot coerce {value!r} to real")
+
+    def is_numeric(self) -> bool:
+        return True
+
+
+class CharType(DataType):
+    """Fixed-maximum-width character strings, ``char[n]`` in KER.
+
+    *width* of ``None`` means unbounded (plain ``string``).  Values longer
+    than the declared width are rejected by :meth:`validate` but
+    truncated, INGRES-style, by :meth:`coerce`.
+    """
+
+    name = "char"
+
+    def __init__(self, width: int | None = None):
+        if width is not None and width <= 0:
+            raise ValueError("char width must be positive")
+        self.width = width
+
+    def validate(self, value: Any) -> bool:
+        if value is None:
+            return True
+        if not isinstance(value, str):
+            return False
+        return self.width is None or len(value) <= self.width
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            value = str(value)
+        if self.width is not None and len(value) > self.width:
+            value = value[: self.width]
+        return value
+
+    def render(self) -> str:
+        if self.width is None:
+            return "string"
+        return f"char[{self.width}]"
+
+
+class DateType(DataType):
+    """Calendar dates.  ISO-format strings are coerced."""
+
+    name = "date"
+
+    def validate(self, value: Any) -> bool:
+        if value is None:
+            return True
+        return isinstance(value, datetime.date) and not isinstance(
+            value, datetime.datetime)
+
+    def coerce(self, value: Any) -> Any:
+        if value is None or self.validate(value):
+            return value
+        if isinstance(value, datetime.datetime):
+            return value.date()
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value.strip())
+            except ValueError:
+                pass
+        raise TypeMismatchError(f"cannot coerce {value!r} to date")
+
+
+#: Shared singleton instances for the standard domains.
+INTEGER = IntegerType()
+REAL = RealType()
+DATE = DateType()
+STRING = CharType(None)
+
+
+def char(width: int | None = None) -> CharType:
+    """Convenience constructor: ``char(20)`` -> ``char[20]``."""
+    return CharType(width)
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer a column type from a sample Python value.
+
+    Used by relation loaders when no schema is given.  ``None`` infers an
+    unbounded string (the weakest assumption).
+    """
+    if isinstance(value, bool):
+        raise TypeMismatchError("boolean columns are not supported")
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, float):
+        return REAL
+    if isinstance(value, datetime.date):
+        return DATE
+    if isinstance(value, str) or value is None:
+        return STRING
+    raise TypeMismatchError(f"no column type for value {value!r}")
+
+
+def comparable(a: DataType, b: DataType) -> bool:
+    """Whether values of types *a* and *b* may be compared with <, =, ...
+
+    Numeric types are mutually comparable; otherwise the types must be of
+    the same kind (char widths are ignored for comparability).
+    """
+    if a.is_numeric() and b.is_numeric():
+        return True
+    return type(a) is type(b)

@@ -1,0 +1,327 @@
+"""Scalar and predicate expressions over relation rows.
+
+One expression AST is shared by the relational algebra layer, the QUEL
+interpreter, and the SQL executor.  Expressions evaluate against an
+:class:`Environment` that binds *qualifiers* (range-variable or relation
+names) to (schema, row) pairs, so the same tree works for single-relation
+selections and multi-variable join predicates.
+
+The comparison semantics follow the paper's usage: strings compare
+lexicographically (``"BQQ-2" <= Sonar <= "BQQ-8"`` is a legitimate rule
+premise), numbers numerically, and NULL makes any comparison false.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import ExpressionError
+from repro.relational.schema import RelationSchema
+
+#: Comparison operator names accepted throughout the package.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+_COMPARISONS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+#: op -> op with operands swapped (used to normalize `literal op column`).
+FLIPPED_OP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+#: op -> logical negation (used by backward inference and deletion).
+NEGATED_OP = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+class Environment:
+    """Bindings from qualifier names to (schema, row) pairs.
+
+    A binding under the empty qualifier ``""`` acts as the default scope
+    for unqualified column references; otherwise an unqualified reference
+    is resolved against every binding and must be unambiguous.
+    """
+
+    def __init__(self) -> None:
+        self._bindings: dict[str, tuple[RelationSchema, Sequence[Any]]] = {}
+
+    def bind(self, qualifier: str, schema: RelationSchema,
+             row: Sequence[Any]) -> "Environment":
+        self._bindings[qualifier.lower()] = (schema, row)
+        return self
+
+    @classmethod
+    def for_row(cls, schema: RelationSchema, row: Sequence[Any],
+                qualifier: str | None = None) -> "Environment":
+        """Environment for a single row; binds both the relation name and
+        (if given) an explicit qualifier, plus the default scope."""
+        env = cls()
+        env.bind("", schema, row)
+        env.bind(schema.name, schema, row)
+        if qualifier:
+            env.bind(qualifier, schema, row)
+        return env
+
+    def lookup(self, qualifier: str | None, column: str) -> Any:
+        if qualifier is not None:
+            try:
+                schema, row = self._bindings[qualifier.lower()]
+            except KeyError:
+                raise ExpressionError(
+                    f"unknown range variable or relation {qualifier!r}"
+                ) from None
+            if not schema.has_column(column):
+                raise ExpressionError(
+                    f"{qualifier} has no column {column!r}")
+            return row[schema.position(column)]
+        if "" in self._bindings:
+            schema, row = self._bindings[""]
+            if schema.has_column(column):
+                return row[schema.position(column)]
+        hits = []
+        for name, (schema, row) in self._bindings.items():
+            if name and schema.has_column(column):
+                hits.append(row[schema.position(column)])
+        if not hits:
+            raise ExpressionError(f"unknown column {column!r}")
+        if len(hits) > 1:
+            raise ExpressionError(f"ambiguous column {column!r}")
+        return hits[0]
+
+
+class Expression:
+    """Abstract expression node."""
+
+    def evaluate(self, env: Environment) -> Any:
+        raise NotImplementedError
+
+    def references(self) -> Iterator["ColumnRef"]:
+        """Yield every column reference in the tree."""
+        return iter(())
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.render()}>"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.render()))
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def evaluate(self, env: Environment) -> Any:
+        return self.value
+
+    def render(self) -> str:
+        if isinstance(self.value, str):
+            return '"' + self.value.replace('"', '\\"') + '"'
+        return str(self.value)
+
+
+class ColumnRef(Expression):
+    """A reference ``qualifier.column`` or bare ``column``."""
+
+    def __init__(self, column: str, qualifier: str | None = None):
+        self.column = column
+        self.qualifier = qualifier
+
+    def evaluate(self, env: Environment) -> Any:
+        return env.lookup(self.qualifier, self.column)
+
+    def references(self) -> Iterator["ColumnRef"]:
+        yield self
+
+    def render(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.column}"
+        return self.column
+
+
+class Arithmetic(Expression):
+    """Binary arithmetic (+, -, *, /) over numeric operands."""
+
+    OPS: dict[str, Callable[[Any, Any], Any]] = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b,
+    }
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in self.OPS:
+            raise ExpressionError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Environment) -> Any:
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if left is None or right is None:
+            return None
+        try:
+            return self.OPS[self.op](left, right)
+        except (TypeError, ZeroDivisionError) as exc:
+            raise ExpressionError(
+                f"cannot evaluate {self.render()}: {exc}") from exc
+
+    def references(self) -> Iterator[ColumnRef]:
+        yield from self.left.references()
+        yield from self.right.references()
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+
+class Comparison(Expression):
+    """A binary comparison; NULL operands make the comparison false."""
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _COMPARISONS:
+            raise ExpressionError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Environment) -> bool:
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if left is None or right is None:
+            return False
+        try:
+            return _COMPARISONS[self.op](left, right)
+        except TypeError as exc:
+            raise ExpressionError(
+                f"type error in {self.render()}: {exc}") from exc
+
+    def negated(self) -> "Comparison":
+        return Comparison(NEGATED_OP[self.op], self.left, self.right)
+
+    def flipped(self) -> "Comparison":
+        """Equivalent comparison with operands swapped."""
+        return Comparison(FLIPPED_OP[self.op], self.right, self.left)
+
+    def references(self) -> Iterator[ColumnRef]:
+        yield from self.left.references()
+        yield from self.right.references()
+
+    def render(self) -> str:
+        return f"{self.left.render()} {self.op} {self.right.render()}"
+
+
+class IsNull(Expression):
+    """SQL's ``expr IS [NOT] NULL`` -- the one predicate that inspects
+    NULL instead of failing on it."""
+
+    def __init__(self, operand: Expression, negated: bool = False):
+        self.operand = operand
+        self.negated = negated
+
+    def evaluate(self, env: Environment) -> bool:
+        value = self.operand.evaluate(env)
+        return (value is not None) if self.negated else (value is None)
+
+    def references(self) -> Iterator[ColumnRef]:
+        yield from self.operand.references()
+
+    def render(self) -> str:
+        keyword = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand.render()} {keyword}"
+
+
+class And(Expression):
+    """Conjunction of one or more predicates."""
+
+    def __init__(self, parts: Sequence[Expression]):
+        if not parts:
+            raise ExpressionError("empty conjunction")
+        self.parts = tuple(parts)
+
+    def evaluate(self, env: Environment) -> bool:
+        return all(part.evaluate(env) for part in self.parts)
+
+    def references(self) -> Iterator[ColumnRef]:
+        for part in self.parts:
+            yield from part.references()
+
+    def render(self) -> str:
+        return " and ".join(
+            f"({p.render()})" if isinstance(p, Or) else p.render()
+            for p in self.parts)
+
+
+class Or(Expression):
+    """Disjunction of one or more predicates."""
+
+    def __init__(self, parts: Sequence[Expression]):
+        if not parts:
+            raise ExpressionError("empty disjunction")
+        self.parts = tuple(parts)
+
+    def evaluate(self, env: Environment) -> bool:
+        return any(part.evaluate(env) for part in self.parts)
+
+    def references(self) -> Iterator[ColumnRef]:
+        for part in self.parts:
+            yield from part.references()
+
+    def render(self) -> str:
+        return " or ".join(p.render() for p in self.parts)
+
+
+class Not(Expression):
+    """Logical negation."""
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def evaluate(self, env: Environment) -> bool:
+        return not self.operand.evaluate(env)
+
+    def references(self) -> Iterator[ColumnRef]:
+        yield from self.operand.references()
+
+    def render(self) -> str:
+        return f"not ({self.operand.render()})"
+
+
+TRUE = Literal(True)
+
+
+def conjuncts(expression: Expression | None) -> list[Expression]:
+    """Flatten a predicate into a list of top-level conjuncts.
+
+    ``None`` (no WHERE clause) flattens to the empty list.  Nested
+    :class:`And` nodes are recursively expanded; any other node is a
+    single conjunct.
+    """
+    if expression is None:
+        return []
+    if isinstance(expression, And):
+        out: list[Expression] = []
+        for part in expression.parts:
+            out.extend(conjuncts(part))
+        return out
+    return [expression]
+
+
+def conjoin(parts: Iterable[Expression]) -> Expression:
+    """Combine conjuncts back into a predicate (TRUE when empty)."""
+    parts = list(parts)
+    if not parts:
+        return TRUE
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)

@@ -1,0 +1,112 @@
+"""Secondary indexes over relations.
+
+The induction algorithm repeatedly probes relations by attribute value
+(step 2 of Section 5.2.1 is a self-join on X), and the inference engine
+probes rule sets by attribute.  Two index kinds cover those patterns:
+
+* :class:`HashIndex` -- equality probes.
+* :class:`SortedIndex` -- range probes ``low <= value <= high``, built on
+  :mod:`bisect`.
+
+Indexes are snapshots: they index the rows present at construction time
+and are rebuilt by callers after mutation (the engine keeps no hidden
+index-maintenance machinery; relations stay plain values).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, Sequence
+
+from repro.relational.relation import Relation
+
+
+class HashIndex:
+    """Equality index from column value to row list."""
+
+    def __init__(self, relation: Relation, column: str):
+        self.relation = relation
+        self.column = column
+        position = relation.schema.position(column)
+        self._buckets: dict[Any, list[tuple]] = {}
+        for row in relation:
+            value = row[position]
+            self._buckets.setdefault(value, []).append(row)
+
+    def lookup(self, value: Any) -> list[tuple]:
+        """Rows whose indexed column equals *value*."""
+        return list(self._buckets.get(value, ()))
+
+    def distinct_values(self) -> list[Any]:
+        return list(self._buckets.keys())
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._buckets
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class SortedIndex:
+    """Ordered index supporting range scans.
+
+    NULL values are excluded (they belong to no range).
+    """
+
+    def __init__(self, relation: Relation, column: str):
+        self.relation = relation
+        self.column = column
+        position = relation.schema.position(column)
+        pairs = [(row[position], row) for row in relation
+                 if row[position] is not None]
+        pairs.sort(key=lambda pair: pair[0])
+        self._keys = [key for key, _row in pairs]
+        self._rows = [row for _key, row in pairs]
+
+    def range(self, low: Any = None, high: Any = None,
+              low_inclusive: bool = True,
+              high_inclusive: bool = True) -> Iterator[tuple]:
+        """Rows with indexed value in the given (possibly open) range."""
+        if low is None:
+            start = 0
+        elif low_inclusive:
+            start = bisect.bisect_left(self._keys, low)
+        else:
+            start = bisect.bisect_right(self._keys, low)
+        if high is None:
+            stop = len(self._keys)
+        elif high_inclusive:
+            stop = bisect.bisect_right(self._keys, high)
+        else:
+            stop = bisect.bisect_left(self._keys, high)
+        return iter(self._rows[start:stop])
+
+    def count_range(self, low: Any = None, high: Any = None,
+                    low_inclusive: bool = True,
+                    high_inclusive: bool = True) -> int:
+        """Number of rows in the range, without materializing them."""
+        if low is None:
+            start = 0
+        elif low_inclusive:
+            start = bisect.bisect_left(self._keys, low)
+        else:
+            start = bisect.bisect_right(self._keys, low)
+        if high is None:
+            stop = len(self._keys)
+        elif high_inclusive:
+            stop = bisect.bisect_right(self._keys, high)
+        else:
+            stop = bisect.bisect_left(self._keys, high)
+        return max(0, stop - start)
+
+    def min(self) -> Any:
+        return self._keys[0] if self._keys else None
+
+    def max(self) -> Any:
+        return self._keys[-1] if self._keys else None
+
+    def sorted_values(self) -> Sequence[Any]:
+        return tuple(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)

@@ -1,0 +1,248 @@
+"""Relation values: a schema plus a sequence of typed rows.
+
+Relations use *bag* semantics by default (INGRES ``retrieve`` without
+``unique`` keeps duplicates); :meth:`Relation.distinct` collapses to set
+semantics, mirroring ``retrieve unique``.
+
+Rows are plain tuples.  Helper accessors return column values by name so
+higher layers never index positions by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.schema import Column, RelationSchema
+from repro.relational.datatypes import infer_type
+
+
+class Relation:
+    """An in-memory relation (schema + rows).
+
+    Parameters
+    ----------
+    schema:
+        The relation's schema.
+    rows:
+        Iterable of row tuples/sequences; each row is validated and
+        coerced against the schema.
+    validated:
+        Internal fast path: when True, rows are trusted as-is (used by
+        the algebra operators, which only emit well-typed rows).
+    """
+
+    def __init__(self, schema: RelationSchema,
+                 rows: Iterable[Sequence[Any]] = (),
+                 validated: bool = False):
+        self.schema = schema
+        if validated:
+            self._rows: list[tuple] = [tuple(row) for row in rows]
+        else:
+            self._rows = [schema.check_row(row) for row in rows]
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_dicts(cls, schema: RelationSchema,
+                   records: Iterable[dict[str, Any]]) -> "Relation":
+        """Build a relation from mappings of column name -> value."""
+        rows = []
+        for record in records:
+            lowered = {key.lower(): value for key, value in record.items()}
+            unknown = set(lowered) - {c.key for c in schema.columns}
+            if unknown:
+                raise SchemaError(
+                    f"unknown columns {sorted(unknown)} for {schema.name}")
+            rows.append([lowered.get(column.key) for column in schema.columns])
+        return cls(schema, rows)
+
+    @classmethod
+    def infer(cls, name: str, column_names: Sequence[str],
+              rows: Sequence[Sequence[Any]],
+              key: Sequence[str] | None = None) -> "Relation":
+        """Build a relation inferring column types from the first row
+        holding a non-NULL value in each column."""
+        if not rows:
+            raise SchemaError("cannot infer a schema from zero rows")
+        columns = []
+        for position, column_name in enumerate(column_names):
+            sample = next(
+                (row[position] for row in rows if row[position] is not None),
+                None)
+            columns.append(Column(column_name, infer_type(sample)))
+        return cls(RelationSchema(name, columns, key=key), rows)
+
+    # -- basic protocol ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def rows(self) -> list[tuple]:
+        """The underlying row list.  Treat as read-only."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        """Bag equality: same schema columns and same multiset of rows."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if [c.key for c in self.schema.columns] != [
+                c.key for c in other.schema.columns]:
+            return False
+        return sorted(self._rows, key=_sort_key) == sorted(
+            other._rows, key=_sort_key)
+
+    def __hash__(self):  # pragma: no cover - relations are mutable
+        raise TypeError("Relation is unhashable")
+
+    # -- row access --------------------------------------------------------
+
+    def value(self, row: Sequence[Any], column: str) -> Any:
+        """Value of *column* (case-insensitive) in *row*."""
+        return row[self.schema.position(column)]
+
+    def column_values(self, column: str) -> list[Any]:
+        """All values of *column*, in row order (duplicates preserved)."""
+        position = self.schema.position(column)
+        return [row[position] for row in self._rows]
+
+    def record(self, row: Sequence[Any]) -> dict[str, Any]:
+        """Row as a dict keyed by declared column names."""
+        return {column.name: value
+                for column, value in zip(self.schema.columns, row)}
+
+    def records(self) -> list[dict[str, Any]]:
+        return [self.record(row) for row in self._rows]
+
+    # -- mutation (used by the Database facade and QUEL delete/append) ----
+
+    def insert(self, values: Sequence[Any]) -> tuple:
+        row = self.schema.check_row(values)
+        self._rows.append(row)
+        return row
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def delete_where(self, predicate: Callable[[tuple], bool]) -> int:
+        """Delete rows satisfying *predicate*; return the count deleted."""
+        kept = [row for row in self._rows if not predicate(row)]
+        deleted = len(self._rows) - len(kept)
+        self._rows[:] = kept
+        return deleted
+
+    def replace_where(self, predicate: Callable[[tuple], bool],
+                      updater: Callable[[tuple], Sequence[Any]]) -> int:
+        """Update rows satisfying *predicate* to ``updater(row)``
+        (validated); returns the count updated.  This backs QUEL's
+        ``replace`` statement."""
+        updated = 0
+        for index, row in enumerate(self._rows):
+            if predicate(row):
+                self._rows[index] = self.schema.check_row(updater(row))
+                updated += 1
+        return updated
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    # -- derived relations --------------------------------------------------
+
+    def copy(self, new_name: str | None = None) -> "Relation":
+        schema = self.schema if new_name is None else self.schema.rename(
+            new_name)
+        return Relation(schema, list(self._rows), validated=True)
+
+    def distinct(self) -> "Relation":
+        """Set-semantics copy (first occurrence order preserved)."""
+        seen: set[tuple] = set()
+        rows = []
+        for row in self._rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Relation(self.schema, rows, validated=True)
+
+    def sorted_by(self, *columns: str, descending: bool = False) -> "Relation":
+        """Copy sorted by the given columns (NULLs sort first)."""
+        positions = [self.schema.position(c) for c in columns]
+
+        def key(row: tuple):
+            return tuple(_null_low(row[p]) for p in positions)
+
+        rows = sorted(self._rows, key=key, reverse=descending)
+        return Relation(self.schema, rows, validated=True)
+
+    # -- display -------------------------------------------------------------
+
+    def render(self, max_rows: int | None = None) -> str:
+        """Fixed-width text table in the style of the paper's appendices."""
+        header = self.schema.column_names()
+        body = [[_display(v) for v in row] for row in self._rows]
+        if max_rows is not None and len(body) > max_rows:
+            omitted = len(body) - max_rows
+            body = body[:max_rows] + [[f"... {omitted} more"] +
+                                      [""] * (len(header) - 1)]
+        widths = [len(h) for h in header]
+        for line in body:
+            for i, cell in enumerate(line):
+                widths[i] = max(widths[i], len(cell))
+        rule = "-+-".join("-" * w for w in widths)
+        out = [" | ".join(h.ljust(w) for h, w in zip(header, widths)), rule]
+        for line in body:
+            out.append(" | ".join(c.ljust(w) for c, w in zip(line, widths)))
+        return "\n".join(out)
+
+    def __repr__(self) -> str:
+        return f"Relation<{self.schema.render()}, {len(self)} rows>"
+
+
+def _display(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    return str(value)
+
+
+class _NullLow:
+    """Sentinel ordering NULL below every value."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: object) -> bool:
+        return not isinstance(other, _NullLow)
+
+    def __gt__(self, other: object) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NullLow)
+
+    def __hash__(self) -> int:
+        return 0
+
+
+_NULL_LOW = _NullLow()
+
+
+def _null_low(value: Any) -> Any:
+    return _NULL_LOW if value is None else value
+
+
+def _sort_key(row: tuple):
+    return tuple((value is None, repr(type(value)), value)
+                 if value is not None else (True, "", 0) for value in row)

@@ -1,0 +1,196 @@
+"""Relation schemas: ordered, typed, named columns plus an optional key.
+
+Column and relation names are matched case-insensitively (the paper mixes
+``Id``/``ID`` and ``Class``/``CLASS`` freely between the KER schema and
+the SQL examples) while the declared spelling is preserved for display.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.relational.datatypes import DataType
+
+
+class Column:
+    """A named, typed column.
+
+    Parameters
+    ----------
+    name:
+        Declared column name; lookups are case-insensitive.
+    datatype:
+        A :class:`~repro.relational.datatypes.DataType` instance.
+    nullable:
+        Whether NULL (``None``) is accepted.  Key columns are implicitly
+        non-nullable regardless of this flag.
+    """
+
+    __slots__ = ("name", "datatype", "nullable")
+
+    def __init__(self, name: str, datatype: DataType, nullable: bool = True):
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"bad column name {name!r}")
+        self.name = name
+        self.datatype = datatype
+        self.nullable = nullable
+
+    @property
+    def key(self) -> str:
+        """Case-insensitive lookup key for this column."""
+        return self.name.lower()
+
+    def check(self, value: Any) -> Any:
+        """Validate and coerce *value* for this column."""
+        if value is None:
+            if not self.nullable:
+                raise TypeMismatchError(f"column {self.name} is not nullable")
+            return None
+        if self.datatype.validate(value):
+            return value
+        return self.datatype.coerce(value)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Column)
+                and self.key == other.key
+                and self.datatype == other.datatype
+                and self.nullable == other.nullable)
+
+    def __hash__(self) -> int:
+        return hash((self.key, self.datatype, self.nullable))
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.datatype.render()})"
+
+
+class RelationSchema:
+    """Schema of a relation: a name, ordered columns, and an optional key.
+
+    The key, when declared, is the primary key of the entity set in KER
+    terms (the "set of unique identifiers").
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column],
+                 key: Sequence[str] | None = None):
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        if not columns:
+            raise SchemaError(f"relation {name} needs at least one column")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._index: dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            if column.key in self._index:
+                raise SchemaError(
+                    f"duplicate column {column.name!r} in relation {name}")
+            self._index[column.key] = position
+        self.key: tuple[str, ...] = ()
+        if key:
+            resolved = []
+            for key_name in key:
+                if key_name.lower() not in self._index:
+                    raise SchemaError(
+                        f"key column {key_name!r} not in relation {name}")
+                resolved.append(self.column(key_name).name)
+            self.key = tuple(resolved)
+
+    # -- lookups ---------------------------------------------------------
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def position(self, name: str) -> int:
+        """0-based position of column *name* (case-insensitive)."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name} has no column {name!r}; "
+                f"columns are {', '.join(c.name for c in self.columns)}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position(name)]
+
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    # -- construction helpers -------------------------------------------
+
+    def check_row(self, values: Sequence[Any]) -> tuple:
+        """Validate and coerce one row of values against this schema."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"relation {self.name} expects {self.arity} values, "
+                f"got {len(values)}")
+        return tuple(column.check(value)
+                     for column, value in zip(self.columns, values))
+
+    def project(self, names: Iterable[str], new_name: str | None = None
+                ) -> "RelationSchema":
+        """Schema of a projection onto *names* (order as given)."""
+        columns = [self.column(name) for name in names]
+        return RelationSchema(new_name or self.name, columns)
+
+    def rename(self, new_name: str) -> "RelationSchema":
+        return RelationSchema(new_name, self.columns, key=self.key)
+
+    def renamed_columns(self, mapping: dict[str, str]) -> "RelationSchema":
+        """Return a schema with columns renamed per *mapping* (old->new)."""
+        lowered = {old.lower(): new for old, new in mapping.items()}
+        columns = [
+            Column(lowered.get(column.key, column.name), column.datatype,
+                   column.nullable)
+            for column in self.columns
+        ]
+        return RelationSchema(self.name, columns)
+
+    def concat(self, other: "RelationSchema", new_name: str,
+               left_prefix: str | None = None,
+               right_prefix: str | None = None) -> "RelationSchema":
+        """Schema of a product/join of self and *other*.
+
+        On column-name collision both sides are prefixed (``rel.col``
+        style with an underscore, since dots are kept for range-variable
+        qualification at the language layers).
+        """
+        collisions = {c.key for c in self.columns} & {
+            c.key for c in other.columns}
+
+        def emit(schema: RelationSchema, prefix: str | None) -> list[Column]:
+            out = []
+            for column in schema.columns:
+                name = column.name
+                if column.key in collisions:
+                    use = prefix or schema.name
+                    name = f"{use}_{column.name}"
+                out.append(Column(name, column.datatype, column.nullable))
+            return out
+
+        columns = emit(self, left_prefix) + emit(other, right_prefix)
+        return RelationSchema(new_name, columns)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RelationSchema)
+                and self.name.lower() == other.name.lower()
+                and self.columns == other.columns)
+
+    def __hash__(self) -> int:
+        return hash((self.name.lower(), self.columns))
+
+    def render(self) -> str:
+        """One-line rendering, e.g. ``EMP(Name char[20], Age integer)``."""
+        cols = ", ".join(
+            f"{c.name} {c.datatype.render()}" for c in self.columns)
+        return f"{self.name}({cols})"
+
+    def __repr__(self) -> str:
+        return f"RelationSchema<{self.render()}>"

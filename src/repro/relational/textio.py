@@ -1,0 +1,222 @@
+"""Plain-text serialization of relations and whole databases.
+
+The paper's Section 5.2.2 emphasizes that a database and its rule
+relations "can be relocated together".  This module provides the
+relocation transport: a deterministic, line-oriented text format that
+round-trips schemas (with types and keys) and rows.
+
+Format::
+
+    %relation SUBMARINE key=Id
+    Id:char[7]|Name:char[20]|Class:char[4]
+    SSBN130|Typhoon|1301
+    ...
+    %end
+
+Values are escaped minimally (``\\|``, ``\\n``, ``\\\\``); NULL is the
+unescaped token ``\\N``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import io
+import re
+from typing import Any, Iterable, TextIO
+
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.datatypes import (
+    DataType, DateType, IntegerType, RealType, INTEGER, REAL, DATE, char,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+
+_CHAR_RE = re.compile(r"^char\[(\d+)\]$")
+
+
+def _render_type(datatype: DataType) -> str:
+    return datatype.render()
+
+
+def _parse_type(text: str) -> DataType:
+    text = text.strip()
+    if text == "integer":
+        return INTEGER
+    if text == "real":
+        return REAL
+    if text == "date":
+        return DATE
+    if text == "string":
+        return char(None)
+    match = _CHAR_RE.match(text)
+    if match:
+        return char(int(match.group(1)))
+    raise SchemaError(f"unknown column type {text!r}")
+
+
+def _escape(value: Any) -> str:
+    if value is None:
+        return "\\N"
+    if isinstance(value, datetime.date):
+        text = value.isoformat()
+    else:
+        text = str(value)
+    return (text.replace("\\", "\\\\").replace("|", "\\|")
+            .replace("\n", "\\n"))
+
+
+def _unescape(text: str, datatype: DataType) -> Any:
+    if text == "\\N":
+        return None
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            out.append({"\\": "\\", "|": "|", "n": "\n"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    raw = "".join(out)
+    if isinstance(datatype, IntegerType):
+        return int(raw)
+    if isinstance(datatype, RealType):
+        return float(raw)
+    if isinstance(datatype, DateType):
+        return datetime.date.fromisoformat(raw)
+    return raw
+
+
+def _split_row(line: str) -> list[str]:
+    """Split on unescaped ``|``."""
+    fields = []
+    buf = []
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == "\\" and i + 1 < len(line):
+            buf.append(ch)
+            buf.append(line[i + 1])
+            i += 2
+        elif ch == "|":
+            fields.append("".join(buf))
+            buf = []
+            i += 1
+        else:
+            buf.append(ch)
+            i += 1
+    fields.append("".join(buf))
+    return fields
+
+
+def dump_relation(relation: Relation, stream: TextIO) -> None:
+    """Write one relation block to *stream*."""
+    header = f"%relation {relation.name}"
+    if relation.schema.key:
+        header += " key=" + ",".join(relation.schema.key)
+    stream.write(header + "\n")
+    stream.write("|".join(
+        f"{c.name}:{_render_type(c.datatype)}"
+        for c in relation.schema.columns) + "\n")
+    for row in relation:
+        stream.write("|".join(_escape(v) for v in row) + "\n")
+    stream.write("%end\n")
+
+
+def dumps_relation(relation: Relation) -> str:
+    buffer = io.StringIO()
+    dump_relation(relation, buffer)
+    return buffer.getvalue()
+
+
+def dump_database(database: Database, stream: TextIO) -> None:
+    stream.write(f"%database {database.name}\n")
+    for relation in database.catalog:
+        dump_relation(relation, stream)
+
+
+def dumps_database(database: Database) -> str:
+    buffer = io.StringIO()
+    dump_database(database, buffer)
+    return buffer.getvalue()
+
+
+def load_relations(stream: TextIO | Iterable[str]) -> list[Relation]:
+    """Read every relation block from *stream*."""
+    relations: list[Relation] = []
+    name: str | None = None
+    key: list[str] | None = None
+    schema: RelationSchema | None = None
+    rows: list[tuple] = []
+    for raw_line in stream:
+        line = raw_line.rstrip("\n")
+        if not line or line.startswith("%database"):
+            continue
+        if line.startswith("%relation"):
+            parts = line.split()
+            name = parts[1]
+            key = None
+            for extra in parts[2:]:
+                if extra.startswith("key="):
+                    key = extra[4:].split(",")
+            schema = None
+            rows = []
+            continue
+        if line == "%end":
+            if schema is None or name is None:
+                raise SchemaError("malformed relation block (no header row)")
+            relations.append(Relation(schema, rows, validated=True))
+            name = None
+            schema = None
+            continue
+        if schema is None:
+            if name is None:
+                raise SchemaError(f"stray line outside block: {line!r}")
+            columns = []
+            for field in _split_row(line):
+                column_name, _sep, type_text = field.partition(":")
+                if not _sep:
+                    raise SchemaError(f"bad column spec {field!r}")
+                columns.append(Column(column_name, _parse_type(type_text)))
+            schema = RelationSchema(name, columns, key=key)
+            continue
+        fields = _split_row(line)
+        if len(fields) != schema.arity:
+            raise SchemaError(
+                f"row has {len(fields)} fields, schema {schema.name} "
+                f"has {schema.arity}")
+        rows.append(tuple(
+            _unescape(field, column.datatype)
+            for field, column in zip(fields, schema.columns)))
+    if name is not None:
+        raise SchemaError(f"unterminated relation block {name!r}")
+    return relations
+
+
+def loads_relations(text: str) -> list[Relation]:
+    return load_relations(io.StringIO(text))
+
+
+def load_database(stream: TextIO | Iterable[str],
+                  name: str | None = None) -> Database:
+    if isinstance(stream, str):
+        raise TypeError("pass a stream or lines; use loads_database for str")
+    lines = list(stream)
+    database_name = name or "db"
+    for line in lines:
+        if line.startswith("%database"):
+            parts = line.split()
+            if len(parts) > 1:
+                database_name = parts[1]
+            break
+    database = Database(database_name)
+    for relation in load_relations(lines):
+        database.catalog.register(relation)
+    return database
+
+
+def loads_database(text: str, name: str | None = None) -> Database:
+    return load_database(io.StringIO(text).readlines(), name=name)

@@ -1,0 +1,5 @@
+"""Benchmark/report rendering helpers."""
+
+from repro.reporting.tables import render_table
+
+__all__ = ["render_table"]

@@ -1,0 +1,50 @@
+"""Fixed-width text tables for benchmark output.
+
+The benchmark harness prints the rows/series the paper reports; this
+keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Render a fixed-width table (right-aligns numeric cells)."""
+    text_rows = [[_format(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    numeric = [all(isinstance(row[index], (int, float))
+                   for row in rows if row[index] is not None) and bool(rows)
+               for index in range(len(headers))]
+
+    def line(cells: Sequence[str]) -> str:
+        out = []
+        for index, cell in enumerate(cells):
+            if numeric[index]:
+                out.append(cell.rjust(widths[index]))
+            else:
+                out.append(cell.ljust(widths[index]))
+        return " | ".join(out)
+
+    rule = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(line(list(headers)))
+    lines.append(rule)
+    lines.extend(line(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def _format(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,142 @@
+"""Inter-attribute comparison constraints.
+
+Section 3.1's inter-object knowledge example is not an interval rule:
+"the relationship VISIT involves entities of SHIP and PORT and satisfies
+the constraint that the draft of the ship must be less than the depth of
+the port".  That is a *comparison constraint* between two attributes
+across a relationship:
+
+    SHIP.Draft < PORT.Depth        (on every VISIT instance)
+
+This module provides the constraint value type and its inference use:
+*bound propagation*.  Given an established interval fact on one side,
+the constraint transfers a bound to the other side -- a query condition
+``PORT.Depth <= 9`` plus the constraint yields ``SHIP.Draft < 9`` for
+every answer, which interval rules can then chain on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, NamedTuple
+
+from repro.errors import RuleError
+from repro.rules.clause import AttributeRef, Clause, Interval
+
+_STRICT = {"<": True, "<=": False}
+
+
+class ComparisonConstraint:
+    """``left <op> right`` holding on every relationship instance.
+
+    Only the order operators are supported (``<``, ``<=``); an equality
+    constraint between attributes is an attribute equivalence and
+    belongs in the canonicalizer instead.
+    """
+
+    __slots__ = ("left", "op", "right", "support", "source")
+
+    def __init__(self, left: AttributeRef, op: str, right: AttributeRef,
+                 support: int = 0, source: str = "induced"):
+        if op not in ("<", "<="):
+            raise RuleError(
+                f"comparison constraints use < or <=, not {op!r}")
+        self.left = left
+        self.op = op
+        self.right = right
+        self.support = support
+        self.source = source
+
+    def holds_for(self, record: Mapping[AttributeRef, Any]) -> bool:
+        """Whether a joined record satisfies the constraint (NULLs on
+        either side satisfy vacuously)."""
+        left = record.get(self.left)
+        right = record.get(self.right)
+        if left is None or right is None:
+            return True
+        return left < right if self.op == "<" else left <= right
+
+    # -- bound propagation -------------------------------------------------
+
+    def bound_for_left(self, right_fact: Interval) -> Interval | None:
+        """Upper bound induced on ``left`` by a fact on ``right``.
+
+        From ``left < right`` and ``right <= u``: ``left < u``.
+        """
+        if right_fact.high is None:
+            return None
+        strict = _STRICT[self.op] or right_fact.high_open
+        return Interval.at_most(right_fact.high, strict=strict)
+
+    def bound_for_right(self, left_fact: Interval) -> Interval | None:
+        """Lower bound induced on ``right`` by a fact on ``left``.
+
+        From ``left < right`` and ``left >= l``: ``right > l``.
+        """
+        if left_fact.low is None:
+            return None
+        strict = _STRICT[self.op] or left_fact.low_open
+        return Interval.at_least(left_fact.low, strict=strict)
+
+    def render(self) -> str:
+        return f"{self.left.render()} {self.op} {self.right.render()}"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ComparisonConstraint)
+                and self.left == other.left and self.op == other.op
+                and self.right == other.right)
+
+    def __hash__(self) -> int:
+        return hash((self.left, self.op, self.right))
+
+    def __repr__(self) -> str:
+        return f"<ComparisonConstraint {self.render()}>"
+
+
+class PropagationStep(NamedTuple):
+    """One bound transferred through a constraint."""
+
+    constraint: ComparisonConstraint
+    clause: Clause          #: the bound asserted
+    narrowed: bool
+
+
+def propagate_bounds(facts, constraints: Iterable[ComparisonConstraint],
+                     max_rounds: int = 10) -> list[PropagationStep]:
+    """Transfer bounds through *constraints* until fixpoint.
+
+    *facts* is a :class:`repro.inference.facts.FactBase`; asserted
+    bounds intersect with existing facts exactly like rule consequences.
+    """
+    steps: list[PropagationStep] = []
+    for _round in range(max_rounds):
+        progressed = False
+        for constraint in constraints:
+            right_fact = facts.interval_for(constraint.right)
+            if right_fact is not None:
+                bound = constraint.bound_for_left(right_fact)
+                if bound is not None:
+                    existing = facts.interval_for(constraint.left)
+                    if existing is None or not bound.contains(existing):
+                        narrowed = facts.assert_interval(
+                            constraint.left, bound, constraint)
+                        if narrowed:
+                            steps.append(PropagationStep(
+                                constraint,
+                                Clause(constraint.left, bound), True))
+                            progressed = True
+            left_fact = facts.interval_for(constraint.left)
+            if left_fact is not None:
+                bound = constraint.bound_for_right(left_fact)
+                if bound is not None:
+                    existing = facts.interval_for(constraint.right)
+                    if existing is None or not bound.contains(existing):
+                        narrowed = facts.assert_interval(
+                            constraint.right, bound, constraint)
+                        if narrowed:
+                            steps.append(PropagationStep(
+                                constraint,
+                                Clause(constraint.right, bound), True))
+                            progressed = True
+        if not progressed:
+            break
+    return steps

@@ -1,0 +1,74 @@
+"""Rule-set minimization.
+
+Step 4 of the induction algorithm prunes by support; an orthogonal way
+to shrink the knowledge base (hinted at by the paper's concern for "the
+overhead of storing and searching these rules") is to drop rules that
+are *logically redundant*: a rule is redundant when another kept rule
+fires whenever it does and concludes at least as much
+(:func:`repro.rules.subsumption.rule_subsumed_by`).
+
+Minimization never changes the set of forward-derivable facts -- any
+condition subsumed by a dropped rule's premise is also subsumed by its
+subsumer's premise.  It *can* remove backward descriptions (the dropped
+premise no longer appears as a subset description); callers who need
+every description keep the full set.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+from repro.rules.subsumption import rule_subsumed_by
+
+
+class MinimizationResult(NamedTuple):
+    """Outcome of :func:`minimize_ruleset`."""
+
+    minimized: RuleSet
+    dropped: list[tuple[Rule, Rule]]   #: (redundant rule, its subsumer)
+
+    @property
+    def kept(self) -> int:
+        return len(self.minimized)
+
+    def render(self) -> str:
+        lines = [f"kept {self.kept}, dropped {len(self.dropped)}"]
+        for redundant, subsumer in self.dropped:
+            lines.append(
+                f"  dropped {redundant.render()}  (subsumed by "
+                f"{subsumer.render()})")
+        return "\n".join(lines)
+
+
+def minimize_ruleset(ruleset: RuleSet) -> MinimizationResult:
+    """Drop every rule subsumed by another kept rule.
+
+    Preference among mutually redundant rules: higher support wins, then
+    earlier rule number (stable).  Equal rules (identical premise and
+    consequence) collapse to one.
+    """
+    rules = list(ruleset)
+    # Order candidates: high support first so subsumers are considered
+    # as keepers before the rules they subsume.
+    order = sorted(rules, key=lambda rule: (-rule.support,
+                                            rule.number or 0))
+    kept: list[Rule] = []
+    dropped: list[tuple[Rule, Rule]] = []
+    for rule in order:
+        subsumer = next(
+            (keeper for keeper in kept
+             if keeper is not rule and rule_subsumed_by(keeper, rule)),
+            None)
+        if subsumer is not None:
+            dropped.append((rule, subsumer))
+        else:
+            kept.append(rule)
+    # Restore original ordering among the keepers for stable numbering.
+    kept_ids = {id(rule) for rule in kept}
+    minimized = RuleSet(
+        Rule(rule.lhs, rule.rhs, support=rule.support,
+             rhs_subtype=rule.rhs_subtype, source=rule.source)
+        for rule in rules if id(rule) in kept_ids)
+    return MinimizationResult(minimized, dropped)

@@ -1,0 +1,129 @@
+"""Horn rules over interval clauses.
+
+A rule reads ``if C_L1 and ... and C_Ln then C_R``.  The right-hand side
+is a single clause (the paper restricts itself to Horn clauses).  Rules
+carry their *support*: the number of database instances that satisfied
+the rule when it was induced; pruning and Example 2's discussion of
+``R_new`` both reason about support.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import RuleError
+from repro.rules.clause import AttributeRef, Clause
+
+
+class Rule:
+    """One induced (or declared) Horn rule.
+
+    Parameters
+    ----------
+    lhs:
+        Premise clauses (conjunctive); at least one.
+    rhs:
+        Consequence clause.
+    number:
+        Rule number within its rule set (assigned by the set).
+    support:
+        Number of training instances satisfying premise and consequence.
+    rhs_subtype:
+        When the consequence classifies tuples into a named subtype
+        (e.g. ``Type = "SSBN"`` realizes ``x isa SSBN``), the subtype
+        name, used by the KER renderer ("then x isa SSBN").
+    source:
+        Free-form provenance tag ("induced", "schema", ...).
+    """
+
+    __slots__ = ("lhs", "rhs", "number", "support", "rhs_subtype", "source")
+
+    def __init__(self, lhs: Sequence[Clause], rhs: Clause,
+                 number: int | None = None, support: int = 0,
+                 rhs_subtype: str | None = None, source: str = "induced"):
+        if not lhs:
+            raise RuleError("a rule needs at least one premise clause")
+        self.lhs = tuple(lhs)
+        self.rhs = rhs
+        self.number = number
+        self.support = support
+        self.rhs_subtype = rhs_subtype
+        self.source = source
+
+    # -- structure ---------------------------------------------------------
+
+    def lhs_attributes(self) -> list[AttributeRef]:
+        return [clause.attribute for clause in self.lhs]
+
+    def scheme_key(self) -> tuple[tuple[tuple[str, str], ...],
+                                  tuple[str, str]]:
+        """Grouping key for the rule scheme ``X --> Y``."""
+        lhs = tuple(sorted(c.attribute.key for c in self.lhs))
+        return (lhs, self.rhs.attribute.key)
+
+    def is_single_premise(self) -> bool:
+        return len(self.lhs) == 1
+
+    # -- evaluation -----------------------------------------------------------
+
+    def premise_satisfied_by(self, values: Mapping[AttributeRef, Any]) -> bool:
+        """Whether a record (attribute -> value) satisfies every premise.
+
+        Attributes missing from *values* fail the premise (closed check).
+        """
+        for clause in self.lhs:
+            if clause.attribute not in values:
+                return False
+            if not clause.satisfied_by(values[clause.attribute]):
+                return False
+        return True
+
+    def satisfied_by(self, values: Mapping[AttributeRef, Any]) -> bool:
+        """Premise and consequence both satisfied."""
+        if not self.premise_satisfied_by(values):
+            return False
+        return (self.rhs.attribute in values
+                and self.rhs.satisfied_by(values[self.rhs.attribute]))
+
+    def sound_on(self, records: Iterable[Mapping[AttributeRef, Any]]) -> bool:
+        """Whether no record satisfies the premise but violates the
+        consequence (the soundness invariant of induced rules).
+
+        A NULL consequence value is *unknown*, not a counterexample --
+        the same reading INGRES gives NULLs, and the reason the
+        induction algorithm's step 2 never treats a NULL Y as an
+        inconsistent pairing.
+        """
+        for record in records:
+            if not self.premise_satisfied_by(record):
+                continue
+            value = record.get(self.rhs.attribute)
+            if value is not None and not self.rhs.satisfied_by(value):
+                return False
+        return True
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, isa_style: bool = False) -> str:
+        """Paper-style rendering.
+
+        With ``isa_style`` and a known ``rhs_subtype``, the consequence is
+        shown as ``x isa <subtype>`` the way Section 6 prints R1..R17.
+        """
+        premise = " and ".join(clause.render() for clause in self.lhs)
+        if isa_style and self.rhs_subtype:
+            consequence = f"x isa {self.rhs_subtype}"
+        else:
+            consequence = self.rhs.render()
+        prefix = f"R{self.number}: " if self.number is not None else ""
+        return f"{prefix}if {premise} then {consequence}"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Rule)
+                and self.lhs == other.lhs and self.rhs == other.rhs)
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.render()} (support={self.support})>"

@@ -1,0 +1,136 @@
+"""Rule sets and rule schemes.
+
+"The rules generated for the same attribute pair (X, Y) consist of the
+rule set designated by the rule scheme X --> Y" (Section 5.2.1).  A
+:class:`RuleSet` is the whole knowledge base's rule collection; a
+:class:`RuleScheme` is one ``X --> Y`` group within it.  The set keeps
+lookup indexes by premise and consequence attribute, which the inference
+processor uses for forward and backward chaining respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.rules.clause import AttributeRef
+from repro.rules.rule import Rule
+
+
+class RuleScheme:
+    """The rules sharing one premise/consequence attribute signature."""
+
+    def __init__(self, lhs_attributes: Sequence[AttributeRef],
+                 rhs_attribute: AttributeRef, rules: Sequence[Rule]):
+        self.lhs_attributes = tuple(lhs_attributes)
+        self.rhs_attribute = rhs_attribute
+        self.rules = tuple(rules)
+
+    def render(self) -> str:
+        lhs = ", ".join(a.render() for a in self.lhs_attributes)
+        return f"{lhs} --> {self.rhs_attribute.render()}"
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __repr__(self) -> str:
+        return f"<RuleScheme {self.render()}, {len(self.rules)} rules>"
+
+
+class RuleSet:
+    """An ordered collection of rules with attribute indexes.
+
+    Rule numbers are assigned on insertion (1-based, stable), matching
+    the paper's R1..R17 numbering style.
+    """
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self._rules: list[Rule] = []
+        self._by_lhs: dict[tuple[str, str], list[Rule]] = {}
+        self._by_rhs: dict[tuple[str, str], list[Rule]] = {}
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: Rule) -> Rule:
+        rule.number = len(self._rules) + 1
+        self._rules.append(rule)
+        for clause in rule.lhs:
+            self._by_lhs.setdefault(clause.attribute.key, []).append(rule)
+        self._by_rhs.setdefault(rule.rhs.attribute.key, []).append(rule)
+        return rule
+
+    def extend(self, rules: Iterable[Rule]) -> None:
+        for rule in rules:
+            self.add(rule)
+
+    # -- lookup ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __getitem__(self, number: int) -> Rule:
+        """Rule by its 1-based rule number."""
+        if not 1 <= number <= len(self._rules):
+            raise IndexError(f"no rule numbered {number}")
+        return self._rules[number - 1]
+
+    def rules_with_premise_on(self, attribute: AttributeRef) -> list[Rule]:
+        """Rules having a premise clause on *attribute* (forward index)."""
+        return list(self._by_lhs.get(attribute.key, ()))
+
+    def rules_concluding_on(self, attribute: AttributeRef) -> list[Rule]:
+        """Rules whose consequence is on *attribute* (backward index)."""
+        return list(self._by_rhs.get(attribute.key, ()))
+
+    def premise_attributes(self) -> list[AttributeRef]:
+        seen: dict[tuple[str, str], AttributeRef] = {}
+        for rule in self._rules:
+            for clause in rule.lhs:
+                seen.setdefault(clause.attribute.key, clause.attribute)
+        return list(seen.values())
+
+    def schemes(self) -> list[RuleScheme]:
+        """Group rules into their ``X --> Y`` rule schemes (stable order)."""
+        groups: dict[tuple, list[Rule]] = {}
+        order: list[tuple] = []
+        for rule in self._rules:
+            key = rule.scheme_key()
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(rule)
+        out = []
+        for key in order:
+            rules = groups[key]
+            out.append(RuleScheme(
+                [clause.attribute for clause in rules[0].lhs],
+                rules[0].rhs.attribute, rules))
+        return out
+
+    # -- transformation -----------------------------------------------------
+
+    def filtered(self, keep) -> "RuleSet":
+        """New rule set with only the rules satisfying *keep* (renumbered)."""
+        return RuleSet(
+            Rule(rule.lhs, rule.rhs, support=rule.support,
+                 rhs_subtype=rule.rhs_subtype, source=rule.source)
+            for rule in self._rules if keep(rule))
+
+    def merged_with(self, other: "RuleSet") -> "RuleSet":
+        merged = RuleSet()
+        for rule in list(self) + list(other):
+            merged.add(Rule(rule.lhs, rule.rhs, support=rule.support,
+                            rhs_subtype=rule.rhs_subtype, source=rule.source))
+        return merged
+
+    def render(self, isa_style: bool = False) -> str:
+        return "\n".join(rule.render(isa_style=isa_style)
+                         for rule in self._rules)
+
+    def __repr__(self) -> str:
+        return f"<RuleSet {len(self._rules)} rules>"

@@ -1,0 +1,203 @@
+"""AST for the SQL SELECT subset.
+
+Expressions reuse :mod:`repro.relational.expressions`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.relational.expressions import Expression
+
+
+class AggregateCall:
+    """``COUNT(*)``, ``COUNT([DISTINCT] expr)``, ``MIN/MAX/SUM/AVG(expr)``.
+
+    ``operand`` of ``None`` means ``COUNT(*)`` (rows, not values).
+    """
+
+    OPS = ("count", "min", "max", "sum", "avg")
+
+    def __init__(self, op: str, operand: Expression | None,
+                 distinct: bool = False):
+        self.op = op.lower()
+        self.operand = operand
+        self.distinct = distinct
+
+    def render(self) -> str:
+        if self.operand is None:
+            return f"{self.op.upper()}(*)"
+        inner = self.operand.render()
+        if self.distinct:
+            inner = "DISTINCT " + inner
+        return f"{self.op.upper()}({inner})"
+
+    def references(self):
+        if self.operand is not None:
+            yield from self.operand.references()
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, AggregateCall)
+                and self.op == other.op and self.operand == other.operand
+                and self.distinct == other.distinct)
+
+    def __repr__(self) -> str:
+        return f"<AggregateCall {self.render()}>"
+
+
+class SelectItem:
+    """One output column: an expression (or aggregate call) plus an
+    optional ``AS`` alias.
+
+    A ``*`` select list is represented by ``SelectStmt.star`` instead of
+    items.
+    """
+
+    def __init__(self, expression: "Expression | AggregateCall",
+                 alias: str | None = None):
+        self.expression = expression
+        self.alias = alias
+
+    def is_aggregate(self) -> bool:
+        return isinstance(self.expression, AggregateCall)
+
+    def render(self) -> str:
+        if self.alias:
+            return f"{self.expression.render()} AS {self.alias}"
+        return self.expression.render()
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, SelectItem)
+                and self.expression == other.expression
+                and self.alias == other.alias)
+
+    def __repr__(self) -> str:
+        return f"<SelectItem {self.render()}>"
+
+
+class TableRef:
+    """A FROM-list entry: relation name plus optional alias."""
+
+    def __init__(self, name: str, alias: str | None = None):
+        self.name = name
+        self.alias = alias
+
+    @property
+    def binding(self) -> str:
+        """The qualifier this table binds in the query scope."""
+        return self.alias or self.name
+
+    def render(self) -> str:
+        if self.alias:
+            return f"{self.name} {self.alias}"
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, TableRef)
+                and self.name.lower() == other.name.lower()
+                and (self.alias or "").lower() == (other.alias or "").lower())
+
+    def __repr__(self) -> str:
+        return f"<TableRef {self.render()}>"
+
+
+class InsertStmt:
+    """``INSERT INTO table [(columns)] VALUES (...), (...)``."""
+
+    def __init__(self, table: str, columns: Sequence[str] | None,
+                 rows: Sequence[Sequence[Expression]]):
+        self.table = table
+        self.columns = tuple(columns) if columns is not None else None
+        self.rows = tuple(tuple(row) for row in rows)
+
+    def render(self) -> str:
+        columns = ""
+        if self.columns is not None:
+            columns = " (" + ", ".join(self.columns) + ")"
+        values = ", ".join(
+            "(" + ", ".join(cell.render() for cell in row) + ")"
+            for row in self.rows)
+        return f"INSERT INTO {self.table}{columns} VALUES {values}"
+
+    def __repr__(self) -> str:
+        return f"<InsertStmt {self.render()!r}>"
+
+
+class DeleteStmt:
+    """``DELETE FROM table [WHERE q]``."""
+
+    def __init__(self, table: str, where: Expression | None = None):
+        self.table = table
+        self.where = where
+
+    def render(self) -> str:
+        text = f"DELETE FROM {self.table}"
+        if self.where is not None:
+            text += f" WHERE {self.where.render()}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"<DeleteStmt {self.render()!r}>"
+
+
+class UpdateStmt:
+    """``UPDATE table SET col = expr, ... [WHERE q]``."""
+
+    def __init__(self, table: str,
+                 assignments: Sequence[tuple[str, Expression]],
+                 where: Expression | None = None):
+        self.table = table
+        self.assignments = tuple(assignments)
+        self.where = where
+
+    def render(self) -> str:
+        body = ", ".join(f"{name} = {expr.render()}"
+                         for name, expr in self.assignments)
+        text = f"UPDATE {self.table} SET {body}"
+        if self.where is not None:
+            text += f" WHERE {self.where.render()}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"<UpdateStmt {self.render()!r}>"
+
+
+class SelectStmt:
+    """A parsed SELECT statement."""
+
+    def __init__(self, items: Sequence[SelectItem], tables: Sequence[TableRef],
+                 where: Expression | None = None,
+                 distinct: bool = False,
+                 star: bool = False,
+                 order_by: Sequence[Expression] = (),
+                 group_by: Sequence[Expression] = ()):
+        self.items = tuple(items)
+        self.tables = tuple(tables)
+        self.where = where
+        self.distinct = distinct
+        self.star = star
+        self.order_by = tuple(order_by)
+        self.group_by = tuple(group_by)
+
+    def has_aggregates(self) -> bool:
+        return any(item.is_aggregate() for item in self.items)
+
+    def render(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append("*" if self.star else
+                     ", ".join(item.render() for item in self.items))
+        parts.append("FROM " + ", ".join(t.render() for t in self.tables))
+        if self.where is not None:
+            parts.append("WHERE " + self.where.render())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(
+                k.render() for k in self.group_by))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(
+                k.render() for k in self.order_by))
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<SelectStmt {self.render()!r}>"

@@ -1,0 +1,515 @@
+"""Executor (with a small planner) for the SQL SELECT subset.
+
+Planning is deliberately simple but not naive: WHERE conjuncts are
+classified into per-table filters (pushed down before joining),
+equi-join edges (executed as hash joins in connectivity order), and
+residual predicates (evaluated on the joined rows).  This keeps the
+paper's three-way join examples instant and the synthetic benchmark
+databases tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SqlError
+from repro.relational.database import Database
+from repro.relational.datatypes import infer_type, INTEGER, REAL
+from repro.relational.expressions import (
+    ColumnRef, Comparison, Environment, Expression, conjuncts,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+from repro.sql import ast
+from repro.sql.parser import parse_select
+
+
+def execute_sql(database: Database, text: str,
+                result_name: str = "result") -> Relation:
+    """Parse and execute a SELECT statement against *database*."""
+    return execute_select(database, parse_select(text),
+                          result_name=result_name)
+
+
+def execute_statement(database: Database, text: str,
+                      result_name: str = "result") -> Relation | int:
+    """Parse and execute any supported statement.
+
+    SELECT returns a :class:`Relation`; INSERT/DELETE/UPDATE return the
+    affected row count.
+    """
+    from repro.sql.parser import parse_statement
+    statement = parse_statement(text)
+    if isinstance(statement, ast.SelectStmt):
+        return execute_select(database, statement,
+                              result_name=result_name)
+    if isinstance(statement, ast.InsertStmt):
+        return _execute_insert(database, statement)
+    if isinstance(statement, ast.DeleteStmt):
+        return _execute_delete(database, statement)
+    if isinstance(statement, ast.UpdateStmt):
+        return _execute_update(database, statement)
+    raise SqlError(f"unsupported statement {statement!r}")
+
+
+def _constant(expression, what: str):
+    from repro.relational.expressions import Environment, Literal
+    if isinstance(expression, Literal):
+        return expression.value
+    try:
+        return expression.evaluate(Environment())
+    except Exception as error:
+        raise SqlError(
+            f"{what} must be a constant expression: "
+            f"{expression.render()}") from error
+
+
+def _execute_insert(database: Database, statement: ast.InsertStmt) -> int:
+    relation = database.relation(statement.table)
+    schema = relation.schema
+    if statement.columns is not None:
+        for name in statement.columns:
+            schema.position(name)  # raises on unknown columns
+    batch = []
+    for row in statement.rows:
+        if statement.columns is None:
+            if len(row) != schema.arity:
+                raise SqlError(
+                    f"INSERT expects {schema.arity} values, "
+                    f"got {len(row)}")
+            batch.append([_constant(cell, "VALUES") for cell in row])
+            continue
+        if len(row) != len(statement.columns):
+            raise SqlError("VALUES row does not match the column list")
+        record = {name.lower(): _constant(cell, "VALUES")
+                  for name, cell in zip(statement.columns, row)}
+        batch.append([record.get(column.key)
+                      for column in schema.columns])
+    relation.insert_many(batch)
+    return len(batch)
+
+
+def _row_env(relation: Relation, row: tuple):
+    from repro.relational.expressions import Environment
+    return Environment.for_row(relation.schema, row)
+
+
+def _execute_delete(database: Database, statement: ast.DeleteStmt) -> int:
+    relation = database.relation(statement.table)
+    if statement.where is None:
+        count = len(relation)
+        relation.clear()
+        return count
+    return relation.delete_where(
+        lambda row: statement.where.evaluate(_row_env(relation, row)))
+
+
+def _execute_update(database: Database, statement: ast.UpdateStmt) -> int:
+    relation = database.relation(statement.table)
+    positions = {}
+    for name, _expression in statement.assignments:
+        positions[name.lower()] = relation.schema.position(name)
+
+    def updated(row: tuple):
+        values = list(row)
+        env = _row_env(relation, row)
+        for name, expression in statement.assignments:
+            values[positions[name.lower()]] = expression.evaluate(env)
+        return values
+
+    if statement.where is None:
+        return relation.replace_where(lambda row: True, updated)
+    return relation.replace_where(
+        lambda row: statement.where.evaluate(_row_env(relation, row)),
+        updated)
+
+
+def execute_select(database: Database, statement: ast.SelectStmt,
+                   result_name: str = "result") -> Relation:
+    """Execute a parsed SELECT statement."""
+    scope = _Scope(database, statement.tables)
+    combined = _join(scope, statement.where)
+    return _project(scope, statement, combined, result_name)
+
+
+class _Scope:
+    """FROM-clause bindings: qualifier -> relation."""
+
+    def __init__(self, database: Database, tables: Sequence[ast.TableRef]):
+        if not tables:
+            raise SqlError("FROM clause must name at least one relation")
+        self.bindings: list[str] = []
+        self.relations: dict[str, Relation] = {}
+        for table in tables:
+            binding = table.binding.lower()
+            if binding in self.relations:
+                raise SqlError(f"duplicate FROM binding {table.binding!r}")
+            self.bindings.append(binding)
+            self.relations[binding] = database.relation(table.name)
+
+    def resolve(self, ref: ColumnRef) -> str:
+        """Binding that *ref* refers to."""
+        if ref.qualifier is not None:
+            binding = ref.qualifier.lower()
+            if binding not in self.relations:
+                raise SqlError(f"unknown table or alias {ref.qualifier!r}")
+            if not self.relations[binding].schema.has_column(ref.column):
+                raise SqlError(
+                    f"{ref.qualifier} has no column {ref.column!r}")
+            return binding
+        hits = [binding for binding in self.bindings
+                if self.relations[binding].schema.has_column(ref.column)]
+        if not hits:
+            raise SqlError(f"unknown column {ref.column!r}")
+        if len(hits) > 1:
+            raise SqlError(f"ambiguous column {ref.column!r}")
+        return hits[0]
+
+    def bindings_of(self, expression: Expression) -> set[str]:
+        return {self.resolve(ref) for ref in expression.references()}
+
+    def environment(self, bindings: Sequence[str],
+                    rows: Sequence[tuple]) -> Environment:
+        env = Environment()
+        for binding, row in zip(bindings, rows):
+            env.bind(binding, self.relations[binding].schema, row)
+        return env
+
+
+def _join(scope: _Scope, where: Expression | None) -> "_Combined":
+    """Join every FROM binding, using classified WHERE conjuncts."""
+    filters: dict[str, list[Expression]] = {b: [] for b in scope.bindings}
+    edges: list[tuple[str, str, str, str]] = []  # (bind_a, col_a, bind_b, col_b)
+    residual: list[Expression] = []
+
+    for conjunct in conjuncts(where):
+        used = scope.bindings_of(conjunct)
+        if len(used) <= 1:
+            target = next(iter(used), scope.bindings[0])
+            filters[target].append(conjunct)
+            continue
+        if (len(used) == 2 and isinstance(conjunct, Comparison)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, ColumnRef)):
+            bind_a = scope.resolve(conjunct.left)
+            bind_b = scope.resolve(conjunct.right)
+            edges.append((bind_a, conjunct.left.column,
+                          bind_b, conjunct.right.column))
+            continue
+        residual.append(conjunct)
+
+    # Pre-filter each relation.
+    filtered: dict[str, list[tuple]] = {}
+    for binding in scope.bindings:
+        relation = scope.relations[binding]
+        rows = relation.rows
+        for predicate in filters[binding]:
+            rows = [row for row in rows if predicate.evaluate(
+                _single_env(scope, binding, row))]
+        filtered[binding] = list(rows)
+
+    combined = _Combined(scope, [scope.bindings[0]],
+                         [(row,) for row in filtered[scope.bindings[0]]])
+    remaining = list(scope.bindings[1:])
+    pending_edges = list(edges)
+    while remaining:
+        progressed = False
+        for binding in list(remaining):
+            usable = [edge for edge in pending_edges
+                      if _edge_connects(edge, combined.bindings, binding)]
+            if usable:
+                combined = combined.hash_join(binding, filtered[binding],
+                                              usable)
+                pending_edges = [e for e in pending_edges if e not in usable]
+                remaining.remove(binding)
+                progressed = True
+                break
+        if not progressed:
+            binding = remaining.pop(0)
+            combined = combined.cross(binding, filtered[binding])
+
+    # Any join edges between already-joined tables that were not used as
+    # hash keys (e.g. cycles) become residual predicates.
+    for bind_a, col_a, bind_b, col_b in pending_edges:
+        residual.append(Comparison(
+            "=", ColumnRef(col_a, bind_a), ColumnRef(col_b, bind_b)))
+
+    if residual:
+        combined.rows = [
+            rows for rows in combined.rows
+            if all(predicate.evaluate(
+                scope.environment(combined.bindings, rows))
+                for predicate in residual)]
+    return combined
+
+
+def _edge_connects(edge: tuple[str, str, str, str],
+                   joined: Sequence[str], candidate: str) -> bool:
+    bind_a, _col_a, bind_b, _col_b = edge
+    return ((bind_a in joined and bind_b == candidate)
+            or (bind_b in joined and bind_a == candidate))
+
+
+def _single_env(scope: _Scope, binding: str, row: tuple) -> Environment:
+    env = Environment()
+    env.bind(binding, scope.relations[binding].schema, row)
+    env.bind("", scope.relations[binding].schema, row)
+    return env
+
+
+class _Combined:
+    """Intermediate join state: per-binding row tuples, aligned."""
+
+    def __init__(self, scope: _Scope, bindings: list[str],
+                 rows: list[tuple]):
+        self.scope = scope
+        self.bindings = bindings
+        self.rows = rows
+
+    def hash_join(self, binding: str, new_rows: list[tuple],
+                  edges: list[tuple[str, str, str, str]]) -> "_Combined":
+        # Normalize edges so the existing side comes first.
+        keys: list[tuple[int, int, int]] = []  # (slot, col_pos_old, col_pos_new)
+        new_schema = self.scope.relations[binding].schema
+        for bind_a, col_a, bind_b, col_b in edges:
+            if bind_b == binding:
+                old_bind, old_col, new_col = bind_a, col_a, col_b
+            else:
+                old_bind, old_col, new_col = bind_b, col_b, col_a
+            slot = self.bindings.index(old_bind)
+            old_pos = self.scope.relations[old_bind].schema.position(old_col)
+            keys.append((slot, old_pos, new_schema.position(new_col)))
+
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in new_rows:
+            key = tuple(row[new_pos] for _s, _o, new_pos in keys)
+            if any(value is None for value in key):
+                continue
+            buckets.setdefault(key, []).append(row)
+
+        out: list[tuple] = []
+        for rows in self.rows:
+            key = tuple(rows[slot][old_pos] for slot, old_pos, _n in keys)
+            if any(value is None for value in key):
+                continue
+            for match in buckets.get(key, ()):
+                out.append(rows + (match,))
+        return _Combined(self.scope, self.bindings + [binding], out)
+
+    def cross(self, binding: str, new_rows: list[tuple]) -> "_Combined":
+        out = [rows + (row,)
+               for rows in self.rows for row in new_rows]
+        return _Combined(self.scope, self.bindings + [binding], out)
+
+
+def _project(scope: _Scope, statement: ast.SelectStmt,
+             combined: _Combined, result_name: str) -> Relation:
+    if statement.has_aggregates() or statement.group_by:
+        return _project_grouped(scope, statement, combined, result_name)
+    if statement.star:
+        items = []
+        for binding in combined.bindings:
+            relation = scope.relations[binding]
+            for column in relation.schema.columns:
+                items.append(ast.SelectItem(
+                    ColumnRef(column.name, qualifier=binding)))
+    else:
+        items = list(statement.items)
+
+    # Validate output and sort expressions up-front so unknown aliases,
+    # unknown columns and ambiguities surface as SqlError.
+    for item in items:
+        for ref in item.expression.references():
+            scope.resolve(ref)
+    for key in statement.order_by:
+        for ref in key.references():
+            scope.resolve(ref)
+
+    names = _output_names(items)
+    rows: list[tuple] = []
+    sort_values: list[tuple] = []
+    for row_group in combined.rows:
+        env = scope.environment(combined.bindings, row_group)
+        rows.append(tuple(item.expression.evaluate(env) for item in items))
+        if statement.order_by:
+            sort_values.append(tuple(
+                key.evaluate(env) for key in statement.order_by))
+
+    if statement.order_by:
+        order = sorted(range(len(rows)),
+                       key=lambda i: tuple(
+                           (v is None, v if v is not None else 0)
+                           for v in sort_values[i]))
+        rows = [rows[i] for i in order]
+
+    columns = []
+    for position, (name, item) in enumerate(zip(names, items)):
+        datatype = None
+        expression = item.expression
+        if isinstance(expression, ColumnRef):
+            binding = scope.resolve(expression)
+            datatype = scope.relations[binding].schema.column(
+                expression.column).datatype
+        if datatype is None:
+            sample = next((row[position] for row in rows
+                           if row[position] is not None), None)
+            datatype = infer_type(sample) if sample is not None else REAL
+        columns.append(Column(name, datatype))
+    result = Relation(RelationSchema(result_name, columns), rows,
+                      validated=True)
+    if statement.distinct:
+        result = result.distinct()
+    return result
+
+
+def _project_grouped(scope: _Scope, statement: ast.SelectStmt,
+                     combined: _Combined, result_name: str) -> Relation:
+    """Aggregate projection, with optional GROUP BY.
+
+    Non-aggregate select items must appear in the GROUP BY list
+    (matched syntactically).  Without GROUP BY the whole input is one
+    group and every item must be an aggregate; an empty input then
+    yields the conventional single row (COUNT = 0, others NULL).
+    """
+    if statement.star:
+        raise SqlError("SELECT * cannot be combined with aggregates")
+    group_exprs = list(statement.group_by)
+    group_renders = [e.render().lower() for e in group_exprs]
+    for item in statement.items:
+        if item.is_aggregate():
+            continue
+        if item.expression.render().lower() not in group_renders:
+            raise SqlError(
+                f"{item.expression.render()} must appear in GROUP BY "
+                "or inside an aggregate")
+
+    # Validate column references up-front.
+    for item in statement.items:
+        for ref in item.expression.references():
+            scope.resolve(ref)
+    for expression in group_exprs:
+        for ref in expression.references():
+            scope.resolve(ref)
+
+    groups: dict[tuple, list[tuple]] = {}
+    order: list[tuple] = []
+    for row_group in combined.rows:
+        env = scope.environment(combined.bindings, row_group)
+        key = tuple(e.evaluate(env) for e in group_exprs)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row_group)
+    if not group_exprs and not order:
+        groups[()] = []
+        order.append(())
+
+    names = _output_names(statement.items)
+    rows: list[tuple] = []
+    for key in order:
+        members = groups[key]
+        out: list = []
+        representative = members[0] if members else None
+        env = (scope.environment(combined.bindings, representative)
+               if representative is not None else None)
+        for item in statement.items:
+            if not item.is_aggregate():
+                out.append(item.expression.evaluate(env))
+                continue
+            call: ast.AggregateCall = item.expression
+            if call.operand is None:
+                out.append(len(members))
+                continue
+            values = []
+            for row_group in members:
+                member_env = scope.environment(combined.bindings,
+                                               row_group)
+                values.append(call.operand.evaluate(member_env))
+            out.append(_fold_sql_aggregate(call, values))
+        rows.append(tuple(out))
+
+    if statement.order_by:
+        def sort_key(pair):
+            key, _row = pair
+            env = (scope.environment(combined.bindings,
+                                     groups[key][0])
+                   if groups[key] else None)
+            values = []
+            for expression in statement.order_by:
+                value = expression.evaluate(env) if env else None
+                values.append((value is None,
+                               value if value is not None else 0))
+            return tuple(values)
+
+        paired = sorted(zip(order, rows), key=sort_key)
+        rows = [row for _key, row in paired]
+
+    columns = []
+    for position, (name, item) in enumerate(zip(names, statement.items)):
+        datatype = None
+        if item.is_aggregate():
+            call = item.expression
+            if call.op == "count":
+                datatype = INTEGER
+            elif call.op in ("sum", "avg"):
+                datatype = REAL
+            elif isinstance(call.operand, ColumnRef):
+                binding = scope.resolve(call.operand)
+                datatype = scope.relations[binding].schema.column(
+                    call.operand.column).datatype
+        elif isinstance(item.expression, ColumnRef):
+            binding = scope.resolve(item.expression)
+            datatype = scope.relations[binding].schema.column(
+                item.expression.column).datatype
+        if datatype is None:
+            sample = next((row[position] for row in rows
+                           if row[position] is not None), None)
+            datatype = infer_type(sample) if sample is not None else REAL
+        columns.append(Column(name, datatype))
+    result = Relation(RelationSchema(result_name, columns), rows,
+                      validated=True)
+    if statement.distinct:
+        result = result.distinct()
+    return result
+
+
+def _fold_sql_aggregate(call: ast.AggregateCall, values: list):
+    present = [value for value in values if value is not None]
+    if call.distinct:
+        present = list(dict.fromkeys(present))
+    if call.op == "count":
+        return len(present)
+    if not present:
+        return None
+    if call.op == "min":
+        return min(present)
+    if call.op == "max":
+        return max(present)
+    if call.op == "sum":
+        return float(sum(present))
+    if call.op == "avg":
+        return float(sum(present)) / len(present)
+    raise SqlError(f"unknown aggregate {call.op!r}")
+
+
+def _output_names(items: Sequence[ast.SelectItem]) -> list[str]:
+    names: list[str] = []
+    used: set[str] = set()
+    for index, item in enumerate(items):
+        if item.alias:
+            name = item.alias
+        elif isinstance(item.expression, ColumnRef):
+            name = item.expression.column
+        elif isinstance(item.expression, ast.AggregateCall):
+            name = item.expression.op
+        else:
+            name = f"col{index + 1}"
+        base = name
+        suffix = 2
+        while name.lower() in used:
+            name = f"{base}_{suffix}"
+            suffix += 1
+        used.add(name.lower())
+        names.append(name)
+    return names

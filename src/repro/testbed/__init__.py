@@ -1,0 +1,33 @@
+"""Test-bed databases.
+
+* :func:`ship_database` -- the exact naval ship instance of Appendix C
+  (SUBMARINE / CLASS / TYPE / SONAR / INSTALL).
+* :func:`ship_ker_schema` -- the Appendix B KER schema for it.
+* :mod:`repro.testbed.battleships` -- Table 1 (navy battleship
+  classification characteristics) and a synthetic fleet realizing it.
+* :mod:`repro.testbed.generators` -- seeded synthetic databases of
+  arbitrary size for scaling benchmarks.
+"""
+
+from repro.testbed.ship_db import ship_database
+from repro.testbed.ship_schema import ship_ker_schema, SHIP_SCHEMA_DDL
+from repro.testbed.battleships import (
+    BATTLESHIP_CLASSES, battleship_database, battleship_table,
+)
+from repro.testbed.generators import synthetic_classified_database
+from repro.testbed.harbor import (
+    HARBOR_SCHEMA_DDL, harbor_database, harbor_ker_schema,
+)
+
+__all__ = [
+    "HARBOR_SCHEMA_DDL",
+    "harbor_database",
+    "harbor_ker_schema",
+    "ship_database",
+    "ship_ker_schema",
+    "SHIP_SCHEMA_DDL",
+    "BATTLESHIP_CLASSES",
+    "battleship_database",
+    "battleship_table",
+    "synthetic_classified_database",
+]

@@ -1,0 +1,112 @@
+"""Table 1: classification characteristics of navy battleships.
+
+The paper's Table 1 lists twelve ship types in two categories with their
+displacement ranges.  The table is *metadata*; to exercise the learning
+pipeline we also provide a synthetic fleet generator that realizes the
+table as ship instances (each ship's displacement drawn inside its
+type's range, deterministically from a seed), so that the ILS can induce
+the ranges back out of the data -- which is exactly Section 3.1's point
+that "these characteristics are the candidate knowledge that can be
+derived from the database".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import NamedTuple
+
+from repro.relational import Database, INTEGER, char
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+
+
+class BattleshipClass(NamedTuple):
+    """One Table 1 row."""
+
+    category: str
+    type_code: str
+    type_name: str
+    displacement_low: int
+    displacement_high: int
+
+
+#: Table 1, verbatim.
+BATTLESHIP_CLASSES: tuple[BattleshipClass, ...] = (
+    BattleshipClass("Subsurface", "SSBN",
+                    "Ballistic Nuclear Missile Submarine", 7250, 16600),
+    BattleshipClass("Subsurface", "SSN", "Nuclear Submarine", 1720, 6000),
+    BattleshipClass("Surface", "CVN", "Attack Aircraft Carrier",
+                    75700, 81600),
+    BattleshipClass("Surface", "CV", "Aircraft Carrier", 41900, 61000),
+    BattleshipClass("Surface", "BB", "Battleship", 45000, 45000),
+    BattleshipClass("Surface", "CGN", "Guided Nuclear Missile Crusier",
+                    7600, 14200),
+    BattleshipClass("Surface", "CG", "Guided Missile Crusier", 5670, 13700),
+    BattleshipClass("Surface", "CA", "Gun Cruiser", 17000, 17000),
+    BattleshipClass("Surface", "DDG", "Guided Missile Destroyer",
+                    3370, 8300),
+    BattleshipClass("Surface", "DD", "Destroyer", 2425, 7810),
+    BattleshipClass("Surface", "FFG", "Guided Missile Frigate", 3605, 3605),
+    BattleshipClass("Surface", "FF", "Frigate", 2360, 3011),
+)
+
+
+def battleship_table() -> Relation:
+    """Table 1 as a relation (the paper's printed form)."""
+    schema = RelationSchema("BATTLESHIP_TYPES", [
+        Column("Category", char(10)),
+        Column("Type", char(4)),
+        Column("TypeName", char(40)),
+        Column("DisplacementLow", INTEGER),
+        Column("DisplacementHigh", INTEGER),
+    ], key=["Type"])
+    return Relation(schema, [tuple(entry) for entry in BATTLESHIP_CLASSES])
+
+
+def battleship_database(ships_per_type: int = 20, seed: int = 1981,
+                        include_endpoints: bool = True) -> Database:
+    """A synthetic fleet realizing Table 1.
+
+    Parameters
+    ----------
+    ships_per_type:
+        Fleet size per ship type.
+    seed:
+        Seed for the deterministic displacement draws.
+    include_endpoints:
+        When True (default), each type's first two ships take exactly the
+        low and high range bounds, so induced ranges reproduce Table 1
+        exactly rather than approaching it statistically.
+    """
+    rng = random.Random(seed)
+    ship_rows: list[tuple[str, str, str, int]] = []
+    hull = 100
+    for entry in BATTLESHIP_CLASSES:
+        low, high = entry.displacement_low, entry.displacement_high
+        for index in range(ships_per_type):
+            if include_endpoints and index == 0:
+                displacement = low
+            elif include_endpoints and index == 1 and high > low:
+                displacement = high
+            else:
+                displacement = rng.randint(low, high)
+            ship_rows.append((
+                f"{entry.type_code}{hull}",
+                f"{entry.type_name} {index + 1}",
+                entry.type_code,
+                displacement,
+            ))
+            hull += 1
+
+    db = Database("battleships")
+    db.create("SHIP",
+              [("Id", char(10)), ("Name", char(44)),
+               ("Type", char(4)), ("Displacement", INTEGER)],
+              rows=ship_rows, key=["Id"])
+    db.create("SHIPTYPE",
+              [("Type", char(4)), ("TypeName", char(40)),
+               ("Category", char(10))],
+              rows=[(e.type_code, e.type_name, e.category)
+                    for e in BATTLESHIP_CLASSES],
+              key=["Type"])
+    return db

@@ -1,0 +1,121 @@
+"""Seeded synthetic databases for scaling and ablation benchmarks.
+
+All generators are deterministic functions of their parameters; no
+global random state is touched.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.relational import Database, INTEGER, char
+
+
+def synthetic_classified_database(n_rows: int = 1000, n_classes: int = 5,
+                                  seed: int = 7, noise: float = 0.0,
+                                  name: str = "synth") -> Database:
+    """A single-relation database whose label is range-determined.
+
+    ``ITEM(Id, Value, Label)``: the value domain ``[0, 100 * n_classes)``
+    is split into ``n_classes`` contiguous bands; each row draws a value
+    and takes its band's label.  With ``noise > 0`` that fraction of rows
+    is relabeled uniformly at random, which creates inconsistent (X, Y)
+    pairs for step 2 of the induction algorithm to remove.
+
+    The induced ``Value --> Label`` rule set on a noise-free instance
+    recovers the bands (one rule per band, possibly split at unobserved
+    values).
+    """
+    if n_classes < 1:
+        raise ValueError("need at least one class")
+    rng = random.Random(seed)
+    band_width = 100
+    labels = [f"L{index:03d}" for index in range(n_classes)]
+    rows = []
+    for identifier in range(n_rows):
+        value = rng.randrange(0, band_width * n_classes)
+        label = labels[value // band_width]
+        if noise > 0 and rng.random() < noise:
+            label = rng.choice(labels)
+        rows.append((identifier, value, label))
+    db = Database(name)
+    db.create("ITEM",
+              [("Id", INTEGER), ("Value", INTEGER), ("Label", char(8))],
+              rows=rows, key=["Id"])
+    return db
+
+
+def synthetic_star_database(n_entities: int = 500, n_groups: int = 20,
+                            seed: int = 11, name: str = "star") -> Database:
+    """A two-relation database with a foreign key, for inter-object
+    (relationship) rule induction.
+
+    ``ENTITY(Id, GroupId, Size)`` references ``GROUPS(GroupId, Label,
+    Weight)``; group labels partition the group-id space contiguously,
+    and entity sizes are drawn around a per-group center, so both
+    ``GroupId --> Label`` and the cross-relation ``Size --> Label``
+    schemes carry signal.
+    """
+    rng = random.Random(seed)
+    group_rows = []
+    label_count = max(2, n_groups // 5)
+    for group_id in range(n_groups):
+        label = f"G{group_id * label_count // n_groups:02d}"
+        group_rows.append((group_id, label, (group_id + 1) * 10))
+    entity_rows = []
+    for identifier in range(n_entities):
+        group_id = rng.randrange(n_groups)
+        size = group_id * 100 + rng.randrange(0, 100)
+        entity_rows.append((identifier, group_id, size))
+    db = Database(name)
+    db.create("GROUPS",
+              [("GroupId", INTEGER), ("Label", char(4)),
+               ("Weight", INTEGER)],
+              rows=group_rows, key=["GroupId"])
+    db.create("ENTITY",
+              [("Id", INTEGER), ("GroupId", INTEGER), ("Size", INTEGER)],
+              rows=entity_rows, key=["Id"])
+    return db
+
+
+def scaled_ship_database(scale: int = 10, seed: int = 3,
+                         name: str = "ships_scaled") -> Database:
+    """The ship database grown by *scale*: every submarine is cloned
+    ``scale`` times with fresh hull numbers (same class and sonar
+    distribution), which preserves the induced CLASS/SONAR rules while
+    growing SUBMARINE and INSTALL linearly -- the shape used by the
+    induction scaling benchmark."""
+    from repro.testbed.ship_db import (
+        CLASS_ROWS, INSTALL_ROWS, SONAR_ROWS, SUBMARINE_ROWS, TYPE_ROWS,
+        ship_database,
+    )
+    if scale <= 1:
+        return ship_database()
+    sonar_by_ship = dict(INSTALL_ROWS)
+    submarine_rows = list(SUBMARINE_ROWS)
+    install_rows = list(INSTALL_ROWS)
+    serial = 800
+    for _copy in range(scale - 1):
+        for ship_id, ship_name, ship_class in SUBMARINE_ROWS:
+            prefix = "SSBN" if ship_id.startswith("SSBN") else "SSN"
+            new_id = f"{prefix}{serial}"
+            serial += 1
+            submarine_rows.append((new_id, f"{ship_name} {serial}",
+                                   ship_class))
+            install_rows.append((new_id, sonar_by_ship[ship_id]))
+    db = Database(name)
+    from repro.relational import char as _char
+    db.create("SUBMARINE",
+              [("Id", _char(8)), ("Name", _char(26)), ("Class", _char(4))],
+              rows=submarine_rows, key=["Id"])
+    db.create("CLASS",
+              [("Class", _char(4)), ("ClassName", _char(20)),
+               ("Type", _char(4)), ("Displacement", INTEGER)],
+              rows=CLASS_ROWS, key=["Class"])
+    db.create("TYPE", [("Type", _char(4)), ("TypeName", _char(30))],
+              rows=TYPE_ROWS, key=["Type"])
+    db.create("SONAR", [("Sonar", _char(8)), ("SonarType", _char(8))],
+              rows=SONAR_ROWS, key=["Sonar"])
+    db.create("INSTALL", [("Ship", _char(8)), ("Sonar", _char(8))],
+              rows=install_rows, key=["Ship"])
+    return db

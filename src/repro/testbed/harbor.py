@@ -1,0 +1,95 @@
+"""The harbor test bed: ships, ports, and visits.
+
+Section 3.1's inter-object knowledge example: "the relationship VISIT
+involves entities of SHIP and PORT and satisfies the constraint that the
+draft of the ship must be less than the depth of the port".  The ship
+database of Appendix C has no such relationship, so this companion test
+bed realizes it: small ships (drafts 5-8, Size "small") and large ships
+(drafts 10-12, Size "large") visiting ports of various depths, every
+visit respecting draft < depth.
+
+Used by the comparison-constraint induction tests and by
+``examples/harbor_visits.py``.
+"""
+
+from __future__ import annotations
+
+from repro.ker import KerSchema, parse_ker
+from repro.relational import Database, INTEGER, char
+
+HARBOR_SCHEMA_DDL = """
+object type SHIP
+    has key: Id      domain: CHAR[6]
+    has:     Name    domain: CHAR[16]
+    has:     Draft   domain: INTEGER
+    has:     Size    domain: CHAR[6]
+    with
+        Draft in [5..12]
+
+SHIP contains SMALL, LARGE
+SMALL isa SHIP with Size = "small"
+LARGE isa SHIP with Size = "large"
+
+object type PORT
+    has key: Port      domain: CHAR[4]
+    has:     PortName  domain: CHAR[16]
+    has:     Depth     domain: INTEGER
+    with
+        Depth in [7..15]
+
+object type VISIT
+    has: Ship  domain: SHIP
+    has: Port  domain: PORT
+"""
+
+#: (Id, Name, Draft, Size).
+SHIP_ROWS: tuple[tuple[str, str, int, str], ...] = (
+    ("SH01", "Curlew", 5, "small"),
+    ("SH02", "Dunlin", 6, "small"),
+    ("SH03", "Avocet", 7, "small"),
+    ("SH04", "Godwit", 8, "small"),
+    ("SH05", "Albatross", 10, "large"),
+    ("SH06", "Pelican", 11, "large"),
+    ("SH07", "Cormorant", 12, "large"),
+)
+
+#: (Port, PortName, Depth).
+PORT_ROWS: tuple[tuple[str, str, int], ...] = (
+    ("P01", "Reedham", 7),
+    ("P02", "Saltmarsh", 9),
+    ("P03", "Greywater", 11),
+    ("P04", "Deephaven", 13),
+    ("P05", "Fathomside", 15),
+)
+
+#: (Ship, Port) -- every visit satisfies draft < depth.
+VISIT_ROWS: tuple[tuple[str, str], ...] = (
+    ("SH01", "P01"), ("SH01", "P02"), ("SH01", "P05"),
+    ("SH02", "P01"), ("SH02", "P03"),
+    ("SH03", "P02"), ("SH03", "P04"),
+    ("SH04", "P02"), ("SH04", "P03"), ("SH04", "P05"),
+    ("SH05", "P03"), ("SH05", "P04"),
+    ("SH06", "P04"), ("SH06", "P05"),
+    ("SH07", "P04"), ("SH07", "P05"),
+)
+
+
+def harbor_database() -> Database:
+    """Build a fresh harbor database."""
+    db = Database("harbor")
+    db.create("SHIP",
+              [("Id", char(6)), ("Name", char(16)), ("Draft", INTEGER),
+               ("Size", char(6))],
+              rows=SHIP_ROWS, key=["Id"])
+    db.create("PORT",
+              [("Port", char(4)), ("PortName", char(16)),
+               ("Depth", INTEGER)],
+              rows=PORT_ROWS, key=["Port"])
+    db.create("VISIT", [("Ship", char(6)), ("Port", char(4))],
+              rows=VISIT_ROWS)
+    return db
+
+
+def harbor_ker_schema() -> KerSchema:
+    """Parse a fresh copy of the harbor KER schema."""
+    return parse_ker(HARBOR_SCHEMA_DDL, name="harbor")

@@ -1,0 +1,132 @@
+"""The naval ship database of Appendix C, transcribed verbatim.
+
+The database was originally created by the System Development Corporation
+(later UNISYS) from Jane's Fighting Ships (1981) and hosted on INGRES;
+the paper prints the full nuclear-submarine portion, which is what the
+worked examples and the 17 induced rules are computed from.
+
+Relations::
+
+    SUBMARINE(Id, Name, Class)
+    CLASS(Class, ClassName, Type, Displacement)
+    TYPE(Type, TypeName)
+    SONAR(Sonar, SonarType)
+    INSTALL(Ship, Sonar)
+"""
+
+from __future__ import annotations
+
+from repro.relational import Database, INTEGER, char
+
+#: (Id, Name, Class) -- 24 submarines.
+SUBMARINE_ROWS: tuple[tuple[str, str, str], ...] = (
+    ("SSBN130", "Typhoon", "1301"),
+    ("SSBN623", "Nathaniel Hale", "0103"),
+    ("SSBN629", "Daniel Boone", "0103"),
+    ("SSBN635", "Sam Rayburn", "0103"),
+    ("SSBN644", "Lewis and Clark", "0102"),
+    ("SSBN658", "Mariano G. Vallejo", "0102"),
+    ("SSBN730", "Rhode Island", "0101"),
+    ("SSN582", "Bonefish", "0215"),
+    ("SSN584", "Seadragon", "0212"),
+    ("SSN592", "Snook", "0209"),
+    ("SSN601", "Robert E. Lee", "0208"),
+    ("SSN604", "Haddo", "0205"),
+    ("SSN610", "Thomas A. Edison", "0207"),
+    ("SSN614", "Greenling", "0205"),
+    ("SSN648", "Aspro", "0204"),
+    ("SSN660", "Sand Lance", "0204"),
+    ("SSN666", "Hawkbill", "0204"),
+    ("SSN671", "Narwhal", "0203"),
+    ("SSN673", "Flying Fish", "0204"),
+    ("SSN679", "Silversides", "0204"),
+    ("SSN686", "L. Mendel Rivers", "0204"),
+    ("SSN692", "Omaha", "0201"),
+    ("SSN698", "Bremerton", "0201"),
+    ("SSN704", "Baltimore", "0201"),
+)
+
+#: (Class, ClassName, Type, Displacement) -- 13 ship classes.
+CLASS_ROWS: tuple[tuple[str, str, str, int], ...] = (
+    ("0101", "Ohio", "SSBN", 16600),
+    ("0102", "Benjamin Franklin", "SSBN", 7250),
+    ("0103", "Lafayette", "SSBN", 7250),
+    ("0201", "LosAngeles", "SSN", 6000),
+    ("0203", "Narwhal", "SSN", 4450),
+    ("0204", "Sturgeon", "SSN", 3640),
+    ("0205", "Thresher", "SSN", 3750),
+    ("0207", "Ethan Allen", "SSN", 6955),
+    ("0208", "George Washington", "SSN", 6019),
+    ("0209", "Skipjack", "SSN", 3075),
+    ("0212", "Skate", "SSN", 2360),
+    ("0215", "Barbel", "SSN", 2145),
+    ("1301", "Typhoon", "SSBN", 30000),
+)
+
+#: (Type, TypeName).
+TYPE_ROWS: tuple[tuple[str, str], ...] = (
+    ("SSBN", "ballistic nuclear missile sub"),
+    ("SSN", "nuclear submarine"),
+)
+
+#: (Sonar, SonarType).
+SONAR_ROWS: tuple[tuple[str, str], ...] = (
+    ("BQQ-2", "BQQ"),
+    ("BQQ-5", "BQQ"),
+    ("BQQ-8", "BQQ"),
+    ("BQS-04", "BQS"),
+    ("BQS-12", "BQS"),
+    ("BQS-13", "BQS"),
+    ("BQS-15", "BQS"),
+    ("TACTAS", "TACTAS"),
+)
+
+#: (Ship, Sonar) -- one sonar installation per ship.
+INSTALL_ROWS: tuple[tuple[str, str], ...] = (
+    ("SSBN130", "BQQ-2"),
+    ("SSBN623", "BQQ-5"),
+    ("SSBN629", "BQQ-5"),
+    ("SSBN635", "BQS-12"),
+    ("SSBN644", "BQQ-5"),
+    ("SSBN658", "BQS-12"),
+    ("SSBN730", "BQQ-5"),
+    ("SSN582", "BQS-04"),
+    ("SSN584", "BQS-04"),
+    ("SSN592", "BQS-04"),
+    ("SSN601", "BQS-04"),
+    ("SSN604", "BQQ-2"),
+    ("SSN610", "BQQ-5"),
+    ("SSN614", "BQQ-2"),
+    ("SSN648", "BQQ-2"),
+    ("SSN660", "BQQ-5"),
+    ("SSN666", "BQQ-8"),
+    ("SSN671", "BQQ-2"),
+    ("SSN673", "BQS-12"),
+    ("SSN679", "BQS-13"),
+    ("SSN686", "BQQ-2"),
+    ("SSN692", "BQS-15"),
+    ("SSN698", "TACTAS"),
+    ("SSN704", "BQQ-5"),
+)
+
+
+def ship_database() -> Database:
+    """Build a fresh copy of the Appendix C ship database."""
+    db = Database("ships")
+    db.create("SUBMARINE",
+              [("Id", char(7)), ("Name", char(20)), ("Class", char(4))],
+              rows=SUBMARINE_ROWS, key=["Id"])
+    db.create("CLASS",
+              [("Class", char(4)), ("ClassName", char(20)),
+               ("Type", char(4)), ("Displacement", INTEGER)],
+              rows=CLASS_ROWS, key=["Class"])
+    db.create("TYPE",
+              [("Type", char(4)), ("TypeName", char(30))],
+              rows=TYPE_ROWS, key=["Type"])
+    db.create("SONAR",
+              [("Sonar", char(8)), ("SonarType", char(8))],
+              rows=SONAR_ROWS, key=["Sonar"])
+    db.create("INSTALL",
+              [("Ship", char(7)), ("Sonar", char(8))],
+              rows=INSTALL_ROWS, key=["Ship"])
+    return db

@@ -1,0 +1,104 @@
+"""The Appendix B KER schema of the naval ship database.
+
+The DDL below follows Appendix B with three deliberate clarifications,
+each noted in DESIGN.md:
+
+* role declarations appear in rule premises (the Appendix A.5 structure-
+  rule form) instead of inside comments, since comments are skipped;
+* the subtype lists are written out in full (Appendix B abbreviates
+  ``SUBMARINE contains C0101, ..., C1301``);
+* every subtype carries an explicit derivation specification
+  (``SSBN isa CLASS with Type = "SSBN"``), the Section 2 form, so that
+  rule conclusions of the shape ``x isa SSBN`` are grounded.
+"""
+
+from __future__ import annotations
+
+from repro.ker import KerSchema, parse_ker
+
+#: The ship schema in KER DDL (Appendix A syntax).
+SHIP_SCHEMA_DDL = """
+/* B.1 Domain definitions */
+domain: NAME isa CHAR[20]
+domain: CLASS_NAME isa NAME
+domain: SHIP_NAME isa NAME
+domain: TYPE_NAME isa CHAR[30]
+domain: SONAR_NAME isa CHAR[8]
+
+/* B.2 Object type definitions */
+object type TYPE
+    has key: Type       domain: CHAR[4]
+    has:     TypeName   domain: TYPE_NAME
+
+object type CLASS
+    has key: Class          domain: CHAR[4]
+    has:     ClassName      domain: CLASS_NAME
+    has:     Type           domain: TYPE
+    has:     Displacement   domain: INTEGER
+    with
+        Displacement in [2000..30000]
+        if "0101" <= Class <= "0103" then Type = "SSBN"
+        if "0201" <= Class <= "0216" then Type = "SSN"
+
+CLASS contains SSBN, SSN
+    with
+        if x isa CLASS and 2145 <= x.Displacement <= 6955 then x isa SSN
+        if x isa CLASS and 7250 <= x.Displacement <= 30000 then x isa SSBN
+
+SSBN isa CLASS with Type = "SSBN"
+SSN isa CLASS with Type = "SSN"
+
+object type SUBMARINE
+    has key: Id      domain: CHAR[7]
+    has:     Name    domain: SHIP_NAME
+    has:     Class   domain: CLASS
+
+SUBMARINE contains C0101, C0102, C0103, C0201, C0203, C0204,
+    C0205, C0207, C0208, C0209, C0212, C0215, C1301
+
+C0101 isa SUBMARINE with Class = "0101"
+C0102 isa SUBMARINE with Class = "0102"
+C0103 isa SUBMARINE with Class = "0103"
+C0201 isa SUBMARINE with Class = "0201"
+C0203 isa SUBMARINE with Class = "0203"
+C0204 isa SUBMARINE with Class = "0204"
+C0205 isa SUBMARINE with Class = "0205"
+C0207 isa SUBMARINE with Class = "0207"
+C0208 isa SUBMARINE with Class = "0208"
+C0209 isa SUBMARINE with Class = "0209"
+C0212 isa SUBMARINE with Class = "0212"
+C0215 isa SUBMARINE with Class = "0215"
+C1301 isa SUBMARINE with Class = "1301"
+
+object type SONAR
+    has key: Sonar       domain: SONAR_NAME
+    has:     SonarType   domain: CHAR[8]
+
+SONAR contains BQQ, BQS, TACTAS
+    with
+        if x isa SONAR and BQQ-2 <= x.Sonar <= BQQ-8 then x isa BQQ
+        if x isa SONAR and BQS-04 <= x.Sonar <= BQS-15 then x isa BQS
+        if x isa SONAR and x.Sonar = "TACTAS" then x isa TACTAS
+
+BQQ isa SONAR with SonarType = "BQQ"
+BQS isa SONAR with SonarType = "BQS"
+TACTAS isa SONAR with SonarType = "TACTAS"
+
+object type INSTALL
+    has key: Ship    domain: SUBMARINE
+    has:     Sonar   domain: SONAR
+    with
+        if x isa SUBMARINE and y isa SONAR and x.Class = "0203"
+            then y isa BQQ
+        if x isa SUBMARINE and y isa SONAR
+            and "0205" <= x.Class <= "0207" then y isa BQQ
+        if x isa SUBMARINE and y isa SONAR
+            and "0208" <= x.Class <= "0215" then y isa BQS
+        if x isa SUBMARINE and y isa SONAR and y.Sonar = "BQS-04"
+            then x isa SSN
+"""
+
+
+def ship_ker_schema() -> KerSchema:
+    """Parse a fresh copy of the ship KER schema."""
+    return parse_ker(SHIP_SCHEMA_DDL, name="ships")

@@ -1,0 +1,153 @@
+"""Seeded random query workloads over a bound schema.
+
+The paper demonstrates three hand-picked queries; to characterize the
+system beyond them (benchmark E16) we generate random conjunctive
+SELECTs whose conditions are drawn from the actual data distribution:
+
+* pick a backed relation and one of its attributes;
+* draw an interval condition (point, one-sided, or two-sided) whose
+  bounds are sampled from the attribute's observed values -- so the
+  conditions are neither vacuous nor unsatisfiable by construction;
+* optionally join along a foreign key and condition the joined side.
+
+The generator is a deterministic function of its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import NamedTuple
+
+from repro.induction.candidates import foreign_key_map
+from repro.ker.binding import SchemaBinding
+from repro.rules.clause import AttributeRef
+
+
+class GeneratedQuery(NamedTuple):
+    """One workload entry."""
+
+    sql: str
+    condition_attribute: AttributeRef
+    kind: str          #: "point" | "lower" | "upper" | "range"
+
+
+def _conditionable_attributes(binding: SchemaBinding
+                              ) -> list[AttributeRef]:
+    out = []
+    for object_type in binding.schema.object_types.values():
+        if not binding.is_backed(object_type.name):
+            continue
+        relation = binding.database.relation(object_type.name)
+        for column in relation.schema.columns:
+            values = [value for value
+                      in relation.column_values(column.name)
+                      if value is not None]
+            if len(set(values)) >= 2:
+                out.append(AttributeRef(relation.name, column.name))
+    return out
+
+
+def _render_value(value) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+def generate_workload(binding: SchemaBinding, n_queries: int = 50,
+                      seed: int = 42,
+                      join_probability: float = 0.5
+                      ) -> list[GeneratedQuery]:
+    """Generate *n_queries* conjunctive SELECTs."""
+    rng = random.Random(seed)
+    attributes = _conditionable_attributes(binding)
+    if not attributes:
+        raise ValueError("no conditionable attributes in the binding")
+    fk = foreign_key_map(binding)
+    reverse_fk: dict[str, list[tuple[AttributeRef, AttributeRef]]] = {}
+    for source, target in fk.items():
+        reverse_fk.setdefault(target.relation.lower(), []).append(
+            (source, target))
+
+    queries: list[GeneratedQuery] = []
+    for _index in range(n_queries):
+        attribute = rng.choice(attributes)
+        relation = binding.database.relation(attribute.relation)
+        values = sorted({
+            value for value in relation.column_values(attribute.attribute)
+            if value is not None})
+        kind = rng.choice(["point", "lower", "upper", "range"])
+        if kind == "point":
+            condition = (f"{attribute.render()} = "
+                         f"{_render_value(rng.choice(values))}")
+        elif kind == "lower":
+            condition = (f"{attribute.render()} >= "
+                         f"{_render_value(rng.choice(values))}")
+        elif kind == "upper":
+            condition = (f"{attribute.render()} <= "
+                         f"{_render_value(rng.choice(values))}")
+        else:
+            low, high = sorted(rng.sample(values, 2)) if len(
+                values) >= 2 else (values[0], values[0])
+            condition = (
+                f"{attribute.render()} >= {_render_value(low)} AND "
+                f"{attribute.render()} <= {_render_value(high)}")
+
+        tables = [relation.name]
+        join_conditions = []
+        joinable = reverse_fk.get(relation.name.lower(), [])
+        if joinable and rng.random() < join_probability:
+            source, target = rng.choice(joinable)
+            tables.append(source.relation)
+            join_conditions.append(
+                f"{source.render()} = {target.render()}")
+
+        key_columns = relation.schema.key or (
+            relation.schema.columns[0].name,)
+        select_list = ", ".join(
+            f"{relation.name}.{name}" for name in key_columns)
+        where = " AND ".join(join_conditions + [condition])
+        sql = (f"SELECT {select_list} FROM {', '.join(tables)} "
+               f"WHERE {where}")
+        queries.append(GeneratedQuery(sql, attribute, kind))
+    return queries
+
+
+class WorkloadStats(NamedTuple):
+    """Aggregate answerability over a workload."""
+
+    queries: int
+    with_forward: int
+    with_backward: int
+    with_any: int
+    unsatisfiable: int
+    empty_extension: int
+
+    def render(self) -> str:
+        return "\n".join([
+            f"queries:                {self.queries}",
+            f"with forward answers:   {self.with_forward}",
+            f"with backward answers:  {self.with_backward}",
+            f"with any answer:        {self.with_any}",
+            f"unsatisfiable:          {self.unsatisfiable}",
+            f"empty extension:        {self.empty_extension}",
+        ])
+
+
+def run_workload(system, queries: list[GeneratedQuery]) -> WorkloadStats:
+    """Ask every query; tally answerability."""
+    with_forward = with_backward = with_any = 0
+    unsatisfiable = empty = 0
+    for query in queries:
+        result = system.ask(query.sql)
+        if result.inference.unsatisfiable:
+            unsatisfiable += 1
+        if result.inference.forward:
+            with_forward += 1
+        if result.inference.backward:
+            with_backward += 1
+        if result.intensional or result.inference.unsatisfiable:
+            with_any += 1
+        if not result.extensional:
+            empty += 1
+    return WorkloadStats(len(queries), with_forward, with_backward,
+                         with_any, unsatisfiable, empty)

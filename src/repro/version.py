@@ -1,0 +1,4 @@
+"""Package version, kept in a standalone module so that no heavyweight
+imports are needed to inspect it."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,61 @@
+"""Unit tests for the integrity-constraint-only baseline."""
+
+import pytest
+
+from repro.baseline import ConstraintOnlyAnswerer, compare_systems
+from tests.conftest import EXAMPLE_1, EXAMPLE_2, EXAMPLE_3
+
+#: Queries exercising knowledge only induction discovers (hull-number
+#: ranges are not declared anywhere in the schema constraints).
+INDUCTION_ONLY_QUERIES = [
+    ("SELECT Name FROM SUBMARINE "
+     "WHERE Id >= 'SSBN623' AND Id <= 'SSBN635'"),
+    ("SELECT SUBMARINE.Name FROM SUBMARINE, INSTALL "
+     "WHERE SUBMARINE.Id = INSTALL.Ship "
+     "AND SUBMARINE.Id >= 'SSN604' AND SUBMARINE.Id <= 'SSN671'"),
+]
+
+
+@pytest.fixture()
+def baseline(ship_binding):
+    return ConstraintOnlyAnswerer.from_binding(ship_binding)
+
+
+class TestBaselineAlone:
+    def test_uses_only_schema_rules(self, baseline):
+        assert all(rule.source == "schema" for rule in baseline.rules)
+
+    def test_answers_displacement_query(self, baseline):
+        result = baseline.ask(EXAMPLE_1)
+        assert "SSBN" in [d.rule.rhs_subtype
+                          for d in result.inference.forward]
+
+    def test_cannot_answer_hull_range_query(self, baseline):
+        result = baseline.ask(INDUCTION_ONLY_QUERIES[0])
+        assert not result.inference.forward
+        assert not result.inference.backward
+
+
+class TestComparison:
+    def test_report_counts(self, ship_system, baseline):
+        queries = [EXAMPLE_1, EXAMPLE_2, EXAMPLE_3,
+                   *INDUCTION_ONLY_QUERIES]
+        report = compare_systems(ship_system, baseline, queries)
+        assert report.queries == 5
+        assert report.induced_answered >= report.baseline_answered
+        assert report.induced_only >= 1
+
+    def test_paper_claim_on_induction_only_workload(self, ship_system,
+                                                    baseline):
+        """The conclusion's claim: induced rules answer queries
+        integrity constraints cannot."""
+        report = compare_systems(ship_system, baseline,
+                                 INDUCTION_ONLY_QUERIES)
+        assert report.induced_answered == 2
+        assert report.baseline_answered == 0
+
+    def test_render(self, ship_system, baseline):
+        report = compare_systems(ship_system, baseline, [EXAMPLE_1])
+        text = report.render()
+        assert "queries:" in text
+        assert "induced" in text

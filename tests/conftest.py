@@ -1,0 +1,57 @@
+"""Shared fixtures: the ship test bed, its schema binding, and the
+induced knowledge base (session-scoped where the object is read-only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.induction import InductionConfig, InductiveLearningSubsystem
+from repro.ker import SchemaBinding
+from repro.query import IntensionalQueryProcessor
+from repro.testbed import ship_database, ship_ker_schema
+
+#: The paper's relation ordering (gives R1..R18 numbering used in tests).
+SHIP_ORDER = ["SUBMARINE", "CLASS", "SONAR", "INSTALL"]
+
+#: The three worked example queries of Section 6.
+EXAMPLE_1 = (
+    "SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE "
+    "FROM SUBMARINE, CLASS "
+    "WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000")
+EXAMPLE_2 = (
+    "SELECT SUBMARINE.NAME, SUBMARINE.CLASS FROM SUBMARINE, CLASS "
+    'WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = "SSBN"')
+EXAMPLE_3 = (
+    "SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE "
+    "FROM SUBMARINE, CLASS, INSTALL "
+    "WHERE SUBMARINE.CLASS = CLASS.CLASS AND SUBMARINE.ID = INSTALL.SHIP "
+    'AND INSTALL.SONAR = "BQS-04"')
+
+
+@pytest.fixture()
+def ship_db():
+    """A fresh, mutable copy of the Appendix C database."""
+    return ship_database()
+
+
+@pytest.fixture()
+def ship_schema():
+    return ship_ker_schema()
+
+
+@pytest.fixture()
+def ship_binding(ship_db, ship_schema):
+    return SchemaBinding(ship_schema, ship_db)
+
+
+@pytest.fixture()
+def ship_rules(ship_binding):
+    ils = InductiveLearningSubsystem(
+        ship_binding, InductionConfig(n_c=3), relation_order=SHIP_ORDER)
+    return ils.induce()
+
+
+@pytest.fixture()
+def ship_system(ship_db, ship_schema):
+    return IntensionalQueryProcessor.from_database(
+        ship_db, ker_schema=ship_schema, relation_order=SHIP_ORDER)

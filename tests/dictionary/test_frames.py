@@ -1,0 +1,78 @@
+"""Unit tests for the frame system."""
+
+import pytest
+
+from repro.dictionary import FrameSystem
+from repro.errors import KerError
+from repro.relational.datatypes import INTEGER, char
+from repro.rules.clause import Interval
+
+
+@pytest.fixture()
+def frames(ship_schema):
+    return FrameSystem.from_ker(ship_schema)
+
+
+class TestConstruction:
+    def test_every_type_gets_a_frame(self, frames, ship_schema):
+        assert len(frames) == len(ship_schema.object_types)
+
+    def test_parents_linked(self, frames):
+        assert frames.frame("SSBN").parent is frames.frame("CLASS")
+        assert frames.frame("SUBMARINE").parent is None
+
+    def test_unknown_frame(self, frames):
+        with pytest.raises(KerError, match="no frame"):
+            frames.frame("GHOST")
+
+    def test_contains(self, frames):
+        assert "class" in frames
+        assert "ghost" not in frames
+
+
+class TestSlots:
+    def test_own_slots(self, frames):
+        names = [slot.name for slot in frames.frame("CLASS").own_slots()]
+        assert names == ["Class", "ClassName", "Type", "Displacement"]
+
+    def test_key_facet(self, frames):
+        assert frames.frame("CLASS").slot("Class").is_key
+        assert not frames.frame("CLASS").slot("Type").is_key
+
+    def test_datatype_resolved(self, frames):
+        assert frames.frame("CLASS").slot("Displacement").datatype == (
+            INTEGER)
+        assert frames.frame("SUBMARINE").slot("Name").datatype == char(20)
+
+    def test_value_range_from_with_constraint(self, frames):
+        slot = frames.frame("CLASS").slot("Displacement")
+        assert slot.value_range == Interval.closed(2000, 30000)
+
+    def test_inheritance(self, frames):
+        ssbn = frames.frame("SSBN")
+        assert ssbn.slot("Displacement") is not None
+        assert [slot.name for slot in ssbn.slots()] == [
+            "Class", "ClassName", "Type", "Displacement"]
+
+    def test_missing_slot(self, frames):
+        assert frames.frame("CLASS").slot("Bogus") is None
+
+
+class TestHierarchyQueries:
+    def test_isa(self, frames):
+        assert frames.frame("SSBN").isa("CLASS")
+        assert frames.frame("SSBN").isa("SSBN")
+        assert not frames.frame("CLASS").isa("SSBN")
+
+    def test_ancestors(self, frames):
+        assert [frame.name for frame
+                in frames.frame("C0101").ancestors()] == ["SUBMARINE"]
+
+    def test_classify_value(self, frames):
+        assert frames.classify_value("SONAR", "SonarType", "BQS") == "BQS"
+        assert frames.classify_value("CLASS", "Type", "SSBN") == "SSBN"
+        assert frames.classify_value("CLASS", "Type", "XXXX") is None
+
+    def test_membership_recorded(self, frames):
+        (clause,) = frames.frame("BQS").membership
+        assert clause.render() == "SONAR.SonarType = BQS"

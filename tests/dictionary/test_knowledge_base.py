@@ -1,0 +1,50 @@
+"""Unit tests for the intelligent data dictionary."""
+
+from repro.dictionary import IntelligentDataDictionary
+from repro.relational.textio import dumps_database, loads_database
+
+
+class TestBuild:
+    def test_build_with_schema_rules(self, ship_binding, ship_rules):
+        dictionary = IntelligentDataDictionary.build(
+            ship_binding, ship_rules, include_schema_rules=True)
+        assert len(dictionary.rules) == 18 + 11
+
+    def test_build_without_schema_rules(self, ship_binding, ship_rules):
+        dictionary = IntelligentDataDictionary.build(
+            ship_binding, ship_rules, include_schema_rules=False)
+        assert len(dictionary.rules) == 18
+
+
+class TestRelocation:
+    def test_store_and_load(self, ship_binding, ship_rules, ship_db,
+                            ship_schema):
+        dictionary = IntelligentDataDictionary.build(
+            ship_binding, ship_rules, include_schema_rules=False)
+        assert not IntelligentDataDictionary.has_knowledge(ship_db)
+        dictionary.store_into(ship_db)
+        assert IntelligentDataDictionary.has_knowledge(ship_db)
+        loaded = IntelligentDataDictionary.load_from(ship_db, ship_schema)
+        assert len(loaded.rules) == len(dictionary.rules)
+
+    def test_full_relocation_pipeline(self, ship_binding, ship_rules,
+                                      ship_db, ship_schema):
+        """Database + rules dumped to text, reloaded elsewhere, and the
+        dictionary rebuilt -- the Section 5.2.2 scenario."""
+        dictionary = IntelligentDataDictionary.build(
+            ship_binding, ship_rules, include_schema_rules=False)
+        dictionary.store_into(ship_db)
+        remote = loads_database(dumps_database(ship_db))
+        rebuilt = IntelligentDataDictionary.load_from(remote, ship_schema)
+        assert rebuilt.rules.render() == dictionary.rules.render()
+
+
+class TestRendering:
+    def test_render_includes_frames_and_rules(self, ship_binding,
+                                              ship_rules):
+        dictionary = IntelligentDataDictionary.build(
+            ship_binding, ship_rules)
+        text = dictionary.render()
+        assert "frame SSBN isa CLASS" in text
+        assert "R1:" in text
+        assert "(key)" in text

@@ -1,0 +1,134 @@
+"""Unit tests for candidate selection and the ILS facade."""
+
+import pytest
+
+from repro.induction import (
+    InductionConfig, InductiveLearningSubsystem, candidate_schemes,
+)
+from repro.induction.candidates import (
+    classification_attributes, side_closure,
+)
+from repro.induction.ils import JoinExpander
+from repro.rules.clause import AttributeRef
+from tests.conftest import SHIP_ORDER
+
+
+class TestClassificationAttributes:
+    def test_ship_schema(self, ship_binding):
+        refs = {ref.render()
+                for ref in classification_attributes(ship_binding)}
+        assert refs == {"CLASS.Type", "SUBMARINE.Class",
+                        "SONAR.SonarType"}
+
+
+class TestSideClosure:
+    def test_ship_side_reaches_class_and_type(self, ship_binding):
+        closure = [name.upper()
+                   for name in side_closure(ship_binding, "SUBMARINE")]
+        assert closure == ["SUBMARINE", "CLASS", "TYPE"]
+
+    def test_sonar_side(self, ship_binding):
+        assert [name.upper()
+                for name in side_closure(ship_binding, "SONAR")] == [
+            "SONAR"]
+
+
+class TestCandidateSchemes:
+    def test_intra_schemes(self, ship_binding):
+        schemes = candidate_schemes(ship_binding,
+                                    relation_order=SHIP_ORDER)
+        intra = [s.render() for s in schemes if s.kind == "intra"]
+        assert "SUBMARINE.Id --> SUBMARINE.Class" in intra
+        assert "CLASS.Displacement --> CLASS.Type" in intra
+        assert "SONAR.Sonar --> SONAR.SonarType" in intra
+        # The classification attribute itself is never its own X.
+        assert "CLASS.Type --> CLASS.Type" not in intra
+
+    def test_inter_schemes_cross_sides_only(self, ship_binding):
+        schemes = candidate_schemes(ship_binding)
+        inter = [s.render() for s in schemes if s.kind == "inter"]
+        assert ("SUBMARINE.Id --> SONAR.SonarType via INSTALL") in inter
+        assert ("SONAR.Sonar --> CLASS.Type via INSTALL") in inter
+        # Same-side pairs are not inter-object candidates.
+        assert not any("SUBMARINE.Id --> CLASS.Type" in item
+                       for item in inter)
+
+    def test_relation_order_respected(self, ship_binding):
+        schemes = candidate_schemes(ship_binding,
+                                    relation_order=SHIP_ORDER)
+        first_relations = [s.x_ref.relation for s in schemes[:2]]
+        assert first_relations == ["SUBMARINE", "SUBMARINE"]
+
+
+class TestJoinExpander:
+    def test_expansion_covers_all_sides(self, ship_binding):
+        expander = JoinExpander(ship_binding)
+        records = expander.expand("INSTALL")
+        assert len(records) == 24
+        record = next(r for r in records
+                      if r[AttributeRef("INSTALL", "Ship")] == "SSN582")
+        assert record[AttributeRef("SUBMARINE", "Name")] == "Bonefish"
+        assert record[AttributeRef("CLASS", "Type")] == "SSN"
+        assert record[AttributeRef("SONAR", "SonarType")] == "BQS"
+        assert record[AttributeRef("TYPE", "TypeName")] == (
+            "nuclear submarine")
+
+
+class TestILS:
+    def test_induces_18_rules_at_nc3(self, ship_rules):
+        assert len(ship_rules) == 18
+
+    def test_rules_tagged_with_subtypes(self, ship_rules):
+        tagged = [rule.rhs_subtype for rule in ship_rules]
+        assert "SSBN" in tagged and "C0103" in tagged and "BQS" in tagged
+
+    def test_nc1_superset_of_nc3(self, ship_binding):
+        loose = InductiveLearningSubsystem(
+            ship_binding, InductionConfig(n_c=1),
+            relation_order=SHIP_ORDER).induce()
+        tight_keys = {(rule.lhs, rule.rhs)
+                      for rule in InductiveLearningSubsystem(
+                          ship_binding, InductionConfig(n_c=3),
+                          relation_order=SHIP_ORDER).induce()}
+        loose_keys = {(rule.lhs, rule.rhs) for rule in loose}
+        assert tight_keys <= loose_keys
+        assert len(loose) > 18
+
+    def test_rnew_appears_at_nc1(self, ship_binding):
+        """Example 2's R_new (Class = 1301 -> SSBN) exists at N_c=1."""
+        loose = InductiveLearningSubsystem(
+            ship_binding, InductionConfig(n_c=1),
+            relation_order=SHIP_ORDER).induce()
+        rendered = loose.render()
+        assert "CLASS.Class = 1301 then CLASS.Type = SSBN" in rendered
+
+    def test_quel_path_matches_native_on_ship_db(self, ship_binding):
+        native = InductiveLearningSubsystem(
+            ship_binding, InductionConfig(n_c=3),
+            relation_order=SHIP_ORDER).induce()
+        quel = InductiveLearningSubsystem(
+            ship_binding, InductionConfig(n_c=3, use_quel=True),
+            relation_order=SHIP_ORDER).induce()
+        assert [(r.lhs, r.rhs, r.support) for r in native] == [
+            (r.lhs, r.rhs, r.support) for r in quel]
+
+    def test_induced_rules_sound_on_training_data(self, ship_binding,
+                                                  ship_rules):
+        expander = JoinExpander(ship_binding)
+        records = expander.expand("INSTALL")
+        for rule in ship_rules:
+            # Inter-object rules check against the joined records; intra
+            # rules against their own relation (joined records include
+            # those attributes too, for submarines present in INSTALL).
+            assert rule.sound_on(records), rule.render()
+
+    def test_break_on_removed_ablation(self, ship_binding):
+        merged = InductiveLearningSubsystem(
+            ship_binding,
+            InductionConfig(n_c=3, break_on_removed=False),
+            relation_order=SHIP_ORDER).induce()
+        # Without breaking, the INSTALL class rules fuse across removed
+        # values: 0205..0207 and 0208..0215 stay separate (different Y),
+        # but 0101 and 0203 join the 0205..0207 run.
+        rendered = merged.render()
+        assert "0101 <= SUBMARINE.Class <= 0207" in rendered

@@ -1,0 +1,128 @@
+"""Unit tests for the ID3-style decision-tree learner."""
+
+import pytest
+
+from repro.errors import InductionError
+from repro.induction import DecisionTree, id3_induce, tree_to_rules
+from repro.induction.id3 import accuracy
+from repro.rules.clause import AttributeRef
+
+TONS = AttributeRef("SHIP", "Tons")
+HULL = AttributeRef("SHIP", "Hull")
+KIND = AttributeRef("SHIP", "Kind")
+
+
+def record(tons, hull, kind):
+    return {TONS: tons, HULL: hull, KIND: kind}
+
+
+@pytest.fixture()
+def fleet():
+    return [
+        record(1000, "steel", "light"),
+        record(2000, "steel", "light"),
+        record(3000, "steel", "light"),
+        record(8000, "steel", "heavy"),
+        record(9000, "titanium", "heavy"),
+        record(12000, "titanium", "heavy"),
+    ]
+
+
+class TestNumericSplits:
+    def test_learns_threshold(self, fleet):
+        tree = id3_induce(fleet, [TONS], KIND)
+        assert not tree.is_leaf()
+        assert tree.attribute == TONS
+        assert 3000 <= tree.threshold < 8000
+
+    def test_perfect_accuracy_on_training(self, fleet):
+        tree = id3_induce(fleet, [TONS], KIND)
+        assert accuracy(tree, fleet, KIND) == 1.0
+
+    def test_classify_unseen(self, fleet):
+        tree = id3_induce(fleet, [TONS], KIND)
+        assert tree.classify({TONS: 500}) == "light"
+        assert tree.classify({TONS: 50000}) == "heavy"
+
+
+class TestCategoricalSplits:
+    def test_categorical_feature(self):
+        rows = [record(1, "steel", "cheap"), record(1, "steel", "cheap"),
+                record(1, "titanium", "dear"),
+                record(1, "titanium", "dear")]
+        tree = id3_induce(rows, [HULL], KIND)
+        assert tree.branches is not None
+        assert tree.classify({HULL: "steel"}) == "cheap"
+
+    def test_unseen_category_falls_back_to_majority(self):
+        rows = [record(1, "steel", "cheap")] * 3 + [
+            record(1, "titanium", "dear")]
+        tree = id3_induce(rows, [HULL], KIND)
+        assert tree.classify({HULL: "wood"}) == "cheap"
+
+
+class TestStoppingRules:
+    def test_pure_node_is_leaf(self):
+        rows = [record(1, "steel", "same")] * 5
+        tree = id3_induce(rows, [TONS, HULL], KIND)
+        assert tree.is_leaf()
+        assert tree.label == "same"
+
+    def test_max_depth(self, fleet):
+        tree = id3_induce(fleet, [TONS], KIND, max_depth=0)
+        assert tree.is_leaf()
+
+    def test_no_features_majority(self, fleet):
+        tree = id3_induce(fleet, [], KIND)
+        assert tree.is_leaf()
+        # 3-3 tie: max() keeps the first-encountered label.
+        assert tree.label == "light"
+
+    def test_no_labeled_records(self):
+        with pytest.raises(InductionError):
+            id3_induce([{TONS: 1}], [TONS], KIND)
+
+    def test_useless_feature_yields_leaf(self):
+        rows = [record(5, "steel", "a"), record(5, "steel", "b")]
+        tree = id3_induce(rows, [TONS, HULL], KIND)
+        assert tree.is_leaf()
+
+
+class TestTreeShape:
+    def test_depth_and_leaf_count(self, fleet):
+        tree = id3_induce(fleet, [TONS], KIND)
+        assert tree.depth() == 1
+        assert tree.leaf_count() == 2
+
+    def test_render(self, fleet):
+        text = id3_induce(fleet, [TONS], KIND).render()
+        assert "SHIP.Tons <=" in text
+        assert "-> light" in text
+
+
+class TestTreeToRules:
+    def test_path_rules(self, fleet):
+        tree = id3_induce(fleet, [TONS], KIND)
+        rules = tree_to_rules(tree, KIND)
+        assert len(rules) == 2
+        for rule in rules:
+            assert rule.rhs.attribute == KIND
+            assert rule.source == "id3"
+
+    def test_rules_classify_training_data(self, fleet):
+        tree = id3_induce(fleet, [TONS], KIND)
+        rules = tree_to_rules(tree, KIND)
+        for row in fleet:
+            fired = [rule for rule in rules
+                     if rule.premise_satisfied_by(row)]
+            assert len(fired) == 1
+            assert fired[0].rhs.satisfied_by(row[KIND])
+
+    def test_multi_feature_paths(self):
+        rows = [
+            record(1000, "steel", "a"), record(1000, "titanium", "b"),
+            record(9000, "steel", "c"), record(9000, "titanium", "c"),
+        ]
+        tree = id3_induce(rows, [TONS, HULL], KIND)
+        rules = tree_to_rules(tree, KIND)
+        assert any(len(rule.lhs) == 2 for rule in rules)

@@ -1,0 +1,77 @@
+"""Unit tests for comparison-constraint induction (the draft < depth
+knowledge of Section 3.1)."""
+
+import pytest
+
+from repro.induction.interobject import (
+    comparison_candidates, induce_comparison_constraints,
+)
+from repro.ker import SchemaBinding
+from repro.testbed import harbor_database, harbor_ker_schema
+
+
+@pytest.fixture()
+def harbor_binding():
+    return SchemaBinding(harbor_ker_schema(), harbor_database())
+
+
+class TestCandidates:
+    def test_cross_side_numeric_pairs(self, harbor_binding):
+        pairs = comparison_candidates(harbor_binding, "VISIT")
+        rendered = {(a.render(), b.render()) for a, b in pairs}
+        assert rendered == {("SHIP.Draft", "PORT.Depth")}
+
+    def test_ship_install_has_one_sided_numerics_only(self, ship_binding):
+        # CLASS.Displacement is on the submarine side; the sonar side
+        # has no numeric attribute, so no candidates exist.
+        pairs = comparison_candidates(ship_binding, "INSTALL")
+        assert pairs == []
+
+
+class TestInduction:
+    def test_draft_depth_constraint(self, harbor_binding):
+        (constraint,) = induce_comparison_constraints(
+            harbor_binding, "VISIT")
+        assert constraint.render() == "SHIP.Draft < PORT.Depth"
+        assert constraint.op == "<"
+        assert constraint.support == 16
+
+    def test_tie_weakens_to_le(self, harbor_binding):
+        # Add a visit where draft equals depth: the constraint weakens
+        # from < to <=.
+        harbor_binding.database.insert("VISIT", [("SH03", "P01")])
+        (constraint,) = induce_comparison_constraints(
+            harbor_binding, "VISIT")
+        assert constraint.op == "<="
+
+    def test_violation_kills_constraint(self, harbor_binding):
+        # A large ship in the shallowest port violates draft < depth.
+        harbor_binding.database.insert("VISIT", [("SH07", "P01")])
+        assert induce_comparison_constraints(
+            harbor_binding, "VISIT") == []
+
+    def test_min_support(self, harbor_binding):
+        assert induce_comparison_constraints(
+            harbor_binding, "VISIT", min_support=100) == []
+
+    def test_constraint_holds_on_every_record(self, harbor_binding):
+        from repro.induction.ils import JoinExpander
+        (constraint,) = induce_comparison_constraints(
+            harbor_binding, "VISIT")
+        for record in JoinExpander(harbor_binding).expand("VISIT"):
+            assert constraint.holds_for(record)
+
+
+class TestConstraintSemantics:
+    def test_holds_for_null_vacuous(self, harbor_binding):
+        (constraint,) = induce_comparison_constraints(
+            harbor_binding, "VISIT")
+        assert constraint.holds_for({})
+
+    def test_invalid_operator_rejected(self):
+        from repro.errors import RuleError
+        from repro.rules.clause import AttributeRef
+        from repro.rules.comparisons import ComparisonConstraint
+        with pytest.raises(RuleError):
+            ComparisonConstraint(AttributeRef("A", "x"), ">",
+                                 AttributeRef("B", "y"))

@@ -1,0 +1,88 @@
+"""Unit tests for knowledge maintenance (verify/refresh)."""
+
+import pytest
+
+from repro.induction import InductionConfig
+from repro.induction.maintenance import refresh_rules, verify_rules
+from repro.ker import SchemaBinding
+from tests.conftest import SHIP_ORDER
+
+
+class TestVerify:
+    def test_clean_data_has_no_violations(self, ship_binding, ship_rules):
+        assert verify_rules(ship_binding, ship_rules) == []
+
+    def test_intra_object_violation_detected(self, ship_db, ship_schema,
+                                             ship_rules):
+        # A light SSBN contradicts R8 (2145..6955 -> SSN).
+        ship_db.insert("CLASS", [("0299", "Oddball", "SSBN", 5000)])
+        binding = SchemaBinding(ship_schema, ship_db)
+        violations = verify_rules(binding, ship_rules)
+        assert any("2145 <= CLASS.Displacement <= 6955"
+                   in violation.rule.render()
+                   for violation in violations)
+        assert all(violation.observed == "SSBN"
+                   for violation in violations)
+
+    def test_inter_object_violation_detected(self, ship_db, ship_schema,
+                                             ship_rules):
+        # A BQQ sonar on a class-0208 boat contradicts R16
+        # (0208..0215 -> BQS).
+        ship_db.insert("SUBMARINE", [("SSN777", "Contrary", "0208")])
+        ship_db.insert("INSTALL", [("SSN777", "BQQ-5")])
+        binding = SchemaBinding(ship_schema, ship_db)
+        violations = verify_rules(binding, ship_rules)
+        assert any("0208 <= SUBMARINE.Class <= 0215"
+                   in violation.rule.render()
+                   for violation in violations)
+
+    def test_null_values_do_not_violate(self, ship_db, ship_schema,
+                                        ship_rules):
+        ship_db.insert("CLASS", [("0350", "Mystery", None, 5000)])
+        binding = SchemaBinding(ship_schema, ship_db)
+        displacement_violations = [
+            violation for violation in verify_rules(binding, ship_rules)
+            if violation.rule.lhs[0].attribute.attribute == "Displacement"]
+        assert displacement_violations == []
+
+
+class TestRefresh:
+    def test_no_change_on_unchanged_data(self, ship_binding, ship_rules):
+        report = refresh_rules(ship_binding, ship_rules,
+                               InductionConfig(n_c=3),
+                               relation_order=SHIP_ORDER)
+        assert not report.added and not report.removed
+        assert report.kept == len(ship_rules)
+
+    def test_contradicting_insert_splits_rule(self, ship_db, ship_schema,
+                                              ship_rules):
+        ship_db.insert("CLASS", [("0216", "Splitter", "SSBN", 5000)])
+        binding = SchemaBinding(ship_schema, ship_db)
+        report = refresh_rules(binding, ship_rules,
+                               InductionConfig(n_c=3),
+                               relation_order=SHIP_ORDER)
+        removed = [rule.render() for rule in report.removed]
+        added = [rule.render() for rule in report.added]
+        assert any("2145 <= CLASS.Displacement <= 6955" in text
+                   for text in removed)
+        assert any("2145 <= CLASS.Displacement <= 4450" in text
+                   for text in added)
+        assert any("6000 <= CLASS.Displacement <= 6955" in text
+                   for text in added)
+
+    def test_supporting_insert_extends_coverage(self, ship_db,
+                                                ship_schema, ship_rules):
+        # A second Typhoon-class boat resurrects R_new territory at
+        # N_c=2 via refresh.
+        ship_db.insert("CLASS", [("1302", "Typhoon II", "SSBN", 29500)])
+        binding = SchemaBinding(ship_schema, ship_db)
+        report = refresh_rules(binding, ship_rules,
+                               InductionConfig(n_c=2),
+                               relation_order=SHIP_ORDER)
+        assert any("1301" in rule.render() for rule in report.added)
+
+    def test_render(self, ship_binding, ship_rules):
+        report = refresh_rules(ship_binding, ship_rules,
+                               InductionConfig(n_c=3),
+                               relation_order=SHIP_ORDER)
+        assert "kept 18, added 0, removed 0" in report.render()

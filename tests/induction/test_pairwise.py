@@ -1,0 +1,163 @@
+"""Unit tests for the four-step induction algorithm."""
+
+import pytest
+
+from repro.errors import InductionError
+from repro.induction import (
+    InductionConfig, extract_pairs_native, extract_pairs_quel,
+    induce_from_pairs, induce_scheme,
+)
+from repro.relational import Database, INTEGER, char
+from repro.rules.clause import AttributeRef
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create("R", [("X", INTEGER), ("Y", char(4))],
+                    rows=[(1, "a"), (2, "a"), (3, "b"), (3, "c"),
+                          (4, "b"), (5, None), (None, "a"), (6, "b")])
+    return database
+
+
+class TestExtractNative:
+    def test_mapping_and_removed(self, db):
+        extraction = extract_pairs_native(
+            (row[0], row[1]) for row in db.relation("R"))
+        assert extraction.mapping == {1: "a", 2: "a", 4: "b", 6: "b"}
+        assert extraction.removed == frozenset({3})
+
+    def test_null_x_skipped(self, db):
+        extraction = extract_pairs_native(
+            (row[0], row[1]) for row in db.relation("R"))
+        assert None not in extraction.occurring_x
+        assert extraction.source_size == 7  # 8 rows minus the NULL X
+
+    def test_null_y_occurs_but_unmapped(self, db):
+        extraction = extract_pairs_native(
+            (row[0], row[1]) for row in db.relation("R"))
+        assert 5 in extraction.occurring_x
+        assert 5 not in extraction.mapping
+
+    def test_counts_only_consistent(self, db):
+        extraction = extract_pairs_native(
+            (row[0], row[1]) for row in db.relation("R"))
+        assert 3 not in extraction.counts
+        assert extraction.counts[1] == 1
+
+    def test_duplicate_rows_counted(self):
+        extraction = extract_pairs_native([(1, "a"), (1, "a"), (2, "a")])
+        assert extraction.counts == {1: 2, 2: 1}
+
+
+class TestExtractQuel:
+    def test_equivalent_to_native(self, db):
+        native = extract_pairs_native(
+            (row[0], row[1]) for row in db.relation("R"))
+        quel = extract_pairs_quel(db, "R", "X", "Y")
+        assert quel.occurring_x == native.occurring_x
+        assert quel.mapping == native.mapping
+        assert quel.removed == native.removed
+        assert quel.counts == native.counts
+        assert quel.source_size == native.source_size
+
+    def test_temp_relations_dropped(self, db):
+        extract_pairs_quel(db, "R", "X", "Y")
+        assert "_ILS_S" not in db
+        assert "_ILS_T" not in db
+
+
+class TestInduceFromPairs:
+    def test_rules_built_and_pruned(self, db):
+        extraction = extract_pairs_native(
+            (row[0], row[1]) for row in db.relation("R"))
+        x_ref = AttributeRef("R", "X")
+        y_ref = AttributeRef("R", "Y")
+        all_rules = induce_from_pairs(
+            extraction, x_ref, y_ref, InductionConfig(n_c=1))
+        assert {rule.rhs.interval.low for rule in all_rules} == {"a", "b"}
+        pruned = induce_from_pairs(
+            extraction, x_ref, y_ref, InductionConfig(n_c=2))
+        assert all(rule.support >= 2 for rule in pruned)
+
+    def test_point_rule_reduces_to_equality(self):
+        extraction = extract_pairs_native([(1, "a"), (1, "a")])
+        (rule,) = induce_from_pairs(
+            extraction, AttributeRef("R", "X"), AttributeRef("R", "Y"),
+            InductionConfig(n_c=1))
+        assert rule.lhs[0].is_equality()
+        assert rule.support == 2
+
+    def test_fractional_threshold(self):
+        extraction = extract_pairs_native(
+            [(i, "a") for i in range(10)] + [(20, "b")])
+        rules = induce_from_pairs(
+            extraction, AttributeRef("R", "X"), AttributeRef("R", "Y"),
+            InductionConfig(n_c=0.5, n_c_fraction=True))
+        assert len(rules) == 1
+        assert rules[0].rhs.interval.low == "a"
+
+    def test_pairs_support_metric(self):
+        extraction = extract_pairs_native(
+            [(1, "a"), (1, "a"), (1, "a")])
+        rules = induce_from_pairs(
+            extraction, AttributeRef("R", "X"), AttributeRef("R", "Y"),
+            InductionConfig(n_c=2, support_metric="pairs"))
+        assert rules == []  # 1 distinct pair < 2
+
+
+class TestInduceScheme:
+    def test_native_path(self, db):
+        rules = induce_scheme(db.relation("R"), "X", "Y",
+                              InductionConfig(n_c=2))
+        assert all(rule.rhs.attribute == AttributeRef("R", "Y")
+                   for rule in rules)
+
+    def test_quel_path_matches_native(self, db):
+        native = induce_scheme(db.relation("R"), "X", "Y",
+                               InductionConfig(n_c=1))
+        quel = induce_scheme(db.relation("R"), "X", "Y",
+                             InductionConfig(n_c=1, use_quel=True),
+                             database=db)
+        assert [(r.lhs, r.rhs, r.support) for r in native] == [
+            (r.lhs, r.rhs, r.support) for r in quel]
+
+    def test_quel_path_requires_database(self, db):
+        with pytest.raises(InductionError, match="database"):
+            induce_scheme(db.relation("R"), "X", "Y",
+                          InductionConfig(use_quel=True))
+
+    def test_soundness_invariant(self, db):
+        """Every induced rule must hold on its own training data."""
+        relation = db.relation("R")
+        rules = induce_scheme(relation, "X", "Y", InductionConfig(n_c=1))
+        records = []
+        for row in relation:
+            records.append({
+                AttributeRef("R", "X"): relation.value(row, "X"),
+                AttributeRef("R", "Y"): relation.value(row, "Y")})
+        for rule in rules:
+            assert rule.sound_on(records), rule.render()
+
+
+class TestConfig:
+    def test_bad_support_metric(self):
+        with pytest.raises(InductionError):
+            InductionConfig(support_metric="bogus")
+
+    def test_bad_fraction(self):
+        with pytest.raises(InductionError):
+            InductionConfig(n_c=3, n_c_fraction=True)
+
+    def test_negative_nc(self):
+        with pytest.raises(InductionError):
+            InductionConfig(n_c=-1)
+
+    def test_threshold_for(self):
+        assert InductionConfig(n_c=3).threshold_for(100) == 3
+        assert InductionConfig(
+            n_c=0.1, n_c_fraction=True).threshold_for(50) == 5
+
+    def test_with_n_c(self):
+        config = InductionConfig(n_c=3).with_n_c(0.2, fraction=True)
+        assert config.n_c == 0.2 and config.n_c_fraction

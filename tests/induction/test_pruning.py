@@ -1,0 +1,64 @@
+"""Unit tests for pruning utilities."""
+
+from repro.induction.pruning import nc_sweep, prune_by_support
+from repro.rules.clause import Clause
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+
+def ruleset_with_supports(*supports):
+    rules = RuleSet()
+    for index, support in enumerate(supports):
+        rules.add(Rule([Clause.between("T.X", index, index)],
+                       Clause.equals("T.Y", f"y{index}"),
+                       support=support))
+    return rules
+
+
+class TestPruneBySupport:
+    def test_keeps_at_or_above(self):
+        pruned = prune_by_support(ruleset_with_supports(1, 3, 5), 3)
+        assert len(pruned) == 2
+        assert all(rule.support >= 3 for rule in pruned)
+
+    def test_renumbers(self):
+        pruned = prune_by_support(ruleset_with_supports(1, 5), 2)
+        assert pruned[1].support == 5
+
+    def test_zero_keeps_all(self):
+        assert len(prune_by_support(ruleset_with_supports(0, 1), 0)) == 2
+
+
+class TestNcSweep:
+    def test_monotone_rule_counts(self):
+        base = ruleset_with_supports(1, 2, 3, 4, 5)
+        points = nc_sweep(lambda t: prune_by_support(base, t),
+                          [1, 2, 3, 4, 5, 6])
+        counts = [point.rules_kept for point in points]
+        assert counts == [5, 4, 3, 2, 1, 0]
+
+    def test_support_bounds(self):
+        base = ruleset_with_supports(2, 7)
+        (point,) = nc_sweep(lambda t: prune_by_support(base, t), [1])
+        assert point.support_min == 2
+        assert point.support_max == 7
+
+    def test_empty_set_bounds_none(self):
+        base = ruleset_with_supports(1)
+        (point,) = nc_sweep(lambda t: prune_by_support(base, t), [99])
+        assert point.support_min is None and point.support_max is None
+
+    def test_ship_db_sweep(self, ship_binding):
+        from repro.induction import (
+            InductionConfig, InductiveLearningSubsystem)
+        from tests.conftest import SHIP_ORDER
+
+        def induce_at(threshold):
+            return InductiveLearningSubsystem(
+                ship_binding, InductionConfig(n_c=threshold),
+                relation_order=SHIP_ORDER).induce()
+
+        points = nc_sweep(induce_at, [1, 3, 5])
+        counts = [point.rules_kept for point in points]
+        assert counts[0] > counts[1] > counts[2]
+        assert counts[1] == 18

@@ -1,0 +1,86 @@
+"""Unit tests for rule-quality metrics."""
+
+import pytest
+
+from repro.induction.quality import classification_metrics, predict
+from repro.rules.clause import AttributeRef, Clause
+from repro.rules.rule import Rule
+
+X = AttributeRef("T", "X")
+Y = AttributeRef("T", "Y")
+
+
+def rule(low, high, label, support=1):
+    return Rule([Clause.between("T.X", low, high)],
+                Clause.equals("T.Y", label), support=support)
+
+
+def record(x, y):
+    return {X: x, Y: y}
+
+
+RULES = [rule(0, 9, "a", support=5), rule(10, 19, "b", support=3)]
+
+
+class TestPredict:
+    def test_fired_rule_wins(self):
+        assert predict(RULES, record(5, None), Y) == "a"
+        assert predict(RULES, record(15, None), Y) == "b"
+
+    def test_no_rule_fires(self):
+        assert predict(RULES, record(99, None), Y) is None
+
+    def test_highest_support_breaks_overlap(self):
+        overlapping = RULES + [rule(5, 15, "c", support=99)]
+        assert predict(overlapping, record(7, None), Y) == "c"
+
+    def test_only_target_rules_considered(self):
+        other = Rule([Clause.between("T.X", 0, 9)],
+                     Clause.equals("T.Z", "zzz"), support=50)
+        assert predict(RULES + [other], record(5, None), Y) == "a"
+
+
+class TestMetrics:
+    def test_perfect(self):
+        records = [record(1, "a"), record(5, "a"), record(12, "b")]
+        metrics = classification_metrics(RULES, records, Y)
+        assert metrics.coverage == 1.0
+        assert metrics.precision == 1.0
+        assert metrics.accuracy == 1.0
+
+    def test_uncovered_records_hurt_accuracy_not_precision(self):
+        records = [record(1, "a"), record(50, "a")]
+        metrics = classification_metrics(RULES, records, Y)
+        assert metrics.coverage == 0.5
+        assert metrics.precision == 1.0
+        assert metrics.accuracy == 0.5
+
+    def test_wrong_rule_hurts_precision(self):
+        records = [record(1, "b")]
+        metrics = classification_metrics(RULES, records, Y)
+        assert metrics.precision == 0.0
+        assert metrics.accuracy == 0.0
+
+    def test_null_targets_skipped(self):
+        records = [record(1, None), record(2, "a")]
+        metrics = classification_metrics(RULES, records, Y)
+        assert metrics.records == 1
+
+    def test_empty(self):
+        metrics = classification_metrics(RULES, [], Y)
+        assert metrics.coverage == 0.0
+        assert metrics.render().startswith("coverage")
+
+    def test_accuracy_bounded_by_coverage(self):
+        records = [record(1, "a"), record(11, "a"), record(99, "a")]
+        metrics = classification_metrics(RULES, records, Y)
+        assert metrics.accuracy <= metrics.coverage
+
+    def test_ship_rules_perfect_on_training_data(self, ship_rules,
+                                                 ship_binding):
+        from repro.induction.ils import JoinExpander
+        records = JoinExpander(ship_binding).expand("INSTALL")
+        target = AttributeRef("CLASS", "Type")
+        metrics = classification_metrics(ship_rules, records, target)
+        assert metrics.precision == 1.0
+        assert metrics.coverage > 0.9

@@ -1,0 +1,84 @@
+"""Unit tests for value-range (run) construction."""
+
+from repro.induction.runs import ValueRun, build_runs
+
+
+def runs(occurring, mapping, removed=(), counts=None, **kwargs):
+    counts = counts if counts is not None else {
+        x: 1 for x in mapping}
+    return build_runs(occurring, mapping, frozenset(removed), counts,
+                      **kwargs)
+
+
+class TestBasicRuns:
+    def test_single_run(self):
+        out = runs([1, 2, 3], {1: "a", 2: "a", 3: "a"})
+        assert out == [ValueRun("a", 1, 3, (1, 2, 3), 3, 3)]
+
+    def test_label_change_breaks(self):
+        out = runs([1, 2, 3, 4], {1: "a", 2: "a", 3: "b", 4: "b"})
+        assert [(r.y, r.low, r.high) for r in out] == [
+            ("a", 1, 2), ("b", 3, 4)]
+
+    def test_alternating_labels(self):
+        out = runs([1, 2, 3], {1: "a", 2: "b", 3: "a"})
+        assert len(out) == 3
+        assert all(run.pairs == 1 for run in out)
+
+    def test_point_run(self):
+        out = runs([5], {5: "a"})
+        assert out[0].low == out[0].high == 5
+
+    def test_empty(self):
+        assert runs([], {}) == []
+
+
+class TestRemovedValues:
+    def test_removed_breaks_run(self):
+        out = runs([1, 2, 3], {1: "a", 3: "a"}, removed={2})
+        assert [(r.low, r.high) for r in out] == [(1, 1), (3, 3)]
+
+    def test_removed_no_break_mode(self):
+        out = runs([1, 2, 3], {1: "a", 3: "a"}, removed={2},
+                   break_on_removed=False)
+        assert [(r.low, r.high) for r in out] == [(1, 3)]
+
+    def test_paper_install_classes(self):
+        """The Class->SonarType scheme of Section 6: removed classes
+        separate R14 (0203), R15 (0205..0207) and R16 (0208..0215)."""
+        occurring = ["0101", "0102", "0103", "0201", "0203", "0204",
+                     "0205", "0207", "0208", "0209", "0212", "0215",
+                     "1301"]
+        mapping = {"0101": "BQQ", "0203": "BQQ", "0205": "BQQ",
+                   "0207": "BQQ", "0208": "BQS", "0209": "BQS",
+                   "0212": "BQS", "0215": "BQS", "1301": "BQQ"}
+        removed = {"0102", "0103", "0201", "0204"}
+        counts = {"0101": 1, "0203": 1, "0205": 2, "0207": 1,
+                  "0208": 1, "0209": 1, "0212": 1, "0215": 1, "1301": 1}
+        out = build_runs(occurring, mapping, frozenset(removed), counts)
+        spans = [(r.y, r.low, r.high, r.instances) for r in out]
+        assert ("BQQ", "0203", "0203", 1) in spans        # paper R14
+        assert ("BQQ", "0205", "0207", 3) in spans        # paper R15
+        assert ("BQS", "0208", "0215", 4) in spans        # paper R16
+
+
+class TestNullsAndCounts:
+    def test_unmapped_occurring_value_breaks(self):
+        # X occurs but its Y was NULL: never in a run, breaks runs.
+        out = runs([1, 2, 3], {1: "a", 3: "a"})
+        assert [(r.low, r.high) for r in out] == [(1, 1), (3, 3)]
+
+    def test_instance_counts_summed(self):
+        out = runs([1, 2], {1: "a", 2: "a"}, counts={1: 3, 2: 4})
+        assert out[0].instances == 7
+        assert out[0].pairs == 2
+
+    def test_support_metric_selector(self):
+        out = runs([1, 2], {1: "a", 2: "a"}, counts={1: 3, 2: 4})
+        assert out[0].support("instances") == 7
+        assert out[0].support("pairs") == 2
+
+    def test_string_values(self):
+        out = runs(["BQQ-2", "BQQ-5", "BQQ-8"],
+                   {"BQQ-2": "BQQ", "BQQ-5": "BQQ", "BQQ-8": "BQQ"})
+        assert out[0].low == "BQQ-2" and out[0].high == "BQQ-8"

@@ -1,0 +1,132 @@
+"""Unit tests for multi-clause (ID3 path) rules in the ILS.
+
+The construction: a grid domain where the label depends on *two*
+attributes jointly (pos iff A >= 5 and B >= 5).  Single-attribute
+pairwise induction cannot express this (every A value maps to both
+labels, so step 2 removes everything); the tree learner recovers it as
+multi-clause rules, and multi-premise forward inference uses them.
+"""
+
+import pytest
+
+from repro.induction import InductionConfig, InductiveLearningSubsystem
+from repro.inference import TypeInferenceEngine
+from repro.ker import SchemaBinding, parse_ker
+from repro.relational import Database, INTEGER, char
+from repro.rules.clause import Clause, Interval
+
+GRID_DDL = """
+object type CELL
+    has key: Id     domain: INTEGER
+    has:     A      domain: INTEGER
+    has:     B      domain: INTEGER
+    has:     Label  domain: CHAR[3]
+    with
+        A in [0..9]
+        B in [0..9]
+
+CELL contains POS, NEG
+POS isa CELL with Label = "pos"
+NEG isa CELL with Label = "neg"
+"""
+
+
+@pytest.fixture()
+def grid_binding():
+    rows = []
+    identifier = 0
+    for a in range(10):
+        for b in range(10):
+            label = "pos" if (a >= 5 and b >= 5) else "neg"
+            rows.append((identifier, a, b, label))
+            identifier += 1
+    db = Database("grid")
+    db.create("CELL", [("Id", INTEGER), ("A", INTEGER), ("B", INTEGER),
+                       ("Label", char(3))], rows=rows, key=["Id"])
+    return SchemaBinding(parse_ker(GRID_DDL), db)
+
+
+class TestGridDomain:
+    def test_pairwise_alone_cannot_express_the_conjunction(
+            self, grid_binding):
+        rules = InductiveLearningSubsystem(
+            grid_binding, InductionConfig(n_c=3)).induce()
+        # The one-sided "neg" bands (A <= 4, B <= 4) are pairwise-
+        # expressible; the "pos" corner needs A and B jointly, so no
+        # single-premise A/B rule can conclude it.
+        pos_rules = [rule for rule in rules
+                     if rule.rhs.interval.low == "pos"
+                     and rule.lhs[0].attribute.attribute in ("A", "B")]
+        assert pos_rules == []
+
+    def test_tree_rules_recover_the_conjunction(self, grid_binding):
+        rules = InductiveLearningSubsystem(
+            grid_binding, InductionConfig(n_c=3)).induce(
+            include_tree_rules=True)
+        tree_rules = [rule for rule in rules if rule.source == "id3"]
+        assert tree_rules
+        assert all(len(rule.lhs) >= 2 for rule in tree_rules)
+        pos_rules = [rule for rule in tree_rules
+                     if rule.rhs.interval.low == "pos"]
+        assert pos_rules
+        assert all(rule.rhs_subtype == "POS" for rule in pos_rules)
+
+    def test_tree_rules_sound(self, grid_binding):
+        from repro.rules.clause import AttributeRef
+        rules = InductiveLearningSubsystem(
+            grid_binding, InductionConfig(n_c=3)).induce(
+            include_tree_rules=True)
+        relation = grid_binding.database.relation("CELL")
+        records = [{AttributeRef("CELL", column.name):
+                    row[relation.schema.position(column.name)]
+                    for column in relation.schema.columns}
+                   for row in relation]
+        for rule in rules:
+            assert rule.sound_on(records), rule.render()
+
+    def test_multi_premise_forward_inference(self, grid_binding):
+        rules = InductiveLearningSubsystem(
+            grid_binding, InductionConfig(n_c=3)).induce(
+            include_tree_rules=True)
+        engine = TypeInferenceEngine(rules, binding=grid_binding)
+        result = engine.infer([
+            Clause.between("CELL.A", 6, 9),
+            Clause.between("CELL.B", 6, 9)])
+        assert "POS" in result.forward_subtypes()
+
+    def test_one_condition_is_not_enough(self, grid_binding):
+        rules = InductiveLearningSubsystem(
+            grid_binding, InductionConfig(n_c=3)).induce(
+            include_tree_rules=True)
+        engine = TypeInferenceEngine(rules, binding=grid_binding)
+        result = engine.infer([Clause.between("CELL.A", 6, 9)])
+        assert "POS" not in result.forward_subtypes()
+
+    def test_pruning_applies_to_tree_rules(self, grid_binding):
+        loose = InductiveLearningSubsystem(
+            grid_binding, InductionConfig(n_c=1)).induce(
+            include_tree_rules=True)
+        tight = InductiveLearningSubsystem(
+            grid_binding, InductionConfig(n_c=30)).induce(
+            include_tree_rules=True)
+        loose_tree = [r for r in loose if r.source == "id3"]
+        tight_tree = [r for r in tight if r.source == "id3"]
+        assert len(tight_tree) <= len(loose_tree)
+        assert all(rule.support >= 30 for rule in tight_tree)
+
+
+class TestShipDatabaseTreeRules:
+    def test_ship_rules_unchanged_by_default(self, ship_binding):
+        default = InductiveLearningSubsystem(
+            ship_binding, InductionConfig(n_c=3)).induce()
+        assert all(rule.source == "induced" for rule in default)
+
+    def test_ship_tree_rules_are_sound_additions(self, ship_binding,
+                                                 ship_rules):
+        with_trees = InductiveLearningSubsystem(
+            ship_binding, InductionConfig(n_c=3)).induce(
+            include_tree_rules=True)
+        pairwise_keys = {(r.lhs, r.rhs) for r in ship_rules}
+        extras = [r for r in with_trees
+                  if (r.lhs, r.rhs) not in pairwise_keys]
+        assert all(rule.source == "id3" for rule in extras)

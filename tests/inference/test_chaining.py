@@ -1,0 +1,122 @@
+"""Unit tests for forward chaining and backward matching."""
+
+from repro.inference.backward import backward_match
+from repro.inference.facts import FactBase
+from repro.inference.forward import forward_chain, rule_fires
+from repro.rules.clause import AttributeRef, Clause, Interval
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+A = AttributeRef("T", "A")
+B = AttributeRef("T", "B")
+C = AttributeRef("T", "C")
+
+
+def make_rules(*rules):
+    ruleset = RuleSet()
+    for rule in rules:
+        ruleset.add(rule)
+    return ruleset
+
+
+class TestForward:
+    def test_single_step(self):
+        rules = make_rules(Rule([Clause(A, Interval.closed(1, 10))],
+                                Clause(B, Interval.point("yes"))))
+        facts = FactBase()
+        facts.add_condition(Clause(A, Interval.closed(3, 5)))
+        derivations = forward_chain(facts, rules)
+        assert len(derivations) == 1
+        assert facts.interval_for(B) == Interval.point("yes")
+
+    def test_chaining_to_fixpoint(self):
+        rules = make_rules(
+            Rule([Clause(A, Interval.closed(1, 10))],
+                 Clause(B, Interval.point("mid"))),
+            Rule([Clause(B, Interval.point("mid"))],
+                 Clause(C, Interval.point("far"))))
+        facts = FactBase()
+        facts.add_condition(Clause(A, Interval.point(5)))
+        derivations = forward_chain(facts, rules)
+        assert [d.rule.number for d in derivations] == [1, 2]
+        assert facts.interval_for(C) == Interval.point("far")
+
+    def test_rule_fires_each_once(self):
+        rules = make_rules(Rule([Clause(A, Interval.closed(1, 10))],
+                                Clause(B, Interval.point("yes"))))
+        facts = FactBase()
+        facts.add_condition(Clause(A, Interval.point(2)))
+        assert len(forward_chain(facts, rules)) == 1
+
+    def test_wider_condition_blocks(self):
+        rule = Rule([Clause(A, Interval.closed(5, 10))],
+                    Clause(B, Interval.point("yes")))
+        facts = FactBase()
+        facts.add_condition(Clause(A, Interval.closed(1, 10)))
+        assert not rule_fires(rule, facts)
+
+    def test_derived_facts_narrow(self):
+        rules = make_rules(
+            Rule([Clause(A, Interval.closed(1, 10))],
+                 Clause(B, Interval.closed(0, 50))),
+            Rule([Clause(A, Interval.closed(0, 20))],
+                 Clause(B, Interval.closed(25, 100))))
+        facts = FactBase()
+        facts.add_condition(Clause(A, Interval.point(5)))
+        forward_chain(facts, rules)
+        assert facts.interval_for(B) == Interval.closed(25, 50)
+
+
+class TestBackward:
+    def test_match_on_query_fact(self):
+        rules = make_rules(Rule([Clause(A, Interval.closed(1, 3))],
+                                Clause(B, Interval.point("x"))))
+        facts = FactBase()
+        facts.add_condition(Clause(B, Interval.point("x")))
+        (description,) = backward_match(facts, rules)
+        assert not description.via_derived_fact
+
+    def test_match_on_derived_fact_flagged(self):
+        rules = make_rules(
+            Rule([Clause(A, Interval.closed(1, 10))],
+                 Clause(B, Interval.point("x"))),
+            Rule([Clause(C, Interval.closed(7, 9))],
+                 Clause(B, Interval.point("x"))))
+        facts = FactBase()
+        facts.add_condition(Clause(A, Interval.point(5)))
+        derivations = forward_chain(facts, rules)
+        fired = {id(d.rule) for d in derivations}
+        (description,) = backward_match(facts, rules, exclude=fired)
+        assert description.rule.number == 2
+        assert description.via_derived_fact
+
+    def test_no_match_without_fact(self):
+        rules = make_rules(Rule([Clause(A, Interval.closed(1, 3))],
+                                Clause(B, Interval.point("x"))))
+        assert backward_match(FactBase(), rules) == []
+
+    def test_consequence_must_lie_inside_fact(self):
+        rules = make_rules(Rule([Clause(A, Interval.closed(1, 3))],
+                                Clause(B, Interval.closed(0, 100))))
+        facts = FactBase()
+        facts.add_condition(Clause(B, Interval.point(5)))
+        assert backward_match(facts, rules) == []
+
+    def test_trivial_premise_skipped(self):
+        # The premise restates the established fact: uninformative.
+        rules = make_rules(Rule([Clause(B, Interval.closed(0, 10))],
+                                Clause(B, Interval.closed(0, 10))))
+        facts = FactBase()
+        facts.add_condition(Clause(B, Interval.closed(2, 3)))
+        assert backward_match(facts, rules) == []
+
+    def test_sorted_by_support(self):
+        rules = make_rules(
+            Rule([Clause(A, Interval.closed(1, 2))],
+                 Clause(B, Interval.point("x")), support=1),
+            Rule([Clause(C, Interval.closed(1, 2))],
+                 Clause(B, Interval.point("x")), support=9))
+        facts = FactBase()
+        facts.add_condition(Clause(B, Interval.point("x")))
+        descriptions = backward_match(facts, rules)
+        assert [d.rule.support for d in descriptions] == [9, 1]

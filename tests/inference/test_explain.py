@@ -1,0 +1,56 @@
+"""Unit tests for derivation traces."""
+
+from repro.inference import explain_inference
+from tests.conftest import EXAMPLE_1, EXAMPLE_2, EXAMPLE_3
+
+
+class TestExplainForward:
+    def test_example1_trace(self, ship_system):
+        result = ship_system.ask(EXAMPLE_1)
+        trace = explain_inference(result.inference)
+        assert "Established from the query:" in trace
+        assert "R9 fires" in trace
+        assert "is subsumed by premise" in trace
+        assert "(x isa SSBN)" in trace
+        assert "[domain 2000 <= CLASS.Displacement <= 30000]" in trace
+
+    def test_chained_firing_order(self, ship_system):
+        result = ship_system.ask(EXAMPLE_3)
+        trace = explain_inference(result.inference)
+        assert trace.index("step 1:") < trace.index("step 2:")
+        assert "R11 fires" in trace
+        assert "R17 fires" in trace
+
+    def test_triggers_recorded(self, ship_system):
+        result = ship_system.ask(EXAMPLE_1)
+        (derivation,) = result.inference.forward
+        (trigger,) = derivation.triggers
+        assert trigger.attribute == derivation.rule.lhs[0].attribute
+        assert trigger.interval.low == 8000
+
+
+class TestExplainBackward:
+    def test_example2_trace(self, ship_system):
+        result = ship_system.ask(EXAMPLE_2)
+        trace = explain_inference(result.inference)
+        assert "Backward matches:" in trace
+        assert "lies inside the query condition" in trace
+        assert "0101 <= CLASS.Class <= 0103" in trace
+
+    def test_derived_origin_labeled(self, ship_system):
+        result = ship_system.ask(EXAMPLE_3)
+        trace = explain_inference(result.inference)
+        assert "lies inside a derived fact" in trace
+
+
+class TestExplainEmpty:
+    def test_no_rules_applicable(self, ship_system):
+        result = ship_system.ask(
+            "SELECT Class FROM CLASS WHERE Displacement > 100")
+        trace = explain_inference(result.inference)
+        assert "No rule was applicable." in trace
+
+    def test_no_conditions(self, ship_system):
+        result = ship_system.ask("SELECT Class FROM CLASS")
+        trace = explain_inference(result.inference)
+        assert "(no interval conditions)" in trace

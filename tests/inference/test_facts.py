@@ -1,0 +1,86 @@
+"""Unit tests for the fact base and canonicalizer."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference.facts import Canonicalizer, FactBase
+from repro.rules.clause import AttributeRef, Clause, Interval
+
+A = AttributeRef("T", "A")
+B = AttributeRef("U", "B")
+C = AttributeRef("V", "C")
+
+
+class TestCanonicalizer:
+    def test_identity_without_pairs(self):
+        canon = Canonicalizer()
+        assert canon.canon(A) == A
+
+    def test_union(self):
+        canon = Canonicalizer([(A, B)])
+        assert canon.equivalent(A, B)
+        assert canon.canon(A) == canon.canon(B)
+
+    def test_referenced_side_wins(self):
+        canon = Canonicalizer([(A, B)])
+        assert canon.canon(A) == B
+
+    def test_transitive(self):
+        canon = Canonicalizer([(A, B), (B, C)])
+        assert canon.equivalent(A, C)
+
+    def test_case_insensitive(self):
+        canon = Canonicalizer([(A, B)])
+        assert canon.equivalent(AttributeRef("t", "a"), B)
+
+    def test_copy_isolated(self):
+        canon = Canonicalizer([(A, B)])
+        clone = canon.copy()
+        clone.unite(B, C)
+        assert not canon.equivalent(A, C)
+        assert clone.equivalent(A, C)
+
+
+class TestFactBase:
+    def test_condition_and_lookup(self):
+        facts = FactBase()
+        facts.add_condition(Clause(A, Interval.closed(1, 5)))
+        assert facts.interval_for(A) == Interval.closed(1, 5)
+        assert facts.sources_for(A) == ("query",)
+
+    def test_lookup_through_equivalence(self):
+        facts = FactBase(Canonicalizer([(A, B)]))
+        facts.add_condition(Clause(A, Interval.point(3)))
+        assert facts.interval_for(B) == Interval.point(3)
+
+    def test_assertions_intersect(self):
+        facts = FactBase()
+        facts.assert_interval(A, Interval.closed(1, 10), "query")
+        narrowed = facts.assert_interval(A, Interval.closed(5, 20), "rule")
+        assert narrowed
+        assert facts.interval_for(A) == Interval.closed(5, 10)
+        assert facts.sources_for(A) == ("query", "rule")
+
+    def test_redundant_assertion_not_narrowing(self):
+        facts = FactBase()
+        facts.assert_interval(A, Interval.closed(5, 10), "query")
+        assert not facts.assert_interval(A, Interval.closed(0, 100), "r")
+
+    def test_contradiction_raises(self):
+        facts = FactBase()
+        facts.assert_interval(A, Interval.closed(1, 2), "query")
+        with pytest.raises(InferenceError, match="contradictory"):
+            facts.assert_interval(A, Interval.closed(5, 6), "rule")
+
+    def test_domain_lookup_canonicalized(self):
+        canon = Canonicalizer([(A, B)])
+        facts = FactBase(canon, domains={A: Interval.closed(0, 100)})
+        assert facts.domain_for(B) == Interval.closed(0, 100)
+
+    def test_facts_listing(self):
+        facts = FactBase()
+        facts.add_condition(Clause(A, Interval.point(1)))
+        facts.add_condition(Clause(B, Interval.point(2)))
+        assert len(facts) == 2
+        listed = facts.facts()
+        assert [entry[0] for entry in listed] == [A, B]

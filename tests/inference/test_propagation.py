@@ -1,0 +1,128 @@
+"""Unit tests for bound propagation through comparison constraints."""
+
+import pytest
+
+from repro.inference import TypeInferenceEngine
+from repro.inference.facts import FactBase
+from repro.ker import SchemaBinding
+from repro.query import IntensionalQueryProcessor
+from repro.rules.clause import AttributeRef, Clause, Interval
+from repro.rules.comparisons import ComparisonConstraint, propagate_bounds
+from repro.rules.ruleset import RuleSet
+from repro.testbed import harbor_database, harbor_ker_schema
+
+DRAFT = AttributeRef("SHIP", "Draft")
+DEPTH = AttributeRef("PORT", "Depth")
+
+
+@pytest.fixture()
+def constraint():
+    return ComparisonConstraint(DRAFT, "<", DEPTH)
+
+
+class TestBoundTransfer:
+    def test_upper_bound_moves_left(self, constraint):
+        bound = constraint.bound_for_left(Interval.at_most(9))
+        assert bound == Interval.at_most(9, strict=True)
+
+    def test_lower_bound_moves_right(self, constraint):
+        bound = constraint.bound_for_right(Interval.at_least(10))
+        assert bound == Interval.at_least(10, strict=True)
+
+    def test_le_keeps_closed_bounds(self):
+        le = ComparisonConstraint(DRAFT, "<=", DEPTH)
+        assert le.bound_for_left(Interval.at_most(9)) == Interval.at_most(9)
+
+    def test_open_facts_stay_open(self, constraint):
+        bound = constraint.bound_for_left(Interval.at_most(9, strict=True))
+        assert bound.high_open
+
+    def test_unbounded_side_gives_nothing(self, constraint):
+        assert constraint.bound_for_left(Interval.at_least(5)) is None
+        assert constraint.bound_for_right(Interval.at_most(5)) is None
+
+
+class TestPropagateBounds:
+    def test_single_step(self, constraint):
+        facts = FactBase()
+        facts.add_condition(Clause(DEPTH, Interval.at_most(8)))
+        steps = propagate_bounds(facts, [constraint])
+        assert len(steps) == 1
+        assert facts.interval_for(DRAFT) == Interval.at_most(
+            8, strict=True)
+
+    def test_bidirectional(self, constraint):
+        facts = FactBase()
+        facts.add_condition(Clause(DRAFT, Interval.at_least(10)))
+        propagate_bounds(facts, [constraint])
+        assert facts.interval_for(DEPTH) == Interval.at_least(
+            10, strict=True)
+
+    def test_chained_constraints(self):
+        a, b, c = (AttributeRef("T", name) for name in "ABC")
+        chain = [ComparisonConstraint(a, "<", b),
+                 ComparisonConstraint(b, "<", c)]
+        facts = FactBase()
+        facts.add_condition(Clause(a, Interval.at_least(5)))
+        propagate_bounds(facts, chain)
+        assert facts.interval_for(c) == Interval.at_least(5, strict=True)
+
+    def test_fixpoint_terminates(self, constraint):
+        facts = FactBase()
+        facts.add_condition(Clause(DEPTH, Interval.closed(7, 9)))
+        first = propagate_bounds(facts, [constraint])
+        second = propagate_bounds(facts, [constraint])
+        assert first and not second
+
+
+class TestEngineIntegration:
+    @pytest.fixture()
+    def harbor_system(self):
+        return IntensionalQueryProcessor.from_database(
+            harbor_database(), ker_schema=harbor_ker_schema(),
+            relation_order=["SHIP", "PORT", "VISIT"],
+            induce_comparisons=True)
+
+    def test_depth_condition_classifies_ships(self, harbor_system):
+        result = harbor_system.ask(
+            "SELECT SHIP.Name, SHIP.Size FROM SHIP, PORT, VISIT "
+            "WHERE SHIP.Id = VISIT.Ship AND PORT.Port = VISIT.Port "
+            "AND PORT.Depth <= 8")
+        assert result.inference.forward_subtypes() == ["SMALL"]
+        assert result.inference.propagations
+        assert {row[1] for row in result.extensional} == {"small"}
+
+    def test_draft_condition_bounds_depth(self, harbor_system):
+        result = harbor_system.ask(
+            "SELECT PORT.PortName FROM SHIP, PORT, VISIT "
+            "WHERE SHIP.Id = VISIT.Ship AND PORT.Port = VISIT.Port "
+            "AND SHIP.Draft >= 12")
+        depth_fact = result.inference.facts.interval_for(DEPTH)
+        assert depth_fact == Interval.at_least(12, strict=True)
+
+    def test_without_constraints_no_propagation(self):
+        system = IntensionalQueryProcessor.from_database(
+            harbor_database(), ker_schema=harbor_ker_schema(),
+            relation_order=["SHIP", "PORT", "VISIT"],
+            induce_comparisons=False)
+        result = system.ask(
+            "SELECT SHIP.Name FROM SHIP, PORT, VISIT "
+            "WHERE SHIP.Id = VISIT.Ship AND PORT.Port = VISIT.Port "
+            "AND PORT.Depth <= 8")
+        assert not result.inference.propagations
+        assert result.inference.forward_subtypes() == []
+
+    def test_summary_shows_propagation(self, harbor_system):
+        result = harbor_system.ask(
+            "SELECT SHIP.Name FROM SHIP, PORT, VISIT "
+            "WHERE SHIP.Id = VISIT.Ship AND PORT.Port = VISIT.Port "
+            "AND PORT.Depth <= 8")
+        assert "Propagated bounds" in result.inference.summary()
+        assert "SHIP.Draft < 8" in result.inference.summary()
+
+    def test_standalone_engine_with_constraints(self, constraint):
+        rules = RuleSet()
+        engine = TypeInferenceEngine(rules, constraints=[constraint])
+        result = engine.infer(
+            [Clause(DEPTH, Interval.at_most(8))])
+        assert result.facts.interval_for(DRAFT) is not None

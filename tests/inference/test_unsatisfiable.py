@@ -1,0 +1,51 @@
+"""Unit tests for contradictory-condition handling."""
+
+from repro.inference import TypeInferenceEngine
+from repro.rules.clause import Clause
+
+
+class TestUnsatisfiableQueries:
+    def test_contradictory_conditions_flagged(self, ship_system):
+        result = ship_system.ask(
+            "SELECT Class FROM CLASS "
+            "WHERE Displacement > 8000 AND Displacement < 5000")
+        assert result.extensional.rows == []
+        assert result.inference.unsatisfiable
+        assert "contradictory" in result.inference.combined_answer()
+
+    def test_summary_notes_unsatisfiability(self, ship_system):
+        result = ship_system.ask(
+            "SELECT Class FROM CLASS "
+            "WHERE Type = 'SSBN' AND Type = 'SSN'")
+        assert result.inference.unsatisfiable
+        assert "contradictory" in result.inference.summary()
+
+    def test_no_rules_fire(self, ship_system):
+        result = ship_system.ask(
+            "SELECT Class FROM CLASS "
+            "WHERE Displacement > 8000 AND Displacement < 5000")
+        assert not result.inference.forward
+        assert not result.inference.backward
+
+    def test_engine_level(self, ship_rules, ship_binding):
+        engine = TypeInferenceEngine(ship_rules, binding=ship_binding)
+        result = engine.infer([
+            Clause.equals("CLASS.Type", "SSBN"),
+            Clause.equals("CLASS.Type", "SSN")])
+        assert result.unsatisfiable
+
+    def test_satisfiable_conjunction_not_flagged(self, ship_system):
+        result = ship_system.ask(
+            "SELECT Class FROM CLASS "
+            "WHERE Displacement > 8000 AND Displacement < 20000")
+        assert not result.inference.unsatisfiable
+        assert result.inference.forward_subtypes() == ["SSBN"]
+
+    def test_contradiction_through_equivalence(self, ship_system):
+        # The contradiction only appears after canonicalizing the two
+        # attribute spellings through the join.
+        result = ship_system.ask(
+            "SELECT SUBMARINE.Name FROM SUBMARINE, CLASS "
+            "WHERE SUBMARINE.Class = CLASS.Class "
+            "AND SUBMARINE.Class = '0101' AND CLASS.Class = '0215'")
+        assert result.inference.unsatisfiable

@@ -1,0 +1,58 @@
+"""Unit tests for empirical answer verification."""
+
+from repro.inference.verification import (
+    verify_answers, verify_backward_answers, verify_forward_answers,
+)
+from tests.conftest import EXAMPLE_1, EXAMPLE_2, EXAMPLE_3
+
+
+class TestForwardVerification:
+    def test_example1_forward_holds(self, ship_system):
+        result = ship_system.ask(EXAMPLE_1)
+        checks = verify_forward_answers(result)
+        assert checks
+        assert all(check.holds for check in checks)
+        assert any("2/2 tuples" in check.detail for check in checks)
+
+    def test_unchecked_when_attribute_not_in_output(self, ship_system):
+        result = ship_system.ask(
+            "SELECT Name FROM SUBMARINE, CLASS "
+            "WHERE SUBMARINE.Class = CLASS.Class "
+            "AND CLASS.Displacement > 8000")
+        checks = verify_forward_answers(result)
+        assert all(check.holds for check in checks)
+        assert any("not checkable" in check.detail for check in checks)
+
+
+class TestBackwardVerification:
+    def test_example2_backward_holds(self, ship_system):
+        result = ship_system.ask(EXAMPLE_2)
+        checks = verify_backward_answers(result)
+        assert checks
+        assert all(check.holds for check in checks)
+        # R5's description covers 6 of the 7 SSBN ships (classes
+        # 0101-0103 inclusive); only the class-1301 Typhoon is outside
+        # the described range -- a proper subset, as the paper notes.
+        class_check = next(
+            check for check in checks
+            if "CLASS.Class" in check.description
+            and "0101" in check.description)
+        assert "6/7" in class_check.detail
+
+    def test_derived_fact_descriptions_flagged(self, ship_system):
+        result = ship_system.ask(EXAMPLE_3)
+        checks = verify_backward_answers(result)
+        assert all("approximate" in check.detail for check in checks)
+
+
+class TestReport:
+    def test_report_over_all_examples(self, ship_system):
+        for sql in (EXAMPLE_1, EXAMPLE_2, EXAMPLE_3):
+            report = verify_answers(ship_system.ask(sql))
+            assert report.all_hold, report.render()
+
+    def test_render(self, ship_system):
+        report = verify_answers(ship_system.ask(EXAMPLE_1))
+        text = report.render()
+        assert "[ok ]" in text
+        assert "all guarantees hold" in text

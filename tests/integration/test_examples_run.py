@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs and prints its key artifacts.
+
+These keep the runnable examples from rotting as the library evolves.
+"""
+
+import contextlib
+import io
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "then x isa SSBN" in output
+        assert "Every answer is of type SSBN" in output
+
+    def test_ship_database_tour(self):
+        output = run_example("ship_database_tour.py")
+        assert "exact: 15/17" in output
+        assert "Example 3 (combined inference)" in output
+        assert "identical: True" in output
+
+    def test_employee_database(self):
+        output = run_example("employee_database.py")
+        assert "Every answer is of type PRINCIPAL" in output
+        assert "Every answer is of type JUNIOR" in output
+
+    def test_battleship_fleet(self):
+        output = run_example("battleship_fleet.py")
+        assert "7250" in output and "16600" in output
+        assert "ID3 over (Category, Displacement)" in output
+
+    def test_quel_session(self):
+        output = run_example("quel_session.py")
+        assert "if 0101 <= Class <= 0103 then Type = SSBN" in output
+        assert "R_new" in output
+
+    def test_harbor_visits(self):
+        output = run_example("harbor_visits.py")
+        assert "SHIP.Draft < PORT.Depth" in output
+        assert "Every answer is of type SMALL" in output
+
+    def test_every_example_is_covered(self):
+        scripts = {path.name for path in EXAMPLES.glob("*.py")}
+        covered = {"quickstart.py", "ship_database_tour.py",
+                   "employee_database.py", "battleship_fleet.py",
+                   "quel_session.py", "harbor_visits.py"}
+        assert scripts == covered

@@ -1,0 +1,141 @@
+"""End-to-end reproduction of the paper's Section 6 examples.
+
+Each test pins both the extensional answer (the exact tuples the paper
+prints) and the intensional answer (the characterization the paper
+derives), through the full pipeline: SQL text -> executor + condition
+extraction -> induced knowledge base -> type inference.
+"""
+
+from repro.rules.clause import Interval
+from tests.conftest import EXAMPLE_1, EXAMPLE_2, EXAMPLE_3
+
+
+class TestExample1:
+    """Forward inference: submarines with displacement > 8000."""
+
+    def test_extensional_answer(self, ship_system):
+        result = ship_system.ask(EXAMPLE_1)
+        assert sorted(result.extensional.rows) == [
+            ("SSBN130", "Typhoon", "1301", "SSBN"),
+            ("SSBN730", "Rhode Island", "0101", "SSBN")]
+
+    def test_intensional_answer_is_ssbn(self, ship_system):
+        result = ship_system.ask(EXAMPLE_1)
+        forward = result.inference.forward
+        assert len(forward) == 1
+        assert forward[0].rule.rhs_subtype == "SSBN"
+        # Derived via R9 (Displacement in [7250, 30000] -> SSBN).
+        assert forward[0].rule.lhs[0].interval == Interval.closed(
+            7250, 30000)
+
+    def test_answer_contains_extension(self, ship_system):
+        """Forward answers characterize a superset: every extensional
+        tuple satisfies the derived fact."""
+        result = ship_system.ask(EXAMPLE_1)
+        type_column = result.extensional.schema.position("TYPE")
+        for row in result.extensional:
+            assert row[type_column] == "SSBN"
+
+
+class TestExample2:
+    """Backward inference: names and classes of the SSBN ships."""
+
+    def test_extensional_answer(self, ship_system):
+        result = ship_system.ask(EXAMPLE_2)
+        assert sorted(result.extensional.rows) == sorted([
+            ("Nathaniel Hale", "0103"), ("Daniel Boone", "0103"),
+            ("Sam Rayburn", "0103"), ("Lewis and Clark", "0102"),
+            ("Mariano G. Vallejo", "0102"), ("Rhode Island", "0101"),
+            ("Typhoon", "1301")])
+
+    def test_backward_description_via_r5(self, ship_system):
+        result = ship_system.ask(EXAMPLE_2)
+        best = result.inference.best_backward_description()
+        assert best["interval"] == Interval.closed("0101", "0103")
+
+    def test_answer_contained_in_extension(self, ship_system):
+        """Backward answers characterize a subset: every ship whose
+        class lies in the described range is in the extension."""
+        result = ship_system.ask(EXAMPLE_2)
+        best = result.inference.best_backward_description()
+        described = {row for row in result.extensional
+                     if best["interval"].contains_value(row[1])}
+        assert described < set(result.extensional.rows)
+
+    def test_incompleteness_class_1301(self, ship_system):
+        """The paper's point: class 1301 is an SSBN yet absent from the
+        description because R_new was pruned."""
+        result = ship_system.ask(EXAMPLE_2)
+        best = result.inference.best_backward_description()
+        assert not best["interval"].contains_value("1301")
+        assert ("Typhoon", "1301") in result.extensional.rows
+
+
+class TestExample3:
+    """Combined inference: submarines equipped with sonar BQS-04."""
+
+    def test_extensional_answer(self, ship_system):
+        result = ship_system.ask(EXAMPLE_3)
+        assert sorted(result.extensional.rows) == [
+            ("Bonefish", "0215", "SSN"),
+            ("Robert E. Lee", "0208", "SSN"),
+            ("Seadragon", "0212", "SSN"),
+            ("Snook", "0209", "SSN")]
+
+    def test_forward_types(self, ship_system):
+        result = ship_system.ask(EXAMPLE_3)
+        assert set(result.inference.forward_subtypes()) == {"BQS", "SSN"}
+
+    def test_combined_class_range(self, ship_system):
+        result = ship_system.ask(EXAMPLE_3)
+        best = result.inference.best_backward_description()
+        assert best["interval"] == Interval.closed("0208", "0215")
+        sentence = result.combined_answer()
+        assert "SSN" in sentence and "0208" in sentence
+
+    def test_combined_range_covers_extension(self, ship_system):
+        result = ship_system.ask(EXAMPLE_3)
+        best = result.inference.best_backward_description()
+        class_column = result.extensional.schema.position("CLASS")
+        for row in result.extensional:
+            assert best["interval"].contains_value(row[class_column])
+
+
+class TestDirectionalSemantics:
+    def test_forward_soundness_over_many_queries(self, ship_system,
+                                                 ship_db):
+        """For a sweep of displacement thresholds: whenever forward
+        inference concludes a type, every extensional answer has it."""
+        for threshold in (7000, 7250, 8000, 10000, 16600, 20000):
+            sql = (
+                "SELECT SUBMARINE.Name, CLASS.Type FROM SUBMARINE, CLASS "
+                "WHERE SUBMARINE.Class = CLASS.Class "
+                f"AND CLASS.DISPLACEMENT > {threshold}")
+            result = ship_system.ask(sql)
+            for subtype in result.inference.forward_subtypes():
+                if subtype not in ("SSBN", "SSN"):
+                    continue
+                for row in result.extensional:
+                    assert row[1] == subtype
+
+    def test_backward_soundness_over_type_queries(self, ship_system):
+        """Backward descriptions on the queried fact always denote
+        subsets of the extension."""
+        for ship_type in ("SSBN", "SSN"):
+            sql = (
+                "SELECT SUBMARINE.Name, SUBMARINE.Class "
+                "FROM SUBMARINE, CLASS "
+                "WHERE SUBMARINE.Class = CLASS.Class "
+                f"AND CLASS.TYPE = '{ship_type}'")
+            result = ship_system.ask(sql)
+            extension_classes = {row[1] for row in result.extensional}
+            for description in result.inference.backward:
+                if description.via_derived_fact:
+                    continue
+                (clause,) = description.rule.lhs
+                if clause.attribute.attribute.lower() != "class":
+                    continue
+                described = {
+                    value for value in extension_classes
+                    if clause.interval.contains_value(value)}
+                assert described <= extension_classes

@@ -1,0 +1,106 @@
+"""Cross-module integration tests beyond the worked examples."""
+
+import pytest
+
+from repro.baseline import ConstraintOnlyAnswerer
+from repro.dictionary import IntelligentDataDictionary
+from repro.induction import InductionConfig, InductiveLearningSubsystem
+from repro.ker import SchemaBinding
+from repro.query import IntensionalQueryProcessor
+from repro.relational.textio import dumps_database, loads_database
+from repro.testbed import ship_ker_schema
+from repro.testbed.generators import scaled_ship_database
+from tests.conftest import EXAMPLE_1, EXAMPLE_3, SHIP_ORDER
+
+
+class TestRelocationScenario:
+    def test_knowledge_travels_with_database(self, ship_binding,
+                                             ship_rules, ship_db):
+        """Section 5.2.2's scenario end-to-end: induce at the source,
+        relocate database+rules as text, answer queries at the remote
+        site without re-running the ILS."""
+        dictionary = IntelligentDataDictionary.build(
+            ship_binding, ship_rules, include_schema_rules=False)
+        dictionary.store_into(ship_db)
+        wire = dumps_database(ship_db)
+
+        remote_db = loads_database(wire)
+        remote_dictionary = IntelligentDataDictionary.load_from(
+            remote_db, ship_ker_schema())
+        remote_binding = SchemaBinding(ship_ker_schema(), remote_db)
+        system = IntensionalQueryProcessor(
+            remote_db, remote_dictionary.rules, binding=remote_binding)
+
+        result = system.ask(EXAMPLE_1)
+        assert len(result.extensional) == 2
+        assert result.inference.forward_subtypes() == ["SSBN"]
+
+
+class TestScaledDatabase:
+    def test_scaling_preserves_class_rules(self):
+        db = scaled_ship_database(scale=5)
+        binding = SchemaBinding(ship_ker_schema(), db)
+        rules = InductiveLearningSubsystem(
+            binding, InductionConfig(n_c=3),
+            relation_order=SHIP_ORDER).induce()
+        rendered = rules.render(isa_style=True)
+        # CLASS-level knowledge is scale-invariant.
+        assert "7250 <= CLASS.Displacement <= 30000 then x isa SSBN" in (
+            rendered)
+        assert "2145 <= CLASS.Displacement <= 6955 then x isa SSN" in (
+            rendered)
+
+    def test_scaled_system_answers_example3(self):
+        db = scaled_ship_database(scale=3)
+        system = IntensionalQueryProcessor.from_database(
+            db, ker_schema=ship_ker_schema(), relation_order=SHIP_ORDER)
+        result = system.ask(EXAMPLE_3)
+        assert len(result.extensional) == 12  # 4 ships x 3 copies
+        assert "SSN" in result.inference.forward_subtypes()
+
+
+class TestConfigurationMatrix:
+    @pytest.mark.parametrize("use_quel", [False, True])
+    @pytest.mark.parametrize("n_c", [1, 3])
+    def test_system_builds_under_all_configs(self, ship_db, use_quel,
+                                             n_c):
+        system = IntensionalQueryProcessor.from_database(
+            ship_db, ker_schema=ship_ker_schema(),
+            config=InductionConfig(n_c=n_c, use_quel=use_quel),
+            relation_order=SHIP_ORDER)
+        result = system.ask(EXAMPLE_1)
+        assert result.inference.forward_subtypes() == ["SSBN"]
+
+    def test_baseline_vs_induced_on_same_binding(self, ship_binding,
+                                                 ship_system):
+        baseline = ConstraintOnlyAnswerer.from_binding(ship_binding)
+        induced_result = ship_system.ask(EXAMPLE_1)
+        baseline_result = baseline.ask(EXAMPLE_1)
+        # Both derive SSBN here (the schema declares the displacement
+        # split too) -- but only induction carries hull-number rules.
+        assert induced_result.inference.forward_subtypes() == ["SSBN"]
+        assert baseline_result.inference.forward_subtypes() == ["SSBN"]
+        induced_premises = {ref.render() for rule in ship_system.rules
+                            for ref in rule.lhs_attributes()}
+        baseline_premises = {ref.render() for rule in baseline.rules
+                             for ref in rule.lhs_attributes()}
+        assert "SUBMARINE.Id" in induced_premises
+        assert "SUBMARINE.Id" not in baseline_premises
+
+
+class TestMutationThenReinduction:
+    def test_new_data_changes_rules(self, ship_db, ship_schema):
+        """Example 2 discusses R_new (Class = 1301 -> SSBN) being pruned
+        for having a single supporting instance.  Adding a sibling
+        Typhoon-era class makes the range rule reach support 2, so it
+        survives at N_c=2 but still not at the default 3."""
+        ship_db.insert("CLASS", [("1302", "Typhoon II", "SSBN", 29000)])
+        binding = SchemaBinding(ship_schema, ship_db)
+        at_two = InductiveLearningSubsystem(
+            binding, InductionConfig(n_c=2),
+            relation_order=SHIP_ORDER).induce()
+        assert "1301 <= CLASS.Class <= 1302" in at_two.render()
+        at_three = InductiveLearningSubsystem(
+            binding, InductionConfig(n_c=3),
+            relation_order=SHIP_ORDER).induce()
+        assert "1301" not in at_three.render()

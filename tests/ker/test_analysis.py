@@ -1,0 +1,135 @@
+"""Unit tests for the KER schema linter."""
+
+import pytest
+
+from repro.ker import SchemaBinding, parse_ker
+from repro.ker.analysis import analyze_binding, analyze_schema
+from repro.relational import Database, INTEGER, char
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+class TestShipSchemaIsClean:
+    def test_static(self, ship_schema):
+        findings = analyze_schema(ship_schema)
+        # The INSTALL structure rules legitimately conclude across
+        # hierarchies (y isa SONAR concluding x isa SSN) -- warnings,
+        # not errors; everything else is clean.
+        assert all(finding.severity == "warning" for finding in findings)
+        assert set(codes(findings)) <= {"cross-type-conclusion"}
+
+    def test_bound(self, ship_binding):
+        findings = analyze_binding(ship_binding)
+        assert all(finding.severity == "warning" for finding in findings)
+
+
+class TestStaticChecks:
+    def test_missing_derivation(self):
+        schema = parse_ker("""
+        object type T
+            has key: A domain: CHAR[4]
+        T contains SUB
+        """)
+        findings = analyze_schema(schema)
+        assert "no-derivation" in codes(findings)
+
+    def test_overlapping_siblings(self):
+        schema = parse_ker("""
+        object type T
+            has key: A domain: INTEGER
+        T contains LOW, HIGH
+        LOW isa T with 1 <= A <= 10
+        HIGH isa T with 5 <= A <= 20
+        """)
+        findings = analyze_schema(schema)
+        overlap = [f for f in findings if f.code == "overlap"]
+        assert len(overlap) == 1
+        assert overlap[0].severity == "error"
+
+    def test_disjoint_siblings_clean(self):
+        schema = parse_ker("""
+        object type T
+            has key: A domain: INTEGER
+        T contains LOW, HIGH
+        LOW isa T with 1 <= A <= 10
+        HIGH isa T with 11 <= A <= 20
+        """)
+        assert "overlap" not in codes(analyze_schema(schema))
+
+    def test_dangling_domain(self):
+        from repro.ker.model import Attribute, KerSchema, ObjectType
+        schema = KerSchema()
+        schema.add_object_type(ObjectType("T", [
+            Attribute("A", "GHOST_DOMAIN", is_key=True)]))
+        findings = analyze_schema(schema)
+        assert "dangling-domain" in codes(findings)
+
+    def test_undeclared_conclusion_subtype(self):
+        schema = parse_ker("""
+        object type T
+            has key: A domain: INTEGER
+            with
+                if x isa T and x.A >= 5 then x isa PHANTOM
+        """)
+        findings = analyze_schema(schema)
+        errors = [f for f in findings
+                  if f.code == "cross-type-conclusion"
+                  and f.severity == "error"]
+        assert errors
+
+
+class TestDataChecks:
+    @pytest.fixture()
+    def toy(self):
+        schema = parse_ker("""
+        object type G
+            has key: Gid domain: INTEGER
+            has: Kind    domain: CHAR[2]
+            with
+                Gid in [0..100]
+        G contains GA, GB
+        GA isa G with Kind = "a"
+        GB isa G with Kind = "b"
+        object type E
+            has key: Eid domain: INTEGER
+            has: Gid     domain: G
+        """)
+        db = Database()
+        db.create("G", [("Gid", INTEGER), ("Kind", char(2))],
+                  rows=[(1, "a"), (2, "b")], key=["Gid"])
+        db.create("E", [("Eid", INTEGER), ("Gid", INTEGER)],
+                  rows=[(10, 1), (11, 2)], key=["Eid"])
+        return schema, db
+
+    def test_clean_binding(self, toy):
+        schema, db = toy
+        assert analyze_binding(SchemaBinding(schema, db)) == []
+
+    def test_foreign_key_orphan(self, toy):
+        schema, db = toy
+        db.insert("E", [(12, 99)])
+        findings = analyze_binding(SchemaBinding(schema, db))
+        orphan = [f for f in findings if f.code == "foreign-key-orphan"]
+        assert orphan and "99" in orphan[0].message
+
+    def test_range_violation(self, toy):
+        schema, db = toy
+        db.insert("G", [(500, "a")])
+        findings = analyze_binding(SchemaBinding(schema, db))
+        assert "range-violation" in codes(findings)
+
+    def test_uncovered_value(self, toy):
+        schema, db = toy
+        db.insert("G", [(3, "zz")])
+        findings = analyze_binding(SchemaBinding(schema, db))
+        uncovered = [f for f in findings if f.code == "uncovered-value"]
+        assert uncovered and "'zz'" in uncovered[0].message
+
+    def test_finding_render(self, toy):
+        schema, db = toy
+        db.insert("G", [(3, "zz")])
+        (finding,) = [f for f in analyze_binding(SchemaBinding(schema, db))
+                      if f.code == "uncovered-value"]
+        assert finding.render().startswith("[warning] uncovered-value")

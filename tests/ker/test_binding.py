@@ -1,0 +1,102 @@
+"""Unit tests for binding a KER schema to a database."""
+
+import pytest
+
+from repro.errors import KerError
+from repro.ker import SchemaBinding, parse_ker
+from repro.relational import Database, INTEGER, char
+from repro.rules.clause import AttributeRef, Interval
+
+
+class TestShipBinding:
+    def test_backed_types(self, ship_binding):
+        assert ship_binding.is_backed("SUBMARINE")
+        assert not ship_binding.is_backed("SSBN")
+
+    def test_virtual_subtype_resolves_to_ancestor_relation(
+            self, ship_binding):
+        assert ship_binding.relation_name_of("SSBN") == "CLASS"
+        assert ship_binding.relation_name_of("C0101") == "SUBMARINE"
+        assert ship_binding.relation_name_of("BQS") == "SONAR"
+
+    def test_attribute_ref(self, ship_binding):
+        ref = ship_binding.attribute_ref("SSBN", "Displacement")
+        assert ref == AttributeRef("CLASS", "Displacement")
+
+    def test_attribute_ref_unknown(self, ship_binding):
+        with pytest.raises(KerError, match="no attribute"):
+            ship_binding.attribute_ref("SUBMARINE", "Bogus")
+
+    def test_domains(self, ship_binding):
+        domains = ship_binding.domains()
+        assert domains[AttributeRef("CLASS", "Displacement")] == (
+            Interval.closed(2000, 30000))
+
+    def test_foreign_keys(self, ship_binding):
+        pairs = {(a.render(), b.render())
+                 for a, b in ship_binding.foreign_key_pairs()}
+        assert ("INSTALL.Ship", "SUBMARINE.Id") in pairs
+        assert ("INSTALL.Sonar", "SONAR.Sonar") in pairs
+        assert ("SUBMARINE.Class", "CLASS.Class") in pairs
+        assert ("CLASS.Type", "TYPE.Type") in pairs
+
+    def test_validate_instances_clean(self, ship_binding):
+        assert ship_binding.validate_instances() == []
+
+    def test_validate_instances_catches_violation(self, ship_db,
+                                                  ship_schema):
+        ship_db.insert("CLASS", [("9999", "Phantom", "SSN", 99999)])
+        binding = SchemaBinding(ship_schema, ship_db)
+        violations = binding.validate_instances()
+        assert any("99999" in violation for violation in violations)
+
+    def test_schema_rules(self, ship_binding):
+        rules = ship_binding.schema_rules()
+        rendered = rules.render(isa_style=True)
+        assert "then x isa SSBN" in rendered
+        assert "then x isa BQS" in rendered
+        assert all(rule.source == "schema" for rule in rules)
+        assert len(rules) == 11
+
+
+class TestBindingChecks:
+    def test_missing_column_detected(self):
+        schema = parse_ker(
+            "object type T\nhas key: A domain: INTEGER\n"
+            "has: B domain: INTEGER")
+        db = Database()
+        db.create("T", [("A", INTEGER)], rows=[(1,)])
+        with pytest.raises(KerError, match="lacks column"):
+            SchemaBinding(schema, db)
+
+    def test_type_mismatch_detected(self):
+        schema = parse_ker("object type T\nhas key: A domain: INTEGER")
+        db = Database()
+        db.create("T", [("A", char(4))], rows=[("x",)])
+        with pytest.raises(KerError, match="declares"):
+            SchemaBinding(schema, db)
+
+    def test_unbacked_type_is_fine(self):
+        schema = parse_ker("object type GHOST\nhas key: A domain: INTEGER")
+        SchemaBinding(schema, Database())  # no error
+
+    def test_relation_map(self):
+        schema = parse_ker("object type T\nhas key: A domain: INTEGER")
+        db = Database()
+        db.create("T_STORE", [("A", INTEGER)], rows=[(1,)])
+        binding = SchemaBinding(schema, db, relation_map={"T": "T_STORE"})
+        assert binding.relation_name_of("T") == "T_STORE"
+
+    def test_conclusion_without_derivation_spec(self):
+        schema = parse_ker("""
+        object type T
+            has key: A domain: INTEGER
+        T contains SUB
+            with
+                if x isa T and x.A >= 5 then x isa SUB
+        """)
+        db = Database()
+        db.create("T", [("A", INTEGER)], rows=[(1,)])
+        binding = SchemaBinding(schema, db)
+        with pytest.raises(KerError, match="derivation spec"):
+            binding.schema_rules()

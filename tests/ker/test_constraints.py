@@ -1,0 +1,90 @@
+"""Unit tests for the with-constraint classes and DDL interval rendering."""
+
+import pytest
+
+from repro.ker.constraints import (
+    ClassificationRule, ConstraintRule, DomainRangeConstraint,
+    render_interval_ddl,
+)
+from repro.rules.clause import Interval
+
+
+class TestRenderIntervalDdl:
+    def test_point_string_quoted(self):
+        assert render_interval_ddl(
+            Interval.point("SSBN"), "Type") == 'Type = "SSBN"'
+
+    def test_point_integer_unquoted(self):
+        assert render_interval_ddl(Interval.point(5), "A") == "A = 5"
+
+    def test_closed_range(self):
+        assert render_interval_ddl(
+            Interval.closed("0101", "0103"), "Class") == (
+            '"0101" <= Class <= "0103"')
+
+    def test_open_bounds(self):
+        text = render_interval_ddl(
+            Interval(1, 5, low_open=True, high_open=True), "A")
+        assert text == "1 < A < 5"
+
+    def test_half_bounded(self):
+        assert render_interval_ddl(Interval.at_least(5), "A") == "5 <= A"
+        assert render_interval_ddl(Interval.at_most(5), "A") == "A <= 5"
+
+    def test_quote_escaping(self):
+        assert render_interval_ddl(
+            Interval.point('a"b'), "A") == 'A = "a\\"b"'
+
+
+class TestDomainRangeConstraint:
+    def test_render_interval(self):
+        constraint = DomainRangeConstraint(
+            "Displacement", interval=Interval.closed(2000, 30000))
+        assert constraint.render() == "Displacement in [2000..30000]"
+
+    def test_render_open_interval(self):
+        constraint = DomainRangeConstraint(
+            "P", interval=Interval(0, 1, low_open=True, high_open=True))
+        assert constraint.render() == "P in (0..1)"
+
+    def test_render_value_set(self):
+        constraint = DomainRangeConstraint("Grade", values=["A", "B"])
+        assert constraint.render() == "Grade in set of {A, B}"
+
+    def test_equality_case_insensitive_attribute(self):
+        left = DomainRangeConstraint("age", interval=Interval.closed(0, 9))
+        right = DomainRangeConstraint("AGE",
+                                      interval=Interval.closed(0, 9))
+        assert left == right
+
+
+class TestConstraintRule:
+    def test_render_parseable(self):
+        rule = ConstraintRule(
+            [("Class", Interval.closed("0101", "0103"))],
+            "Type", Interval.point("SSBN"))
+        assert rule.render() == (
+            'if "0101" <= Class <= "0103" then Type = "SSBN"')
+
+    def test_equality(self):
+        make = lambda: ConstraintRule(
+            [("A", Interval.closed(1, 2))], "B", Interval.point(3))
+        assert make() == make()
+
+
+class TestClassificationRule:
+    def test_render_includes_roles(self):
+        rule = ClassificationRule(
+            [("x", "SUBMARINE"), ("y", "SONAR")],
+            [("x", "Class", Interval.point("0203"))],
+            "y", "BQQ")
+        assert rule.render() == (
+            'if x isa SUBMARINE and y isa SONAR and x.Class = "0203" '
+            "then y isa BQQ")
+
+    def test_role_type_lookup(self):
+        rule = ClassificationRule(
+            [("x", "SHIP")], [("x", "Tons", Interval.at_least(5))],
+            "x", "HEAVY")
+        assert rule.role_type("X") == "SHIP"
+        assert rule.role_type("zz") is None

@@ -1,0 +1,217 @@
+"""Unit tests for the KER DDL parser (Appendix A grammar)."""
+
+import pytest
+
+from repro.errors import KerError, ParseError
+from repro.ker import parse_ker
+from repro.relational.datatypes import INTEGER, char
+from repro.rules.clause import Clause, Interval
+from repro.testbed import SHIP_SCHEMA_DDL, ship_ker_schema
+
+
+class TestDomains:
+    def test_char_domain(self):
+        schema = parse_ker("domain: NAME isa CHAR[20]")
+        assert schema.resolve_datatype("NAME") == char(20)
+
+    def test_derived_domain(self):
+        schema = parse_ker(
+            "domain: NAME isa CHAR[20]\ndomain: SHIP_NAME isa NAME")
+        assert schema.resolve_datatype("SHIP_NAME") == char(20)
+
+    def test_range_domain(self):
+        schema = parse_ker("domain: AGE isa integer range [0..200]")
+        assert schema.domain_interval("AGE") == Interval.closed(0, 200)
+
+    def test_range_without_keyword(self):
+        schema = parse_ker("domain: AGE isa integer [0..200]")
+        assert schema.domain_interval("AGE") == Interval.closed(0, 200)
+
+    def test_open_range(self):
+        schema = parse_ker("domain: P isa real (0..1)")
+        interval = schema.domain_interval("P")
+        assert interval.low_open and interval.high_open
+
+    def test_set_domain(self):
+        schema = parse_ker(
+            'domain: GRADE isa string set of {"A", "B", "C"}')
+        assert schema.domain("GRADE").values == ("A", "B", "C")
+
+
+class TestObjectTypes:
+    DDL = """
+    object type EMP
+        has key: Id     domain: CHAR[8]
+        has:     Name   domain: CHAR[20]
+        has:     Age    domain: INTEGER
+        with
+            Age in [18..65]
+            if 18 <= Age <= 25 then Name = "junior"
+    """
+
+    def test_attributes(self):
+        schema = parse_ker(self.DDL)
+        emp = schema.object_type("EMP")
+        assert [a.name for a in emp.attributes] == ["Id", "Name", "Age"]
+        assert emp.attribute("Id").is_key
+
+    def test_range_constraint(self):
+        schema = parse_ker(self.DDL)
+        emp = schema.object_type("EMP")
+        assert len(emp.range_constraints) == 1
+        assert emp.range_constraints[0].interval == Interval.closed(18, 65)
+
+    def test_constraint_rule(self):
+        schema = parse_ker(self.DDL)
+        emp = schema.object_type("EMP")
+        (rule,) = emp.constraint_rules
+        assert rule.premises == (("Age", Interval.closed(18, 25)),)
+        assert rule.conclusion_attribute == "Name"
+        assert rule.conclusion == Interval.point("junior")
+
+    def test_range_constraint_unknown_attribute(self):
+        with pytest.raises(KerError, match="unknown attribute"):
+            parse_ker("object type T\nhas: A domain: INTEGER\n"
+                      "with B in [1..2]")
+
+
+class TestHierarchies:
+    DDL = """
+    object type SHIP
+        has key: Id    domain: CHAR[8]
+        has:     Kind  domain: CHAR[4]
+    SHIP contains BIG, SMALL
+    BIG isa SHIP with Kind = "big"
+    SMALL isa SHIP with Kind = "small"
+    """
+
+    def test_contains(self):
+        schema = parse_ker(self.DDL)
+        assert sorted(schema.children_of("SHIP")) == ["BIG", "SMALL"]
+
+    def test_membership_clauses(self):
+        schema = parse_ker(self.DDL)
+        (clause,) = schema.membership_clauses("BIG")
+        assert clause == Clause.equals("SHIP.Kind", "big")
+
+    def test_isa_requires_defined_parent(self):
+        with pytest.raises(ParseError, match="must be defined before"):
+            parse_ker('X isa GHOST with A = "b"')
+
+    def test_classification_rule_single_role(self):
+        schema = parse_ker("""
+        object type SHIP
+            has key: Id  domain: CHAR[8]
+            has: Tons    domain: INTEGER
+        SHIP contains HEAVY, LIGHT
+            with
+                if x isa SHIP and x.Tons >= 1000 then x isa HEAVY
+                if x isa SHIP and x.Tons < 1000 then x isa LIGHT
+        """)
+        rules = schema.object_type("SHIP").classification_rules
+        assert len(rules) == 2
+        assert rules[0].subtype == "HEAVY"
+        (premise,) = rules[0].premises
+        assert premise[1] == "Tons"
+        assert premise[2] == Interval.at_least(1000)
+
+    def test_classification_rule_implicit_role(self):
+        schema = parse_ker("""
+        object type SHIP
+            has key: Id  domain: CHAR[8]
+            has: Tons    domain: INTEGER
+        SHIP contains HEAVY
+            with
+                if x.Tons >= 1000 then x isa HEAVY
+        """)
+        (rule,) = schema.object_type("SHIP").classification_rules
+        assert rule.roles == (("x", "SHIP"),)
+
+    def test_two_role_structure_rule(self):
+        schema = parse_ker("""
+        object type A
+            has key: Id  domain: CHAR[4]
+        object type B
+            has key: Id   domain: CHAR[4]
+            has: Kind     domain: CHAR[4]
+        B contains B1
+        B1 isa B with Kind = "b1"
+        object type LINK
+            has: Left   domain: A
+            has: Right  domain: B
+            with
+                if x isa A and y isa B and x.Id = "a7" then y isa B1
+        """)
+        (rule,) = schema.object_type("LINK").classification_rules
+        assert dict(rule.roles) == {"x": "A", "y": "B"}
+        assert rule.conclusion_variable == "y"
+        assert rule.subtype == "B1"
+
+
+class TestLexicalConventions:
+    def test_dash_identifiers_as_constants(self):
+        schema = parse_ker("""
+        object type SONAR
+            has key: Sonar  domain: CHAR[8]
+        SONAR contains BQQ
+            with
+                if x isa SONAR and BQQ-2 <= x.Sonar <= BQQ-8 then x isa BQQ
+        """)
+        (rule,) = schema.object_type("SONAR").classification_rules
+        assert rule.premises[0][2] == Interval.closed("BQQ-2", "BQQ-8")
+
+    def test_leading_zero_numbers_are_strings(self):
+        schema = parse_ker("""
+        object type C
+            has key: Class  domain: CHAR[4]
+        C contains C1
+            with
+                if x isa C and x.Class = 0203 then x isa C1
+        """)
+        (rule,) = schema.object_type("C").classification_rules
+        assert rule.premises[0][2] == Interval.point("0203")
+
+    def test_comments_skipped(self):
+        schema = parse_ker("""
+        /* B.2 definitions */
+        object type T
+            has key: A domain: INTEGER  -- trailing comment
+        """)
+        assert schema.object_type("T").attribute("A") is not None
+
+    def test_chained_comparison_requires_le(self):
+        with pytest.raises(ParseError, match="< or <="):
+            parse_ker("""
+            object type T
+                has: A domain: INTEGER
+                with
+                    if 5 >= A >= 1 then A = 1
+            """)
+
+
+class TestShipSchema:
+    def test_parses(self):
+        schema = ship_ker_schema()
+        assert schema.has_object_type("SUBMARINE")
+        assert schema.has_object_type("INSTALL")
+
+    def test_hierarchies(self):
+        schema = ship_ker_schema()
+        assert sorted(schema.children_of("CLASS")) == ["SSBN", "SSN"]
+        assert len(schema.children_of("SUBMARINE")) == 13
+        assert sorted(schema.children_of("SONAR")) == [
+            "BQQ", "BQS", "TACTAS"]
+
+    def test_displacement_domain(self):
+        schema = ship_ker_schema()
+        (constraint,) = schema.object_type("CLASS").range_constraints
+        assert constraint.interval == Interval.closed(2000, 30000)
+
+    def test_install_structure_rules(self):
+        schema = ship_ker_schema()
+        rules = schema.object_type("INSTALL").classification_rules
+        assert len(rules) == 4
+        assert rules[-1].subtype == "SSN"
+
+    def test_ddl_constant(self):
+        assert "object type SUBMARINE" in SHIP_SCHEMA_DDL

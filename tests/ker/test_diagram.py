@@ -1,0 +1,66 @@
+"""Unit tests for KER text diagrams."""
+
+from repro.ker.diagram import (
+    render_hierarchy, render_object_type, render_schema, render_with_rules,
+)
+
+
+class TestObjectTypeRendering:
+    def test_figure1_block(self, ship_schema):
+        text = render_object_type(ship_schema, "SUBMARINE")
+        assert text.startswith("object type SUBMARINE")
+        assert "has key: Id" in text
+        assert "domain: CLASS" in text
+
+    def test_with_block_shown(self, ship_schema):
+        text = render_object_type(ship_schema, "CLASS")
+        assert "with" in text
+        assert "Displacement in [2000..30000]" in text
+
+
+class TestHierarchyRendering:
+    def test_figure2_tree(self, ship_schema):
+        text = render_hierarchy(ship_schema, "CLASS")
+        assert text.splitlines()[0] == "CLASS"
+        assert any("SSBN" in line for line in text.splitlines())
+        assert any(line.startswith("`--") or line.startswith("|--")
+                   for line in text.splitlines()[1:])
+
+    def test_deep_tree_indents(self, ship_schema):
+        text = render_hierarchy(ship_schema, "SUBMARINE")
+        assert len(text.splitlines()) == 14  # root + 13 classes
+
+
+class TestSchemaRendering:
+    def test_appendix_b_style(self, ship_schema):
+        text = render_schema(ship_schema)
+        assert "domain: NAME isa char[20]" in text
+        assert "object type SONAR" in text
+        assert 'SSBN isa CLASS with Type = "SSBN"' in text
+
+    def test_render_parse_round_trip(self, ship_schema):
+        """The rendered schema is valid DDL describing the same model."""
+        from repro.ker import parse_ker
+        reparsed = parse_ker(render_schema(ship_schema))
+        for object_type in ship_schema.object_types.values():
+            again = reparsed.object_type(object_type.name)
+            assert [a.name for a in again.attributes] == [
+                a.name for a in object_type.attributes]
+            assert again.constraint_rules == object_type.constraint_rules
+            assert again.classification_rules == (
+                object_type.classification_rules)
+            assert again.range_constraints == object_type.range_constraints
+        for link in ship_schema.links():
+            assert reparsed.link_of(
+                link.child).membership == link.membership
+
+
+class TestFigure5:
+    def test_with_rules(self, ship_schema, ship_rules):
+        displacement_rules = [
+            rule for rule in ship_rules
+            if rule.lhs[0].attribute.attribute == "Displacement"]
+        text = render_with_rules(ship_schema, "CLASS", displacement_rules)
+        assert "with /* induced rules */" in text
+        assert "then x isa SSBN" in text
+        assert "then x isa SSN" in text

@@ -1,0 +1,161 @@
+"""Unit tests for the KER model objects."""
+
+import pytest
+
+from repro.errors import KerError
+from repro.ker.model import (
+    Attribute, Domain, KerSchema, ObjectType,
+)
+from repro.relational.datatypes import INTEGER, char
+from repro.rules.clause import AttributeRef, Clause, Interval
+
+
+@pytest.fixture()
+def schema():
+    ker = KerSchema("test")
+    person = ObjectType("PERSON", [
+        Attribute("Id", char(8), is_key=True),
+        Attribute("Name", char(20)),
+        Attribute("Role", char(10)),
+    ])
+    ker.add_object_type(person)
+    return ker
+
+
+class TestDomains:
+    def test_standard_domains_resolve(self, schema):
+        assert schema.resolve_datatype("integer") == INTEGER
+        assert schema.resolve_datatype("string") == char(None)
+
+    def test_named_domain_chain(self, schema):
+        schema.add_domain(Domain("NAME", base=char(20)))
+        schema.add_domain(Domain("SHIP_NAME", parent="NAME"))
+        assert schema.resolve_datatype("SHIP_NAME") == char(20)
+
+    def test_domain_interval_inherited(self, schema):
+        schema.add_domain(Domain("AGE", base=INTEGER,
+                                 interval=Interval.closed(0, 200)))
+        schema.add_domain(Domain("ADULT_AGE", parent="AGE"))
+        assert schema.domain_interval("ADULT_AGE") == Interval.closed(0, 200)
+
+    def test_object_type_domain_resolves_to_key(self, schema):
+        assert schema.resolve_datatype("PERSON") == char(8)
+
+    def test_object_domain_without_single_key(self, schema):
+        schema.add_object_type(ObjectType("PAIR", [
+            Attribute("A", INTEGER, is_key=True),
+            Attribute("B", INTEGER, is_key=True)]))
+        with pytest.raises(KerError, match="key"):
+            schema.resolve_datatype("PAIR")
+
+    def test_unknown_domain(self, schema):
+        with pytest.raises(KerError, match="unknown domain"):
+            schema.resolve_datatype("NOPE")
+
+    def test_duplicate_domain_rejected(self, schema):
+        schema.add_domain(Domain("D", base=INTEGER))
+        with pytest.raises(KerError, match="already defined"):
+            schema.add_domain(Domain("d", base=INTEGER))
+
+    def test_domain_needs_base(self):
+        with pytest.raises(KerError):
+            Domain("EMPTY")
+
+
+class TestObjectTypes:
+    def test_attribute_lookup_case_insensitive(self, schema):
+        person = schema.object_type("person")
+        assert person.attribute("NAME").name == "Name"
+
+    def test_duplicate_attribute_rejected(self, schema):
+        person = schema.object_type("PERSON")
+        with pytest.raises(KerError, match="already has attribute"):
+            person.add_attribute(Attribute("name", char(5)))
+
+    def test_key_attributes(self, schema):
+        assert [a.name for a in
+                schema.object_type("PERSON").key_attributes()] == ["Id"]
+
+    def test_unknown_type(self, schema):
+        with pytest.raises(KerError, match="unknown object type"):
+            schema.object_type("GHOST")
+
+    def test_ensure_idempotent(self, schema):
+        first = schema.ensure_object_type("NEW")
+        second = schema.ensure_object_type("new")
+        assert first is second
+
+
+class TestHierarchy:
+    @pytest.fixture()
+    def tree(self, schema):
+        schema.add_subtype("PROFESSOR", "PERSON",
+                           [Clause.equals("PERSON.Role", "prof")])
+        schema.add_subtype("STUDENT", "PERSON",
+                           [Clause.equals("PERSON.Role", "student")])
+        schema.add_subtype("TA", "STUDENT",
+                           [Clause.equals("PERSON.Role", "ta")])
+        return schema
+
+    def test_parent_children(self, tree):
+        assert tree.parent_of("TA") == "STUDENT"
+        assert sorted(tree.children_of("PERSON")) == [
+            "PROFESSOR", "STUDENT"]
+
+    def test_ancestors_descendants(self, tree):
+        assert tree.ancestor_names("TA") == ["STUDENT", "PERSON"]
+        assert tree.descendant_names("PERSON") == [
+            "PROFESSOR", "STUDENT", "TA"]
+
+    def test_is_subtype_of(self, tree):
+        assert tree.is_subtype_of("TA", "PERSON")
+        assert tree.is_subtype_of("TA", "TA")
+        assert not tree.is_subtype_of("PERSON", "TA")
+
+    def test_roots(self, tree):
+        assert "PERSON" in tree.root_names()
+        assert "TA" not in tree.root_names()
+
+    def test_cycle_rejected(self, tree):
+        with pytest.raises(KerError, match="cycle"):
+            tree.add_subtype("PERSON", "TA")
+
+    def test_conflicting_parent_rejected(self, tree):
+        tree.ensure_object_type("OTHER")
+        with pytest.raises(KerError, match="already has a supertype"):
+            tree.add_subtype("TA", "PROFESSOR")
+
+    def test_membership_refinement(self, schema):
+        schema.declare_contains("PERSON", ["STAFF"])
+        assert schema.membership_clauses("STAFF") == ()
+        schema.add_subtype("STAFF", "PERSON",
+                           [Clause.equals("PERSON.Role", "staff")])
+        assert len(schema.membership_clauses("STAFF")) == 1
+
+    def test_double_derivation_rejected(self, tree):
+        with pytest.raises(KerError, match="derivation"):
+            tree.add_subtype("TA", "STUDENT",
+                             [Clause.equals("PERSON.Role", "xx")])
+
+    def test_inheritance(self, tree):
+        tree.object_type("TA").add_attribute(Attribute("Course", char(8)))
+        names = [a.name for a in tree.attributes_of("TA")]
+        assert names == ["Course", "Id", "Name", "Role"]
+
+    def test_inheritance_override(self, tree):
+        tree.object_type("STUDENT").add_attribute(
+            Attribute("Name", char(40)))
+        attributes = {a.name: a for a in tree.attributes_of("TA")}
+        assert attributes["Name"].domain == char(40)
+
+    def test_subtype_for_clause(self, tree):
+        found = tree.subtype_for_clause(
+            Clause.equals("PERSON.Role", "prof"))
+        assert found == "PROFESSOR"
+        assert tree.subtype_for_clause(
+            Clause.equals("PERSON.Role", "nobody")) is None
+
+    def test_subtype_for_interval(self, tree):
+        found = tree.subtype_for_interval(
+            AttributeRef("PERSON", "Role"), Interval.point("ta"))
+        assert found == "TA"

@@ -1,0 +1,108 @@
+"""Unit tests for the shared scanner and token stream."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.langutil import Scanner, TokenStream, TokenKind
+
+
+def scan(text, **kwargs):
+    return Scanner(**kwargs).scan(text)
+
+
+class TestScanner:
+    def test_identifiers_numbers_strings(self):
+        tokens = scan('foo 42 3.5 "bar"')
+        kinds = [t.kind for t in tokens]
+        assert kinds == [TokenKind.IDENT, TokenKind.NUMBER,
+                         TokenKind.NUMBER, TokenKind.STRING, TokenKind.EOF]
+        assert tokens[1].value == 42
+        assert tokens[2].value == 3.5
+        assert tokens[3].value == "bar"
+
+    def test_single_quoted_strings(self):
+        tokens = scan("'hi there'")
+        assert tokens[0].value == "hi there"
+
+    def test_string_escapes(self):
+        tokens = scan('"a\\"b"')
+        assert tokens[0].value == 'a"b'
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated string"):
+            scan('"abc')
+
+    def test_operators_longest_match(self):
+        tokens = scan("<= < >= <> ..")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["<=", "<", ">=", "<>", ".."]
+
+    def test_range_dots_not_decimal(self):
+        tokens = scan("[0..200]")
+        values = [t.text for t in tokens[:-1]]
+        assert values == ["[", "0", "..", "200", "]"]
+
+    def test_scientific_notation(self):
+        tokens = scan("1e3 2.5E-2")
+        assert tokens[0].value == 1000.0
+        assert tokens[1].value == 0.025
+
+    def test_comments_skipped(self):
+        tokens = scan("a /* comment */ b -- eol\nc")
+        assert [t.text for t in tokens[:-1]] == ["a", "b", "c"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(ParseError, match="unterminated comment"):
+            scan("/* never ends")
+
+    def test_dash_identifiers(self):
+        tokens = scan("BQS-04 BQQ-2", ident_continue_dash=True)
+        assert [t.text for t in tokens[:-1]] == ["BQS-04", "BQQ-2"]
+
+    def test_dash_not_in_identifiers_by_default(self):
+        tokens = scan("a-b")
+        assert [t.text for t in tokens[:-1]] == ["a", "-", "b"]
+
+    def test_identifier_never_ends_with_dash(self):
+        tokens = scan("Class - 1", ident_continue_dash=True)
+        assert [t.text for t in tokens[:-1]] == ["Class", "-", "1"]
+
+    def test_positions(self):
+        tokens = scan("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            scan("a @ b")
+
+
+class TestTokenStream:
+    def test_walkthrough(self):
+        stream = TokenStream(scan("select a , b"))
+        assert stream.accept_keyword("select")
+        assert stream.expect_ident().text == "a"
+        assert stream.accept_op(",")
+        assert stream.at_keyword("b")
+        stream.advance()
+        assert stream.at_end()
+
+    def test_expect_failures_carry_position(self):
+        stream = TokenStream(scan("select"))
+        stream.advance()
+        with pytest.raises(ParseError, match="expected"):
+            stream.expect_ident()
+
+    def test_peek(self):
+        stream = TokenStream(scan("a b"))
+        assert stream.peek().text == "b"
+        assert stream.peek(5).kind is TokenKind.EOF
+
+    def test_advance_stops_at_eof(self):
+        stream = TokenStream(scan(""))
+        stream.advance()
+        assert stream.at_end()
+
+    def test_keyword_case_insensitive(self):
+        stream = TokenStream(scan("SELECT"))
+        assert stream.accept_keyword("select")

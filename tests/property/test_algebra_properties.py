@@ -1,0 +1,125 @@
+"""Property-based tests for relational-algebra invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.relational import algebra
+from repro.relational.datatypes import INTEGER, char
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+
+SCHEMA = RelationSchema("T", [Column("A", INTEGER),
+                              Column("B", char(2)),
+                              Column("C", INTEGER)])
+
+rows = st.lists(
+    st.tuples(st.integers(0, 9),
+              st.sampled_from(["x", "y", "z"]),
+              st.one_of(st.none(), st.integers(0, 5))),
+    max_size=25)
+
+
+def relation(data):
+    return Relation(SCHEMA, data, validated=True)
+
+
+def pred(bound):
+    return Comparison(">", ColumnRef("A"), Literal(bound))
+
+
+class TestSelection:
+    @given(rows, st.integers(0, 9))
+    def test_selection_shrinks(self, data, bound):
+        rel = relation(data)
+        assert len(algebra.select(rel, pred(bound))) <= len(rel)
+
+    @given(rows, st.integers(0, 9), st.integers(0, 9))
+    def test_selection_commutes(self, data, b1, b2):
+        rel = relation(data)
+        one = algebra.select(algebra.select(rel, pred(b1)), pred(b2))
+        two = algebra.select(algebra.select(rel, pred(b2)), pred(b1))
+        assert one == two
+
+    @given(rows, st.integers(0, 9))
+    def test_selection_idempotent(self, data, bound):
+        rel = relation(data)
+        once = algebra.select(rel, pred(bound))
+        twice = algebra.select(once, pred(bound))
+        assert once == twice
+
+
+class TestProjectDistinct:
+    @given(rows)
+    def test_distinct_idempotent(self, data):
+        rel = relation(data)
+        assert rel.distinct().distinct() == rel.distinct()
+
+    @given(rows, st.integers(0, 9))
+    def test_select_commutes_with_project_when_column_kept(self, data,
+                                                           bound):
+        rel = relation(data)
+        select_then_project = algebra.project(
+            algebra.select(rel, pred(bound)), ["A", "B"])
+        project_then_select = algebra.select(
+            algebra.project(rel, ["A", "B"]), pred(bound))
+        assert select_then_project == project_then_select
+
+    @given(rows)
+    def test_projection_preserves_cardinality(self, data):
+        rel = relation(data)
+        assert len(algebra.project(rel, ["B"])) == len(rel)
+
+
+class TestSetOperations:
+    @given(rows, rows)
+    def test_union_cardinality(self, left_data, right_data):
+        left = relation(left_data)
+        right = relation(right_data)
+        assert len(algebra.union(left, right)) == len(left) + len(right)
+
+    @given(rows, rows)
+    def test_difference_inverse_of_union(self, left_data, right_data):
+        left = relation(left_data)
+        right = relation(right_data)
+        assert algebra.difference(
+            algebra.union(left, right), right) == left
+
+    @given(rows)
+    def test_self_difference_empty(self, data):
+        rel = relation(data)
+        assert len(algebra.difference(rel, rel)) == 0
+
+    @given(rows, rows)
+    def test_intersection_commutes(self, left_data, right_data):
+        left = relation(left_data)
+        right = relation(right_data)
+        assert algebra.intersection(left, right) == (
+            algebra.intersection(right, left))
+
+    @given(rows)
+    def test_sort_is_permutation(self, data):
+        rel = relation(data)
+        assert rel.sorted_by("A", "B") == rel
+
+
+class TestJoin:
+    @given(rows, rows)
+    def test_join_subset_of_product(self, left_data, right_data):
+        left = relation(left_data)
+        right = algebra.rename(relation(right_data), "U")
+        joined = algebra.equijoin(left, right, [("A", "A")])
+        assert len(joined) <= len(left) * len(right)
+
+    @given(rows)
+    def test_join_on_equal_keys_matches_filtered_product(self, data):
+        left = relation(data)
+        right = algebra.rename(relation(data), "U")
+        joined = algebra.equijoin(left, right, [("A", "A")])
+        product = algebra.cross(left, right)
+        filtered = [row for row in product if row[0] == row[3]]
+
+        def key(row):
+            return tuple((value is None, value if value is not None else 0)
+                         for value in row)
+
+        assert sorted(joined.rows, key=key) == sorted(filtered, key=key)

@@ -1,0 +1,98 @@
+"""Property-based tests for induction invariants.
+
+The load-bearing ones from DESIGN.md:
+
+* every induced rule is *sound* on its training data;
+* runs partition the consistent X values (no overlaps, full coverage);
+* pruning is monotone in N_c;
+* the QUEL and native extraction paths agree on arbitrary data.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.induction import (
+    InductionConfig, extract_pairs_native, extract_pairs_quel,
+    induce_from_pairs,
+)
+from repro.induction.runs import build_runs
+from repro.relational import Database, INTEGER, char
+from repro.rules.clause import AttributeRef
+
+X_REF = AttributeRef("R", "X")
+Y_REF = AttributeRef("R", "Y")
+
+pairs_strategy = st.lists(
+    st.tuples(st.one_of(st.none(), st.integers(0, 30)),
+              st.one_of(st.none(), st.sampled_from("abcd"))),
+    max_size=60)
+
+
+class TestSoundness:
+    @given(pairs_strategy, st.integers(1, 5))
+    def test_induced_rules_sound_on_training_data(self, pairs, n_c):
+        extraction = extract_pairs_native(pairs)
+        rules = induce_from_pairs(extraction, X_REF, Y_REF,
+                                  InductionConfig(n_c=n_c))
+        records = [{X_REF: x, Y_REF: y} for x, y in pairs]
+        for rule in rules:
+            assert rule.sound_on(records), rule.render()
+
+    @given(pairs_strategy)
+    def test_rule_support_counts_are_truthful(self, pairs):
+        extraction = extract_pairs_native(pairs)
+        rules = induce_from_pairs(extraction, X_REF, Y_REF,
+                                  InductionConfig(n_c=1))
+        for rule in rules:
+            satisfied = sum(
+                1 for x, y in pairs
+                if x is not None and y is not None
+                and rule.lhs[0].satisfied_by(x)
+                and rule.rhs.satisfied_by(y))
+            assert rule.support == satisfied
+
+
+class TestRunStructure:
+    @given(pairs_strategy)
+    def test_runs_partition_consistent_values(self, pairs):
+        extraction = extract_pairs_native(pairs)
+        runs = build_runs(extraction.occurring_x, extraction.mapping,
+                          extraction.removed, extraction.counts)
+        covered = [x for run in runs for x in run.xs]
+        assert sorted(covered) == sorted(extraction.mapping)
+        assert len(covered) == len(set(covered))
+
+    @given(pairs_strategy)
+    def test_runs_are_ordered_and_disjoint(self, pairs):
+        extraction = extract_pairs_native(pairs)
+        runs = build_runs(extraction.occurring_x, extraction.mapping,
+                          extraction.removed, extraction.counts)
+        for run in runs:
+            assert run.low <= run.high
+        for earlier, later in zip(runs, runs[1:]):
+            assert earlier.high < later.low or earlier.high == later.low
+
+
+class TestPruningMonotonicity:
+    @given(pairs_strategy, st.integers(1, 4))
+    def test_higher_threshold_keeps_fewer_rules(self, pairs, n_c):
+        extraction = extract_pairs_native(pairs)
+        loose = induce_from_pairs(extraction, X_REF, Y_REF,
+                                  InductionConfig(n_c=n_c))
+        tight = induce_from_pairs(extraction, X_REF, Y_REF,
+                                  InductionConfig(n_c=n_c + 1))
+        loose_keys = {(rule.lhs, rule.rhs) for rule in loose}
+        tight_keys = {(rule.lhs, rule.rhs) for rule in tight}
+        assert tight_keys <= loose_keys
+
+
+class TestQuelNativeEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 15),
+                              st.sampled_from("abc")), max_size=40))
+    def test_paths_agree(self, pairs):
+        database = Database()
+        database.create("R", [("X", INTEGER), ("Y", char(1))],
+                        rows=pairs)
+        native = extract_pairs_native(pairs)
+        quel = extract_pairs_quel(database, "R", "X", "Y")
+        assert native == quel

@@ -1,0 +1,118 @@
+"""Property-based tests for the interval algebra (hypothesis).
+
+The inference engine's correctness rests on these laws; they are the
+invariants DESIGN.md calls out for property testing.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import RuleError
+from repro.rules.clause import Interval
+
+
+@st.composite
+def intervals(draw):
+    """Arbitrary (possibly open/unbounded) integer intervals."""
+    low = draw(st.one_of(st.none(), st.integers(-50, 50)))
+    high = draw(st.one_of(st.none(), st.integers(-50, 50)))
+    if low is not None and high is not None and low > high:
+        low, high = high, low
+    low_open = draw(st.booleans()) if low is not None else False
+    high_open = draw(st.booleans()) if high is not None else False
+    if (low is not None and high is not None and low == high
+            and (low_open or high_open)):
+        low_open = high_open = False
+    return Interval(low, high, low_open=low_open, high_open=high_open)
+
+
+values = st.integers(-60, 60)
+
+
+class TestContainment:
+    @given(intervals())
+    def test_contains_is_reflexive(self, interval):
+        assert interval.contains(interval)
+
+    @given(intervals(), intervals(), intervals())
+    def test_contains_is_transitive(self, a, b, c):
+        if a.contains(b) and b.contains(c):
+            assert a.contains(c)
+
+    @given(intervals(), intervals(), values)
+    def test_containment_implies_membership(self, a, b, value):
+        if a.contains(b) and b.contains_value(value):
+            assert a.contains_value(value)
+
+    @given(intervals())
+    def test_everything_contains_all(self, interval):
+        assert Interval.everything().contains(interval)
+
+
+class TestOverlap:
+    @given(intervals(), intervals())
+    def test_overlap_is_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(intervals(), intervals(), values)
+    def test_shared_member_implies_overlap(self, a, b, value):
+        if a.contains_value(value) and b.contains_value(value):
+            assert a.overlaps(b)
+
+    @given(intervals())
+    def test_self_overlap_unless_empty(self, interval):
+        # Our constructors forbid empty intervals, so overlap holds.
+        assert interval.overlaps(interval)
+
+
+class TestIntersection:
+    @given(intervals(), intervals())
+    def test_intersection_commutes(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(intervals(), intervals(), values)
+    def test_intersection_is_conjunction(self, a, b, value):
+        merged = a.intersect(b)
+        in_both = a.contains_value(value) and b.contains_value(value)
+        if merged is None:
+            assert not in_both
+        else:
+            assert merged.contains_value(value) == in_both
+
+    @given(intervals(), intervals())
+    def test_intersection_contained_in_operands(self, a, b):
+        merged = a.intersect(b)
+        if merged is not None:
+            assert a.contains(merged)
+            assert b.contains(merged)
+
+    @given(intervals())
+    def test_intersection_idempotent(self, a):
+        assert a.intersect(a) == a
+
+
+class TestPointAndComparison:
+    @given(values)
+    def test_point_contains_only_itself(self, value):
+        point = Interval.point(value)
+        assert point.contains_value(value)
+        assert not point.contains_value(value + 1)
+        assert not point.contains_value(value - 1)
+
+    @given(st.sampled_from(["=", "<", "<=", ">", ">="]), values, values)
+    def test_from_comparison_semantics(self, op, bound, candidate):
+        interval = Interval.from_comparison(op, bound)
+        expected = {
+            "=": candidate == bound,
+            "<": candidate < bound,
+            "<=": candidate <= bound,
+            ">": candidate > bound,
+            ">=": candidate >= bound,
+        }[op]
+        assert interval.contains_value(candidate) == expected
+
+
+class TestRenderStability:
+    @given(intervals())
+    def test_render_never_crashes(self, interval):
+        text = interval.render("X")
+        assert isinstance(text, str) and text

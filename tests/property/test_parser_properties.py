@@ -1,0 +1,150 @@
+"""Property-based round-trip tests for the QUEL and SQL parsers.
+
+Strategy: generate random ASTs, render them, re-parse, and require the
+re-parse to render identically (render-stable normal form).  This pins
+the printer and parser against each other across the whole grammar.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.quel import ast as quel_ast, parse_quel
+from repro.sql import ast as sql_ast, parse_select
+from repro.relational.expressions import (
+    And, ColumnRef, Comparison, Literal, Not, Or,
+)
+
+identifiers = st.sampled_from(["A", "B2", "Name", "Displacement", "x_y"])
+variables = st.sampled_from(["r", "s", "emp"])
+relations = st.sampled_from(["T", "CLASS", "EMP"])
+ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+literals = st.one_of(
+    st.integers(-1000, 1000).map(Literal),
+    st.sampled_from(["SSBN", "BQS-04", "hello world"]).map(Literal),
+)
+
+
+@st.composite
+def column_refs(draw, qualified=True):
+    column = draw(identifiers)
+    qualifier = draw(variables) if qualified else None
+    return ColumnRef(column, qualifier=qualifier)
+
+
+@st.composite
+def comparisons(draw, qualified=True):
+    left = draw(column_refs(qualified=qualified))
+    right = draw(literals)
+    return Comparison(draw(ops), left, right)
+
+
+@st.composite
+def qualifications(draw, qualified=True, depth=2):
+    if depth == 0:
+        return draw(comparisons(qualified=qualified))
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return draw(comparisons(qualified=qualified))
+    if choice == 1:
+        parts = draw(st.lists(
+            qualifications(qualified=qualified, depth=depth - 1),
+            min_size=2, max_size=3))
+        return And(parts)
+    if choice == 2:
+        parts = draw(st.lists(
+            qualifications(qualified=qualified, depth=depth - 1),
+            min_size=2, max_size=3))
+        return Or(parts)
+    return Not(draw(qualifications(qualified=qualified, depth=depth - 1)))
+
+
+class TestQuelRoundTrip:
+    @given(st.lists(column_refs(), min_size=1, max_size=4),
+           st.booleans(),
+           st.one_of(st.none(), qualifications()))
+    def test_retrieve_roundtrip(self, targets, unique, where):
+        statement = quel_ast.RetrieveStmt(
+            [quel_ast.Target(t) for t in targets],
+            into="OUT", unique=unique, where=where)
+        (parsed,) = parse_quel(statement.render())
+        assert parsed.render() == statement.render()
+
+    @given(variables, st.one_of(st.none(), qualifications()))
+    def test_delete_roundtrip(self, variable, where):
+        statement = quel_ast.DeleteStmt(variable, where)
+        (parsed,) = parse_quel(statement.render())
+        assert parsed.render() == statement.render()
+
+    @given(relations, st.lists(
+        st.tuples(identifiers, literals), min_size=1, max_size=3))
+    def test_append_roundtrip(self, relation, assignments):
+        statement = quel_ast.AppendStmt(
+            relation,
+            [quel_ast.Target(value, alias=name)
+             for name, value in assignments])
+        (parsed,) = parse_quel(statement.render())
+        assert parsed.render() == statement.render()
+
+    @given(variables,
+           st.lists(st.tuples(identifiers, literals), min_size=1,
+                    max_size=3),
+           st.one_of(st.none(), qualifications()))
+    def test_replace_roundtrip(self, variable, assignments, where):
+        statement = quel_ast.ReplaceStmt(
+            variable,
+            [quel_ast.Target(value, alias=name)
+             for name, value in assignments], where)
+        (parsed,) = parse_quel(statement.render())
+        assert parsed.render() == statement.render()
+
+    @given(st.sampled_from(quel_ast.Aggregate.OPS), column_refs())
+    def test_aggregate_roundtrip(self, op, operand):
+        statement = quel_ast.RetrieveStmt(
+            [quel_ast.Target(quel_ast.Aggregate(op, operand),
+                             alias="agg")])
+        (parsed,) = parse_quel(statement.render())
+        assert parsed.render() == statement.render()
+
+
+class TestSqlRoundTrip:
+    @given(st.lists(column_refs(qualified=False), min_size=1, max_size=4),
+           st.booleans(),
+           st.one_of(st.none(), qualifications(qualified=False)))
+    def test_select_roundtrip(self, columns, distinct, where):
+        statement = sql_ast.SelectStmt(
+            [sql_ast.SelectItem(c) for c in columns],
+            [sql_ast.TableRef("T")], where=where, distinct=distinct)
+        parsed = parse_select(statement.render())
+        assert parsed.render() == statement.render()
+
+    @given(st.lists(st.tuples(relations, st.one_of(
+        st.none(), variables)), min_size=1, max_size=3, unique_by=(
+            lambda pair: (pair[1] or pair[0]).lower())))
+    def test_from_clause_roundtrip(self, tables):
+        statement = sql_ast.SelectStmt(
+            [sql_ast.SelectItem(ColumnRef("A",
+                                          tables[0][1] or tables[0][0]))],
+            [sql_ast.TableRef(name, alias) for name, alias in tables])
+        parsed = parse_select(statement.render())
+        assert parsed.render() == statement.render()
+
+    @given(st.sampled_from(sql_ast.AggregateCall.OPS),
+           column_refs(qualified=False), st.booleans())
+    def test_aggregate_roundtrip(self, op, operand, distinct):
+        call = sql_ast.AggregateCall(op, operand, distinct=distinct)
+        statement = sql_ast.SelectStmt(
+            [sql_ast.SelectItem(call, alias="agg")],
+            [sql_ast.TableRef("T")])
+        parsed = parse_select(statement.render())
+        assert parsed.render() == statement.render()
+
+    @given(st.lists(column_refs(qualified=False), min_size=1,
+                    max_size=2))
+    def test_group_by_roundtrip(self, keys):
+        statement = sql_ast.SelectStmt(
+            [sql_ast.SelectItem(key) for key in keys]
+            + [sql_ast.SelectItem(
+                sql_ast.AggregateCall("count", None))],
+            [sql_ast.TableRef("T")], group_by=keys)
+        parsed = parse_select(statement.render())
+        assert parsed.render() == statement.render()

@@ -1,0 +1,83 @@
+"""Property-based soundness of bound propagation.
+
+Model check: for random constraint sets and conditions over a small
+integer domain, every record satisfying all constraints and the query
+condition must satisfy every propagated fact.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.inference.facts import FactBase
+from repro.rules.clause import AttributeRef, Clause, Interval
+from repro.rules.comparisons import ComparisonConstraint, propagate_bounds
+
+ATTRIBUTES = [AttributeRef("T", name) for name in ("A", "B", "C")]
+DOMAIN = list(range(0, 6))
+
+
+@st.composite
+def constraints(draw):
+    left = draw(st.sampled_from(ATTRIBUTES))
+    right = draw(st.sampled_from(
+        [a for a in ATTRIBUTES if a != left]))
+    op = draw(st.sampled_from(["<", "<="]))
+    return ComparisonConstraint(left, op, right)
+
+
+@st.composite
+def interval_conditions(draw):
+    attribute = draw(st.sampled_from(ATTRIBUTES))
+    low = draw(st.integers(0, 5))
+    high = draw(st.integers(low, 5))
+    return Clause(attribute, Interval.closed(low, high))
+
+
+def satisfying_records(constraint_list, condition):
+    for values in itertools.product(DOMAIN, repeat=len(ATTRIBUTES)):
+        record = dict(zip(ATTRIBUTES, values))
+        if not condition.satisfied_by(record[condition.attribute]):
+            continue
+        if all(constraint.holds_for(record)
+               for constraint in constraint_list):
+            yield record
+
+
+class TestPropagationSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(constraints(), max_size=4), interval_conditions())
+    def test_propagated_facts_hold_in_every_model(self, constraint_list,
+                                                  condition):
+        facts = FactBase()
+        facts.add_condition(condition)
+        try:
+            propagate_bounds(facts, constraint_list)
+        except Exception:
+            # Contradictory constraint cycles (a < b < a) may make the
+            # fact base inconsistent; then there is no model to check.
+            return
+        for attribute, interval, _sources in facts.facts():
+            for record in satisfying_records(constraint_list, condition):
+                value = record.get(attribute)
+                if value is None:
+                    continue
+                assert interval.contains_value(value), (
+                    f"{attribute.render()} in {interval!r} fails on "
+                    f"{record} given {condition.render()} and "
+                    + ", ".join(c.render() for c in constraint_list))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(constraints(), max_size=4), interval_conditions())
+    def test_propagation_is_idempotent(self, constraint_list, condition):
+        facts = FactBase()
+        facts.add_condition(condition)
+        try:
+            propagate_bounds(facts, constraint_list)
+        except Exception:
+            return
+        snapshot = {ref.key: interval
+                    for ref, interval, _s in facts.facts()}
+        propagate_bounds(facts, constraint_list)
+        again = {ref.key: interval for ref, interval, _s in facts.facts()}
+        assert snapshot == again

@@ -1,0 +1,70 @@
+"""Property-based round-trip tests for the rule-relation encoding."""
+
+from hypothesis import given, strategies as st
+
+from repro.rules import (
+    Clause, Interval, Rule, RuleSet, decode_rule_relations,
+    encode_rule_relations,
+)
+from repro.rules.clause import AttributeRef
+
+attribute_refs = st.builds(
+    AttributeRef,
+    st.sampled_from(["CLASS", "SUBMARINE", "SONAR"]),
+    st.sampled_from(["A", "B", "C"]))
+
+
+@st.composite
+def clauses(draw):
+    ref = draw(attribute_refs)
+    # Per-attribute value type must be consistent within a rule set;
+    # fix the type by the attribute name (A, B -> int; C -> str).
+    if ref.attribute == "C":
+        low, high = sorted((draw(st.sampled_from("pqrs")),
+                            draw(st.sampled_from("pqrs"))))
+    else:
+        low, high = sorted((draw(st.integers(0, 50)),
+                            draw(st.integers(0, 50))))
+    return Clause(ref, Interval.closed(low, high))
+
+
+@st.composite
+def rules(draw):
+    lhs = draw(st.lists(clauses(), min_size=1, max_size=3))
+    rhs = draw(clauses())
+    support = draw(st.integers(0, 100))
+    subtype = draw(st.one_of(st.none(), st.sampled_from(["S1", "S2"])))
+    return Rule(lhs, rhs, support=support, rhs_subtype=subtype,
+                source=draw(st.sampled_from(["induced", "schema"])))
+
+
+class TestRoundTrip:
+    @given(st.lists(rules(), max_size=10))
+    def test_encode_decode_identity(self, rule_list):
+        original = RuleSet(rule_list)
+        decoded = decode_rule_relations(encode_rule_relations(original))
+        assert len(decoded) == len(original)
+        for before, after in zip(original, decoded):
+            assert before.lhs == after.lhs
+            assert before.rhs == after.rhs
+            assert before.support == after.support
+            assert before.rhs_subtype == after.rhs_subtype
+            assert before.source == after.source
+
+    @given(st.lists(rules(), max_size=8))
+    def test_value_encoding_is_order_preserving(self, rule_list):
+        bundle = encode_rule_relations(RuleSet(rule_list))
+        by_attribute = {}
+        for row in bundle.values:
+            by_attribute.setdefault(row[0], []).append((row[1], row[2]))
+        for entries in by_attribute.values():
+            codes = [code for code, _text in sorted(
+                entries, key=lambda pair: pair[0])]
+            assert codes == sorted(codes)
+
+    @given(st.lists(rules(), max_size=8))
+    def test_paper_projection_row_count(self, rule_list):
+        original = RuleSet(rule_list)
+        bundle = encode_rule_relations(original)
+        expected = sum(len(rule.lhs) + 1 for rule in original)
+        assert len(bundle.paper_projection()) == expected

@@ -1,0 +1,66 @@
+"""Property-based soundness of ILS tree rules on random tables."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.induction import InductionConfig, InductiveLearningSubsystem
+from repro.ker import SchemaBinding, parse_ker
+from repro.relational import Database, INTEGER, char
+from repro.rules.clause import AttributeRef
+
+DDL = """
+object type T
+    has key: Id     domain: INTEGER
+    has:     A      domain: INTEGER
+    has:     B      domain: INTEGER
+    has:     Label  domain: CHAR[2]
+T contains TA, TB, TC
+TA isa T with Label = "la"
+TB isa T with Label = "lb"
+TC isa T with Label = "lc"
+"""
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6),
+              st.sampled_from(["la", "lb", "lc"])),
+    min_size=1, max_size=40)
+
+
+def build_binding(rows):
+    db = Database()
+    db.create("T", [("Id", INTEGER), ("A", INTEGER), ("B", INTEGER),
+                    ("Label", char(2))],
+              rows=[(index, a, b, label)
+                    for index, (a, b, label) in enumerate(rows)],
+              key=["Id"])
+    return SchemaBinding(parse_ker(DDL), db)
+
+
+class TestTreeRuleSoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy, st.integers(1, 4))
+    def test_all_rules_sound_on_training_data(self, rows, n_c):
+        binding = build_binding(rows)
+        rules = InductiveLearningSubsystem(
+            binding, InductionConfig(n_c=n_c)).induce(
+            include_tree_rules=True)
+        relation = binding.database.relation("T")
+        records = [{AttributeRef("T", column.name):
+                    row[relation.schema.position(column.name)]
+                    for column in relation.schema.columns}
+                   for row in relation]
+        for rule in rules:
+            assert rule.sound_on(records), rule.render()
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows_strategy)
+    def test_tree_rules_never_use_the_key(self, rows):
+        binding = build_binding(rows)
+        rules = InductiveLearningSubsystem(
+            binding, InductionConfig(n_c=1)).induce(
+            include_tree_rules=True)
+        for rule in rules:
+            if rule.source != "id3":
+                continue
+            premise_attributes = {clause.attribute.attribute.lower()
+                                  for clause in rule.lhs}
+            assert "id" not in premise_attributes

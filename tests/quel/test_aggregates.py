@@ -1,0 +1,79 @@
+"""Unit tests for QUEL aggregate targets."""
+
+import pytest
+
+from repro.errors import QuelError
+from repro.quel import QuelSession
+from repro.relational import Database, INTEGER, char
+
+
+@pytest.fixture()
+def session():
+    db = Database()
+    db.create("R", [("X", INTEGER), ("Y", char(2))],
+              rows=[(1, "a"), (2, "a"), (3, "b"), (None, "b"),
+                    (5, None), (2, "c")])
+    quel = QuelSession(db)
+    quel.execute("range of r is R")
+    return quel
+
+
+class TestAggregates:
+    def test_count_ignores_nulls(self, session):
+        out = session.execute("retrieve (count(r.X))")
+        assert out.rows == [(5,)]
+
+    def test_countu_distinct(self, session):
+        out = session.execute("retrieve (countu(r.X))")
+        assert out.rows == [(4,)]  # 1, 2, 3, 5
+
+    def test_min_max(self, session):
+        out = session.execute("retrieve (lo = min(r.X), hi = max(r.X))")
+        assert out.rows == [(1, 5)]
+        assert out.schema.column_names() == ["lo", "hi"]
+
+    def test_sum_avg(self, session):
+        out = session.execute("retrieve (s = sum(r.X), m = avg(r.X))")
+        assert out.rows == [(13.0, 2.6)]
+
+    def test_with_where(self, session):
+        out = session.execute(
+            'retrieve (count(r.X)) where r.Y = "a"')
+        assert out.rows == [(2,)]
+
+    def test_empty_input(self, session):
+        out = session.execute(
+            'retrieve (n = count(r.X), lo = min(r.X)) where r.Y = "zz"')
+        assert out.rows == [(0, None)]
+
+    def test_default_column_name_is_op(self, session):
+        out = session.execute("retrieve (min(r.X))")
+        assert out.schema.column_names() == ["min"]
+
+    def test_into_registers(self, session):
+        session.execute("retrieve into STATS (count(r.X))")
+        assert "STATS" in session.database
+
+    def test_aggregate_over_expression(self, session):
+        out = session.execute("retrieve (max(r.X * 10))")
+        assert out.rows == [(50,)]
+
+    def test_mixed_targets_rejected(self, session):
+        with pytest.raises(QuelError, match="mixed"):
+            session.execute("retrieve (r.Y, count(r.X))")
+
+    def test_sort_by_rejected(self, session):
+        with pytest.raises(QuelError, match="sort by"):
+            session.execute("retrieve (count(r.X)) sort by r.Y")
+
+    def test_string_min(self, session):
+        out = session.execute("retrieve (min(r.Y))")
+        assert out.rows == [("a",)]
+
+    def test_ship_db_aggregate(self, ship_db):
+        quel = QuelSession(ship_db)
+        quel.execute("range of c is CLASS")
+        out = quel.execute(
+            'retrieve (n = count(c.Class), hi = max(c.Displacement)) '
+            'where c.Type = "SSBN"')
+        assert out.rows == [(4, 30000)]

@@ -1,0 +1,158 @@
+"""Unit tests for the QUEL interpreter."""
+
+import pytest
+
+from repro.errors import QuelError
+from repro.quel import QuelSession
+from repro.relational import Database, INTEGER, char
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create("R", [("X", INTEGER), ("Y", char(4))],
+                    rows=[(1, "a"), (2, "a"), (3, "b"), (3, "c"),
+                          (4, "b")])
+    database.create("Q", [("X", INTEGER), ("Z", char(4))],
+                    rows=[(1, "p"), (3, "q")])
+    return database
+
+
+@pytest.fixture()
+def session(db):
+    quel = QuelSession(db)
+    quel.execute("range of r is R")
+    quel.execute("range of q is Q")
+    return quel
+
+
+class TestRange:
+    def test_unknown_relation(self, session):
+        with pytest.raises(QuelError, match="unknown relation"):
+            session.execute("range of z is NOPE")
+
+    def test_undeclared_variable(self, session):
+        with pytest.raises(QuelError, match="undeclared range variable"):
+            session.execute("retrieve (zz.X)")
+
+    def test_unqualified_reference_rejected(self, session):
+        with pytest.raises(QuelError, match="unqualified"):
+            session.execute("retrieve (X)")
+
+
+class TestRetrieve:
+    def test_simple_projection(self, session):
+        out = session.execute("retrieve (r.X)")
+        assert len(out) == 5
+        assert out.schema.column_names() == ["X"]
+
+    def test_unique(self, session):
+        out = session.execute("retrieve unique (r.Y)")
+        assert len(out) == 3
+
+    def test_where(self, session):
+        out = session.execute("retrieve (r.X) where r.Y = \"b\"")
+        assert sorted(row[0] for row in out) == [3, 4]
+
+    def test_sort_by(self, session):
+        out = session.execute("retrieve (r.Y, r.X) sort by r.Y, r.X")
+        assert [row for row in out][0] == ("a", 1)
+        assert [row for row in out][-1] == ("c", 3)
+
+    def test_into_registers_result(self, session, db):
+        session.execute("retrieve into OUT (r.X)")
+        assert "OUT" in db
+
+    def test_into_replaces(self, session, db):
+        session.execute("retrieve into OUT (r.X)")
+        session.execute("retrieve into OUT (r.Y)")
+        assert db.relation("OUT").schema.column_names() == ["Y"]
+
+    def test_join_semantics(self, session):
+        out = session.execute(
+            "retrieve (r.X, q.Z) where r.X = q.X")
+        assert sorted(out.rows) == [(1, "p"), (3, "q"), (3, "q")]
+
+    def test_existential_variable(self, session):
+        out = session.execute(
+            "retrieve unique (r.Y) where r.X = q.X")
+        assert sorted(row[0] for row in out) == ["a", "b", "c"]
+
+    def test_alias_and_arithmetic(self, session):
+        out = session.execute("retrieve (double = r.X * 2) where r.X = 3")
+        assert out.schema.column_names() == ["double"]
+        assert out.rows[0] == (6,)
+
+    def test_duplicate_output_names_suffixed(self, session):
+        out = session.execute("retrieve (r.X, r.X)")
+        assert out.schema.column_names() == ["X", "X_2"]
+
+    def test_result_types_from_source(self, session):
+        out = session.execute("retrieve (r.Y)")
+        assert out.schema.column("Y").datatype == char(4)
+
+
+class TestDelete:
+    def test_delete_all(self, session, db):
+        count = session.execute("delete r")
+        assert count == 5
+        assert len(db.relation("R")) == 0
+
+    def test_delete_where(self, session, db):
+        count = session.execute("delete r where r.Y = \"a\"")
+        assert count == 2
+        assert len(db.relation("R")) == 3
+
+    def test_delete_with_witness(self, session, db):
+        count = session.execute("delete r where r.X = q.X")
+        assert count == 3  # x=1 and both x=3 rows
+        assert len(db.relation("R")) == 2
+
+    def test_delete_undeclared(self, session):
+        with pytest.raises(QuelError, match="undeclared"):
+            session.execute("delete nope")
+
+
+class TestAppend:
+    def test_append_constants(self, session, db):
+        count = session.execute('append to R (X = 9, Y = "z")')
+        assert count == 1
+        assert (9, "z") in db.relation("R").rows
+
+    def test_append_missing_attribute_defaults_null(self, session, db):
+        session.execute("append to R (X = 10)")
+        assert (10, None) in db.relation("R").rows
+
+    def test_append_unknown_attribute(self, session):
+        with pytest.raises(QuelError, match="unknown attributes"):
+            session.execute("append to R (Bogus = 1)")
+
+    def test_append_from_query(self, session, db):
+        count = session.execute(
+            "append to Q (X = r.X, Z = r.Y) where r.Y = \"b\"")
+        assert count == 2
+        assert len(db.relation("Q")) == 4
+
+    def test_append_requires_aliases(self, session):
+        with pytest.raises(QuelError, match="attr = expression"):
+            session.execute("append to R (r.X)")
+
+
+class TestPaperAlgorithm:
+    """The exact statement sequence of Section 5.2.1."""
+
+    def test_steps_1_and_2(self, session, db):
+        session.execute(
+            "retrieve into S unique (r.Y, r.X) sort by r.Y")
+        assert len(db.relation("S")) == 5
+        session.execute("range of s is S")
+        session.execute(
+            "retrieve into T unique (s.Y, s.X) "
+            "where (r.X = s.X and r.Y != s.Y)")
+        assert sorted(db.relation("T").rows) == [("b", 3), ("c", 3)]
+        session.execute("range of t is T")
+        deleted = session.execute(
+            "delete s where (s.X = t.X and s.Y = t.Y)")
+        assert deleted == 2
+        assert sorted(db.relation("S").rows) == [
+            ("a", 1), ("a", 2), ("b", 4)]

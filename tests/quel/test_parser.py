@@ -1,0 +1,122 @@
+"""Unit tests for the QUEL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.quel import ast, parse_quel
+from repro.relational.expressions import (
+    And, ColumnRef, Comparison, Literal, Not, Or,
+)
+
+
+class TestRange:
+    def test_basic(self):
+        (stmt,) = parse_quel("range of r is SUBMARINE")
+        assert stmt == ast.RangeStmt("r", "SUBMARINE")
+
+    def test_missing_is(self):
+        with pytest.raises(ParseError):
+            parse_quel("range of r SUBMARINE")
+
+
+class TestRetrieve:
+    def test_paper_step1(self):
+        (stmt,) = parse_quel(
+            "retrieve into S unique (r.Y, r.X) sort by r.Y")
+        assert stmt.into == "S"
+        assert stmt.unique
+        assert [t.expression.render() for t in stmt.targets] == [
+            "r.Y", "r.X"]
+        assert [k.render() for k in stmt.sort_by] == ["r.Y"]
+
+    def test_paper_step2(self):
+        (stmt,) = parse_quel(
+            "retrieve into T unique (s.Y, s.X) "
+            "where (r.X = s.X and r.Y != s.Y)")
+        assert isinstance(stmt.where, And)
+        assert len(stmt.where.parts) == 2
+
+    def test_plain_retrieve(self):
+        (stmt,) = parse_quel("retrieve (r.A)")
+        assert stmt.into is None
+        assert not stmt.unique
+
+    def test_alias_target(self):
+        (stmt,) = parse_quel("retrieve (total = r.A + r.B)")
+        assert stmt.targets[0].alias == "total"
+
+    def test_multiple_statements(self):
+        statements = parse_quel(
+            "range of r is T; retrieve (r.A)")
+        assert len(statements) == 2
+
+    def test_missing_parens(self):
+        with pytest.raises(ParseError):
+            parse_quel("retrieve r.A")
+
+
+class TestDeleteAppend:
+    def test_delete_where(self):
+        (stmt,) = parse_quel("delete s where (s.X = t.X)")
+        assert stmt.variable == "s"
+        assert isinstance(stmt.where, Comparison)
+
+    def test_delete_all(self):
+        (stmt,) = parse_quel("delete s")
+        assert stmt.where is None
+
+    def test_append(self):
+        (stmt,) = parse_quel('append to R (X = 9, Y = "z")')
+        assert stmt.relation == "R"
+        assert [t.alias for t in stmt.assignments] == ["X", "Y"]
+
+
+class TestQualification:
+    def test_or_and_precedence(self):
+        (stmt,) = parse_quel(
+            "retrieve (r.A) where r.A = 1 and r.B = 2 or r.C = 3")
+        assert isinstance(stmt.where, Or)
+        assert isinstance(stmt.where.parts[0], And)
+
+    def test_not(self):
+        (stmt,) = parse_quel("retrieve (r.A) where not r.A = 1")
+        assert isinstance(stmt.where, Not)
+
+    def test_parenthesized_qualification(self):
+        (stmt,) = parse_quel(
+            "retrieve (r.A) where (r.A = 1 or r.B = 2) and r.C = 3")
+        assert isinstance(stmt.where, And)
+        assert isinstance(stmt.where.parts[0], Or)
+
+    def test_parenthesized_scalar_on_comparison_left(self):
+        (stmt,) = parse_quel("retrieve (r.A) where (r.A) = 1")
+        assert isinstance(stmt.where, Comparison)
+
+    def test_arithmetic(self):
+        (stmt,) = parse_quel("retrieve (r.A) where r.A * 2 + 1 > 7")
+        assert stmt.where.render() == "((r.A * 2) + 1) > 7"
+
+    def test_negative_literal(self):
+        (stmt,) = parse_quel("retrieve (r.A) where r.A > -5")
+        assert stmt.where.right == Literal(-5)
+
+    def test_string_literals(self):
+        (stmt,) = parse_quel('retrieve (r.A) where r.B = "BQS-04"')
+        assert stmt.where.right == Literal("BQS-04")
+
+    def test_keyword_in_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_quel("retrieve (r.A) where retrieve = 1")
+
+    def test_comparison_required(self):
+        with pytest.raises(ParseError, match="comparison"):
+            parse_quel("retrieve (r.A) where r.A")
+
+
+class TestRendering:
+    def test_statement_render_roundtrip(self):
+        text = ('retrieve into S unique (r.Y, r.X) '
+                'where r.X = 1 sort by r.Y')
+        (stmt,) = parse_quel(text)
+        (again,) = parse_quel(stmt.render())
+        assert again == stmt

@@ -1,0 +1,98 @@
+"""Unit tests for QUEL's replace statement."""
+
+import pytest
+
+from repro.errors import QuelError
+from repro.quel import QuelSession, parse_quel
+from repro.relational import Database, INTEGER, char
+
+
+@pytest.fixture()
+def session():
+    db = Database()
+    db.create("EMP", [("Name", char(10)), ("Dept", char(4)),
+                      ("Salary", INTEGER)],
+              rows=[("ann", "eng", 100), ("bob", "eng", 110),
+                    ("cat", "ops", 90)])
+    db.create("RAISES", [("Dept", char(4)), ("Amount", INTEGER)],
+              rows=[("eng", 15)])
+    quel = QuelSession(db)
+    quel.execute("range of e is EMP")
+    quel.execute("range of r is RAISES")
+    return quel
+
+
+class TestParse:
+    def test_parse_shape(self):
+        (stmt,) = parse_quel(
+            'replace e (Salary = e.Salary + 10) where e.Dept = "eng"')
+        assert stmt.variable == "e"
+        assert stmt.assignments[0].alias == "Salary"
+
+    def test_render_roundtrip(self):
+        text = 'replace e (Salary = e.Salary + 10) where e.Dept = "eng"'
+        (stmt,) = parse_quel(text)
+        (again,) = parse_quel(stmt.render())
+        assert again == stmt
+
+
+class TestExecute:
+    def test_conditional_update(self, session):
+        count = session.execute(
+            'replace e (Salary = e.Salary + 10) where e.Dept = "eng"')
+        assert count == 2
+        emp = session.database.relation("EMP")
+        salaries = dict(zip(emp.column_values("Name"),
+                            emp.column_values("Salary")))
+        assert salaries == {"ann": 110, "bob": 120, "cat": 90}
+
+    def test_unconditional_update(self, session):
+        count = session.execute("replace e (Salary = 0)")
+        assert count == 3
+        assert set(session.database.relation(
+            "EMP").column_values("Salary")) == {0}
+
+    def test_update_with_witness_values(self, session):
+        count = session.execute(
+            "replace e (Salary = e.Salary + r.Amount) "
+            "where e.Dept = r.Dept")
+        assert count == 2
+        emp = session.database.relation("EMP")
+        salaries = dict(zip(emp.column_values("Name"),
+                            emp.column_values("Salary")))
+        assert salaries == {"ann": 115, "bob": 125, "cat": 90}
+
+    def test_unmatched_rows_untouched(self, session):
+        session.execute(
+            'replace e (Dept = "hq") where e.Salary > 105')
+        emp = session.database.relation("EMP")
+        departments = dict(zip(emp.column_values("Name"),
+                               emp.column_values("Dept")))
+        assert departments == {"ann": "eng", "bob": "hq", "cat": "ops"}
+
+    def test_undeclared_variable(self, session):
+        with pytest.raises(QuelError, match="undeclared"):
+            session.execute("replace zz (Salary = 1)")
+
+    def test_unknown_attribute(self, session):
+        with pytest.raises(QuelError, match="no attribute"):
+            session.execute("replace e (Bogus = 1)")
+
+    def test_assignment_requires_alias(self, session):
+        with pytest.raises(QuelError, match="attr = expression"):
+            session.execute("replace e (e.Salary)")
+
+    def test_type_checked(self, session):
+        from repro.errors import TypeMismatchError
+        with pytest.raises(TypeMismatchError):
+            session.execute('replace e (Salary = "lots")')
+
+
+class TestReplaceWhere:
+    def test_relation_level_api(self, session):
+        emp = session.database.relation("EMP")
+        updated = emp.replace_where(
+            lambda row: row[1] == "ops",
+            lambda row: (row[0], row[1], 999))
+        assert updated == 1
+        assert ("cat", "ops", 999) in emp.rows

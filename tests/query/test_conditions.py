@@ -1,0 +1,101 @@
+"""Unit tests for query condition extraction."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.query import extract_conditions
+from repro.rules.clause import AttributeRef, Interval
+from repro.sql import parse_select
+
+
+def conditions(ship_db, sql):
+    return extract_conditions(ship_db, parse_select(sql))
+
+
+class TestClauses:
+    def test_comparison_to_constant(self, ship_db):
+        out = conditions(ship_db, (
+            "SELECT Class FROM CLASS WHERE Displacement > 8000"))
+        (clause,) = out.clauses
+        assert clause.attribute == AttributeRef("CLASS", "Displacement")
+        assert clause.interval == Interval.at_least(8000, strict=True)
+
+    def test_flipped_comparison(self, ship_db):
+        out = conditions(ship_db, (
+            "SELECT Class FROM CLASS WHERE 8000 < Displacement"))
+        (clause,) = out.clauses
+        assert clause.interval == Interval.at_least(8000, strict=True)
+
+    def test_equality(self, ship_db):
+        out = conditions(ship_db, (
+            "SELECT Class FROM CLASS WHERE Type = 'SSBN'"))
+        assert out.clauses[0].interval == Interval.point("SSBN")
+
+    def test_between(self, ship_db):
+        out = conditions(ship_db, (
+            "SELECT Class FROM CLASS "
+            "WHERE Displacement BETWEEN 2000 AND 7000"))
+        assert len(out.clauses) == 2
+
+    def test_alias_resolved_to_relation(self, ship_db):
+        out = conditions(ship_db, (
+            "SELECT c.Class FROM CLASS c WHERE c.Displacement > 8000"))
+        assert out.clauses[0].attribute.relation == "CLASS"
+
+
+class TestEquivalences:
+    def test_join_condition(self, ship_db):
+        out = conditions(ship_db, (
+            "SELECT SUBMARINE.Name FROM SUBMARINE, CLASS "
+            "WHERE SUBMARINE.Class = CLASS.Class"))
+        (pair,) = out.equivalences
+        assert pair == (AttributeRef("SUBMARINE", "Class"),
+                        AttributeRef("CLASS", "Class"))
+
+    def test_non_equi_join_unused(self, ship_db):
+        out = conditions(ship_db, (
+            "SELECT c1.Class FROM CLASS c1, CLASS c2 "
+            "WHERE c1.Displacement < c2.Displacement"))
+        assert not out.equivalences
+        assert len(out.unused) == 1
+
+
+class TestUnused:
+    def test_disjunction_unused(self, ship_db):
+        out = conditions(ship_db, (
+            "SELECT Class FROM CLASS "
+            "WHERE Class = '0101' OR Class = '0103'"))
+        assert not out.clauses
+        assert len(out.unused) == 1
+
+    def test_not_equal_unused(self, ship_db):
+        out = conditions(ship_db, (
+            "SELECT Class FROM CLASS WHERE Type != 'SSN'"))
+        assert not out.clauses
+        assert len(out.unused) == 1
+
+    def test_mix_of_usable_and_unused(self, ship_db):
+        out = conditions(ship_db, (
+            "SELECT Class FROM CLASS "
+            "WHERE Displacement > 8000 AND NOT Type = 'X'"))
+        assert len(out.clauses) == 1
+        assert len(out.unused) == 1
+
+
+class TestOutputRefs:
+    def test_output_refs_resolved(self, ship_db):
+        out = conditions(ship_db, (
+            "SELECT SUBMARINE.Name, CLASS.Type FROM SUBMARINE, CLASS "
+            "WHERE SUBMARINE.Class = CLASS.Class"))
+        assert out.output_refs == [
+            AttributeRef("SUBMARINE", "Name"),
+            AttributeRef("CLASS", "Type")]
+
+    def test_unknown_alias_raises(self, ship_db):
+        with pytest.raises(SqlError):
+            conditions(ship_db, "SELECT zz.A FROM CLASS WHERE zz.B = 1")
+
+    def test_ambiguous_unqualified_raises(self, ship_db):
+        with pytest.raises(SqlError, match="ambiguous"):
+            conditions(ship_db, (
+                "SELECT Type FROM CLASS, TYPE WHERE Class = '0101'"))

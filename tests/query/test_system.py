@@ -1,0 +1,61 @@
+"""Unit tests for the end-to-end intensional query processor."""
+
+import pytest
+
+from repro.query import IntensionalQueryProcessor
+from repro.rules.ruleset import RuleSet
+from tests.conftest import EXAMPLE_1, EXAMPLE_2, EXAMPLE_3, SHIP_ORDER
+
+
+class TestConstruction:
+    def test_from_database_without_schema(self, ship_db):
+        system = IntensionalQueryProcessor.from_database(ship_db)
+        result = system.ask("SELECT Class FROM CLASS "
+                            "WHERE Displacement > 8000")
+        assert len(result.extensional) == 2
+        assert result.intensional == []
+
+    def test_from_database_with_schema_rules(self, ship_db, ship_schema):
+        system = IntensionalQueryProcessor.from_database(
+            ship_db, ker_schema=ship_schema,
+            include_schema_rules=True, relation_order=SHIP_ORDER)
+        assert len(system.rules) > 18
+
+    def test_explicit_rules(self, ship_db, ship_rules):
+        system = IntensionalQueryProcessor(ship_db, ship_rules)
+        assert len(system.rules) == 18
+
+
+class TestAsk:
+    def test_extensional_and_intensional(self, ship_system):
+        result = ship_system.ask(EXAMPLE_1)
+        assert len(result.extensional) == 2
+        assert any(answer.kind == "forward"
+                   for answer in result.intensional)
+
+    def test_direction_toggles(self, ship_system):
+        forward_only = ship_system.ask(EXAMPLE_3, backward=False)
+        assert forward_only.inference.forward
+        assert not forward_only.inference.backward
+
+    def test_unused_conditions_surfaced(self, ship_system):
+        result = ship_system.ask(
+            "SELECT Class FROM CLASS "
+            "WHERE Displacement > 8000 AND NOT ClassName = 'Ohio'")
+        assert len(result.unused) == 1
+        assert "unused" in result.render()
+
+    def test_render_includes_both_answers(self, ship_system):
+        text = ship_system.ask(EXAMPLE_2).render()
+        assert "Extensional answer:" in text
+        assert "Backward inference" in text
+
+    def test_repr(self, ship_system):
+        assert "tuples" in repr(ship_system.ask(EXAMPLE_1))
+
+
+class TestEmptyKnowledge:
+    def test_empty_rules_yield_no_answers(self, ship_db):
+        system = IntensionalQueryProcessor(ship_db, RuleSet())
+        result = system.ask(EXAMPLE_1)
+        assert result.combined_answer() is None

@@ -1,0 +1,159 @@
+"""Unit tests for relational-algebra operators."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import algebra
+from repro.relational.datatypes import INTEGER, char
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+
+
+@pytest.fixture()
+def emp():
+    schema = RelationSchema("EMP", [
+        Column("Name", char(10)), Column("Dept", char(4)),
+        Column("Age", INTEGER)])
+    return Relation(schema, [
+        ("ann", "eng", 30), ("bob", "eng", 40), ("cat", "ops", 35),
+        ("dan", "ops", None), ("eve", "mkt", 28)])
+
+
+@pytest.fixture()
+def dept():
+    schema = RelationSchema("DEPT", [
+        Column("Dept", char(4)), Column("Site", char(8))])
+    return Relation(schema, [("eng", "berkeley"), ("ops", "la"),
+                             ("hr", "sf")])
+
+
+class TestSelect:
+    def test_select_predicate(self, emp):
+        out = algebra.select(
+            emp, Comparison(">", ColumnRef("Age"), Literal(30)))
+        assert {row[0] for row in out} == {"bob", "cat"}
+
+    def test_select_null_excluded(self, emp):
+        out = algebra.select(
+            emp, Comparison("<", ColumnRef("Age"), Literal(99)))
+        assert "dan" not in {row[0] for row in out}
+
+    def test_select_where_callable(self, emp):
+        out = algebra.select_where(emp, lambda r: r["Dept"] == "ops")
+        assert len(out) == 2
+
+    def test_select_does_not_mutate(self, emp):
+        algebra.select(emp, Comparison(">", ColumnRef("Age"), Literal(99)))
+        assert len(emp) == 5
+
+
+class TestProject:
+    def test_project_keeps_duplicates(self, emp):
+        out = algebra.project(emp, ["Dept"])
+        assert len(out) == 5
+
+    def test_project_distinct(self, emp):
+        out = algebra.project(emp, ["Dept"], distinct=True)
+        assert len(out) == 3
+
+    def test_project_reorders(self, emp):
+        out = algebra.project(emp, ["Age", "Name"])
+        assert out.schema.column_names() == ["Age", "Name"]
+
+    def test_rename(self, emp):
+        out = algebra.rename(emp, "STAFF", {"Name": "Person"})
+        assert out.name == "STAFF"
+        assert out.schema.has_column("Person")
+
+
+class TestJoin:
+    def test_equijoin(self, emp, dept):
+        out = algebra.equijoin(emp, dept, [("Dept", "Dept")])
+        assert len(out) == 4  # eve's mkt has no dept row
+        assert out.schema.has_column("EMP_Dept")
+        assert out.schema.has_column("DEPT_Dept")
+
+    def test_equijoin_requires_pairs(self, emp, dept):
+        with pytest.raises(SchemaError):
+            algebra.equijoin(emp, dept, [])
+
+    def test_natural_join(self, emp, dept):
+        out = algebra.natural_join(emp, dept)
+        assert len(out) == 4
+
+    def test_natural_join_no_shared(self, emp):
+        other = Relation(RelationSchema("X", [Column("Z", INTEGER)]), [(1,)])
+        with pytest.raises(SchemaError, match="share no columns"):
+            algebra.natural_join(emp, other)
+
+    def test_cross(self, emp, dept):
+        assert len(algebra.cross(emp, dept)) == 15
+
+    def test_null_keys_never_match(self, dept):
+        schema = RelationSchema("L", [Column("Dept", char(4))])
+        left = Relation(schema, [(None,), ("eng",)])
+        out = algebra.equijoin(left, dept, [("Dept", "Dept")])
+        assert len(out) == 1
+
+
+class TestSetOperations:
+    def test_union(self, emp):
+        out = algebra.union(emp, emp)
+        assert len(out) == 10
+
+    def test_difference_cancels_one_per_match(self, emp):
+        doubled = algebra.union(emp, emp)
+        out = algebra.difference(doubled, emp)
+        assert out == emp
+
+    def test_intersection(self, emp):
+        subset = algebra.select(
+            emp, Comparison("=", ColumnRef("Dept"), Literal("eng")))
+        out = algebra.intersection(emp, subset)
+        assert out == subset
+
+    def test_incompatible_arity(self, emp, dept):
+        with pytest.raises(SchemaError, match="arities"):
+            algebra.union(emp, dept)
+
+    def test_incompatible_types(self, dept):
+        other = Relation(RelationSchema("X", [
+            Column("A", INTEGER), Column("B", char(8))]), [(1, "x")])
+        with pytest.raises(SchemaError, match="incompatible"):
+            algebra.union(dept, other)
+
+
+class TestSortDistinctGroup:
+    def test_sort(self, emp):
+        out = algebra.sort(emp, ["Age"])
+        assert out.rows[0][0] == "dan"  # NULL first
+        assert out.rows[-1][0] == "bob"
+
+    def test_group_by_count(self, emp):
+        out = algebra.group_by(emp, ["Dept"], {"n": ("count", "")})
+        counts = {row[0]: row[1] for row in out}
+        assert counts == {"eng": 2, "ops": 2, "mkt": 1}
+
+    def test_group_by_min_max(self, emp):
+        out = algebra.group_by(
+            emp, ["Dept"], {"lo": ("min", "Age"), "hi": ("max", "Age")})
+        by_dept = {row[0]: (row[1], row[2]) for row in out}
+        assert by_dept["eng"] == (30, 40)
+        assert by_dept["ops"] == (35, 35)  # NULL ignored
+
+    def test_group_by_avg_sum(self, emp):
+        out = algebra.group_by(
+            emp, ["Dept"], {"avg": ("avg", "Age"), "sum": ("sum", "Age")})
+        by_dept = {row[0]: (row[1], row[2]) for row in out}
+        assert by_dept["eng"] == (35.0, 70.0)
+
+    def test_group_by_unknown_aggregate(self, emp):
+        with pytest.raises(SchemaError, match="unknown aggregate"):
+            algebra.group_by(emp, ["Dept"], {"x": ("median", "Age")})
+
+    def test_group_all_null_yields_none(self, emp):
+        only_dan = algebra.select(
+            emp, Comparison("=", ColumnRef("Name"), Literal("dan")))
+        out = algebra.group_by(only_dan, ["Dept"], {"m": ("min", "Age")})
+        assert out.rows[0][1] is None

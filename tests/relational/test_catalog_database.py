@@ -1,0 +1,99 @@
+"""Unit tests for the catalog and database facade."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.relational import Database, INTEGER, char
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+
+
+def make_relation(name="T"):
+    return Relation(RelationSchema(name, [Column("A", INTEGER)]), [(1,)])
+
+
+class TestCatalog:
+    def test_register_and_get(self):
+        catalog = Catalog()
+        catalog.register(make_relation())
+        assert catalog.get("t").name == "T"
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.register(make_relation())
+        with pytest.raises(CatalogError, match="already exists"):
+            catalog.register(make_relation("t"))
+
+    def test_replace(self):
+        catalog = Catalog()
+        catalog.register(make_relation())
+        replacement = make_relation()
+        replacement.insert((2,))
+        catalog.register(replacement, replace=True)
+        assert len(catalog.get("T")) == 2
+
+    def test_get_unknown(self):
+        with pytest.raises(CatalogError, match="no relation"):
+            Catalog().get("missing")
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.register(make_relation())
+        catalog.drop("T")
+        assert "T" not in catalog
+        with pytest.raises(CatalogError):
+            catalog.drop("T")
+
+    def test_iteration_order(self):
+        catalog = Catalog()
+        catalog.register(make_relation("B"))
+        catalog.register(make_relation("A"))
+        assert catalog.names() == ["B", "A"]
+
+
+class TestDatabase:
+    @pytest.fixture()
+    def db(self):
+        database = Database("test")
+        database.create("EMP", [("Name", char(10)), ("Age", INTEGER)],
+                        rows=[("ann", 30), ("bob", 40)], key=["Name"])
+        return database
+
+    def test_create_and_relation(self, db):
+        assert len(db.relation("emp")) == 2
+
+    def test_contains(self, db):
+        assert "EMP" in db
+        assert "NOPE" not in db
+
+    def test_insert_delete(self, db):
+        db.insert("EMP", [("cat", 25)])
+        assert len(db.relation("EMP")) == 3
+        deleted = db.delete("EMP", lambda r: r["Age"] < 31)
+        assert deleted == 2
+
+    def test_select_project_join(self, db):
+        db.create("BONUS", [("Name", char(10)), ("Amt", INTEGER)],
+                  rows=[("ann", 100)])
+        joined = db.join("EMP", "BONUS", [("Name", "Name")])
+        assert len(joined) == 1
+        old = db.select("EMP", Comparison(
+            ">", ColumnRef("Age"), Literal(35)))
+        assert len(old) == 1
+        names = db.project("EMP", ["Name"])
+        assert names.schema.column_names() == ["Name"]
+
+    def test_copy_is_deep(self, db):
+        clone = db.copy()
+        clone.insert("EMP", [("zed", 50)])
+        assert len(db.relation("EMP")) == 2
+
+    def test_total_rows_and_render(self, db):
+        assert db.total_rows() == 2
+        assert "Relation EMP" in db.render()
+
+    def test_drop(self, db):
+        db.drop("EMP")
+        assert "EMP" not in db

@@ -1,0 +1,136 @@
+"""Unit tests for column data types."""
+
+import datetime
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.datatypes import (
+    CharType, DateType, IntegerType, RealType, INTEGER, REAL, DATE,
+    STRING, char, comparable, infer_type,
+)
+
+
+class TestIntegerType:
+    def test_validates_ints(self):
+        assert INTEGER.validate(5)
+        assert INTEGER.validate(-3)
+        assert INTEGER.validate(None)
+
+    def test_rejects_bool(self):
+        assert not INTEGER.validate(True)
+
+    def test_rejects_float_and_str(self):
+        assert not INTEGER.validate(5.0)
+        assert not INTEGER.validate("5")
+
+    def test_coerces_integral_float(self):
+        assert INTEGER.coerce(5.0) == 5
+
+    def test_coerces_numeric_string(self):
+        assert INTEGER.coerce(" 42 ") == 42
+
+    def test_coerce_rejects_fractional(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.coerce(5.5)
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.coerce("abc")
+
+    def test_is_numeric(self):
+        assert INTEGER.is_numeric()
+
+
+class TestRealType:
+    def test_validates_floats_and_ints(self):
+        assert REAL.validate(5.5)
+        assert REAL.validate(5)
+        assert REAL.validate(None)
+
+    def test_rejects_bool(self):
+        assert not REAL.validate(False)
+
+    def test_coerces_int_to_float(self):
+        value = REAL.coerce(5)
+        assert value == 5.0
+        assert isinstance(value, float)
+
+    def test_coerces_string(self):
+        assert REAL.coerce("2.5") == 2.5
+
+    def test_coerce_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            REAL.coerce(True)
+
+
+class TestCharType:
+    def test_width_enforced_by_validate(self):
+        ten = char(10)
+        assert ten.validate("short")
+        assert not ten.validate("much longer than ten")
+
+    def test_coerce_truncates(self):
+        assert char(4).coerce("SSBN730") == "SSBN"
+
+    def test_unbounded(self):
+        assert STRING.validate("x" * 1000)
+        assert STRING.render() == "string"
+
+    def test_render(self):
+        assert char(20).render() == "char[20]"
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            char(0)
+
+    def test_coerce_stringifies(self):
+        assert char(10).coerce(42) == "42"
+
+
+class TestDateType:
+    def test_validates_dates(self):
+        assert DATE.validate(datetime.date(2020, 1, 1))
+        assert not DATE.validate("2020-01-01")
+
+    def test_rejects_datetime(self):
+        assert not DATE.validate(datetime.datetime(2020, 1, 1, 12))
+
+    def test_coerces_iso_string(self):
+        assert DATE.coerce("2020-06-15") == datetime.date(2020, 6, 15)
+
+    def test_coerces_datetime(self):
+        assert DATE.coerce(
+            datetime.datetime(2020, 1, 2, 3)) == datetime.date(2020, 1, 2)
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            DATE.coerce("not a date")
+
+
+class TestEqualityAndInference:
+    def test_structural_equality(self):
+        assert char(10) == char(10)
+        assert char(10) != char(20)
+        assert IntegerType() == INTEGER
+        assert INTEGER != REAL
+
+    def test_hashable(self):
+        assert len({char(10), char(10), char(20)}) == 2
+
+    def test_infer_type(self):
+        assert infer_type(5) == INTEGER
+        assert infer_type(5.0) == REAL
+        assert infer_type("x") == STRING
+        assert infer_type(datetime.date(2020, 1, 1)) == DATE
+        assert infer_type(None) == STRING
+
+    def test_infer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type(True)
+
+    def test_comparable(self):
+        assert comparable(INTEGER, REAL)
+        assert comparable(char(4), char(30))
+        assert not comparable(INTEGER, char(4))
+        assert comparable(DATE, DateType())

@@ -1,0 +1,162 @@
+"""Unit tests for the expression AST."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.datatypes import INTEGER, char
+from repro.relational.expressions import (
+    And, Arithmetic, ColumnRef, Comparison, Environment, Literal, Not, Or,
+    TRUE, conjoin, conjuncts,
+)
+from repro.relational.schema import Column, RelationSchema
+
+SCHEMA = RelationSchema("T", [Column("A", char(4)), Column("N", INTEGER)])
+
+
+def env(a="x", n=5):
+    return Environment.for_row(SCHEMA, (a, n))
+
+
+class TestEnvironment:
+    def test_default_scope(self):
+        assert ColumnRef("N").evaluate(env()) == 5
+
+    def test_qualified_by_relation_name(self):
+        assert ColumnRef("A", "T").evaluate(env()) == "x"
+
+    def test_explicit_qualifier(self):
+        scope = Environment.for_row(SCHEMA, ("x", 5), qualifier="r")
+        assert ColumnRef("N", "r").evaluate(scope) == 5
+
+    def test_unknown_qualifier(self):
+        with pytest.raises(ExpressionError, match="unknown range variable"):
+            ColumnRef("N", "bogus").evaluate(env())
+
+    def test_unknown_column(self):
+        with pytest.raises(ExpressionError, match="no column"):
+            ColumnRef("Z", "T").evaluate(env())
+
+    def test_ambiguous_column(self):
+        other = RelationSchema("U", [Column("N", INTEGER)])
+        scope = Environment()
+        scope.bind("t", SCHEMA, ("x", 1))
+        scope.bind("u", other, (2,))
+        with pytest.raises(ExpressionError, match="ambiguous"):
+            ColumnRef("N").evaluate(scope)
+
+
+class TestComparison:
+    @pytest.mark.parametrize("op,expected", [
+        ("=", False), ("!=", True), ("<", True), ("<=", True),
+        (">", False), (">=", False),
+    ])
+    def test_operators(self, op, expected):
+        comparison = Comparison(op, ColumnRef("N"), Literal(9))
+        assert comparison.evaluate(env()) is expected
+
+    def test_null_operand_is_false(self):
+        comparison = Comparison("=", ColumnRef("A"), Literal(None))
+        assert comparison.evaluate(env()) is False
+
+    def test_string_comparison(self):
+        comparison = Comparison("<=", ColumnRef("A"), Literal("z"))
+        assert comparison.evaluate(env("BQS")) is True
+
+    def test_negated(self):
+        assert Comparison("<", Literal(1), Literal(2)).negated().op == ">="
+
+    def test_flipped(self):
+        flipped = Comparison("<", Literal(1), ColumnRef("N")).flipped()
+        assert flipped.op == ">"
+        assert isinstance(flipped.left, ColumnRef)
+
+    def test_mixed_type_comparison_raises(self):
+        comparison = Comparison("<", ColumnRef("A"), Literal(5))
+        with pytest.raises(ExpressionError, match="type error"):
+            comparison.evaluate(env())
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError):
+            Comparison("~~", Literal(1), Literal(2))
+
+
+class TestLogical:
+    def test_and(self):
+        expr = And([Comparison(">", ColumnRef("N"), Literal(1)),
+                    Comparison("<", ColumnRef("N"), Literal(9))])
+        assert expr.evaluate(env()) is True
+
+    def test_or(self):
+        expr = Or([Comparison(">", ColumnRef("N"), Literal(9)),
+                   Comparison("=", ColumnRef("A"), Literal("x"))])
+        assert expr.evaluate(env()) is True
+
+    def test_not(self):
+        assert Not(TRUE).evaluate(env()) is False
+
+    def test_empty_conjunction_rejected(self):
+        with pytest.raises(ExpressionError):
+            And([])
+
+    def test_empty_disjunction_rejected(self):
+        with pytest.raises(ExpressionError):
+            Or([])
+
+
+class TestArithmetic:
+    def test_add(self):
+        expr = Arithmetic("+", ColumnRef("N"), Literal(3))
+        assert expr.evaluate(env()) == 8
+
+    def test_null_propagates(self):
+        expr = Arithmetic("*", ColumnRef("N"), Literal(None))
+        assert expr.evaluate(env()) is None
+
+    def test_division_by_zero(self):
+        expr = Arithmetic("/", Literal(1), Literal(0))
+        with pytest.raises(ExpressionError):
+            expr.evaluate(env())
+
+    def test_unknown_op(self):
+        with pytest.raises(ExpressionError):
+            Arithmetic("%", Literal(1), Literal(2))
+
+
+class TestConjuncts:
+    def test_none_is_empty(self):
+        assert conjuncts(None) == []
+
+    def test_flattens_nested_and(self):
+        a = Comparison("=", ColumnRef("A"), Literal("x"))
+        b = Comparison(">", ColumnRef("N"), Literal(1))
+        c = Comparison("<", ColumnRef("N"), Literal(9))
+        assert conjuncts(And([a, And([b, c])])) == [a, b, c]
+
+    def test_or_is_single_conjunct(self):
+        expr = Or([TRUE, TRUE])
+        assert conjuncts(expr) == [expr]
+
+    def test_conjoin_roundtrip(self):
+        a = Comparison("=", ColumnRef("A"), Literal("x"))
+        b = Comparison(">", ColumnRef("N"), Literal(1))
+        assert conjuncts(conjoin([a, b])) == [a, b]
+
+    def test_conjoin_empty_is_true(self):
+        assert conjoin([]) is TRUE
+
+    def test_conjoin_single(self):
+        a = Comparison("=", ColumnRef("A"), Literal("x"))
+        assert conjoin([a]) is a
+
+
+class TestRendering:
+    def test_references(self):
+        expr = And([Comparison("=", ColumnRef("A", "t"), Literal("x")),
+                    Comparison(">", ColumnRef("N"), Literal(1))])
+        assert [r.render() for r in expr.references()] == ["t.A", "N"]
+
+    def test_render_shapes(self):
+        expr = Comparison("<=", ColumnRef("N", "r"), Literal(5))
+        assert expr.render() == "r.N <= 5"
+        assert Literal("a\"b").render() == '"a\\"b"'
+        assert Not(TRUE).render() == "not (True)"

@@ -1,0 +1,78 @@
+"""Unit tests for hash and sorted indexes."""
+
+import pytest
+
+from repro.relational.datatypes import INTEGER, char
+from repro.relational.indexes import HashIndex, SortedIndex
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+
+
+@pytest.fixture()
+def rel():
+    schema = RelationSchema("T", [Column("K", char(4)),
+                                  Column("V", INTEGER)])
+    return Relation(schema, [
+        ("a", 5), ("b", 3), ("a", 7), ("c", None), ("d", 1)])
+
+
+class TestHashIndex:
+    def test_lookup(self, rel):
+        index = HashIndex(rel, "K")
+        assert len(index.lookup("a")) == 2
+        assert index.lookup("zz") == []
+
+    def test_contains_and_len(self, rel):
+        index = HashIndex(rel, "K")
+        assert "b" in index
+        assert len(index) == 4
+
+    def test_null_is_indexable(self, rel):
+        index = HashIndex(rel, "V")
+        assert len(index.lookup(None)) == 1
+
+    def test_distinct_values(self, rel):
+        index = HashIndex(rel, "K")
+        assert set(index.distinct_values()) == {"a", "b", "c", "d"}
+
+
+class TestSortedIndex:
+    def test_range_inclusive(self, rel):
+        index = SortedIndex(rel, "V")
+        values = [row[1] for row in index.range(3, 7)]
+        assert values == [3, 5, 7]
+
+    def test_range_exclusive(self, rel):
+        index = SortedIndex(rel, "V")
+        values = [row[1] for row in index.range(3, 7, low_inclusive=False,
+                                                high_inclusive=False)]
+        assert values == [5]
+
+    def test_open_ended(self, rel):
+        index = SortedIndex(rel, "V")
+        assert [row[1] for row in index.range(low=5)] == [5, 7]
+        assert [row[1] for row in index.range(high=3)] == [1, 3]
+
+    def test_nulls_excluded(self, rel):
+        index = SortedIndex(rel, "V")
+        assert len(index) == 4
+
+    def test_count_range(self, rel):
+        index = SortedIndex(rel, "V")
+        assert index.count_range(2, 6) == 2
+        assert index.count_range() == 4
+
+    def test_min_max(self, rel):
+        index = SortedIndex(rel, "V")
+        assert index.min() == 1
+        assert index.max() == 7
+
+    def test_empty(self):
+        schema = RelationSchema("E", [Column("V", INTEGER)])
+        index = SortedIndex(Relation(schema), "V")
+        assert index.min() is None
+        assert list(index.range(0, 10)) == []
+
+    def test_string_ranges(self, rel):
+        index = SortedIndex(rel, "K")
+        assert [row[0] for row in index.range("b", "d")] == ["b", "c", "d"]

@@ -1,0 +1,98 @@
+"""Unit tests for relation schemas."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.relational.datatypes import INTEGER, char
+from repro.relational.schema import Column, RelationSchema
+
+
+@pytest.fixture()
+def emp_schema():
+    return RelationSchema(
+        "EMP",
+        [Column("Name", char(20)), Column("Age", INTEGER),
+         Column("Dept", char(8))],
+        key=["Name"])
+
+
+class TestColumn:
+    def test_check_passes_valid(self):
+        assert Column("Age", INTEGER).check(5) == 5
+
+    def test_check_coerces(self):
+        assert Column("Age", INTEGER).check("5") == 5
+
+    def test_non_nullable(self):
+        with pytest.raises(TypeMismatchError):
+            Column("Age", INTEGER, nullable=False).check(None)
+
+    def test_bad_name(self):
+        with pytest.raises(SchemaError):
+            Column("", INTEGER)
+
+
+class TestRelationSchema:
+    def test_position_case_insensitive(self, emp_schema):
+        assert emp_schema.position("name") == 0
+        assert emp_schema.position("AGE") == 1
+
+    def test_position_unknown(self, emp_schema):
+        with pytest.raises(SchemaError, match="no column"):
+            emp_schema.position("Salary")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            RelationSchema("T", [Column("A", INTEGER),
+                                 Column("a", INTEGER)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("T", [])
+
+    def test_key_resolution(self, emp_schema):
+        assert emp_schema.key == ("Name",)
+
+    def test_key_unknown_column(self):
+        with pytest.raises(SchemaError, match="key column"):
+            RelationSchema("T", [Column("A", INTEGER)], key=["B"])
+
+    def test_check_row(self, emp_schema):
+        assert emp_schema.check_row(["ann", 30, "ops"]) == ("ann", 30, "ops")
+
+    def test_check_row_arity(self, emp_schema):
+        with pytest.raises(SchemaError, match="expects 3"):
+            emp_schema.check_row(["ann", 30])
+
+    def test_project(self, emp_schema):
+        projected = emp_schema.project(["Age", "Name"])
+        assert projected.column_names() == ["Age", "Name"]
+
+    def test_rename(self, emp_schema):
+        assert emp_schema.rename("STAFF").name == "STAFF"
+        assert emp_schema.rename("STAFF").key == ("Name",)
+
+    def test_renamed_columns(self, emp_schema):
+        renamed = emp_schema.renamed_columns({"Age": "Years"})
+        assert renamed.column_names() == ["Name", "Years", "Dept"]
+
+    def test_concat_prefixes_collisions(self, emp_schema):
+        other = RelationSchema("DEPT", [Column("Dept", char(8)),
+                                        Column("Head", char(20))])
+        combined = emp_schema.concat(other, "J")
+        names = combined.column_names()
+        assert "EMP_Dept" in names and "DEPT_Dept" in names
+        assert "Head" in names and "Name" in names
+
+    def test_equality(self, emp_schema):
+        clone = RelationSchema(
+            "emp", [Column("Name", char(20)), Column("Age", INTEGER),
+                    Column("Dept", char(8))])
+        assert emp_schema == clone
+
+    def test_render(self, emp_schema):
+        assert emp_schema.render() == (
+            "EMP(Name char[20], Age integer, Dept char[8])")
+
+    def test_iteration(self, emp_schema):
+        assert [c.name for c in emp_schema] == ["Name", "Age", "Dept"]

@@ -1,0 +1,95 @@
+"""Unit tests for the text serialization format."""
+
+import datetime
+import io
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Database, INTEGER, REAL, DATE, char
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+from repro.relational.textio import (
+    dumps_database, dumps_relation, loads_database, loads_relations,
+)
+from repro.testbed import ship_database
+
+
+def make_relation():
+    schema = RelationSchema("MIX", [
+        Column("S", char(20)), Column("I", INTEGER), Column("R", REAL),
+        Column("D", DATE)], key=["S"])
+    return Relation(schema, [
+        ("plain", 1, 2.5, datetime.date(2020, 1, 2)),
+        ("pipe|and\nnewline\\", -7, 0.125, None),
+        (None, None, None, None),
+    ])
+
+
+class TestRoundTrip:
+    def test_relation_roundtrip(self):
+        original = make_relation()
+        loaded = loads_relations(dumps_relation(original))
+        assert len(loaded) == 1
+        assert loaded[0] == original
+        assert loaded[0].schema.key == ("S",)
+
+    def test_types_preserved(self):
+        loaded = loads_relations(dumps_relation(make_relation()))[0]
+        row = loaded.rows[0]
+        assert isinstance(row[1], int)
+        assert isinstance(row[2], float)
+        assert isinstance(row[3], datetime.date)
+
+    def test_escaping(self):
+        loaded = loads_relations(dumps_relation(make_relation()))[0]
+        assert loaded.rows[1][0] == "pipe|and\nnewline\\"
+
+    def test_database_roundtrip(self):
+        db = ship_database()
+        loaded = loads_database(dumps_database(db))
+        assert loaded.name == "ships"
+        assert loaded.catalog.names() == db.catalog.names()
+        for name in db.catalog.names():
+            assert loaded.relation(name) == db.relation(name)
+
+
+class TestErrors:
+    def test_row_arity_mismatch(self):
+        text = "%relation T\nA:integer\n1|2\n%end\n"
+        with pytest.raises(SchemaError, match="fields"):
+            loads_relations(text)
+
+    def test_unterminated_block(self):
+        with pytest.raises(SchemaError, match="unterminated"):
+            loads_relations("%relation T\nA:integer\n1\n")
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError, match="unknown column type"):
+            loads_relations("%relation T\nA:blob\n%end\n")
+
+    def test_stray_line(self):
+        with pytest.raises(SchemaError, match="stray"):
+            loads_relations("hello\n")
+
+    def test_bad_column_spec(self):
+        with pytest.raises(SchemaError, match="bad column spec"):
+            loads_relations("%relation T\nAinteger\n%end\n")
+
+
+class TestFormatDetails:
+    def test_empty_relation(self):
+        schema = RelationSchema("E", [Column("A", INTEGER)])
+        text = dumps_relation(Relation(schema))
+        loaded = loads_relations(text)[0]
+        assert len(loaded) == 0
+
+    def test_database_name_parsed(self):
+        db = Database("orig")
+        db.create("T", [("A", INTEGER)], rows=[(1,)])
+        loaded = loads_database(dumps_database(db))
+        assert loaded.name == "orig"
+
+    def test_null_token(self):
+        text = dumps_relation(make_relation())
+        assert "\\N" in text

@@ -1,0 +1,34 @@
+"""Unit tests for the report table renderer."""
+
+from repro.reporting import render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows(self):
+        text = render_table(["a", "b"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_numeric_right_aligned(self):
+        text = render_table(["n"], [[1], [100]])
+        lines = text.splitlines()
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("100")
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_none_rendered_as_dash(self):
+        assert "-" in render_table(["a"], [[None]]).splitlines()[2]
+
+    def test_float_formatting(self):
+        text = render_table(["f"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2

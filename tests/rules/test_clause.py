@@ -1,0 +1,196 @@
+"""Unit tests for intervals, attribute refs and clauses."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.rules.clause import (
+    AttributeRef, Clause, Interval, merge_point_clauses,
+)
+
+
+class TestIntervalConstruction:
+    def test_closed(self):
+        interval = Interval.closed(1, 5)
+        assert interval.low == 1 and interval.high == 5
+
+    def test_point(self):
+        assert Interval.point(3).is_point()
+
+    def test_point_needs_value(self):
+        with pytest.raises(RuleError):
+            Interval.point(None)
+
+    def test_empty_rejected(self):
+        with pytest.raises(RuleError, match="empty interval"):
+            Interval.closed(5, 1)
+
+    def test_degenerate_open_rejected(self):
+        with pytest.raises(RuleError, match="empty"):
+            Interval(3, 3, low_open=True)
+
+    def test_incomparable_bounds(self):
+        with pytest.raises(RuleError, match="not comparable"):
+            Interval("a", 5)
+
+    def test_from_comparison(self):
+        assert Interval.from_comparison("=", 5) == Interval.point(5)
+        assert Interval.from_comparison(">", 5) == Interval.at_least(
+            5, strict=True)
+        assert Interval.from_comparison("<=", 5) == Interval.at_most(5)
+
+    def test_from_comparison_rejects_ne(self):
+        with pytest.raises(RuleError):
+            Interval.from_comparison("!=", 5)
+
+    def test_everything(self):
+        assert Interval.everything().is_unbounded()
+
+
+class TestContainsValue:
+    def test_closed_bounds_inclusive(self):
+        interval = Interval.closed(1, 5)
+        assert interval.contains_value(1)
+        assert interval.contains_value(5)
+        assert not interval.contains_value(0)
+        assert not interval.contains_value(6)
+
+    def test_open_bounds_exclusive(self):
+        interval = Interval(1, 5, low_open=True, high_open=True)
+        assert not interval.contains_value(1)
+        assert not interval.contains_value(5)
+        assert interval.contains_value(3)
+
+    def test_unbounded_sides(self):
+        assert Interval.at_least(3).contains_value(1000000)
+        assert Interval.at_most(3).contains_value(-1000000)
+
+    def test_null_never_contained(self):
+        assert not Interval.everything().contains_value(None)
+
+    def test_strings(self):
+        interval = Interval.closed("BQQ-2", "BQQ-8")
+        assert interval.contains_value("BQQ-5")
+        assert not interval.contains_value("BQS-04")
+
+
+class TestContainment:
+    def test_containment(self):
+        assert Interval.closed(1, 10).contains(Interval.closed(2, 9))
+        assert Interval.closed(1, 10).contains(Interval.closed(1, 10))
+        assert not Interval.closed(1, 10).contains(Interval.closed(0, 5))
+
+    def test_paper_example(self):
+        # Displacement > 8000 within domain high 30000 is subsumed by
+        # [7250, 30000].
+        premise = Interval.closed(7250, 30000)
+        condition = Interval(8000, 30000, low_open=True)
+        assert premise.contains(condition)
+
+    def test_unbounded_condition_not_contained(self):
+        assert not Interval.closed(7250, 30000).contains(
+            Interval.at_least(8000, strict=True))
+
+    def test_open_boundary_matters(self):
+        open_premise = Interval(1, 5, high_open=True)
+        assert not open_premise.contains(Interval.closed(1, 5))
+        assert open_premise.contains(Interval(1, 5, high_open=True))
+
+
+class TestOverlapsIntersect:
+    def test_overlap(self):
+        assert Interval.closed(1, 5).overlaps(Interval.closed(5, 9))
+        assert not Interval.closed(1, 4).overlaps(Interval.closed(5, 9))
+
+    def test_touching_open_no_overlap(self):
+        assert not Interval(1, 5, high_open=True).overlaps(
+            Interval.closed(5, 9))
+
+    def test_intersect(self):
+        merged = Interval.closed(1, 7).intersect(Interval.closed(4, 9))
+        assert merged == Interval.closed(4, 7)
+
+    def test_intersect_disjoint_none(self):
+        assert Interval.closed(1, 2).intersect(
+            Interval.closed(5, 6)) is None
+
+    def test_intersect_keeps_strictness(self):
+        merged = Interval.at_least(5, strict=True).intersect(
+            Interval.closed(5, 9))
+        assert merged == Interval(5, 9, low_open=True)
+
+    def test_intersect_with_unbounded(self):
+        merged = Interval.everything().intersect(Interval.closed(1, 2))
+        assert merged == Interval.closed(1, 2)
+
+
+class TestRendering:
+    def test_point(self):
+        assert Interval.point(5).render("X") == "X = 5"
+
+    def test_closed(self):
+        assert Interval.closed(1, 5).render("X") == "1 <= X <= 5"
+
+    def test_half_open(self):
+        assert Interval.at_least(5, strict=True).render("X") == "5 < X"
+        assert Interval.at_most(5).render("X") == "X <= 5"
+
+    def test_unbounded(self):
+        assert "anything" in Interval.everything().render("X")
+
+
+class TestAttributeRef:
+    def test_parse(self):
+        ref = AttributeRef.parse("CLASS.Displacement")
+        assert ref.relation == "CLASS"
+        assert ref.attribute == "Displacement"
+
+    def test_parse_requires_dot(self):
+        with pytest.raises(RuleError):
+            AttributeRef.parse("Displacement")
+
+    def test_case_insensitive_equality(self):
+        assert AttributeRef("class", "TYPE") == AttributeRef(
+            "CLASS", "Type")
+        assert hash(AttributeRef("class", "TYPE")) == hash(
+            AttributeRef("CLASS", "Type"))
+
+
+class TestClause:
+    def test_between_and_equals(self):
+        between = Clause.between("T.A", 1, 5)
+        assert between.lvalue == 1 and between.uvalue == 5
+        assert Clause.equals("T.A", 3).is_equality()
+
+    def test_satisfied_by(self):
+        assert Clause.between("T.A", 1, 5).satisfied_by(3)
+        assert not Clause.between("T.A", 1, 5).satisfied_by(None)
+
+    def test_implies(self):
+        wide = Clause.between("T.A", 1, 10)
+        narrow = Clause.between("T.A", 3, 4)
+        assert narrow.implies(wide)
+        assert not wide.implies(narrow)
+
+    def test_implies_different_attribute(self):
+        assert not Clause.between("T.A", 1, 5).implies(
+            Clause.between("T.B", 1, 5))
+
+    def test_render(self):
+        assert Clause.between("T.A", 1, 5).render() == "1 <= T.A <= 5"
+
+
+class TestMergePointClauses:
+    def test_merges_same_attribute(self):
+        merged = merge_point_clauses([
+            Clause.between("T.A", 1, 10), Clause.between("T.A", 5, 20)])
+        assert merged == [Clause.between("T.A", 5, 10)]
+
+    def test_keeps_distinct_attributes(self):
+        merged = merge_point_clauses([
+            Clause.between("T.A", 1, 10), Clause.between("T.B", 5, 20)])
+        assert len(merged) == 2
+
+    def test_contradiction_raises(self):
+        with pytest.raises(RuleError, match="contradictory"):
+            merge_point_clauses([
+                Clause.between("T.A", 1, 2), Clause.between("T.A", 5, 6)])

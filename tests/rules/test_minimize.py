@@ -1,0 +1,76 @@
+"""Unit tests for subsumption-based rule-set minimization."""
+
+from repro.rules import Clause, Rule, RuleSet
+from repro.rules.minimize import minimize_ruleset
+
+
+def rule(low, high, label, support=1, attribute="T.X", target="T.Y"):
+    return Rule([Clause.between(attribute, low, high)],
+                Clause.equals(target, label), support=support)
+
+
+class TestMinimize:
+    def test_identical_rules_collapse(self):
+        rules = RuleSet([rule(1, 10, "a", support=5),
+                         rule(1, 10, "a", support=2)])
+        result = minimize_ruleset(rules)
+        assert result.kept == 1
+        assert result.minimized[1].support == 5
+
+    def test_narrower_premise_dropped(self):
+        rules = RuleSet([rule(1, 10, "a", support=9),
+                         rule(3, 5, "a", support=3)])
+        result = minimize_ruleset(rules)
+        assert result.kept == 1
+        assert result.minimized[1].lhs[0].interval.high == 10
+        ((dropped, subsumer),) = result.dropped
+        assert dropped.lhs[0].interval.low == 3
+        assert subsumer.lhs[0].interval.high == 10
+
+    def test_different_conclusions_kept(self):
+        rules = RuleSet([rule(1, 10, "a"), rule(3, 5, "b")])
+        assert minimize_ruleset(rules).kept == 2
+
+    def test_different_attributes_kept(self):
+        rules = RuleSet([rule(1, 10, "a"),
+                         rule(1, 10, "a", attribute="T.Z")])
+        assert minimize_ruleset(rules).kept == 2
+
+    def test_disjoint_ranges_kept(self):
+        rules = RuleSet([rule(1, 5, "a"), rule(6, 9, "a")])
+        assert minimize_ruleset(rules).kept == 2
+
+    def test_original_order_preserved(self):
+        rules = RuleSet([rule(1, 5, "a"), rule(20, 30, "b"),
+                         rule(2, 3, "a")])
+        result = minimize_ruleset(rules)
+        assert [r.rhs.interval.low for r in result.minimized] == ["a", "b"]
+
+    def test_forward_power_preserved_on_ship_rules(self, ship_rules,
+                                                   ship_binding):
+        """Minimizing the induced+schema knowledge base never loses a
+        forward conclusion on the worked-example conditions."""
+        from repro.inference import TypeInferenceEngine
+        from repro.rules.clause import Clause as C
+
+        merged = ship_rules.merged_with(ship_binding.schema_rules())
+        result = minimize_ruleset(merged)
+        assert result.kept < len(merged)  # duplicates exist
+
+        full_engine = TypeInferenceEngine(merged, binding=ship_binding)
+        minimal_engine = TypeInferenceEngine(result.minimized,
+                                             binding=ship_binding)
+        for conditions in (
+                [C.between("CLASS.Displacement", 9000, 30000)],
+                [C.equals("INSTALL.Sonar", "BQS-04")],
+        ):
+            full = full_engine.infer(conditions)
+            minimal = minimal_engine.infer(conditions)
+            assert set(full.forward_subtypes()) == set(
+                minimal.forward_subtypes())
+
+    def test_render(self):
+        rules = RuleSet([rule(1, 10, "a", support=9), rule(3, 5, "a")])
+        text = minimize_ruleset(rules).render()
+        assert "kept 1, dropped 1" in text
+        assert "subsumed by" in text

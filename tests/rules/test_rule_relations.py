@@ -1,0 +1,114 @@
+"""Unit tests for the rule-relation encoding (Section 5.2.2)."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.relational import Database, INTEGER
+from repro.rules import (
+    Clause, Interval, Rule, RuleSet,
+    decode_rule_relations, encode_rule_relations,
+    RULE_RELATION_NAME, ATTRIBUTE_MAP_NAME, VALUE_MAP_NAME,
+    SUPPORT_RELATION_NAME,
+)
+from repro.rules.rule_relations import RuleRelationBundle
+
+
+def sample_rules():
+    rules = RuleSet()
+    rules.add(Rule([Clause.between("CLASS.Displacement", 7250, 30000)],
+                   Clause.equals("CLASS.Type", "SSBN"),
+                   support=4, rhs_subtype="SSBN"))
+    rules.add(Rule([Clause.between("SUBMARINE.Id", "SSN648", "SSN666"),
+                    Clause.equals("SUBMARINE.Class", "0204")],
+                   Clause.equals("SONAR.SonarType", "BQQ"),
+                   support=3, source="induced"))
+    return rules
+
+
+def rules_equal(left, right):
+    return [(r.lhs, r.rhs, r.support, r.rhs_subtype, r.source)
+            for r in left] == [
+        (r.lhs, r.rhs, r.support, r.rhs_subtype, r.source) for r in right]
+
+
+class TestEncoding:
+    def test_clause_rows(self):
+        bundle = encode_rule_relations(sample_rules())
+        assert len(bundle.clauses) == 5  # 3 LHS + 2 RHS
+
+    def test_paper_projection_shape(self):
+        bundle = encode_rule_relations(sample_rules())
+        projection = bundle.paper_projection()
+        assert projection.schema.column_names() == [
+            "RuleNo", "Role", "Lvalue", "Att_no", "Uvalue"]
+
+    def test_value_codes_order_preserving(self):
+        bundle = encode_rule_relations(sample_rules())
+        rows = {(row[0], row[2]): row[1] for row in bundle.values}
+        # Displacement 7250 must encode lower than 30000.
+        displacement_rows = sorted(
+            (row for row in bundle.values if row[2] in ("7250", "30000")),
+            key=lambda row: int(row[2]))
+        assert displacement_rows[0][1] < displacement_rows[1][1]
+
+    def test_attribute_types_recorded(self):
+        bundle = encode_rule_relations(sample_rules())
+        types = {row[1] + "." + row[2]: row[3]
+                 for row in bundle.attributes}
+        assert types["CLASS.Displacement"] == "integer"
+        assert types["SUBMARINE.Id"] == "string"
+
+    def test_mixed_types_on_attribute_rejected(self):
+        rules = RuleSet()
+        rules.add(Rule([Clause.between("T.A", 1, 5)],
+                       Clause.equals("T.B", "x")))
+        rules.add(Rule([Clause.equals("T.A", "oops")],
+                       Clause.equals("T.B", "y")))
+        with pytest.raises(RuleError, match="mixes clause value types"):
+            encode_rule_relations(rules)
+
+
+class TestRoundTrip:
+    def test_roundtrip_identity(self):
+        original = sample_rules()
+        decoded = decode_rule_relations(encode_rule_relations(original))
+        assert rules_equal(original, decoded)
+
+    def test_open_and_unbounded_bounds(self):
+        from repro.rules.clause import AttributeRef
+        rules = RuleSet()
+        rules.add(Rule(
+            [Clause(AttributeRef.parse("T.A"),
+                    Interval.at_least(10, strict=True))],
+            Clause.equals("T.B", 1)))
+        decoded = decode_rule_relations(encode_rule_relations(rules))
+        assert rules_equal(rules, decoded)
+
+    def test_empty_ruleset(self):
+        decoded = decode_rule_relations(encode_rule_relations(RuleSet()))
+        assert len(decoded) == 0
+
+
+class TestRelocation:
+    def test_register_and_reload(self, ship_rules, ship_db):
+        bundle = encode_rule_relations(ship_rules)
+        bundle.register_into(ship_db)
+        for name in (RULE_RELATION_NAME, ATTRIBUTE_MAP_NAME,
+                     VALUE_MAP_NAME, SUPPORT_RELATION_NAME):
+            assert name in ship_db
+        reloaded = RuleRelationBundle.from_database(ship_db)
+        decoded = decode_rule_relations(reloaded)
+        assert rules_equal(ship_rules, decoded)
+
+    def test_relocation_through_text_dump(self, ship_rules, ship_db):
+        from repro.relational.textio import dumps_database, loads_database
+        encode_rule_relations(ship_rules).register_into(ship_db)
+        relocated = loads_database(dumps_database(ship_db))
+        decoded = decode_rule_relations(
+            RuleRelationBundle.from_database(relocated))
+        assert rules_equal(ship_rules, decoded)
+
+    def test_total_rows(self, ship_rules):
+        bundle = encode_rule_relations(ship_rules)
+        assert bundle.total_rows() == sum(
+            len(relation) for relation in bundle.relations())

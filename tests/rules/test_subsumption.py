@@ -1,0 +1,112 @@
+"""Unit tests for subsumption/implication checks."""
+
+from repro.rules.clause import AttributeRef, Clause, Interval
+from repro.rules.rule import Rule
+from repro.rules.subsumption import (
+    clause_subsumes, interval_subsumes, rule_fires_forward,
+    rule_matches_backward, rule_subsumed_by,
+)
+
+DISP = AttributeRef("CLASS", "Displacement")
+TYPE = AttributeRef("CLASS", "Type")
+
+
+class TestIntervalSubsumes:
+    def test_plain_containment(self):
+        assert interval_subsumes(Interval.closed(1, 10),
+                                 Interval.closed(2, 9))
+
+    def test_paper_domain_widening(self):
+        premise = Interval.closed(7250, 30000)
+        condition = Interval.at_least(8000, strict=True)
+        domain = Interval.closed(2000, 30000)
+        assert not interval_subsumes(premise, condition)
+        assert interval_subsumes(premise, condition, domain)
+
+    def test_condition_outside_domain_vacuous(self):
+        premise = Interval.closed(1, 2)
+        condition = Interval.at_least(99999)
+        domain = Interval.closed(0, 100)
+        assert interval_subsumes(premise, condition, domain)
+
+
+class TestClauseSubsumes:
+    def test_requires_same_attribute(self):
+        premise = Clause(DISP, Interval.closed(1, 10))
+        condition = Clause(TYPE, Interval.point("SSN"))
+        assert not clause_subsumes(premise, condition)
+
+    def test_with_domains(self):
+        premise = Clause(DISP, Interval.closed(7250, 30000))
+        condition = Clause(DISP, Interval.at_least(8000, strict=True))
+        domains = {DISP: Interval.closed(2000, 30000)}
+        assert clause_subsumes(premise, condition, domains)
+
+
+class TestForwardFiring:
+    RULE = Rule([Clause(DISP, Interval.closed(7250, 30000))],
+                Clause(TYPE, Interval.point("SSBN")))
+
+    def test_fires_on_subsumed_condition(self):
+        conditions = {DISP: Interval.closed(9000, 10000)}
+        assert rule_fires_forward(self.RULE, conditions)
+
+    def test_blocked_without_condition(self):
+        assert not rule_fires_forward(self.RULE, {})
+
+    def test_blocked_on_wider_condition(self):
+        conditions = {DISP: Interval.closed(5000, 10000)}
+        assert not rule_fires_forward(self.RULE, conditions)
+
+    def test_multi_premise_needs_all(self):
+        rule = Rule([Clause(DISP, Interval.closed(1, 10)),
+                     Clause(TYPE, Interval.point("SSN"))],
+                    Clause(AttributeRef("CLASS", "Class"),
+                           Interval.point("0201")))
+        assert not rule_fires_forward(
+            rule, {DISP: Interval.closed(2, 3)})
+        assert rule_fires_forward(
+            rule, {DISP: Interval.closed(2, 3),
+                   TYPE: Interval.point("SSN")})
+
+
+class TestBackwardMatching:
+    RULE = Rule([Clause(AttributeRef("CLASS", "Class"),
+                        Interval.closed("0101", "0103"))],
+                Clause(TYPE, Interval.point("SSBN")))
+
+    def test_matches_point_fact(self):
+        assert rule_matches_backward(self.RULE, TYPE,
+                                     Interval.point("SSBN"))
+
+    def test_requires_fact_containing_consequence(self):
+        assert not rule_matches_backward(self.RULE, TYPE,
+                                         Interval.point("SSN"))
+
+    def test_requires_matching_attribute(self):
+        assert not rule_matches_backward(self.RULE, DISP,
+                                         Interval.point("SSBN"))
+
+
+class TestRuleSubsumption:
+    def test_general_subsumes_specific(self):
+        general = Rule([Clause(DISP, Interval.closed(1, 100))],
+                       Clause(TYPE, Interval.point("SSN")))
+        specific = Rule([Clause(DISP, Interval.closed(10, 20))],
+                        Clause(TYPE, Interval.point("SSN")))
+        assert rule_subsumed_by(general, specific)
+        assert not rule_subsumed_by(specific, general)
+
+    def test_different_consequence_not_subsumed(self):
+        general = Rule([Clause(DISP, Interval.closed(1, 100))],
+                       Clause(TYPE, Interval.point("SSN")))
+        other = Rule([Clause(DISP, Interval.closed(10, 20))],
+                     Clause(TYPE, Interval.point("SSBN")))
+        assert not rule_subsumed_by(general, other)
+
+    def test_missing_premise_attribute(self):
+        general = Rule([Clause(TYPE, Interval.point("SSN"))],
+                       Clause(DISP, Interval.closed(1, 10)))
+        specific = Rule([Clause(DISP, Interval.closed(1, 5))],
+                        Clause(DISP, Interval.closed(1, 10)))
+        assert not rule_subsumed_by(general, specific)

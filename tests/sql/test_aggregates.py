@@ -1,0 +1,123 @@
+"""Unit tests for SQL aggregates and GROUP BY."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql import execute_sql
+
+
+class TestGlobalAggregates:
+    def test_count_star(self, ship_db):
+        out = execute_sql(ship_db, "SELECT COUNT(*) FROM SUBMARINE")
+        assert out.rows == [(24,)]
+        assert out.schema.column_names() == ["count"]
+
+    def test_count_column(self, ship_db):
+        out = execute_sql(ship_db, "SELECT COUNT(Type) FROM CLASS")
+        assert out.rows == [(13,)]
+
+    def test_count_distinct(self, ship_db):
+        out = execute_sql(ship_db,
+                          "SELECT COUNT(DISTINCT Type) FROM CLASS")
+        assert out.rows == [(2,)]
+
+    def test_min_max_sum_avg(self, ship_db):
+        out = execute_sql(ship_db, (
+            "SELECT MIN(Displacement) lo, MAX(Displacement) hi, "
+            "SUM(Displacement) s, AVG(Displacement) a FROM CLASS"))
+        lo, hi, total, mean = out.rows[0]
+        assert (lo, hi) == (2145, 30000)
+        assert total == 99494.0
+        assert mean == pytest.approx(99494 / 13)
+
+    def test_aggregate_with_where(self, ship_db):
+        out = execute_sql(ship_db, (
+            "SELECT COUNT(*), MAX(Displacement) FROM CLASS "
+            "WHERE Type = 'SSBN'"))
+        assert out.rows == [(4, 30000)]
+
+    def test_empty_input_single_row(self, ship_db):
+        out = execute_sql(ship_db, (
+            "SELECT COUNT(*), MIN(Displacement) FROM CLASS "
+            "WHERE Type = 'XX'"))
+        assert out.rows == [(0, None)]
+
+    def test_aggregate_over_join(self, ship_db):
+        out = execute_sql(ship_db, (
+            "SELECT COUNT(*) FROM SUBMARINE, INSTALL "
+            "WHERE SUBMARINE.Id = INSTALL.Ship "
+            "AND INSTALL.Sonar = 'BQS-04'"))
+        assert out.rows == [(4,)]
+
+
+class TestGroupBy:
+    def test_group_counts(self, ship_db):
+        out = execute_sql(ship_db, (
+            "SELECT Type, COUNT(*) FROM CLASS GROUP BY Type"))
+        counts = {row[0]: row[1] for row in out}
+        assert counts == {"SSBN": 4, "SSN": 9}
+
+    def test_group_ranges_reproduce_characteristics(self, ship_db):
+        """GROUP BY recovers the classification characteristics the
+        paper's Table 1 tabulates."""
+        out = execute_sql(ship_db, (
+            "SELECT Type, MIN(Displacement), MAX(Displacement) "
+            "FROM CLASS GROUP BY Type"))
+        spans = {row[0]: (row[1], row[2]) for row in out}
+        assert spans["SSN"] == (2145, 6955)
+        assert spans["SSBN"] == (7250, 30000)
+
+    def test_group_by_with_join(self, ship_db):
+        out = execute_sql(ship_db, (
+            "SELECT SONAR.SonarType, COUNT(*) "
+            "FROM INSTALL, SONAR "
+            "WHERE INSTALL.Sonar = SONAR.Sonar "
+            "GROUP BY SONAR.SonarType"))
+        counts = {row[0]: row[1] for row in out}
+        assert counts == {"BQQ": 14, "BQS": 9, "TACTAS": 1}
+
+    def test_order_by_group_key(self, ship_db):
+        out = execute_sql(ship_db, (
+            "SELECT Type, COUNT(*) FROM CLASS GROUP BY Type "
+            "ORDER BY Type"))
+        assert [row[0] for row in out] == ["SSBN", "SSN"]
+
+    def test_group_key_alias(self, ship_db):
+        out = execute_sql(ship_db, (
+            "SELECT Type AS t, COUNT(*) AS n FROM CLASS GROUP BY Type"))
+        assert out.schema.column_names() == ["t", "n"]
+
+    def test_types(self, ship_db):
+        out = execute_sql(ship_db, (
+            "SELECT Type, COUNT(*), MAX(Displacement), AVG(Displacement) "
+            "FROM CLASS GROUP BY Type"))
+        assert out.schema.columns[1].datatype.name == "integer"
+        assert out.schema.columns[2].datatype.name == "integer"
+        assert out.schema.columns[3].datatype.name == "real"
+
+
+class TestErrors:
+    def test_bare_column_without_group_by(self, ship_db):
+        with pytest.raises(SqlError, match="GROUP BY"):
+            execute_sql(ship_db, "SELECT Type, COUNT(*) FROM CLASS")
+
+    def test_star_with_aggregates(self, ship_db):
+        with pytest.raises(SqlError, match=r"SELECT \*"):
+            execute_sql(ship_db,
+                        "SELECT * FROM CLASS GROUP BY Type")
+
+    def test_min_star_rejected(self, ship_db):
+        from repro.errors import ParseError
+        with pytest.raises(ParseError, match="COUNT"):
+            execute_sql(ship_db, "SELECT MIN(*) FROM CLASS")
+
+    def test_unknown_column_in_aggregate(self, ship_db):
+        with pytest.raises(SqlError):
+            execute_sql(ship_db, "SELECT COUNT(Bogus) FROM CLASS")
+
+    def test_render_roundtrip(self, ship_db):
+        from repro.sql import parse_select
+        text = ("SELECT Type, COUNT(DISTINCT ClassName) FROM CLASS "
+                "GROUP BY Type ORDER BY Type")
+        stmt = parse_select(text)
+        assert parse_select(stmt.render()).render() == stmt.render()

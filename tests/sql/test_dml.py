@@ -1,0 +1,175 @@
+"""Unit tests for SQL DML (INSERT / DELETE / UPDATE)."""
+
+import pytest
+
+from repro.errors import ParseError, SqlError
+from repro.relational import Database, INTEGER, char
+from repro.sql import execute_statement, parse_statement
+from repro.sql import ast
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create("EMP",
+                    [("Name", char(10)), ("Dept", char(4)),
+                     ("Salary", INTEGER)],
+                    rows=[("ann", "eng", 100), ("bob", "eng", 110),
+                          ("cat", "ops", 90)])
+    return database
+
+
+class TestParsing:
+    def test_insert_with_columns(self):
+        statement = parse_statement(
+            "INSERT INTO EMP (Name, Salary) VALUES ('dee', 120)")
+        assert isinstance(statement, ast.InsertStmt)
+        assert statement.columns == ("Name", "Salary")
+
+    def test_insert_multi_row(self):
+        statement = parse_statement(
+            "INSERT INTO T VALUES (1, 'a'), (2, 'b')")
+        assert len(statement.rows) == 2
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM EMP WHERE Salary < 100")
+        assert isinstance(statement, ast.DeleteStmt)
+
+    def test_update(self):
+        statement = parse_statement(
+            "UPDATE EMP SET Salary = Salary + 5 WHERE Dept = 'eng'")
+        assert isinstance(statement, ast.UpdateStmt)
+        assert statement.assignments[0][0] == "Salary"
+
+    def test_render_roundtrips(self):
+        for text in (
+                "INSERT INTO T (A, B) VALUES (1, \"x\")",
+                "DELETE FROM T WHERE A = 1",
+                "UPDATE T SET A = 2 WHERE B = \"x\""):
+            statement = parse_statement(text)
+            again = parse_statement(statement.render())
+            assert again.render() == statement.render()
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("FROB THE DATABASE")
+
+    def test_parse_select_rejects_dml(self):
+        from repro.sql import parse_select
+        with pytest.raises(ParseError, match="SELECT"):
+            parse_select("DELETE FROM T")
+
+
+class TestInsert:
+    def test_positional(self, db):
+        count = execute_statement(
+            db, "INSERT INTO EMP VALUES ('dee', 'mkt', 95)")
+        assert count == 1
+        assert ("dee", "mkt", 95) in db.relation("EMP").rows
+
+    def test_with_column_list_fills_nulls(self, db):
+        execute_statement(
+            db, "INSERT INTO EMP (Name) VALUES ('eve')")
+        assert ("eve", None, None) in db.relation("EMP").rows
+
+    def test_multi_row(self, db):
+        count = execute_statement(
+            db, "INSERT INTO EMP VALUES ('f', 'x', 1), ('g', 'y', 2)")
+        assert count == 2
+        assert len(db.relation("EMP")) == 5
+
+    def test_null_literal(self, db):
+        execute_statement(
+            db, "INSERT INTO EMP VALUES ('h', NULL, NULL)")
+        assert ("h", None, None) in db.relation("EMP").rows
+
+    def test_arity_mismatch(self, db):
+        with pytest.raises(SqlError, match="expects 3"):
+            execute_statement(db, "INSERT INTO EMP VALUES ('x')")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(Exception):
+            execute_statement(
+                db, "INSERT INTO EMP (Bogus) VALUES (1)")
+
+    def test_non_constant_rejected(self, db):
+        with pytest.raises(SqlError, match="constant"):
+            execute_statement(
+                db, "INSERT INTO EMP VALUES (Name, 'x', 1)")
+
+    def test_constant_arithmetic_allowed(self, db):
+        execute_statement(
+            db, "INSERT INTO EMP VALUES ('i', 'z', 50 + 25)")
+        assert ("i", "z", 75) in db.relation("EMP").rows
+
+
+class TestDelete:
+    def test_with_where(self, db):
+        count = execute_statement(
+            db, "DELETE FROM EMP WHERE Dept = 'eng'")
+        assert count == 2
+        assert len(db.relation("EMP")) == 1
+
+    def test_without_where(self, db):
+        count = execute_statement(db, "DELETE FROM EMP")
+        assert count == 3
+        assert len(db.relation("EMP")) == 0
+
+    def test_no_match(self, db):
+        assert execute_statement(
+            db, "DELETE FROM EMP WHERE Salary > 9999") == 0
+
+
+class TestUpdate:
+    def test_conditional(self, db):
+        count = execute_statement(
+            db, "UPDATE EMP SET Salary = Salary + 10 "
+                "WHERE Dept = 'eng'")
+        assert count == 2
+        emp = db.relation("EMP")
+        salaries = dict(zip(emp.column_values("Name"),
+                            emp.column_values("Salary")))
+        assert salaries == {"ann": 110, "bob": 120, "cat": 90}
+
+    def test_unconditional(self, db):
+        count = execute_statement(db, "UPDATE EMP SET Dept = 'all'")
+        assert count == 3
+        assert set(db.relation("EMP").column_values("Dept")) == {"all"}
+
+    def test_multiple_assignments(self, db):
+        execute_statement(
+            db, "UPDATE EMP SET Dept = 'hq', Salary = 0 "
+                "WHERE Name = 'ann'")
+        assert ("ann", "hq", 0) in db.relation("EMP").rows
+
+    def test_set_null(self, db):
+        execute_statement(
+            db, "UPDATE EMP SET Salary = NULL WHERE Name = 'cat'")
+        assert ("cat", "ops", None) in db.relation("EMP").rows
+
+    def test_unknown_column(self, db):
+        with pytest.raises(Exception):
+            execute_statement(db, "UPDATE EMP SET Bogus = 1")
+
+    def test_type_checked(self, db):
+        from repro.errors import TypeMismatchError
+        with pytest.raises(TypeMismatchError):
+            execute_statement(
+                db, "UPDATE EMP SET Salary = 'lots'")
+
+
+class TestStatementDispatch:
+    def test_select_returns_relation(self, db):
+        result = execute_statement(db, "SELECT Name FROM EMP")
+        assert len(result) == 3
+
+    def test_cli_handles_dml(self, db):
+        import io
+        from repro.cli import Shell
+        from repro.query import IntensionalQueryProcessor
+        from repro.rules.ruleset import RuleSet
+
+        shell = Shell(IntensionalQueryProcessor(db, RuleSet()),
+                      out=io.StringIO())
+        shell.handle("UPDATE EMP SET Salary = 1 WHERE Name = 'ann'")
+        assert "1 rows affected" in shell.out.getvalue()

@@ -1,0 +1,168 @@
+"""Unit tests for the SQL executor (using the ship database)."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.relational import Database, INTEGER, char
+from repro.sql import execute_sql
+
+
+@pytest.fixture()
+def db(ship_db):
+    return ship_db
+
+
+class TestSingleTable:
+    def test_projection(self, db):
+        out = execute_sql(db, "SELECT Id FROM SUBMARINE")
+        assert len(out) == 24
+        assert out.schema.column_names() == ["Id"]
+
+    def test_star(self, db):
+        out = execute_sql(db, "SELECT * FROM TYPE")
+        assert out.schema.column_names() == ["Type", "TypeName"]
+        assert len(out) == 2
+
+    def test_filter(self, db):
+        out = execute_sql(
+            db, "SELECT Class FROM CLASS WHERE Displacement >= 7250")
+        assert sorted(row[0] for row in out) == [
+            "0101", "0102", "0103", "1301"]
+
+    def test_distinct(self, db):
+        out = execute_sql(db, "SELECT DISTINCT SonarType FROM SONAR")
+        assert len(out) == 3
+
+    def test_order_by(self, db):
+        out = execute_sql(
+            db, "SELECT Class FROM CLASS ORDER BY Displacement")
+        assert out.rows[0] == ("0215",)
+        assert out.rows[-1] == ("1301",)
+
+    def test_string_range_condition(self, db):
+        out = execute_sql(
+            db, "SELECT Sonar FROM SONAR "
+                "WHERE Sonar BETWEEN 'BQQ-2' AND 'BQQ-8'")
+        assert len(out) == 3
+
+    def test_or_condition(self, db):
+        out = execute_sql(
+            db, "SELECT Class FROM CLASS "
+                "WHERE Class = '0101' OR Class = '1301'")
+        assert len(out) == 2
+
+
+class TestJoins:
+    def test_two_way_join(self, db):
+        out = execute_sql(db, (
+            "SELECT SUBMARINE.Name, CLASS.Type FROM SUBMARINE, CLASS "
+            "WHERE SUBMARINE.Class = CLASS.Class"))
+        assert len(out) == 24
+
+    def test_three_way_join(self, db):
+        out = execute_sql(db, (
+            "SELECT SUBMARINE.Name FROM SUBMARINE, CLASS, INSTALL "
+            "WHERE SUBMARINE.Class = CLASS.Class "
+            "AND SUBMARINE.Id = INSTALL.Ship "
+            "AND INSTALL.Sonar = 'BQS-04'"))
+        assert {row[0] for row in out} == {
+            "Bonefish", "Seadragon", "Snook", "Robert E. Lee"}
+
+    def test_alias_join(self, db):
+        out = execute_sql(db, (
+            "SELECT s.Name FROM SUBMARINE s, CLASS c "
+            "WHERE s.Class = c.Class AND c.Type = 'SSBN'"))
+        assert len(out) == 7
+
+    def test_cross_product_when_no_join(self, db):
+        out = execute_sql(db, "SELECT TYPE.Type FROM TYPE, SONAR")
+        assert len(out) == 16
+
+    def test_residual_predicate(self, db):
+        out = execute_sql(db, (
+            "SELECT c1.Class FROM CLASS c1, CLASS c2 "
+            "WHERE c1.Displacement < c2.Displacement "
+            "AND c2.Class = '0215'"))
+        assert len(out) == 0  # 0215 is the smallest displacement
+
+    def test_self_join(self, db):
+        out = execute_sql(db, (
+            "SELECT c1.Class, c2.Class FROM CLASS c1, CLASS c2 "
+            "WHERE c1.Displacement = c2.Displacement "
+            "AND c1.Class < c2.Class"))
+        assert out.rows == [("0102", "0103")]  # the two 7250s
+
+
+class TestOutputShaping:
+    def test_duplicate_names_suffixed(self, db):
+        out = execute_sql(db, (
+            "SELECT SUBMARINE.Class, CLASS.Class FROM SUBMARINE, CLASS "
+            "WHERE SUBMARINE.Class = CLASS.Class"))
+        assert out.schema.column_names() == ["Class", "Class_2"]
+
+    def test_alias_output(self, db):
+        out = execute_sql(
+            db, "SELECT Displacement AS Tons FROM CLASS")
+        assert out.schema.column_names() == ["Tons"]
+
+    def test_expression_output(self, db):
+        out = execute_sql(
+            db, "SELECT Displacement * 2 FROM CLASS WHERE Class = '0101'")
+        assert out.rows == [(33200,)]
+
+    def test_types_preserved(self, db):
+        out = execute_sql(db, "SELECT Displacement FROM CLASS")
+        assert out.schema.column("Displacement").datatype == INTEGER
+
+
+class TestErrors:
+    def test_unknown_table(self, db):
+        with pytest.raises(Exception):
+            execute_sql(db, "SELECT A FROM NOPE")
+
+    def test_unknown_alias(self, db):
+        with pytest.raises(SqlError, match="unknown table or alias"):
+            execute_sql(db, "SELECT zz.A FROM SUBMARINE")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SqlError, match="no column"):
+            execute_sql(db, "SELECT SUBMARINE.Bogus FROM SUBMARINE")
+
+    def test_ambiguous_column(self, db):
+        with pytest.raises(SqlError, match="ambiguous"):
+            execute_sql(db, "SELECT Class FROM SUBMARINE, CLASS")
+
+    def test_duplicate_binding(self, db):
+        with pytest.raises(SqlError, match="duplicate"):
+            execute_sql(db, "SELECT x.Id FROM SUBMARINE x, CLASS x")
+
+
+class TestPaperExamples:
+    def test_example_1_rows(self, db):
+        out = execute_sql(db, (
+            "SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, "
+            "CLASS.TYPE FROM SUBMARINE, CLASS "
+            "WHERE SUBMARINE.CLASS = CLASS.CLASS "
+            "AND CLASS.DISPLACEMENT > 8000"))
+        assert sorted(out.rows) == [
+            ("SSBN130", "Typhoon", "1301", "SSBN"),
+            ("SSBN730", "Rhode Island", "0101", "SSBN")]
+
+    def test_example_2_rows(self, db):
+        out = execute_sql(db, (
+            "SELECT SUBMARINE.NAME, SUBMARINE.CLASS FROM SUBMARINE, CLASS "
+            "WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = 'SSBN'"))
+        assert len(out) == 7
+
+    def test_example_3_rows(self, db):
+        out = execute_sql(db, (
+            "SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE "
+            "FROM SUBMARINE, CLASS, INSTALL "
+            "WHERE SUBMARINE.CLASS = CLASS.CLASS "
+            "AND SUBMARINE.ID = INSTALL.SHIP "
+            "AND INSTALL.SONAR = 'BQS-04'"))
+        assert sorted(out.rows) == [
+            ("Bonefish", "0215", "SSN"),
+            ("Robert E. Lee", "0208", "SSN"),
+            ("Seadragon", "0212", "SSN"),
+            ("Snook", "0209", "SSN")]

@@ -1,0 +1,63 @@
+"""Unit tests for IS NULL / IS NOT NULL."""
+
+import pytest
+
+from repro.relational import Database, INTEGER, char
+from repro.relational.expressions import IsNull
+from repro.sql import execute_sql, execute_statement, parse_select
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create("T", [("A", char(4)), ("N", INTEGER)],
+                    rows=[("x", 1), ("y", None), (None, 3)])
+    return database
+
+
+class TestParsing:
+    def test_is_null(self):
+        stmt = parse_select("SELECT A FROM T WHERE N IS NULL")
+        assert isinstance(stmt.where, IsNull)
+        assert not stmt.where.negated
+
+    def test_is_not_null(self):
+        stmt = parse_select("SELECT A FROM T WHERE N IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_render_roundtrip(self):
+        text = "SELECT A FROM T WHERE N IS NOT NULL"
+        stmt = parse_select(text)
+        assert parse_select(stmt.render()).render() == stmt.render()
+
+
+class TestExecution:
+    def test_is_null(self, db):
+        out = execute_sql(db, "SELECT A FROM T WHERE N IS NULL")
+        assert out.rows == [("y",)]
+
+    def test_is_not_null(self, db):
+        out = execute_sql(db, "SELECT N FROM T WHERE A IS NOT NULL")
+        assert sorted(row[0] for row in out if row[0] is not None) == [1]
+
+    def test_conjunction(self, db):
+        out = execute_sql(
+            db, "SELECT A FROM T WHERE N IS NOT NULL AND A IS NOT NULL")
+        assert out.rows == [("x",)]
+
+    def test_in_update(self, db):
+        count = execute_statement(
+            db, "UPDATE T SET N = 0 WHERE N IS NULL")
+        assert count == 1
+        assert ("y", 0) in db.relation("T").rows
+
+    def test_in_delete(self, db):
+        count = execute_statement(db, "DELETE FROM T WHERE A IS NULL")
+        assert count == 1
+
+    def test_unused_by_inference(self, ship_db):
+        from repro.query import extract_conditions
+        out = extract_conditions(ship_db, parse_select(
+            "SELECT Class FROM CLASS WHERE Type IS NOT NULL"))
+        assert not out.clauses
+        assert len(out.unused) == 1

@@ -1,0 +1,124 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.relational.expressions import (
+    And, ColumnRef, Comparison, Literal, Not, Or,
+)
+from repro.sql import parse_select
+
+
+class TestSelectList:
+    def test_qualified_columns(self):
+        stmt = parse_select(
+            "SELECT SUBMARINE.ID, CLASS.TYPE FROM SUBMARINE, CLASS")
+        assert [item.expression.render() for item in stmt.items] == [
+            "SUBMARINE.ID", "CLASS.TYPE"]
+
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM T")
+        assert stmt.star
+        assert not stmt.items
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT A FROM T").distinct
+
+    def test_as_alias(self):
+        stmt = parse_select("SELECT A AS x FROM T")
+        assert stmt.items[0].alias == "x"
+
+    def test_implicit_alias(self):
+        stmt = parse_select("SELECT A x FROM T")
+        assert stmt.items[0].alias == "x"
+
+    def test_expression_item(self):
+        stmt = parse_select("SELECT A + 1 FROM T")
+        assert stmt.items[0].expression.render() == "(A + 1)"
+
+
+class TestFrom:
+    def test_table_alias(self):
+        stmt = parse_select("SELECT s.A FROM SUBMARINE s")
+        assert stmt.tables[0].alias == "s"
+        assert stmt.tables[0].binding == "s"
+
+    def test_multiple_tables(self):
+        stmt = parse_select("SELECT A FROM T, U, V")
+        assert len(stmt.tables) == 3
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT A")
+
+
+class TestWhere:
+    def test_conjunction(self):
+        stmt = parse_select(
+            "SELECT A FROM T WHERE A = 1 AND B > 2 AND C < 3")
+        assert isinstance(stmt.where, And)
+        assert len(stmt.where.parts) == 3
+
+    def test_disjunction_precedence(self):
+        stmt = parse_select("SELECT A FROM T WHERE A = 1 OR B = 2 AND C = 3")
+        assert isinstance(stmt.where, Or)
+        assert isinstance(stmt.where.parts[1], And)
+
+    def test_not(self):
+        stmt = parse_select("SELECT A FROM T WHERE NOT A = 1")
+        assert isinstance(stmt.where, Not)
+
+    def test_between_desugars(self):
+        stmt = parse_select("SELECT A FROM T WHERE A BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, And)
+        assert stmt.where.parts[0].op == ">="
+        assert stmt.where.parts[1].op == "<="
+
+    def test_in_desugars(self):
+        stmt = parse_select("SELECT A FROM T WHERE A IN (1, 2, 3)")
+        assert isinstance(stmt.where, Or)
+        assert all(part.op == "=" for part in stmt.where.parts)
+
+    def test_string_literals_double_and_single(self):
+        stmt = parse_select("SELECT A FROM T WHERE B = \"x\" AND C = 'y'")
+        assert stmt.where.parts[0].right == Literal("x")
+        assert stmt.where.parts[1].right == Literal("y")
+
+    def test_not_equal_spellings(self):
+        for spelling in ("!=", "<>"):
+            stmt = parse_select(f"SELECT A FROM T WHERE B {spelling} 1")
+            assert stmt.where.op == "!="
+
+    def test_parenthesized_qualification(self):
+        stmt = parse_select(
+            "SELECT A FROM T WHERE (B = 1 OR C = 2) AND D = 3")
+        assert isinstance(stmt.where, And)
+
+
+class TestOrderBy:
+    def test_order_by(self):
+        stmt = parse_select("SELECT A FROM T ORDER BY A, B")
+        assert [k.render() for k in stmt.order_by] == ["A", "B"]
+
+    def test_order_by_asc_noise(self):
+        stmt = parse_select("SELECT A FROM T ORDER BY A ASC")
+        assert len(stmt.order_by) == 1
+
+
+class TestMisc:
+    def test_trailing_semicolon(self):
+        parse_select("SELECT A FROM T;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_select("SELECT A FROM T SELECT")
+
+    def test_case_insensitive_keywords(self):
+        parse_select("select a from t where b = 1 order by a")
+
+    def test_render_roundtrip(self):
+        text = ('SELECT DISTINCT T.A, U.B FROM T, U '
+                'WHERE T.K = U.K AND T.A > 5 ORDER BY T.A')
+        stmt = parse_select(text)
+        again = parse_select(stmt.render())
+        assert again.render() == stmt.render()

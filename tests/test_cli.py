@@ -1,0 +1,141 @@
+"""Unit tests for the interactive shell."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell, build_system
+from repro.relational.textio import dumps_database
+from repro.testbed import SHIP_SCHEMA_DDL, ship_database
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system()
+
+
+@pytest.fixture()
+def shell(system):
+    return Shell(system, out=io.StringIO())
+
+
+def output_of(shell):
+    return shell.out.getvalue()
+
+
+class TestCommands:
+    def test_tables(self, shell):
+        assert shell.handle("\\tables")
+        assert "SUBMARINE: 24 rows" in output_of(shell)
+
+    def test_rules(self, shell):
+        shell.handle("\\rules")
+        assert "then x isa SSBN" in output_of(shell)
+
+    def test_schema(self, shell):
+        shell.handle("\\schema")
+        assert "object type SUBMARINE" in output_of(shell)
+
+    def test_hierarchy(self, shell):
+        shell.handle("\\hierarchy class")
+        text = output_of(shell)
+        assert text.startswith("CLASS")
+        assert "SSBN" in text
+
+    def test_show(self, shell):
+        shell.handle("\\show TYPE")
+        assert "ballistic nuclear missile sub" in output_of(shell)
+
+    def test_quel(self, shell):
+        shell.handle("\\quel range of c is CLASS")
+        shell.handle("\\quel retrieve (count(c.Class))")
+        assert "13" in output_of(shell)
+
+    def test_lint(self, shell):
+        shell.handle("\\lint")
+        text = output_of(shell)
+        # The ship schema's INSTALL rules legitimately warn.
+        assert "cross-type-conclusion" in text or "clean" in text
+
+    def test_explain(self, shell):
+        shell.handle("\\explain SELECT Class FROM CLASS "
+                     "WHERE Displacement > 8000")
+        text = output_of(shell)
+        assert "R9 fires" in text
+        assert "is subsumed by premise" in text
+
+    def test_explain_usage(self, shell):
+        shell.handle("\\explain")
+        assert "usage" in output_of(shell)
+
+    def test_help(self, shell):
+        shell.handle("\\help")
+        assert "rules" in output_of(shell)
+
+    def test_unknown_command(self, shell):
+        shell.handle("\\frobnicate")
+        assert "unknown command" in output_of(shell)
+
+    def test_quit(self, shell):
+        assert shell.handle("\\quit") is False
+
+    def test_blank_line(self, shell):
+        assert shell.handle("   ")
+        assert output_of(shell) == ""
+
+
+class TestQueries:
+    def test_sql_query(self, shell):
+        shell.handle("SELECT Class FROM CLASS WHERE Displacement > 8000")
+        text = output_of(shell)
+        assert "Extensional answer" in text
+        assert "SSBN" in text
+
+    def test_sql_error_reported_not_raised(self, shell):
+        assert shell.handle("SELECT * FROM NOPE")
+        assert "error:" in output_of(shell)
+
+    def test_parse_error_reported(self, shell):
+        shell.handle("SELEKT nonsense")
+        assert "error:" in output_of(shell)
+
+
+class TestRepl:
+    def test_repl_session(self, system):
+        out = io.StringIO()
+        shell = Shell(system, out=out)
+        shell.repl(io.StringIO("\\tables\n\\quit\n"))
+        text = out.getvalue()
+        assert "intensional query shell" in text
+        assert "SUBMARINE: 24 rows" in text
+
+    def test_repl_eof_terminates(self, system):
+        shell = Shell(system, out=io.StringIO())
+        shell.repl(io.StringIO(""))  # no input -> clean exit
+
+
+class TestBuildSystem:
+    def test_default_is_ship_db(self, system):
+        assert "SUBMARINE" in system.database
+        assert len(system.rules) == 18
+
+    def test_from_dump_files(self, tmp_path):
+        db_file = tmp_path / "ships.txt"
+        db_file.write_text(dumps_database(ship_database()))
+        ker_file = tmp_path / "ships.ker"
+        ker_file.write_text(SHIP_SCHEMA_DDL)
+        system = build_system(str(db_file), str(ker_file))
+        assert len(system.rules) > 0
+        result = system.ask(
+            "SELECT Class FROM CLASS WHERE Displacement > 8000")
+        assert result.inference.forward_subtypes() == ["SSBN"]
+
+    def test_from_dump_without_schema(self, tmp_path):
+        db_file = tmp_path / "ships.txt"
+        db_file.write_text(dumps_database(ship_database()))
+        system = build_system(str(db_file))
+        assert len(system.rules) == 0
+
+    def test_nc_override(self):
+        system = build_system(n_c=1)
+        assert len(system.rules) > 18

@@ -1,0 +1,92 @@
+"""Cross-cutting tests: the exception hierarchy and date-typed columns
+flowing through the whole pipeline."""
+
+import datetime
+
+import pytest
+
+from repro import errors
+from repro.induction import InductionConfig, induce_scheme
+from repro.relational import Database, DATE, char
+from repro.rules import decode_rule_relations, encode_rule_relations
+from repro.rules.ruleset import RuleSet
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_base(self):
+        for name in ("SchemaError", "TypeMismatchError", "CatalogError",
+                     "ExpressionError", "ParseError", "QuelError",
+                     "SqlError", "KerError", "RuleError",
+                     "InductionError", "InferenceError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_type_mismatch_is_schema_error(self):
+        assert issubclass(errors.TypeMismatchError, errors.SchemaError)
+
+    def test_parse_error_carries_position(self):
+        error = errors.ParseError("bad token", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3, col 7" in str(error)
+
+    def test_parse_error_without_position(self):
+        error = errors.ParseError("bad token")
+        assert "line" not in str(error)
+
+    def test_one_base_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.QuelError("boom")
+
+
+class TestDatePipeline:
+    @pytest.fixture()
+    def db(self):
+        database = Database()
+        rows = [
+            (datetime.date(1960, 1, 1), "cold-war"),
+            (datetime.date(1965, 6, 1), "cold-war"),
+            (datetime.date(1975, 3, 1), "cold-war"),
+            (datetime.date(1995, 5, 1), "modern"),
+            (datetime.date(2001, 9, 1), "modern"),
+            (datetime.date(2010, 2, 1), "modern"),
+        ]
+        database.create("HULL", [("Laid", DATE), ("Era", char(10))],
+                        rows=rows)
+        return database
+
+    def test_induction_over_dates(self, db):
+        rules = induce_scheme(db.relation("HULL"), "Laid", "Era",
+                              InductionConfig(n_c=3))
+        spans = {rule.rhs.interval.low:
+                 (rule.lhs[0].interval.low, rule.lhs[0].interval.high)
+                 for rule in rules}
+        assert spans["cold-war"] == (datetime.date(1960, 1, 1),
+                                     datetime.date(1975, 3, 1))
+        assert spans["modern"] == (datetime.date(1995, 5, 1),
+                                   datetime.date(2010, 2, 1))
+
+    def test_date_rules_roundtrip_through_rule_relations(self, db):
+        rules = RuleSet(induce_scheme(db.relation("HULL"), "Laid", "Era",
+                                      InductionConfig(n_c=3)))
+        decoded = decode_rule_relations(encode_rule_relations(rules))
+        assert decoded.render() == rules.render()
+        assert isinstance(decoded[1].lhs[0].interval.low, datetime.date)
+
+    def test_date_inference(self, db):
+        from repro.inference import TypeInferenceEngine
+        from repro.rules.clause import Clause, Interval
+
+        rules = RuleSet(induce_scheme(db.relation("HULL"), "Laid", "Era",
+                                      InductionConfig(n_c=3)))
+        engine = TypeInferenceEngine(rules)
+        result = engine.infer([Clause(
+            rules[1].lhs[0].attribute,
+            Interval.closed(datetime.date(1962, 1, 1),
+                            datetime.date(1970, 1, 1)))])
+        facts = {ref.render(): interval
+                 for ref, interval, _s in result.facts.facts()}
+        assert facts["HULL.Era"].low == "cold-war"
+
+    def test_date_textio_roundtrip(self, db):
+        from repro.relational.textio import dumps_database, loads_database
+        loaded = loads_database(dumps_database(db))
+        assert loaded.relation("HULL") == db.relation("HULL")

@@ -1,0 +1,151 @@
+"""Unit tests for the test-bed databases and generators."""
+
+import pytest
+
+from repro.induction import InductionConfig, induce_scheme
+from repro.relational import algebra
+from repro.testbed import (
+    BATTLESHIP_CLASSES, battleship_database, battleship_table,
+    ship_database, synthetic_classified_database,
+)
+from repro.testbed.generators import (
+    scaled_ship_database, synthetic_star_database,
+)
+from repro.testbed.paper_rules import compare_with_paper, paper_rule_set
+
+
+class TestShipDatabase:
+    def test_cardinalities_match_appendix_c(self):
+        db = ship_database()
+        assert len(db.relation("SUBMARINE")) == 24
+        assert len(db.relation("CLASS")) == 13
+        assert len(db.relation("TYPE")) == 2
+        assert len(db.relation("SONAR")) == 8
+        assert len(db.relation("INSTALL")) == 24
+
+    def test_referential_integrity(self):
+        db = ship_database()
+        classes = set(db.relation("CLASS").column_values("Class"))
+        assert set(db.relation("SUBMARINE").column_values("Class")) <= (
+            classes)
+        ships = set(db.relation("SUBMARINE").column_values("Id"))
+        assert set(db.relation("INSTALL").column_values("Ship")) == ships
+        sonars = set(db.relation("SONAR").column_values("Sonar"))
+        assert set(db.relation("INSTALL").column_values("Sonar")) <= sonars
+
+    def test_fresh_copies_independent(self):
+        first = ship_database()
+        second = ship_database()
+        first.relation("CLASS").clear()
+        assert len(second.relation("CLASS")) == 13
+
+
+class TestPaperRules:
+    def test_seventeen_rules(self):
+        assert len(paper_rule_set()) == 17
+
+    def test_rules_sound_except_r14_quirk(self):
+        # The printed rules (as corrected) hold on the Appendix C data.
+        rules = paper_rule_set()
+        assert rules[10].render(isa_style=True).endswith("x isa BQQ")
+
+    def test_comparison_against_induced(self, ship_rules):
+        report = compare_with_paper(ship_rules)
+        assert report.exact == 15
+        assert report.implied == 1
+        assert report.missing == 1
+        assert len(report.extras) == 2
+
+    def test_comparison_render(self, ship_rules):
+        text = compare_with_paper(ship_rules).render()
+        assert "exact: 15/17" in text
+        assert "[x] R14" in text
+
+
+class TestBattleships:
+    def test_table_shape(self):
+        table = battleship_table()
+        assert len(table) == 12
+        assert table.schema.column_names() == [
+            "Category", "Type", "TypeName", "DisplacementLow",
+            "DisplacementHigh"]
+
+    def test_fleet_respects_ranges(self):
+        db = battleship_database(ships_per_type=10, seed=5)
+        ranges = {entry.type_code: (entry.displacement_low,
+                                    entry.displacement_high)
+                  for entry in BATTLESHIP_CLASSES}
+        ship = db.relation("SHIP")
+        for row in ship:
+            low, high = ranges[ship.value(row, "Type")]
+            assert low <= ship.value(row, "Displacement") <= high
+
+    def test_endpoints_included(self):
+        db = battleship_database(ships_per_type=5, seed=1)
+        grouped = algebra.group_by(
+            db.relation("SHIP"), ["Type"],
+            {"lo": ("min", "Displacement"), "hi": ("max", "Displacement")})
+        observed = {row[0]: (row[1], row[2]) for row in grouped}
+        for entry in BATTLESHIP_CLASSES:
+            assert observed[entry.type_code] == (
+                entry.displacement_low, entry.displacement_high)
+
+    def test_deterministic(self):
+        first = battleship_database(seed=7)
+        second = battleship_database(seed=7)
+        assert first.relation("SHIP") == second.relation("SHIP")
+
+    def test_induction_recovers_disjoint_ranges(self):
+        """Within the Subsurface category Table 1's ranges are disjoint,
+        so Displacement -> Type induction recovers them exactly."""
+        db = battleship_database(ships_per_type=15, seed=3)
+        subsurface = algebra.select_where(
+            db.relation("SHIP"), lambda r: r["Type"] in ("SSBN", "SSN"))
+        rules = induce_scheme(subsurface, "Displacement", "Type",
+                              InductionConfig(n_c=3))
+        spans = {rule.rhs.interval.low:
+                 (rule.lhs[0].interval.low, rule.lhs[0].interval.high)
+                 for rule in rules}
+        assert spans["SSBN"] == (7250, 16600)
+        assert spans["SSN"] == (1720, 6000)
+
+
+class TestGenerators:
+    def test_classified_bands_recoverable(self):
+        db = synthetic_classified_database(n_rows=500, n_classes=4, seed=2)
+        rules = induce_scheme(db.relation("ITEM"), "Value", "Label",
+                              InductionConfig(n_c=10))
+        labels = {rule.rhs.interval.low for rule in rules}
+        assert labels == {"L000", "L001", "L002", "L003"}
+        for rule in rules:
+            low = rule.lhs[0].interval.low
+            high = rule.lhs[0].interval.high
+            band = int(rule.rhs.interval.low[1:])
+            assert band * 100 <= low <= high < (band + 1) * 100
+
+    def test_noise_creates_inconsistencies(self):
+        clean = synthetic_classified_database(n_rows=400, seed=3)
+        noisy = synthetic_classified_database(n_rows=400, seed=3,
+                                              noise=0.3)
+        clean_rules = induce_scheme(clean.relation("ITEM"), "Value",
+                                    "Label", InductionConfig(n_c=5))
+        noisy_rules = induce_scheme(noisy.relation("ITEM"), "Value",
+                                    "Label", InductionConfig(n_c=5))
+        clean_support = sum(rule.support for rule in clean_rules)
+        noisy_support = sum(rule.support for rule in noisy_rules)
+        assert noisy_support < clean_support
+
+    def test_star_database_shapes(self):
+        db = synthetic_star_database(n_entities=100, n_groups=10, seed=1)
+        assert len(db.relation("GROUPS")) == 10
+        assert len(db.relation("ENTITY")) == 100
+
+    def test_scaled_ship_database(self):
+        db = scaled_ship_database(scale=3)
+        assert len(db.relation("SUBMARINE")) == 24 * 3
+        assert len(db.relation("INSTALL")) == 24 * 3
+        assert len(db.relation("CLASS")) == 13  # dimensions unchanged
+
+    def test_scaled_identity_at_one(self):
+        db = scaled_ship_database(scale=1)
+        assert len(db.relation("SUBMARINE")) == 24

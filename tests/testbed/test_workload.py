@@ -1,0 +1,59 @@
+"""Unit tests for the random query workload generator."""
+
+import pytest
+
+from repro.testbed.workload import (
+    GeneratedQuery, generate_workload, run_workload,
+)
+
+
+class TestGeneration:
+    def test_deterministic(self, ship_binding):
+        first = generate_workload(ship_binding, n_queries=10, seed=3)
+        second = generate_workload(ship_binding, n_queries=10, seed=3)
+        assert [q.sql for q in first] == [q.sql for q in second]
+
+    def test_seeds_differ(self, ship_binding):
+        first = generate_workload(ship_binding, n_queries=10, seed=3)
+        second = generate_workload(ship_binding, n_queries=10, seed=4)
+        assert [q.sql for q in first] != [q.sql for q in second]
+
+    def test_count(self, ship_binding):
+        assert len(generate_workload(ship_binding, n_queries=25)) == 25
+
+    def test_queries_parse_and_execute(self, ship_binding, ship_system):
+        for query in generate_workload(ship_binding, n_queries=40,
+                                       seed=9):
+            result = ship_system.ask(query.sql)  # must not raise
+            assert result.extensional is not None
+
+    def test_conditions_drawn_from_data(self, ship_binding, ship_system):
+        """Point queries on observed values always have a non-empty
+        extension (unless joined away)."""
+        queries = generate_workload(ship_binding, n_queries=40, seed=11,
+                                    join_probability=0.0)
+        for query in queries:
+            if query.kind == "point":
+                result = ship_system.ask(query.sql)
+                assert len(result.extensional) >= 1, query.sql
+
+    def test_kinds_covered(self, ship_binding):
+        kinds = {q.kind for q in generate_workload(
+            ship_binding, n_queries=60, seed=1)}
+        assert kinds == {"point", "lower", "upper", "range"}
+
+
+class TestRunWorkload:
+    def test_stats_shape(self, ship_binding, ship_system):
+        queries = generate_workload(ship_binding, n_queries=30, seed=7)
+        stats = run_workload(ship_system, queries)
+        assert stats.queries == 30
+        assert 0 <= stats.with_any <= 30
+        assert stats.with_forward <= stats.with_any
+        text = stats.render()
+        assert "with any answer" in text
+
+    def test_some_queries_answerable(self, ship_binding, ship_system):
+        queries = generate_workload(ship_binding, n_queries=60, seed=13)
+        stats = run_workload(ship_system, queries)
+        assert stats.with_any > 0
