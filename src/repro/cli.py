@@ -6,7 +6,9 @@ Usage::
     python -m repro.cli --db dump.txt --ker schema.ker
 
 Plain input is SQL and is answered extensionally *and* intensionally.
-Backslash commands inspect the system:
+``EXPLAIN SELECT ...`` prints the cost-based query plan (estimated vs.
+actual cardinalities, index choices, semantic rewrites) instead of the
+answer.  Backslash commands inspect the system:
 
 =================  ====================================================
 ``\\rules``         print the knowledge base (isa style)
@@ -60,11 +62,16 @@ class Shell:
         try:
             if line.startswith("\\"):
                 return self._command(line)
-            if line.split(None, 1)[0].lower() in ("insert", "delete",
-                                                  "update"):
+            first_word = line.split(None, 1)[0].lower()
+            if first_word in ("insert", "delete", "update"):
                 from repro.sql import execute_statement
                 count = execute_statement(self.system.database, line)
                 self.write(f"{count} rows affected")
+                return True
+            if first_word == "explain":
+                from repro.sql import execute_statement
+                self.write(execute_statement(self.system.database, line,
+                                             rules=self.system.rules))
                 return True
             result = self.system.ask(line)
             self.write(result.render())

@@ -1,0 +1,51 @@
+"""Cost-based query planning with rule-driven semantic optimization.
+
+Layers (bottom up):
+
+* :mod:`repro.plan.stats` -- per-relation statistics snapshots
+  (row counts, distinct counts, min/max, equi-width histograms), cached
+  and invalidated through ``Catalog.stats_version()``.
+* :mod:`repro.plan.plans` -- the plan-node hierarchy (scans, index
+  scans, filter, hash join, product, project) with SimpleDB-style cost
+  accessors next to execution.
+* :mod:`repro.plan.semantic` -- interval reasoning over the induced
+  rule base: contradiction proofs and range tightening.
+* :mod:`repro.plan.planner` -- puts it together: predicate pushdown,
+  access-path selection, greedy join ordering.
+* :mod:`repro.plan.explain` -- EXPLAIN rendering with estimated vs.
+  actual cardinalities.
+"""
+
+from repro.plan.explain import explain_select, render_plan
+from repro.plan.planner import PlannedQuery, plan_select
+from repro.plan.plans import (
+    EmptyPlan, FilterPlan, HashJoinPlan, IndexScanPlan, Plan, ProductPlan,
+    ProjectPlan, TableScanPlan,
+)
+from repro.plan.semantic import SemanticNote, SemanticResult, analyze
+from repro.plan.stats import (
+    ColumnStats, Histogram, StatisticsCatalog, TableStats, statistics,
+)
+
+__all__ = [
+    "ColumnStats",
+    "EmptyPlan",
+    "FilterPlan",
+    "HashJoinPlan",
+    "Histogram",
+    "IndexScanPlan",
+    "Plan",
+    "PlannedQuery",
+    "ProductPlan",
+    "ProjectPlan",
+    "SemanticNote",
+    "SemanticResult",
+    "StatisticsCatalog",
+    "TableScanPlan",
+    "TableStats",
+    "analyze",
+    "explain_select",
+    "plan_select",
+    "render_plan",
+    "statistics",
+]

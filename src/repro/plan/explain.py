@@ -1,0 +1,49 @@
+"""EXPLAIN rendering: the chosen plan tree with estimated vs. actual
+cardinalities, prefixed by any semantic rewrites the planner applied.
+
+``EXPLAIN SELECT ...`` both plans *and* runs the statement, so every
+line shows the cost model's estimate next to the true row count --
+the fastest way to spot a bad selectivity guess.
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.sql import ast
+from repro.plan.plans import Plan
+from repro.plan.planner import PlannedQuery, plan_select
+
+
+def _format_rows(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.1f}"
+
+
+def render_plan(plan: Plan, include_actual: bool = False) -> str:
+    """Indented one-line-per-node rendering of a plan tree."""
+    lines: list[str] = []
+
+    def walk(node: Plan, depth: int) -> None:
+        counts = f"est {_format_rows(node.records_output())} rows"
+        if include_actual and node.actual_rows is not None:
+            counts += f", actual {node.actual_rows}"
+        lines.append(f"{'  ' * depth}{node.label()}  ({counts})")
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(plan, 0)
+    return "\n".join(lines)
+
+
+def explain_select(database: Database, statement: ast.SelectStmt,
+                   rules: RuleSet | None = None,
+                   execute: bool = True,
+                   result_name: str = "result") -> str:
+    """Plan *statement*, optionally execute it, and render the tree."""
+    planned: PlannedQuery = plan_select(database, statement, rules=rules,
+                                        result_name=result_name)
+    if execute:
+        planned.execute()
+    return planned.render(include_actual=execute)

@@ -1,0 +1,366 @@
+"""Composable plan nodes for SELECT execution.
+
+In the SimpleDB exemplar's style, each relational-algebra operator has a
+Plan class exposing cost-model accessors (``records_output``,
+``distinct_values``, ``cost``) next to an ``execute`` that actually
+produces rows.  Unlike SimpleDB's scans, execution here is eager (the
+engine is in-memory): ``execute()`` returns the node's output as a list
+of *aligned per-binding row tuples* -- element ``i`` of an output tuple
+is the row contributed by ``bindings[i]`` -- which is exactly the
+intermediate shape the legacy executor's join pipeline used, so the
+shared projection code consumes either path's output unchanged.
+
+Every node remembers the actual output cardinality of its last
+``execute()`` in :attr:`Plan.actual_rows`; EXPLAIN renders estimated
+vs. actual side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.relational.relation import Relation
+from repro.rules.clause import Interval
+from repro.sql import ast
+from repro.sql.executor import Scope, project_statement
+
+#: Crossing this estimated-fraction threshold makes a range index scan
+#: not worth it compared to a straight filter over the table scan.
+INDEX_FRACTION_THRESHOLD = 0.75
+
+
+class Plan:
+    """Abstract plan node over a query :class:`Scope`."""
+
+    def __init__(self, scope: Scope, bindings: Sequence[str]):
+        self.scope = scope
+        self.bindings: tuple[str, ...] = tuple(bindings)
+        self.actual_rows: int | None = None
+
+    # -- cost model --------------------------------------------------------
+
+    def records_output(self) -> float:
+        """Estimated output cardinality."""
+        raise NotImplementedError
+
+    def cost(self) -> float:
+        """Estimated total rows touched computing this subtree."""
+        raise NotImplementedError
+
+    def distinct_values(self, binding: str, column: str) -> float:
+        """Estimated distinct values of ``binding.column`` in the
+        output (join-cardinality denominator)."""
+        raise NotImplementedError
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self) -> list[tuple]:
+        rows = self._rows()
+        self.actual_rows = len(rows)
+        return rows
+
+    def _rows(self) -> list[tuple]:
+        raise NotImplementedError
+
+    # -- rendering ---------------------------------------------------------
+
+    def children(self) -> tuple["Plan", ...]:
+        return ()
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.label()}>"
+
+
+class TableScanPlan(Plan):
+    """Full scan of one FROM binding."""
+
+    def __init__(self, scope: Scope, binding: str, stats):
+        super().__init__(scope, [binding])
+        self.binding = binding
+        self.relation = scope.relations[binding]
+        self.stats = stats
+
+    def records_output(self) -> float:
+        return float(self.stats.row_count)
+
+    def cost(self) -> float:
+        return float(self.stats.row_count)
+
+    def distinct_values(self, binding: str, column: str) -> float:
+        return float(self.stats.distinct_values(column))
+
+    def _rows(self) -> list[tuple]:
+        return [(row,) for row in self.relation.rows]
+
+    def label(self) -> str:
+        return (f"TableScan {self.relation.name}"
+                + (f" {self.binding}" if self.binding
+                   != self.relation.name.lower() else ""))
+
+
+class IndexScanPlan(Plan):
+    """Index access path for one binding: equality probes go through a
+    :class:`~repro.relational.indexes.HashIndex`, range probes through a
+    :class:`~repro.relational.indexes.SortedIndex` (both cached on the
+    database and version-checked)."""
+
+    def __init__(self, scope: Scope, binding: str, column: str,
+                 interval: Interval, stats):
+        super().__init__(scope, [binding])
+        self.binding = binding
+        self.relation = scope.relations[binding]
+        self.column = column
+        self.interval = interval
+        self.stats = stats
+        self.kind = "hash" if interval.is_point() else "sorted"
+
+    def records_output(self) -> float:
+        fraction = self.stats.selectivity(self.column, self.interval)
+        return self.stats.row_count * fraction
+
+    def cost(self) -> float:
+        # An index probe touches only its matches (build cost amortizes
+        # across the workload through the cache).
+        return self.records_output()
+
+    def distinct_values(self, binding: str, column: str) -> float:
+        if column.lower() == self.column.lower():
+            return 1.0 if self.interval.is_point() else max(
+                1.0, self.stats.distinct_values(column)
+                * self.stats.selectivity(self.column, self.interval))
+        return min(float(self.stats.distinct_values(column)),
+                   max(1.0, self.records_output()))
+
+    def _rows(self) -> list[tuple]:
+        cache = self.scope.database.indexes
+        if self.kind == "hash":
+            index = cache.hash_index(self.relation, self.column)
+            matches = index.lookup(self.interval.low)
+        else:
+            index = cache.sorted_index(self.relation, self.column)
+            matches = index.range(
+                self.interval.low, self.interval.high,
+                low_inclusive=not self.interval.low_open,
+                high_inclusive=not self.interval.high_open)
+        return [(row,) for row in matches]
+
+    def label(self) -> str:
+        return (f"IndexScan {self.relation.name} on {self.column} "
+                f"[{self.interval.render(self.column)}] ({self.kind})")
+
+
+class FilterPlan(Plan):
+    """Predicate evaluation over a child plan's output."""
+
+    def __init__(self, child: Plan, predicates: Sequence, selectivity: float):
+        super().__init__(child.scope, child.bindings)
+        self.child = child
+        self.predicates = list(predicates)
+        self.selectivity = selectivity
+
+    def records_output(self) -> float:
+        return self.child.records_output() * self.selectivity
+
+    def cost(self) -> float:
+        return self.child.cost() + self.child.records_output()
+
+    def distinct_values(self, binding: str, column: str) -> float:
+        return min(self.child.distinct_values(binding, column),
+                   max(1.0, self.records_output()))
+
+    def _rows(self) -> list[tuple]:
+        out = []
+        for rows in self.child.execute():
+            env = self.scope.environment(self.bindings, rows)
+            if all(predicate.evaluate(env)
+                   for predicate in self.predicates):
+                out.append(rows)
+        return out
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return ("Filter ["
+                + " and ".join(p.render() for p in self.predicates) + "]")
+
+
+class HashJoinPlan(Plan):
+    """Equi-join of two plans: hash the right input, probe from the
+    left.  ``edges`` are ``(left_binding, left_col, right_binding,
+    right_col)`` with sides already normalized."""
+
+    def __init__(self, left: Plan, right: Plan,
+                 edges: Sequence[tuple[str, str, str, str]]):
+        super().__init__(left.scope, tuple(left.bindings)
+                         + tuple(right.bindings))
+        self.left = left
+        self.right = right
+        self.edges = list(edges)
+
+    def records_output(self) -> float:
+        estimate = self.left.records_output() * self.right.records_output()
+        for left_bind, left_col, right_bind, right_col in self.edges:
+            denominator = max(
+                self.left.distinct_values(left_bind, left_col),
+                self.right.distinct_values(right_bind, right_col), 1.0)
+            estimate /= denominator
+        return estimate
+
+    def cost(self) -> float:
+        return (self.left.cost() + self.right.cost()
+                + self.left.records_output() + self.right.records_output()
+                + self.records_output())
+
+    def distinct_values(self, binding: str, column: str) -> float:
+        owner = self.left if binding in self.left.bindings else self.right
+        return min(owner.distinct_values(binding, column),
+                   max(1.0, self.records_output()))
+
+    def _key_positions(self):
+        left_keys, right_keys = [], []
+        for left_bind, left_col, right_bind, right_col in self.edges:
+            left_slot = self.left.bindings.index(left_bind)
+            left_pos = self.scope.relations[left_bind].schema.position(
+                left_col)
+            right_slot = self.right.bindings.index(right_bind)
+            right_pos = self.scope.relations[right_bind].schema.position(
+                right_col)
+            left_keys.append((left_slot, left_pos))
+            right_keys.append((right_slot, right_pos))
+        return left_keys, right_keys
+
+    def _rows(self) -> list[tuple]:
+        left_rows = self.left.execute()
+        right_rows = self.right.execute()
+        if not left_rows or not right_rows:
+            return []
+        left_keys, right_keys = self._key_positions()
+        buckets: dict[tuple, list[tuple]] = {}
+        for rows in right_rows:
+            key = tuple(rows[slot][pos] for slot, pos in right_keys)
+            if any(value is None for value in key):
+                continue
+            buckets.setdefault(key, []).append(rows)
+        out: list[tuple] = []
+        for rows in left_rows:
+            key = tuple(rows[slot][pos] for slot, pos in left_keys)
+            if any(value is None for value in key):
+                continue
+            for match in buckets.get(key, ()):
+                out.append(rows + match)
+        return out
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        keys = ", ".join(f"{lb}.{lc} = {rb}.{rc}"
+                         for lb, lc, rb, rc in self.edges)
+        return f"HashJoin [{keys}]"
+
+
+class ProductPlan(Plan):
+    """Cartesian product (no usable join edge)."""
+
+    def __init__(self, left: Plan, right: Plan):
+        super().__init__(left.scope, tuple(left.bindings)
+                         + tuple(right.bindings))
+        self.left = left
+        self.right = right
+
+    def records_output(self) -> float:
+        return self.left.records_output() * self.right.records_output()
+
+    def cost(self) -> float:
+        return (self.left.cost() + self.right.cost()
+                + self.records_output())
+
+    def distinct_values(self, binding: str, column: str) -> float:
+        owner = self.left if binding in self.left.bindings else self.right
+        return owner.distinct_values(binding, column)
+
+    def _rows(self) -> list[tuple]:
+        left_rows = self.left.execute()
+        right_rows = self.right.execute()
+        return [rows + other for rows in left_rows for other in right_rows]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "Product"
+
+
+class EmptyPlan(Plan):
+    """Semantic short-circuit: the planner proved no row can satisfy the
+    query, so nothing is scanned at all.  ``reason`` carries the
+    intensional explanation shown by EXPLAIN."""
+
+    def __init__(self, scope: Scope, bindings: Sequence[str], reason: str):
+        super().__init__(scope, bindings)
+        self.reason = reason
+
+    def records_output(self) -> float:
+        return 0.0
+
+    def cost(self) -> float:
+        return 0.0
+
+    def distinct_values(self, binding: str, column: str) -> float:
+        return 0.0
+
+    def _rows(self) -> list[tuple]:
+        return []
+
+    def label(self) -> str:
+        return f"Empty [{self.reason}]"
+
+
+class ProjectPlan(Plan):
+    """Root node: SELECT-list evaluation, grouping, ORDER BY, DISTINCT.
+
+    Delegates to the executor's shared projection so planned and legacy
+    execution produce identical relations.
+    """
+
+    def __init__(self, scope: Scope, statement: ast.SelectStmt,
+                 child: Plan, result_name: str = "result"):
+        super().__init__(scope, child.bindings)
+        self.statement = statement
+        self.child = child
+        self.result_name = result_name
+
+    def records_output(self) -> float:
+        return self.child.records_output()
+
+    def cost(self) -> float:
+        return self.child.cost() + self.child.records_output()
+
+    def distinct_values(self, binding: str, column: str) -> float:
+        return self.child.distinct_values(binding, column)
+
+    def execute_relation(self) -> Relation:
+        rows = self.child.execute()
+        result = project_statement(self.scope, self.statement,
+                                   self.child.bindings, rows,
+                                   self.result_name)
+        self.actual_rows = len(result)
+        return result
+
+    def _rows(self) -> list[tuple]:  # pragma: no cover - use execute_relation
+        raise NotImplementedError("ProjectPlan executes to a Relation")
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        if self.statement.star:
+            items = "*"
+        else:
+            items = ", ".join(item.render()
+                              for item in self.statement.items)
+        return f"Project [{items}]"

@@ -1,0 +1,219 @@
+"""Per-relation statistics for cost-based planning.
+
+The planner needs three things the executor never kept: row counts,
+per-column distinct-value counts (the classic join-cardinality
+denominator), and value distributions (min/max plus a small equi-width
+histogram for numeric columns) for range-selectivity estimates.
+
+Statistics are snapshots cached in a :class:`StatisticsCatalog`, one per
+:class:`~repro.relational.database.Database`.  Invalidation rides the
+catalog's single signal: while ``Catalog.stats_version()`` is unchanged,
+nothing in the database mutated and every cached snapshot is served
+as-is; once it moves, each snapshot is re-validated against its
+relation's identity and mutation version and recomputed only if that
+relation actually changed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.rules.clause import Interval
+
+#: Bucket count for equi-width histograms (small on purpose: statistics
+#: must stay cheap to rebuild after mutations).
+HISTOGRAM_BUCKETS = 16
+
+#: Fallback fraction for predicates statistics cannot estimate
+#: (SimpleDB uses a constant reduction factor in the same role).
+DEFAULT_SELECTIVITY = 1 / 3
+
+
+class Histogram:
+    """Equi-width histogram over a numeric column.
+
+    ``edges`` holds ``buckets + 1`` boundaries; ``counts[i]`` is the
+    number of values in ``[edges[i], edges[i+1])`` (last bucket closed).
+    """
+
+    __slots__ = ("edges", "counts", "total")
+
+    def __init__(self, edges: list[float], counts: list[int]):
+        self.edges = edges
+        self.counts = counts
+        self.total = sum(counts)
+
+    @classmethod
+    def build(cls, values: list[Any],
+              buckets: int = HISTOGRAM_BUCKETS) -> "Histogram | None":
+        numeric = [v for v in values if isinstance(v, (int, float))
+                   and not isinstance(v, bool)]
+        if len(numeric) != len(values) or not numeric:
+            return None
+        low, high = min(numeric), max(numeric)
+        if low == high:
+            return cls([float(low), float(high)], [len(numeric)])
+        width = (high - low) / buckets
+        counts = [0] * buckets
+        for value in numeric:
+            index = min(int((value - low) / width), buckets - 1)
+            counts[index] += 1
+        edges = [low + width * i for i in range(buckets)] + [float(high)]
+        return cls(edges, counts)
+
+    def fraction(self, interval: Interval) -> float:
+        """Estimated fraction of values falling inside *interval*,
+        by linear interpolation within buckets."""
+        if not self.total:
+            return 0.0
+        lo = self.edges[0] if interval.low is None else interval.low
+        hi = self.edges[-1] if interval.high is None else interval.high
+        if lo > self.edges[-1] or hi < self.edges[0]:
+            return 0.0
+        covered = 0.0
+        for i, count in enumerate(self.counts):
+            left, right = self.edges[i], self.edges[i + 1]
+            if right < lo or left > hi:
+                continue
+            if left >= lo and right <= hi:
+                covered += count
+                continue
+            span = right - left
+            if span <= 0:
+                covered += count
+                continue
+            overlap = min(right, hi) - max(left, lo)
+            covered += count * max(0.0, overlap) / span
+        return min(1.0, covered / self.total)
+
+
+class ColumnStats:
+    """Statistics for one column of one relation snapshot."""
+
+    __slots__ = ("name", "non_null", "nulls", "distinct", "min", "max",
+                 "histogram")
+
+    def __init__(self, name: str, values: list[Any]):
+        self.name = name
+        present = [v for v in values if v is not None]
+        self.non_null = len(present)
+        self.nulls = len(values) - len(present)
+        self.distinct = len(set(present))
+        try:
+            self.min = min(present) if present else None
+            self.max = max(present) if present else None
+        except TypeError:  # mixed, incomparable values
+            self.min = self.max = None
+        self.histogram = Histogram.build(present)
+
+    def selectivity(self, interval: Interval, row_count: int) -> float:
+        """Estimated fraction of the relation's rows whose column value
+        lies in *interval* (NULLs never match)."""
+        if row_count <= 0 or self.non_null == 0:
+            return 0.0
+        present = self.non_null / row_count
+        if interval.is_point():
+            if self.min is not None:
+                try:
+                    if (interval.low < self.min
+                            or interval.low > self.max):
+                        return 0.0
+                except TypeError:
+                    pass
+            return present / max(1, self.distinct)
+        if self.histogram is not None:
+            return present * self.histogram.fraction(interval)
+        if self.min is not None and self.max is not None:
+            try:
+                if ((interval.low is not None and interval.low > self.max)
+                        or (interval.high is not None
+                            and interval.high < self.min)):
+                    return 0.0
+            except TypeError:
+                pass
+        return present * DEFAULT_SELECTIVITY
+
+    def __repr__(self) -> str:
+        return (f"<ColumnStats {self.name}: {self.distinct} distinct, "
+                f"{self.nulls} null, range [{self.min!r}, {self.max!r}]>")
+
+
+class TableStats:
+    """Statistics snapshot for one relation."""
+
+    __slots__ = ("name", "row_count", "columns")
+
+    def __init__(self, relation: Relation):
+        self.name = relation.name
+        self.row_count = len(relation)
+        self.columns: dict[str, ColumnStats] = {}
+        for column in relation.schema.columns:
+            self.columns[column.key] = ColumnStats(
+                column.name, relation.column_values(column.name))
+
+    def column(self, name: str) -> ColumnStats:
+        return self.columns[name.lower()]
+
+    def distinct_values(self, column: str) -> int:
+        return max(1, self.column(column).distinct)
+
+    def selectivity(self, column: str, interval: Interval) -> float:
+        return self.column(column).selectivity(interval, self.row_count)
+
+    def __repr__(self) -> str:
+        return f"<TableStats {self.name}: {self.row_count} rows>"
+
+
+class _Entry:
+    __slots__ = ("relation", "relation_version", "catalog_version", "stats")
+
+    def __init__(self, relation: Relation, catalog_version: int,
+                 stats: TableStats):
+        self.relation = relation
+        self.relation_version = relation.version
+        self.catalog_version = catalog_version
+        self.stats = stats
+
+
+class StatisticsCatalog:
+    """Cached :class:`TableStats` per relation of one database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._entries: dict[str, _Entry] = {}
+        self.recomputes = 0  #: observability: snapshot (re)computations
+
+    def table_stats(self, name: str) -> TableStats:
+        relation = self.database.relation(name)
+        key = relation.name.lower()
+        catalog_version = self.database.catalog.stats_version()
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry.catalog_version == catalog_version:
+                return entry.stats  # nothing anywhere changed
+            if (entry.relation is relation
+                    and entry.relation_version == relation.version):
+                entry.catalog_version = catalog_version
+                return entry.stats  # something else changed, not this
+        stats = TableStats(relation)
+        self._entries[key] = _Entry(relation, catalog_version, stats)
+        self.recomputes += 1
+        return stats
+
+    def invalidate(self) -> None:
+        self._entries.clear()
+
+
+def statistics(database: Database) -> StatisticsCatalog:
+    """The database's statistics catalog, created on first use.
+
+    Kept on the Database instance so every planner invocation over the
+    same database shares one cache (and one invalidation signal).
+    """
+    catalog = getattr(database, "_statistics_catalog", None)
+    if catalog is None or catalog.database is not database:
+        catalog = StatisticsCatalog(database)
+        database._statistics_catalog = catalog
+    return catalog

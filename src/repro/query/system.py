@@ -128,10 +128,22 @@ class IntensionalQueryProcessor:
             backward: bool = True) -> QueryResult:
         """Answer *sql* extensionally and intensionally."""
         statement = parse_select(sql)
-        extensional = execute_select(self.database, statement)
+        extensional = execute_select(self.database, statement,
+                                     rules=self.rules)
         conditions = extract_conditions(self.database, statement)
         inference = self.engine.infer(
             conditions.clauses, equivalences=conditions.equivalences,
             forward=forward, backward=backward)
         return QueryResult(statement, extensional, inference,
                            conditions.unused)
+
+    def explain(self, sql: str) -> str:
+        """Plan, execute, and render the plan tree for a SELECT.
+
+        The induced rules feed the planner's semantic optimizer, so the
+        rendering shows rule-driven tightening and contradiction
+        short-circuits next to estimated vs. actual cardinalities.
+        """
+        from repro.plan.explain import explain_select
+        statement = parse_select(sql)
+        return explain_select(self.database, statement, rules=self.rules)

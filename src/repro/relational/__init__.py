@@ -37,6 +37,7 @@ from repro.relational.schema import Column, RelationSchema
 from repro.relational.relation import Relation
 from repro.relational.catalog import Catalog
 from repro.relational.database import Database
+from repro.relational.indexes import HashIndex, IndexCache, SortedIndex
 
 __all__ = [
     "CharType",
@@ -54,4 +55,7 @@ __all__ = [
     "Relation",
     "Catalog",
     "Database",
+    "HashIndex",
+    "IndexCache",
+    "SortedIndex",
 ]

@@ -4,6 +4,13 @@ INGRES kept system tables describing user relations; the reproduction
 keeps the same idea small: the catalog knows every relation by name and
 can enumerate them in creation order (rule relations are registered here
 alongside base data so knowledge "relocates with the database").
+
+The catalog is also the single invalidation signal for derived caches
+(statistics, secondary indexes): :meth:`Catalog.stats_version` is a
+monotonic counter bumped by ``register``/``drop`` *and* by mutations of
+any registered relation (wired through the relation mutation hooks), so
+a cache needs to remember one integer to know whether anything anywhere
+changed.
 """
 
 from __future__ import annotations
@@ -20,14 +27,44 @@ class Catalog:
     def __init__(self) -> None:
         self._relations: dict[str, Relation] = {}
         self._order: list[str] = []
+        self._stats_version = 0
+        #: key -> (relation, mutation-hook token), for detaching on drop.
+        self._hooks: dict[str, tuple[Relation, int]] = {}
+
+    # -- invalidation signal ----------------------------------------------
+
+    def stats_version(self) -> int:
+        """Monotonic counter covering DDL and DML on every registered
+        relation.  Equal values mean "nothing changed"; caches key their
+        snapshots on it."""
+        return self._stats_version
+
+    def _bump(self, _relation: Relation | None = None) -> None:
+        self._stats_version += 1
+
+    def _attach(self, key: str, relation: Relation) -> None:
+        token = relation.add_mutation_hook(self._bump)
+        self._hooks[key] = (relation, token)
+
+    def _detach(self, key: str) -> None:
+        entry = self._hooks.pop(key, None)
+        if entry is not None:
+            relation, token = entry
+            relation.remove_mutation_hook(token)
+
+    # -- namespace ---------------------------------------------------------
 
     def register(self, relation: Relation, replace: bool = False) -> Relation:
         key = relation.name.lower()
         if key in self._relations and not replace:
             raise CatalogError(f"relation {relation.name!r} already exists")
-        if key not in self._relations:
+        if key in self._relations:
+            self._detach(key)
+        else:
             self._order.append(key)
         self._relations[key] = relation
+        self._attach(key, relation)
+        self._bump()
         return relation
 
     def get(self, name: str) -> Relation:
@@ -42,8 +79,10 @@ class Catalog:
         key = name.lower()
         if key not in self._relations:
             raise CatalogError(f"no relation named {name!r}")
+        self._detach(key)
         del self._relations[key]
         self._order.remove(key)
+        self._bump()
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._relations

@@ -12,6 +12,7 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.relational import algebra
 from repro.relational.catalog import Catalog
 from repro.relational.expressions import Expression
+from repro.relational.indexes import IndexCache
 from repro.relational.relation import Relation
 from repro.relational.schema import Column, RelationSchema
 from repro.relational.datatypes import DataType
@@ -23,6 +24,9 @@ class Database:
     def __init__(self, name: str = "db"):
         self.name = name
         self.catalog = Catalog()
+        #: version-checked secondary-index cache shared by the query
+        #: planner and the executor's equality fast path.
+        self.indexes = IndexCache()
 
     # -- DDL ----------------------------------------------------------------
 

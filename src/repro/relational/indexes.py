@@ -8,9 +8,12 @@ probes rule sets by attribute.  Two index kinds cover those patterns:
 * :class:`SortedIndex` -- range probes ``low <= value <= high``, built on
   :mod:`bisect`.
 
-Indexes are snapshots: they index the rows present at construction time
-and are rebuilt by callers after mutation (the engine keeps no hidden
-index-maintenance machinery; relations stay plain values).
+Indexes are snapshots: they index the rows present at construction time.
+Each snapshot records the relation's mutation version so staleness is
+detectable (:attr:`HashIndex.is_stale`), and :class:`IndexCache` -- held
+by the :class:`~repro.relational.database.Database` facade and shared by
+the query planner and the legacy executor -- rebuilds stale snapshots
+transparently instead of serving them.
 """
 
 from __future__ import annotations
@@ -27,11 +30,17 @@ class HashIndex:
     def __init__(self, relation: Relation, column: str):
         self.relation = relation
         self.column = column
+        self.built_version = relation.version
         position = relation.schema.position(column)
         self._buckets: dict[Any, list[tuple]] = {}
         for row in relation:
             value = row[position]
             self._buckets.setdefault(value, []).append(row)
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether the relation mutated since this snapshot was built."""
+        return self.relation.version != self.built_version
 
     def lookup(self, value: Any) -> list[tuple]:
         """Rows whose indexed column equals *value*."""
@@ -56,6 +65,7 @@ class SortedIndex:
     def __init__(self, relation: Relation, column: str):
         self.relation = relation
         self.column = column
+        self.built_version = relation.version
         position = relation.schema.position(column)
         pairs = [(row[position], row) for row in relation
                  if row[position] is not None]
@@ -99,6 +109,11 @@ class SortedIndex:
             stop = bisect.bisect_left(self._keys, high)
         return max(0, stop - start)
 
+    @property
+    def is_stale(self) -> bool:
+        """Whether the relation mutated since this snapshot was built."""
+        return self.relation.version != self.built_version
+
     def min(self) -> Any:
         return self._keys[0] if self._keys else None
 
@@ -110,3 +125,45 @@ class SortedIndex:
 
     def __len__(self) -> int:
         return len(self._keys)
+
+
+class IndexCache:
+    """Version-checked cache of secondary indexes for one database.
+
+    Entries are keyed by (kind, relation name, column).  A cached index
+    is served only while it still refers to the *same* relation object
+    (drop/re-register swaps the object) and that relation has not
+    mutated since the snapshot was built; otherwise the index is rebuilt
+    on demand.  Amortized over a query workload this makes equality and
+    range probes O(result) instead of O(relation).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str, str], HashIndex | SortedIndex] = {}
+        self.rebuilds = 0  #: observability: how many (re)builds happened
+
+    def hash_index(self, relation: Relation, column: str) -> HashIndex:
+        """A fresh-enough :class:`HashIndex` on ``relation.column``."""
+        return self._get("hash", relation, column, HashIndex)
+
+    def sorted_index(self, relation: Relation, column: str) -> SortedIndex:
+        """A fresh-enough :class:`SortedIndex` on ``relation.column``."""
+        return self._get("sorted", relation, column, SortedIndex)
+
+    def _get(self, kind: str, relation: Relation, column: str, factory):
+        key = (kind, relation.name.lower(), column.lower())
+        entry = self._entries.get(key)
+        if (entry is not None and entry.relation is relation
+                and not entry.is_stale):
+            return entry
+        entry = factory(relation, column)
+        self._entries[key] = entry
+        self.rebuilds += 1
+        return entry
+
+    def invalidate(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+

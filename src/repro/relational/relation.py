@@ -40,6 +40,9 @@ class Relation:
             self._rows: list[tuple] = [tuple(row) for row in rows]
         else:
             self._rows = [schema.check_row(row) for row in rows]
+        self._version = 0
+        self._mutation_hooks: dict[int, Callable[["Relation"], None]] = {}
+        self._next_hook_token = 1
 
     # -- construction ----------------------------------------------------
 
@@ -127,23 +130,53 @@ class Relation:
 
     # -- mutation (used by the Database facade and QUEL delete/append) ----
 
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation.
+
+        Snapshot consumers (indexes, statistics) record the version they
+        were built against and compare it against the live value instead
+        of silently serving stale data.
+        """
+        return self._version
+
+    def add_mutation_hook(self, hook: Callable[["Relation"], None]) -> int:
+        """Register *hook* to run after every mutation; returns a token
+        for :meth:`remove_mutation_hook`.  The catalog uses this to fold
+        relation mutations into its single ``stats_version`` signal."""
+        token = self._next_hook_token
+        self._next_hook_token += 1
+        self._mutation_hooks[token] = hook
+        return token
+
+    def remove_mutation_hook(self, token: int) -> None:
+        self._mutation_hooks.pop(token, None)
+
+    def _touch(self) -> None:
+        self._version += 1
+        for hook in list(self._mutation_hooks.values()):
+            hook(self)
+
     def insert(self, values: Sequence[Any]) -> tuple:
         row = self.schema.check_row(values)
         self._rows.append(row)
+        self._touch()
         return row
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
-        count = 0
-        for values in rows:
-            self.insert(values)
-            count += 1
-        return count
+        checked = [self.schema.check_row(values) for values in rows]
+        self._rows.extend(checked)
+        if checked:
+            self._touch()
+        return len(checked)
 
     def delete_where(self, predicate: Callable[[tuple], bool]) -> int:
         """Delete rows satisfying *predicate*; return the count deleted."""
         kept = [row for row in self._rows if not predicate(row)]
         deleted = len(self._rows) - len(kept)
         self._rows[:] = kept
+        if deleted:
+            self._touch()
         return deleted
 
     def replace_where(self, predicate: Callable[[tuple], bool],
@@ -156,10 +189,15 @@ class Relation:
             if predicate(row):
                 self._rows[index] = self.schema.check_row(updater(row))
                 updated += 1
+        if updated:
+            self._touch()
         return updated
 
     def clear(self) -> None:
+        had_rows = bool(self._rows)
         self._rows.clear()
+        if had_rows:
+            self._touch()
 
     # -- derived relations --------------------------------------------------
 

@@ -17,7 +17,7 @@ comparisons] [ORDER BY cols]``, table aliases, ``*``, ``AS`` aliases.
 
 from repro.sql.parser import parse_select, parse_statement
 from repro.sql.executor import (
-    execute_select, execute_sql, execute_statement,
+    execute_select, execute_select_legacy, execute_sql, execute_statement,
 )
 from repro.sql import ast
 
@@ -26,6 +26,7 @@ __all__ = [
     "parse_statement",
     "execute_sql",
     "execute_select",
+    "execute_select_legacy",
     "execute_statement",
     "ast",
 ]

@@ -162,6 +162,20 @@ class UpdateStmt:
         return f"<UpdateStmt {self.render()!r}>"
 
 
+class ExplainStmt:
+    """``EXPLAIN SELECT ...``: plan, execute, and show the plan tree
+    with estimated vs. actual cardinalities."""
+
+    def __init__(self, select: "SelectStmt"):
+        self.select = select
+
+    def render(self) -> str:
+        return f"EXPLAIN {self.select.render()}"
+
+    def __repr__(self) -> str:
+        return f"<ExplainStmt {self.render()!r}>"
+
+
 class SelectStmt:
     """A parsed SELECT statement."""
 

@@ -1,27 +1,38 @@
-"""Executor (with a small planner) for the SQL SELECT subset.
+"""Executor for the SQL SELECT subset.
 
-Planning is deliberately simple but not naive: WHERE conjuncts are
-classified into per-table filters (pushed down before joining),
-equi-join edges (executed as hash joins in connectivity order), and
-residual predicates (evaluated on the joined rows).  This keeps the
-paper's three-way join examples instant and the synthetic benchmark
-databases tractable.
+SELECT statements are normally routed through the cost-based query
+planner (:mod:`repro.plan`), which consults per-relation statistics,
+picks index access paths, orders joins by estimated cardinality, and
+applies rule-driven semantic optimization.  The original heuristic
+pipeline is kept as the *legacy* path (``use_planner=False`` or
+:data:`USE_PLANNER`): WHERE conjuncts are classified into per-table
+filters (pushed down before joining, with a hash-index fast path for
+equality filters), equi-join edges (executed as hash joins in
+connectivity order), and residual predicates (evaluated on the joined
+rows).  The two paths share the scope, conjunct-classification, and
+projection machinery below, so they are cross-checkable row for row.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 from repro.errors import SqlError
 from repro.relational.database import Database
 from repro.relational.datatypes import infer_type, INTEGER, REAL
 from repro.relational.expressions import (
-    ColumnRef, Comparison, Environment, Expression, conjuncts,
+    ColumnRef, Comparison, Environment, Expression, Literal, conjuncts,
 )
 from repro.relational.relation import Relation
 from repro.relational.schema import Column, RelationSchema
 from repro.sql import ast
 from repro.sql.parser import parse_select
+
+#: Default SELECT execution path.  ``True`` routes through the
+#: cost-based planner in :mod:`repro.plan`; ``False`` restores the
+#: legacy heuristic executor.  Either way the per-call
+#: ``use_planner=`` argument wins.
+USE_PLANNER = True
 
 
 def execute_sql(database: Database, text: str,
@@ -32,14 +43,19 @@ def execute_sql(database: Database, text: str,
 
 
 def execute_statement(database: Database, text: str,
-                      result_name: str = "result") -> Relation | int:
+                      result_name: str = "result",
+                      rules=None) -> Relation | int | str:
     """Parse and execute any supported statement.
 
     SELECT returns a :class:`Relation`; INSERT/DELETE/UPDATE return the
-    affected row count.
+    affected row count; ``EXPLAIN SELECT ...`` returns the rendered plan
+    tree as a string (pass *rules* to enable semantic optimization).
     """
     from repro.sql.parser import parse_statement
     statement = parse_statement(text)
+    if isinstance(statement, ast.ExplainStmt):
+        from repro.plan.explain import explain_select
+        return explain_select(database, statement.select, rules=rules)
     if isinstance(statement, ast.SelectStmt):
         return execute_select(database, statement,
                               result_name=result_name)
@@ -125,19 +141,40 @@ def _execute_update(database: Database, statement: ast.UpdateStmt) -> int:
 
 
 def execute_select(database: Database, statement: ast.SelectStmt,
-                   result_name: str = "result") -> Relation:
-    """Execute a parsed SELECT statement."""
-    scope = _Scope(database, statement.tables)
+                   result_name: str = "result",
+                   use_planner: bool | None = None,
+                   rules=None) -> Relation:
+    """Execute a parsed SELECT statement.
+
+    With ``use_planner`` unset, :data:`USE_PLANNER` decides the path.
+    *rules* (a :class:`~repro.rules.ruleset.RuleSet`) enables the
+    planner's semantic optimization; the legacy path ignores it.
+    """
+    if use_planner is None:
+        use_planner = USE_PLANNER
+    if use_planner:
+        from repro.plan.planner import plan_select
+        return plan_select(database, statement, rules=rules,
+                           result_name=result_name).execute()
+    return execute_select_legacy(database, statement, result_name)
+
+
+def execute_select_legacy(database: Database, statement: ast.SelectStmt,
+                          result_name: str = "result") -> Relation:
+    """The pre-planner heuristic pipeline (kept for cross-checking)."""
+    scope = Scope(database, statement.tables)
     combined = _join(scope, statement.where)
-    return _project(scope, statement, combined, result_name)
+    return project_statement(scope, statement, combined.bindings,
+                             combined.rows, result_name)
 
 
-class _Scope:
+class Scope:
     """FROM-clause bindings: qualifier -> relation."""
 
     def __init__(self, database: Database, tables: Sequence[ast.TableRef]):
         if not tables:
             raise SqlError("FROM clause must name at least one relation")
+        self.database = database
         self.bindings: list[str] = []
         self.relations: dict[str, Relation] = {}
         for table in tables:
@@ -176,10 +213,20 @@ class _Scope:
         return env
 
 
-def _join(scope: _Scope, where: Expression | None) -> "_Combined":
-    """Join every FROM binding, using classified WHERE conjuncts."""
+class ConjunctClasses(NamedTuple):
+    """WHERE conjuncts classified for planning/execution."""
+
+    filters: dict[str, list[Expression]]  # binding -> pushed-down filters
+    edges: list[tuple[str, str, str, str]]  # (bind_a, col_a, bind_b, col_b)
+    residual: list[Expression]  # multi-binding, non-equi-join
+
+
+def classify_conjuncts(scope: Scope,
+                       where: Expression | None) -> ConjunctClasses:
+    """Classify WHERE conjuncts into per-binding filters, equi-join
+    edges, and residual predicates (shared by both executor paths)."""
     filters: dict[str, list[Expression]] = {b: [] for b in scope.bindings}
-    edges: list[tuple[str, str, str, str]] = []  # (bind_a, col_a, bind_b, col_b)
+    edges: list[tuple[str, str, str, str]] = []
     residual: list[Expression] = []
 
     for conjunct in conjuncts(where):
@@ -198,16 +245,57 @@ def _join(scope: _Scope, where: Expression | None) -> "_Combined":
                           bind_b, conjunct.right.column))
             continue
         residual.append(conjunct)
+    return ConjunctClasses(filters, edges, residual)
+
+
+def equality_probe(conjunct: Expression) -> tuple[str, object] | None:
+    """``(column, value)`` when *conjunct* is ``column = literal`` (either
+    operand order), else ``None``.  NULL literals never match anything
+    under comparison semantics, so they are not probes."""
+    if not (isinstance(conjunct, Comparison) and conjunct.op == "="):
+        return None
+    if (isinstance(conjunct.left, Literal)
+            and isinstance(conjunct.right, ColumnRef)):
+        conjunct = conjunct.flipped()
+    if (isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, Literal)
+            and conjunct.right.value is not None):
+        return conjunct.left.column, conjunct.right.value
+    return None
+
+
+def _filtered_rows(scope: Scope, binding: str,
+                   predicates: list[Expression]) -> list[tuple]:
+    """Pushed-down filters for one binding, probing a cached
+    :class:`HashIndex` for the first ``column = literal`` conjunct
+    instead of scanning the whole relation."""
+    relation = scope.relations[binding]
+    rows: Sequence[tuple] = relation.rows
+    remaining = list(predicates)
+    for conjunct in remaining:
+        probe = equality_probe(conjunct)
+        if probe is not None:
+            column, value = probe
+            index = scope.database.indexes.hash_index(relation, column)
+            rows = index.lookup(value)
+            remaining.remove(conjunct)
+            break
+    for predicate in remaining:
+        rows = [row for row in rows if predicate.evaluate(
+            _single_env(scope, binding, row))]
+    return list(rows)
+
+
+def _join(scope: Scope, where: Expression | None) -> "_Combined":
+    """Join every FROM binding, using classified WHERE conjuncts."""
+    filters, edges, residual = classify_conjuncts(scope, where)
+    residual = list(residual)
 
     # Pre-filter each relation.
     filtered: dict[str, list[tuple]] = {}
     for binding in scope.bindings:
-        relation = scope.relations[binding]
-        rows = relation.rows
-        for predicate in filters[binding]:
-            rows = [row for row in rows if predicate.evaluate(
-                _single_env(scope, binding, row))]
-        filtered[binding] = list(rows)
+        filtered[binding] = _filtered_rows(scope, binding,
+                                           filters[binding])
 
     combined = _Combined(scope, [scope.bindings[0]],
                          [(row,) for row in filtered[scope.bindings[0]]])
@@ -251,7 +339,7 @@ def _edge_connects(edge: tuple[str, str, str, str],
             or (bind_b in joined and bind_a == candidate))
 
 
-def _single_env(scope: _Scope, binding: str, row: tuple) -> Environment:
+def _single_env(scope: Scope, binding: str, row: tuple) -> Environment:
     env = Environment()
     env.bind(binding, scope.relations[binding].schema, row)
     env.bind("", scope.relations[binding].schema, row)
@@ -261,7 +349,7 @@ def _single_env(scope: _Scope, binding: str, row: tuple) -> Environment:
 class _Combined:
     """Intermediate join state: per-binding row tuples, aligned."""
 
-    def __init__(self, scope: _Scope, bindings: list[str],
+    def __init__(self, scope: Scope, bindings: list[str],
                  rows: list[tuple]):
         self.scope = scope
         self.bindings = bindings
@@ -303,13 +391,29 @@ class _Combined:
         return _Combined(self.scope, self.bindings + [binding], out)
 
 
-def _project(scope: _Scope, statement: ast.SelectStmt,
-             combined: _Combined, result_name: str) -> Relation:
+def project_statement(scope: Scope, statement: ast.SelectStmt,
+                      bindings: Sequence[str], rows: Sequence[tuple],
+                      result_name: str) -> Relation:
+    """Evaluate the SELECT list (plain or aggregated), ORDER BY and
+    DISTINCT over joined *rows* (aligned per-binding row tuples).
+
+    Shared by the legacy executor and the planner's ProjectPlan so both
+    paths produce byte-identical relations.
+    """
     if statement.has_aggregates() or statement.group_by:
-        return _project_grouped(scope, statement, combined, result_name)
+        return _project_grouped(scope, statement, bindings, rows,
+                                result_name)
+    return _project(scope, statement, bindings, rows, result_name)
+
+
+def _project(scope: Scope, statement: ast.SelectStmt,
+             bindings: Sequence[str], input_rows: Sequence[tuple],
+             result_name: str) -> Relation:
     if statement.star:
+        # Expand in FROM order (scope.bindings), not join order: the
+        # planner may reorder joins, but * output columns must not move.
         items = []
-        for binding in combined.bindings:
+        for binding in scope.bindings:
             relation = scope.relations[binding]
             for column in relation.schema.columns:
                 items.append(ast.SelectItem(
@@ -329,8 +433,8 @@ def _project(scope: _Scope, statement: ast.SelectStmt,
     names = _output_names(items)
     rows: list[tuple] = []
     sort_values: list[tuple] = []
-    for row_group in combined.rows:
-        env = scope.environment(combined.bindings, row_group)
+    for row_group in input_rows:
+        env = scope.environment(bindings, row_group)
         rows.append(tuple(item.expression.evaluate(env) for item in items))
         if statement.order_by:
             sort_values.append(tuple(
@@ -363,8 +467,9 @@ def _project(scope: _Scope, statement: ast.SelectStmt,
     return result
 
 
-def _project_grouped(scope: _Scope, statement: ast.SelectStmt,
-                     combined: _Combined, result_name: str) -> Relation:
+def _project_grouped(scope: Scope, statement: ast.SelectStmt,
+                     bindings: Sequence[str], input_rows: Sequence[tuple],
+                     result_name: str) -> Relation:
     """Aggregate projection, with optional GROUP BY.
 
     Non-aggregate select items must appear in the GROUP BY list
@@ -394,8 +499,8 @@ def _project_grouped(scope: _Scope, statement: ast.SelectStmt,
 
     groups: dict[tuple, list[tuple]] = {}
     order: list[tuple] = []
-    for row_group in combined.rows:
-        env = scope.environment(combined.bindings, row_group)
+    for row_group in input_rows:
+        env = scope.environment(bindings, row_group)
         key = tuple(e.evaluate(env) for e in group_exprs)
         if key not in groups:
             groups[key] = []
@@ -411,7 +516,7 @@ def _project_grouped(scope: _Scope, statement: ast.SelectStmt,
         members = groups[key]
         out: list = []
         representative = members[0] if members else None
-        env = (scope.environment(combined.bindings, representative)
+        env = (scope.environment(bindings, representative)
                if representative is not None else None)
         for item in statement.items:
             if not item.is_aggregate():
@@ -423,8 +528,7 @@ def _project_grouped(scope: _Scope, statement: ast.SelectStmt,
                 continue
             values = []
             for row_group in members:
-                member_env = scope.environment(combined.bindings,
-                                               row_group)
+                member_env = scope.environment(bindings, row_group)
                 values.append(call.operand.evaluate(member_env))
             out.append(_fold_sql_aggregate(call, values))
         rows.append(tuple(out))
@@ -432,8 +536,7 @@ def _project_grouped(scope: _Scope, statement: ast.SelectStmt,
     if statement.order_by:
         def sort_key(pair):
             key, _row = pair
-            env = (scope.environment(combined.bindings,
-                                     groups[key][0])
+            env = (scope.environment(bindings, groups[key][0])
                    if groups[key] else None)
             values = []
             for expression in statement.order_by:

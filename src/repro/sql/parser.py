@@ -26,6 +26,7 @@ _KEYWORDS = {
     "order", "by", "asc", "desc", "between", "in", "group",
     "count", "min", "max", "sum", "avg",
     "insert", "into", "values", "delete", "update", "set", "null", "is",
+    "explain",
 }
 
 _COMPARISON_TOKENS = {"=": "=", "!=": "!=", "<>": "!=", "<": "<",
@@ -43,11 +44,14 @@ def parse_select(text: str) -> ast.SelectStmt:
 
 def parse_statement(text: str
                     ) -> "ast.SelectStmt | ast.InsertStmt | " \
-                         "ast.DeleteStmt | ast.UpdateStmt":
-    """Parse one SQL statement: SELECT, INSERT, DELETE or UPDATE."""
+                         "ast.DeleteStmt | ast.UpdateStmt | ast.ExplainStmt":
+    """Parse one SQL statement: SELECT, INSERT, DELETE, UPDATE, or
+    EXPLAIN SELECT."""
     stream = TokenStream(_SCANNER.scan(text))
     if stream.at_keyword("select"):
         statement = _select(stream)
+    elif stream.accept_keyword("explain"):
+        statement = ast.ExplainStmt(_select(stream))
     elif stream.at_keyword("insert"):
         statement = _insert(stream)
     elif stream.at_keyword("delete"):
@@ -55,7 +59,7 @@ def parse_statement(text: str
     elif stream.at_keyword("update"):
         statement = _update(stream)
     else:
-        stream.fail("expected SELECT, INSERT, DELETE or UPDATE")
+        stream.fail("expected SELECT, EXPLAIN, INSERT, DELETE or UPDATE")
         raise AssertionError("unreachable")
     stream.accept_op(";")
     if not stream.at_end():

@@ -1,0 +1,71 @@
+"""EXPLAIN wiring tests: parser, executor dispatch, system, and CLI."""
+
+import io
+
+from repro.cli import Shell
+from repro.plan.explain import explain_select, render_plan
+from repro.plan.planner import plan_select
+from repro.query import IntensionalQueryProcessor
+from repro.sql import ast, execute_statement, parse_statement
+from repro.sql.parser import parse_select
+
+
+class TestParser:
+    def test_explain_select_parses(self):
+        statement = parse_statement("EXPLAIN SELECT * FROM CLASS")
+        assert isinstance(statement, ast.ExplainStmt)
+        assert isinstance(statement.select, ast.SelectStmt)
+
+    def test_render_round_trip(self):
+        statement = parse_statement("explain select Name from SUBMARINE")
+        assert statement.render() == "EXPLAIN SELECT Name FROM SUBMARINE"
+
+
+class TestRenderPlan:
+    def test_estimated_and_actual(self, ship_db):
+        planned = plan_select(
+            ship_db,
+            parse_select("SELECT * FROM CLASS WHERE Displacement > 8000"))
+        before = render_plan(planned.plan, include_actual=True)
+        assert "actual" not in before
+        planned.execute()
+        after = render_plan(planned.plan, include_actual=True)
+        assert "est" in after and "actual" in after
+
+    def test_tree_is_indented(self, ship_db):
+        text = explain_select(
+            ship_db,
+            parse_select("SELECT * FROM SUBMARINE, CLASS "
+                         "WHERE SUBMARINE.Class = CLASS.Class"))
+        lines = text.splitlines()
+        assert lines[0].startswith("Project")
+        assert any(line.startswith("  ") for line in lines[1:])
+
+
+class TestStatementDispatch:
+    def test_execute_statement_returns_string(self, ship_db):
+        text = execute_statement(
+            ship_db, "EXPLAIN SELECT * FROM CLASS WHERE Displacement > 8000")
+        assert isinstance(text, str)
+        assert "IndexScan" in text
+        assert "actual" in text
+
+
+class TestSystemAndShell:
+    def test_system_explain_uses_rules(self, ship_db, ship_rules):
+        system = IntensionalQueryProcessor(ship_db, ship_rules)
+        text = system.explain(
+            "SELECT * FROM CLASS WHERE Displacement >= 8000 "
+            "AND Displacement <= 20000 AND Type = 'SSN'")
+        assert "semantic:" in text
+        assert "Empty" in text
+
+    def test_shell_explain_input(self, ship_db, ship_rules):
+        out = io.StringIO()
+        shell = Shell(IntensionalQueryProcessor(ship_db, ship_rules),
+                      out=out)
+        assert shell.handle(
+            "EXPLAIN SELECT Name FROM SUBMARINE WHERE Class = '0103'")
+        text = out.getvalue()
+        assert "Project" in text
+        assert "IndexScan" in text

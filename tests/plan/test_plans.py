@@ -1,0 +1,94 @@
+"""Unit tests for plan nodes: cost accessors and execution."""
+
+import pytest
+
+from repro.plan.plans import (
+    EmptyPlan, FilterPlan, HashJoinPlan, ProductPlan, TableScanPlan,
+)
+from repro.plan.stats import statistics
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+from repro.sql.ast import TableRef
+from repro.sql.executor import Scope
+
+
+@pytest.fixture()
+def scope(ship_db):
+    return Scope(ship_db, (TableRef("SUBMARINE"), TableRef("CLASS")))
+
+
+def scan(scope, binding):
+    stats = statistics(scope.database).table_stats(
+        scope.relations[binding].name)
+    return TableScanPlan(scope, binding, stats)
+
+
+class TestTableScanPlan:
+    def test_cardinality_and_rows(self, scope):
+        plan = scan(scope, "submarine")
+        assert plan.records_output() == 24.0
+        rows = plan.execute()
+        assert len(rows) == 24
+        assert plan.actual_rows == 24
+        assert all(len(group) == 1 for group in rows)
+
+    def test_distinct_values(self, scope):
+        plan = scan(scope, "class")
+        assert plan.distinct_values("class", "Class") == 13.0
+
+
+class TestFilterPlan:
+    def test_filters_and_estimates(self, scope):
+        child = scan(scope, "class")
+        predicate = Comparison(">", ColumnRef("Displacement", "class"),
+                               Literal(8000))
+        plan = FilterPlan(child, [predicate], 0.25)
+        assert plan.records_output() == pytest.approx(13 * 0.25)
+        rows = plan.execute()
+        assert all(group[0][3] > 8000 for group in rows)
+        assert plan.actual_rows == len(rows)
+
+
+class TestHashJoinPlan:
+    def test_join_matches_nested_loop(self, scope):
+        left = scan(scope, "class")
+        right = scan(scope, "submarine")
+        plan = HashJoinPlan(left, right,
+                            [("class", "Class", "submarine", "Class")])
+        rows = plan.execute()
+        expected = [(c, s)
+                    for c in scope.relations["class"].rows
+                    for s in scope.relations["submarine"].rows
+                    if c[0] is not None and c[0] == s[2]]
+        assert sorted(rows) == sorted(expected)
+        assert plan.bindings == ("class", "submarine")
+
+    def test_estimate_uses_distinct_denominator(self, scope):
+        left = scan(scope, "class")
+        right = scan(scope, "submarine")
+        plan = HashJoinPlan(left, right,
+                            [("class", "Class", "submarine", "Class")])
+        denominator = max(left.distinct_values("class", "Class"),
+                          right.distinct_values("submarine", "Class"))
+        assert plan.records_output() == pytest.approx(
+            24 * 13 / denominator)
+
+    def test_null_keys_never_join(self, scope):
+        left = scan(scope, "class")
+        right = scan(scope, "submarine")
+        scope.relations["class"].insert((None, "ghost", "SSN", 1000))
+        plan = HashJoinPlan(left, right,
+                            [("class", "Class", "submarine", "Class")])
+        assert all(group[0][0] is not None for group in plan.execute())
+
+
+class TestProductAndEmpty:
+    def test_product(self, scope):
+        plan = ProductPlan(scan(scope, "submarine"), scan(scope, "class"))
+        assert plan.records_output() == 24 * 13
+        assert len(plan.execute()) == 24 * 13
+
+    def test_empty(self, scope):
+        plan = EmptyPlan(scope, scope.bindings, "proven empty")
+        assert plan.records_output() == 0.0
+        assert plan.execute() == []
+        assert "proven empty" in plan.label()

@@ -1,0 +1,92 @@
+"""Unit tests for rule-driven semantic analysis (contradiction proofs
+and interval tightening)."""
+
+from repro.plan.semantic import analyze
+from repro.rules.clause import AttributeRef, Clause, Interval
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+
+def make_rules():
+    """One rule shaped like the paper's R9:
+    if 7250 <= CLASS.Displacement <= 30000 then CLASS.Type = SSBN."""
+    rule = Rule(
+        [Clause(AttributeRef("CLASS", "Displacement"),
+                Interval.closed(7250, 30000))],
+        Clause(AttributeRef("CLASS", "Type"), Interval.point("SSBN")))
+    return RuleSet([rule])
+
+
+class TestAnalyze:
+    def test_no_rules_passthrough(self):
+        intervals = {"displacement": Interval.at_least(8000)}
+        result = analyze("CLASS", intervals, None)
+        assert result.intervals == intervals
+        assert result.contradiction is None
+        assert result.notes == []
+
+    def test_rule_fires_only_when_premise_implied(self):
+        # (-inf, 8000) is not contained in [7250, 30000]: no rewrite.
+        result = analyze(
+            "CLASS",
+            {"displacement": Interval.at_most(8000, strict=True),
+             "type": Interval.point("SSN")},
+            make_rules())
+        assert result.contradiction is None
+        assert result.notes == []
+
+    def test_contradiction(self):
+        result = analyze(
+            "CLASS",
+            {"displacement": Interval.closed(8000, 20000),
+             "type": Interval.point("SSN")},
+            make_rules())
+        assert result.contradiction is not None
+        assert "SSBN" in result.contradiction
+        assert "R1" in result.contradiction
+        assert result.notes[-1].kind == "contradiction"
+
+    def test_tightening(self):
+        result = analyze(
+            "CLASS",
+            {"displacement": Interval.closed(8000, 20000),
+             "type": Interval.at_least("SSA")},
+            make_rules())
+        assert result.contradiction is None
+        assert result.intervals["type"] == Interval.point("SSBN")
+        assert result.notes[0].kind == "tighten"
+
+    def test_unconstrained_column_is_not_invented(self):
+        # The rule implies Type = SSBN, but the query never mentions
+        # Type: the rewrite must not add a constraint.
+        result = analyze(
+            "CLASS", {"displacement": Interval.closed(8000, 20000)},
+            make_rules())
+        assert "type" not in result.intervals
+        assert result.notes == []
+
+    def test_other_relation_untouched(self):
+        result = analyze(
+            "SONAR",
+            {"displacement": Interval.closed(8000, 20000),
+             "type": Interval.point("SSN")},
+            make_rules())
+        assert result.contradiction is None
+        assert result.notes == []
+
+    def test_fixpoint_chains_rules(self):
+        # a in [0,10] -> b = 5; b = 5 -> c = 1 (with c constrained).
+        rules = RuleSet([
+            Rule([Clause(AttributeRef("T", "a"), Interval.closed(0, 10))],
+                 Clause(AttributeRef("T", "b"), Interval.point(5))),
+            Rule([Clause(AttributeRef("T", "b"), Interval.point(5))],
+                 Clause(AttributeRef("T", "c"), Interval.point(1))),
+        ])
+        result = analyze(
+            "T",
+            {"a": Interval.closed(2, 3), "b": Interval.closed(0, 9),
+             "c": Interval.closed(0, 9)},
+            rules)
+        assert result.intervals["b"] == Interval.point(5)
+        assert result.intervals["c"] == Interval.point(1)
+        assert len(result.notes) == 2

@@ -1,0 +1,105 @@
+"""Catalog.stats_version and Relation mutation hooks: the invalidation
+signal the planner's caches (statistics, indexes) ride on."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.datatypes import INTEGER, char
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+
+
+def make_relation(name="T", rows=((("a"), 1),)):
+    schema = RelationSchema(name, [Column("K", char(4)),
+                                   Column("V", INTEGER)])
+    return Relation(schema, [("a", 1), ("b", 2)])
+
+
+class TestRelationVersion:
+    def test_mutations_bump_version(self):
+        relation = make_relation()
+        version = relation.version
+        relation.insert(("c", 3))
+        assert relation.version > version
+        version = relation.version
+        relation.delete_where(lambda row: row[0] == "c")
+        assert relation.version > version
+        version = relation.version
+        relation.replace_where(lambda row: row[0] == "a",
+                               lambda row: ("a", 9))
+        assert relation.version > version
+
+    def test_no_op_mutations_do_not_bump(self):
+        relation = make_relation()
+        version = relation.version
+        relation.delete_where(lambda row: False)
+        relation.replace_where(lambda row: False, lambda row: ("x", 0))
+        relation.insert_many([])
+        assert relation.version == version
+
+    def test_insert_many_bumps_once(self):
+        relation = make_relation()
+        version = relation.version
+        relation.insert_many([("c", 3), ("d", 4)])
+        assert relation.version == version + 1
+
+    def test_hooks_fire_and_detach(self):
+        relation = make_relation()
+        seen = []
+        token = relation.add_mutation_hook(seen.append)
+        relation.insert(("c", 3))
+        assert seen == [relation]
+        relation.remove_mutation_hook(token)
+        relation.insert(("d", 4))
+        assert seen == [relation]
+
+
+class TestCatalogStatsVersion:
+    def test_register_and_drop_bump(self):
+        database = Database()
+        version = database.catalog.stats_version()
+        database.catalog.register(make_relation())
+        assert database.catalog.stats_version() > version
+        version = database.catalog.stats_version()
+        database.catalog.drop("T")
+        assert database.catalog.stats_version() > version
+
+    def test_mutation_bumps_through_catalog(self):
+        database = Database()
+        relation = make_relation()
+        database.catalog.register(relation)
+        version = database.catalog.stats_version()
+        relation.insert(("c", 3))
+        assert database.catalog.stats_version() > version
+
+    def test_dropped_relation_stops_bumping(self):
+        database = Database()
+        relation = make_relation()
+        database.catalog.register(relation)
+        database.catalog.drop("T")
+        version = database.catalog.stats_version()
+        relation.insert(("c", 3))
+        assert database.catalog.stats_version() == version
+
+    def test_drop_then_reregister_tracks_new_relation_only(self):
+        database = Database()
+        old = make_relation()
+        database.catalog.register(old)
+        database.catalog.drop("T")
+        new = make_relation()
+        database.catalog.register(new)
+        version = database.catalog.stats_version()
+        old.insert(("zz", 0))  # detached: must not bump
+        assert database.catalog.stats_version() == version
+        new.insert(("c", 3))
+        assert database.catalog.stats_version() > version
+
+    def test_replacing_register_detaches_old(self):
+        database = Database()
+        old = make_relation()
+        database.catalog.register(old)
+        new = make_relation()
+        database.catalog.register(new, replace=True)
+        version = database.catalog.stats_version()
+        old.insert(("zz", 0))
+        assert database.catalog.stats_version() == version
