@@ -8,7 +8,8 @@ Usage::
 Plain input is SQL and is answered extensionally *and* intensionally.
 ``EXPLAIN SELECT ...`` prints the cost-based query plan (estimated vs.
 actual cardinalities, index choices, semantic rewrites) instead of the
-answer.  Backslash commands inspect the system:
+answer; ``EXPLAIN ANALYZE SELECT ...`` adds the measured per-node wall
+times.  Backslash commands inspect the system:
 
 =================  ====================================================
 ``\\rules``         print the knowledge base (isa style)
@@ -19,6 +20,12 @@ answer.  Backslash commands inspect the system:
 ``\\explain <sql>`` run a query and print the derivation trace
 ``\\lint``          run the KER schema linter against the data
 ``\\quel <stmt>``   run a QUEL statement
+``\\obs on|off``    enable/disable observability (tracing + metrics)
+``\\metrics``       dump recorded metrics (``prom`` for Prometheus
+                   text format, ``reset`` to clear)
+``\\trace [N]``     show the last N tracing spans (``clear``, or
+                   ``export PATH`` for a JSONL dump)
+``\\slowlog [ms]``  show the slow-query log / set its threshold
 ``\\help``          this table
 ``\\quit``          leave
 =================  ====================================================
@@ -152,7 +159,95 @@ class Shell:
             else:
                 self.write("ok")
             return True
+        if command == "obs":
+            return self._obs_command(argument)
+        if command == "metrics":
+            return self._metrics_command(argument)
+        if command == "trace":
+            return self._trace_command(argument)
+        if command == "slowlog":
+            return self._slowlog_command(argument)
         self.write(f"unknown command \\{command} (try \\help)")
+        return True
+
+    # -- observability commands ---------------------------------------------
+
+    def _obs_command(self, argument: str) -> bool:
+        from repro import obs
+        if argument == "on":
+            obs.enable()
+            self.write("observability enabled")
+        elif argument == "off":
+            obs.disable()
+            self.write("observability disabled")
+        elif argument in ("", "status"):
+            state = "enabled" if obs.enabled() else "disabled"
+            self.write(f"observability is {state} "
+                       f"({len(obs.tracer())} spans retained, "
+                       f"{len(obs.slow_queries())} slow queries)")
+        else:
+            self.write("usage: \\obs [on|off|status]")
+        return True
+
+    def _metrics_command(self, argument: str) -> bool:
+        from repro import obs
+        if argument == "prom":
+            self.write(obs.metrics().render_prometheus())
+        elif argument == "reset":
+            obs.metrics().reset()
+            self.write("metrics cleared")
+        elif not argument:
+            self.write(obs.metrics().render())
+        else:
+            self.write("usage: \\metrics [prom|reset]")
+        return True
+
+    def _trace_command(self, argument: str) -> bool:
+        from repro import obs
+        if argument == "clear":
+            obs.tracer().clear()
+            self.write("trace buffer cleared")
+            return True
+        if argument.startswith("export"):
+            _word, _sep, path = argument.partition(" ")
+            path = path.strip()
+            if not path:
+                self.write("usage: \\trace export PATH")
+                return True
+            count = obs.tracer().export_jsonl(path)
+            self.write(f"{count} spans written to {path}")
+            return True
+        count = 20
+        if argument:
+            try:
+                count = int(argument)
+            except ValueError:
+                self.write("usage: \\trace [N|clear|export PATH]")
+                return True
+        spans = obs.tracer().tail(count)
+        if not spans:
+            self.write("(no spans recorded -- \\obs on to start tracing)")
+        for span in spans:
+            self.write(span.render())
+        return True
+
+    def _slowlog_command(self, argument: str) -> bool:
+        from repro import obs
+        log = obs.slow_queries()
+        if argument == "clear":
+            log.clear()
+            self.write("slow-query log cleared")
+            return True
+        if argument:
+            try:
+                threshold_ms = float(argument)
+            except ValueError:
+                self.write("usage: \\slowlog [THRESHOLD_MS|clear]")
+                return True
+            log.set_threshold(threshold_ms / 1000.0)
+            self.write(f"slow-query threshold set to {threshold_ms:g}ms")
+            return True
+        self.write(log.render())
         return True
 
     def repl(self, stream: TextIO | None = None) -> None:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro import obs
 from repro.errors import InductionError
 from repro.induction.candidates import (
     CandidateScheme, candidate_schemes, foreign_key_map,
@@ -113,14 +114,19 @@ class InductiveLearningSubsystem:
         produces) are added with source ``"id3"``.  Single-clause tree
         rules that duplicate pairwise rules are skipped.
         """
-        ruleset = RuleSet()
-        for scheme in self.schemes():
-            for rule in self.induce_one(scheme):
-                ruleset.add(rule)
-        if include_tree_rules:
-            for rule in self._induce_tree_rules(ruleset):
-                ruleset.add(rule)
-        return ruleset
+        with obs.span("induction.induce") as span:
+            ruleset = RuleSet()
+            schemes = self.schemes()
+            for scheme in schemes:
+                for rule in self.induce_one(scheme):
+                    ruleset.add(rule)
+            if include_tree_rules:
+                for rule in self._induce_tree_rules(ruleset):
+                    ruleset.add(rule)
+            span.set(schemes=len(schemes), rules=len(ruleset))
+            obs.counter("induction_rules_total",
+                        "rules induced by the ILS").inc(len(ruleset))
+            return ruleset
 
     def _induce_tree_rules(self, existing: RuleSet) -> list[Rule]:
         from repro.induction.candidates import classification_attributes
@@ -165,15 +171,20 @@ class InductiveLearningSubsystem:
 
     def induce_one(self, scheme: CandidateScheme) -> list[Rule]:
         """Induce the rules of a single candidate scheme."""
-        if scheme.kind == "intra":
-            rules = self._induce_intra(scheme)
-        elif scheme.kind == "inter":
-            rules = self._induce_inter(scheme)
-        else:
-            raise InductionError(f"unknown scheme kind {scheme.kind!r}")
-        for rule in rules:
-            self._tag_subtype(rule)
-        return rules
+        with obs.span("induction.scheme", kind=scheme.kind,
+                      x=scheme.x_ref.render(),
+                      y=scheme.y_ref.render()) as span:
+            if scheme.kind == "intra":
+                rules = self._induce_intra(scheme)
+            elif scheme.kind == "inter":
+                rules = self._induce_inter(scheme)
+            else:
+                raise InductionError(
+                    f"unknown scheme kind {scheme.kind!r}")
+            for rule in rules:
+                self._tag_subtype(rule)
+            span.set(rules=len(rules))
+            return rules
 
     def _induce_intra(self, scheme: CandidateScheme) -> list[Rule]:
         database = self.binding.database

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.errors import InferenceError
 from repro.inference.answers import InferenceResult
 from repro.inference.backward import backward_match
@@ -68,41 +69,69 @@ class TypeInferenceEngine:
             Enable each direction (the paper uses them "individually or
             combined").
         """
-        canonicalizer = self._base_canonicalizer.copy()
-        for left, right in equivalences:
-            canonicalizer.unite(left, right)
-        facts = FactBase(canonicalizer, self._domains)
-        try:
-            for clause in conditions:
-                facts.add_condition(clause)
-        except InferenceError:
-            # Contradictory conditions: the query denotes the empty set.
-            # That *is* an intensional answer ("no instance can
-            # qualify"), not an execution failure.
-            return InferenceResult(conditions, facts, [], [],
+        with obs.span("inference.infer", conditions=len(conditions),
+                      rules=len(self.rules)) as span:
+            canonicalizer = self._base_canonicalizer.copy()
+            for left, right in equivalences:
+                canonicalizer.unite(left, right)
+            facts = FactBase(canonicalizer, self._domains)
+            try:
+                for clause in conditions:
+                    facts.add_condition(clause)
+            except InferenceError:
+                # Contradictory conditions: the query denotes the empty
+                # set.  That *is* an intensional answer ("no instance
+                # can qualify"), not an execution failure.
+                obs.counter("inference_unsatisfiable_total",
+                            "queries proven unsatisfiable from their "
+                            "own conditions").inc()
+                span.set(outcome="unsatisfiable")
+                return InferenceResult(conditions, facts, [], [],
+                                       classification_attributes=(
+                                           self._classification),
+                                       unsatisfiable=True)
+
+            derivations = []
+            propagations = []
+            rounds = 0
+            if forward:
+                fired: set[int] = set()
+                with obs.span("inference.forward") as forward_span:
+                    for _round in range(20):
+                        rounds += 1
+                        new_derivations = forward_chain(facts, self.rules,
+                                                        fired=fired)
+                        new_propagations = (
+                            propagate_bounds(facts, self.constraints)
+                            if self.constraints else [])
+                        derivations.extend(new_derivations)
+                        propagations.extend(new_propagations)
+                        if not new_derivations and not new_propagations:
+                            break
+                    forward_span.set(rounds=rounds,
+                                     fired=len(derivations),
+                                     propagations=len(propagations))
+                if derivations:
+                    obs.counter("inference_rules_fired_total",
+                                "forward-chaining rule firings").inc(
+                                    len(derivations))
+            else:
+                fired = set()
+            if backward:
+                with obs.span("inference.backward") as backward_span:
+                    descriptions = backward_match(facts, self.rules,
+                                                  exclude=fired)
+                    backward_span.set(matches=len(descriptions))
+                if descriptions:
+                    obs.counter("inference_backward_matches_total",
+                                "backward rule-description matches").inc(
+                                    len(descriptions))
+            else:
+                descriptions = []
+            span.set(derivations=len(derivations),
+                     descriptions=len(descriptions))
+            return InferenceResult(conditions, facts, derivations,
+                                   descriptions,
                                    classification_attributes=(
                                        self._classification),
-                                   unsatisfiable=True)
-
-        derivations = []
-        propagations = []
-        if forward:
-            fired: set[int] = set()
-            for _round in range(20):
-                new_derivations = forward_chain(facts, self.rules,
-                                                fired=fired)
-                new_propagations = (
-                    propagate_bounds(facts, self.constraints)
-                    if self.constraints else [])
-                derivations.extend(new_derivations)
-                propagations.extend(new_propagations)
-                if not new_derivations and not new_propagations:
-                    break
-        else:
-            fired = set()
-        descriptions = (backward_match(facts, self.rules, exclude=fired)
-                        if backward else [])
-        return InferenceResult(conditions, facts, derivations, descriptions,
-                               classification_attributes=(
-                                   self._classification),
-                               propagations=propagations)
+                                   propagations=propagations)

@@ -1,0 +1,214 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+Metrics are named like Prometheus series -- a base name plus an
+optional, sorted label set -- and the registry renders both a flat
+``snapshot()`` mapping (``"index_cache_requests_total{result=hit}" ->
+3``) for programmatic use and a Prometheus text-format dump
+(``render_prometheus()``) for scraping.
+
+Instrumented code does not talk to this module directly; it goes
+through the :mod:`repro.obs` facade (``obs.counter(...)``), which
+short-circuits to a no-op when observability is disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+#: Default histogram bucket upper bounds, in seconds (query latencies).
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str,
+                 label_key: tuple[tuple[str, str], ...]) -> str:
+    if not label_key:
+        return name
+    body = ",".join(f'{key}="{value}"' for key, value in label_key)
+    return f"{name}{{{body}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def series(self) -> list[tuple[str, float]]:
+        return [(_series_name(self.name, self.labels), self.value)]
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def series(self) -> list[tuple[str, float]]:
+        return [(_series_name(self.name, self.labels), self.value)]
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; an observation lands in every bucket
+    whose bound is >= the value, plus the implicit ``+Inf`` bucket.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "total", "count")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...],
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)  # +Inf last
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+        self.counts[-1] += 1
+
+    def series(self) -> list[tuple[str, float]]:
+        out: list[tuple[str, float]] = []
+        for index, bound in enumerate(self.buckets):
+            labels = self.labels + (("le", repr(float(bound))),)
+            out.append((_series_name(self.name + "_bucket", labels),
+                        self.counts[index]))
+        out.append((_series_name(
+            self.name + "_bucket", self.labels + (("le", "+Inf"),)),
+            self.counts[-1]))
+        out.append((_series_name(self.name + "_sum", self.labels),
+                    self.total))
+        out.append((_series_name(self.name + "_count", self.labels),
+                    self.count))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric instruments.
+
+    One instrument exists per (name, label set); helps (descriptions)
+    are kept per base name for the Prometheus dump.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]],
+                            Counter | Gauge | Histogram] = {}
+        self._helps: dict[str, str] = {}
+
+    def _get(self, factory, name: str, help: str,
+             labels: dict[str, Any], **kwargs):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory(name, key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}")
+        if help:
+            self._helps.setdefault(name, help)
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                **labels: Any) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    # -- reading -----------------------------------------------------------
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Current value of a counter/gauge (0 if never touched)."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        if metric is None:
+            return 0
+        if isinstance(metric, Histogram):
+            raise TypeError(f"{name!r} is a histogram; read its series")
+        return metric.value
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``series name -> value`` mapping of everything."""
+        out: dict[str, float] = {}
+        for metric in self._metrics.values():
+            out.update(metric.series())
+        return dict(sorted(out.items()))
+
+    def render(self) -> str:
+        """Human-oriented table of every series."""
+        rows = self.snapshot()
+        if not rows:
+            return "(no metrics recorded)"
+        width = max(len(name) for name in rows)
+        return "\n".join(f"{name.ljust(width)}  {_fmt(value)}"
+                         for name, value in rows.items())
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (``# HELP``/``# TYPE``)."""
+        by_name: dict[str, list[Counter | Gauge | Histogram]] = {}
+        for (name, _labels), metric in sorted(self._metrics.items()):
+            by_name.setdefault(name, []).append(metric)
+        lines: list[str] = []
+        for name, metrics in by_name.items():
+            help_text = self._helps.get(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {metrics[0].kind}")
+            for metric in metrics:
+                for series, value in metric.series():
+                    lines.append(f"{series} {_fmt(value)}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+        self._helps.clear()
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))

@@ -1,0 +1,79 @@
+"""Slow-query log: queries whose total latency crossed a threshold.
+
+Entries are kept in a bounded ring buffer, newest last, each recording
+the statement text, the measured duration, the result cardinality and a
+monotonic timestamp (ordering, not wall clock).  The threshold is
+runtime-configurable (``\\slowlog 250`` in the shell, or
+:meth:`SlowQueryLog.set_threshold`); recording is driven by the
+:mod:`repro.obs` facade, so a disabled observability layer records
+nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import NamedTuple
+
+#: Default threshold: 100ms, far above any ship-database query but low
+#: enough to catch accidental full scans over synthetic workloads.
+DEFAULT_THRESHOLD_S = 0.1
+
+#: Retained entries.
+DEFAULT_CAPACITY = 256
+
+
+class SlowQuery(NamedTuple):
+    """One over-threshold query."""
+
+    statement: str
+    duration_s: float
+    rows: int | None
+    recorded_s: float  # monotonic capture time
+
+    def render(self) -> str:
+        rows = "?" if self.rows is None else str(self.rows)
+        return (f"{self.duration_s * 1000:8.2f}ms  {rows:>6} rows  "
+                f"{self.statement}")
+
+
+class SlowQueryLog:
+    """Ring buffer of queries slower than the configured threshold."""
+
+    def __init__(self, threshold_s: float = DEFAULT_THRESHOLD_S,
+                 capacity: int = DEFAULT_CAPACITY):
+        self.threshold_s = threshold_s
+        self.entries: deque[SlowQuery] = deque(maxlen=capacity)
+
+    def set_threshold(self, threshold_s: float) -> None:
+        if threshold_s < 0:
+            raise ValueError("threshold must be >= 0")
+        self.threshold_s = threshold_s
+
+    def observe(self, statement: str, duration_s: float,
+                rows: int | None = None) -> bool:
+        """Record *statement* if it crossed the threshold; returns
+        whether it did."""
+        if duration_s < self.threshold_s:
+            return False
+        self.entries.append(SlowQuery(statement, duration_s, rows,
+                                      time.perf_counter()))
+        return True
+
+    def render(self) -> str:
+        if not self.entries:
+            return (f"(no queries over "
+                    f"{self.threshold_s * 1000:.0f}ms recorded)")
+        lines = [f"slow queries (threshold "
+                 f"{self.threshold_s * 1000:.0f}ms):"]
+        lines.extend(entry.render() for entry in self.entries)
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)

@@ -1,0 +1,247 @@
+"""Tracing spans over monotonic clocks.
+
+A :class:`Span` is one timed region of work -- planning a query,
+executing one plan node, a forward-chaining round -- with free-form
+attributes attached.  Spans nest: the :class:`Tracer` keeps an active
+stack, so a span opened while another is open records that parent, and
+EXPLAIN-style consumers can reconstruct the tree from ``parent_id`` and
+``depth``.
+
+Completed spans land in a bounded ring buffer (oldest evicted first), so
+a long-running process never grows without bound; :meth:`Tracer.export_jsonl`
+dumps the retained window one JSON object per line.
+
+All timestamps come from :func:`time.perf_counter` (monotonic, never
+jumps backwards); wall-clock anchoring is deliberately out of scope.
+
+The tracer itself never checks the global observability flag -- callers
+go through :func:`repro.obs.span`, which returns the shared no-op span
+when observability is disabled, keeping instrumented code on a single
+code path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from functools import wraps
+from typing import Any, Callable, Iterator, TextIO
+
+#: Default ring-buffer capacity (completed spans retained).
+DEFAULT_CAPACITY = 4096
+
+
+class Span:
+    """One timed region with attributes.
+
+    ``end_s`` is ``None`` while the span is open; :attr:`duration_s`
+    then measures up to now.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "depth", "start_s",
+                 "end_s", "attributes")
+
+    def __init__(self, name: str, span_id: int, parent_id: int | None,
+                 depth: int, attributes: dict[str, Any]):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start_s = time.perf_counter()
+        self.end_s: float | None = None
+        self.attributes = attributes
+
+    @property
+    def duration_s(self) -> float:
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return end - self.start_s
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attributes.update(attributes)
+        return self
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attributes": self.attributes,
+        }
+
+    def render(self) -> str:
+        attrs = " ".join(f"{key}={value!r}"
+                         for key, value in self.attributes.items())
+        text = (f"{'  ' * self.depth}{self.name}  "
+                f"{self.duration_s * 1000:.3f}ms")
+        return f"{text}  {attrs}" if attrs else text
+
+    def __repr__(self) -> str:
+        return (f"<Span {self.name} {self.duration_s * 1000:.3f}ms "
+                f"{self.attributes!r}>")
+
+
+class _NullSpan:
+    """Shared do-nothing span: the disabled-observability fast path.
+
+    Supports the same surface as :class:`Span` uses in instrumented
+    code (context manager plus :meth:`set`), so call sites never branch
+    on whether observability is on.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+
+#: The singleton no-op span.
+NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """Context manager pairing a :class:`Span` with its tracer."""
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self.tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        if exc_type is not None:
+            self.span.attributes.setdefault("error", exc_type.__name__)
+        self.tracer.finish(self.span)
+
+
+class Tracer:
+    """Nested-span recorder with ring-buffer retention."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.spans: deque[Span] = deque(maxlen=capacity)
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _OpenSpan:
+        """Open a nested span::
+
+            with tracer.span("plan.select", tables=2) as span:
+                ...
+                span.set(notes=len(notes))
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, self._next_id,
+                    parent.span_id if parent is not None else None,
+                    parent.depth + 1 if parent is not None else 0,
+                    attributes)
+        self._next_id += 1
+        self._stack.append(span)
+        return _OpenSpan(self, span)
+
+    def finish(self, span: Span) -> None:
+        span.end_s = time.perf_counter()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # defensive: out-of-order exit
+            self._stack.remove(span)
+        self.spans.append(span)
+
+    def record(self, name: str, start_s: float, end_s: float,
+               **attributes: Any) -> Span:
+        """Append an already-timed span (measured by the caller, e.g. a
+        plan node that timed its own ``execute``)."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, self._next_id,
+                    parent.span_id if parent is not None else None,
+                    parent.depth + 1 if parent is not None else 0,
+                    attributes)
+        self._next_id += 1
+        span.start_s = start_s
+        span.end_s = end_s
+        self.spans.append(span)
+        return span
+
+    # -- inspection --------------------------------------------------------
+
+    def tail(self, count: int = 20) -> list[Span]:
+        """The most recent *count* completed spans, oldest first."""
+        if count <= 0:
+            return []
+        return list(self.spans)[-count:]
+
+    def named(self, prefix: str) -> list[Span]:
+        """Completed spans whose name starts with *prefix*."""
+        return [span for span in self.spans
+                if span.name.startswith(prefix)]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._stack.clear()
+
+    # -- export ------------------------------------------------------------
+
+    def export_jsonl(self, destination: "str | TextIO") -> int:
+        """Write retained spans as JSON Lines; returns the span count.
+
+        *destination* is a path or an open text stream.
+        """
+        if isinstance(destination, str):
+            with open(destination, "w") as handle:
+                return self.export_jsonl(handle)
+        count = 0
+        for span in self.spans:
+            destination.write(json.dumps(span.as_dict(),
+                                         default=repr) + "\n")
+            count += 1
+        return count
+
+
+def traced(name: str | None = None,
+           span_factory: Callable[..., Any] | None = None):
+    """Decorator tracing every call of the wrapped function.
+
+    *span_factory* defaults to :func:`repro.obs.span` (resolved lazily so
+    enabling/disabling observability after import is honored)::
+
+        @traced("induction.induce_one")
+        def induce_one(self, scheme): ...
+    """
+
+    def decorate(function: Callable) -> Callable:
+        span_name = name or function.__qualname__
+
+        @wraps(function)
+        def wrapper(*args: Any, **kwargs: Any):
+            factory = span_factory
+            if factory is None:
+                from repro import obs
+                factory = obs.span
+            with factory(span_name):
+                return function(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

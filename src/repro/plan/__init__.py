@@ -12,8 +12,12 @@ Layers (bottom up):
   rule base: contradiction proofs and range tightening.
 * :mod:`repro.plan.planner` -- puts it together: predicate pushdown,
   access-path selection, greedy join ordering.
-* :mod:`repro.plan.explain` -- EXPLAIN rendering with estimated vs.
-  actual cardinalities.
+* :mod:`repro.plan.explain` -- EXPLAIN / EXPLAIN ANALYZE rendering
+  with estimated vs. actual cardinalities and measured per-node wall
+  times.
+
+Planning and node execution are traced and counted through the
+:mod:`repro.obs` facade (no-ops unless observability is enabled).
 """
 
 from repro.plan.explain import explain_select, render_plan

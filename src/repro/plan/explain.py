@@ -3,7 +3,11 @@ cardinalities, prefixed by any semantic rewrites the planner applied.
 
 ``EXPLAIN SELECT ...`` both plans *and* runs the statement, so every
 line shows the cost model's estimate next to the true row count --
-the fastest way to spot a bad selectivity guess.
+the fastest way to spot a bad selectivity guess.  ``EXPLAIN ANALYZE``
+additionally annotates every node with its measured inclusive wall
+time (children's time included, as rendered by every production
+EXPLAIN ANALYZE), taken from the per-node monotonic clocks in
+:mod:`repro.plan.plans`.
 """
 
 from __future__ import annotations
@@ -21,7 +25,14 @@ def _format_rows(value: float) -> str:
     return f"{value:.1f}"
 
 
-def render_plan(plan: Plan, include_actual: bool = False) -> str:
+def _format_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000:.3f}ms"
+
+
+def render_plan(plan: Plan, include_actual: bool = False,
+                include_timing: bool = False) -> str:
     """Indented one-line-per-node rendering of a plan tree."""
     lines: list[str] = []
 
@@ -29,6 +40,8 @@ def render_plan(plan: Plan, include_actual: bool = False) -> str:
         counts = f"est {_format_rows(node.records_output())} rows"
         if include_actual and node.actual_rows is not None:
             counts += f", actual {node.actual_rows}"
+        if include_timing and node.actual_time_s is not None:
+            counts += f", time {_format_time(node.actual_time_s)}"
         lines.append(f"{'  ' * depth}{node.label()}  ({counts})")
         for child in node.children():
             walk(child, depth + 1)
@@ -40,10 +53,16 @@ def render_plan(plan: Plan, include_actual: bool = False) -> str:
 def explain_select(database: Database, statement: ast.SelectStmt,
                    rules: RuleSet | None = None,
                    execute: bool = True,
+                   analyze: bool = False,
                    result_name: str = "result") -> str:
-    """Plan *statement*, optionally execute it, and render the tree."""
+    """Plan *statement*, optionally execute it, and render the tree.
+
+    *analyze* (EXPLAIN ANALYZE) implies execution and adds the measured
+    per-node wall times to the rendering.
+    """
     planned: PlannedQuery = plan_select(database, statement, rules=rules,
                                         result_name=result_name)
-    if execute:
+    run = execute or analyze
+    if run:
         planned.execute()
-    return planned.render(include_actual=execute)
+    return planned.render(include_actual=run, include_timing=analyze)

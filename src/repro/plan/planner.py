@@ -20,6 +20,7 @@ The planner turns a parsed SELECT into a tree of plan nodes
 
 from __future__ import annotations
 
+from repro import obs
 from repro.relational.database import Database
 from repro.relational.expressions import (
     ColumnRef, Comparison, Expression, Literal,
@@ -58,10 +59,12 @@ class PlannedQuery:
         """Run the plan, producing the result relation."""
         return self.root.execute_relation()
 
-    def render(self, include_actual: bool = False) -> str:
+    def render(self, include_actual: bool = False,
+               include_timing: bool = False) -> str:
         from repro.plan.explain import render_plan
         lines = [f"semantic: {note}" for note in self.notes]
-        lines.append(render_plan(self.root, include_actual=include_actual))
+        lines.append(render_plan(self.root, include_actual=include_actual,
+                                 include_timing=include_timing))
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -76,30 +79,36 @@ def plan_select(database: Database, statement: ast.SelectStmt,
     *rules* (the induced rule base) enables semantic optimization:
     contradiction short-circuits and range tightening.
     """
-    scope = Scope(database, statement.tables)
-    filters, edges, residual = classify_conjuncts(scope, statement.where)
-    stats_catalog = statistics(database)
-    notes: list[str] = []
+    with obs.span("plan.select", tables=len(statement.tables)) as span:
+        scope = Scope(database, statement.tables)
+        filters, edges, residual = classify_conjuncts(scope,
+                                                      statement.where)
+        stats_catalog = statistics(database)
+        notes: list[str] = []
 
-    base_plans: dict[str, Plan] = {}
-    for binding in scope.bindings:
-        plan, contradiction = _access_path(
-            scope, binding, filters[binding], rules, stats_catalog, notes)
-        if contradiction is not None:
-            empty = EmptyPlan(scope, scope.bindings, contradiction)
-            root = ProjectPlan(scope, statement, empty, result_name)
-            return PlannedQuery(scope, statement, root, notes)
-        base_plans[binding] = plan
+        base_plans: dict[str, Plan] = {}
+        for binding in scope.bindings:
+            plan, contradiction = _access_path(
+                scope, binding, filters[binding], rules, stats_catalog,
+                notes)
+            if contradiction is not None:
+                empty = EmptyPlan(scope, scope.bindings, contradiction)
+                root = ProjectPlan(scope, statement, empty, result_name)
+                span.set(outcome="short_circuit")
+                return PlannedQuery(scope, statement, root, notes)
+            base_plans[binding] = plan
 
-    joined, leftover = _order_joins(scope, base_plans, edges)
-    residual = list(residual) + [
-        Comparison("=", ColumnRef(col_a, bind_a), ColumnRef(col_b, bind_b))
-        for bind_a, col_a, bind_b, col_b in leftover]
-    if residual:
-        joined = FilterPlan(joined, residual,
-                            DEFAULT_SELECTIVITY ** len(residual))
-    root = ProjectPlan(scope, statement, joined, result_name)
-    return PlannedQuery(scope, statement, root, notes)
+        joined, leftover = _order_joins(scope, base_plans, edges)
+        residual = list(residual) + [
+            Comparison("=", ColumnRef(col_a, bind_a),
+                       ColumnRef(col_b, bind_b))
+            for bind_a, col_a, bind_b, col_b in leftover]
+        if residual:
+            joined = FilterPlan(joined, residual,
+                                DEFAULT_SELECTIVITY ** len(residual))
+        root = ProjectPlan(scope, statement, joined, result_name)
+        span.set(notes=len(notes))
+        return PlannedQuery(scope, statement, root, notes)
 
 
 # -- access paths ----------------------------------------------------------
@@ -153,6 +162,9 @@ def _access_path(scope: Scope, binding: str, conjunct_list, rules,
                                          for e in interval_exprs[column]
                                          + [conjunct]))
                 notes.append(reason)
+                obs.counter("semantic_rewrites_total",
+                            "rule-driven planner rewrites by kind",
+                            kind="predicate_contradiction").inc()
                 return EmptyPlan(scope, [binding], reason), reason
             intervals[column] = merged
         else:

@@ -11,14 +11,20 @@ intermediate shape the legacy executor's join pipeline used, so the
 shared projection code consumes either path's output unchanged.
 
 Every node remembers the actual output cardinality of its last
-``execute()`` in :attr:`Plan.actual_rows`; EXPLAIN renders estimated
-vs. actual side by side.
+``execute()`` in :attr:`Plan.actual_rows` and its inclusive wall time
+in :attr:`Plan.actual_time_s`; EXPLAIN renders estimated vs. actual
+side by side and EXPLAIN ANALYZE adds the measured times.  The two
+``perf_counter`` reads per node are kept unconditionally (a plan
+executes a handful of nodes per query, so the cost is noise); the
+per-node tracer spans ride the :mod:`repro.obs` flag.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
+from repro import obs
 from repro.relational.relation import Relation
 from repro.rules.clause import Interval
 from repro.sql import ast
@@ -36,6 +42,7 @@ class Plan:
         self.scope = scope
         self.bindings: tuple[str, ...] = tuple(bindings)
         self.actual_rows: int | None = None
+        self.actual_time_s: float | None = None
 
     # -- cost model --------------------------------------------------------
 
@@ -55,8 +62,13 @@ class Plan:
     # -- execution ---------------------------------------------------------
 
     def execute(self) -> list[tuple]:
+        start = time.perf_counter()
         rows = self._rows()
+        end = time.perf_counter()
         self.actual_rows = len(rows)
+        self.actual_time_s = end - start
+        obs.record_span(f"plan.node.{type(self).__name__}", start, end,
+                        label=self.label(), rows=len(rows))
         return rows
 
     def _rows(self) -> list[tuple]:
@@ -344,11 +356,16 @@ class ProjectPlan(Plan):
         return self.child.distinct_values(binding, column)
 
     def execute_relation(self) -> Relation:
+        start = time.perf_counter()
         rows = self.child.execute()
         result = project_statement(self.scope, self.statement,
                                    self.child.bindings, rows,
                                    self.result_name)
+        end = time.perf_counter()
         self.actual_rows = len(result)
+        self.actual_time_s = end - start
+        obs.record_span("plan.node.ProjectPlan", start, end,
+                        label=self.label(), rows=len(result))
         return result
 
     def _rows(self) -> list[tuple]:  # pragma: no cover - use execute_relation

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
+from repro import obs
 from repro.rules.clause import Interval
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
@@ -86,34 +87,46 @@ def analyze(relation_name: str, intervals: dict[str, Interval],
     if rules is None or not len(rules) or not current:
         return SemanticResult(current, None, notes)
 
-    for _pass in range(MAX_PASSES):
-        changed = False
-        for rule in rules:
-            if not _rule_applies(rule, relation_name, current):
-                continue
-            column = rule.rhs.attribute.attribute.lower()
-            constraint = current.get(column)
-            if constraint is None:
-                continue  # unconstrained column: nothing to tighten
-            tightened = constraint.intersect(rule.rhs.interval)
-            if tightened is None:
-                premise = " and ".join(c.render() for c in rule.lhs)
-                message = (
-                    f"no {relation_name} row can satisfy the query: "
-                    f"every row with {premise} has "
-                    f"{rule.rhs.render()}, but the query requires "
-                    f"{constraint.render(rule.rhs.attribute.render())} "
-                    f"(R{rule.number})")
-                notes.append(SemanticNote("contradiction", rule, message))
-                return SemanticResult(current, message, notes)
-            if tightened != constraint:
-                current[column] = tightened
-                notes.append(SemanticNote(
-                    "tighten", rule,
-                    f"R{rule.number} tightens "
-                    f"{rule.rhs.attribute.render()} to "
-                    f"{tightened.render(rule.rhs.attribute.render())}"))
-                changed = True
-        if not changed:
-            break
+    with obs.span("plan.semantic", relation=relation_name,
+                  constraints=len(current)) as span:
+        for _pass in range(MAX_PASSES):
+            changed = False
+            for rule in rules:
+                if not _rule_applies(rule, relation_name, current):
+                    continue
+                column = rule.rhs.attribute.attribute.lower()
+                constraint = current.get(column)
+                if constraint is None:
+                    continue  # unconstrained column: nothing to tighten
+                tightened = constraint.intersect(rule.rhs.interval)
+                if tightened is None:
+                    premise = " and ".join(c.render() for c in rule.lhs)
+                    message = (
+                        f"no {relation_name} row can satisfy the query: "
+                        f"every row with {premise} has "
+                        f"{rule.rhs.render()}, but the query requires "
+                        f"{constraint.render(rule.rhs.attribute.render())} "
+                        f"(R{rule.number})")
+                    notes.append(SemanticNote("contradiction", rule,
+                                              message))
+                    obs.counter("semantic_rewrites_total",
+                                "rule-driven planner rewrites by kind",
+                                kind="short_circuit").inc()
+                    span.set(outcome="short_circuit",
+                             rule=f"R{rule.number}")
+                    return SemanticResult(current, message, notes)
+                if tightened != constraint:
+                    current[column] = tightened
+                    notes.append(SemanticNote(
+                        "tighten", rule,
+                        f"R{rule.number} tightens "
+                        f"{rule.rhs.attribute.render()} to "
+                        f"{tightened.render(rule.rhs.attribute.render())}"))
+                    obs.counter("semantic_rewrites_total",
+                                "rule-driven planner rewrites by kind",
+                                kind="tighten").inc()
+                    changed = True
+            if not changed:
+                break
+        span.set(notes=len(notes))
     return SemanticResult(current, None, notes)

@@ -16,8 +16,10 @@ relation actually changed.
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
+from repro import obs
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.rules.clause import Interval
@@ -56,6 +58,13 @@ class Histogram:
         if low == high:
             return cls([float(low), float(high)], [len(numeric)])
         width = (high - low) / buckets
+        # Degenerate spans break equi-width bucketing: a span below
+        # ~16 ulp underflows width to 0 (ZeroDivisionError), a span
+        # beyond the float range overflows it to inf (NaN bucket
+        # index).  One bucket keeps every invariant (counts sum to the
+        # value count) at the cost of estimate resolution.
+        if not (width > 0 and math.isfinite(width)):
+            return cls([float(low), float(high)], [len(numeric)])
         counts = [0] * buckets
         for value in numeric:
             index = min(int((value - low) / width), buckets - 1)
@@ -85,7 +94,12 @@ class Histogram:
                 covered += count
                 continue
             overlap = min(right, hi) - max(left, lo)
-            covered += count * max(0.0, overlap) / span
+            if overlap <= 0:
+                continue
+            if overlap >= span:  # also catches inf/inf (NaN otherwise)
+                covered += count
+            else:
+                covered += count * overlap / span
         return min(1.0, covered / self.total)
 
 
@@ -110,7 +124,15 @@ class ColumnStats:
 
     def selectivity(self, interval: Interval, row_count: int) -> float:
         """Estimated fraction of the relation's rows whose column value
-        lies in *interval* (NULLs never match)."""
+        lies in *interval* (NULLs never match).
+
+        Range estimates are floored by the point-probe estimate
+        (``1/distinct`` of the present mass) whenever the interval can
+        reach the observed [min, max] band: a range that contains a
+        point can never be estimated below that point, keeping
+        ``estimate_range`` monotone in interval width (the property the
+        planner's index-vs-scan choice relies on).
+        """
         if row_count <= 0 or self.non_null == 0:
             return 0.0
         present = self.non_null / row_count
@@ -124,8 +146,8 @@ class ColumnStats:
                     pass
             return present / max(1, self.distinct)
         if self.histogram is not None:
-            return present * self.histogram.fraction(interval)
-        if self.min is not None and self.max is not None:
+            fraction = self.histogram.fraction(interval)
+        elif self.min is not None and self.max is not None:
             try:
                 if ((interval.low is not None and interval.low > self.max)
                         or (interval.high is not None
@@ -133,7 +155,22 @@ class ColumnStats:
                     return 0.0
             except TypeError:
                 pass
-        return present * DEFAULT_SELECTIVITY
+            fraction = DEFAULT_SELECTIVITY
+        else:
+            fraction = DEFAULT_SELECTIVITY
+        if self._reaches_data(interval):
+            fraction = max(fraction, 1.0 / max(1, self.distinct))
+        return min(1.0, present * fraction)
+
+    def _reaches_data(self, interval: Interval) -> bool:
+        """Whether *interval* overlaps the observed [min, max] band
+        (assumed true when the band is unknown)."""
+        if self.min is None or self.max is None:
+            return True
+        try:
+            return interval.overlaps(Interval.closed(self.min, self.max))
+        except TypeError:
+            return True
 
     def __repr__(self) -> str:
         return (f"<ColumnStats {self.name}: {self.distinct} distinct, "
@@ -192,14 +229,26 @@ class StatisticsCatalog:
         entry = self._entries.get(key)
         if entry is not None:
             if entry.catalog_version == catalog_version:
+                obs.counter("stats_cache_requests_total",
+                            "statistics-cache probes by outcome",
+                            result="hit").inc()
                 return entry.stats  # nothing anywhere changed
             if (entry.relation is relation
                     and entry.relation_version == relation.version):
                 entry.catalog_version = catalog_version
+                obs.counter("stats_cache_requests_total",
+                            "statistics-cache probes by outcome",
+                            result="revalidated").inc()
                 return entry.stats  # something else changed, not this
+            obs.counter("stats_cache_invalidations_total",
+                        "statistics snapshots invalidated by "
+                        "relation mutations").inc()
         stats = TableStats(relation)
         self._entries[key] = _Entry(relation, catalog_version, stats)
         self.recomputes += 1
+        obs.counter("stats_cache_requests_total",
+                    "statistics-cache probes by outcome",
+                    result="recompute").inc()
         return stats
 
     def invalidate(self) -> None:

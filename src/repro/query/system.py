@@ -8,8 +8,10 @@ intensional answers.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
+from repro import obs
 from repro.induction.config import InductionConfig
 from repro.induction.ils import InductiveLearningSubsystem
 from repro.inference.answers import InferenceResult, IntensionalAnswer
@@ -19,8 +21,9 @@ from repro.ker.model import KerSchema
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.rules.ruleset import RuleSet
+from repro.errors import SqlError
 from repro.query.conditions import extract_conditions
-from repro.sql.ast import SelectStmt
+from repro.sql.ast import ExplainStmt, SelectStmt
 from repro.sql.executor import execute_select
 from repro.sql.parser import parse_select
 
@@ -127,23 +130,59 @@ class IntensionalQueryProcessor:
     def ask(self, sql: str, forward: bool = True,
             backward: bool = True) -> QueryResult:
         """Answer *sql* extensionally and intensionally."""
-        statement = parse_select(sql)
-        extensional = execute_select(self.database, statement,
-                                     rules=self.rules)
-        conditions = extract_conditions(self.database, statement)
-        inference = self.engine.infer(
-            conditions.clauses, equivalences=conditions.equivalences,
-            forward=forward, backward=backward)
+        start = time.perf_counter()
+        with obs.span("query.ask", sql=sql) as span:
+            statement = parse_select(sql)
+            extensional = execute_select(self.database, statement,
+                                         rules=self.rules)
+            conditions = extract_conditions(self.database, statement)
+            inference = self.engine.infer(
+                conditions.clauses, equivalences=conditions.equivalences,
+                forward=forward, backward=backward)
+            span.set(rows=len(extensional),
+                     intensional=len(inference.answers()))
+        if obs.enabled():
+            obs.observe_query(statement.render(),
+                              time.perf_counter() - start,
+                              rows=len(extensional), kind="ask")
         return QueryResult(statement, extensional, inference,
                            conditions.unused)
 
-    def explain(self, sql: str) -> str:
+    def explain(self, sql: str, analyze: bool = False) -> str:
         """Plan, execute, and render the plan tree for a SELECT.
 
         The induced rules feed the planner's semantic optimizer, so the
         rendering shows rule-driven tightening and contradiction
         short-circuits next to estimated vs. actual cardinalities.
+        *sql* may be a bare SELECT or carry its own ``EXPLAIN
+        [ANALYZE]`` prefix; ``analyze=True`` (or the ANALYZE keyword)
+        adds measured per-node wall times.
         """
         from repro.plan.explain import explain_select
-        statement = parse_select(sql)
-        return explain_select(self.database, statement, rules=self.rules)
+        from repro.sql.parser import parse_statement
+        statement = parse_statement(sql)
+        if isinstance(statement, ExplainStmt):
+            analyze = analyze or statement.analyze
+            statement = statement.select
+        if not isinstance(statement, SelectStmt):
+            raise SqlError("explain() takes a SELECT statement")
+        return explain_select(self.database, statement, rules=self.rules,
+                              analyze=analyze)
+
+    def explain_analyze(self, sql: str) -> str:
+        """``EXPLAIN ANALYZE``: the plan tree annotated with measured
+        per-node wall time and actual vs. estimated rows."""
+        return self.explain(sql, analyze=True)
+
+    # -- observability ------------------------------------------------------
+
+    def metrics(self) -> dict[str, float]:
+        """Snapshot of every recorded metric series (flat mapping)."""
+        return obs.metrics().snapshot()
+
+    def metrics_text(self, prometheus: bool = False) -> str:
+        """Rendered metrics: a human table, or the Prometheus text
+        exposition format with ``prometheus=True``."""
+        registry = obs.metrics()
+        return (registry.render_prometheus() if prometheus
+                else registry.render())

@@ -21,6 +21,7 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterator, Sequence
 
+from repro import obs
 from repro.relational.relation import Relation
 
 
@@ -155,7 +156,14 @@ class IndexCache:
         entry = self._entries.get(key)
         if (entry is not None and entry.relation is relation
                 and not entry.is_stale):
+            obs.counter("index_cache_requests_total",
+                        "index-cache probes by outcome",
+                        result="hit", kind=kind).inc()
             return entry
+        obs.counter("index_cache_requests_total",
+                    "index-cache probes by outcome",
+                    result="stale" if entry is not None else "miss",
+                    kind=kind).inc()
         entry = factory(relation, column)
         self._entries[key] = entry
         self.rebuilds += 1

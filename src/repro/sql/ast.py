@@ -163,14 +163,18 @@ class UpdateStmt:
 
 
 class ExplainStmt:
-    """``EXPLAIN SELECT ...``: plan, execute, and show the plan tree
-    with estimated vs. actual cardinalities."""
+    """``EXPLAIN [ANALYZE] SELECT ...``: plan, execute, and show the
+    plan tree with estimated vs. actual cardinalities; with ``ANALYZE``
+    every node is additionally annotated with its measured (inclusive)
+    wall time."""
 
-    def __init__(self, select: "SelectStmt"):
+    def __init__(self, select: "SelectStmt", analyze: bool = False):
         self.select = select
+        self.analyze = analyze
 
     def render(self) -> str:
-        return f"EXPLAIN {self.select.render()}"
+        keyword = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{keyword} {self.select.render()}"
 
     def __repr__(self) -> str:
         return f"<ExplainStmt {self.render()!r}>"

@@ -15,8 +15,10 @@ projection machinery below, so they are cross-checkable row for row.
 
 from __future__ import annotations
 
+import time
 from typing import NamedTuple, Sequence
 
+from repro import obs
 from repro.errors import SqlError
 from repro.relational.database import Database
 from repro.relational.datatypes import infer_type, INTEGER, REAL
@@ -55,10 +57,19 @@ def execute_statement(database: Database, text: str,
     statement = parse_statement(text)
     if isinstance(statement, ast.ExplainStmt):
         from repro.plan.explain import explain_select
-        return explain_select(database, statement.select, rules=rules)
+        kind = "explain_analyze" if statement.analyze else "explain"
+        obs.counter("queries_total", "statements executed by type",
+                    type=kind).inc()
+        return explain_select(database, statement.select, rules=rules,
+                              analyze=statement.analyze)
     if isinstance(statement, ast.SelectStmt):
+        obs.counter("queries_total", "statements executed by type",
+                    type="select").inc()
         return execute_select(database, statement,
-                              result_name=result_name)
+                              result_name=result_name, rules=rules)
+    obs.counter("queries_total", "statements executed by type",
+                type=type(statement).__name__.replace(
+                    "Stmt", "").lower()).inc()
     if isinstance(statement, ast.InsertStmt):
         return _execute_insert(database, statement)
     if isinstance(statement, ast.DeleteStmt):
@@ -152,11 +163,20 @@ def execute_select(database: Database, statement: ast.SelectStmt,
     """
     if use_planner is None:
         use_planner = USE_PLANNER
+    start = time.perf_counter()
     if use_planner:
         from repro.plan.planner import plan_select
-        return plan_select(database, statement, rules=rules,
-                           result_name=result_name).execute()
-    return execute_select_legacy(database, statement, result_name)
+        result = plan_select(database, statement, rules=rules,
+                             result_name=result_name).execute()
+    else:
+        result = execute_select_legacy(database, statement, result_name)
+    if obs.enabled():
+        duration = time.perf_counter() - start
+        obs.counter("select_path_total", "SELECT executions by path",
+                    path="planner" if use_planner else "legacy").inc()
+        obs.observe_query(statement.render(), duration,
+                          rows=len(result))
+    return result
 
 
 def execute_select_legacy(database: Database, statement: ast.SelectStmt,

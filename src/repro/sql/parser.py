@@ -51,7 +51,13 @@ def parse_statement(text: str
     if stream.at_keyword("select"):
         statement = _select(stream)
     elif stream.accept_keyword("explain"):
-        statement = ast.ExplainStmt(_select(stream))
+        # ANALYZE is contextual (not reserved): it only means something
+        # directly after EXPLAIN, so columns named "analyze" stay legal.
+        analyze = (stream.current.kind is TokenKind.IDENT
+                   and stream.current.text.lower() == "analyze")
+        if analyze:
+            stream.advance()
+        statement = ast.ExplainStmt(_select(stream), analyze=analyze)
     elif stream.at_keyword("insert"):
         statement = _insert(stream)
     elif stream.at_keyword("delete"):

@@ -1,0 +1,85 @@
+"""The obs facade: one flag gates every helper; disabled means no-op."""
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestDisabled:
+    def test_span_is_the_shared_null_span(self):
+        assert obs.span("anything", a=1) is NULL_SPAN
+        assert len(obs.tracer()) == 0
+
+    def test_counters_absorb_everything(self):
+        obs.counter("c").inc(10)
+        obs.gauge("g").set(5)
+        obs.histogram("h").observe(1.0)
+        obs.record_span("s", 0.0, 1.0)
+        obs.observe_query("SELECT 1", 99.0)
+        assert obs.metrics().snapshot() == {}
+        assert len(obs.tracer()) == 0
+        assert len(obs.slow_queries()) == 0
+
+
+class TestEnabled:
+    def test_flag_roundtrip(self):
+        assert obs.enabled() is False
+        obs.enable()
+        assert obs.enabled() is True
+        obs.disable()
+        assert obs.enabled() is False
+
+    def test_span_records_when_enabled(self):
+        obs.enable()
+        with obs.span("work", n=2) as span:
+            span.set(done=True)
+        [recorded] = obs.tracer().spans
+        assert recorded.name == "work"
+        assert recorded.attributes == {"n": 2, "done": True}
+
+    def test_counter_lands_in_the_registry(self):
+        obs.enable()
+        obs.counter("hits", "cache hits", result="hit").inc()
+        assert obs.metrics().value("hits", result="hit") == 1
+
+    def test_observe_query_feeds_histogram_and_slowlog(self):
+        obs.enable()
+        obs.slow_queries().set_threshold(0.1)
+        obs.observe_query("SELECT fast", 0.001, rows=1)
+        obs.observe_query("SELECT slow", 0.5, rows=9, kind="ask")
+        snapshot = obs.metrics().snapshot()
+        assert snapshot['query_seconds_count{kind="select"}'] == 1
+        assert snapshot['query_seconds_count{kind="ask"}'] == 1
+        assert snapshot["slow_queries_total"] == 1
+        [entry] = obs.slow_queries()
+        assert entry.statement == "SELECT slow"
+
+    def test_disable_keeps_recorded_data(self):
+        obs.enable()
+        obs.counter("hits").inc()
+        obs.disable()
+        assert obs.metrics().value("hits") == 1
+        obs.counter("hits").inc()  # no-op again
+        assert obs.metrics().value("hits") == 1
+
+    def test_reset_clears_everything(self):
+        obs.enable()
+        with obs.span("s"):
+            pass
+        obs.counter("c").inc()
+        obs.slow_queries().observe("q", 1e9)
+        obs.reset()
+        assert len(obs.tracer()) == 0
+        assert obs.metrics().snapshot() == {}
+        assert len(obs.slow_queries()) == 0
+        assert obs.enabled() is True  # reset keeps the flag

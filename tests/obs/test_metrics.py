@@ -1,0 +1,101 @@
+"""Unit tests for the metrics registry and Prometheus rendering."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_get_or_create_by_name_and_labels(self, registry):
+        first = registry.counter("queries_total", type="select")
+        again = registry.counter("queries_total", type="select")
+        other = registry.counter("queries_total", type="insert")
+        assert first is again
+        assert first is not other
+
+    def test_inc_and_value(self, registry):
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.value("hits") == 5
+        assert registry.value("untouched") == 0
+
+    def test_counters_only_go_up(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("hits").inc(-1)
+
+    def test_kind_conflict_is_an_error(self, registry):
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+
+class TestGauges:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert registry.value("depth") == 7
+
+
+class TestHistograms:
+    def test_cumulative_buckets(self, registry):
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        series = dict(histogram.series())
+        assert series['lat_bucket{le="0.1"}'] == 1
+        assert series['lat_bucket{le="1.0"}'] == 2
+        assert series['lat_bucket{le="+Inf"}'] == 3
+        assert series["lat_count"] == 3
+        assert series["lat_sum"] == pytest.approx(5.55)
+
+    def test_value_refuses_histograms(self, registry):
+        registry.histogram("lat").observe(1.0)
+        with pytest.raises(TypeError):
+            registry.value("lat")
+
+
+class TestRendering:
+    def test_snapshot_is_flat_and_sorted(self, registry):
+        registry.counter("b_total", result="hit").inc()
+        registry.counter("a_total").inc(2)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a_total", 'b_total{result="hit"}']
+        assert snapshot["a_total"] == 2
+
+    def test_render_empty(self, registry):
+        assert registry.render() == "(no metrics recorded)"
+
+    def test_render_table(self, registry):
+        registry.counter("hits").inc(3)
+        assert "hits  3" in registry.render()
+
+    def test_prometheus_format(self, registry):
+        registry.counter("queries_total", "queries served",
+                         type="select").inc(2)
+        registry.counter("queries_total", "queries served",
+                         type="insert").inc()
+        text = registry.render_prometheus()
+        assert "# HELP queries_total queries served" in text
+        assert "# TYPE queries_total counter" in text
+        assert 'queries_total{type="select"} 2' in text
+        assert 'queries_total{type="insert"} 1' in text
+        # HELP/TYPE once per base name, not per series.
+        assert text.count("# TYPE queries_total") == 1
+
+    def test_prometheus_histogram_type(self, registry):
+        registry.histogram("lat", "latency").observe(0.2)
+        text = registry.render_prometheus()
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+
+    def test_reset(self, registry):
+        registry.counter("hits").inc()
+        registry.reset()
+        assert registry.snapshot() == {}

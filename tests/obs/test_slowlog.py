@@ -1,0 +1,55 @@
+"""Unit tests for the slow-query log."""
+
+import pytest
+
+from repro.obs.slowlog import SlowQueryLog
+
+
+class TestThreshold:
+    def test_only_over_threshold_queries_are_kept(self):
+        log = SlowQueryLog(threshold_s=0.1)
+        assert log.observe("SELECT fast", 0.05) is False
+        assert log.observe("SELECT slow", 0.25, rows=7) is True
+        assert len(log) == 1
+        [entry] = log
+        assert entry.statement == "SELECT slow"
+        assert entry.rows == 7
+
+    def test_threshold_is_runtime_configurable(self):
+        log = SlowQueryLog(threshold_s=1.0)
+        log.set_threshold(0.01)
+        assert log.observe("SELECT x", 0.02) is True
+        with pytest.raises(ValueError):
+            log.set_threshold(-1)
+
+
+class TestRetention:
+    def test_ring_buffer_evicts_oldest(self):
+        log = SlowQueryLog(threshold_s=0.0, capacity=2)
+        for index in range(4):
+            log.observe(f"q{index}", 1.0)
+        assert [entry.statement for entry in log] == ["q2", "q3"]
+
+    def test_clear(self):
+        log = SlowQueryLog(threshold_s=0.0)
+        log.observe("q", 1.0)
+        log.clear()
+        assert len(log) == 0
+
+
+class TestRendering:
+    def test_empty_render_names_the_threshold(self):
+        assert "100ms" in SlowQueryLog(threshold_s=0.1).render()
+
+    def test_render_lists_entries(self):
+        log = SlowQueryLog(threshold_s=0.0)
+        log.observe("SELECT * FROM S", 0.2, rows=3)
+        text = log.render()
+        assert "SELECT * FROM S" in text
+        assert "3 rows" in text
+        assert "200.00ms" in text
+
+    def test_unknown_cardinality_renders_as_question_mark(self):
+        log = SlowQueryLog(threshold_s=0.0)
+        log.observe("SELECT ?", 0.2)
+        assert "? rows" in log.render()

@@ -1,0 +1,138 @@
+"""Unit tests for the tracer: nesting, ring buffer, export."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, Tracer, traced
+
+
+class TestSpans:
+    def test_span_records_name_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", size=3) as span:
+            span.set(rows=7)
+        [recorded] = tracer.spans
+        assert recorded.name == "work"
+        assert recorded.attributes == {"size": 3, "rows": 7}
+        assert recorded.end_s is not None
+        assert recorded.duration_s >= 0.0
+
+    def test_spans_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert (outer.depth, inner.depth) == (0, 1)
+        # Completed in close order: inner lands first.
+        assert [span.name for span in tracer.spans] == ["inner", "outer"]
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        [span] = tracer.spans
+        assert span.attributes["error"] == "ValueError"
+
+    def test_record_appends_caller_timed_span(self):
+        tracer = Tracer()
+        span = tracer.record("node", 10.0, 10.5, rows=4)
+        assert span.duration_s == pytest.approx(0.5)
+        assert span.attributes == {"rows": 4}
+        assert list(tracer.spans) == [span]
+
+    def test_record_inherits_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            child = tracer.record("child", 0.0, 1.0)
+        assert child.parent_id == parent.span_id
+        assert child.depth == 1
+
+
+class TestRingBuffer:
+    def test_oldest_spans_are_evicted(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [span.name for span in tracer.spans] == ["s2", "s3", "s4"]
+
+    def test_tail_and_named(self):
+        tracer = Tracer()
+        for index in range(4):
+            with tracer.span(f"plan.node.{index}"):
+                pass
+        with tracer.span("other"):
+            pass
+        assert [s.name for s in tracer.tail(2)] == ["plan.node.3", "other"]
+        assert tracer.tail(0) == []
+        assert len(tracer.named("plan.node.")) == 4
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestExport:
+    def test_jsonl_roundtrip_via_stream(self):
+        tracer = Tracer()
+        with tracer.span("a", n=1):
+            pass
+        buffer = io.StringIO()
+        assert tracer.export_jsonl(buffer) == 1
+        record = json.loads(buffer.getvalue())
+        assert record["name"] == "a"
+        assert record["attributes"] == {"n": 1}
+        assert record["duration_s"] >= 0.0
+
+    def test_jsonl_to_path(self, tmp_path):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        path = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(str(path)) == 3
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["name"] == "s" for line in lines)
+
+    def test_non_json_attributes_fall_back_to_repr(self):
+        tracer = Tracer()
+        with tracer.span("odd", payload={1, 2}):
+            pass
+        buffer = io.StringIO()
+        tracer.export_jsonl(buffer)
+        assert json.loads(buffer.getvalue())["attributes"]["payload"]
+
+
+class TestDecorator:
+    def test_traced_uses_explicit_factory(self):
+        tracer = Tracer()
+
+        @traced("timed.call", span_factory=tracer.span)
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        [span] = tracer.spans
+        assert span.name == "timed.call"
+
+    def test_traced_defaults_to_function_name_and_obs(self):
+        @traced()
+        def quiet():
+            return 42
+
+        # Observability disabled: runs through NULL_SPAN, still works.
+        assert quiet() == 42
+
+
+class TestNullSpan:
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            assert span.set(anything=1) is span

@@ -112,6 +112,32 @@ def test_planner_without_rules_matches_legacy(sql):
     assert planned == legacy, sql
 
 
+@settings(max_examples=40, deadline=None)
+@given(select_statements())
+def test_explain_analyze_actuals_match_legacy(sql):
+    """EXPLAIN ANALYZE instrumentation must not distort execution: the
+    root node's measured actual row count equals the legacy executor's
+    cardinality, and the rendered tree reports exactly that number."""
+    import re
+
+    from repro.plan.explain import explain_select
+    from repro.plan.planner import plan_select
+
+    statement = parse_select(sql)
+    legacy = execute_select_legacy(DB, statement)
+
+    planned = plan_select(DB, statement, rules=RULES)
+    result = planned.execute()
+    assert planned.root.actual_rows == len(result) == len(legacy), sql
+
+    rendered = explain_select(DB, statement, rules=RULES, analyze=True)
+    root_line = next(line for line in rendered.splitlines()
+                     if not line.startswith("semantic:"))
+    match = re.search(r"actual (\d+), time ", root_line)
+    assert match is not None, rendered
+    assert int(match.group(1)) == len(legacy), sql
+
+
 @settings(max_examples=25, deadline=None)
 @given(select_statements(), st.sampled_from(["COUNT(*)", "COUNT(Type)"]))
 def test_aggregates_match_legacy(sql, aggregate):

@@ -1,0 +1,91 @@
+"""Regression: caches must not serve stale snapshots across mutations.
+
+The scenario that motivates the version checks: a plan is *constructed*
+(statistics snapshotted, access paths chosen), the underlying relation
+then mutates, and only afterwards is the plan *executed*.  Index scans
+resolve their index through the database's :class:`IndexCache` at
+execution time, so the stale snapshot must be detected and rebuilt --
+the result has to reflect the post-mutation rows, not the rows the
+planner saw.  The observability counters double as the assertion that
+the stale path (not a silent full rebuild of everything) was taken.
+"""
+
+import pytest
+
+from repro import obs
+from repro.plan.planner import plan_select
+from repro.plan.stats import statistics
+from repro.sql.executor import execute_select_legacy, execute_statement
+from repro.sql.parser import parse_select
+from repro.testbed import ship_database
+
+SQL = "SELECT * FROM SUBMARINE WHERE SUBMARINE.Class = '0101'"
+INSERT = ("INSERT INTO SUBMARINE (Id, Name, Class) "
+          "VALUES ('SSN999', 'Phantom', '0101')")
+
+
+@pytest.fixture
+def observed():
+    """Observability on, with clean metrics, for the test's duration."""
+    obs.reset()
+    obs.enable()
+    yield obs.metrics()
+    obs.disable()
+    obs.reset()
+
+
+def test_index_scan_sees_rows_inserted_after_planning(observed):
+    database = ship_database()
+    statement = parse_select(SQL)
+
+    # Warm the cache: first execution builds the hash index (miss) ...
+    warm = plan_select(database, statement)
+    assert "IndexScan" in warm.render()
+    before = warm.execute()
+    assert observed.value("index_cache_requests_total",
+                          result="miss", kind="hash") == 1
+
+    # ... plan again, mutate BETWEEN planning and execution ...
+    planned = plan_select(database, statement)
+    execute_statement(database, INSERT)
+    result = planned.execute()
+
+    # ... and the execution must see the new row via a rebuilt index.
+    assert len(result) == len(before) + 1
+    assert any(row[0] == "SSN999" for row in result)
+    assert result == execute_select_legacy(database, statement)
+    assert observed.value("index_cache_requests_total",
+                          result="stale", kind="hash") == 1
+
+
+def test_statistics_snapshot_invalidated_by_mutation(observed):
+    database = ship_database()
+    catalog = statistics(database)
+
+    stale = catalog.table_stats("SUBMARINE")
+    assert catalog.table_stats("SUBMARINE") is stale  # cached
+    assert observed.value("stats_cache_requests_total", result="hit") == 1
+
+    execute_statement(database, INSERT)
+    fresh = catalog.table_stats("SUBMARINE")
+    assert fresh is not stale
+    assert fresh.row_count == stale.row_count + 1
+    assert observed.value("stats_cache_invalidations_total") == 1
+    assert observed.value("stats_cache_requests_total",
+                          result="recompute") == 2
+
+
+def test_unrelated_mutation_revalidates_without_recompute(observed):
+    database = ship_database()
+    catalog = statistics(database)
+    snapshot = catalog.table_stats("SUBMARINE")
+
+    # Mutating SONAR bumps the catalog-wide version, but SUBMARINE's
+    # snapshot is still valid and must be served after revalidation.
+    execute_statement(
+        database,
+        "INSERT INTO SONAR (Sonar, SonarType) VALUES ('XX-1', 'XX')")
+    assert catalog.table_stats("SUBMARINE") is snapshot
+    assert observed.value("stats_cache_requests_total",
+                          result="revalidated") == 1
+    assert observed.value("stats_cache_invalidations_total") == 0

@@ -84,6 +84,92 @@ class TestCommands:
         assert output_of(shell) == ""
 
 
+class TestObservabilityCommands:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        from repro import obs
+        from repro.obs.slowlog import DEFAULT_THRESHOLD_S
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+        obs.slow_queries().set_threshold(DEFAULT_THRESHOLD_S)
+
+    def test_obs_toggle_and_status(self, shell):
+        from repro import obs
+        shell.handle("\\obs on")
+        assert obs.enabled()
+        shell.handle("\\obs off")
+        assert not obs.enabled()
+        shell.handle("\\obs")
+        text = output_of(shell)
+        assert "enabled" in text and "disabled" in text
+        shell.handle("\\obs bogus")
+        assert "usage" in output_of(shell)
+
+    def test_metrics_dump_after_traced_query(self, shell):
+        shell.handle("\\obs on")
+        shell.handle("SELECT Class FROM CLASS WHERE Displacement > 8000")
+        shell.handle("\\metrics")
+        text = output_of(shell)
+        assert "query_seconds_count" in text
+        shell.handle("\\metrics prom")
+        assert "# TYPE query_seconds histogram" in output_of(shell)
+
+    def test_metrics_reset(self, shell):
+        from repro import obs
+        shell.handle("\\obs on")
+        shell.handle("SELECT Class FROM CLASS WHERE Displacement > 8000")
+        shell.handle("\\metrics reset")
+        assert "metrics cleared" in output_of(shell)
+        assert obs.metrics().snapshot() == {}
+
+    def test_metrics_empty(self, shell):
+        shell.handle("\\metrics")
+        assert "(no metrics recorded)" in output_of(shell)
+
+    def test_trace_tail_and_clear(self, shell):
+        shell.handle("\\trace")
+        assert "no spans recorded" in output_of(shell)
+        shell.handle("\\obs on")
+        shell.handle("SELECT Class FROM CLASS WHERE Displacement > 8000")
+        shell.handle("\\trace 5")
+        assert "plan.node." in output_of(shell)
+        shell.handle("\\trace clear")
+        assert "trace buffer cleared" in output_of(shell)
+        shell.handle("\\trace nonsense")
+        assert "usage" in output_of(shell)
+
+    def test_trace_export(self, shell, tmp_path):
+        shell.handle("\\obs on")
+        shell.handle("SELECT Class FROM CLASS WHERE Displacement > 8000")
+        path = tmp_path / "spans.jsonl"
+        shell.handle(f"\\trace export {path}")
+        assert f"spans written to {path}" in output_of(shell)
+        assert path.read_text().count("\n") >= 1
+        shell.handle("\\trace export")
+        assert "usage" in output_of(shell)
+
+    def test_slowlog_threshold_and_capture(self, shell):
+        from repro import obs
+        shell.handle("\\slowlog 0")  # everything is slow now
+        shell.handle("\\obs on")
+        shell.handle("SELECT Class FROM CLASS WHERE Displacement > 8000")
+        shell.handle("\\slowlog")
+        assert "SELECT Class FROM CLASS" in output_of(shell)
+        shell.handle("\\slowlog clear")
+        assert len(obs.slow_queries()) == 0
+        shell.handle("\\slowlog abc")
+        assert "usage" in output_of(shell)
+
+    def test_explain_analyze_from_shell(self, shell):
+        shell.handle("EXPLAIN ANALYZE SELECT Class FROM CLASS "
+                     "WHERE Displacement > 8000")
+        text = output_of(shell)
+        assert "actual" in text and ", time " in text
+
+
 class TestQueries:
     def test_sql_query(self, shell):
         shell.handle("SELECT Class FROM CLASS WHERE Displacement > 8000")
