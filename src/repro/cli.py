@@ -26,6 +26,12 @@ times.  Backslash commands inspect the system:
 ``\\trace [N]``     show the last N tracing spans (``clear``, or
                    ``export PATH`` for a JSONL dump)
 ``\\slowlog [ms]``  show the slow-query log / set its threshold
+``\\begin``         open an explicit transaction (needs ``--data-dir``)
+``\\commit``        commit it durably; ``\\rollback`` undoes it
+``\\checkpoint``    snapshot the database and truncate the WAL
+``\\wal [N]``       storage status and the last N WAL records
+``\\recover``       reload from the data directory (snapshot + WAL)
+``\\refresh``       re-induce the rule base and store it atomically
 ``\\help``          this table
 ``\\quit``          leave
 =================  ====================================================
@@ -84,6 +90,9 @@ class Shell:
             self.write(result.render())
         except ReproError as error:
             self.write(f"error: {error}")
+            hint = getattr(error, "hint", None)
+            if hint:
+                self.write(f"hint: {hint}")
         return True
 
     def _command(self, line: str) -> bool:
@@ -167,7 +176,90 @@ class Shell:
             return self._trace_command(argument)
         if command == "slowlog":
             return self._slowlog_command(argument)
+        if command == "begin":
+            self.system.begin()
+            self.write("transaction opened")
+            return True
+        if command == "commit":
+            self.system.commit()
+            self.write("committed")
+            return True
+        if command == "rollback":
+            self.system.rollback()
+            self.write("rolled back")
+            return True
+        if command == "checkpoint":
+            lsn = self.system.checkpoint()
+            self.write(f"checkpoint complete (WAL truncated at lsn {lsn})")
+            return True
+        if command == "wal":
+            return self._wal_command(argument)
+        if command == "recover":
+            return self._recover_command()
+        if command == "refresh":
+            rules = self.system.refresh_rules()
+            self.write(f"rule base refreshed: {len(rules)} rules stored")
+            return True
         self.write(f"unknown command \\{command} (try \\help)")
+        return True
+
+    # -- durability commands -------------------------------------------------
+
+    def _wal_command(self, argument: str) -> bool:
+        storage = self.system.storage
+        if storage is None:
+            self.write("(no durable storage attached -- start with "
+                       "--data-dir DIR)")
+            return True
+        status = storage.status()
+        self.write(f"data directory: {status['data_dir']}")
+        self.write(f"fsync policy:   {status['fsync']}")
+        self.write(f"last LSN:       {status['last_lsn']}")
+        self.write(f"snapshot:       "
+                   + ("present" if status["snapshot"] else "none"))
+        self.write(f"transaction:    "
+                   + ("open" if status["in_transaction"] else "none"))
+        if status["has_rules"]:
+            self.write("rule base:      "
+                       + ("STALE (run \\refresh)" if status["rules_stale"]
+                          else "fresh"))
+        count = 10
+        if argument:
+            try:
+                count = int(argument)
+            except ValueError:
+                self.write("usage: \\wal [N]")
+                return True
+        from repro.storage import read_records
+        records, torn = read_records(storage.wal.path)
+        for record in records[-count:]:
+            parts = [f"lsn={record['lsn']}", record["type"]]
+            if "tx" in record:
+                parts.append(f"tx={record['tx']}")
+            if "rel" in record:
+                parts.append(f"rel={record['rel']} op={record['op']}")
+            elif "name" in record:
+                parts.append(f"{record.get('op', '')} {record['name']}")
+            self.write("  " + " ".join(parts))
+        if torn:
+            self.write("  (torn tail follows -- dropped on next append)")
+        return True
+
+    def _recover_command(self) -> bool:
+        storage = self.system.storage
+        if storage is None:
+            self.write("(no durable storage attached -- start with "
+                       "--data-dir DIR)")
+            return True
+        data_dir = storage.data_dir
+        fsync = storage.wal.fsync
+        storage.detach()
+        ker_schema = (self.system.binding.schema
+                      if self.system.binding is not None else None)
+        self.system, report = IntensionalQueryProcessor.recover(
+            data_dir, fsync=fsync, ker_schema=ker_schema)
+        self.quel = QuelSession(self.system.database)
+        self.write(report.render())
         return True
 
     # -- observability commands ---------------------------------------------
@@ -266,22 +358,61 @@ class Shell:
 
 def build_system(db_path: str | None = None,
                  ker_path: str | None = None,
-                 n_c: float = 3) -> IntensionalQueryProcessor:
+                 n_c: float = 3,
+                 data_dir: str | None = None,
+                 fsync: str = "commit",
+                 out: TextIO | None = None) -> IntensionalQueryProcessor:
     """Assemble the system for the CLI: the ship test bed by default,
-    or a text-dumped database plus optional KER DDL file."""
-    if db_path is None:
-        return IntensionalQueryProcessor.from_database(
-            ship_database(), ker_schema=ship_ker_schema(),
-            config=InductionConfig(n_c=n_c),
-            relation_order=["SUBMARINE", "CLASS", "SONAR", "INSTALL"])
-    with open(db_path) as handle:
-        database = load_database(handle.readlines())
+    or a text-dumped database plus optional KER DDL file.
+
+    With *data_dir*, the system is durable: an existing snapshot/WAL in
+    the directory is recovered from (the ``--db`` bootstrap is ignored
+    then); a fresh directory is initialized with a baseline checkpoint
+    of the bootstrap database.
+    """
     schema = None
     if ker_path is not None:
         with open(ker_path) as handle:
             schema = parse_ker(handle.read())
-    return IntensionalQueryProcessor.from_database(
-        database, ker_schema=schema, config=InductionConfig(n_c=n_c))
+    elif db_path is None:
+        # Default ship test bed: its KER schema is built in, and a
+        # recovery without it would silently lose the binding (and with
+        # it every subtype-style intensional answer).
+        schema = ship_ker_schema()
+    if data_dir is not None:
+        from repro.storage import SNAPSHOT_FILE, snapshot_exists
+        from repro.storage.engine import WAL_FILE
+        import os
+        if (snapshot_exists(data_dir)
+                or os.path.exists(os.path.join(data_dir, WAL_FILE))):
+            system, report = IntensionalQueryProcessor.recover(
+                data_dir, fsync=fsync, ker_schema=schema)
+            if out is not None:
+                out.write(report.render() + "\n")
+            return system
+    if db_path is None:
+        system = IntensionalQueryProcessor.from_database(
+            ship_database(), ker_schema=ship_ker_schema(),
+            config=InductionConfig(n_c=n_c),
+            relation_order=["SUBMARINE", "CLASS", "SONAR", "INSTALL"])
+    else:
+        with open(db_path) as handle:
+            database = load_database(handle.readlines())
+        system = IntensionalQueryProcessor.from_database(
+            database, ker_schema=schema, config=InductionConfig(n_c=n_c))
+    if data_dir is not None:
+        storage = system.attach_storage(data_dir, fsync=fsync)
+        if len(system.rules):
+            # The bootstrap induction predates attachment; store its
+            # rule relations and sync marker so the baseline snapshot
+            # starts with a fresh (not stale) knowledge base.
+            from repro.rules.rule_relations import encode_rule_relations
+            with storage.transaction():
+                encode_rule_relations(system.rules).register_into(
+                    system.database)
+                storage.mark_rules_current()
+        storage.checkpoint()
+    return system
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -293,9 +424,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ker", help="KER DDL file for --db")
     parser.add_argument("--nc", type=float, default=3,
                         help="induction support threshold N_c")
+    parser.add_argument("--data-dir", help="durable storage directory "
+                        "(WAL + snapshots); recovered from if non-empty")
+    parser.add_argument("--fsync", default="commit",
+                        choices=["always", "commit", "never"],
+                        help="WAL fsync policy (default: commit)")
     arguments = parser.parse_args(argv)
     shell = Shell(build_system(arguments.db, arguments.ker,
-                               n_c=arguments.nc))
+                               n_c=arguments.nc,
+                               data_dir=arguments.data_dir,
+                               fsync=arguments.fsync,
+                               out=sys.stdout))
     shell.repl()
     return 0
 

@@ -68,3 +68,47 @@ class InductionError(ReproError):
 
 class InferenceError(ReproError):
     """The inference processor could not interpret a query or fact."""
+
+
+class StorageError(ReproError):
+    """A durable-storage operation failed (WAL, snapshot, transaction).
+
+    Storage errors carry an optional ``hint`` -- one actionable sentence
+    the CLI prints under the message so an operator knows what to do
+    next instead of reading a traceback.
+    """
+
+    #: default hint; subclasses and call sites override per failure.
+    hint: str | None = None
+
+    def __init__(self, message: str, hint: str | None = None):
+        super().__init__(message)
+        if hint is not None:
+            self.hint = hint
+
+
+class CorruptWalRecord(StorageError):
+    """A write-ahead-log record failed its CRC or structural check
+    somewhere other than the torn tail (a torn tail is normal after a
+    crash; corruption *before* intact records is not)."""
+
+    hint = ("the WAL is damaged mid-file; restore the latest snapshot "
+            "with \\recover, or truncate the log at the corrupt LSN "
+            "after inspecting it with \\wal")
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent state."""
+
+    hint = ("inspect the data directory: the snapshot may predate the "
+            "WAL or belong to a different database; recovery needs a "
+            "matching snapshot/WAL pair")
+
+
+class StaleRuleBase(StorageError):
+    """The rule relations describe an older state of the data than the
+    one recovered; intensional answers would be unsound."""
+
+    hint = ("the induced rules predate the recovered data; re-run "
+            "induction (system.refresh_rules()) to restore intensional "
+            "answers -- extensional answers remain correct meanwhile")

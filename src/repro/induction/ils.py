@@ -128,6 +128,50 @@ class InductiveLearningSubsystem:
                         "rules induced by the ILS").inc(len(ruleset))
             return ruleset
 
+    def induce_and_store(self, include_tree_rules: bool = False) -> RuleSet:
+        """Induce and persist the knowledge base in ONE transaction.
+
+        The four rule relations, the induction-metadata relation (the
+        N_c configuration the run used) and the ``rule_sync`` staleness
+        marker commit together: after any crash the database holds
+        either the complete new knowledge base or the previous one --
+        never rules without their metadata, and never a sync marker for
+        rules that were not fully written.
+
+        Without attached storage this still registers everything (the
+        transaction machinery is just absent).
+        """
+        import contextlib
+
+        from repro.relational.datatypes import INTEGER, REAL, char
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Column, RelationSchema
+        from repro.rules.rule_relations import (
+            INDUCTION_META_NAME, encode_rule_relations,
+        )
+
+        ruleset = self.induce(include_tree_rules=include_tree_rules)
+        database = self.binding.database
+        bundle = encode_rule_relations(ruleset)
+        meta = Relation(
+            RelationSchema(INDUCTION_META_NAME, [
+                Column("NC", REAL), Column("NCFraction", INTEGER),
+                Column("SupportMetric", char(16)),
+                Column("RuleCount", INTEGER),
+            ]),
+            [(float(self.config.n_c),
+              1 if self.config.n_c_fraction else 0,
+              self.config.support_metric, len(ruleset))])
+        storage = database.storage
+        scope = (storage.transaction() if storage is not None
+                 else contextlib.nullcontext())
+        with scope:
+            bundle.register_into(database)
+            database.catalog.register(meta, replace=True)
+            if storage is not None:
+                storage.mark_rules_current()
+        return ruleset
+
     def _induce_tree_rules(self, existing: RuleSet) -> list[Rule]:
         from repro.induction.candidates import classification_attributes
         from repro.induction.id3 import id3_induce, tree_to_rules

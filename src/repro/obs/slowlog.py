@@ -11,9 +11,10 @@ nothing.
 
 from __future__ import annotations
 
+import json
 import time
 from collections import deque
-from typing import NamedTuple
+from typing import NamedTuple, TextIO
 
 #: Default threshold: 100ms, far above any ship-database query but low
 #: enough to catch accidental full scans over synthetic workloads.
@@ -77,3 +78,37 @@ class SlowQueryLog:
 
     def __iter__(self):
         return iter(self.entries)
+
+    # -- export / reload ----------------------------------------------------
+
+    def export_jsonl(self, destination: "str | TextIO") -> int:
+        """Write the retained entries as JSON Lines; returns the count."""
+        if isinstance(destination, str):
+            with open(destination, "w") as handle:
+                return self.export_jsonl(handle)
+        count = 0
+        for entry in self.entries:
+            destination.write(json.dumps(entry._asdict()) + "\n")
+            count += 1
+        return count
+
+    def load_jsonl(self, source: "str | TextIO") -> tuple[int, bool]:
+        """Append entries from a JSONL dump, tolerating a torn final
+        line (the file may come from a crashed process).  Returns
+        ``(loaded_count, torn_tail)``."""
+        from repro.obs.trace import read_jsonl_tolerant
+        records, torn = read_jsonl_tolerant(source)
+        count = 0
+        for record in records:
+            try:
+                self.entries.append(SlowQuery(
+                    str(record["statement"]),
+                    float(record["duration_s"]),
+                    None if record.get("rows") is None
+                    else int(record["rows"]),
+                    float(record.get("recorded_s", 0.0))))
+            except (KeyError, TypeError, ValueError):
+                torn = True  # malformed record: drop, keep loading
+                continue
+            count += 1
+        return count, torn

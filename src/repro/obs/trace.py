@@ -219,6 +219,45 @@ class Tracer:
         return count
 
 
+def read_jsonl_tolerant(source: "str | TextIO",
+                        ) -> tuple[list[dict], bool]:
+    """Parse a JSONL export, tolerating a torn final line.
+
+    A process killed mid-export (or mid-append) leaves a partial last
+    line; diagnostics must survive that, so the torn line is dropped and
+    flagged rather than raising.  Returns ``(records, torn_tail)`` --
+    ``torn_tail`` is True when trailing non-JSON content was discarded.
+    Invalid lines *before* valid ones are also counted as torn content
+    but never abort the load: observability data is advisory, losing a
+    line must not lose the file.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_jsonl_tolerant(handle)
+    records: list[dict] = []
+    torn = False
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            torn = True
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+        else:
+            torn = True
+    return records, torn
+
+
+def load_jsonl(source: "str | TextIO") -> tuple[list[dict], bool]:
+    """Reload a :meth:`Tracer.export_jsonl` dump as span dicts;
+    see :func:`read_jsonl_tolerant` for the torn-tail semantics."""
+    return read_jsonl_tolerant(source)
+
+
 def traced(name: str | None = None,
            span_factory: Callable[..., Any] | None = None):
     """Decorator tracing every call of the wrapped function.

@@ -51,14 +51,21 @@ def _induce_all_comparisons(binding: SchemaBinding) -> list:
 
 
 class QueryResult:
-    """Extensional answer plus intensional characterizations."""
+    """Extensional answer plus intensional characterizations.
+
+    ``warnings`` carries degradation notices -- today, that the rule
+    base is stale after recovery and intensional answering was
+    suppressed rather than risk answers induced from different data.
+    """
 
     def __init__(self, statement: SelectStmt, extensional: Relation,
-                 inference: InferenceResult, unused: Sequence):
+                 inference: InferenceResult, unused: Sequence,
+                 warnings: Sequence[str] = ()):
         self.statement = statement
         self.extensional = extensional
         self.inference = inference
         self.unused = tuple(unused)
+        self.warnings = tuple(warnings)
 
     @property
     def intensional(self) -> list[IntensionalAnswer]:
@@ -72,6 +79,8 @@ class QueryResult:
                  "Extensional answer:",
                  self.extensional.render(max_rows=max_rows), "",
                  self.inference.summary()]
+        for warning in self.warnings:
+            lines.append(f"WARNING: {warning}")
         if self.unused:
             lines.append(
                 "(conditions unused by inference: "
@@ -127,26 +136,133 @@ class IntensionalQueryProcessor:
         return cls(database, rules, binding=binding,
                    constraints=constraints)
 
+    # -- durability ---------------------------------------------------------
+
+    @property
+    def storage(self):
+        """The attached :class:`~repro.storage.StorageEngine`, if any."""
+        return self.database.storage
+
+    def _require_storage(self):
+        if self.database.storage is None:
+            from repro.errors import StorageError
+            raise StorageError(
+                "no durable storage attached",
+                hint="attach one with attach_storage(data_dir) or start "
+                     "the CLI with --data-dir")
+        return self.database.storage
+
+    def attach_storage(self, data_dir: str, fsync: str = "commit"):
+        """Attach a durable storage engine: from here on every mutation
+        is journaled and ``checkpoint()``/``recover()`` work."""
+        from repro.storage import StorageEngine
+        return StorageEngine(self.database, data_dir, fsync=fsync)
+
+    def begin(self) -> None:
+        """Open an explicit transaction on the attached storage."""
+        self._require_storage().begin()
+
+    def commit(self) -> None:
+        self._require_storage().commit()
+
+    def rollback(self) -> None:
+        self._require_storage().rollback()
+
+    def checkpoint(self) -> int:
+        return self._require_storage().checkpoint()
+
+    @classmethod
+    def recover(cls, data_dir: str, fsync: str = "commit",
+                ker_schema: KerSchema | None = None,
+                ) -> tuple["IntensionalQueryProcessor", "RecoveryReport"]:
+        """Restart from *data_dir*: snapshot + WAL tail, rule relations
+        decoded back into the knowledge base.
+
+        A stale rule base (data committed after the last induction) is
+        *kept* but flagged: :meth:`ask` then answers extensionally only,
+        with a warning, until :meth:`refresh_rules` re-induces.
+        """
+        from repro.rules.rule_relations import (
+            RULE_RELATION_NAME, RuleRelationBundle, decode_rule_relations,
+        )
+        from repro.storage import StorageEngine
+        engine, report = StorageEngine.recover(data_dir, fsync=fsync)
+        database = engine.database
+        rules = RuleSet()
+        if RULE_RELATION_NAME in database.catalog:
+            rules = decode_rule_relations(
+                RuleRelationBundle.from_database(database))
+        binding = (SchemaBinding(ker_schema, database)
+                   if ker_schema is not None else None)
+        processor = cls(database, rules, binding=binding)
+        return processor, report
+
+    def refresh_rules(self, ker_schema: KerSchema | None = None,
+                      config: InductionConfig | None = None,
+                      relation_order: list[str] | None = None) -> RuleSet:
+        """Re-induce the rule base from the current data and store it
+        atomically (rules + induction metadata in one transaction),
+        clearing any staleness flag."""
+        from repro.errors import StorageError
+        if ker_schema is not None:
+            self.binding = SchemaBinding(ker_schema, self.database)
+        if self.binding is None:
+            raise StorageError(
+                "cannot refresh rules without a KER schema",
+                hint="pass ker_schema= (the binding was not recovered "
+                     "from storage)")
+        ils = InductiveLearningSubsystem(self.binding, config,
+                                         relation_order=relation_order)
+        self.rules = ils.induce_and_store()
+        self.engine = TypeInferenceEngine(self.rules, binding=self.binding,
+                                          constraints=self.constraints)
+        return self.rules
+
     def ask(self, sql: str, forward: bool = True,
             backward: bool = True) -> QueryResult:
-        """Answer *sql* extensionally and intensionally."""
+        """Answer *sql* extensionally and intensionally.
+
+        When the database was recovered with a stale rule base, the
+        intensional half is suppressed (never silently wrong): the
+        result carries only the extensional answer plus a warning until
+        :meth:`refresh_rules` runs.
+        """
         start = time.perf_counter()
+        storage = self.database.storage
+        degraded = (storage is not None and storage.has_rules
+                    and storage.rules_stale)
+        warnings: list[str] = []
         with obs.span("query.ask", sql=sql) as span:
             statement = parse_select(sql)
-            extensional = execute_select(self.database, statement,
-                                         rules=self.rules)
+            extensional = execute_select(
+                self.database, statement,
+                rules=None if degraded else self.rules)
             conditions = extract_conditions(self.database, statement)
-            inference = self.engine.infer(
-                conditions.clauses, equivalences=conditions.equivalences,
-                forward=forward, backward=backward)
+            if degraded:
+                from repro.inference.facts import FactBase
+                inference = InferenceResult(conditions.clauses,
+                                            FactBase(), (), ())
+                warnings.append(
+                    "rule base is stale (data changed after the last "
+                    "induction); intensional answers suppressed -- "
+                    "run refresh_rules() to restore them")
+                obs.counter("stale_rule_base_degraded_total",
+                            "queries answered extensionally only "
+                            "because the rule base was stale").inc()
+            else:
+                inference = self.engine.infer(
+                    conditions.clauses,
+                    equivalences=conditions.equivalences,
+                    forward=forward, backward=backward)
             span.set(rows=len(extensional),
-                     intensional=len(inference.answers()))
+                     intensional=len(inference.answers()),
+                     degraded=degraded)
         if obs.enabled():
             obs.observe_query(statement.render(),
                               time.perf_counter() - start,
                               rows=len(extensional), kind="ask")
         return QueryResult(statement, extensional, inference,
-                           conditions.unused)
+                           conditions.unused, warnings=warnings)
 
     def explain(self, sql: str, analyze: bool = False) -> str:
         """Plan, execute, and render the plan tree for a SELECT.

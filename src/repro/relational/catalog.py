@@ -30,6 +30,9 @@ class Catalog:
         self._stats_version = 0
         #: key -> (relation, mutation-hook token), for detaching on drop.
         self._hooks: dict[str, tuple[Relation, int]] = {}
+        #: durable-storage journal (set by an attached StorageEngine);
+        #: register/drop report DDL to it and propagate it to relations.
+        self.journal = None
 
     # -- invalidation signal ----------------------------------------------
 
@@ -56,13 +59,19 @@ class Catalog:
 
     def register(self, relation: Relation, replace: bool = False) -> Relation:
         key = relation.name.lower()
-        if key in self._relations and not replace:
+        displaced = self._relations.get(key)
+        if displaced is not None and not replace:
             raise CatalogError(f"relation {relation.name!r} already exists")
-        if key in self._relations:
+        if self.journal is not None:
+            self.journal.log_register(relation, replace=replace,
+                                      displaced=displaced)
+        if displaced is not None:
             self._detach(key)
+            displaced.journal = None
         else:
             self._order.append(key)
         self._relations[key] = relation
+        relation.journal = self.journal
         self._attach(key, relation)
         self._bump()
         return relation
@@ -79,7 +88,11 @@ class Catalog:
         key = name.lower()
         if key not in self._relations:
             raise CatalogError(f"no relation named {name!r}")
+        relation = self._relations[key]
+        if self.journal is not None:
+            self.journal.log_drop(relation)
         self._detach(key)
+        relation.journal = None
         del self._relations[key]
         self._order.remove(key)
         self._bump()

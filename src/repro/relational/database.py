@@ -27,6 +27,9 @@ class Database:
         #: version-checked secondary-index cache shared by the query
         #: planner and the executor's equality fast path.
         self.indexes = IndexCache()
+        #: the attached durable StorageEngine, if any (set by the engine
+        #: itself on attach; None means purely in-memory operation).
+        self.storage = None
 
     # -- DDL ----------------------------------------------------------------
 

@@ -43,6 +43,10 @@ class Relation:
         self._version = 0
         self._mutation_hooks: dict[int, Callable[["Relation"], None]] = {}
         self._next_hook_token = 1
+        #: durable-storage journal (set by an attached StorageEngine via
+        #: the catalog); mutators report their redo payload to it
+        #: *before* applying, so the engine can capture the pre-image.
+        self.journal = None
 
     # -- construction ----------------------------------------------------
 
@@ -157,47 +161,77 @@ class Relation:
         for hook in list(self._mutation_hooks.values()):
             hook(self)
 
+    def _log(self, op: str, **payload: Any) -> None:
+        """Report an imminent mutation to the attached journal (the
+        rows have not changed yet, so the journal can snapshot the
+        pre-image for transaction rollback)."""
+        if self.journal is not None:
+            self.journal.log_mutation(self, op, payload)
+
     def insert(self, values: Sequence[Any]) -> tuple:
         row = self.schema.check_row(values)
+        self._log("insert", rows=[row])
         self._rows.append(row)
         self._touch()
         return row
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
         checked = [self.schema.check_row(values) for values in rows]
-        self._rows.extend(checked)
         if checked:
+            self._log("insert", rows=checked)
+            self._rows.extend(checked)
             self._touch()
         return len(checked)
 
     def delete_where(self, predicate: Callable[[tuple], bool]) -> int:
         """Delete rows satisfying *predicate*; return the count deleted."""
-        kept = [row for row in self._rows if not predicate(row)]
-        deleted = len(self._rows) - len(kept)
-        self._rows[:] = kept
-        if deleted:
-            self._touch()
-        return deleted
+        positions = [index for index, row in enumerate(self._rows)
+                     if predicate(row)]
+        if not positions:
+            return 0
+        self._log("delete", positions=positions)
+        doomed = set(positions)
+        self._rows[:] = [row for index, row in enumerate(self._rows)
+                         if index not in doomed]
+        self._touch()
+        return len(positions)
 
     def replace_where(self, predicate: Callable[[tuple], bool],
                       updater: Callable[[tuple], Sequence[Any]]) -> int:
         """Update rows satisfying *predicate* to ``updater(row)``
         (validated); returns the count updated.  This backs QUEL's
-        ``replace`` statement."""
-        updated = 0
+        ``replace`` statement.
+
+        Every replacement row is validated before any is applied, so a
+        bad updater leaves the relation untouched (statement-level
+        atomicity in memory, matching the journal's redo payload).
+        """
+        changes: list[tuple[int, tuple]] = []
         for index, row in enumerate(self._rows):
             if predicate(row):
-                self._rows[index] = self.schema.check_row(updater(row))
-                updated += 1
-        if updated:
-            self._touch()
-        return updated
+                changes.append((index, self.schema.check_row(updater(row))))
+        if not changes:
+            return 0
+        self._log("replace", changes=changes)
+        for index, row in changes:
+            self._rows[index] = row
+        self._touch()
+        return len(changes)
 
     def clear(self) -> None:
-        had_rows = bool(self._rows)
+        if not self._rows:
+            return
+        self._log("clear")
         self._rows.clear()
-        if had_rows:
-            self._touch()
+        self._touch()
+
+    def restore_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Replace the row list wholesale (transaction rollback and
+        recovery replay).  Bypasses the journal -- the caller *is* the
+        storage engine -- but still bumps the mutation version and fires
+        hooks, so caches invalidate exactly as for a live mutation."""
+        self._rows[:] = [tuple(row) for row in rows]
+        self._touch()
 
     # -- derived relations --------------------------------------------------
 

@@ -62,8 +62,13 @@ def _escape(value: Any) -> str:
         text = value.isoformat()
     else:
         text = str(value)
-    return (text.replace("\\", "\\\\").replace("|", "\\|")
-            .replace("\n", "\\n"))
+    text = (text.replace("\\", "\\\\").replace("|", "\\|")
+            .replace("\n", "\\n").replace("\r", "\\r"))
+    # A row whose first cell starts with '%' would otherwise be read
+    # back as a block marker (e.g. the string value "%end").
+    if text.startswith("%"):
+        text = "\\%" + text[1:]
+    return text
 
 
 def _unescape(text: str, datatype: DataType) -> Any:
@@ -75,7 +80,8 @@ def _unescape(text: str, datatype: DataType) -> Any:
         ch = text[i]
         if ch == "\\" and i + 1 < len(text):
             nxt = text[i + 1]
-            out.append({"\\": "\\", "|": "|", "n": "\n"}.get(nxt, nxt))
+            out.append({"\\": "\\", "|": "|", "n": "\n", "r": "\r",
+                        "%": "%"}.get(nxt, nxt))
             i += 2
         else:
             out.append(ch)
@@ -153,7 +159,12 @@ def load_relations(stream: TextIO | Iterable[str]) -> list[Relation]:
     rows: list[tuple] = []
     for raw_line in stream:
         line = raw_line.rstrip("\n")
-        if not line or line.startswith("%database"):
+        # A blank line *inside* a row section is a legitimate row (a
+        # single empty-string cell); skipping it would silently drop
+        # the row.  Blank lines between blocks remain ignorable.
+        if not line and schema is None:
+            continue
+        if line.startswith("%database"):
             continue
         if line.startswith("%relation"):
             parts = line.split()

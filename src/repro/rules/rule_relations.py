@@ -44,6 +44,11 @@ RULE_RELATION_NAME = "RULE_CLAUSES"
 ATTRIBUTE_MAP_NAME = "RULE_ATTRIBUTES"
 VALUE_MAP_NAME = "RULE_VALUES"
 SUPPORT_RELATION_NAME = "RULE_META"
+#: Companion relation the ILS writes in the same transaction as the
+#: bundle: one row describing the induction run (classifying attribute,
+#: noise threshold N_c, rule count) so run metadata is never newer or
+#: older than the rules it describes.
+INDUCTION_META_NAME = "RULE_INDUCTION"
 
 _TYPE_TAGS = {"integer", "real", "string", "date"}
 

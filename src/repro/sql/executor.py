@@ -15,6 +15,7 @@ projection machinery below, so they are cross-checkable row for row.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import NamedTuple, Sequence
 
@@ -70,13 +71,21 @@ def execute_statement(database: Database, text: str,
     obs.counter("queries_total", "statements executed by type",
                 type=type(statement).__name__.replace(
                     "Stmt", "").lower()).inc()
-    if isinstance(statement, ast.InsertStmt):
-        return _execute_insert(database, statement)
-    if isinstance(statement, ast.DeleteStmt):
-        return _execute_delete(database, statement)
-    if isinstance(statement, ast.UpdateStmt):
-        return _execute_update(database, statement)
-    raise SqlError(f"unsupported statement {statement!r}")
+    # DML runs inside a storage statement scope when the database is
+    # attached to a durable engine: on success the scope autocommits to
+    # the WAL (unless an explicit transaction is open); on error it
+    # rolls the statement's mutations back, so a statement is all or
+    # nothing even when it touched the relation before failing.
+    scope = (database.storage.statement() if database.storage is not None
+             else contextlib.nullcontext())
+    with scope:
+        if isinstance(statement, ast.InsertStmt):
+            return _execute_insert(database, statement)
+        if isinstance(statement, ast.DeleteStmt):
+            return _execute_delete(database, statement)
+        if isinstance(statement, ast.UpdateStmt):
+            return _execute_update(database, statement)
+        raise SqlError(f"unsupported statement {statement!r}")
 
 
 def _constant(expression, what: str):

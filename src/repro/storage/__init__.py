@@ -1,0 +1,27 @@
+"""Durable storage: WAL, checkpointed snapshots, transactions, recovery.
+
+See :mod:`repro.storage.engine` for the architecture overview and
+``docs/DURABILITY.md`` for the on-disk formats and crash guarantees.
+"""
+
+from repro.storage.engine import (
+    RecoveryReport, StorageEngine, is_rule_relation,
+)
+from repro.storage.faults import (
+    CountingOps, FaultInjector, FileOps, InjectedCrash, REAL_OPS,
+)
+from repro.storage.snapshot import (
+    SNAPSHOT_FILE, load_snapshot, snapshot_exists, write_snapshot,
+)
+from repro.storage.wal import (
+    FSYNC_POLICIES, WriteAheadLog, decode_record, encode_record,
+    read_records,
+)
+
+__all__ = [
+    "CountingOps", "FSYNC_POLICIES", "FaultInjector", "FileOps",
+    "InjectedCrash", "REAL_OPS", "RecoveryReport", "SNAPSHOT_FILE",
+    "StorageEngine", "WriteAheadLog", "decode_record", "encode_record",
+    "is_rule_relation", "load_snapshot", "read_records",
+    "snapshot_exists", "write_snapshot",
+]

@@ -1,0 +1,131 @@
+"""Deterministic fault injection for the durable storage engine.
+
+Every file-system side effect of the storage layer -- WAL appends,
+fsyncs, snapshot writes, the checkpoint's atomic renames -- goes through
+a :class:`FileOps` instance.  The default performs real I/O; a
+:class:`FaultInjector` performs real I/O up to a chosen operation index
+and then *dies*: it optionally applies a prefix of the final write (a
+torn record at any byte offset) and raises :class:`InjectedCrash` for
+that and every subsequent operation, exactly as a killed process leaves
+a torn tail and performs nothing further.
+
+The crash schedule is a plain pair ``(crash_at, partial_fraction)``, so
+a property test can first count a workload's operations with
+:class:`CountingOps` and then enumerate every crash point
+deterministically -- no randomness hides in this module.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+
+class InjectedCrash(Exception):
+    """The simulated process death.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: storage code
+    must never catch and absorb it, because a real ``kill -9`` cannot be
+    caught either.
+    """
+
+
+class FileOps:
+    """Real file-system operations, one method per storage side effect.
+
+    ``kind`` labels the call site (``wal_append``, ``wal_fsync``,
+    ``snapshot_write``, ``snapshot_fsync``, ``snapshot_rename``,
+    ``wal_rotate``) so injectors and tests can target specific fault
+    classes.
+    """
+
+    def write(self, handle: TextIO, data: str, kind: str) -> None:
+        handle.write(data)
+
+    def fsync(self, handle: TextIO, kind: str) -> None:
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def replace(self, source: str, destination: str, kind: str) -> None:
+        os.replace(source, destination)
+
+
+REAL_OPS = FileOps()
+
+
+class CountingOps(FileOps):
+    """Counts operations (performing them for real) so a harness can
+    enumerate crash points: run once counting, then once per index."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.kinds: list[str] = []
+
+    def _tick(self, kind: str) -> None:
+        self.count += 1
+        self.kinds.append(kind)
+
+    def write(self, handle: TextIO, data: str, kind: str) -> None:
+        self._tick(kind)
+        super().write(handle, data, kind)
+
+    def fsync(self, handle: TextIO, kind: str) -> None:
+        self._tick(kind)
+        super().fsync(handle, kind)
+
+    def replace(self, source: str, destination: str, kind: str) -> None:
+        self._tick(kind)
+        super().replace(source, destination, kind)
+
+
+class FaultInjector(FileOps):
+    """Dies at operation ``crash_at`` (0-based).
+
+    For a write, ``partial_fraction`` of the payload (rounded down to a
+    byte count) is applied before death -- 0.0 kills the write entirely,
+    1.0 lets it complete and kills the process just after.  Non-write
+    operations are killed before taking effect.  Once dead, every
+    further operation raises immediately.
+    """
+
+    def __init__(self, crash_at: int, partial_fraction: float = 0.0):
+        if crash_at < 0:
+            raise ValueError("crash_at must be >= 0")
+        if not 0.0 <= partial_fraction <= 1.0:
+            raise ValueError("partial_fraction must be in [0, 1]")
+        self.crash_at = crash_at
+        self.partial_fraction = partial_fraction
+        self.clock = 0
+        self.dead = False
+        self.died_on: str | None = None
+
+    def _tick(self, kind: str) -> bool:
+        """Advance the op clock; True when this op is the crash point."""
+        if self.dead:
+            raise InjectedCrash(f"already dead (crashed on {self.died_on})")
+        fatal = self.clock == self.crash_at
+        self.clock += 1
+        if fatal:
+            self.dead = True
+            self.died_on = kind
+        return fatal
+
+    def write(self, handle: TextIO, data: str, kind: str) -> None:
+        if self._tick(kind):
+            prefix = data[:int(len(data) * self.partial_fraction)]
+            if prefix:
+                handle.write(prefix)
+                handle.flush()
+            raise InjectedCrash(f"torn {kind} after {len(prefix)} of "
+                                f"{len(data)} bytes")
+        super().write(handle, data, kind)
+
+    def fsync(self, handle: TextIO, kind: str) -> None:
+        if self._tick(kind):
+            raise InjectedCrash(f"died before {kind} fsync")
+        super().fsync(handle, kind)
+
+    def replace(self, source: str, destination: str, kind: str) -> None:
+        if self._tick(kind):
+            raise InjectedCrash(f"died before {kind} rename")
+        super().replace(source, destination, kind)

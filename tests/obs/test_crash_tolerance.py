@@ -1,0 +1,98 @@
+"""Diagnostics must survive their own crashes: a JSONL export torn
+mid-line by a killed process reloads to every complete record, never an
+exception -- observability data is advisory, losing a line must not
+lose the file."""
+
+import io
+
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Tracer, load_jsonl, read_jsonl_tolerant
+
+
+def torn_copy(path, cut=17):
+    """Simulate a crash mid-append: drop the final *cut* bytes."""
+    data = path.read_bytes()
+    torn = path.with_suffix(".torn")
+    torn.write_bytes(data[:-cut])
+    return str(torn)
+
+
+class TestTraceReload:
+    def _tracer_with_spans(self, count=5):
+        tracer = Tracer()
+        for index in range(count):
+            with tracer.span(f"work.{index}", index=index):
+                pass
+        return tracer
+
+    def test_clean_roundtrip(self, tmp_path):
+        tracer = self._tracer_with_spans()
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(str(path)) == 5
+        records, torn = load_jsonl(str(path))
+        assert len(records) == 5 and torn is False
+        assert [r["name"] for r in records] == [
+            f"work.{i}" for i in range(5)]
+
+    def test_torn_tail_drops_only_final_record(self, tmp_path):
+        tracer = self._tracer_with_spans()
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(path))
+        records, torn = load_jsonl(torn_copy(path))
+        assert torn is True
+        assert [r["name"] for r in records] == [
+            f"work.{i}" for i in range(4)]
+
+    def test_garbage_line_mid_file_does_not_abort(self):
+        stream = io.StringIO(
+            '{"name": "a"}\nnot json at all\n{"name": "b"}\n[]\n')
+        records, torn = read_jsonl_tolerant(stream)
+        assert [r["name"] for r in records] == ["a", "b"]
+        assert torn is True
+
+    def test_empty_and_blank_files(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert read_jsonl_tolerant(str(path)) == ([], False)
+        path.write_text("\n\n  \n")
+        assert read_jsonl_tolerant(str(path)) == ([], False)
+
+
+class TestSlowLogReload:
+    def _log_with_entries(self, count=4):
+        log = SlowQueryLog(threshold_s=0.0)
+        for index in range(count):
+            log.observe(f"SELECT {index}", 0.5 + index, rows=index)
+        return log
+
+    def test_clean_roundtrip(self, tmp_path):
+        log = self._log_with_entries()
+        path = tmp_path / "slow.jsonl"
+        assert log.export_jsonl(str(path)) == 4
+        fresh = SlowQueryLog(threshold_s=0.0)
+        count, torn = fresh.load_jsonl(str(path))
+        assert count == 4 and torn is False
+        assert [e.statement for e in fresh] == [
+            e.statement for e in log]
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        log = self._log_with_entries()
+        path = tmp_path / "slow.jsonl"
+        log.export_jsonl(str(path))
+        fresh = SlowQueryLog(threshold_s=0.0)
+        count, torn = fresh.load_jsonl(torn_copy(path))
+        assert torn is True
+        assert count == 3
+        assert len(fresh) == 3
+
+    def test_malformed_record_skipped_not_fatal(self):
+        stream = io.StringIO(
+            '{"statement": "SELECT 1", "duration_s": 0.2, "rows": 3, '
+            '"recorded_s": 1.0}\n'
+            '{"statement": "no duration"}\n'
+            '{"statement": "SELECT 2", "duration_s": "NaNish", '
+            '"rows": null}\n')
+        log = SlowQueryLog()
+        count, torn = log.load_jsonl(stream)
+        assert count == 1 and torn is True
+        assert log.entries[0].statement == "SELECT 1"

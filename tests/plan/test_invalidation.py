@@ -89,3 +89,47 @@ def test_unrelated_mutation_revalidates_without_recompute(observed):
     assert observed.value("stats_cache_requests_total",
                           result="revalidated") == 1
     assert observed.value("stats_cache_invalidations_total") == 0
+
+
+def test_recovery_replay_invalidates_caches_like_live_mutations(
+        observed, tmp_path):
+    """Mutations applied by WAL replay (crash recovery, warm standby
+    catch-up) must invalidate the IndexCache and StatisticsCatalog
+    exactly as live mutations do: replay goes through the relations'
+    version/touch machinery, not around it."""
+    from repro.storage import StorageEngine
+
+    database = ship_database()
+    engine = StorageEngine(database, str(tmp_path / "data"))
+    engine.checkpoint()
+    engine.wal.close()
+
+    standby, _ = StorageEngine.recover(str(tmp_path / "data"))
+    catalog = statistics(standby.database)
+    stale = catalog.table_stats("SUBMARINE")
+    statement = parse_select(SQL)
+    planned = plan_select(standby.database, statement)
+    assert "IndexScan" in planned.render()
+    before = planned.execute()
+
+    # A second engine (the "primary") commits new work to the same WAL.
+    primary, _ = StorageEngine.recover(str(tmp_path / "data"))
+    execute_statement(primary.database, INSERT)
+    primary.wal.close()
+
+    # Catch-up replay on the standby; both caches must notice.
+    report = standby.replay_tail()
+    assert report.replayed_records >= 1
+
+    fresh = catalog.table_stats("SUBMARINE")
+    assert fresh is not stale
+    assert fresh.row_count == stale.row_count + 1
+    assert observed.value("stats_cache_invalidations_total") >= 1
+
+    replanned = plan_select(standby.database, statement)
+    result = replanned.execute()
+    assert len(result) == len(before) + 1
+    assert any(row[0] == "SSN999" for row in result)
+    assert observed.value("index_cache_requests_total",
+                          result="stale", kind="hash") >= 1
+    standby.wal.close()

@@ -4,6 +4,8 @@ import datetime
 import io
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import SchemaError
 from repro.relational import Database, INTEGER, REAL, DATE, char
@@ -93,3 +95,44 @@ class TestFormatDetails:
     def test_null_token(self):
         text = dumps_relation(make_relation())
         assert "\\N" in text
+
+
+class TestRoundTripProperties:
+    """Hypothesis round-trips: any representable value must survive
+    dump -> load unchanged (the regression cases below were all real
+    fragilities: %-prefixed strings shadowing directives, carriage
+    returns, blank lines that are legitimate empty-string rows)."""
+
+    @given(st.lists(
+        st.tuples(
+            st.text(
+                alphabet=st.characters(blacklist_categories=("Cs",)),
+                max_size=40) | st.none(),
+            st.integers(min_value=-10**9, max_value=10**9) | st.none()),
+        max_size=20))
+    def test_string_integer_rows_roundtrip(self, rows):
+        schema = RelationSchema("P", [Column("S", char(200)),
+                                      Column("I", INTEGER)])
+        original = Relation(schema, rows)
+        loaded = loads_relations(dumps_relation(original))
+        assert len(loaded) == 1
+        assert loaded[0].rows == original.rows
+
+    @pytest.mark.parametrize("value", [
+        "%end", "%relation X", "%database y", "%meta", "%",
+        "", " ", "\t", "\r", "\r\n", "a\rb", "\\N", "\\n", "\\",
+        "|", "a|b|c", "\\|", "N",
+    ])
+    def test_regression_values(self, value):
+        schema = RelationSchema("P", [Column("S", char(40))])
+        original = Relation(schema, [(value,)])
+        loaded = loads_relations(dumps_relation(original))
+        assert loaded[0].rows == [(value,)]
+
+    def test_empty_string_row_is_not_skipped(self):
+        """A single empty-string cell serializes to a blank line; the
+        loader must read it as a row, not skip it."""
+        schema = RelationSchema("P", [Column("S", char(10))])
+        original = Relation(schema, [("",), ("x",), ("",)])
+        loaded = loads_relations(dumps_relation(original))
+        assert loaded[0].rows == [("",), ("x",), ("",)]

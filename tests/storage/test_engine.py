@@ -1,0 +1,258 @@
+"""Unit tests for the storage engine: transactions, checkpoint,
+recovery, and rule-base staleness tracking."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.relational.database import Database
+from repro.relational.datatypes import INTEGER, char
+from repro.rules.rule_relations import RULE_RELATION_NAME
+from repro.sql.executor import execute_statement
+from repro.storage import StorageEngine
+
+
+@pytest.fixture
+def engine(tmp_path):
+    database = Database("t")
+    engine = StorageEngine(database, str(tmp_path / "data"))
+    yield engine
+    engine.wal.close()
+
+
+def fill(database):
+    return database.create("T", [("A", INTEGER), ("B", char(4))],
+                           [(1, "one"), (2, "two")])
+
+
+class TestTransactions:
+    def test_commit_then_recover(self, engine):
+        relation = fill(engine.database)
+        engine.begin()
+        relation.insert((3, "tri"))
+        relation.delete_where(lambda row: row[0] == 1)
+        engine.commit()
+        recovered, report = StorageEngine.recover(engine.data_dir)
+        assert recovered.database.relation("T").rows == [(2, "two"),
+                                                         (3, "tri")]
+        assert report.committed_transactions == 2  # create + explicit tx
+        recovered.wal.close()
+
+    def test_rollback_restores_every_mutation_kind(self, engine):
+        relation = fill(engine.database)
+        before = list(relation.rows)
+        version_before = relation.version
+        engine.begin()
+        relation.insert((3, "tri"))
+        relation.replace_where(lambda row: row[0] == 2,
+                               lambda row: (20, "xx"))
+        relation.delete_where(lambda row: row[0] == 1)
+        relation.clear()
+        engine.rollback()
+        assert relation.rows == before
+        # The version moves FORWARD on rollback -- caches keyed on it
+        # must notice the rows changed back.
+        assert relation.version > version_before
+
+    def test_rollback_undoes_ddl(self, engine):
+        database = engine.database
+        fill(database)
+        engine.begin()
+        database.create("NEW", [("X", INTEGER)])
+        database.drop("T")
+        engine.rollback()
+        assert "T" in database.catalog
+        assert "NEW" not in database.catalog
+
+    def test_rolled_back_work_never_reaches_recovery(self, engine):
+        relation = fill(engine.database)
+        engine.begin()
+        relation.insert((9, "no"))
+        engine.rollback()
+        relation.insert((3, "yes"))  # autocommits
+        recovered, _ = StorageEngine.recover(engine.data_dir)
+        assert sorted(r[0] for r in
+                      recovered.database.relation("T").rows) == [1, 2, 3]
+        recovered.wal.close()
+
+    def test_commit_without_begin_raises_with_hint(self, engine):
+        with pytest.raises(StorageError) as excinfo:
+            engine.commit()
+        assert excinfo.value.hint is not None
+        with pytest.raises(StorageError):
+            engine.rollback()
+
+    def test_nested_begin_rejected(self, engine):
+        engine.begin()
+        with pytest.raises(StorageError):
+            engine.begin()
+        engine.rollback()
+
+    def test_checkpoint_inside_transaction_rejected(self, engine):
+        engine.begin()
+        with pytest.raises(StorageError):
+            engine.checkpoint()
+        engine.rollback()
+
+
+class TestStatementScope:
+    def test_failed_statement_rolls_back_its_mutations(self, engine):
+        relation = fill(engine.database)
+
+        class Boom(RuntimeError):
+            pass
+
+        def updater(row):
+            if row[0] == 2:
+                raise Boom()
+            return (row[0] + 10, row[1])
+
+        with pytest.raises(Boom):
+            with engine.statement():
+                relation.replace_where(lambda row: row[0] == 1,
+                                       lambda row: (11, row[1]))
+                relation.delete_where(lambda row: False)
+                for row in list(relation.rows):
+                    _ = updater(row)
+        assert relation.rows == [(1, "one"), (2, "two")]
+
+    def test_sql_dml_autocommits_per_statement(self, engine):
+        fill(engine.database)
+        execute_statement(engine.database,
+                          "INSERT INTO T (A, B) VALUES (3, 'tri')")
+        recovered, _ = StorageEngine.recover(engine.data_dir)
+        assert len(recovered.database.relation("T")) == 3
+        recovered.wal.close()
+
+    def test_failed_sql_statement_aborts_enclosing_transaction(self,
+                                                               engine):
+        """PostgreSQL semantics: an error inside an explicit transaction
+        aborts the whole transaction, never leaving half of it."""
+        relation = fill(engine.database)
+        engine.begin()
+        execute_statement(engine.database,
+                          "INSERT INTO T (A, B) VALUES (3, 'tri')")
+        with pytest.raises(Exception):
+            execute_statement(engine.database,
+                              "INSERT INTO T (A, B) VALUES (4)")
+        assert not engine.in_transaction()
+        assert len(relation) == 2  # the first INSERT rolled back too
+
+
+class TestCheckpointRecovery:
+    def test_snapshot_plus_tail(self, engine):
+        relation = fill(engine.database)
+        engine.checkpoint()
+        relation.insert((3, "tri"))
+        recovered, report = StorageEngine.recover(engine.data_dir)
+        assert report.snapshot_used
+        assert report.replayed_records == 1
+        assert len(recovered.database.relation("T")) == 3
+        recovered.wal.close()
+
+    def test_replay_is_idempotent_via_version_watermarks(self, engine):
+        relation = fill(engine.database)
+        relation.insert((3, "tri"))
+        recovered, _ = StorageEngine.recover(engine.data_dir)
+        live = recovered.database.relation("T")
+        rows_once = list(live.rows)
+        report = recovered.replay_tail()  # everything already applied
+        assert report.replayed_records == 0 or live.rows == rows_once
+        assert live.rows == rows_once
+        recovered.wal.close()
+
+    def test_recovered_engine_continues_transaction_ids(self, engine):
+        fill(engine.database)
+        engine.begin()
+        engine.database.relation("T").insert((3, "x"))
+        engine.commit()
+        recovered, _ = StorageEngine.recover(engine.data_dir)
+        assert recovered._next_tx > engine._next_tx - 1
+        recovered.wal.close()
+
+    def test_recovery_without_any_files(self, tmp_path):
+        recovered, report = StorageEngine.recover(str(tmp_path / "empty"))
+        assert len(recovered.database.catalog) == 0
+        assert not report.snapshot_used
+        recovered.wal.close()
+
+    def test_delete_and_update_replay(self, engine):
+        fill(engine.database)
+        execute_statement(engine.database, "DELETE FROM T WHERE A = 1")
+        execute_statement(engine.database,
+                          "UPDATE T SET B = 'due' WHERE A = 2")
+        recovered, _ = StorageEngine.recover(engine.data_dir)
+        assert recovered.database.relation("T").rows == [(2, "due")]
+        recovered.wal.close()
+
+    def test_drop_replays(self, engine):
+        fill(engine.database)
+        engine.database.drop("T")
+        recovered, _ = StorageEngine.recover(engine.data_dir)
+        assert "T" not in recovered.database.catalog
+        recovered.wal.close()
+
+
+class TestRuleStaleness:
+    def _store_rules(self, engine):
+        from repro.rules.clause import AttributeRef, Clause, Interval
+        from repro.rules.rule import Rule
+        from repro.rules.rule_relations import encode_rule_relations
+        from repro.rules.ruleset import RuleSet
+        ruleset = RuleSet()
+        ruleset.add(Rule(
+            [Clause(AttributeRef("T", "A"), Interval(1, 2))],
+            Clause(AttributeRef("T", "B"), Interval("one", "one"))))
+        with engine.transaction():
+            encode_rule_relations(ruleset).register_into(engine.database)
+            engine.mark_rules_current()
+
+    def test_fresh_after_sync_stale_after_data_mutation(self, engine):
+        relation = fill(engine.database)
+        self._store_rules(engine)
+        assert engine.has_rules and not engine.rules_stale
+        relation.insert((5, "five"))
+        assert engine.rules_stale
+
+    def test_staleness_survives_recovery(self, engine):
+        relation = fill(engine.database)
+        self._store_rules(engine)
+        relation.insert((5, "five"))
+        recovered, report = StorageEngine.recover(engine.data_dir)
+        assert report.has_rules and report.rules_stale
+        assert recovered.rules_stale
+        recovered.wal.close()
+
+    def test_freshness_survives_checkpoint_and_recovery(self, engine):
+        fill(engine.database)
+        self._store_rules(engine)
+        engine.checkpoint()
+        recovered, report = StorageEngine.recover(engine.data_dir)
+        assert report.has_rules and not report.rules_stale
+        assert RULE_RELATION_NAME in recovered.database.catalog
+        recovered.wal.close()
+
+    def test_rule_relation_mutations_do_not_stale(self, engine):
+        fill(engine.database)
+        self._store_rules(engine)
+        engine.database.relation(RULE_RELATION_NAME).clear()
+        assert not engine.rules_stale
+
+
+class TestCacheInvalidationOnReplay:
+    def test_stats_version_advances_during_recovery_replay(self, engine):
+        """Replayed mutations must fire the same hooks as live ones, so
+        a statistics snapshot taken before replay is detectably stale."""
+        fill(engine.database)
+        recovered, _ = StorageEngine.recover(engine.data_dir)
+        catalog = recovered.database.catalog
+        version_before = catalog.stats_version()
+        # Append more committed work to the WAL by a second live engine
+        # writing to the same directory (simulating a warm standby).
+        recovered2, _ = StorageEngine.recover(engine.data_dir)
+        recovered2.database.relation("T").insert((42, "answ"))
+        recovered2.wal.close()
+        report = recovered.replay_tail()
+        assert report.replayed_records >= 1
+        assert catalog.stats_version() > version_before
+        assert (42, "answ") in recovered.database.relation("T").rows
+        recovered.wal.close()

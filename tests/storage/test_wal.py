@@ -1,0 +1,114 @@
+"""Unit tests for the write-ahead log: records, tails, rotation."""
+
+import pytest
+
+from repro.errors import CorruptWalRecord, StorageError
+from repro.storage.wal import (
+    WriteAheadLog, decode_record, encode_record, read_records,
+)
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        line = encode_record({"type": "mut", "lsn": 7, "rel": "T"})
+        assert decode_record(line) == {"type": "mut", "lsn": 7, "rel": "T"}
+
+    def test_crc_detects_any_flip(self):
+        line = encode_record({"type": "commit", "lsn": 1, "tx": 3})
+        tampered = line.replace('"tx":3', '"tx":4')
+        assert tampered != line
+        assert decode_record(tampered) is None
+
+    def test_partial_line_is_invalid(self):
+        line = encode_record({"type": "begin", "lsn": 1, "tx": 1})
+        for cut in range(len(line.rstrip("\n"))):
+            assert decode_record(line[:cut]) is None
+
+    def test_non_record_json_is_invalid(self):
+        assert decode_record("[1, 2, 3]") is None
+        assert decode_record('{"no": "crc"}') is None
+        assert decode_record("") is None
+
+
+class TestReadRecords:
+    def test_missing_file_is_empty(self, tmp_path):
+        records, torn = read_records(str(tmp_path / "nope.jsonl"))
+        assert records == [] and torn is False
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        good = encode_record({"type": "begin", "lsn": 1, "tx": 1})
+        path.write_text(good + '{"type":"mut","lsn":2,"crc":')
+        records, torn = read_records(str(path))
+        assert [r["lsn"] for r in records] == [1]
+        assert torn is True
+
+    def test_mid_log_corruption_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        first = encode_record({"type": "begin", "lsn": 1, "tx": 1})
+        third = encode_record({"type": "commit", "lsn": 3, "tx": 1})
+        path.write_text(first + "garbage\n" + third)
+        with pytest.raises(CorruptWalRecord):
+            read_records(str(path))
+
+    def test_non_monotonic_lsn_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(
+            encode_record({"type": "begin", "lsn": 5, "tx": 1})
+            + encode_record({"type": "commit", "lsn": 5, "tx": 1}))
+        with pytest.raises(CorruptWalRecord):
+            read_records(str(path))
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_monotonic_lsns(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.jsonl"))
+        wal.append([{"type": "begin", "tx": 1},
+                    {"type": "commit", "tx": 1}])
+        wal.append([{"type": "begin", "tx": 2},
+                    {"type": "commit", "tx": 2}])
+        wal.close()
+        records, torn = read_records(wal.path)
+        assert [r["lsn"] for r in records] == [1, 2, 3, 4]
+        assert torn is False
+
+    def test_reopen_continues_lsns(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        first = WriteAheadLog(path)
+        first.append([{"type": "begin", "tx": 1}])
+        first.close()
+        second = WriteAheadLog(path)
+        assert second.last_lsn == 1
+        second.append([{"type": "commit", "tx": 1}])
+        second.close()
+        records, _ = read_records(path)
+        assert [r["lsn"] for r in records] == [1, 2]
+
+    def test_reopen_truncates_torn_tail(self, tmp_path):
+        """Appending after a torn tail must not create (apparent)
+        mid-log corruption on the next read."""
+        path = tmp_path / "wal.jsonl"
+        path.write_text(
+            encode_record({"type": "begin", "lsn": 1, "tx": 1})
+            + '{"torn":')
+        wal = WriteAheadLog(str(path))
+        wal.append([{"type": "commit", "tx": 1}])
+        wal.close()
+        records, torn = read_records(str(path))
+        assert [r["lsn"] for r in records] == [1, 2]
+        assert torn is False
+
+    def test_rotate_keeps_lsns_monotonic(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.jsonl"))
+        wal.append([{"type": "begin", "tx": 1},
+                    {"type": "commit", "tx": 1}])
+        wal.rotate(after_lsn=wal.last_lsn)
+        wal.append([{"type": "begin", "tx": 2}])
+        wal.close()
+        records, _ = read_records(wal.path)
+        assert records[0]["type"] == "header"
+        assert [r["lsn"] for r in records] == [2, 3]
+
+    def test_unknown_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            WriteAheadLog(str(tmp_path / "wal.jsonl"), fsync="sometimes")

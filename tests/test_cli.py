@@ -225,3 +225,88 @@ class TestBuildSystem:
     def test_nc_override(self):
         system = build_system(n_c=1)
         assert len(system.rules) > 18
+
+
+class TestDurabilityCommands:
+    def _durable_shell(self, tmp_path):
+        system = build_system(data_dir=str(tmp_path / "data"))
+        return Shell(system, out=io.StringIO())
+
+    def test_commands_without_storage_print_hint(self, shell):
+        shell.handle("\\wal")
+        assert "no durable storage attached" in output_of(shell)
+        shell.handle("\\begin")
+        text = output_of(shell)
+        assert "error: no durable storage attached" in text
+        assert "hint:" in text and "--data-dir" in text
+
+    def test_wal_status_and_records(self, tmp_path):
+        shell = self._durable_shell(tmp_path)
+        shell.handle("\\wal 5")
+        text = output_of(shell)
+        assert "fsync policy:   commit" in text
+        assert "snapshot:       present" in text
+        assert "rule base:      fresh" in text
+
+    def test_begin_commit_persists(self, tmp_path):
+        shell = self._durable_shell(tmp_path)
+        shell.handle("\\begin")
+        shell.handle("INSERT INTO SONAR (Sonar, SonarType) "
+                     "VALUES ('ZZ-9', 'ZZ')")
+        shell.handle("\\commit")
+        assert "committed" in output_of(shell)
+        shell.handle("\\wal")
+        assert "rule base:      STALE" in output_of(shell)
+        # A fresh shell over the same directory sees the row.
+        reopened = self._durable_shell(tmp_path)
+        result = reopened.system.database.relation("SONAR")
+        assert any(row[0] == "ZZ-9" for row in result.rows)
+
+    def test_rollback_discards(self, tmp_path):
+        shell = self._durable_shell(tmp_path)
+        before = len(shell.system.database.relation("SONAR"))
+        shell.handle("\\begin")
+        shell.handle("INSERT INTO SONAR (Sonar, SonarType) "
+                     "VALUES ('ZZ-9', 'ZZ')")
+        shell.handle("\\rollback")
+        assert "rolled back" in output_of(shell)
+        assert len(shell.system.database.relation("SONAR")) == before
+
+    def test_checkpoint_and_recover(self, tmp_path):
+        shell = self._durable_shell(tmp_path)
+        shell.handle("INSERT INTO SONAR (Sonar, SonarType) "
+                     "VALUES ('ZZ-9', 'ZZ')")
+        shell.handle("\\checkpoint")
+        assert "checkpoint complete" in output_of(shell)
+        shell.handle("\\recover")
+        text = output_of(shell)
+        assert "recovery complete" in text
+        assert "rule base: STALE" in text
+        # The recovered system degrades intensional answers ...
+        shell.handle("SELECT Class FROM CLASS WHERE Displacement > 8000")
+        assert "WARNING" in output_of(shell)
+        # ... until \refresh re-induces.
+        shell.handle("\\refresh")
+        assert "rule base refreshed" in output_of(shell)
+        shell.out = io.StringIO()
+        shell.handle("SELECT Class FROM CLASS WHERE Displacement > 8000")
+        assert "WARNING" not in output_of(shell)
+
+    def test_fresh_directory_recovers_on_reopen(self, tmp_path):
+        first = self._durable_shell(tmp_path)
+        rules = len(first.system.rules)
+        assert rules > 0
+        out = io.StringIO()
+        system = build_system(data_dir=str(tmp_path / "data"), out=out)
+        assert "recovery complete" in out.getvalue()
+        assert len(system.rules) == rules
+
+    def test_reopened_default_system_keeps_intensional_answers(
+            self, tmp_path):
+        self._durable_shell(tmp_path)
+        system = build_system(data_dir=str(tmp_path / "data"))
+        result = system.ask(
+            "SELECT SUBMARINE.NAME, SUBMARINE.CLASS FROM SUBMARINE, "
+            "CLASS WHERE SUBMARINE.CLASS = CLASS.CLASS "
+            'AND CLASS.TYPE = "SSBN"')
+        assert result.intensional
