@@ -48,31 +48,44 @@ def synth_db():
     return database
 
 
-def _bare_execute(self):
-    rows = self._rows()
-    self.actual_rows = len(rows)
-    return rows
+def _bare_batches(self, batch_size=None):
+    from repro.plan.plans import default_batch_size
+    size = default_batch_size() if batch_size is None else batch_size
+    return self._batches(size)  # the raw generator, no instrumentation
 
 
-def _bare_execute_relation(self):
-    rows = self.child.execute()
+def _bare_execute(self, batch_size=None):
+    out = []
+    for batch in self.batches(batch_size):
+        out.extend(batch)
+    self.actual_rows = len(out)
+    return out
+
+
+def _bare_execute_relation(self, batch_size=None):
+    stream = (rows for batch in self.child.batches(batch_size)
+              for rows in batch)
     result = project_statement(self.scope, self.statement,
-                               self.child.bindings, rows,
+                               self.child.bindings, stream,
                                self.result_name)
     self.actual_rows = len(result)
     return result
 
 
 class _bare_plan_nodes:
-    """Swap the instrumented node wrappers for pre-obs equivalents."""
+    """Swap the instrumented node wrappers for pre-obs equivalents
+    (same streaming protocol, no per-batch clocks/counters/spans)."""
 
     def __enter__(self):
+        self._batches = Plan.batches
         self._execute = Plan.execute
         self._execute_relation = ProjectPlan.execute_relation
+        Plan.batches = _bare_batches
         Plan.execute = _bare_execute
         ProjectPlan.execute_relation = _bare_execute_relation
 
     def __exit__(self, *exc_info):
+        Plan.batches = self._batches
         Plan.execute = self._execute
         ProjectPlan.execute_relation = self._execute_relation
 

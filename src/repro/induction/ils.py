@@ -67,9 +67,8 @@ class JoinExpander:
         if relation_name.lower() in visited:
             return
         visited.add(relation_name.lower())
-        for column in schema.columns:
+        for column, value in zip(schema.columns, row):
             ref = AttributeRef(relation_name, column.name)
-            value = row[schema.position(column.name)]
             record.setdefault(ref, value)
             target = self.fk.get(ref)
             if target is None or value is None:
@@ -191,12 +190,9 @@ class InductiveLearningSubsystem:
                 and column.name.lower() not in key_columns]
             if len(features) < 2:
                 continue  # single-feature trees duplicate pairwise rules
-            records = []
-            for row in relation:
-                record = {AttributeRef(relation.name, column.name):
-                          row[relation.schema.position(column.name)]
-                          for column in relation.schema.columns}
-                records.append(record)
+            refs = [AttributeRef(relation.name, column.name)
+                    for column in relation.schema.columns]
+            records = [dict(zip(refs, row)) for row in relation]
             tree = id3_induce(records, features, target)
             for rule in tree_to_rules(tree, target):
                 if len(rule.lhs) < 2:
@@ -238,10 +234,9 @@ class InductiveLearningSubsystem:
                 database, relation.name,
                 scheme.x_ref.attribute, scheme.y_ref.attribute)
         else:
-            x_position = relation.schema.position(scheme.x_ref.attribute)
-            y_position = relation.schema.position(scheme.y_ref.attribute)
-            extraction = extract_pairs_native(
-                (row[x_position], row[y_position]) for row in relation)
+            xs, ys = relation.columns(scheme.x_ref.attribute,
+                                      scheme.y_ref.attribute)
+            extraction = extract_pairs_native(zip(xs, ys))
         return induce_from_pairs(extraction, scheme.x_ref, scheme.y_ref,
                                  self.config, relation_size=len(relation))
 

@@ -55,9 +55,14 @@ class PlannedQuery:
     def plan(self) -> ProjectPlan:
         return self.root
 
-    def execute(self) -> Relation:
-        """Run the plan, producing the result relation."""
-        return self.root.execute_relation()
+    def execute(self, batch_size: int | None = None) -> Relation:
+        """Run the plan, producing the result relation.
+
+        Execution streams batch-at-a-time through the plan tree;
+        *batch_size* overrides the process default morsel size (see
+        :func:`repro.plan.plans.default_batch_size`).
+        """
+        return self.root.execute_relation(batch_size)
 
     def render(self, include_actual: bool = False,
                include_timing: bool = False) -> str:

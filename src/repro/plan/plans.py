@@ -1,30 +1,52 @@
-"""Composable plan nodes for SELECT execution.
+"""Composable plan nodes for SELECT execution -- streaming edition.
 
 In the SimpleDB exemplar's style, each relational-algebra operator has a
 Plan class exposing cost-model accessors (``records_output``,
-``distinct_values``, ``cost``) next to an ``execute`` that actually
-produces rows.  Unlike SimpleDB's scans, execution here is eager (the
-engine is in-memory): ``execute()`` returns the node's output as a list
-of *aligned per-binding row tuples* -- element ``i`` of an output tuple
-is the row contributed by ``bindings[i]`` -- which is exactly the
-intermediate shape the legacy executor's join pipeline used, so the
+``distinct_values``, ``cost``) next to execution.  Execution is
+*batch-at-a-time* (morsel-driven): every node implements
+:meth:`Plan._batches`, a generator yielding lists of at most
+``batch_size`` aligned per-binding row tuples -- element ``i`` of an
+output tuple is the row contributed by ``bindings[i]``, exactly the
+intermediate shape the legacy executor's join pipeline uses, so the
 shared projection code consumes either path's output unchanged.
 
-Every node remembers the actual output cardinality of its last
-``execute()`` in :attr:`Plan.actual_rows` and its inclusive wall time
-in :attr:`Plan.actual_time_s`; EXPLAIN renders estimated vs. actual
-side by side and EXPLAIN ANALYZE adds the measured times.  The two
-``perf_counter`` reads per node are kept unconditionally (a plan
-executes a handful of nodes per query, so the cost is noise); the
-per-node tracer spans ride the :mod:`repro.obs` flag.
+Batches stream child to parent: a scan produces its next morsel only
+when the consumer asks, a filter evaluates its *compiled* predicates
+(:mod:`repro.relational.compiled`) over each morsel, and a hash join
+materializes only its build side (inherent to hashing) while the probe
+side streams through.  Closing a consumer generator closes the whole
+producer chain (early termination), and no node buffers more than one
+output batch, so peak intermediate state is O(batch) per node plus the
+join build sides.  The top of the tree (:class:`ProjectPlan`) is the
+only place a full result materializes -- as the result
+:class:`Relation` itself.
+
+Per-node accounting survives the refactor exactly: every node
+accumulates the rows it actually streamed in :attr:`Plan.actual_rows`
+and its inclusive wall time in :attr:`Plan.actual_time_s`, so EXPLAIN
+renders estimated vs. actual side by side and EXPLAIN ANALYZE adds the
+measured times.  Observability is *per batch*, never per row: when the
+:mod:`repro.obs` flag is on, each node counts its batches and records
+one ``plan.node.<Type>`` span as its stream finishes; when it is off
+the accounting is two ``perf_counter`` reads and one integer add per
+batch, preserving the zero-overhead guarantee bench E20 pins.
+
+The default morsel size is :data:`DEFAULT_BATCH_SIZE`, overridable per
+process with the ``REPRO_BATCH_SIZE`` environment variable (CI runs the
+whole suite at 1, the worst case) and per call via the ``batch_size``
+arguments; :data:`UNBOUNDED` restores the old materialize-everything
+behavior (one batch per node), which the equivalence suite and bench
+E22 use as the reference pipeline.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro import obs
+from repro.relational import compiled
 from repro.relational.relation import Relation
 from repro.rules.clause import Interval
 from repro.sql import ast
@@ -33,6 +55,38 @@ from repro.sql.executor import Scope, project_statement
 #: Crossing this estimated-fraction threshold makes a range index scan
 #: not worth it compared to a straight filter over the table scan.
 INDEX_FRACTION_THRESHOLD = 0.75
+
+#: Morsel size when neither the call site nor the environment says
+#: otherwise.  Large enough to amortize per-batch accounting, small
+#: enough to keep intermediate state cache-resident.
+DEFAULT_BATCH_SIZE = 1024
+
+#: Sentinel batch size: one batch spans the whole input, i.e. the old
+#: materializing pipeline (used as the reference in tests and benches).
+UNBOUNDED = 2 ** 62
+
+#: Optional hook called as ``observer(plan, batch)`` for every streamed
+#: batch (bench E22 installs one to assert the O(batch) bound).  Keep it
+#: ``None`` in production: the per-batch cost is then one ``is None``.
+_batch_observer: Callable[["Plan", list], None] | None = None
+
+
+def set_batch_observer(
+        observer: Callable[["Plan", list], None] | None) -> None:
+    """Install (or clear, with ``None``) the per-batch observer hook."""
+    global _batch_observer
+    _batch_observer = observer
+
+
+def default_batch_size() -> int:
+    """The process-wide morsel size: ``REPRO_BATCH_SIZE`` when it parses
+    to a positive integer, :data:`DEFAULT_BATCH_SIZE` otherwise."""
+    raw = os.environ.get("REPRO_BATCH_SIZE", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_BATCH_SIZE
+    return value if value > 0 else DEFAULT_BATCH_SIZE
 
 
 class Plan:
@@ -61,18 +115,71 @@ class Plan:
 
     # -- execution ---------------------------------------------------------
 
-    def execute(self) -> list[tuple]:
-        start = time.perf_counter()
-        rows = self._rows()
-        end = time.perf_counter()
-        self.actual_rows = len(rows)
-        self.actual_time_s = end - start
-        obs.record_span(f"plan.node.{type(self).__name__}", start, end,
-                        label=self.label(), rows=len(rows))
-        return rows
+    def batches(self, batch_size: int | None = None
+                ) -> Iterator[list[tuple]]:
+        """Stream this node's output as batches of aligned per-binding
+        row tuples, each of at most *batch_size* rows.
 
-    def _rows(self) -> list[tuple]:
+        The returned generator is instrumented: it accumulates
+        :attr:`actual_rows` and inclusive :attr:`actual_time_s` as the
+        consumer pulls, counts batches in the metrics registry when
+        observability is on, and records one ``plan.node.<Type>`` span
+        when the stream finishes (exhaustion *or* early close).
+        """
+        size = default_batch_size() if batch_size is None else batch_size
+        if size <= 0:
+            raise ValueError(f"batch size must be positive, got {size}")
+        self.actual_rows = 0
+        self.actual_time_s = 0.0
+        return self._instrumented(self._batches(size), size)
+
+    def _instrumented(self, source: Iterator[list[tuple]],
+                      size: int) -> Iterator[list[tuple]]:
+        wall_start = time.perf_counter()
+        batch_count = 0
+        try:
+            while True:
+                start = time.perf_counter()
+                try:
+                    batch = next(source)
+                except StopIteration:
+                    self.actual_time_s += time.perf_counter() - start
+                    break
+                self.actual_time_s += time.perf_counter() - start
+                self.actual_rows += len(batch)
+                batch_count += 1
+                if obs.enabled():
+                    obs.counter("plan_batches_total",
+                                "batches streamed by plan node type",
+                                node=type(self).__name__).inc()
+                if _batch_observer is not None:
+                    _batch_observer(self, batch)
+                yield batch
+        finally:
+            source.close()
+            obs.record_span(f"plan.node.{type(self).__name__}",
+                            wall_start, time.perf_counter(),
+                            label=self.label(), rows=self.actual_rows,
+                            batches=batch_count, batch_size=size)
+
+    def _batches(self, size: int) -> Iterator[list[tuple]]:
         raise NotImplementedError
+
+    def execute(self, batch_size: int | None = None) -> list[tuple]:
+        """Materialize the node's whole output (streaming underneath)."""
+        self.reset_actuals()
+        out: list[tuple] = []
+        for batch in self.batches(batch_size):
+            out.extend(batch)
+        return out
+
+    def reset_actuals(self) -> None:
+        """Clear measured actuals on this subtree (before re-execution,
+        so nodes skipped by early termination render as unmeasured)."""
+        self.actual_rows = None
+        self.actual_time_s = None
+        for child in self.children():
+            child.reset_actuals()
 
     # -- rendering ---------------------------------------------------------
 
@@ -87,7 +194,14 @@ class Plan:
 
 
 class TableScanPlan(Plan):
-    """Full scan of one FROM binding."""
+    """Full scan of one FROM binding.
+
+    The scan snapshots the relation's row list (a pointer copy, not a
+    row copy) when its first batch is requested, so a mutation arriving
+    *between batches* neither corrupts iteration nor changes the rows
+    this stream produces; the next query sees the mutation through the
+    usual version checks.
+    """
 
     def __init__(self, scope: Scope, binding: str, stats):
         super().__init__(scope, [binding])
@@ -104,8 +218,10 @@ class TableScanPlan(Plan):
     def distinct_values(self, binding: str, column: str) -> float:
         return float(self.stats.distinct_values(column))
 
-    def _rows(self) -> list[tuple]:
-        return [(row,) for row in self.relation.rows]
+    def _batches(self, size: int) -> Iterator[list[tuple]]:
+        rows = list(self.relation.rows)  # stream-start snapshot
+        for start in range(0, len(rows), size):
+            yield [(row,) for row in rows[start:start + size]]
 
     def label(self) -> str:
         return (f"TableScan {self.relation.name}"
@@ -117,7 +233,10 @@ class IndexScanPlan(Plan):
     """Index access path for one binding: equality probes go through a
     :class:`~repro.relational.indexes.HashIndex`, range probes through a
     :class:`~repro.relational.indexes.SortedIndex` (both cached on the
-    database and version-checked)."""
+    database and version-checked).  The index is resolved when the first
+    batch is requested -- not at plan time -- so mutations between
+    planning and execution are seen through the cache's staleness
+    check."""
 
     def __init__(self, scope: Scope, binding: str, column: str,
                  interval: Interval, stats):
@@ -146,18 +265,21 @@ class IndexScanPlan(Plan):
         return min(float(self.stats.distinct_values(column)),
                    max(1.0, self.records_output()))
 
-    def _rows(self) -> list[tuple]:
+    def _matches(self) -> list[tuple]:
         cache = self.scope.database.indexes
         if self.kind == "hash":
             index = cache.hash_index(self.relation, self.column)
-            matches = index.lookup(self.interval.low)
-        else:
-            index = cache.sorted_index(self.relation, self.column)
-            matches = index.range(
-                self.interval.low, self.interval.high,
-                low_inclusive=not self.interval.low_open,
-                high_inclusive=not self.interval.high_open)
-        return [(row,) for row in matches]
+            return index.lookup(self.interval.low)
+        index = cache.sorted_index(self.relation, self.column)
+        return list(index.range(
+            self.interval.low, self.interval.high,
+            low_inclusive=not self.interval.low_open,
+            high_inclusive=not self.interval.high_open))
+
+    def _batches(self, size: int) -> Iterator[list[tuple]]:
+        matches = self._matches()
+        for start in range(0, len(matches), size):
+            yield [(row,) for row in matches[start:start + size]]
 
     def label(self) -> str:
         return (f"IndexScan {self.relation.name} on {self.column} "
@@ -165,7 +287,12 @@ class IndexScanPlan(Plan):
 
 
 class FilterPlan(Plan):
-    """Predicate evaluation over a child plan's output."""
+    """Predicate evaluation over a child plan's output.
+
+    Predicates are compiled once per stream into positional closures
+    over the aligned row tuples; rows that survive accumulate into
+    output batches of the configured size (a selective filter emits
+    fewer, fuller batches rather than many near-empty ones)."""
 
     def __init__(self, child: Plan, predicates: Sequence, selectivity: float):
         super().__init__(child.scope, child.bindings)
@@ -183,14 +310,34 @@ class FilterPlan(Plan):
         return min(self.child.distinct_values(binding, column),
                    max(1.0, self.records_output()))
 
-    def _rows(self) -> list[tuple]:
-        out = []
-        for rows in self.child.execute():
-            env = self.scope.environment(self.bindings, rows)
-            if all(predicate.evaluate(env)
-                   for predicate in self.predicates):
-                out.append(rows)
-        return out
+    def _compiled_predicates(self) -> list:
+        resolve = compiled.slot_resolver(
+            [(binding, self.scope.relations[binding].schema)
+             for binding in self.bindings])
+
+        def interpreted(predicate):
+            return lambda rows: predicate.evaluate(
+                self.scope.environment(self.bindings, rows))
+
+        return [compiled.compile_predicate(
+                    predicate, resolve,
+                    fallback=lambda p=predicate: interpreted(p))
+                for predicate in self.predicates]
+
+    def _batches(self, size: int) -> Iterator[list[tuple]]:
+        tests = self._compiled_predicates()
+        if len(tests) == 1:
+            test = tests[0]
+        else:
+            test = lambda rows: all(t(rows) for t in tests)
+        out: list[tuple] = []
+        for batch in self.child.batches(size):
+            out.extend(rows for rows in batch if test(rows))
+            while len(out) >= size:
+                yield out[:size]
+                out = out[size:]
+        if out:
+            yield out
 
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
@@ -203,7 +350,14 @@ class FilterPlan(Plan):
 class HashJoinPlan(Plan):
     """Equi-join of two plans: hash the right input, probe from the
     left.  ``edges`` are ``(left_binding, left_col, right_binding,
-    right_col)`` with sides already normalized."""
+    right_col)`` with sides already normalized.
+
+    The build side (right) is the one intermediate this pipeline must
+    materialize -- that is hashing, not batching.  The probe side
+    streams: each left batch is probed as it arrives, matches accumulate
+    into output batches of at most the configured size, and an empty
+    build side terminates the join without pulling a single left batch.
+    """
 
     def __init__(self, left: Plan, right: Plan,
                  edges: Sequence[tuple[str, str, str, str]]):
@@ -245,26 +399,30 @@ class HashJoinPlan(Plan):
             right_keys.append((right_slot, right_pos))
         return left_keys, right_keys
 
-    def _rows(self) -> list[tuple]:
-        left_rows = self.left.execute()
-        right_rows = self.right.execute()
-        if not left_rows or not right_rows:
-            return []
+    def _batches(self, size: int) -> Iterator[list[tuple]]:
         left_keys, right_keys = self._key_positions()
         buckets: dict[tuple, list[tuple]] = {}
-        for rows in right_rows:
-            key = tuple(rows[slot][pos] for slot, pos in right_keys)
-            if any(value is None for value in key):
-                continue
-            buckets.setdefault(key, []).append(rows)
+        for batch in self.right.batches(size):
+            for rows in batch:
+                key = tuple(rows[slot][pos] for slot, pos in right_keys)
+                if any(value is None for value in key):
+                    continue
+                buckets.setdefault(key, []).append(rows)
+        if not buckets:
+            return  # early termination: the left side is never pulled
         out: list[tuple] = []
-        for rows in left_rows:
-            key = tuple(rows[slot][pos] for slot, pos in left_keys)
-            if any(value is None for value in key):
-                continue
-            for match in buckets.get(key, ()):
-                out.append(rows + match)
-        return out
+        for batch in self.left.batches(size):
+            for rows in batch:
+                key = tuple(rows[slot][pos] for slot, pos in left_keys)
+                if any(value is None for value in key):
+                    continue
+                for match in buckets.get(key, ()):
+                    out.append(rows + match)
+                    if len(out) >= size:
+                        yield out
+                        out = []
+        if out:
+            yield out
 
     def children(self) -> tuple[Plan, ...]:
         return (self.left, self.right)
@@ -276,7 +434,9 @@ class HashJoinPlan(Plan):
 
 
 class ProductPlan(Plan):
-    """Cartesian product (no usable join edge)."""
+    """Cartesian product (no usable join edge).  The right side is
+    materialized (it is re-scanned once per left row); the left side
+    streams."""
 
     def __init__(self, left: Plan, right: Plan):
         super().__init__(left.scope, tuple(left.bindings)
@@ -295,10 +455,21 @@ class ProductPlan(Plan):
         owner = self.left if binding in self.left.bindings else self.right
         return owner.distinct_values(binding, column)
 
-    def _rows(self) -> list[tuple]:
-        left_rows = self.left.execute()
-        right_rows = self.right.execute()
-        return [rows + other for rows in left_rows for other in right_rows]
+    def _batches(self, size: int) -> Iterator[list[tuple]]:
+        right_rows = [rows for batch in self.right.batches(size)
+                      for rows in batch]
+        if not right_rows:
+            return
+        out: list[tuple] = []
+        for batch in self.left.batches(size):
+            for rows in batch:
+                for other in right_rows:
+                    out.append(rows + other)
+                    if len(out) >= size:
+                        yield out
+                        out = []
+        if out:
+            yield out
 
     def children(self) -> tuple[Plan, ...]:
         return (self.left, self.right)
@@ -325,8 +496,8 @@ class EmptyPlan(Plan):
     def distinct_values(self, binding: str, column: str) -> float:
         return 0.0
 
-    def _rows(self) -> list[tuple]:
-        return []
+    def _batches(self, size: int) -> Iterator[list[tuple]]:
+        yield from ()
 
     def label(self) -> str:
         return f"Empty [{self.reason}]"
@@ -336,7 +507,11 @@ class ProjectPlan(Plan):
     """Root node: SELECT-list evaluation, grouping, ORDER BY, DISTINCT.
 
     Delegates to the executor's shared projection so planned and legacy
-    execution produce identical relations.
+    execution produce identical relations.  The child's batches are fed
+    to the projection as a lazy row stream, so the joined intermediate
+    is never materialized -- only the projected output rows (the result
+    itself) accumulate here, which is the one permitted top-of-tree
+    materialization.
     """
 
     def __init__(self, scope: Scope, statement: ast.SelectStmt,
@@ -355,11 +530,13 @@ class ProjectPlan(Plan):
     def distinct_values(self, binding: str, column: str) -> float:
         return self.child.distinct_values(binding, column)
 
-    def execute_relation(self) -> Relation:
+    def execute_relation(self, batch_size: int | None = None) -> Relation:
+        self.reset_actuals()
         start = time.perf_counter()
-        rows = self.child.execute()
+        stream = (rows for batch in self.child.batches(batch_size)
+                  for rows in batch)
         result = project_statement(self.scope, self.statement,
-                                   self.child.bindings, rows,
+                                   self.child.bindings, stream,
                                    self.result_name)
         end = time.perf_counter()
         self.actual_rows = len(result)
@@ -368,7 +545,7 @@ class ProjectPlan(Plan):
                         label=self.label(), rows=len(result))
         return result
 
-    def _rows(self) -> list[tuple]:  # pragma: no cover - use execute_relation
+    def _batches(self, size: int):  # pragma: no cover - use execute_relation
         raise NotImplementedError("ProjectPlan executes to a Relation")
 
     def children(self) -> tuple[Plan, ...]:

@@ -186,9 +186,12 @@ class TableStats:
         self.name = relation.name
         self.row_count = len(relation)
         self.columns: dict[str, ColumnStats] = {}
-        for column in relation.schema.columns:
-            self.columns[column.key] = ColumnStats(
-                column.name, relation.column_values(column.name))
+        # One transpose of the row list instead of one per-row position
+        # lookup pass per column.
+        for column, values in zip(relation.schema.columns,
+                                  relation.column_arrays()):
+            self.columns[column.key] = ColumnStats(column.name,
+                                                   list(values))
 
     def column(self, name: str) -> ColumnStats:
         return self.columns[name.lower()]

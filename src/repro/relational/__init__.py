@@ -34,7 +34,7 @@ from repro.relational.datatypes import (
     infer_type,
 )
 from repro.relational.schema import Column, RelationSchema
-from repro.relational.relation import Relation
+from repro.relational.relation import Relation, RowView
 from repro.relational.catalog import Catalog
 from repro.relational.database import Database
 from repro.relational.indexes import HashIndex, IndexCache, SortedIndex
@@ -53,6 +53,7 @@ __all__ = [
     "Column",
     "RelationSchema",
     "Relation",
+    "RowView",
     "Catalog",
     "Database",
     "HashIndex",

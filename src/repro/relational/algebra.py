@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import SchemaError
+from repro.relational import compiled
 from repro.relational.expressions import Environment, Expression
 from repro.relational.relation import Relation
 from repro.relational.schema import Column, RelationSchema
@@ -22,19 +23,35 @@ from repro.relational.schema import Column, RelationSchema
 
 def select(relation: Relation, predicate: Expression,
            qualifier: str | None = None) -> Relation:
-    """sigma: rows of *relation* satisfying *predicate*."""
-    rows = [
-        row for row in relation
-        if predicate.evaluate(
-            Environment.for_row(relation.schema, row, qualifier))
-    ]
+    """sigma: rows of *relation* satisfying *predicate*.
+
+    The predicate tree is compiled once into a positional closure (see
+    :mod:`repro.relational.compiled`); no per-row environment or dict is
+    allocated.
+    """
+    qualifiers = [relation.schema.name]
+    if qualifier:
+        qualifiers.append(qualifier)
+    test = compiled.compile_predicate(
+        predicate,
+        compiled.schema_resolver(relation.schema, qualifiers),
+        fallback=lambda: lambda row: predicate.evaluate(
+            Environment.for_row(relation.schema, row, qualifier)))
+    rows = [row for row in relation.rows if test(row)]
     return Relation(relation.schema, rows, validated=True)
 
 
 def select_where(relation: Relation,
                  predicate: Callable[[dict[str, Any]], bool]) -> Relation:
-    """Selection by a Python callable over the row-as-dict."""
-    rows = [row for row in relation if predicate(relation.record(row))]
+    """Selection by a Python callable over the row-as-mapping.
+
+    The callable receives a reusable :class:`~repro.relational.relation.
+    RowView` (mapping interface, positional access underneath) instead
+    of a freshly built dict per row; copy with ``dict(r)`` to retain a
+    row beyond the callback.
+    """
+    view = relation.row_view()
+    rows = [row for row in relation.rows if predicate(view.bind(row))]
     return Relation(relation.schema, rows, validated=True)
 
 

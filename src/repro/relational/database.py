@@ -74,8 +74,9 @@ class Database:
     def delete(self, name: str,
                predicate: Callable[[dict[str, Any]], bool]) -> int:
         relation = self.relation(name)
+        view = relation.row_view()
         return relation.delete_where(
-            lambda row: predicate(relation.record(row)))
+            lambda row: predicate(view.bind(row)))
 
     # -- queries ----------------------------------------------------------------
 

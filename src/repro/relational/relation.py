@@ -132,6 +132,51 @@ class Relation:
     def records(self) -> list[dict[str, Any]]:
         return [self.record(row) for row in self._rows]
 
+    def row_view(self) -> "RowView":
+        """A reusable dict-like view over one row at a time.
+
+        ``view.bind(row)`` repoints the view without allocating, so
+        record-style predicates (``lambda r: r["Age"] > 30``) can run
+        over every row with a single allocation instead of one dict per
+        row.  The view is *reused*: copy with ``dict(view)`` to retain a
+        row's values past the next ``bind``.
+        """
+        return RowView(self.schema)
+
+    # -- batched access ----------------------------------------------------
+
+    def iter_batches(self, size: int) -> Iterator[list[tuple]]:
+        """Stream the rows as list slices of at most *size* rows.
+
+        Batches share the underlying row tuples (no copies); only the
+        per-batch list of references is materialized, so a consumer that
+        stops early never pays for the rest of the relation.
+        """
+        if size <= 0:
+            raise ValueError(f"batch size must be positive, got {size}")
+        rows = self._rows
+        for start in range(0, len(rows), size):
+            yield rows[start:start + size]
+
+    def columns(self, *names: str) -> tuple[tuple, ...]:
+        """Value sequences for the named columns, one pass per column.
+
+        ``xs, ys = relation.columns("X", "Y")`` replaces per-row
+        position lookups with positional column extraction -- the shape
+        rule induction and statistics consume.
+        """
+        positions = [self.schema.position(name) for name in names]
+        return tuple(tuple(row[position] for row in self._rows)
+                     for position in positions)
+
+    def column_arrays(self) -> list[tuple]:
+        """All columns as value tuples, in schema order, via a single
+        transpose of the row list (C-speed ``zip`` instead of one Python
+        pass per column)."""
+        if not self._rows:
+            return [() for _ in self.schema.columns]
+        return list(zip(*self._rows))
+
     # -- mutation (used by the Database facade and QUEL delete/append) ----
 
     @property
@@ -282,6 +327,67 @@ class Relation:
 
     def __repr__(self) -> str:
         return f"Relation<{self.schema.render()}, {len(self)} rows>"
+
+
+class RowView:
+    """Read-only mapping view of one row of a schema.
+
+    Behaves like the dict :meth:`Relation.record` returns (lookup by
+    declared column name, case-insensitive; iteration yields column
+    names) but holds only a row reference, so rebinding it row after row
+    costs nothing.  Built by :meth:`Relation.row_view`.
+    """
+
+    __slots__ = ("_schema", "_row")
+
+    def __init__(self, schema: RelationSchema,
+                 row: Sequence[Any] | None = None):
+        self._schema = schema
+        self._row = row
+
+    def bind(self, row: Sequence[Any]) -> "RowView":
+        """Repoint the view at *row*; returns self for chaining."""
+        self._row = row
+        return self
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self._row[self._schema.position(key)]
+        except SchemaError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if not self._schema.has_column(key):
+            return default
+        return self._row[self._schema.position(key)]
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and self._schema.has_column(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._schema.column_names())
+
+    def __len__(self) -> int:
+        return self._schema.arity
+
+    def keys(self) -> list[str]:
+        return self._schema.column_names()
+
+    def values(self) -> list[Any]:
+        return list(self._row)
+
+    def items(self) -> list[tuple[str, Any]]:
+        return list(zip(self._schema.column_names(), self._row))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (dict, RowView)):
+            return dict(self.items()) == dict(
+                other.items() if isinstance(other, RowView)
+                else other.items())
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"RowView({dict(self.items())!r})"
 
 
 def _display(value: Any) -> str:

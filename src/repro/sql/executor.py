@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import contextlib
 import time
-from typing import NamedTuple, Sequence
+from typing import Iterable, NamedTuple, Sequence
 
 from repro import obs
 from repro.errors import SqlError
+from repro.relational import compiled
 from repro.relational.database import Database
 from repro.relational.datatypes import infer_type, INTEGER, REAL
 from repro.relational.expressions import (
@@ -130,14 +131,21 @@ def _row_env(relation: Relation, row: tuple):
     return Environment.for_row(relation.schema, row)
 
 
+def _where_test(relation: Relation, where: Expression):
+    """Compiled row predicate for a single-relation WHERE clause."""
+    return compiled.compile_predicate(
+        where,
+        compiled.schema_resolver(relation.schema, [relation.schema.name]),
+        fallback=lambda: lambda row: where.evaluate(_row_env(relation, row)))
+
+
 def _execute_delete(database: Database, statement: ast.DeleteStmt) -> int:
     relation = database.relation(statement.table)
     if statement.where is None:
         count = len(relation)
         relation.clear()
         return count
-    return relation.delete_where(
-        lambda row: statement.where.evaluate(_row_env(relation, row)))
+    return relation.delete_where(_where_test(relation, statement.where))
 
 
 def _execute_update(database: Database, statement: ast.UpdateStmt) -> int:
@@ -155,9 +163,8 @@ def _execute_update(database: Database, statement: ast.UpdateStmt) -> int:
 
     if statement.where is None:
         return relation.replace_where(lambda row: True, updated)
-    return relation.replace_where(
-        lambda row: statement.where.evaluate(_row_env(relation, row)),
-        updated)
+    return relation.replace_where(_where_test(relation, statement.where),
+                                  updated)
 
 
 def execute_select(database: Database, statement: ast.SelectStmt,
@@ -297,7 +304,9 @@ def _filtered_rows(scope: Scope, binding: str,
                    predicates: list[Expression]) -> list[tuple]:
     """Pushed-down filters for one binding, probing a cached
     :class:`HashIndex` for the first ``column = literal`` conjunct
-    instead of scanning the whole relation."""
+    instead of scanning the whole relation.  Remaining predicates are
+    compiled once into positional closures (interpreted per-row
+    environments only as a fallback)."""
     relation = scope.relations[binding]
     rows: Sequence[tuple] = relation.rows
     remaining = list(predicates)
@@ -309,9 +318,13 @@ def _filtered_rows(scope: Scope, binding: str,
             rows = index.lookup(value)
             remaining.remove(conjunct)
             break
+    resolve = compiled.schema_resolver(relation.schema, [binding])
     for predicate in remaining:
-        rows = [row for row in rows if predicate.evaluate(
-            _single_env(scope, binding, row))]
+        test = compiled.compile_predicate(
+            predicate, resolve,
+            fallback=lambda p=predicate: lambda row: p.evaluate(
+                _single_env(scope, binding, row)))
+        rows = [row for row in rows if test(row)]
     return list(rows)
 
 
@@ -353,11 +366,16 @@ def _join(scope: Scope, where: Expression | None) -> "_Combined":
             "=", ColumnRef(col_a, bind_a), ColumnRef(col_b, bind_b)))
 
     if residual:
-        combined.rows = [
-            rows for rows in combined.rows
-            if all(predicate.evaluate(
-                scope.environment(combined.bindings, rows))
-                for predicate in residual)]
+        resolve = compiled.slot_resolver(
+            [(binding, scope.relations[binding].schema)
+             for binding in combined.bindings])
+        tests = [compiled.compile_predicate(
+                     predicate, resolve,
+                     fallback=lambda p=predicate: lambda rows: p.evaluate(
+                         scope.environment(combined.bindings, rows)))
+                 for predicate in residual]
+        combined.rows = [rows for rows in combined.rows
+                         if all(test(rows) for test in tests)]
     return combined
 
 
@@ -421,10 +439,13 @@ class _Combined:
 
 
 def project_statement(scope: Scope, statement: ast.SelectStmt,
-                      bindings: Sequence[str], rows: Sequence[tuple],
+                      bindings: Sequence[str], rows: Iterable[tuple],
                       result_name: str) -> Relation:
     """Evaluate the SELECT list (plain or aggregated), ORDER BY and
     DISTINCT over joined *rows* (aligned per-binding row tuples).
+
+    *rows* may be any single-pass iterable -- in particular the lazy
+    batch stream of a plan tree -- and is consumed exactly once.
 
     Shared by the legacy executor and the planner's ProjectPlan so both
     paths produce byte-identical relations.
@@ -435,8 +456,14 @@ def project_statement(scope: Scope, statement: ast.SelectStmt,
     return _project(scope, statement, bindings, rows, result_name)
 
 
+def _slot_resolver(scope: Scope, bindings: Sequence[str]):
+    return compiled.slot_resolver(
+        [(binding, scope.relations[binding].schema)
+         for binding in bindings])
+
+
 def _project(scope: Scope, statement: ast.SelectStmt,
-             bindings: Sequence[str], input_rows: Sequence[tuple],
+             bindings: Sequence[str], input_rows: Iterable[tuple],
              result_name: str) -> Relation:
     if statement.star:
         # Expand in FROM order (scope.bindings), not join order: the
@@ -462,12 +489,28 @@ def _project(scope: Scope, statement: ast.SelectStmt,
     names = _output_names(items)
     rows: list[tuple] = []
     sort_values: list[tuple] = []
-    for row_group in input_rows:
-        env = scope.environment(bindings, row_group)
-        rows.append(tuple(item.expression.evaluate(env) for item in items))
-        if statement.order_by:
-            sort_values.append(tuple(
-                key.evaluate(env) for key in statement.order_by))
+    # Compile the SELECT list and sort keys into positional closures;
+    # all-or-none, since a single interpreted item needs the per-row
+    # environment built anyway.
+    resolve = _slot_resolver(scope, bindings)
+    item_fns = compiled.compile_expressions(
+        [item.expression for item in items], resolve)
+    order_fns = compiled.compile_expressions(
+        list(statement.order_by), resolve)
+    if item_fns is not None and order_fns is not None:
+        for row_group in input_rows:
+            rows.append(tuple(fn(row_group) for fn in item_fns))
+            if order_fns:
+                sort_values.append(tuple(
+                    fn(row_group) for fn in order_fns))
+    else:
+        for row_group in input_rows:
+            env = scope.environment(bindings, row_group)
+            rows.append(tuple(item.expression.evaluate(env)
+                              for item in items))
+            if statement.order_by:
+                sort_values.append(tuple(
+                    key.evaluate(env) for key in statement.order_by))
 
     if statement.order_by:
         order = sorted(range(len(rows)),
@@ -497,7 +540,7 @@ def _project(scope: Scope, statement: ast.SelectStmt,
 
 
 def _project_grouped(scope: Scope, statement: ast.SelectStmt,
-                     bindings: Sequence[str], input_rows: Sequence[tuple],
+                     bindings: Sequence[str], input_rows: Iterable[tuple],
                      result_name: str) -> Relation:
     """Aggregate projection, with optional GROUP BY.
 
@@ -526,18 +569,37 @@ def _project_grouped(scope: Scope, statement: ast.SelectStmt,
         for ref in expression.references():
             scope.resolve(ref)
 
+    resolve = _slot_resolver(scope, bindings)
     groups: dict[tuple, list[tuple]] = {}
     order: list[tuple] = []
-    for row_group in input_rows:
-        env = scope.environment(bindings, row_group)
-        key = tuple(e.evaluate(env) for e in group_exprs)
-        if key not in groups:
-            groups[key] = []
-            order.append(key)
-        groups[key].append(row_group)
+    group_fns = compiled.compile_expressions(group_exprs, resolve)
+    if group_fns is not None:
+        for row_group in input_rows:
+            key = tuple(fn(row_group) for fn in group_fns)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row_group)
+    else:
+        for row_group in input_rows:
+            env = scope.environment(bindings, row_group)
+            key = tuple(e.evaluate(env) for e in group_exprs)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row_group)
     if not group_exprs and not order:
         groups[()] = []
         order.append(())
+
+    # Compile each aggregate operand once (per item, not per member row);
+    # None entries take the interpreted per-member environment path.
+    operand_fns: dict[int, object] = {}
+    for index, item in enumerate(statement.items):
+        if item.is_aggregate() and item.expression.operand is not None:
+            fns = compiled.compile_expressions(
+                [item.expression.operand], resolve)
+            operand_fns[index] = fns[0] if fns else None
 
     names = _output_names(statement.items)
     rows: list[tuple] = []
@@ -547,7 +609,7 @@ def _project_grouped(scope: Scope, statement: ast.SelectStmt,
         representative = members[0] if members else None
         env = (scope.environment(bindings, representative)
                if representative is not None else None)
-        for item in statement.items:
+        for index, item in enumerate(statement.items):
             if not item.is_aggregate():
                 out.append(item.expression.evaluate(env))
                 continue
@@ -555,10 +617,13 @@ def _project_grouped(scope: Scope, statement: ast.SelectStmt,
             if call.operand is None:
                 out.append(len(members))
                 continue
-            values = []
-            for row_group in members:
-                member_env = scope.environment(bindings, row_group)
-                values.append(call.operand.evaluate(member_env))
+            fn = operand_fns.get(index)
+            if fn is not None:
+                values = [fn(row_group) for row_group in members]
+            else:
+                values = [call.operand.evaluate(
+                              scope.environment(bindings, row_group))
+                          for row_group in members]
             out.append(_fold_sql_aggregate(call, values))
         rows.append(tuple(out))
 

@@ -12,6 +12,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.induction import InductionConfig, InductiveLearningSubsystem
 from repro.ker import SchemaBinding
+from repro.plan.planner import plan_select
+from repro.plan.plans import UNBOUNDED
+from repro.relational import compiled
 from repro.sql.executor import execute_select, execute_select_legacy
 from repro.sql.parser import parse_select
 from repro.testbed import ship_database, ship_ker_schema
@@ -136,6 +139,41 @@ def test_explain_analyze_actuals_match_legacy(sql):
     match = re.search(r"actual (\d+), time ", root_line)
     assert match is not None, rendered
     assert int(match.group(1)) == len(legacy), sql
+
+
+@settings(max_examples=40, deadline=None)
+@given(select_statements(), st.sampled_from([1, 7, None]))
+def test_streaming_matches_materializing(sql, batch_size):
+    """The morsel size is an implementation knob, never a semantic one:
+    any streamed batch size produces *exactly* the rows (same order)
+    that one unbounded batch -- the old materializing pipeline shape --
+    produces, and the bag the legacy executor produces."""
+    statement = parse_select(sql)
+    streamed = plan_select(DB, statement, rules=RULES).execute(
+        batch_size=batch_size)
+    reference = plan_select(DB, statement, rules=RULES).execute(
+        batch_size=UNBOUNDED)
+    assert list(streamed.rows) == list(reference.rows), sql
+    assert streamed == execute_select_legacy(DB, statement), sql
+
+
+@settings(max_examples=25, deadline=None)
+@given(select_statements())
+def test_compiled_predicates_match_interpreted(sql):
+    """Flipping ``compiled.ENABLED`` off restores the interpreted
+    pre-refactor pipeline; results must be tuple-for-tuple identical."""
+    statement = parse_select(sql)
+    with_compiler = plan_select(DB, statement, rules=RULES).execute()
+    legacy_compiled = execute_select_legacy(DB, statement)
+    assert compiled.ENABLED
+    try:
+        compiled.ENABLED = False
+        interpreted = plan_select(DB, statement, rules=RULES).execute()
+        legacy_interpreted = execute_select_legacy(DB, statement)
+    finally:
+        compiled.ENABLED = True
+    assert list(with_compiler.rows) == list(interpreted.rows), sql
+    assert list(legacy_compiled.rows) == list(legacy_interpreted.rows), sql
 
 
 @settings(max_examples=25, deadline=None)

@@ -58,6 +58,49 @@ def test_index_scan_sees_rows_inserted_after_planning(observed):
                           result="stale", kind="hash") == 1
 
 
+def test_stream_started_before_mutation_serves_its_snapshot(observed):
+    """A batch stream opened *before* a mutation serves its
+    start-of-stream snapshot to the end; the mutation becomes visible
+    (through the stale-index rebuild) to the next execution."""
+    database = ship_database()
+    planned = plan_select(database, parse_select(SQL))
+    assert "IndexScan" in planned.render()
+
+    scan = planned.root.child
+    stream = scan.batches(1)
+    first = next(stream)  # resolves the index: cache miss, snapshot taken
+    execute_statement(database, INSERT)
+    rows = list(first) + [group for batch in stream for group in batch]
+
+    assert all(group[0][0] != "SSN999" for group in rows)
+    assert observed.value("index_cache_requests_total",
+                          result="miss", kind="hash") == 1
+
+    result = plan_select(database, parse_select(SQL)).execute(batch_size=2)
+    assert any(row[0] == "SSN999" for row in result)
+    assert observed.value("index_cache_requests_total",
+                          result="stale", kind="hash") == 1
+
+
+def test_mutation_between_planning_and_streaming(observed):
+    """The PR3 invariant under batch streaming: index resolution happens
+    at stream start, so plan -> mutate -> stream still sees the
+    post-mutation rows, at every batch size."""
+    database = ship_database()
+    statement = parse_select(SQL)
+    baseline = len(plan_select(database, statement).execute())
+
+    planned = plan_select(database, statement)
+    execute_statement(database, INSERT)
+    result = planned.execute(batch_size=1)
+
+    assert len(result) == baseline + 1
+    assert any(row[0] == "SSN999" for row in result)
+    assert result == execute_select_legacy(database, statement)
+    assert observed.value("index_cache_requests_total",
+                          result="stale", kind="hash") == 1
+
+
 def test_statistics_snapshot_invalidated_by_mutation(observed):
     database = ship_database()
     catalog = statistics(database)
