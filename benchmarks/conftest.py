@@ -12,6 +12,7 @@ also written to ``benchmark_reports/<id>.txt`` for diffing.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -30,12 +31,30 @@ _REPORT_DIR = pathlib.Path(__file__).resolve().parent.parent / (
     "benchmark_reports")
 
 
-def record_report(experiment_id: str, title: str, text: str) -> None:
-    """Register a reproduced table/figure for the terminal summary."""
+_ROOT_DIR = _REPORT_DIR.parent
+
+
+def record_report(experiment_id: str, title: str, text: str,
+                  data: dict | None = None) -> None:
+    """Register a reproduced table/figure for the terminal summary.
+
+    Besides the human-readable ``benchmark_reports/<id>.txt``, every
+    report also lands machine-readably in ``BENCH_<ID>.json`` at the
+    repo root, so CI guards and regression diffs can consume timings
+    without parsing rendered tables.  *data* carries the structured
+    numbers (raw timings, speedups, guard verdicts) where the bench
+    provides them.
+    """
     REPORTS.append((experiment_id, title, text))
     _REPORT_DIR.mkdir(exist_ok=True)
     path = _REPORT_DIR / f"{experiment_id.lower()}.txt"
     path.write_text(f"{title}\n\n{text}\n")
+    payload = {"id": experiment_id, "title": title, "text": text}
+    if data is not None:
+        payload["data"] = data
+    json_path = _ROOT_DIR / f"BENCH_{experiment_id.upper()}.json"
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                         + "\n")
 
 
 def pytest_terminal_summary(terminalreporter):

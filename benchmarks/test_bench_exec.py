@@ -169,4 +169,7 @@ def test_intermediate_materialization_is_o_batch(star_db):
         f"Streaming compiled execution vs materializing interpreted "
         f"pipeline (ENTITY {N_ENTITIES} rows x GROUPS {N_GROUPS})",
         render_table(
-            ["query", "interpreted ms", "streamed ms", "speedup"], rows))
+            ["query", "interpreted ms", "streamed ms", "speedup"], rows),
+        data={label: {"interpreted_s": pre, "streamed_s": post,
+                      "speedup": pre / post}
+              for label, (pre, post) in sorted(_RESULTS.items())})

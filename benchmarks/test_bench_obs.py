@@ -97,7 +97,14 @@ def _time_once(fn):
 
 
 def test_disabled_observability_is_free(benchmark, synth_db):
+    from repro.cache import query_cache
+
     statement = parse_select(RANGE_SQL)
+    # Keep the query cache out of the loop: this experiment times the
+    # observability hooks on *live* plan execution, and a result-cache
+    # hit would reduce all three modes to a dictionary lookup (E23
+    # measures that path).
+    query_cache(synth_db).enabled = False
 
     def run():
         return execute_select(synth_db, statement, use_planner=True)
@@ -127,6 +134,7 @@ def test_disabled_observability_is_free(benchmark, synth_db):
     finally:
         obs.disable()
         obs.reset()
+        query_cache(synth_db).enabled = True
 
     record_report(
         "E20", f"Observability overhead (range query, {N_ROWS} rows)",
@@ -136,7 +144,11 @@ def test_disabled_observability_is_free(benchmark, synth_db):
              ["obs disabled", f"{disabled_s * 1000:.3f}",
               f"{disabled_s / bare_s:.2f}x"],
              ["obs enabled", f"{enabled_s * 1000:.3f}",
-              f"{enabled_s / bare_s:.2f}x"]]))
+              f"{enabled_s / bare_s:.2f}x"]]),
+        data={"bare_s": bare_s, "disabled_s": disabled_s,
+              "enabled_s": enabled_s,
+              "disabled_overhead": disabled_s / bare_s - 1.0,
+              "guard": "disabled path within 5% of bare"})
 
     assert disabled_s <= bare_s * 1.05 + 5e-5, (
         f"disabled observability costs {disabled_s / bare_s:.2f}x "
@@ -148,7 +160,12 @@ def test_disabled_observability_is_free(benchmark, synth_db):
 
 
 def test_enabled_observability_records_the_workload(synth_db):
+    from repro.cache import query_cache
+
     statement = parse_select(RANGE_SQL)
+    # The overhead runs above warmed the result cache for this very
+    # statement; drop it so the traced run executes live plan nodes.
+    query_cache(synth_db).clear()
     obs.enable()
     obs.reset()
     try:

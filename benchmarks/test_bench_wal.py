@@ -127,7 +127,12 @@ def test_wal_overhead_guard(tmp_path):
               f"{overhead_never * 100:+.1f}%"],
              ["WAL fsync=commit", f"{commit_s * 1000:.1f}ms",
               f"{overhead_commit * 100:+.1f}%"]])
-        + f"\nguard: fsync=never overhead <= {MAX_OVERHEAD * 100:.0f}%")
+        + f"\nguard: fsync=never overhead <= {MAX_OVERHEAD * 100:.0f}%",
+        data={"base_s": base_s, "never_s": never_s, "commit_s": commit_s,
+              "overhead_never": overhead_never,
+              "overhead_commit": overhead_commit,
+              "guard": f"fsync=never overhead <= {MAX_OVERHEAD:.2f}",
+              "guard_passed": overhead_never <= MAX_OVERHEAD})
     assert overhead_never <= MAX_OVERHEAD, (
         f"WAL bookkeeping overhead {overhead_never * 100:.1f}% exceeds "
         f"the {MAX_OVERHEAD * 100:.0f}% budget "

@@ -1,0 +1,29 @@
+"""Version-aware multi-level query cache (plan / result / ask).
+
+See :mod:`repro.cache.core` for the design and docs/CACHING.md for the
+operator's view.  Typical use is indirect -- the SQL executor and
+:meth:`IntensionalQueryProcessor.ask` consult the cache on their own --
+but the accessor is public::
+
+    from repro.cache import query_cache
+
+    cache = query_cache(database)
+    cache.status()      # entries / bytes / hit counters
+    cache.clear()
+"""
+
+from repro.cache.core import (
+    DEFAULT_BYTE_BUDGET,
+    DEFAULT_FLOOR_MS,
+    QueryCache,
+    cache_enabled_default,
+    query_cache,
+)
+
+__all__ = [
+    "DEFAULT_BYTE_BUDGET",
+    "DEFAULT_FLOOR_MS",
+    "QueryCache",
+    "cache_enabled_default",
+    "query_cache",
+]

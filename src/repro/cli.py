@@ -20,6 +20,8 @@ times.  Backslash commands inspect the system:
 ``\\explain <sql>`` run a query and print the derivation trace
 ``\\lint``          run the KER schema linter against the data
 ``\\quel <stmt>``   run a QUEL statement
+``\\cache``         query-cache status (``clear`` drops every entry,
+                   ``on``/``off`` toggle caching for this session)
 ``\\obs on|off``    enable/disable observability (tracing + metrics)
 ``\\metrics``       dump recorded metrics (``prom`` for Prometheus
                    text format, ``reset`` to clear)
@@ -168,6 +170,8 @@ class Shell:
             else:
                 self.write("ok")
             return True
+        if command == "cache":
+            return self._cache_command(argument)
         if command == "obs":
             return self._obs_command(argument)
         if command == "metrics":
@@ -260,6 +264,49 @@ class Shell:
             data_dir, fsync=fsync, ker_schema=ker_schema)
         self.quel = QuelSession(self.system.database)
         self.write(report.render())
+        return True
+
+    # -- cache commands -------------------------------------------------------
+
+    def _cache_command(self, argument: str) -> bool:
+        from repro.cache import query_cache
+        cache = query_cache(self.system.database)
+        if argument == "clear":
+            dropped = cache.clear()
+            self.write(f"cache cleared ({dropped} entries dropped)")
+            return True
+        if argument in ("on", "off"):
+            cache.enabled = argument == "on"
+            self.write(f"query cache {'enabled' if cache.enabled else 'disabled'}")
+            return True
+        if argument not in ("", "status"):
+            self.write("usage: \\cache [status|clear|on|off]")
+            return True
+        status = cache.status()
+        entries = status["entries"]
+        self.write("query cache: "
+                   + ("enabled" if status["enabled"] else "disabled"))
+        self.write(f"  entries:   {entries['plan']} plan, "
+                   f"{entries['result']} result, {entries['ask']} ask")
+        self.write(f"  bytes:     {status['bytes_used']} / "
+                   f"{status['byte_budget']}")
+        self.write(f"  floor:     {status['floor_ms']:g}ms admission floor")
+        counters = status["counters"]
+        for level in ("plan", "result", "ask"):
+            hits = counters.get(f"{level}.hit", 0)
+            misses = counters.get(f"{level}.miss", 0)
+            if hits or misses:
+                self.write(f"  {level + ':':<10} {hits} hits, "
+                           f"{misses} misses")
+        invalidations = {name.split(".", 1)[1]: count
+                         for name, count in counters.items()
+                         if name.startswith("invalidate.")}
+        if invalidations:
+            self.write("  invalidations: " + " ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(invalidations.items())))
+        if counters.get("evictions"):
+            self.write(f"  evictions: {counters['evictions']}")
         return True
 
     # -- observability commands ---------------------------------------------
@@ -361,6 +408,7 @@ def build_system(db_path: str | None = None,
                  n_c: float = 3,
                  data_dir: str | None = None,
                  fsync: str = "commit",
+                 cache_bytes: int | None = None,
                  out: TextIO | None = None) -> IntensionalQueryProcessor:
     """Assemble the system for the CLI: the ship test bed by default,
     or a text-dumped database plus optional KER DDL file.
@@ -369,7 +417,18 @@ def build_system(db_path: str | None = None,
     the directory is recovered from (the ``--db`` bootstrap is ignored
     then); a fresh directory is initialized with a baseline checkpoint
     of the bootstrap database.
+
+    *cache_bytes* overrides the query cache's result-store budget
+    (``--cache-bytes``; the ``REPRO_CACHE_BYTES`` env var is the
+    non-CLI spelling).
     """
+    def _configure_cache(system: IntensionalQueryProcessor
+                         ) -> IntensionalQueryProcessor:
+        if cache_bytes is not None:
+            from repro.cache import query_cache
+            query_cache(system.database).byte_budget = max(cache_bytes, 0)
+        return system
+
     schema = None
     if ker_path is not None:
         with open(ker_path) as handle:
@@ -389,7 +448,7 @@ def build_system(db_path: str | None = None,
                 data_dir, fsync=fsync, ker_schema=schema)
             if out is not None:
                 out.write(report.render() + "\n")
-            return system
+            return _configure_cache(system)
     if db_path is None:
         system = IntensionalQueryProcessor.from_database(
             ship_database(), ker_schema=ship_ker_schema(),
@@ -412,7 +471,7 @@ def build_system(db_path: str | None = None,
                     system.database)
                 storage.mark_rules_current()
         storage.checkpoint()
-    return system
+    return _configure_cache(system)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -429,11 +488,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fsync", default="commit",
                         choices=["always", "commit", "never"],
                         help="WAL fsync policy (default: commit)")
+    parser.add_argument("--cache-bytes", type=int, default=None,
+                        help="query-cache result-store budget in bytes "
+                             "(default: 32 MiB; REPRO_CACHE=off disables "
+                             "caching entirely)")
     arguments = parser.parse_args(argv)
     shell = Shell(build_system(arguments.db, arguments.ker,
                                n_c=arguments.nc,
                                data_dir=arguments.data_dir,
                                fsync=arguments.fsync,
+                               cache_bytes=arguments.cache_bytes,
                                out=sys.stdout))
     shell.repl()
     return 0

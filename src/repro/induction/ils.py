@@ -169,6 +169,13 @@ class InductiveLearningSubsystem:
             database.catalog.register(meta, replace=True)
             if storage is not None:
                 storage.mark_rules_current()
+        # The knowledge base changed wholesale: cached plans carry the
+        # old rules' semantic rewrites and cached intensional answers
+        # were derived from them, so the query cache flushes everything
+        # (counted under reason="reinduction").
+        cache = getattr(database, "_query_cache", None)
+        if cache is not None:
+            cache.invalidate_rules()
         return ruleset
 
     def _induce_tree_rules(self, existing: RuleSet) -> list[Rule]:

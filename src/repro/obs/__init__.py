@@ -45,6 +45,7 @@ __all__ = [
     "SlowQueryLog",
     "Span",
     "Tracer",
+    "cache_event",
     "counter",
     "disable",
     "enable",
@@ -160,6 +161,19 @@ def histogram(name: str, help: str = "", **labels: Any):
     if not _enabled:
         return _NULL_COUNTER
     return _metrics.histogram(name, help, **labels)
+
+
+def cache_event(level: str, result: str) -> None:
+    """Count one query-cache probe: ``level`` is ``plan`` / ``result``
+    / ``ask`` / ``infer``, ``result`` is ``hit`` / ``miss`` /
+    ``bypass`` (no-op when disabled).  One call keeps the cache's hot
+    path from paying label-handling costs while observability is off.
+    """
+    if _enabled:
+        _metrics.counter(
+            "query_cache_requests_total",
+            "query-cache probes by level and outcome",
+            level=level, result=result).inc()
 
 
 def observe_query(statement: str, duration_s: float,

@@ -16,7 +16,6 @@ from repro.relational.database import Database
 from repro.rules.ruleset import RuleSet
 from repro.sql import ast
 from repro.plan.plans import Plan
-from repro.plan.planner import PlannedQuery, plan_select
 
 
 def _format_rows(value: float) -> str:
@@ -58,11 +57,16 @@ def explain_select(database: Database, statement: ast.SelectStmt,
     """Plan *statement*, optionally execute it, and render the tree.
 
     *analyze* (EXPLAIN ANALYZE) implies execution and adds the measured
-    per-node wall times to the rendering.
+    per-node wall times to the rendering.  The first line reports the
+    plan cache's verdict for this statement -- ``cache: hit`` (the
+    compiled plan was reused), ``miss`` (planned now, cached for next
+    time) or ``bypass`` (caching disabled).
     """
-    planned: PlannedQuery = plan_select(database, statement, rules=rules,
-                                        result_name=result_name)
+    from repro.cache.core import query_cache
+    planned, status = query_cache(database).plan_for(
+        statement, rules=rules, result_name=result_name)
     run = execute or analyze
     if run:
         planned.execute()
-    return planned.render(include_actual=run, include_timing=analyze)
+    rendered = planned.render(include_actual=run, include_timing=analyze)
+    return f"cache: {status}\n{rendered}"

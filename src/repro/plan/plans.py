@@ -78,15 +78,41 @@ def set_batch_observer(
     _batch_observer = observer
 
 
+#: Rejected ``REPRO_BATCH_SIZE`` spellings already warned about -- the
+#: env var is consulted on every stream start, so each bad value warns
+#: exactly once instead of flooding a long session.
+_warned_batch_sizes: set[str] = set()
+
+
 def default_batch_size() -> int:
     """The process-wide morsel size: ``REPRO_BATCH_SIZE`` when it parses
-    to a positive integer, :data:`DEFAULT_BATCH_SIZE` otherwise."""
+    to a positive integer, :data:`DEFAULT_BATCH_SIZE` otherwise.
+
+    A set-but-unusable value (non-integer or non-positive) falls back
+    to the default *loudly*: one :class:`UserWarning` per distinct bad
+    value, naming both.  An unset/empty variable stays silent -- that
+    is the normal configuration, not a mistake.
+    """
+    import warnings
+
     raw = os.environ.get("REPRO_BATCH_SIZE", "")
     try:
         value = int(raw)
     except ValueError:
+        if raw.strip() and raw not in _warned_batch_sizes:
+            _warned_batch_sizes.add(raw)
+            warnings.warn(
+                f"REPRO_BATCH_SIZE={raw!r} is not an integer; using the "
+                f"default batch size {DEFAULT_BATCH_SIZE}", stacklevel=2)
         return DEFAULT_BATCH_SIZE
-    return value if value > 0 else DEFAULT_BATCH_SIZE
+    if value <= 0:
+        if raw not in _warned_batch_sizes:
+            _warned_batch_sizes.add(raw)
+            warnings.warn(
+                f"REPRO_BATCH_SIZE={raw!r} is not positive; using the "
+                f"default batch size {DEFAULT_BATCH_SIZE}", stacklevel=2)
+        return DEFAULT_BATCH_SIZE
+    return value
 
 
 class Plan:

@@ -226,13 +226,36 @@ class IntensionalQueryProcessor:
         intensional half is suppressed (never silently wrong): the
         result carries only the extensional answer plus a warning until
         :meth:`refresh_rules` runs.
+
+        Repeated asks are served from the intensional-answer cache: the
+        whole :class:`QueryResult` is memoized on the normalized SQL
+        fingerprint, pinned to the rule-base version, the staleness
+        flag, and a version vector over the touched relations, so any
+        DML, rollback, re-induction or recovery replay drops it before
+        it could go stale.
         """
+        from repro.cache.core import query_cache
+        from repro.sql.fingerprint import normalize_sql
         start = time.perf_counter()
         storage = self.database.storage
         degraded = (storage is not None and storage.has_rules
                     and storage.rules_stale)
+        cache = query_cache(self.database)
+        ask_key = (normalize_sql(sql), bool(forward), bool(backward))
         warnings: list[str] = []
         with obs.span("query.ask", sql=sql) as span:
+            cached = cache.lookup_ask(ask_key, self.rules.version,
+                                      degraded)
+            if cached is not None:
+                span.set(rows=len(cached.extensional),
+                         intensional=len(cached.inference.answers()),
+                         cached=True)
+                if obs.enabled():
+                    obs.observe_query(cached.statement.render(),
+                                      time.perf_counter() - start,
+                                      rows=len(cached.extensional),
+                                      kind="ask")
+                return cached
             statement = parse_select(sql)
             extensional = execute_select(
                 self.database, statement,
@@ -257,12 +280,18 @@ class IntensionalQueryProcessor:
             span.set(rows=len(extensional),
                      intensional=len(inference.answers()),
                      degraded=degraded)
+        result = QueryResult(statement, extensional, inference,
+                             conditions.unused, warnings=warnings)
+        elapsed = time.perf_counter() - start
+        cache.admit_ask(
+            ask_key, self.rules.version, degraded,
+            [self.database.relation(table.name)
+             for table in statement.tables],
+            result, elapsed)
         if obs.enabled():
-            obs.observe_query(statement.render(),
-                              time.perf_counter() - start,
+            obs.observe_query(statement.render(), elapsed,
                               rows=len(extensional), kind="ask")
-        return QueryResult(statement, extensional, inference,
-                           conditions.unused, warnings=warnings)
+        return result
 
     def explain(self, sql: str, analyze: bool = False) -> str:
         """Plan, execute, and render the plan tree for a SELECT.

@@ -30,6 +30,12 @@ class Catalog:
         self._stats_version = 0
         #: key -> (relation, mutation-hook token), for detaching on drop.
         self._hooks: dict[str, tuple[Relation, int]] = {}
+        #: catalog-wide change listeners: called with the affected
+        #: relation (or ``None`` for changes with no single relation)
+        #: after every bump.  Unlike :meth:`stats_version` polling this
+        #: names the relation, so a listener can invalidate exactly the
+        #: entries depending on it.
+        self._listeners: list = []
         #: durable-storage journal (set by an attached StorageEngine);
         #: register/drop report DDL to it and propagate it to relations.
         self.journal = None
@@ -42,8 +48,22 @@ class Catalog:
         snapshots on it."""
         return self._stats_version
 
+    def add_listener(self, listener) -> None:
+        """Subscribe ``listener(relation | None)`` to every catalog
+        change (DML on any registered relation, register, drop).  Fires
+        on rollback undo and WAL replay too -- those mutate through the
+        same hooks -- which is what makes listener-driven caches
+        recovery-correct for free."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
     def _bump(self, _relation: Relation | None = None) -> None:
         self._stats_version += 1
+        for listener in self._listeners:
+            listener(_relation)
 
     def _attach(self, key: str, relation: Relation) -> None:
         token = relation.add_mutation_hook(self._bump)
@@ -73,7 +93,7 @@ class Catalog:
         self._relations[key] = relation
         relation.journal = self.journal
         self._attach(key, relation)
-        self._bump()
+        self._bump(relation)
         return relation
 
     def get(self, name: str) -> Relation:
@@ -95,7 +115,7 @@ class Catalog:
         relation.journal = None
         del self._relations[key]
         self._order.remove(key)
-        self._bump()
+        self._bump(relation)
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._relations

@@ -10,10 +10,17 @@ processor uses for forward and backward chaining respectively.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Iterator, Sequence
 
 from repro.rules.clause import AttributeRef
 from repro.rules.rule import Rule
+
+#: Process-wide monotonic source for :attr:`RuleSet.version`.  Every
+#: construction and every mutation of *any* rule set draws a fresh
+#: number, so two rule sets never share a version and a changed rule
+#: base can never be mistaken for the one a cache entry was keyed on.
+_VERSIONS = itertools.count(1)
 
 
 class RuleScheme:
@@ -50,6 +57,11 @@ class RuleSet:
         self._rules: list[Rule] = []
         self._by_lhs: dict[tuple[str, str], list[Rule]] = {}
         self._by_rhs: dict[tuple[str, str], list[Rule]] = {}
+        #: Rule-base version: a process-unique integer reassigned on
+        #: every :meth:`add`.  The query cache keys plan entries and
+        #: intensional answers on it, so swapping in a re-induced rule
+        #: set (or mutating this one) invalidates them all at once.
+        self.version = next(_VERSIONS)
         for rule in rules:
             self.add(rule)
 
@@ -59,6 +71,7 @@ class RuleSet:
         for clause in rule.lhs:
             self._by_lhs.setdefault(clause.attribute.key, []).append(rule)
         self._by_rhs.setdefault(rule.rhs.attribute.key, []).append(rule)
+        self.version = next(_VERSIONS)
         return rule
 
     def extend(self, rules: Iterable[Rule]) -> None:

@@ -19,6 +19,7 @@ from repro.sql.parser import parse_select, parse_statement
 from repro.sql.executor import (
     execute_select, execute_select_legacy, execute_sql, execute_statement,
 )
+from repro.sql.fingerprint import normalize_sql
 from repro.sql import ast
 
 __all__ = [
@@ -28,5 +29,6 @@ __all__ = [
     "execute_select",
     "execute_select_legacy",
     "execute_statement",
+    "normalize_sql",
     "ast",
 ]

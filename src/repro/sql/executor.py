@@ -181,9 +181,14 @@ def execute_select(database: Database, statement: ast.SelectStmt,
         use_planner = USE_PLANNER
     start = time.perf_counter()
     if use_planner:
-        from repro.plan.planner import plan_select
-        result = plan_select(database, statement, rules=rules,
-                             result_name=result_name).execute()
+        # The planner path goes through the version-aware query cache:
+        # repeated statements reuse the compiled plan, and expensive
+        # results are served straight from the result cache while the
+        # relations they touched are unchanged (REPRO_CACHE=off makes
+        # this a plain pass-through to plan_select).
+        from repro.cache.core import query_cache
+        result = query_cache(database).execute_select(
+            statement, rules=rules, result_name=result_name)
     else:
         result = execute_select_legacy(database, statement, result_name)
     if obs.enabled():

@@ -1,0 +1,65 @@
+"""Normalized SQL fingerprints for the query cache.
+
+Two spellings of the same statement -- differing in case, whitespace,
+or a trailing semicolon -- should hit the same cache entry, so the
+cache keys on a *fingerprint* rather than the raw text.  Literals are
+deliberately preserved verbatim (case included): plans and results are
+literal-specific, so ``WHERE Label = 'G01'`` and ``WHERE Label =
+'g01'`` must never collide.
+
+The fingerprint is intentionally cheaper than a parse: one pass over
+the characters, no tokenizer.  Parsed statements already have a
+canonical spelling (``Statement.render()``), which the cache uses when
+it holds an AST; :func:`normalize_sql` covers the raw-text entry points
+(``ask()``, ``execute_sql``) where caching wants to happen *before*
+paying for the parse.
+"""
+
+from __future__ import annotations
+
+__all__ = ["normalize_sql"]
+
+
+def normalize_sql(text: str) -> str:
+    """Case-fold and whitespace-collapse *text* outside string literals.
+
+    - runs of whitespace become one space; leading/trailing whitespace
+      and trailing semicolons are dropped;
+    - everything outside quotes is lowercased;
+    - single- and double-quoted literals are copied verbatim,
+      doubled-quote escapes (``'it''s'``) included.
+    """
+    out: list[str] = []
+    pending_space = False
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in "'\"":
+            # Copy the whole literal verbatim, honoring '' / "" escapes.
+            j = i + 1
+            while j < n:
+                if text[j] == ch:
+                    if j + 1 < n and text[j + 1] == ch:
+                        j += 2
+                        continue
+                    break
+                j += 1
+            if pending_space and out:
+                out.append(" ")
+            pending_space = False
+            out.append(text[i:min(j, n - 1) + 1])
+            i = j + 1
+            continue
+        if ch.isspace():
+            pending_space = True
+            i += 1
+            continue
+        if pending_space and out:
+            out.append(" ")
+        pending_space = False
+        out.append(ch.lower())
+        i += 1
+    normalized = "".join(out)
+    while normalized.endswith(";"):
+        normalized = normalized[:-1].rstrip()
+    return normalized

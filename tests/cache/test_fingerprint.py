@@ -1,0 +1,41 @@
+"""Unit tests for the normalized SQL fingerprint."""
+
+from repro.sql import normalize_sql
+
+
+class TestNormalizeSql:
+    def test_case_folds_keywords_and_identifiers(self):
+        assert (normalize_sql("SELECT Name FROM SUBMARINE")
+                == normalize_sql("select name from submarine"))
+
+    def test_collapses_whitespace(self):
+        assert (normalize_sql("SELECT  Name\n\tFROM   SUBMARINE")
+                == normalize_sql("SELECT Name FROM SUBMARINE"))
+
+    def test_strips_trailing_semicolon(self):
+        assert (normalize_sql("SELECT Name FROM S;")
+                == normalize_sql("SELECT Name FROM S"))
+        assert (normalize_sql("SELECT Name FROM S ; ")
+                == normalize_sql("SELECT Name FROM S"))
+
+    def test_literals_preserved_verbatim(self):
+        # Different literal case = different query = different key.
+        a = normalize_sql("SELECT * FROM T WHERE Label = 'G01'")
+        b = normalize_sql("SELECT * FROM T WHERE Label = 'g01'")
+        assert a != b
+        assert "'G01'" in a and "'g01'" in b
+
+    def test_whitespace_inside_literals_preserved(self):
+        fp = normalize_sql("SELECT * FROM T WHERE Name = 'A  B'")
+        assert "'A  B'" in fp
+
+    def test_doubled_quote_escapes(self):
+        fp = normalize_sql("SELECT * FROM T WHERE Name = 'it''s  OK'")
+        assert "'it''s  OK'" in fp
+
+    def test_double_quoted_literals(self):
+        fp = normalize_sql('SELECT * FROM T WHERE Type = "SSBN"')
+        assert '"SSBN"' in fp
+
+    def test_unterminated_literal_does_not_crash(self):
+        assert normalize_sql("SELECT 'oops") == "select 'oops"

@@ -5,8 +5,8 @@ This is the acceptance scenario of the observability layer: the same
 ``EXPLAIN ANALYZE`` must work from a raw SQL string, the system API and
 the interactive shell; and after a mixed workload the metrics dump must
 show the semantic optimizer short-circuiting on induced rules and the
-index cache getting hits -- the two signals that the paper's machinery
-is actually engaged, not bypassed.
+query cache serving repeated asks -- the two signals that the paper's
+machinery is actually engaged, not bypassed.
 """
 
 import io
@@ -75,22 +75,32 @@ class TestExplainAnalyzeEntryPoints:
 class TestMixedWorkloadMetrics:
     def test_workload_story(self, system):
         obs.enable()
-        # Mixed workload: plain asks (index-backed equality probes,
-        # repeated so the cache serves hits), a rule-contradicted query
-        # the semantic optimizer short-circuits, and an EXPLAIN ANALYZE.
+        # Floor at zero so admission is deterministic regardless of how
+        # fast this machine runs the first ask; force-enabled so the
+        # hit assertions hold on the REPRO_CACHE=off CI leg too.
+        from repro.cache import query_cache
+        cache = query_cache(system.database)
+        cache.enabled = True
+        cache.floor_s = 0.0
+        cache.clear()
+        # Mixed workload: repeated asks (the query cache serves the
+        # second from the intensional-answer cache), a rule-contradicted
+        # query the semantic optimizer short-circuits, run twice so the
+        # second EXPLAIN ANALYZE re-executes through the index cache.
         for _ in range(2):
             system.ask("SELECT Name FROM SUBMARINE "
                        "WHERE SUBMARINE.Class = '0101'")
-        system.explain_analyze(
-            "SELECT * FROM CLASS WHERE Displacement >= 8000 "
-            "AND Displacement <= 20000 AND Type = 'SSN'")
+        for _ in range(2):
+            system.explain_analyze(
+                "SELECT * FROM CLASS WHERE Displacement >= 8000 "
+                "AND Displacement <= 20000 AND Type = 'SSN'")
         metrics = system.metrics()
 
         assert metrics['semantic_rewrites_total{kind="short_circuit"}'] >= 1
-        hits = [value for name, value in metrics.items()
-                if name.startswith('index_cache_requests_total')
-                and 'result="hit"' in name]
-        assert hits and sum(hits) >= 1
+        ask_hits = [value for name, value in metrics.items()
+                    if name.startswith('query_cache_requests_total')
+                    and 'level="ask"' in name and 'result="hit"' in name]
+        assert ask_hits and sum(ask_hits) >= 1
         assert metrics['query_seconds_count{kind="ask"}'] == 2
 
         spans = obs.tracer().named("plan.")

@@ -38,8 +38,9 @@ class TestRenderPlan:
             parse_select("SELECT * FROM SUBMARINE, CLASS "
                          "WHERE SUBMARINE.Class = CLASS.Class"))
         lines = text.splitlines()
-        assert lines[0].startswith("Project")
-        assert any(line.startswith("  ") for line in lines[1:])
+        assert lines[0].startswith("cache: ")
+        assert lines[1].startswith("Project")
+        assert any(line.startswith("  ") for line in lines[2:])
 
 
 class TestStatementDispatch:

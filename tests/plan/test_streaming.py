@@ -68,16 +68,31 @@ class TestBatchSizes:
         assert all(len(batch) <= 5 for _p, batch in observer)
 
     def test_default_batch_size_env(self, monkeypatch):
+        import warnings
+
+        from repro.plan import plans
+
         monkeypatch.delenv("REPRO_BATCH_SIZE", raising=False)
         assert default_batch_size() == DEFAULT_BATCH_SIZE
         monkeypatch.setenv("REPRO_BATCH_SIZE", "7")
         assert default_batch_size() == 7
-        monkeypatch.setenv("REPRO_BATCH_SIZE", "default")
-        assert default_batch_size() == DEFAULT_BATCH_SIZE
-        monkeypatch.setenv("REPRO_BATCH_SIZE", "-3")
-        assert default_batch_size() == DEFAULT_BATCH_SIZE
-        monkeypatch.setenv("REPRO_BATCH_SIZE", "0")
-        assert default_batch_size() == DEFAULT_BATCH_SIZE
+        # A rejected value falls back loudly: one warning naming both
+        # the bad value and the default used...
+        monkeypatch.setattr(plans, "_warned_batch_sizes", set())
+        for bad in ("default", "-3", "0"):
+            monkeypatch.setenv("REPRO_BATCH_SIZE", bad)
+            with pytest.warns(UserWarning, match=f"{bad}.*1024"):
+                assert default_batch_size() == DEFAULT_BATCH_SIZE
+            # ...and only once per distinct value.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert default_batch_size() == DEFAULT_BATCH_SIZE
+        # Unset/empty is the normal configuration: never a warning.
+        for quiet in ("", "   "):
+            monkeypatch.setenv("REPRO_BATCH_SIZE", quiet)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert default_batch_size() == DEFAULT_BATCH_SIZE
 
 
 class TestEarlyTermination:

@@ -84,6 +84,37 @@ class TestCommands:
         assert output_of(shell) == ""
 
 
+class TestCacheCommand:
+    def test_status_reflects_activity(self, shell):
+        from repro.cache import query_cache
+        cache = query_cache(shell.system.database)
+        cache.enabled = True  # holds on the REPRO_CACHE=off CI leg
+        cache.floor_s = 0.0
+        shell.handle("\\cache clear")
+        shell.handle("SELECT Class FROM CLASS WHERE Displacement > 8000")
+        shell.handle("SELECT Class FROM CLASS WHERE Displacement > 8000")
+        shell.handle("\\cache")
+        text = output_of(shell)
+        assert "query cache: enabled" in text
+        assert "ask:" in text and "1 hits" in text
+
+    def test_toggle_and_clear(self, shell):
+        from repro.cache import query_cache
+        shell.handle("\\cache off")
+        assert not query_cache(shell.system.database).enabled
+        shell.handle("\\cache on")
+        assert query_cache(shell.system.database).enabled
+        shell.handle("\\cache clear")
+        assert "entries dropped" in output_of(shell)
+        shell.handle("\\cache bogus")
+        assert "usage" in output_of(shell)
+
+    def test_cache_bytes_override(self):
+        from repro.cache import query_cache
+        system = build_system(cache_bytes=4096)
+        assert query_cache(system.database).byte_budget == 4096
+
+
 class TestObservabilityCommands:
     @pytest.fixture(autouse=True)
     def clean_obs(self):
@@ -133,6 +164,10 @@ class TestObservabilityCommands:
         shell.handle("\\trace")
         assert "no spans recorded" in output_of(shell)
         shell.handle("\\obs on")
+        # An earlier test may have warmed the query cache for this
+        # statement; drop it so the ask re-plans and re-executes (the
+        # span names below come from live plan nodes).
+        shell.handle("\\cache clear")
         shell.handle("SELECT Class FROM CLASS WHERE Displacement > 8000")
         shell.handle("\\trace 5")
         assert "plan.node." in output_of(shell)
