@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Server smoke test: boot ``repro-server`` as a real subprocess, walk
+one client through the whole protocol surface, and check graceful
+shutdown -- the script CI runs to prove the shipped entry points work
+outside the test harness.
+
+The walk covers every request family once: ping, admin introspection,
+plain SQL, an intensional ``ask``, and a transaction that is rolled
+back followed by one that commits (with visibility checked after
+each), then a SIGTERM that must drain the connection cleanly.
+
+Run:  python examples/server_smoke.py
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+import tempfile
+
+from repro.server.client import Client
+
+
+def boot(data_dir: str) -> tuple[subprocess.Popen, int]:
+    """Start ``python -m repro.server`` on a free port and return the
+    process plus the port it announced."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", "0",
+         "--data-dir", data_dir, "--lock-timeout", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit("server exited before announcing its port")
+        sys.stdout.write(line)
+        match = re.search(r"listening on \S+:(\d+)", line)
+        if match:
+            return process, int(match.group(1))
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as data_dir:
+        process, port = boot(data_dir)
+        try:
+            with Client("127.0.0.1", port) as client:
+                assert client.ping(), "ping did not pong"
+                print(f"connected as session {client.session}")
+
+                tables = client.admin("tables")
+                assert "SUBMARINE" in tables, tables
+                print(client.admin("sessions"))
+
+                rows = client.sql("SELECT Name, Class FROM SUBMARINE "
+                                  "WHERE Class = '1301'")
+                assert len(rows) > 0, "expected some 1301-class boats"
+                print(f"extensional: {len(rows)} rows")
+
+                reply = client.ask("SELECT Class FROM CLASS "
+                                   "WHERE Displacement > 8000")
+                assert reply.intensional, "expected an intensional answer"
+                print("intensional:", reply.intensional[0])
+
+                before = len(client.sql("SELECT Id FROM SUBMARINE"))
+                client.begin()
+                client.sql("INSERT INTO SUBMARINE VALUES "
+                           "('999', 'Smoke', '1301')")
+                client.rollback()
+                after = len(client.sql("SELECT Id FROM SUBMARINE"))
+                assert after == before, "rollback leaked a row"
+                print("rollback: row discarded")
+
+                client.begin()
+                client.sql("INSERT INTO SUBMARINE VALUES "
+                           "('999', 'Smoke', '1301')")
+                client.commit()
+                after = len(client.sql("SELECT Id FROM SUBMARINE"))
+                assert after == before + 1, "commit lost the row"
+                print("commit: row durable")
+
+            process.terminate()
+            output, _ = process.communicate(timeout=30)
+            sys.stdout.write(output)
+            assert process.returncode == 0, \
+                f"server exited with {process.returncode}"
+            assert "server stopped" in output, "no graceful shutdown"
+        finally:
+            if process.poll() is None:
+                process.kill()
+    print("server smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -129,16 +129,21 @@ class _PlanEntry:
 
 class _ValueEntry:
     __slots__ = ("value", "deps", "rules_version", "degraded", "nbytes",
-                 "private")
+                 "private", "owner")
 
     def __init__(self, value, deps: tuple, rules_version: int,
-                 degraded: bool, nbytes: int, private: bool):
+                 degraded: bool, nbytes: int, private: bool,
+                 owner=None):
         self.value = value
         self.deps = deps
         self.rules_version = rules_version
         self.degraded = degraded
         self.nbytes = nbytes
         self.private = private
+        #: session token that admitted a private entry (None outside
+        #: the multi-session server); a private entry is served only
+        #: back to its owner until the transaction commits.
+        self.owner = owner
 
 
 class QueryCache:
@@ -161,6 +166,11 @@ class QueryCache:
         self._by_dep: dict[str, set[tuple]] = {}
         #: keys admitted inside the currently-open explicit transaction.
         self._txn_keys: set[tuple] = set()
+        #: session token the multi-client server sets around statement
+        #: execution; tags private entries with their admitting session
+        #: so another session can never be served them (``None`` for
+        #: in-process single-session use, where everything matches).
+        self.current_owner = None
         self.bytes_used = 0
         #: always-on counters: ``"<level>.<hit|miss|bypass>"``,
         #: ``"invalidate.<reason>"``, ``"evictions"``, ``"admit.skipped"``.
@@ -308,6 +318,12 @@ class QueryCache:
         if entry is None:
             self._probe(level, "miss")
             return None
+        if entry.private and entry.owner != self.current_owner:
+            # Another session's transaction-private entry: invisible
+            # here (not dropped -- it is still valid for its owner,
+            # and commit will publish or rollback will discard it).
+            self._probe(level, "miss")
+            return None
         if entry.rules_version != rules_version or \
                 entry.degraded != degraded:
             self._drop(key, reason="stale_rules")
@@ -326,10 +342,19 @@ class QueryCache:
         if elapsed < self.floor_s or nbytes > self.byte_budget:
             self._count("admit.skipped")
             return
-        if key in self._values:
+        existing = self._values.get(key)
+        if existing is not None:
+            if existing.private and existing.owner != self.current_owner:
+                # Another session's transaction-private entry under the
+                # same key: leave it for its owner (commit publishes or
+                # rollback discards it) rather than thrash the slot.
+                self._count("admit.skipped")
+                return
             self._remove(key)
+        private = self._in_transaction()
         entry = _ValueEntry(value, deps, rules_version, degraded, nbytes,
-                            private=self._in_transaction())
+                            private=private,
+                            owner=self.current_owner if private else None)
         self._values[key] = entry
         self.bytes_used += nbytes
         for name, _relation, _version in deps:
@@ -407,6 +432,7 @@ class QueryCache:
             entry = self._values.get(key)
             if entry is not None:
                 entry.private = False
+                entry.owner = None
         self._txn_keys.clear()
 
     def on_rollback(self) -> None:

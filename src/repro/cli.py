@@ -30,6 +30,8 @@ times.  Backslash commands inspect the system:
 ``\\slowlog [ms]``  show the slow-query log / set its threshold
 ``\\begin``         open an explicit transaction (needs ``--data-dir``)
 ``\\commit``        commit it durably; ``\\rollback`` undoes it
+``\\connect H:P``   drive a remote repro-server: SQL/ask/DML and
+                   transactions go over the wire until ``\\disconnect``
 ``\\checkpoint``    snapshot the database and truncate the WAL
 ``\\wal [N]``       storage status and the last N WAL records
 ``\\recover``       reload from the data directory (snapshot + WAL)
@@ -59,11 +61,22 @@ from repro.testbed import ship_database, ship_ker_schema
 class Shell:
     """The command interpreter; I/O-injectable for testing."""
 
+    #: backslash commands forwarded over the wire while ``\connect``ed
+    #: (transaction control plus the server's admin surface); anything
+    #: else keeps acting on the local in-process system.
+    REMOTE_COMMANDS = frozenset({
+        "begin", "commit", "rollback", "cache", "hierarchy", "lint",
+        "locks", "metrics", "obs", "rules", "schema", "sessions",
+        "show", "slowlog", "tables", "trace", "wal",
+    })
+
     def __init__(self, system: IntensionalQueryProcessor,
                  out: TextIO | None = None):
         self.system = system
         self.out = out or sys.stdout
         self.quel = QuelSession(system.database)
+        #: a repro.server client while ``\connect``ed, else None.
+        self.remote = None
 
     def write(self, text: str = "") -> None:
         self.out.write(text + "\n")
@@ -77,6 +90,8 @@ class Shell:
         try:
             if line.startswith("\\"):
                 return self._command(line)
+            if self.remote is not None:
+                return self._remote_statement(line)
             first_word = line.split(None, 1)[0].lower()
             if first_word in ("insert", "delete", "update"):
                 from repro.sql import execute_statement
@@ -102,7 +117,15 @@ class Shell:
         command = command.lower()
         argument = argument.strip()
         if command in ("quit", "q", "exit"):
+            self._disconnect(silent=True)
             return False
+        if command == "connect":
+            return self._connect_command(argument)
+        if command == "disconnect":
+            self._disconnect()
+            return True
+        if self.remote is not None and command in self.REMOTE_COMMANDS:
+            return self._remote_command(command, argument)
         if command == "help":
             self.write(__doc__.split("=" * 17, 1)[-1]
                        if "=" in __doc__ else __doc__)
@@ -205,6 +228,62 @@ class Shell:
             self.write(f"rule base refreshed: {len(rules)} rules stored")
             return True
         self.write(f"unknown command \\{command} (try \\help)")
+        return True
+
+    # -- remote (\connect) commands ------------------------------------------
+
+    def _connect_command(self, argument: str) -> bool:
+        from repro.server.client import connect
+        if not argument:
+            self.write("usage: \\connect HOST:PORT")
+            return True
+        if self.remote is not None:
+            self._disconnect()
+        self.remote = connect(argument)
+        self.write(f"connected to {argument} "
+                   f"(session {self.remote.session}); statements now "
+                   "run remotely -- \\disconnect to go back local")
+        return True
+
+    def _disconnect(self, silent: bool = False) -> None:
+        remote, self.remote = self.remote, None
+        if remote is None:
+            if not silent:
+                self.write("(not connected)")
+            return
+        remote.close()
+        if not silent:
+            self.write("disconnected; statements run on the local "
+                       "in-process system again")
+
+    def _remote_statement(self, line: str) -> bool:
+        first_word = line.split(None, 1)[0].lower()
+        if first_word == "select":
+            self.write(self.remote.ask(line).render())
+            return True
+        result = self.remote.sql(line)
+        if isinstance(result, Relation):
+            self.write(result.render())
+        elif isinstance(result, int):
+            self.write(f"{result} rows affected")
+        else:
+            self.write(str(result))
+        return True
+
+    def _remote_command(self, command: str, argument: str) -> bool:
+        if command == "begin":
+            self.remote.begin()
+            self.write("transaction opened (remote)")
+        elif command == "commit":
+            self.remote.commit()
+            self.write("committed (remote)")
+        elif command == "rollback":
+            self.remote.rollback()
+            self.write("rolled back (remote)")
+        else:
+            text = self.remote.admin(
+                f"{command} {argument}".strip())
+            self.write(text)
         return True
 
     # -- durability commands -------------------------------------------------

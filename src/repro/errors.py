@@ -112,3 +112,39 @@ class StaleRuleBase(StorageError):
     hint = ("the induced rules predate the recovered data; re-run "
             "induction (system.refresh_rules()) to restore intensional "
             "answers -- extensional answers remain correct meanwhile")
+
+
+class LockTimeout(StorageError):
+    """A shared/exclusive relation lock could not be granted within the
+    wait budget -- the deadlock-avoidance policy of the multi-client
+    server (SimpleDB-style wait-timeout).  When raised inside an
+    explicit transaction the transaction has already been rolled back
+    (it was chosen as the victim)."""
+
+    hint = ("another session holds a conflicting lock; retry the "
+            "statement (if a transaction was open it was rolled back "
+            "as the deadlock victim -- re-issue it from \\begin)")
+
+
+class ServerError(ReproError):
+    """A client/server exchange failed (connection, protocol, or an
+    error frame relayed from the server).
+
+    Carries the server-side exception class name in ``remote_type`` and
+    the server's actionable ``hint`` when the failure is a relayed
+    error frame; both are ``None`` for local transport failures.
+    """
+
+    def __init__(self, message: str, hint: str | None = None,
+                 remote_type: str | None = None,
+                 aborted: bool = False):
+        super().__init__(message)
+        self.hint = hint
+        self.remote_type = remote_type
+        #: the server rolled back the session's open transaction while
+        #: failing this request (lock-timeout victim, shutdown drain).
+        self.aborted = aborted
+
+
+class ProtocolError(ServerError):
+    """A wire frame was malformed, oversized, or torn mid-read."""

@@ -143,13 +143,13 @@ class IntensionalQueryProcessor:
         """The attached :class:`~repro.storage.StorageEngine`, if any."""
         return self.database.storage
 
-    def _require_storage(self):
+    def _require_storage(self, action: str = "do this"):
         if self.database.storage is None:
             from repro.errors import StorageError
             raise StorageError(
-                "no durable storage attached",
-                hint="attach one with attach_storage(data_dir) or start "
-                     "the CLI with --data-dir")
+                f"cannot {action}: no durable storage attached",
+                hint="attach one with attach_storage(data_dir), or "
+                     "start the CLI or repro-server with --data-dir")
         return self.database.storage
 
     def attach_storage(self, data_dir: str, fsync: str = "commit"):
@@ -160,16 +160,16 @@ class IntensionalQueryProcessor:
 
     def begin(self) -> None:
         """Open an explicit transaction on the attached storage."""
-        self._require_storage().begin()
+        self._require_storage("begin a transaction").begin()
 
     def commit(self) -> None:
-        self._require_storage().commit()
+        self._require_storage("commit a transaction").commit()
 
     def rollback(self) -> None:
-        self._require_storage().rollback()
+        self._require_storage("roll back a transaction").rollback()
 
     def checkpoint(self) -> int:
-        return self._require_storage().checkpoint()
+        return self._require_storage("checkpoint the database").checkpoint()
 
     @classmethod
     def recover(cls, data_dir: str, fsync: str = "commit",

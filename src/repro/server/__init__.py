@@ -1,0 +1,42 @@
+"""The multi-client intensional query server.
+
+Four layers (see ``docs/SERVER.md``):
+
+* :mod:`repro.server.protocol` -- the length-prefixed JSON wire format
+  carrying SQL, ``ask()``, EXPLAIN, transaction control and shell-style
+  admin commands, with structured error frames mapped from
+  :mod:`repro.errors`;
+* :mod:`repro.server.concurrency` -- the shared/exclusive relation-level
+  lock table with wait-timeout deadlock avoidance that isolates
+  sessions' transactions from one another;
+* :mod:`repro.server.server` -- the thread-per-connection server with
+  per-connection :class:`~repro.server.server.Session` objects,
+  connection limits, idle timeouts and graceful drain-on-shutdown;
+* :mod:`repro.server.client` -- the blocking client the ``repro-client``
+  CLI and the shell's ``\\connect`` command drive.
+"""
+
+from repro.server.client import AskReply, Client, connect
+from repro.server.concurrency import LockManager, LockTable
+from repro.server.protocol import (
+    MAX_FRAME_BYTES, ProtocolError, decode_frame, encode_frame,
+    error_frame, read_frame, write_frame,
+)
+from repro.server.server import IntensionalQueryServer, Session
+
+__all__ = [
+    "AskReply",
+    "Client",
+    "IntensionalQueryServer",
+    "LockManager",
+    "LockTable",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "Session",
+    "connect",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "read_frame",
+    "write_frame",
+]

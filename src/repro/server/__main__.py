@@ -1,0 +1,64 @@
+"""``repro-server`` / ``python -m repro.server``: boot the system the
+same way the interactive CLI does (ship test bed by default, durable
+when ``--data-dir`` is given) and serve it over the wire."""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from repro.cli import build_system
+from repro.server.server import IntensionalQueryServer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-server",
+        description="Multi-client intensional query server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7654,
+                        help="listen port (0 picks a free one)")
+    parser.add_argument("--db", help="database dump to bootstrap from")
+    parser.add_argument("--ker", help="KER DDL file for --db")
+    parser.add_argument("--nc", type=float, default=3,
+                        help="induction support threshold N_c")
+    parser.add_argument("--data-dir", help="durable storage directory "
+                        "(WAL + snapshots); recovered from if non-empty")
+    parser.add_argument("--fsync", default="commit",
+                        choices=["always", "commit", "never"])
+    parser.add_argument("--max-connections", type=int, default=64)
+    parser.add_argument("--idle-timeout", type=float, default=300.0,
+                        metavar="SECONDS")
+    parser.add_argument("--lock-timeout", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="lock wait budget before a request is "
+                             "declared the deadlock victim")
+    arguments = parser.parse_args(argv)
+    system = build_system(arguments.db, arguments.ker, n_c=arguments.nc,
+                          data_dir=arguments.data_dir,
+                          fsync=arguments.fsync, out=sys.stdout)
+    server = IntensionalQueryServer(
+        system, host=arguments.host, port=arguments.port,
+        max_connections=arguments.max_connections,
+        idle_timeout_s=arguments.idle_timeout,
+        lock_timeout_s=arguments.lock_timeout)
+    server.start()
+    print(f"repro server listening on {server.address} "
+          f"(max {server.max_connections} connections)", flush=True)
+
+    def _stop(_signum, _frame):
+        server.shutdown()
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        server.serve_forever()
+    finally:
+        server.shutdown()
+    print("server stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

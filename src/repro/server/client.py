@@ -1,0 +1,309 @@
+"""Blocking client for the intensional query server.
+
+One socket, one outstanding request::
+
+    from repro.server import connect
+
+    with connect("127.0.0.1:7654") as client:
+        client.begin()
+        client.sql("INSERT INTO SUBMARINE VALUES (...)")
+        reply = client.ask("SELECT Name FROM SUBMARINE WHERE ...")
+        client.rollback()
+
+Error frames come back as :class:`~repro.errors.ServerError` carrying
+the server-side exception type, its CLI hint, and whether the server
+rolled the session's transaction back while failing the request.  The
+connection stays usable after a statement error.
+
+``python -m repro.server.client HOST:PORT`` (the ``repro-client``
+entry point) wraps this in a minimal remote REPL; the full-featured
+shell is ``repro.cli`` with ``\\connect``.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError, ServerError
+from repro.relational.relation import Relation
+from repro.server import protocol
+
+__all__ = ["AskReply", "Client", "connect", "main"]
+
+
+@dataclass
+class AskReply:
+    """A decoded ``ask`` response: the paper's two answer halves."""
+
+    extensional: Relation
+    intensional: list[str]
+    summary: str
+    rendered: str
+    warnings: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        return self.rendered
+
+
+def parse_address(address: str, default_port: int = 7654
+                  ) -> tuple[str, int]:
+    """``host:port`` (or bare ``host``) -> ``(host, port)``."""
+    host, _sep, port_text = address.strip().partition(":")
+    host = host or "127.0.0.1"
+    if not port_text:
+        return host, default_port
+    try:
+        return host, int(port_text)
+    except ValueError as error:
+        raise ServerError(
+            f"bad server address {address!r} (want host:port)") from error
+
+
+class Client:
+    """A blocking connection to an :class:`IntensionalQueryServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7654,
+                 timeout_s: float | None = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.session: str | None = None
+        self._sock: socket.socket | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def connect(self) -> "Client":
+        if self._sock is not None:
+            return self
+        try:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout_s)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            hello = protocol.read_frame(sock)
+        except OSError as error:
+            raise ServerError(
+                f"cannot connect to {self.host}:{self.port}: {error}",
+                hint="is the server running? start one with "
+                     "repro-server") from error
+        if hello is None:
+            raise ServerError(
+                f"server at {self.host}:{self.port} closed the "
+                "connection during handshake")
+        if not hello.get("ok"):
+            self._raise_error_frame(hello)
+        self.session = hello.get("session")
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        """Polite disconnect (``bye`` frame, then close)."""
+        sock, self._sock = self._sock, None
+        if sock is None:
+            return
+        try:
+            protocol.write_frame(sock, {"op": "bye"})
+            protocol.read_frame(sock)
+        except (OSError, ProtocolError):
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Client":
+        return self.connect()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    # -- request/response core ---------------------------------------------
+
+    def request(self, message: dict) -> dict:
+        """Send one frame; return the success payload or raise
+        :class:`ServerError` for an error frame."""
+        if self._sock is None:
+            raise ServerError("not connected",
+                              hint="call connect() first")
+        try:
+            protocol.write_frame(self._sock, message)
+            response = protocol.read_frame(self._sock)
+        except (OSError, ProtocolError) as error:
+            self._drop()
+            if isinstance(error, ProtocolError):
+                raise
+            raise ServerError(
+                f"connection to {self.host}:{self.port} failed: "
+                f"{error}") from error
+        if response is None:
+            self._drop()
+            raise ServerError(
+                "server closed the connection mid-request")
+        if not response.get("ok"):
+            self._raise_error_frame(response)
+        return response
+
+    def _drop(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _raise_error_frame(response: dict) -> None:
+        error = response.get("error") or {}
+        raise ServerError(
+            error.get("message", "server error"),
+            hint=error.get("hint"),
+            remote_type=error.get("type"),
+            aborted=bool(error.get("aborted")))
+
+    # -- typed operations --------------------------------------------------
+
+    def ping(self) -> float:
+        """Round-trip latency in seconds."""
+        start = time.perf_counter()
+        self.request({"op": "ping"})
+        return time.perf_counter() - start
+
+    def sql(self, text: str) -> Relation | int | str:
+        """Run any SQL statement: SELECT -> :class:`Relation`, DML ->
+        affected row count, EXPLAIN -> rendered plan text."""
+        response = self.request({"op": "sql", "sql": text})
+        return self._decode_payload(response)
+
+    def ask(self, text: str, forward: bool = True,
+            backward: bool = True) -> AskReply:
+        """Extensional + intensional answers for a SELECT."""
+        response = self.request({"op": "ask", "sql": text,
+                                 "forward": forward,
+                                 "backward": backward})
+        return AskReply(
+            extensional=protocol.decode_relation_payload(
+                response["relation"]),
+            intensional=list(response.get("intensional", ())),
+            summary=response.get("summary", ""),
+            rendered=response.get("rendered", ""),
+            warnings=list(response.get("warnings", ())))
+
+    def explain(self, text: str, analyze: bool = False) -> str:
+        response = self.request({"op": "explain", "sql": text,
+                                 "analyze": analyze})
+        return response["text"]
+
+    def begin(self) -> None:
+        self.request({"op": "begin"})
+
+    def commit(self) -> None:
+        self.request({"op": "commit"})
+
+    def rollback(self) -> None:
+        self.request({"op": "rollback"})
+
+    def admin(self, command: str) -> str:
+        """Run a whitelisted shell command server-side; returns its
+        rendered output (e.g. ``tables``, ``cache``, ``locks``)."""
+        response = self.request({"op": "admin", "command": command})
+        return response["text"]
+
+    def _decode_payload(self, response: dict) -> Relation | int | str:
+        kind = response.get("kind")
+        if kind == "relation":
+            return protocol.decode_relation_payload(response["relation"])
+        if kind == "count":
+            return int(response["count"])
+        if kind == "text":
+            return response["text"]
+        raise ProtocolError(f"unexpected response kind {kind!r}")
+
+
+def connect(address: str, timeout_s: float | None = 60.0) -> Client:
+    """``connect("host:port")`` -> a connected :class:`Client`."""
+    host, port = parse_address(address)
+    return Client(host, port, timeout_s=timeout_s).connect()
+
+
+# -- repro-client ------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    """A minimal remote REPL / one-shot runner over the wire."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="repro-client",
+        description="Connect to a repro intensional query server")
+    parser.add_argument("address", help="server address, host:port")
+    parser.add_argument("--execute", "-e", action="append", default=[],
+                        metavar="STMT",
+                        help="run statements and exit (repeatable); "
+                             "SELECTs are asked intensionally")
+    arguments = parser.parse_args(argv)
+    try:
+        client = connect(arguments.address)
+    except ServerError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if error.hint:
+            print(f"hint: {error.hint}", file=sys.stderr)
+        return 1
+    status = 0
+    with client:
+        def run_line(line: str) -> None:
+            nonlocal status
+            line = line.strip()
+            if not line:
+                return
+            try:
+                if line.startswith("\\"):
+                    command = line[1:]
+                    word = command.split(None, 1)[0].lower()
+                    if word in ("begin", "commit", "rollback"):
+                        getattr(client, word)()
+                        print(f"{word} ok")
+                    else:
+                        print(client.admin(command))
+                    return
+                first = line.split(None, 1)[0].lower()
+                if first == "select":
+                    print(client.ask(line).render())
+                else:
+                    result = client.sql(line)
+                    if isinstance(result, Relation):
+                        print(result.render())
+                    elif isinstance(result, int):
+                        print(f"{result} rows affected")
+                    else:
+                        print(result)
+            except ServerError as error:
+                status = 1
+                print(f"error: {error}", file=sys.stderr)
+                if error.hint:
+                    print(f"hint: {error.hint}", file=sys.stderr)
+
+        if arguments.execute:
+            for statement in arguments.execute:
+                run_line(statement)
+            return status
+        print(f"connected to {arguments.address} "
+              f"(session {client.session}) -- \\q to quit")
+        while True:
+            try:
+                line = input(f"{client.session or 'iqp'}> ")
+            except EOFError:
+                break
+            if line.strip().lower() in ("\\q", "\\quit", "\\exit"):
+                break
+            run_line(line)
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,298 @@
+"""Relation-level shared/exclusive locks with wait-timeout avoidance.
+
+The server isolates sessions with strict two-phase locking at relation
+granularity (the SimpleDB recipe: ``slock``/``xlock`` that wait, then
+give up):
+
+* readers take **shared** locks on every relation a statement touches;
+* writers take an **exclusive** lock on the written relation *and* on
+  the :data:`TXN_TOKEN` pseudo-resource -- the storage engine keeps one
+  transaction buffer, so write transactions serialize behind that token
+  while readers of other relations proceed;
+* a lock that cannot be granted within the timeout raises
+  :class:`~repro.errors.LockTimeout`.  Timeouts are the deadlock policy:
+  no waits-for graph, just a bounded wait and a victim, exactly like
+  SimpleDB's ``LockAbortException``.
+
+Locks are owned by opaque tokens (the server uses session ids).  An
+owner's locks are re-entrant (holding X implies S; re-granting either
+is a no-op) and an S->X **upgrade** is granted as soon as the owner is
+the only shared holder -- two upgraders therefore deadlock and one
+times out, which is the correct outcome for a lost-update race.
+
+The table keeps always-on counters (``grants`` / ``waits`` /
+``timeouts``) for tests and the ``\\locks`` admin view, and mirrors
+them into the observability registry (``lock_waits_total``,
+``lock_timeouts_total``) when tracing is enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Hashable, Iterable
+
+from repro import obs
+from repro.errors import LockTimeout
+
+__all__ = ["LockManager", "LockTable", "RULES_TOKEN", "TXN_TOKEN"]
+
+#: Pseudo-resource serializing write transactions (the storage engine
+#: buffers exactly one transaction at a time).
+TXN_TOKEN = "*txn*"
+
+#: Pseudo-resource covering the induced rule base: S for every
+#: rule-consulting statement, X for re-induction.
+RULES_TOKEN = "*rules*"
+
+#: Default wait budget before a request is declared the deadlock victim.
+DEFAULT_TIMEOUT_S = 10.0
+
+
+class _Lock:
+    """One resource's grant state."""
+
+    __slots__ = ("shared", "exclusive", "x_waiters")
+
+    def __init__(self) -> None:
+        self.shared: set[Hashable] = set()
+        self.exclusive: Hashable | None = None
+        #: exclusive requests currently waiting; while any exist, *new*
+        #: shared grants are withheld so a steady stream of readers
+        #: cannot starve a writer indefinitely.
+        self.x_waiters = 0
+
+    def idle(self) -> bool:
+        return not self.shared and self.exclusive is None and \
+            not self.x_waiters
+
+
+class LockTable:
+    """S/X locks over named resources, owned by opaque tokens."""
+
+    def __init__(self, timeout_s: float = DEFAULT_TIMEOUT_S):
+        self.timeout_s = timeout_s
+        self._condition = threading.Condition()
+        self._locks: dict[str, _Lock] = {}
+        #: owner -> resources it holds (either mode), for release_all.
+        self._held: dict[Hashable, set[str]] = {}
+        #: always-on counters: ``grants`` / ``waits`` / ``timeouts``.
+        self.counters = {"grants": 0, "waits": 0, "timeouts": 0}
+
+    # -- grant predicates (call with the condition held) -------------------
+
+    @staticmethod
+    def _shared_grantable(lock: _Lock, owner: Hashable) -> bool:
+        if lock.exclusive == owner or owner in lock.shared:
+            return True  # re-entrant: already granted, never self-block
+        return lock.exclusive is None and not lock.x_waiters
+
+    @staticmethod
+    def _exclusive_grantable(lock: _Lock, owner: Hashable) -> bool:
+        if lock.exclusive is not None and lock.exclusive != owner:
+            return False
+        return not (lock.shared - {owner})
+
+    # -- acquisition -------------------------------------------------------
+
+    def slock(self, owner: Hashable, name: str,
+              timeout_s: float | None = None) -> None:
+        """Grant *owner* a shared lock on *name*, waiting up to the
+        timeout for conflicting exclusive holders to release."""
+        self._acquire(owner, name, exclusive=False, timeout_s=timeout_s)
+
+    def xlock(self, owner: Hashable, name: str,
+              timeout_s: float | None = None) -> None:
+        """Grant *owner* an exclusive lock on *name* (upgrading its own
+        shared lock when it is the sole shared holder)."""
+        self._acquire(owner, name, exclusive=True, timeout_s=timeout_s)
+
+    def _acquire(self, owner: Hashable, name: str, exclusive: bool,
+                 timeout_s: float | None) -> None:
+        name = name.lower()
+        grantable = (self._exclusive_grantable if exclusive
+                     else self._shared_grantable)
+        budget = self.timeout_s if timeout_s is None else timeout_s
+        deadline = time.monotonic() + budget
+        with self._condition:
+            waited = False
+            lock = None
+            try:
+                while True:
+                    # Re-fetch each pass: a release may have removed
+                    # the idle entry while we slept, and a later grant
+                    # must land on the *live* object, not a stale one.
+                    # (An exclusive waiter's entry is pinned by its
+                    # x_waiters count, so its object never changes.)
+                    lock = self._locks.get(name)
+                    if lock is None:
+                        lock = self._locks[name] = _Lock()
+                    if grantable(lock, owner):
+                        break
+                    if not waited:
+                        waited = True
+                        if exclusive:
+                            # Registered waiter: blocks *new* shared
+                            # grants so readers cannot starve a writer.
+                            lock.x_waiters += 1
+                        self.counters["waits"] += 1
+                        obs.counter("lock_waits_total",
+                                    "lock requests that had to wait",
+                                    mode="x" if exclusive else "s").inc()
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or \
+                            not self._condition.wait(remaining):
+                        if deadline - time.monotonic() <= 0:
+                            self.counters["timeouts"] += 1
+                            obs.counter(
+                                "lock_timeouts_total",
+                                "lock waits abandoned (deadlock "
+                                "victims)",
+                                mode="x" if exclusive else "s").inc()
+                            mode = "exclusive" if exclusive else "shared"
+                            raise LockTimeout(
+                                f"timed out after {budget:.3g}s waiting "
+                                f"for a {mode} lock on {name!r}")
+                if exclusive:
+                    lock.exclusive = owner
+                    lock.shared.discard(owner)
+                elif lock.exclusive != owner:
+                    lock.shared.add(owner)
+                self.counters["grants"] += 1
+                self._held.setdefault(owner, set()).add(name)
+            finally:
+                if waited and exclusive:
+                    lock.x_waiters -= 1
+                    if lock.idle():
+                        self._locks.pop(name, None)
+                    # Readers held back by the waiter count re-check.
+                    self._condition.notify_all()
+
+    # -- release -----------------------------------------------------------
+
+    def release(self, owner: Hashable, names: Iterable[str]) -> None:
+        """Release *owner*'s locks on *names* (early release for
+        autocommit statements; transactions use :meth:`release_all`)."""
+        with self._condition:
+            held = self._held.get(owner)
+            for name in names:
+                name = name.lower()
+                lock = self._locks.get(name)
+                if lock is None:
+                    continue
+                if lock.exclusive == owner:
+                    lock.exclusive = None
+                lock.shared.discard(owner)
+                if lock.idle():
+                    del self._locks[name]
+                if held is not None:
+                    held.discard(name)
+            if held is not None and not held:
+                del self._held[owner]
+            self._condition.notify_all()
+
+    def release_all(self, owner: Hashable) -> None:
+        """Drop every lock *owner* holds (commit/rollback/disconnect)."""
+        with self._condition:
+            names = self._held.pop(owner, None)
+            if not names:
+                return
+            for name in names:
+                lock = self._locks.get(name)
+                if lock is None:
+                    continue
+                if lock.exclusive == owner:
+                    lock.exclusive = None
+                lock.shared.discard(owner)
+                if lock.idle():
+                    del self._locks[name]
+            self._condition.notify_all()
+
+    # -- introspection -----------------------------------------------------
+
+    def held_by(self, owner: Hashable) -> set[str]:
+        with self._condition:
+            return set(self._held.get(owner, ()))
+
+    def holders(self, name: str) -> tuple[Hashable | None, set[Hashable]]:
+        """``(exclusive_owner, shared_owners)`` for *name*."""
+        with self._condition:
+            lock = self._locks.get(name.lower())
+            if lock is None:
+                return None, set()
+            return lock.exclusive, set(lock.shared)
+
+    def status(self) -> dict:
+        """Snapshot for the ``\\locks`` admin command."""
+        with self._condition:
+            held = {
+                name: {"x": lock.exclusive,
+                       "s": sorted(map(str, lock.shared))}
+                for name, lock in sorted(self._locks.items())
+                if not lock.idle()}
+        return {"locks": held, "counters": dict(self.counters)}
+
+    def render(self) -> str:
+        status = self.status()
+        lines = [
+            "lock table: {grants} grants, {waits} waits, "
+            "{timeouts} timeouts".format(**status["counters"])]
+        for name, modes in status["locks"].items():
+            parts = []
+            if modes["x"] is not None:
+                parts.append(f"X={modes['x']}")
+            if modes["s"]:
+                parts.append("S={" + ",".join(modes["s"]) + "}")
+            lines.append(f"  {name}: " + " ".join(parts))
+        return "\n".join(lines)
+
+
+class LockManager:
+    """One owner's view of a shared :class:`LockTable` -- tracks which
+    locks belong to the current statement vs. the current transaction
+    so autocommit statements release early while explicit transactions
+    hold everything to commit (strict 2PL)."""
+
+    def __init__(self, table: LockTable, owner: Hashable):
+        self.table = table
+        self.owner = owner
+        self._statement: set[str] = set()
+        self._transactional = False
+
+    # -- transaction demarcation ------------------------------------------
+
+    def begin(self) -> None:
+        """From here on acquired locks persist until :meth:`end`."""
+        self._transactional = True
+
+    def end(self) -> None:
+        """Commit/rollback: drop every lock this owner holds."""
+        self._transactional = False
+        self._statement.clear()
+        self.table.release_all(self.owner)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._transactional
+
+    # -- statement-scoped acquisition --------------------------------------
+
+    def slock(self, name: str, timeout_s: float | None = None) -> None:
+        self.table.slock(self.owner, name, timeout_s)
+        self._note(name)
+
+    def xlock(self, name: str, timeout_s: float | None = None) -> None:
+        self.table.xlock(self.owner, name, timeout_s)
+        self._note(name)
+
+    def _note(self, name: str) -> None:
+        if not self._transactional:
+            self._statement.add(name.lower())
+
+    def statement_done(self) -> None:
+        """Autocommit statement finished: release its locks (a lock
+        taken inside an explicit transaction is never registered here,
+        so this is a no-op mid-transaction)."""
+        if self._statement:
+            self.table.release(self.owner, self._statement)
+            self._statement.clear()

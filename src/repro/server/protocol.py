@@ -1,0 +1,158 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Both directions use the same framing; a body
+larger than :data:`MAX_FRAME_BYTES` is refused before it is read, so a
+corrupt or hostile peer cannot make the receiver allocate unboundedly.
+
+Requests are objects with an ``op`` field::
+
+    {"op": "sql",  "sql": "SELECT ..."}          any SQL statement
+    {"op": "ask",  "sql": ..., "forward": true, "backward": true}
+    {"op": "explain", "sql": ..., "analyze": false}
+    {"op": "begin"} / {"op": "commit"} / {"op": "rollback"}
+    {"op": "admin", "command": "tables"}          shell-style commands
+    {"op": "ping"} / {"op": "bye"}
+
+Responses carry ``ok``.  Success frames add a ``kind``
+(``relation`` / ``count`` / ``text`` / ``ask`` / ``ok``) plus the
+payload; relations travel in the same schema+rows encoding the WAL uses
+(:mod:`repro.storage.codec`), so dates and every other cell type
+round-trip by construction.  Failure frames map the server-side
+exception onto a structured error::
+
+    {"ok": false, "error": {"type": "LockTimeout", "message": ...,
+                            "hint": ..., "aborted": true}}
+
+``aborted`` tells the client its open transaction was rolled back while
+failing the request (lock-timeout victim, server drain).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.errors import ProtocolError, ReproError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "encode_relation_payload",
+    "decode_relation_payload",
+    "error_frame",
+    "read_frame",
+    "write_frame",
+]
+
+#: Refuse bodies beyond this many bytes (16 MiB) in either direction.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Serialize *message* into one wire frame (header + JSON body)."""
+    body = json.dumps(message, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict[str, Any]:
+    """Parse one frame body back into a message object."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame body is not valid JSON: {error}") \
+            from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def _read_exact(sock: socket.socket, count: int) -> bytes | None:
+    """*count* bytes from *sock*, ``None`` on clean EOF at a frame
+    boundary, :class:`ProtocolError` on EOF mid-frame."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count and not chunks:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes read)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Read one message from *sock*; ``None`` on clean EOF."""
+    header = _read_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (limit "
+            f"{MAX_FRAME_BYTES})")
+    body = _read_exact(sock, length) if length else b"{}"
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    return decode_frame(body)
+
+
+def write_frame(sock: socket.socket, message: dict[str, Any]) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def error_frame(error: BaseException, aborted: bool = False) -> dict:
+    """The structured error frame for a server-side exception.
+
+    Library errors (:class:`ReproError`) travel with their class name
+    and hint; anything else is wrapped as an ``InternalError`` so the
+    client never sees a raw traceback type it cannot interpret.
+    """
+    if isinstance(error, ReproError):
+        kind = type(error).__name__
+    else:
+        kind = "InternalError"
+    payload: dict[str, Any] = {
+        "type": kind,
+        "message": str(error) or kind,
+    }
+    hint = getattr(error, "hint", None)
+    if hint:
+        payload["hint"] = hint
+    if aborted:
+        payload["aborted"] = True
+    return {"ok": False, "error": payload}
+
+
+# -- relation payloads (delegate to the WAL codec) --------------------------
+
+
+def encode_relation_payload(relation) -> dict:
+    """Schema + rows, JSON-safe (dates tagged exactly as in the WAL)."""
+    from repro.storage import codec
+    return codec.encode_relation(relation)
+
+
+def decode_relation_payload(payload: dict):
+    from repro.storage import codec
+    try:
+        return codec.decode_relation(payload)
+    except ReproError as error:
+        raise ProtocolError(
+            f"bad relation payload from peer: {error}") from error

@@ -1,0 +1,739 @@
+"""The multi-client query server: thread-per-connection sessions over
+one shared :class:`~repro.query.system.IntensionalQueryProcessor`.
+
+Concurrency model
+-----------------
+
+The engine itself (catalog, caches, storage transaction buffer) is a
+single-threaded structure, so the server serializes *statement
+execution* behind one mutex -- under the GIL there is no intra-process
+CPU parallelism to lose -- and provides *transaction isolation* across
+statements with strict two-phase relation locks
+(:mod:`repro.server.concurrency`):
+
+* a reader S-locks the relations a statement touches (plus the rule
+  base) for the statement, or until commit inside an explicit
+  transaction;
+* a writer X-locks the written relation *and* the transaction token --
+  the storage engine buffers one transaction at a time, so write
+  transactions serialize while readers of untouched relations stream
+  past them;
+* uncommitted writes are therefore invisible: any reader of a written
+  relation blocks on its S-lock until the writer commits or rolls
+  back, which is exactly committed-prefix visibility;
+* lock waits time out (deadlock victims); a victim inside an explicit
+  transaction is rolled back before the error frame is sent.
+
+Query-cache entries admitted while a transaction is open are tagged
+with the owning session (see :class:`repro.cache.core.QueryCache`), so
+one session's transaction-private entries are never served to another.
+
+Hot read responses additionally go through a small *wire memo*: the
+fully encoded response bytes of a SELECT/ask are reused while the
+version vector of the touched relations (and the rule-base version)
+is unchanged, skipping re-encoding on the serve path entirely.
+
+Lifecycle: connection limits refuse excess clients with an error
+frame; idle sessions are closed after ``idle_timeout_s``; shutdown
+drains in-flight requests, rolls back every open transaction, and only
+then returns.
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+import threading
+import time
+from typing import Any
+
+from repro import obs
+from repro.errors import (
+    LockTimeout, ProtocolError, ReproError, SqlError, StorageError,
+)
+from repro.server import protocol
+from repro.server.concurrency import (
+    LockManager, LockTable, RULES_TOKEN, TXN_TOKEN,
+)
+from repro.sql import ast
+from repro.sql.fingerprint import normalize_sql
+from repro.sql.parser import parse_select, parse_statement
+
+__all__ = ["ADMIN_COMMANDS", "IntensionalQueryServer", "Session"]
+
+#: Shell commands the ``admin`` op may run (read/observability surface;
+#: transaction control and recovery go through their typed ops or stay
+#: server-local).
+ADMIN_COMMANDS = frozenset({
+    "cache", "help", "hierarchy", "lint", "metrics", "obs", "rules",
+    "schema", "show", "slowlog", "tables", "trace", "wal",
+})
+
+#: Wire-memo capacity (encoded responses for hot repeated reads).
+WIRE_MEMO_CAPACITY = 128
+
+
+class Session:
+    """One client connection: socket, lock manager, transaction state."""
+
+    def __init__(self, server: "IntensionalQueryServer",
+                 sock: socket.socket, address, session_id: str):
+        self.server = server
+        self.sock = sock
+        self.address = address
+        self.id = session_id
+        self.locks = LockManager(server.lock_table, session_id)
+        self.in_transaction = False
+        self.requests_served = 0
+        self.started_at = time.time()
+        self._closing = False
+        self._done = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> None:
+        """The connection loop (runs on the session's own thread)."""
+        try:
+            self.sock.settimeout(self.server.idle_timeout_s)
+            protocol.write_frame(self.sock, {
+                "ok": True, "kind": "hello", "server": "repro",
+                "session": self.id})
+            while not self._closing:
+                try:
+                    request = protocol.read_frame(self.sock)
+                except (TimeoutError, socket.timeout):
+                    self._try_send(protocol.error_frame(
+                        ProtocolError(
+                            f"idle for more than "
+                            f"{self.server.idle_timeout_s:g}s; closing"),
+                        aborted=self.in_transaction))
+                    break
+                if request is None:  # clean EOF
+                    break
+                response, keep_going = self._serve(request)
+                if response is not None:
+                    self._try_send(response)
+                if not keep_going:
+                    break
+        except (ProtocolError, OSError):
+            pass  # peer vanished or spoke garbage; cleanup below
+        finally:
+            self.cleanup()
+
+    def _try_send(self, message) -> bool:
+        """Send a response: a dict is framed, raw ``bytes`` (a wire-memo
+        hit, already framed) go out verbatim."""
+        try:
+            if isinstance(message, (bytes, bytearray)):
+                self.sock.sendall(message)
+            else:
+                protocol.write_frame(self.sock, message)
+            return True
+        except OSError:
+            return False
+
+    def request_shutdown(self) -> None:
+        """Ask the session to finish its in-flight request and exit:
+        flips the flag a mid-request session checks, and shuts the
+        socket's read side so a session blocked in ``recv`` wakes."""
+        self._closing = True
+        try:
+            self.sock.shutdown(socket.SHUT_RD)
+        except OSError:
+            pass
+
+    def cleanup(self) -> None:
+        """Roll back any open transaction, release locks, close."""
+        with self.server.engine_lock:
+            if self._done:
+                return
+            self._done = True
+            if self.in_transaction:
+                try:
+                    self.server.system.rollback()
+                    obs.counter(
+                        "server_disconnect_rollbacks_total",
+                        "open transactions rolled back at "
+                        "session end").inc()
+                except ReproError:
+                    pass
+                self.in_transaction = False
+        self.locks.end()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        self.server._unregister(self)
+
+    # -- request dispatch --------------------------------------------------
+
+    def _serve(self, request: dict) -> tuple[dict | bytes | None, bool]:
+        """``(response, keep_connection)`` for one request frame; a
+        ``bytes`` response is a pre-encoded frame from the wire memo."""
+        op = str(request.get("op", ""))
+        start = time.perf_counter()
+        self.requests_served += 1
+        self.server.stats["requests_total"] += 1
+        aborted = False
+        try:
+            with obs.span("server.request", op=op, session=self.id):
+                if op == "ping":
+                    return {"ok": True, "kind": "ok", "pong": True}, True
+                if op == "bye":
+                    return {"ok": True, "kind": "ok",
+                            "message": "bye"}, False
+                if op in ("begin", "commit", "rollback"):
+                    return self._transaction_op(op), True
+                if op == "admin":
+                    return self._admin(str(request.get("command", ""))), \
+                        True
+                if op == "sql":
+                    return self._sql(request), True
+                if op == "ask":
+                    return self._ask(request), True
+                if op == "explain":
+                    return self._explain(request), True
+                raise ProtocolError(f"unknown op {op!r}")
+        except LockTimeout as error:
+            # The deadlock policy: the waiter is the victim.  An open
+            # transaction cannot be left half-granted -- roll it back
+            # so the client can retry from a clean slate.
+            aborted = self._abort_on_timeout()
+            return protocol.error_frame(error, aborted=aborted), True
+        except ReproError as error:
+            self.locks.statement_done()
+            return protocol.error_frame(error), True
+        except Exception as error:  # never leak a traceback mid-protocol
+            self.locks.statement_done()
+            return protocol.error_frame(error), True
+        finally:
+            if obs.enabled():
+                obs.histogram(
+                    "server_request_seconds",
+                    "server request latency by op", op=op).observe(
+                        time.perf_counter() - start)
+
+    def _abort_on_timeout(self) -> bool:
+        if self.in_transaction:
+            with self.server.engine_lock:
+                try:
+                    self.server.system.rollback()
+                except ReproError:
+                    pass
+                self.in_transaction = False
+            self.locks.end()
+            obs.counter("server_deadlock_victims_total",
+                        "transactions rolled back on lock "
+                        "timeout").inc()
+            return True
+        self.locks.statement_done()
+        return False
+
+    # -- transaction control -----------------------------------------------
+
+    def _transaction_op(self, op: str) -> dict:
+        system = self.server.system
+        if op == "begin":
+            if self.in_transaction:
+                raise StorageError(
+                    "a transaction is already open on this session",
+                    hint="commit or rollback it first")
+            self.locks.begin()
+            try:
+                # One write transaction at a time: the storage engine
+                # has a single transaction buffer, so BEGIN serializes
+                # on the transaction token.
+                self.locks.xlock(TXN_TOKEN)
+                with self.server.engine_lock:
+                    system.begin()
+            except ReproError:
+                self.locks.end()
+                raise
+            self.in_transaction = True
+            return {"ok": True, "kind": "ok",
+                    "message": "transaction opened"}
+        if not self.in_transaction:
+            raise StorageError(
+                f"no open transaction to {op}",
+                hint="open one with begin first")
+        with self.server.engine_lock:
+            if op == "commit":
+                system.commit()
+            else:
+                system.rollback()
+        self.in_transaction = False
+        self.locks.end()
+        return {"ok": True, "kind": "ok", "message": op + " done"}
+
+    # -- statements --------------------------------------------------------
+
+    def _sql(self, request: dict) -> dict | bytes:
+        text = str(request.get("sql", ""))
+        if not text.strip():
+            raise SqlError("empty sql request")
+        hit = self._memo_fast_path(("sql", normalize_sql(text)))
+        if hit is not None:
+            return hit
+        statement = parse_statement(text)
+        if isinstance(statement, (ast.SelectStmt, ast.ExplainStmt)):
+            return self._read_statement(text, statement)
+        return self._write_statement(text, statement)
+
+    def _memo_fast_path(self, key: tuple) -> bytes | None:
+        """Serve a memoized frame without parsing or locking.
+
+        Safe without S-locks because :meth:`_wire_memo_get` validates
+        every dependency's live version under the engine lock: an open
+        transaction's writes bump the versions of the relations they
+        touched, so a hit can only reproduce committed state -- the
+        same answer the lock path would grant by ordering the reader
+        before the writer.
+        """
+        with self.server.engine_lock:
+            return self.server._wire_memo_get(key)
+
+    def _read_statement(self, text: str, statement) -> dict | bytes:
+        select = (statement.select
+                  if isinstance(statement, ast.ExplainStmt) else statement)
+        memo_key = None
+        if isinstance(statement, ast.SelectStmt):
+            memo_key = ("sql", normalize_sql(text))
+        self._lock_tables(select, exclusive=False)
+        system = self.server.system
+        try:
+            with self.server.engine_lock:
+                if memo_key is not None:
+                    hit = self.server._wire_memo_get(memo_key)
+                    if hit is not None:
+                        return hit
+                degraded = self._degraded()
+                rules = None if degraded else system.rules
+                if isinstance(statement, ast.ExplainStmt):
+                    from repro.plan.explain import explain_select
+                    return {"ok": True, "kind": "text",
+                            "text": explain_select(
+                                system.database, select, rules=rules,
+                                analyze=statement.analyze)}
+                self._enter_cache_scope()
+                try:
+                    from repro.sql.executor import execute_select
+                    result = execute_select(system.database, select,
+                                            rules=rules)
+                finally:
+                    self._exit_cache_scope()
+                response = {
+                    "ok": True, "kind": "relation",
+                    "relation": protocol.encode_relation_payload(result)}
+                if memo_key is not None:
+                    self.server._wire_memo_put(
+                        memo_key, response, select, in_tx=self._any_tx())
+                return response
+        finally:
+            self.locks.statement_done()
+
+    def _write_statement(self, text: str, statement) -> dict:
+        table = getattr(statement, "table", None)
+        if table is None:
+            raise SqlError(
+                f"unsupported statement {type(statement).__name__}")
+        # Writers serialize behind the transaction token (the storage
+        # engine has one transaction buffer): an autocommit write waits
+        # for any open explicit transaction to finish, and never joins
+        # it by accident.
+        self.locks.xlock(TXN_TOKEN)
+        self.locks.xlock(table)
+        system = self.server.system
+        try:
+            with self.server.engine_lock:
+                self._enter_cache_scope()
+                try:
+                    from repro.sql.executor import execute_statement
+                    count = execute_statement(system.database, text)
+                finally:
+                    self._exit_cache_scope()
+            self.server.stats["writes_total"] += 1
+            return {"ok": True, "kind": "count", "count": int(count)}
+        finally:
+            self.locks.statement_done()
+
+    def _ask(self, request: dict) -> dict | bytes:
+        text = str(request.get("sql", ""))
+        if not text.strip():
+            raise SqlError("empty ask request")
+        forward = bool(request.get("forward", True))
+        backward = bool(request.get("backward", True))
+        memo_key = ("ask", normalize_sql(text), forward, backward)
+        hit = self._memo_fast_path(memo_key)
+        if hit is not None:
+            return hit
+        select = parse_select(text)
+        self._lock_tables(select, exclusive=False)
+        system = self.server.system
+        try:
+            with self.server.engine_lock:
+                hit = self.server._wire_memo_get(memo_key)
+                if hit is not None:
+                    return hit
+                self._enter_cache_scope()
+                try:
+                    result = system.ask(text, forward=forward,
+                                        backward=backward)
+                finally:
+                    self._exit_cache_scope()
+                response = {
+                    "ok": True, "kind": "ask",
+                    "relation": protocol.encode_relation_payload(
+                        result.extensional),
+                    "intensional": [answer.render()
+                                    for answer in result.intensional],
+                    "summary": result.inference.summary(),
+                    "rendered": result.render(),
+                    "warnings": list(result.warnings)}
+                self.server._wire_memo_put(memo_key, response, select,
+                                           in_tx=self._any_tx())
+                return response
+        finally:
+            self.locks.statement_done()
+
+    def _explain(self, request: dict) -> dict:
+        text = str(request.get("sql", ""))
+        analyze = bool(request.get("analyze", False))
+        statement = parse_statement(text)
+        if isinstance(statement, ast.ExplainStmt):
+            analyze = analyze or statement.analyze
+            statement = statement.select
+        if not isinstance(statement, ast.SelectStmt):
+            raise SqlError("explain takes a SELECT statement")
+        self._lock_tables(statement, exclusive=False)
+        try:
+            with self.server.engine_lock:
+                from repro.plan.explain import explain_select
+                system = self.server.system
+                rules = None if self._degraded() else system.rules
+                return {"ok": True, "kind": "text",
+                        "text": explain_select(system.database, statement,
+                                               rules=rules,
+                                               analyze=analyze)}
+        finally:
+            self.locks.statement_done()
+
+    # -- admin -------------------------------------------------------------
+
+    def _admin(self, command: str) -> dict:
+        word, _sep, _rest = command.strip().partition(" ")
+        word = word.lower()
+        if word == "locks":
+            return {"ok": True, "kind": "text",
+                    "text": self.server.lock_table.render()}
+        if word == "sessions":
+            return {"ok": True, "kind": "text",
+                    "text": self.server.render_sessions()}
+        if word not in ADMIN_COMMANDS:
+            raise ProtocolError(
+                f"admin command {word or '(empty)'!r} is not allowed "
+                f"over the wire (allowed: locks, sessions, "
+                f"{', '.join(sorted(ADMIN_COMMANDS))})")
+        with self.server.engine_lock:
+            out = io.StringIO()
+            shell = self.server._admin_shell()
+            shell.out = out
+            shell.handle("\\" + command.strip())
+            return {"ok": True, "kind": "text",
+                    "text": out.getvalue().rstrip("\n")}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _lock_tables(self, select: ast.SelectStmt,
+                     exclusive: bool = False) -> None:
+        """S-lock (or X-lock) every relation the statement names, in
+        sorted order, plus a shared hold on the rule base."""
+        names = sorted({table.name.lower() for table in select.tables})
+        self.locks.slock(RULES_TOKEN)
+        for name in names:
+            if exclusive:
+                self.locks.xlock(name)
+            else:
+                self.locks.slock(name)
+
+    def _degraded(self) -> bool:
+        storage = self.server.system.database.storage
+        return (storage is not None and storage.has_rules
+                and storage.rules_stale)
+
+    def _any_tx(self) -> bool:
+        storage = self.server.system.database.storage
+        return self.in_transaction or (storage is not None
+                                       and storage.in_transaction())
+
+    def _enter_cache_scope(self) -> None:
+        """Tag query-cache admissions/lookups with this session, so
+        transaction-private entries never cross sessions."""
+        from repro.cache.core import query_cache
+        query_cache(self.server.system.database).current_owner = self.id
+
+    def _exit_cache_scope(self) -> None:
+        from repro.cache.core import query_cache
+        query_cache(self.server.system.database).current_owner = None
+
+    def describe(self) -> dict:
+        return {"id": self.id, "peer": f"{self.address}",
+                "requests": self.requests_served,
+                "in_transaction": self.in_transaction,
+                "age_s": time.time() - self.started_at}
+
+
+class IntensionalQueryServer:
+    """Serve one :class:`IntensionalQueryProcessor` to many clients."""
+
+    def __init__(self, system, host: str = "127.0.0.1", port: int = 0,
+                 max_connections: int = 64,
+                 idle_timeout_s: float = 300.0,
+                 lock_timeout_s: float = 10.0,
+                 drain_timeout_s: float = 5.0):
+        self.system = system
+        self.host = host
+        self._requested_port = port
+        self.max_connections = max_connections
+        self.idle_timeout_s = idle_timeout_s
+        self.drain_timeout_s = drain_timeout_s
+        self.lock_table = LockTable(timeout_s=lock_timeout_s)
+        #: serializes statement execution on the shared engine.
+        self.engine_lock = threading.RLock()
+        self.stats = {"connections_total": 0, "requests_total": 0,
+                      "writes_total": 0, "refused_total": 0}
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._sessions: dict[str, tuple[Session, threading.Thread]] = {}
+        self._sessions_guard = threading.Lock()
+        self._next_session = 1
+        self._closing = threading.Event()
+        self._shell = None
+        #: key -> (deps, rules_version, encoded response frame).  The
+        #: memo stores *encoded bytes*, not the response dict: a hit
+        #: skips JSON encoding entirely, which is what lets N client
+        #: processes scale past one server-side GIL.
+        self._wire_memo: dict[tuple, tuple[tuple, int, bytes]] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._listener is None:
+            return self._requested_port
+        return self._listener.getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "IntensionalQueryServer":
+        if self._listener is not None:
+            raise StorageError("server is already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._requested_port))
+        listener.listen(128)
+        self._listener = listener
+        self._closing.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def __enter__(self) -> "IntensionalQueryServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until :meth:`shutdown`."""
+        if self._listener is None:
+            self.start()
+        self._closing.wait()
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                sock, address = self._listener.accept()
+            except OSError:
+                break  # listener closed by shutdown
+            self._admit(sock, address)
+
+    def _admit(self, sock: socket.socket, address) -> None:
+        with self._sessions_guard:
+            if self._closing.is_set() or (
+                    len(self._sessions) >= self.max_connections):
+                reason = ("server is shutting down"
+                          if self._closing.is_set() else
+                          f"connection limit of {self.max_connections} "
+                          f"reached")
+                self.stats["refused_total"] += 1
+                try:
+                    sock.sendall(protocol.encode_frame(
+                        protocol.error_frame(ProtocolError(
+                            reason, hint="retry later"))))
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                return
+            session_id = f"s{self._next_session}"
+            self._next_session += 1
+            session = Session(self, sock, address, session_id)
+            thread = threading.Thread(
+                target=session.run, name=f"repro-session-{session_id}",
+                daemon=True)
+            self._sessions[session_id] = (session, thread)
+            self.stats["connections_total"] += 1
+        obs.counter("server_connections_total",
+                    "client connections accepted").inc()
+        self._set_connection_gauge()
+        thread.start()
+
+    def _unregister(self, session: Session) -> None:
+        with self._sessions_guard:
+            self._sessions.pop(session.id, None)
+        self._set_connection_gauge()
+
+    def _set_connection_gauge(self) -> None:
+        with self._sessions_guard:
+            live = len(self._sessions)
+        obs.gauge("server_connections",
+                  "currently connected sessions").set(live)
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, drain in-flight requests, roll back every
+        open transaction, close every connection, and return."""
+        if self._listener is None:
+            return
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._sessions_guard:
+            entries = list(self._sessions.values())
+        for session, _thread in entries:
+            session.request_shutdown()
+        deadline = time.monotonic() + (self.drain_timeout_s if drain
+                                       else 0.0)
+        for session, thread in entries:
+            thread.join(max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                # Drain budget exhausted: sever the connection; the
+                # session's cleanup still runs on its thread, and the
+                # sweep below covers a thread stuck outside it.
+                try:
+                    session.sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+        for session, thread in entries:
+            thread.join(1.0)
+            if thread.is_alive():
+                session.cleanup()
+        if self._accept_thread is not None:
+            self._accept_thread.join(1.0)
+        self._accept_thread = None
+        self._listener = None
+        self._wire_memo.clear()
+
+    # -- wire memo ---------------------------------------------------------
+
+    def _memo_deps(self, select: ast.SelectStmt) -> tuple | None:
+        database = self.system.database
+        deps = []
+        for table in select.tables:
+            name = table.name.lower()
+            if name not in database.catalog:
+                return None
+            relation = database.catalog.get(name)
+            deps.append((name, id(relation), relation.version))
+        return tuple(deps)
+
+    def _wire_memo_get(self, key: tuple) -> bytes | None:
+        """The encoded response frame for *key*, if its version vector
+        (and the rule-base version) still hold.  Call under the engine
+        lock."""
+        entry = self._wire_memo.get(key)
+        if entry is None:
+            return None
+        deps, rules_version, response = entry
+        # Entries are only admitted with a fresh rule base, so a
+        # degraded (stale-rules) system invalidates every memo hit.
+        if (rules_version != self.system.rules.version
+                or self._degraded_now()):
+            del self._wire_memo[key]
+            return None
+        database = self.system.database
+        for name, ident, version in deps:
+            if name not in database.catalog:
+                del self._wire_memo[key]
+                return None
+            relation = database.catalog.get(name)
+            if id(relation) != ident or relation.version != version:
+                del self._wire_memo[key]
+                return None
+        return response
+
+    def _wire_memo_put(self, key: tuple, response: dict,
+                       select: ast.SelectStmt, in_tx: bool) -> None:
+        """Memoize *response* unless any transaction is open (entries
+        derived from uncommitted state must never be shareable) or the
+        rule base is degraded."""
+        if in_tx or self._degraded_now():
+            return
+        deps = self._memo_deps(select)
+        if deps is None:
+            return
+        if len(self._wire_memo) >= WIRE_MEMO_CAPACITY:
+            self._wire_memo.pop(next(iter(self._wire_memo)))
+        self._wire_memo[key] = (deps, self.system.rules.version,
+                                protocol.encode_frame(response))
+
+    def _degraded_now(self) -> bool:
+        storage = self.system.database.storage
+        return (storage is not None and storage.has_rules
+                and storage.rules_stale)
+
+    # -- admin/introspection ----------------------------------------------
+
+    def _admin_shell(self):
+        if self._shell is None:
+            from repro.cli import Shell
+            self._shell = Shell(self.system, out=io.StringIO())
+        return self._shell
+
+    def sessions(self) -> list[dict]:
+        with self._sessions_guard:
+            return [session.describe()
+                    for session, _thread in self._sessions.values()]
+
+    def render_sessions(self) -> str:
+        rows = self.sessions()
+        if not rows:
+            return "(no connected sessions)"
+        lines = []
+        for row in sorted(rows, key=lambda entry: entry["id"]):
+            lines.append(
+                f"{row['id']}: peer={row['peer']} "
+                f"requests={row['requests']} "
+                f"tx={'open' if row['in_transaction'] else 'none'} "
+                f"age={row['age_s']:.1f}s")
+        return "\n".join(lines)
+
+    def status(self) -> dict[str, Any]:
+        with self._sessions_guard:
+            live = len(self._sessions)
+        return {
+            "address": self.address,
+            "connections": live,
+            "max_connections": self.max_connections,
+            "idle_timeout_s": self.idle_timeout_s,
+            "lock_timeout_s": self.lock_table.timeout_s,
+            "stats": dict(self.stats),
+            "locks": self.lock_table.status(),
+        }

@@ -203,6 +203,58 @@ class TestTransactions:
         assert cache.counters["invalidate.dml"] >= 2
 
 
+class TestOwnerScoping:
+    """Session-tagged private entries (the server sets
+    ``current_owner`` around every statement it executes)."""
+
+    @pytest.fixture()
+    def durable(self, tmp_path):
+        database = ship_database()
+        engine = StorageEngine(database, str(tmp_path / "data"))
+        yield database, engine
+        engine.wal.close()
+
+    def test_private_entry_invisible_to_other_owner(self, durable):
+        database, engine = durable
+        cache = eager_cache(database)
+        engine.begin()
+        cache.current_owner = "s1"
+        first = run(database, SUB_SQL)
+        # Another session probing the same statement mid-transaction
+        # must miss -- and the miss must not evict the owner's entry.
+        cache.current_owner = "s2"
+        misses = cache.counters["result.miss"]
+        assert run(database, SUB_SQL) is not first
+        assert cache.counters["result.miss"] == misses + 1
+        cache.current_owner = "s1"
+        assert run(database, SUB_SQL) is first
+        engine.rollback()
+        cache.current_owner = None
+
+    def test_commit_publishes_to_every_owner(self, durable):
+        database, engine = durable
+        cache = eager_cache(database)
+        engine.begin()
+        cache.current_owner = "s1"
+        first = run(database, SUB_SQL)
+        engine.commit()
+        cache.current_owner = "s2"
+        assert run(database, SUB_SQL) is first
+        cache.current_owner = None
+
+    def test_anonymous_transaction_stays_session_local(self, durable):
+        """In-process callers (no server) have ``current_owner=None``;
+        private entries still behave exactly as before the owner tag
+        existed."""
+        database, engine = durable
+        cache = eager_cache(database)
+        engine.begin()
+        first = run(database, SUB_SQL)
+        assert run(database, SUB_SQL) is first
+        engine.rollback()
+        assert cache.entry_counts()["result"] == 0
+
+
 class TestRecoveryReplay:
     def test_replay_invalidates_like_live_dml(self, tmp_path):
         database = ship_database()

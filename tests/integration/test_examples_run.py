@@ -16,7 +16,10 @@ EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
 def run_example(name: str) -> str:
     buffer = io.StringIO()
     with contextlib.redirect_stdout(buffer):
-        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+        try:
+            runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+        except SystemExit as stop:  # scripts that exit with a status
+            assert not stop.code, buffer.getvalue()
     return buffer.getvalue()
 
 
@@ -52,9 +55,15 @@ class TestExamplesRun:
         assert "SHIP.Draft < PORT.Depth" in output
         assert "Every answer is of type SMALL" in output
 
+    def test_server_smoke(self):
+        output = run_example("server_smoke.py")
+        assert "intensional: Every answer is of type SSBN" in output
+        assert "server smoke test passed" in output
+
     def test_every_example_is_covered(self):
         scripts = {path.name for path in EXAMPLES.glob("*.py")}
         covered = {"quickstart.py", "ship_database_tour.py",
                    "employee_database.py", "battleship_fleet.py",
-                   "quel_session.py", "harbor_visits.py"}
+                   "quel_session.py", "harbor_visits.py",
+                   "server_smoke.py"}
         assert scripts == covered

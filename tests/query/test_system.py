@@ -59,3 +59,24 @@ class TestEmptyKnowledge:
         system = IntensionalQueryProcessor(ship_db, RuleSet())
         result = system.ask(EXAMPLE_1)
         assert result.combined_answer() is None
+
+
+class TestNoStorageErrors:
+    """Transaction control without storage fails with an
+    operation-specific message and a CLI-actionable hint."""
+
+    @pytest.mark.parametrize("method, action", [
+        ("begin", "begin a transaction"),
+        ("commit", "commit a transaction"),
+        ("rollback", "roll back a transaction"),
+        ("checkpoint", "checkpoint the database"),
+    ])
+    def test_each_operation_names_itself(self, ship_db, method, action):
+        from repro.errors import StorageError
+        system = IntensionalQueryProcessor(ship_db, RuleSet())
+        with pytest.raises(StorageError) as info:
+            getattr(system, method)()
+        assert f"cannot {action}" in str(info.value)
+        assert "no durable storage attached" in str(info.value)
+        assert "--data-dir" in info.value.hint
+        assert "repro-server" in info.value.hint

@@ -1,0 +1,159 @@
+"""Lock table / lock manager unit tests (S/X semantics, timeouts)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import LockTimeout
+from repro.server.concurrency import (
+    LockManager, LockTable, RULES_TOKEN, TXN_TOKEN,
+)
+
+
+@pytest.fixture()
+def table():
+    return LockTable(timeout_s=0.05)
+
+
+class TestCompatibility:
+    def test_shared_locks_coexist(self, table):
+        table.slock("a", "r")
+        table.slock("b", "r")
+        assert table.holders("r") == (None, {"a", "b"})
+
+    def test_exclusive_blocks_shared(self, table):
+        table.xlock("a", "r")
+        with pytest.raises(LockTimeout):
+            table.slock("b", "r")
+
+    def test_shared_blocks_exclusive(self, table):
+        table.slock("a", "r")
+        with pytest.raises(LockTimeout):
+            table.xlock("b", "r")
+
+    def test_exclusive_blocks_exclusive(self, table):
+        table.xlock("a", "r")
+        with pytest.raises(LockTimeout):
+            table.xlock("b", "r")
+
+    def test_names_are_case_insensitive(self, table):
+        table.xlock("a", "SUBMARINE")
+        with pytest.raises(LockTimeout):
+            table.slock("b", "submarine")
+
+
+class TestReentrancy:
+    def test_shared_regrant_is_noop(self, table):
+        table.slock("a", "r")
+        table.slock("a", "r")
+        table.release("a", ["r"])
+        assert table.holders("r") == (None, set())
+
+    def test_exclusive_implies_shared(self, table):
+        table.xlock("a", "r")
+        table.slock("a", "r")  # must not deadlock against itself
+        assert table.holders("r") == ("a", set())
+
+    def test_upgrade_when_sole_shared_holder(self, table):
+        table.slock("a", "r")
+        table.xlock("a", "r")
+        assert table.holders("r") == ("a", set())
+
+    def test_upgrade_blocked_by_second_reader(self, table):
+        table.slock("a", "r")
+        table.slock("b", "r")
+        with pytest.raises(LockTimeout):
+            table.xlock("a", "r")
+
+
+class TestWaitAndRelease:
+    def test_release_wakes_waiter(self):
+        table = LockTable(timeout_s=5.0)
+        table.xlock("a", "r")
+        granted = threading.Event()
+
+        def waiter():
+            table.slock("b", "r")
+            granted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        assert not granted.wait(0.05)
+        table.release("a", ["r"])
+        assert granted.wait(2.0)
+        thread.join(2.0)
+        assert table.counters["waits"] == 1
+        assert table.counters["timeouts"] == 0
+
+    def test_release_all_drops_everything(self, table):
+        table.xlock("a", "r1")
+        table.slock("a", "r2")
+        table.release_all("a")
+        assert table.held_by("a") == set()
+        table.xlock("b", "r1")
+        table.xlock("b", "r2")
+
+    def test_timeout_increments_counter(self, table):
+        table.xlock("a", "r")
+        with pytest.raises(LockTimeout):
+            table.slock("b", "r", timeout_s=0.01)
+        assert table.counters["timeouts"] == 1
+
+    def test_idle_locks_are_garbage_collected(self, table):
+        table.slock("a", "r")
+        table.release_all("a")
+        assert table.status()["locks"] == {}
+
+
+class TestIntrospection:
+    def test_status_and_render(self, table):
+        table.xlock("a", "r1")
+        table.slock("b", "r2")
+        status = table.status()
+        assert status["locks"]["r1"]["x"] == "a"
+        assert status["locks"]["r2"]["s"] == ["b"]
+        text = table.render()
+        assert "grants" in text and "r1" in text
+
+    def test_held_by(self, table):
+        table.slock("a", "r1")
+        table.xlock("a", "r2")
+        assert table.held_by("a") == {"r1", "r2"}
+
+
+class TestLockManager:
+    def test_autocommit_statement_releases_early(self, table):
+        manager = LockManager(table, "s1")
+        manager.slock("r")
+        manager.statement_done()
+        assert table.held_by("s1") == set()
+
+    def test_transaction_holds_to_end(self, table):
+        manager = LockManager(table, "s1")
+        manager.begin()
+        manager.xlock(TXN_TOKEN)
+        manager.xlock("r")
+        manager.statement_done()  # no-op mid-transaction
+        assert table.held_by("s1") == {TXN_TOKEN, "r"}
+        manager.end()
+        assert table.held_by("s1") == set()
+        assert not manager.in_transaction
+
+    def test_two_managers_conflict_across_sessions(self, table):
+        one = LockManager(table, "s1")
+        two = LockManager(table, "s2")
+        one.begin()
+        one.xlock("r")
+        with pytest.raises(LockTimeout):
+            two.slock("r")
+        one.end()
+        two.slock("r")
+
+    def test_rules_token_is_shared(self, table):
+        one = LockManager(table, "s1")
+        two = LockManager(table, "s2")
+        one.slock(RULES_TOKEN)
+        two.slock(RULES_TOKEN)
+        assert table.holders(RULES_TOKEN)[1] == {"s1", "s2"}

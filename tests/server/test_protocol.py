@@ -1,0 +1,153 @@
+"""Wire protocol unit tests: framing, limits, error mapping."""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import pytest
+
+from repro.errors import LockTimeout, ProtocolError, SqlError
+from repro.server import protocol
+from repro.testbed import ship_database
+
+
+def _pipe():
+    left, right = socket.socketpair()
+    left.settimeout(2.0)
+    right.settimeout(2.0)
+    return left, right
+
+
+class TestFraming:
+    def test_round_trip(self):
+        left, right = _pipe()
+        try:
+            message = {"op": "sql", "sql": "SELECT 1", "n": 7,
+                       "unicode": "sous-marin é"}
+            protocol.write_frame(left, message)
+            assert protocol.read_frame(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_many_frames_in_sequence(self):
+        left, right = _pipe()
+        try:
+            for index in range(5):
+                protocol.write_frame(left, {"i": index})
+            for index in range(5):
+                assert protocol.read_frame(right) == {"i": index}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_returns_none(self):
+        left, right = _pipe()
+        left.close()
+        try:
+            assert protocol.read_frame(right) is None
+        finally:
+            right.close()
+
+    def test_eof_mid_frame_raises(self):
+        left, right = _pipe()
+        try:
+            frame = protocol.encode_frame({"op": "ping"})
+            left.sendall(frame[:len(frame) - 2])  # torn body
+            left.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                protocol.read_frame(right)
+        finally:
+            right.close()
+
+    def test_eof_between_header_and_body(self):
+        left, right = _pipe()
+        try:
+            left.sendall(struct.pack(">I", 10))
+            left.close()
+            with pytest.raises(ProtocolError):
+                protocol.read_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_announcement_refused_unread(self):
+        left, right = _pipe()
+        try:
+            left.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="limit"):
+                protocol.read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_body_refused_on_encode(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.encode_frame({"pad": "x" * (protocol.MAX_FRAME_BYTES
+                                                 + 16)})
+
+    def test_zero_length_frame_is_empty_object(self):
+        left, right = _pipe()
+        try:
+            left.sendall(struct.pack(">I", 0))
+            assert protocol.read_frame(right) == {}
+        finally:
+            left.close()
+            right.close()
+
+
+class TestDecode:
+    def test_bad_json(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            protocol.decode_frame(b"{nope")
+
+    def test_bad_utf8(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(b"\xff\xfe{}")
+
+    def test_non_object_body(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode_frame(b"[1, 2, 3]")
+
+
+class TestErrorFrames:
+    def test_repro_error_keeps_type_and_hint(self):
+        frame = protocol.error_frame(SqlError("bad query"))
+        assert frame["ok"] is False
+        assert frame["error"]["type"] == "SqlError"
+        assert frame["error"]["message"] == "bad query"
+
+    def test_lock_timeout_carries_class_hint(self):
+        frame = protocol.error_frame(LockTimeout("waited too long"),
+                                     aborted=True)
+        assert frame["error"]["type"] == "LockTimeout"
+        assert frame["error"]["aborted"] is True
+        assert "retry" in frame["error"]["hint"]
+
+    def test_foreign_exception_becomes_internal_error(self):
+        frame = protocol.error_frame(ValueError("oops"))
+        assert frame["error"]["type"] == "InternalError"
+        assert frame["error"]["message"] == "oops"
+
+    def test_aborted_defaults_off(self):
+        frame = protocol.error_frame(SqlError("x"))
+        assert "aborted" not in frame["error"]
+
+
+class TestRelationPayload:
+    def test_relation_round_trips(self):
+        relation = ship_database().relation("SUBMARINE")
+        payload = protocol.encode_relation_payload(relation)
+        decoded = protocol.decode_relation_payload(payload)
+        assert decoded.name == relation.name
+        assert list(decoded) == list(relation)
+
+    def test_payload_is_json_safe(self):
+        import json
+        relation = ship_database().relation("CLASS")
+        payload = protocol.encode_relation_payload(relation)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_bad_payload_raises_protocol_error(self):
+        with pytest.raises(ProtocolError, match="bad relation payload"):
+            protocol.decode_relation_payload({"schema": "garbage"})

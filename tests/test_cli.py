@@ -272,7 +272,8 @@ class TestDurabilityCommands:
         assert "no durable storage attached" in output_of(shell)
         shell.handle("\\begin")
         text = output_of(shell)
-        assert "error: no durable storage attached" in text
+        assert "error: cannot begin a transaction: " \
+            "no durable storage attached" in text
         assert "hint:" in text and "--data-dir" in text
 
     def test_wal_status_and_records(self, tmp_path):
