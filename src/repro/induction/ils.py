@@ -125,6 +125,10 @@ class InductiveLearningSubsystem:
             span.set(schemes=len(schemes), rules=len(ruleset))
             obs.counter("induction_rules_total",
                         "rules induced by the ILS").inc(len(ruleset))
+            # Stamp the database state the rules were induced from, so
+            # the planner's semantic optimizer can refuse to rewrite
+            # queries with rules the data has since outgrown.
+            ruleset.record_basis(self.binding.database)
             return ruleset
 
     def induce_and_store(self, include_tree_rules: bool = False) -> RuleSet:

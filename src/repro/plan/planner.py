@@ -176,6 +176,20 @@ def _access_path(scope: Scope, binding: str, conjunct_list, rules,
             intervals[column] = interval
         interval_exprs.setdefault(column, []).append(conjunct)
 
+    if rules is not None and not rules.fresh_for(relation):
+        # The rule base was induced on an older state of this relation:
+        # its implications may no longer hold, so rewriting the query
+        # with them could change the answer (the differential fuzzer
+        # caught exactly that: an INSERT violating an induced interval
+        # rule, then a contradiction short-circuit dropping the new
+        # row).  Plan without semantic optimization until re-induction.
+        notes.append(
+            f"semantic optimization skipped: rule base is stale for "
+            f"{relation.name} (data changed since induction)")
+        obs.counter("semantic_rewrites_total",
+                    "rule-driven planner rewrites by kind",
+                    kind="stale_skipped").inc()
+        rules = None
     analysis = semantic.analyze(relation.name, intervals, rules)
     for note in analysis.notes:
         notes.append(note.render())

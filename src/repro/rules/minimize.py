@@ -71,4 +71,6 @@ def minimize_ruleset(ruleset: RuleSet) -> MinimizationResult:
         Rule(rule.lhs, rule.rhs, support=rule.support,
              rhs_subtype=rule.rhs_subtype, source=rule.source)
         for rule in rules if id(rule) in kept_ids)
+    basis = getattr(rules, "basis", None)  # plain iterables carry none
+    minimized.basis = None if basis is None else dict(basis)
     return MinimizationResult(minimized, dropped)

@@ -62,6 +62,15 @@ class RuleSet:
         #: intensional answers on it, so swapping in a re-induced rule
         #: set (or mutating this one) invalidates them all at once.
         self.version = next(_VERSIONS)
+        #: Induction basis: relation name (lower) -> mutation version at
+        #: the moment the rules were induced, or ``None`` when unknown.
+        #: An induced rule is a fact about one specific database state;
+        #: :meth:`fresh_for` lets consumers that *rewrite queries* with
+        #: the rules (the planner's semantic optimizer) verify the state
+        #: has not moved underneath them.  ``None`` preserves the legacy
+        #: trust-the-caller behaviour (recovered rule bases are guarded
+        #: by the storage engine's ``rule_sync`` staleness flag instead).
+        self.basis: dict[str, int] | None = None
         for rule in rules:
             self.add(rule)
 
@@ -125,20 +134,59 @@ class RuleSet:
                 rules[0].rhs.attribute, rules))
         return out
 
+    # -- induction basis -----------------------------------------------------
+
+    def record_basis(self, database) -> None:
+        """Stamp the rule set with the mutation version of every
+        relation in *database*: the state these rules were induced from.
+        Call right after induction, before any DML can interleave."""
+        self.basis = {name.lower(): database.relation(name).version
+                      for name in database.catalog.names()}
+
+    def references(self, relation_name: str) -> bool:
+        """Whether any rule mentions *relation_name* (premise or
+        conclusion)."""
+        key = relation_name.lower()
+        return any(attr_key[0] == key for attr_key in self._by_lhs) or any(
+            attr_key[0] == key for attr_key in self._by_rhs)
+
+    def fresh_for(self, relation) -> bool:
+        """Whether query rewrites against *relation* are still sound.
+
+        True when no basis was recorded (trusted caller), when the
+        relation's mutation version still matches the basis, or when no
+        rule mentions the relation (nothing could rewrite it anyway).
+        """
+        if self.basis is None:
+            return True
+        if self.basis.get(relation.name.lower()) == relation.version:
+            return True
+        return not self.references(relation.name)
+
     # -- transformation -----------------------------------------------------
 
     def filtered(self, keep) -> "RuleSet":
         """New rule set with only the rules satisfying *keep* (renumbered)."""
-        return RuleSet(
+        out = RuleSet(
             Rule(rule.lhs, rule.rhs, support=rule.support,
                  rhs_subtype=rule.rhs_subtype, source=rule.source)
             for rule in self._rules if keep(rule))
+        out.basis = None if self.basis is None else dict(self.basis)
+        return out
 
     def merged_with(self, other: "RuleSet") -> "RuleSet":
         merged = RuleSet()
         for rule in list(self) + list(other):
             merged.add(Rule(rule.lhs, rule.rhs, support=rule.support,
                             rhs_subtype=rule.rhs_subtype, source=rule.source))
+        # Declarative (schema) rule sets carry no basis; an induced
+        # basis survives the merge so freshness checks keep working.
+        bases = [b for b in (self.basis, other.basis) if b is not None]
+        if bases:
+            combined: dict[str, int] = {}
+            for basis in bases:
+                combined.update(basis)
+            merged.basis = combined
         return merged
 
     def render(self, isa_style: bool = False) -> str:

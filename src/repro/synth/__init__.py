@@ -1,0 +1,44 @@
+"""Multi-domain synthetic workload generation and differential testing.
+
+Three layers, all seed-deterministic:
+
+* :mod:`repro.synth.distributions` -- integer-only skew / correlation /
+  adversarial-boundary value draws;
+* :mod:`repro.synth.domains` -- schema-driven domain builders (hospital,
+  logistics, a 5-level ``isa`` ontology, plus the paper's ship database)
+  producing bound, rule-induced :class:`~repro.synth.domains.SynthInstance`\\ s;
+* :mod:`repro.synth.workload` -- mixed SELECT/ask/DML statement programs
+  over any instance, with sha256 fingerprints for determinism pinning;
+* :mod:`repro.synth.differential` -- the cross-engine differential
+  harness, metamorphic invariants, ddmin minimizer and counterexample
+  corpus.
+
+``python -m repro.synth`` runs the fuzzing CLI.
+"""
+
+from repro.synth.differential import (
+    CONFIGS, DEFAULT_CONFIGS, Divergence, Report, case_payload,
+    check_conjunct_commutativity, check_insert_delete_roundtrip,
+    check_intensional_consistency, diverges, load_case, minimize,
+    replay_case, run_config, run_differential, save_case,
+)
+from repro.synth.domains import (
+    DOMAINS, SynthDomain, SynthInstance, build_instance, get_domain,
+)
+from repro.synth.workload import (
+    DEFAULT_MIX, ProgramGenerator, Statement, generate_program,
+    rows_fingerprint, rules_fingerprint, schema_fingerprint,
+    workload_fingerprint,
+)
+
+__all__ = [
+    "CONFIGS", "DEFAULT_CONFIGS", "DEFAULT_MIX", "DOMAINS", "Divergence",
+    "ProgramGenerator", "Report", "Statement", "SynthDomain",
+    "SynthInstance", "build_instance", "case_payload",
+    "check_conjunct_commutativity", "check_insert_delete_roundtrip",
+    "check_intensional_consistency", "diverges", "generate_program",
+    "get_domain", "load_case", "minimize", "replay_case",
+    "rows_fingerprint", "rules_fingerprint", "run_config",
+    "run_differential", "save_case", "schema_fingerprint",
+    "workload_fingerprint",
+]

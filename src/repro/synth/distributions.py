@@ -1,0 +1,109 @@
+"""Seed-deterministic value distributions for the synthetic domains.
+
+Every helper is a pure function of its ``random.Random`` instance and
+integer parameters, and every draw stays in *integer* arithmetic: no
+``math.pow``, no libm, no float rounding that could differ between
+platforms.  Same seed therefore means byte-identical output on every
+interpreter and OS -- the property the determinism suite in
+``tests/synth/`` pins with golden fingerprints.
+
+The distribution shapes mirror what attribute-oriented induction over
+plain SELECTs (PAPERS.md, arXiv:1006.1695) stresses:
+
+* **skew** -- a tournament draw (minimum of ``skew + 1`` uniforms)
+  piles mass on the low end of the range, so induced interval rules
+  see dense and sparse bands in one relation;
+* **correlation** -- banded labels tie a numeric attribute to a
+  classification attribute, the exact shape the ILS induces over;
+* **adversarial boundaries** -- band edges receive extra mass and a
+  controlled fraction of rows is relabeled across a band edge, which
+  creates the inconsistent (X, Y) pairs step 2 of the induction
+  algorithm must remove and puts induced intervals on knife edges
+  where a semantic-optimizer soundness bug shows up first.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import NamedTuple, Sequence
+
+
+def skewed_int(rng: random.Random, low: int, high: int,
+               skew: int = 0) -> int:
+    """An integer in ``[low, high)``; ``skew`` of 0 is uniform, higher
+    values concentrate mass toward ``low`` (tournament selection: the
+    minimum of ``skew + 1`` uniform draws)."""
+    if high <= low:
+        raise ValueError("empty range")
+    best = rng.randrange(low, high)
+    for _ in range(skew):
+        best = min(best, rng.randrange(low, high))
+    return best
+
+
+def weighted_choice(rng: random.Random, values: Sequence,
+                    weights: Sequence[int]):
+    """Pick from *values* with integer *weights* (exact arithmetic)."""
+    if len(values) != len(weights) or not values:
+        raise ValueError("values and weights must align and be non-empty")
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive integer")
+    pick = rng.randrange(total)
+    for value, weight in zip(values, weights):
+        pick -= weight
+        if pick < 0:
+            return value
+    raise AssertionError("unreachable")
+
+
+class Band(NamedTuple):
+    """One contiguous value band carrying a label: ``[low, high]``."""
+
+    low: int
+    high: int
+    label: str
+
+    def contains(self, value: int) -> bool:
+        return self.low <= value <= self.high
+
+
+def band_label(bands: Sequence[Band], value: int) -> str:
+    """The label of the band containing *value* (bands must cover it)."""
+    for band in bands:
+        if band.contains(value):
+            return band.label
+    raise ValueError(f"value {value} outside every band")
+
+
+def banded_value(rng: random.Random, bands: Sequence[Band],
+                 skew: int = 0, edge_permille: int = 0) -> tuple[int, str]:
+    """Draw ``(value, label)`` from *bands*.
+
+    The band is chosen uniformly (``skew`` > 0 biases toward earlier
+    bands), then the value uniformly within it -- except that
+    ``edge_permille`` out of 1000 draws land exactly on a band edge,
+    the adversarial case that puts induced interval endpoints where
+    off-by-one rewrite bugs live.
+    """
+    index = skewed_int(rng, 0, len(bands), skew)
+    band = bands[index]
+    if edge_permille and rng.randrange(1000) < edge_permille:
+        value = band.low if rng.randrange(2) == 0 else band.high
+    else:
+        value = rng.randrange(band.low, band.high + 1)
+    return value, band.label
+
+
+def noisy_label(rng: random.Random, label: str, labels: Sequence[str],
+                noise_permille: int = 0) -> str:
+    """Relabel with probability ``noise_permille``/1000, drawing
+    uniformly from *labels* (may redraw the same label)."""
+    if noise_permille and rng.randrange(1000) < noise_permille:
+        return labels[rng.randrange(len(labels))]
+    return label
+
+
+def identifier(prefix: str, number: int, width: int = 5) -> str:
+    """Deterministic fixed-width identifier, e.g. ``P00042``."""
+    return f"{prefix}{number:0{width}d}"

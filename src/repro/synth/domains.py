@@ -1,0 +1,429 @@
+"""Multi-domain synthetic KER test beds.
+
+Every claim the reproduction makes was, until this module, verified
+against one domain: the Appendix C ship database.  Here three more
+domains are generated -- seed-deterministically -- so the equivalence,
+differential, and bench suites can prove the engine on data it was
+never tuned for:
+
+* ``hospital`` -- PATIENT/WARD with a severity-banded triage label and
+  a ward foreign key; skew and adversarial boundary mass stress
+  interval induction and the semantic optimizer.
+* ``logistics`` -- SHIPMENT/ROUTE with weight-banded priorities and
+  distance-banded zones; hot-route skew gives the stats histograms a
+  non-uniform FK distribution.
+* ``ontology`` -- a single ASSET relation under a five-level ``isa``
+  hierarchy (ASSET > MOBILE > VEHICLE > CAR > SPORT), the recursive
+  conceptual-schema shape of PAPERS.md's DL-Lite line of work: forward
+  inference must walk four subtype derivations deep.
+* ``ship`` -- the Appendix C instance wrapped in the same interface so
+  harnesses iterate one registry.
+
+All value draws go through :mod:`repro.synth.distributions` (integer
+arithmetic only), so the same ``(name, seed, scale, adversarial)``
+quadruple yields byte-identical databases on every platform --
+``tests/synth/test_determinism.py`` pins golden fingerprints.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.induction import InductionConfig, InductiveLearningSubsystem
+from repro.ker import KerSchema, SchemaBinding, parse_ker
+from repro.relational import Database, INTEGER, char
+from repro.rules.ruleset import RuleSet
+from repro.synth.distributions import (
+    Band, band_label, banded_value, identifier, noisy_label, skewed_int,
+    weighted_choice,
+)
+
+# ---------------------------------------------------------------------------
+# hospital
+
+
+HOSPITAL_SCHEMA_DDL = """
+object type WARD
+    has key: Ward      domain: CHAR[4]
+    has:     WardName  domain: CHAR[16]
+    has:     Floor     domain: INTEGER
+    has:     Beds      domain: INTEGER
+    with
+        Floor in [1..6]
+
+WARD contains INTENSIVE, SURGICAL, GENERAL
+    with
+        if x isa WARD and 1 <= x.Floor <= 2 then x isa INTENSIVE
+        if x isa WARD and 3 <= x.Floor <= 4 then x isa SURGICAL
+        if x isa WARD and 5 <= x.Floor <= 6 then x isa GENERAL
+
+INTENSIVE isa WARD with 1 <= Floor <= 2
+SURGICAL isa WARD with 3 <= Floor <= 4
+GENERAL isa WARD with 5 <= Floor <= 6
+
+object type PATIENT
+    has key: Id        domain: CHAR[6]
+    has:     Age       domain: INTEGER
+    has:     Severity  domain: INTEGER
+    has:     Triage    domain: CHAR[8]
+    has:     Ward      domain: WARD
+    with
+        Severity in [0..99]
+        Age in [0..99]
+        if 70 <= Severity <= 99 then Triage = "RED"
+        if 30 <= Severity <= 69 then Triage = "AMBER"
+        if 0 <= Severity <= 29 then Triage = "GREEN"
+
+PATIENT contains CRITICAL, URGENT, ROUTINE
+    with
+        if x isa PATIENT and 70 <= x.Severity <= 99 then x isa CRITICAL
+        if x isa PATIENT and 30 <= x.Severity <= 69 then x isa URGENT
+        if x isa PATIENT and 0 <= x.Severity <= 29 then x isa ROUTINE
+
+CRITICAL isa PATIENT with Triage = "RED"
+URGENT isa PATIENT with Triage = "AMBER"
+ROUTINE isa PATIENT with Triage = "GREEN"
+"""
+
+#: Severity bands, routine first so skew favors the common case.
+_TRIAGE_BANDS = (Band(0, 29, "GREEN"), Band(30, 69, "AMBER"),
+                 Band(70, 99, "RED"))
+
+#: Triage label -> the wards that triage admits to.
+_WARDS_BY_TRIAGE = {"RED": ("W01", "W02"), "AMBER": ("W03", "W04"),
+                    "GREEN": ("W05", "W06")}
+
+_WARD_NAMES = ("Harborview", "Lakeside", "Northgate", "Eastbrook",
+               "Willowmere", "Stonebridge")
+
+
+def build_hospital(seed: int = 0, scale: int = 1,
+                   adversarial: bool = False) -> Database:
+    """PATIENT(Id, Age, Severity, Triage, Ward) referencing WARD."""
+    rng = random.Random(f"hospital:{seed}:{scale}:{int(adversarial)}")
+    ward_rows = []
+    for index in range(6):
+        floor = index + 1
+        ward_rows.append((f"W{index + 1:02d}", _WARD_NAMES[index], floor,
+                          8 + 4 * floor + rng.randrange(4)))
+    edge = 300 if adversarial else 0
+    noise = 40 if adversarial else 0
+    labels = tuple(band.label for band in _TRIAGE_BANDS)
+    patient_rows = []
+    for number in range(120 * scale):
+        severity, label = banded_value(rng, _TRIAGE_BANDS, skew=1,
+                                       edge_permille=edge)
+        triage = noisy_label(rng, label, labels, noise_permille=noise)
+        wards = _WARDS_BY_TRIAGE[triage]
+        if adversarial and rng.randrange(1000) < 30:
+            ward = f"W{rng.randrange(1, 7):02d}"  # cross-band admission
+        else:
+            ward = wards[rng.randrange(len(wards))]
+        age = skewed_int(rng, 0, 100, skew=1)
+        patient_rows.append((identifier("P", number + 1), age, severity,
+                             triage, ward))
+    db = Database("hospital")
+    db.create("WARD",
+              [("Ward", char(4)), ("WardName", char(16)),
+               ("Floor", INTEGER), ("Beds", INTEGER)],
+              rows=ward_rows, key=["Ward"])
+    db.create("PATIENT",
+              [("Id", char(6)), ("Age", INTEGER), ("Severity", INTEGER),
+               ("Triage", char(8)), ("Ward", char(4))],
+              rows=patient_rows, key=["Id"])
+    return db
+
+
+# ---------------------------------------------------------------------------
+# logistics
+
+
+LOGISTICS_SCHEMA_DDL = """
+object type ROUTE
+    has key: Route     domain: CHAR[5]
+    has:     RouteName domain: CHAR[18]
+    has:     Distance  domain: INTEGER
+    has:     Zone      domain: CHAR[8]
+    with
+        Distance in [10..5000]
+
+ROUTE contains LOCAL, REGIONAL, LONGHAUL
+    with
+        if x isa ROUTE and 10 <= x.Distance <= 149 then x isa LOCAL
+        if x isa ROUTE and 150 <= x.Distance <= 999 then x isa REGIONAL
+        if x isa ROUTE and 1000 <= x.Distance <= 5000 then x isa LONGHAUL
+
+LOCAL isa ROUTE with Zone = "LOCAL"
+REGIONAL isa ROUTE with Zone = "REGION"
+LONGHAUL isa ROUTE with Zone = "LONG"
+
+object type SHIPMENT
+    has key: Id       domain: CHAR[7]
+    has:     Weight   domain: INTEGER
+    has:     Priority domain: CHAR[8]
+    has:     Route    domain: ROUTE
+    with
+        Weight in [1..20000]
+        if 1 <= Weight <= 99 then Priority = "PARCEL"
+        if 100 <= Weight <= 1999 then Priority = "PALLET"
+        if 2000 <= Weight <= 20000 then Priority = "BULK"
+"""
+
+_DISTANCE_BANDS = (Band(10, 149, "LOCAL"), Band(150, 999, "REGION"),
+                   Band(1000, 5000, "LONG"))
+
+_WEIGHT_BANDS = (Band(1, 99, "PARCEL"), Band(100, 1999, "PALLET"),
+                 Band(2000, 20000, "BULK"))
+
+#: Zone -> preferred weight-band indexes (correlation: long routes
+#: carry bulk, local routes carry parcels).
+_BAND_WEIGHTS_BY_ZONE = {"LOCAL": (6, 3, 1), "REGION": (2, 6, 2),
+                         "LONG": (1, 3, 6)}
+
+_ROUTE_NAMES = ("Quayline", "Milltrack", "Fenroad", "Archway", "Tollgate",
+                "Causeway", "Beltline", "Skeinway", "Farspur")
+
+
+def build_logistics(seed: int = 0, scale: int = 1,
+                    adversarial: bool = False) -> Database:
+    """SHIPMENT(Id, Weight, Priority, Route) referencing ROUTE."""
+    rng = random.Random(f"logistics:{seed}:{scale}:{int(adversarial)}")
+    route_rows = []
+    zones = []
+    for index in range(9):
+        band = _DISTANCE_BANDS[index // 3]
+        distance = rng.randrange(band.low, band.high + 1)
+        route_rows.append((f"R{index + 1:03d}", _ROUTE_NAMES[index],
+                           distance, band.label))
+        zones.append(band.label)
+    edge = 300 if adversarial else 0
+    noise = 40 if adversarial else 0
+    labels = tuple(band.label for band in _WEIGHT_BANDS)
+    shipment_rows = []
+    #: hot-route skew: route R001 carries an outsized share.
+    route_weights = tuple(12 if i == 0 else 3 if i < 5 else 1
+                          for i in range(9))
+    for number in range(130 * scale):
+        route_index = weighted_choice(rng, tuple(range(9)), route_weights)
+        zone = zones[route_index]
+        band_index = weighted_choice(rng, (0, 1, 2),
+                                     _BAND_WEIGHTS_BY_ZONE[zone])
+        band = _WEIGHT_BANDS[band_index]
+        if edge and rng.randrange(1000) < edge:
+            weight = band.low if rng.randrange(2) == 0 else band.high
+        else:
+            weight = rng.randrange(band.low, band.high + 1)
+        priority = noisy_label(rng, band.label, labels,
+                               noise_permille=noise)
+        shipment_rows.append((identifier("S", number + 1, width=6), weight,
+                              priority, f"R{route_index + 1:03d}"))
+    db = Database("logistics")
+    db.create("ROUTE",
+              [("Route", char(5)), ("RouteName", char(18)),
+               ("Distance", INTEGER), ("Zone", char(8))],
+              rows=route_rows, key=["Route"])
+    db.create("SHIPMENT",
+              [("Id", char(7)), ("Weight", INTEGER),
+               ("Priority", char(8)), ("Route", char(5))],
+              rows=shipment_rows, key=["Id"])
+    return db
+
+
+# ---------------------------------------------------------------------------
+# ontology (deep isa hierarchy)
+
+
+ONTOLOGY_SCHEMA_DDL = """
+object type ASSET
+    has key: Id     domain: CHAR[7]
+    has:     Code   domain: INTEGER
+    has:     Tier   domain: CHAR[8]
+    has:     Worth  domain: INTEGER
+    with
+        Code in [0..7999]
+
+ASSET contains MOBILE, FIXED
+    with
+        if x isa ASSET and 0 <= x.Code <= 3999 then x isa MOBILE
+        if x isa ASSET and 4000 <= x.Code <= 7999 then x isa FIXED
+
+MOBILE isa ASSET with 0 <= Code <= 3999
+FIXED isa ASSET with Tier = "FIXED"
+
+MOBILE contains VEHICLE, VESSEL
+    with
+        if x isa MOBILE and 0 <= x.Code <= 1999 then x isa VEHICLE
+        if x isa MOBILE and 2000 <= x.Code <= 3999 then x isa VESSEL
+
+VEHICLE isa MOBILE with 0 <= Code <= 1999
+VESSEL isa MOBILE with Tier = "VESSEL"
+
+VEHICLE contains CAR, TRUCK
+    with
+        if x isa VEHICLE and 0 <= x.Code <= 999 then x isa CAR
+        if x isa VEHICLE and 1000 <= x.Code <= 1999 then x isa TRUCK
+
+CAR isa VEHICLE with 0 <= Code <= 999
+TRUCK isa VEHICLE with Tier = "TRUCK"
+
+CAR contains SPORT, SEDAN
+    with
+        if x isa CAR and 0 <= x.Code <= 499 then x isa SPORT
+        if x isa CAR and 500 <= x.Code <= 999 then x isa SEDAN
+
+SPORT isa CAR with Tier = "SPORT"
+SEDAN isa CAR with Tier = "SEDAN"
+"""
+
+#: Tier labels track the second hierarchy level plus the leaf split of
+#: CAR, so the induced Code --> Tier rules mirror the isa derivations.
+_TIER_BANDS = (Band(0, 499, "SPORT"), Band(500, 999, "SEDAN"),
+               Band(1000, 1999, "TRUCK"), Band(2000, 3999, "VESSEL"),
+               Band(4000, 7999, "FIXED"))
+
+#: Tier -> base worth (sport cars appraise high, fixed assets higher).
+_WORTH_BASE = {"SPORT": 900, "SEDAN": 400, "TRUCK": 600, "VESSEL": 1500,
+               "FIXED": 2500}
+
+
+def build_ontology(seed: int = 0, scale: int = 1,
+                   adversarial: bool = False) -> Database:
+    """ASSET(Id, Code, Tier, Worth) under the five-level hierarchy."""
+    rng = random.Random(f"ontology:{seed}:{scale}:{int(adversarial)}")
+    edge = 300 if adversarial else 0
+    noise = 40 if adversarial else 0
+    labels = tuple(band.label for band in _TIER_BANDS)
+    rows = []
+    for number in range(150 * scale):
+        code, label = banded_value(rng, _TIER_BANDS, skew=1,
+                                   edge_permille=edge)
+        tier = noisy_label(rng, label, labels, noise_permille=noise)
+        worth = _WORTH_BASE[band_label(_TIER_BANDS, code)] + rng.randrange(
+            0, 400)
+        rows.append((identifier("A", number + 1, width=6), code, tier,
+                     worth))
+    db = Database("ontology")
+    db.create("ASSET",
+              [("Id", char(7)), ("Code", INTEGER), ("Tier", char(8)),
+               ("Worth", INTEGER)],
+              rows=rows, key=["Id"])
+    return db
+
+
+# ---------------------------------------------------------------------------
+# ship (Appendix C, adapted to the same interface)
+
+
+def build_ship(seed: int = 0, scale: int = 1,
+               adversarial: bool = False) -> Database:
+    """The Appendix C instance; *seed*/*adversarial* are accepted for
+    interface uniformity (the paper's data is fixed), *scale* > 1
+    clones submarines via the scaling generator."""
+    from repro.testbed.generators import scaled_ship_database
+    from repro.testbed.ship_db import ship_database
+    if scale > 1:
+        return scaled_ship_database(scale=scale, seed=seed)
+    return ship_database()
+
+
+# ---------------------------------------------------------------------------
+# registry
+
+
+@dataclass(frozen=True)
+class SynthDomain:
+    """One generatable domain: DDL + a deterministic instance builder."""
+
+    name: str
+    ddl: str
+    relation_order: tuple[str, ...]
+    build: Callable[..., Database] = field(compare=False)
+    description: str = ""
+
+    def ker_schema(self) -> KerSchema:
+        return parse_ker(self.ddl, name=self.name)
+
+
+def _ship_ddl() -> str:
+    from repro.testbed.ship_schema import SHIP_SCHEMA_DDL
+    return SHIP_SCHEMA_DDL
+
+
+DOMAINS: dict[str, SynthDomain] = {}
+
+
+def _register(domain: SynthDomain) -> SynthDomain:
+    DOMAINS[domain.name] = domain
+    return domain
+
+
+HOSPITAL = _register(SynthDomain(
+    "hospital", HOSPITAL_SCHEMA_DDL, ("PATIENT", "WARD"), build_hospital,
+    "severity-banded triage with ward FK; skewed ages, boundary mass"))
+
+LOGISTICS = _register(SynthDomain(
+    "logistics", LOGISTICS_SCHEMA_DDL, ("SHIPMENT", "ROUTE"),
+    build_logistics,
+    "weight-banded priorities, distance-banded zones, hot-route skew"))
+
+ONTOLOGY = _register(SynthDomain(
+    "ontology", ONTOLOGY_SCHEMA_DDL, ("ASSET",), build_ontology,
+    "one relation under a five-level isa hierarchy (deep inference)"))
+
+SHIP = _register(SynthDomain(
+    "ship", _ship_ddl(), ("SUBMARINE", "CLASS", "SONAR", "INSTALL"),
+    build_ship, "the Appendix C naval instance (reference domain)"))
+
+
+def get_domain(name: str) -> SynthDomain:
+    try:
+        return DOMAINS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown domain {name!r}; have {sorted(DOMAINS)}") from None
+
+
+# ---------------------------------------------------------------------------
+# instances
+
+
+@dataclass
+class SynthInstance:
+    """A built domain: database + bound schema + induced rule base."""
+
+    domain: SynthDomain
+    seed: int
+    scale: int
+    adversarial: bool
+    database: Database
+    schema: KerSchema
+    binding: SchemaBinding
+    rules: RuleSet
+
+    def reinduce(self, n_c: float = 3) -> RuleSet:
+        """Re-induce the rule base from the *current* data (the
+        maintained-rule-base contract after DML)."""
+        self.rules = InductiveLearningSubsystem(
+            self.binding, InductionConfig(n_c=n_c),
+            relation_order=list(self.domain.relation_order)).induce()
+        return self.rules
+
+
+def build_instance(name: str, seed: int = 0, scale: int = 1,
+                   adversarial: bool = False, induce: bool = True,
+                   n_c: float = 3) -> SynthInstance:
+    """Build a fresh, fully bound instance of domain *name*."""
+    domain = get_domain(name)
+    database = domain.build(seed=seed, scale=scale,
+                            adversarial=adversarial)
+    schema = domain.ker_schema()
+    binding = SchemaBinding(schema, database)
+    rules = RuleSet()
+    if induce:
+        rules = InductiveLearningSubsystem(
+            binding, InductionConfig(n_c=n_c),
+            relation_order=list(domain.relation_order)).induce()
+    return SynthInstance(domain, seed, scale, adversarial, database,
+                         schema, binding, rules)

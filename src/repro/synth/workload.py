@@ -1,0 +1,349 @@
+"""Seed-deterministic mixed query/DML workloads over any bound domain.
+
+Unlike :mod:`repro.testbed.workload` (read-only conjunctive SELECTs
+over one schema), this generator is schema-driven and emits full
+*programs*: point/range/join/aggregate SELECTs, ``ask()``-flavored
+conjunctive queries, and INSERT/DELETE/UPDATE statements whose values
+are drawn from the observed data -- the statement stream the
+differential harness replays through every engine configuration.
+
+Determinism contract: ``generate_program(instance, n, seed)`` is a pure
+function of the *initial* database content and its integer arguments.
+It never consults sets (string hash order is process-random), only
+sorted lists and insertion-ordered rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from typing import NamedTuple
+
+from repro.induction.candidates import foreign_key_map
+from repro.relational.relation import Relation
+from repro.synth.domains import SynthInstance
+
+
+class Statement(NamedTuple):
+    """One program entry."""
+
+    kind: str   #: "select" | "ask" | "dml"
+    sql: str
+
+
+def _sql_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+class _RelationPool:
+    """Deterministic per-relation sampling state."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self.name = relation.name
+        self.key_columns = list(relation.schema.key or
+                                (relation.schema.columns[0].name,))
+        self.columns = [column.name for column in relation.schema.columns]
+        #: column -> sorted distinct observed values (non-NULL).
+        self.values: dict[str, list] = {}
+        for column in self.columns:
+            observed = [value for value
+                        in relation.column_values(column)
+                        if value is not None]
+            try:
+                distinct = sorted(set(observed))
+            except TypeError:  # mixed types: keep insertion order, dedup
+                seen: list = []
+                for value in observed:
+                    if value not in seen:
+                        seen.append(value)
+                distinct = seen
+            self.values[column] = distinct
+
+    def conditionable(self) -> list[str]:
+        return [column for column in self.columns
+                if len(self.values[column]) >= 2]
+
+    def sample(self, rng: random.Random, column: str):
+        pool = self.values[column]
+        return pool[rng.randrange(len(pool))]
+
+
+class ProgramGenerator:
+    """Generates one deterministic statement program."""
+
+    def __init__(self, instance: SynthInstance, seed: int = 0,
+                 adversarial: bool | None = None):
+        self.instance = instance
+        self.rng = random.Random(
+            f"program:{instance.domain.name}:{seed}")
+        self.adversarial = (instance.adversarial if adversarial is None
+                            else adversarial)
+        database = instance.database
+        names = sorted(database.catalog.names())
+        self.pools = [_RelationPool(database.relation(name))
+                      for name in names
+                      if not name.lower().startswith(("rule_", "_"))]
+        self.pools = [pool for pool in self.pools if len(pool.relation)]
+        #: (source ref, target ref) foreign-key joins, sorted for
+        #: determinism.
+        fk = foreign_key_map(instance.binding)
+        self.joins = sorted(
+            ((source.relation, source.attribute,
+              target.relation, target.attribute)
+             for source, target in fk.items()),
+            key=lambda item: (item[0].lower(), item[1].lower()))
+        self._insert_serial = 0
+
+    # -- condition building -------------------------------------------------
+
+    def _condition(self, pool: _RelationPool, column: str) -> str:
+        rng = self.rng
+        ref = f"{pool.name}.{column}"
+        kind = rng.randrange(5)
+        if kind == 0:
+            return f"{ref} = {_sql_literal(pool.sample(rng, column))}"
+        if kind == 1:
+            return f"{ref} >= {_sql_literal(pool.sample(rng, column))}"
+        if kind == 2:
+            return f"{ref} <= {_sql_literal(pool.sample(rng, column))}"
+        if kind == 3:
+            low = pool.sample(rng, column)
+            high = pool.sample(rng, column)
+            if isinstance(low, type(high)) and high < low:
+                low, high = high, low
+            return (f"{ref} >= {_sql_literal(low)} AND "
+                    f"{ref} <= {_sql_literal(high)}")
+        # out-of-domain probe: != an observed value, or a missing point
+        if rng.randrange(2) == 0:
+            return f"{ref} != {_sql_literal(pool.sample(rng, column))}"
+        missing = "zzz-none" if isinstance(
+            pool.values[column][0], str) else -987654
+        return f"{ref} = {_sql_literal(missing)}"
+
+    def _where(self, pools: list[_RelationPool],
+               join_conjuncts: list[str], max_extra: int = 3) -> str:
+        conjuncts = list(join_conjuncts)
+        for _ in range(self.rng.randrange(max_extra + 1)):
+            pool = pools[self.rng.randrange(len(pools))]
+            candidates = pool.conditionable()
+            if not candidates:
+                continue
+            column = candidates[self.rng.randrange(len(candidates))]
+            conjuncts.append(self._condition(pool, column))
+        return " AND ".join(conjuncts)
+
+    # -- statements -------------------------------------------------------
+
+    def _pool_for(self, name: str) -> _RelationPool:
+        for pool in self.pools:
+            if pool.name.lower() == name.lower():
+                return pool
+        raise KeyError(name)
+
+    def select_statement(self) -> Statement:
+        rng = self.rng
+        use_join = self.joins and rng.randrange(100) < 40
+        if use_join:
+            src_rel, src_col, dst_rel, dst_col = self.joins[
+                rng.randrange(len(self.joins))]
+            pools = [self._pool_for(src_rel), self._pool_for(dst_rel)]
+            join_conjuncts = [
+                f"{src_rel}.{src_col} = {dst_rel}.{dst_col}"]
+        else:
+            pools = [self.pools[rng.randrange(len(self.pools))]]
+            join_conjuncts = []
+
+        shape = rng.randrange(10)
+        tables = ", ".join(pool.name for pool in pools)
+        where = self._where(pools, join_conjuncts)
+        where_clause = f" WHERE {where}" if where else ""
+
+        if shape < 2:  # aggregate
+            pool = pools[0]
+            numeric = [column for column in pool.conditionable()
+                       if pool.values[column]
+                       and isinstance(pool.values[column][0], int)]
+            if shape == 0 or not numeric:
+                agg = ("COUNT(*)" if rng.randrange(2) == 0 else
+                       f"COUNT({pool.name}.{pool.key_columns[0]})")
+            else:
+                column = numeric[rng.randrange(len(numeric))]
+                fn = ("MIN", "MAX", "SUM")[rng.randrange(3)]
+                agg = f"{fn}({pool.name}.{column})"
+            group = ""
+            label_columns = [column for column in pool.conditionable()
+                            if isinstance(pool.values[column][0], str)
+                            and len(pool.values[column]) <= 12]
+            items = agg
+            if label_columns and rng.randrange(2) == 0:
+                column = label_columns[rng.randrange(len(label_columns))]
+                items = f"{pool.name}.{column}, {agg}"
+                group = f" GROUP BY {pool.name}.{column}"
+            return Statement(
+                "select",
+                f"SELECT {items} FROM {tables}{where_clause}{group}")
+
+        projections = ["*"]
+        for pool in pools:
+            projections.extend(f"{pool.name}.{column}"
+                               for column in pool.columns)
+        items = projections[rng.randrange(len(projections))]
+        distinct = items != "*" and rng.randrange(3) == 0
+        order = (f" ORDER BY {items}"
+                 if items != "*" and rng.randrange(3) == 0 else "")
+        head = "SELECT " + ("DISTINCT " if distinct else "") + items
+        return Statement(
+            "select", f"{head} FROM {tables}{where_clause}{order}")
+
+    def ask_statement(self) -> Statement:
+        """A conjunctive SELECT shaped for intensional answering:
+        key projection, interval conditions on one relation."""
+        rng = self.rng
+        pool = self.pools[rng.randrange(len(self.pools))]
+        candidates = pool.conditionable()
+        if not candidates:
+            return self.select_statement()
+        column = candidates[rng.randrange(len(candidates))]
+        low = pool.sample(rng, column)
+        high = pool.sample(rng, column)
+        if isinstance(low, type(high)) and high < low:
+            low, high = high, low
+        key = ", ".join(f"{pool.name}.{name}"
+                        for name in pool.key_columns)
+        return Statement(
+            "ask",
+            f"SELECT {key} FROM {pool.name} "
+            f"WHERE {pool.name}.{column} >= {_sql_literal(low)} "
+            f"AND {pool.name}.{column} <= {_sql_literal(high)}")
+
+    def dml_statement(self) -> Statement:
+        rng = self.rng
+        pool = self.pools[rng.randrange(len(self.pools))]
+        op = rng.randrange(3)
+        if op == 0:  # INSERT: clone an observed row under a fresh key
+            self._insert_serial += 1
+            row = list(pool.relation)[
+                rng.randrange(len(pool.relation))]
+            values = list(row)
+            key_positions = {pool.relation.schema.position(name)
+                             for name in pool.key_columns}
+            for position in sorted(key_positions):
+                if isinstance(values[position], str):
+                    values[position] = f"Z{self._insert_serial % 1000:03d}"
+                else:
+                    values[position] = 900000 + self._insert_serial
+            # adversarial inserts may break the induced band correlation
+            if self.adversarial and rng.randrange(2) == 0:
+                for index, value in enumerate(values):
+                    if index not in key_positions and isinstance(
+                            value, int):
+                        values[index] = value + 1 + rng.randrange(5000)
+                        break
+            columns = ", ".join(pool.columns)
+            rendered = ", ".join(_sql_literal(value) for value in values)
+            return Statement(
+                "dml",
+                f"INSERT INTO {pool.name} ({columns}) "
+                f"VALUES ({rendered})")
+        if op == 1:  # DELETE: by key point, or a thin range
+            column = pool.key_columns[0]
+            value = pool.sample(rng, column)
+            return Statement(
+                "dml",
+                f"DELETE FROM {pool.name} "
+                f"WHERE {pool.name}.{column} = {_sql_literal(value)}")
+        # UPDATE one non-key column behind a key-point predicate
+        non_key = [column for column in pool.columns
+                   if column not in pool.key_columns
+                   and pool.values[column]]
+        if not non_key:
+            return self.dml_statement()
+        column = non_key[rng.randrange(len(non_key))]
+        new_value = pool.sample(rng, column)
+        key_column = pool.key_columns[0]
+        key_value = pool.sample(rng, key_column)
+        return Statement(
+            "dml",
+            f"UPDATE {pool.name} SET {column} = {_sql_literal(new_value)} "
+            f"WHERE {pool.name}.{key_column} = {_sql_literal(key_value)}")
+
+    def statement(self, mix: tuple[int, int, int]) -> Statement:
+        """Draw one statement; *mix* is integer weights for
+        (select, ask, dml)."""
+        kinds = ("select", "ask", "dml")
+        total = sum(mix)
+        pick = self.rng.randrange(total)
+        for kind, weight in zip(kinds, mix):
+            pick -= weight
+            if pick < 0:
+                break
+        if kind == "select":
+            return self.select_statement()
+        if kind == "ask":
+            return self.ask_statement()
+        return self.dml_statement()
+
+
+#: Default statement mix: mostly reads, a steady trickle of DML.
+DEFAULT_MIX = (6, 2, 2)
+
+
+def generate_program(instance: SynthInstance, n_statements: int = 40,
+                     seed: int = 0,
+                     mix: tuple[int, int, int] = DEFAULT_MIX,
+                     ) -> list[Statement]:
+    """Generate a deterministic *n_statements*-long program."""
+    generator = ProgramGenerator(instance, seed=seed)
+    return [generator.statement(mix) for _ in range(n_statements)]
+
+
+# ---------------------------------------------------------------------------
+# fingerprints (the determinism suite's currency)
+
+
+def _canonical(payload) -> bytes:
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _digest(payload) -> str:
+    return hashlib.sha256(_canonical(payload)).hexdigest()
+
+
+def schema_fingerprint(instance: SynthInstance) -> str:
+    """Hash of the domain DDL + declared relation schemas."""
+    relations = {}
+    for name in sorted(instance.database.catalog.names()):
+        relation = instance.database.relation(name)
+        relations[relation.name] = {
+            "columns": [[column.name, column.datatype.render()]
+                        for column in relation.schema.columns],
+            "key": list(relation.schema.key or ()),
+        }
+    return _digest({"ddl": instance.domain.ddl, "relations": relations})
+
+
+def rows_fingerprint(instance: SynthInstance) -> str:
+    """Hash of every relation's full row content, in row order."""
+    relations = {}
+    for name in sorted(instance.database.catalog.names()):
+        relation = instance.database.relation(name)
+        relations[relation.name] = [list(row) for row in relation]
+    return _digest(relations)
+
+
+def workload_fingerprint(statements: list[Statement]) -> str:
+    """Hash of the rendered statement stream."""
+    return _digest([[statement.kind, statement.sql]
+                    for statement in statements])
+
+
+def rules_fingerprint(instance: SynthInstance) -> str:
+    """Hash of the induced rule base's rendering."""
+    return _digest(instance.rules.render())

@@ -1,7 +1,9 @@
 """Property-based cache correctness: under any interleaving of queries
 and DML, a SELECT answered through the plan+result cache must return
 the same bag of rows as the uncached legacy executor would compute on
-the database's *current* state -- at every step, at every batch size.
+the database's *current* state -- at every step, at every batch size,
+over every domain in the equivalence matrix (ship plus synthetic; see
+``tests/domain_fixtures.py``).
 
 If invalidation ever misses a dependency (or invents one), some
 interleaving here serves a stale relation and the bag comparison fails.
@@ -12,82 +14,64 @@ from hypothesis import given, settings, strategies as st
 from repro.cache import query_cache
 from repro.sql.executor import execute_select_legacy, execute_statement
 from repro.sql.parser import parse_select
-from repro.testbed import ship_database
+from tests.domain_fixtures import EQUIVALENCE_FIXTURES
 
-#: SELECTs spanning single tables, joins, filters and projections, so
-#: the dependency sets overlap but differ across pool entries.
-QUERIES = [
-    "SELECT * FROM SUBMARINE",
-    "SELECT * FROM SONAR",
-    "SELECT Class, Displacement FROM CLASS WHERE Displacement > 6000",
-    "SELECT * FROM SUBMARINE WHERE SUBMARINE.Class = '0101'",
-    ("SELECT SUBMARINE.Name, CLASS.Type FROM SUBMARINE, CLASS "
-     "WHERE SUBMARINE.Class = CLASS.Class AND CLASS.Displacement > 2000"),
-    ("SELECT SUBMARINE.Name, SONAR.SonarType "
-     "FROM SUBMARINE, INSTALL, SONAR "
-     "WHERE SUBMARINE.Id = INSTALL.Ship "
-     "AND INSTALL.Sonar = SONAR.Sonar"),
-]
+FIXTURES = EQUIVALENCE_FIXTURES
 
-#: DML templates; ``{i}`` is the op index, so repeated inserts create
-#: distinct rows and repeated deletes eventually become no-ops -- both
-#: legal, both must invalidate (or not) identically.
-MUTATIONS = [
-    "INSERT INTO SUBMARINE (Id, Name, Class) "
-    "VALUES ('SSN9{i}', 'Phantom {i}', '0101')",
-    "INSERT INTO SONAR (Sonar, SonarType) VALUES ('XX-{i}', 'XX')",
-    "INSERT INTO CLASS (Class, ClassName, Type, Displacement) "
-    "VALUES ('09{i}', 'Ghost {i}', 'SSN', 7000)",
-    "INSERT INTO INSTALL (Ship, Sonar) VALUES ('SSN594', 'BQS-04')",
-    "DELETE FROM INSTALL WHERE INSTALL.Ship = 'SSN637'",
-    "DELETE FROM SUBMARINE WHERE SUBMARINE.Class = '0103'",
-    "UPDATE CLASS SET Displacement = 9000 WHERE CLASS.Class = '0102'",
-]
 
-OPS = st.one_of(
-    st.tuples(st.just("query"),
-              st.integers(min_value=0, max_value=len(QUERIES) - 1),
-              st.sampled_from([1, None])),
-    st.tuples(st.just("mutate"),
-              st.integers(min_value=0, max_value=len(MUTATIONS) - 1),
-              st.none()),
-)
+@st.composite
+def interleavings(draw, max_size=12):
+    """Draw ``(fixture, ops)``: a domain plus a query/DML interleaving
+    whose indices are bounded by that domain's pools."""
+    fixture = draw(st.sampled_from(FIXTURES))
+    op = st.one_of(
+        st.tuples(st.just("query"),
+                  st.integers(0, len(fixture.queries) - 1),
+                  st.sampled_from([1, None])),
+        st.tuples(st.just("mutate"),
+                  st.integers(0, len(fixture.mutations) - 1),
+                  st.none()),
+    )
+    ops = draw(st.lists(op, min_size=1, max_size=max_size))
+    return fixture, ops
 
 
 @settings(max_examples=40, deadline=None)
-@given(st.lists(OPS, min_size=1, max_size=12))
-def test_cached_answers_track_every_interleaving(ops):
-    database = ship_database()
+@given(interleavings())
+def test_cached_answers_track_every_interleaving(case):
+    fixture, ops = case
+    database = fixture.fresh_database()
     cache = query_cache(database)
     cache.enabled = True  # even on the REPRO_CACHE=off CI leg
     cache.floor_s = 0.0  # admit everything: maximum staleness exposure
     for index, (kind, choice, batch_size) in enumerate(ops):
         if kind == "mutate":
             execute_statement(database,
-                              MUTATIONS[choice].format(i=index))
+                              fixture.mutations[choice].format(i=index))
             continue
-        statement = parse_select(QUERIES[choice])
+        statement = parse_select(fixture.queries[choice])
         cached = cache.execute_select(statement, batch_size=batch_size)
         fresh = execute_select_legacy(database, statement)
         assert cached == fresh, (
-            f"op {index}: cached answer diverged for {QUERIES[choice]!r} "
-            f"at batch_size={batch_size}")
+            f"op {index} [{fixture.name}]: cached answer diverged for "
+            f"{fixture.queries[choice]!r} at batch_size={batch_size}")
 
 
 @settings(max_examples=15, deadline=None)
-@given(st.lists(OPS, min_size=1, max_size=10))
-def test_disabled_cache_is_a_pure_passthrough(ops):
+@given(interleavings(max_size=10))
+def test_disabled_cache_is_a_pure_passthrough(case):
     """The same interleavings with the cache off: results still match,
     and nothing is ever retained."""
-    database = ship_database()
+    fixture, ops = case
+    database = fixture.fresh_database()
     cache = query_cache(database)
     cache.enabled = False
     for index, (kind, choice, batch_size) in enumerate(ops):
         if kind == "mutate":
             execute_statement(database,
-                              MUTATIONS[choice].format(i=index))
+                              fixture.mutations[choice].format(i=index))
             continue
-        statement = parse_select(QUERIES[choice])
+        statement = parse_select(fixture.queries[choice])
         cached = cache.execute_select(statement, batch_size=batch_size)
         assert cached == execute_select_legacy(database, statement)
     assert cache.entry_counts() == {"plan": 0, "result": 0, "ask": 0}

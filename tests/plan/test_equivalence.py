@@ -1,89 +1,48 @@
 """Property-based equivalence: the cost-based planner must return the
 same bag of rows as the legacy executor for every supported SELECT.
 
-Queries are generated over the ship test bed: random FROM scenarios
-(with their natural join conditions), random filter conjuncts drawn
-from per-column literal pools (in-domain, boundary, and out-of-domain
+Queries are generated over a *matrix of domains* -- the paper's ship
+test bed plus synthetic domains from :mod:`repro.synth` (see
+``tests/domain_fixtures.py``): random FROM scenarios (with their
+natural join conditions), random filter conjuncts drawn from
+per-column literal pools (in-domain, boundary, and out-of-domain
 values), random projections, DISTINCT, and ORDER BY.  Relation
 equality is bag equality, so plan-dependent row order is ignored.
 """
 
 from hypothesis import given, settings, strategies as st
 
-from repro.induction import InductionConfig, InductiveLearningSubsystem
-from repro.ker import SchemaBinding
 from repro.plan.planner import plan_select
 from repro.plan.plans import UNBOUNDED
 from repro.relational import compiled
 from repro.sql.executor import execute_select, execute_select_legacy
 from repro.sql.parser import parse_select
-from repro.testbed import ship_database, ship_ker_schema
+from tests.domain_fixtures import EQUIVALENCE_FIXTURES
 
-# One read-only database and rule base for every generated query
+# Read-only databases and rule bases shared by every generated query
 # (hypothesis runs many examples; function-scoped fixtures don't mix
 # with @given).
-DB = ship_database()
-RULES = InductiveLearningSubsystem(
-    SchemaBinding(ship_ker_schema(), DB), InductionConfig(n_c=3),
-    relation_order=["SUBMARINE", "CLASS", "SONAR", "INSTALL"]).induce()
-
-#: FROM scenarios: tables plus the join conditions that connect them.
-SCENARIOS = [
-    (["SUBMARINE"], []),
-    (["CLASS"], []),
-    (["SONAR"], []),
-    (["SUBMARINE", "CLASS"], ["SUBMARINE.Class = CLASS.Class"]),
-    (["SUBMARINE", "INSTALL"], ["SUBMARINE.Id = INSTALL.Ship"]),
-    (["INSTALL", "SONAR"], ["INSTALL.Sonar = SONAR.Sonar"]),
-    (["SUBMARINE", "INSTALL", "SONAR"],
-     ["SUBMARINE.Id = INSTALL.Ship", "INSTALL.Sonar = SONAR.Sonar"]),
-    (["SUBMARINE", "CLASS", "INSTALL"],
-     ["SUBMARINE.Class = CLASS.Class", "SUBMARINE.Id = INSTALL.Ship"]),
-    (["SUBMARINE", "TYPE"], []),  # cartesian product
-]
-
-#: Filterable columns with literal pools mixing matching, boundary and
-#: missing values.  Strings are SQL-quoted here.
-COLUMNS = {
-    "SUBMARINE": [
-        ("Id", ["'SSBN623'", "'SSN648'", "'SSN700'", "'XXX'"]),
-        ("Class", ["'0101'", "'0103'", "'0204'", "'9999'"]),
-    ],
-    "CLASS": [
-        ("Class", ["'0101'", "'0103'", "'0215'", "'9999'"]),
-        ("Type", ["'SSN'", "'SSBN'", "'ZZZ'"]),
-        ("Displacement", ["0", "2145", "6955", "8000", "30000", "99999"]),
-    ],
-    "SONAR": [
-        ("Sonar", ["'BQQ-2'", "'BQS-04'", "'NONE'"]),
-        ("SonarType", ["'BQQ'", "'BQS'", "'ZZZ'"]),
-    ],
-    "INSTALL": [
-        ("Ship", ["'SSBN623'", "'SSN648'", "'XXX'"]),
-        ("Sonar", ["'BQQ-2'", "'BQS-04'", "'NONE'"]),
-    ],
-    "TYPE": [
-        ("Type", ["'SSN'", "'SSBN'", "'ZZZ'"]),
-    ],
-}
+FIXTURES = EQUIVALENCE_FIXTURES
 
 OPS = ["=", "<", "<=", ">", ">=", "!="]
 
 
 @st.composite
 def select_statements(draw):
-    tables, joins = draw(st.sampled_from(SCENARIOS))
+    """Draw ``(fixture, sql)``: the domain and a query over it."""
+    fixture = draw(st.sampled_from(FIXTURES))
+    tables, joins = draw(st.sampled_from(fixture.scenarios))
     conjuncts = list(joins)
     for _ in range(draw(st.integers(0, 3))):
         table = draw(st.sampled_from(tables))
-        column, pool = draw(st.sampled_from(COLUMNS[table]))
+        column, pool = draw(st.sampled_from(fixture.columns[table]))
         op = draw(st.sampled_from(OPS))
         literal = draw(st.sampled_from(pool))
         conjuncts.append(f"{table}.{column} {op} {literal}")
 
     projections = ["*"]
     for table in tables:
-        for column, _pool in COLUMNS[table]:
+        for column, _pool in fixture.columns[table]:
             projections.append(f"{table}.{column}")
     items = draw(st.sampled_from(projections))
     distinct = draw(st.booleans()) and items != "*"
@@ -94,46 +53,52 @@ def select_statements(draw):
         sql += " WHERE " + " AND ".join(conjuncts)
     if draw(st.booleans()) and items != "*":
         sql += f" ORDER BY {items}"
-    return sql
+    return fixture, sql
 
 
 @settings(max_examples=80, deadline=None)
 @given(select_statements())
-def test_planner_matches_legacy(sql):
+def test_planner_matches_legacy(case):
+    fixture, sql = case
     statement = parse_select(sql)
-    planned = execute_select(DB, statement, use_planner=True, rules=RULES)
-    legacy = execute_select_legacy(DB, statement)
-    assert planned == legacy, sql
+    planned = execute_select(fixture.database, statement,
+                             use_planner=True, rules=fixture.rules)
+    legacy = execute_select_legacy(fixture.database, statement)
+    assert planned == legacy, f"[{fixture.name}] {sql}"
 
 
 @settings(max_examples=40, deadline=None)
 @given(select_statements())
-def test_planner_without_rules_matches_legacy(sql):
+def test_planner_without_rules_matches_legacy(case):
+    fixture, sql = case
     statement = parse_select(sql)
-    planned = execute_select(DB, statement, use_planner=True)
-    legacy = execute_select_legacy(DB, statement)
-    assert planned == legacy, sql
+    planned = execute_select(fixture.database, statement,
+                             use_planner=True)
+    legacy = execute_select_legacy(fixture.database, statement)
+    assert planned == legacy, f"[{fixture.name}] {sql}"
 
 
 @settings(max_examples=40, deadline=None)
 @given(select_statements())
-def test_explain_analyze_actuals_match_legacy(sql):
+def test_explain_analyze_actuals_match_legacy(case):
     """EXPLAIN ANALYZE instrumentation must not distort execution: the
     root node's measured actual row count equals the legacy executor's
     cardinality, and the rendered tree reports exactly that number."""
     import re
 
     from repro.plan.explain import explain_select
-    from repro.plan.planner import plan_select
 
+    fixture, sql = case
     statement = parse_select(sql)
-    legacy = execute_select_legacy(DB, statement)
+    legacy = execute_select_legacy(fixture.database, statement)
 
-    planned = plan_select(DB, statement, rules=RULES)
+    planned = plan_select(fixture.database, statement,
+                          rules=fixture.rules)
     result = planned.execute()
     assert planned.root.actual_rows == len(result) == len(legacy), sql
 
-    rendered = explain_select(DB, statement, rules=RULES, analyze=True)
+    rendered = explain_select(fixture.database, statement,
+                              rules=fixture.rules, analyze=True)
     root_line = next(line for line in rendered.splitlines()
                      if not line.startswith(("semantic:", "cache:")))
     match = re.search(r"actual (\d+), time ", root_line)
@@ -143,33 +108,41 @@ def test_explain_analyze_actuals_match_legacy(sql):
 
 @settings(max_examples=40, deadline=None)
 @given(select_statements(), st.sampled_from([1, 7, None]))
-def test_streaming_matches_materializing(sql, batch_size):
+def test_streaming_matches_materializing(case, batch_size):
     """The morsel size is an implementation knob, never a semantic one:
     any streamed batch size produces *exactly* the rows (same order)
     that one unbounded batch -- the old materializing pipeline shape --
     produces, and the bag the legacy executor produces."""
+    fixture, sql = case
     statement = parse_select(sql)
-    streamed = plan_select(DB, statement, rules=RULES).execute(
+    streamed = plan_select(fixture.database, statement,
+                           rules=fixture.rules).execute(
         batch_size=batch_size)
-    reference = plan_select(DB, statement, rules=RULES).execute(
+    reference = plan_select(fixture.database, statement,
+                            rules=fixture.rules).execute(
         batch_size=UNBOUNDED)
     assert list(streamed.rows) == list(reference.rows), sql
-    assert streamed == execute_select_legacy(DB, statement), sql
+    assert streamed == execute_select_legacy(fixture.database,
+                                             statement), sql
 
 
 @settings(max_examples=25, deadline=None)
 @given(select_statements())
-def test_compiled_predicates_match_interpreted(sql):
+def test_compiled_predicates_match_interpreted(case):
     """Flipping ``compiled.ENABLED`` off restores the interpreted
     pre-refactor pipeline; results must be tuple-for-tuple identical."""
+    fixture, sql = case
     statement = parse_select(sql)
-    with_compiler = plan_select(DB, statement, rules=RULES).execute()
-    legacy_compiled = execute_select_legacy(DB, statement)
+    with_compiler = plan_select(fixture.database, statement,
+                                rules=fixture.rules).execute()
+    legacy_compiled = execute_select_legacy(fixture.database, statement)
     assert compiled.ENABLED
     try:
         compiled.ENABLED = False
-        interpreted = plan_select(DB, statement, rules=RULES).execute()
-        legacy_interpreted = execute_select_legacy(DB, statement)
+        interpreted = plan_select(fixture.database, statement,
+                                  rules=fixture.rules).execute()
+        legacy_interpreted = execute_select_legacy(fixture.database,
+                                                   statement)
     finally:
         compiled.ENABLED = True
     assert list(with_compiler.rows) == list(interpreted.rows), sql
@@ -177,17 +150,21 @@ def test_compiled_predicates_match_interpreted(sql):
 
 
 @settings(max_examples=25, deadline=None)
-@given(select_statements(), st.sampled_from(["COUNT(*)", "COUNT(Type)"]))
-def test_aggregates_match_legacy(sql, aggregate):
+@given(select_statements(), st.booleans())
+def test_aggregates_match_legacy(case, count_column):
     # Rewrite the generated projection into a single aggregate; COUNT
     # over the join output must agree between the two paths.
+    fixture, sql = case
+    aggregate = (f"COUNT({fixture.agg_column})" if count_column
+                 else "COUNT(*)")
     body = sql.split(" FROM ", 1)[1].split(" ORDER BY ")[0]
     tables_part = body.split(" WHERE ")[0]
-    if "Type" in aggregate and ("CLASS" not in tables_part
-                                and "TYPE" not in tables_part):
-        aggregate = "COUNT(*)"  # no table in scope has a Type column
+    if count_column and not any(table in tables_part
+                                for table in fixture.agg_tables):
+        aggregate = "COUNT(*)"  # no table in scope has that column
     rewritten = f"SELECT {aggregate} FROM {body}"
     statement = parse_select(rewritten)
-    planned = execute_select(DB, statement, use_planner=True, rules=RULES)
-    legacy = execute_select_legacy(DB, statement)
-    assert planned == legacy, rewritten
+    planned = execute_select(fixture.database, statement,
+                             use_planner=True, rules=fixture.rules)
+    legacy = execute_select_legacy(fixture.database, statement)
+    assert planned == legacy, f"[{fixture.name}] {rewritten}"

@@ -1,0 +1,135 @@
+"""Determinism of the synthetic workload generator.
+
+The differential harness's whole methodology rests on one property:
+``(domain, seed)`` is a complete description of an instance.  Same seed
+must mean *byte-identical* schema, rows, induced rules and workload --
+across processes, platforms and Python versions (the generator only
+uses integer arithmetic and string-seeded ``random.Random``).  The
+golden pins below make a silent generator change loud: if one fails,
+either restore compatibility or consciously re-pin and note that every
+old corpus seed is invalidated.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sql.parser import parse_statement
+from repro.synth import (
+    DOMAINS, build_instance, generate_program, rows_fingerprint,
+    rules_fingerprint, schema_fingerprint, workload_fingerprint,
+)
+
+DOMAIN_NAMES = sorted(DOMAINS)
+
+#: (schema, rows, workload[30 stmts, seed 0], rules) at seed 0.
+GOLDEN = {
+    "hospital": ("41b8464409cef31769a9e2528261583f374c45c637e0dd180975abdfc657eb37",
+        "d59c23250db1cc270f4a67997a78cedff6c56932b398d19a6f798e9f33bf0d2d",
+        "ec5e9b185716fcd4d6f5e4fcfdc041f2d6593a7e05d68434fb5d6239e54ac0e7",
+        "59fd8ef98f0de191a077be876ad72247d70de9dfa934163ab5713c6ecb91b460"),
+    "logistics": ("cb520954fe0c931823f778b15949fecd4d0346b9a5c00ad358be23ebe9a0af8a",
+        "edb188a9abd2228189c80b1a8a2e0e88cbd8bbffce35b9c42817d78a611bf745",
+        "951eb17cbfd4e4385cc852d15aac776f4aff708bfd644f7c91467c3032502f83",
+        "b50322678b9e697d008320d4ed259f5bdb33f2e3475745e8080f78888c65ecf9"),
+    "ontology": ("f392f69e651ad64b8e2a45e277a1526db9cd523d156b623534352dda50c44908",
+        "a143a2d9463c414f487fbd0d6b57aa524ad2bd5c3c7843c7072893068b486ebd",
+        "4562dd6d904e8a2300391f4d7d357ab0bed2407861e0e4b56681c04f6519d4d4",
+        "4e539c8505263582c08aeff5c6cfbb59e9bd8241ec781ce57c7d1fd423df515d"),
+    "ship": ("f68cf14203a95ac33139478b8fe4ad6c57145acd64d055a75243a07547bd1beb",
+        "4fdb239bcbfa563c61424446e6594fe9dcbd26a94b2675c7021c0b084d0a432e",
+        "b38f04564a239cd93e4e41cbd8cb384df01fd884d75c99aff8781862bf8f5cc0",
+        "4bdf10631b1d1d662db250f5fe9cdc808e21d24448abdff320648a5edc45851d"),
+}
+
+
+class TestGoldenPins:
+    @pytest.mark.parametrize("domain", DOMAIN_NAMES)
+    def test_seed_zero_fingerprints_pinned(self, domain):
+        instance = build_instance(domain, seed=0)
+        program = generate_program(instance, 30, seed=0)
+        actual = (schema_fingerprint(instance),
+                  rows_fingerprint(instance),
+                  workload_fingerprint(program),
+                  rules_fingerprint(instance))
+        assert actual == GOLDEN[domain], (
+            f"{domain}: generator output changed; a deliberate change "
+            f"must re-pin and invalidates existing corpus seeds")
+
+
+class TestSeedDeterminism:
+    @settings(max_examples=15, deadline=None)
+    @given(st.sampled_from(DOMAIN_NAMES), st.integers(0, 10_000),
+           st.integers(0, 10_000))
+    def test_same_seed_byte_identical(self, domain, seed, wseed):
+        first = build_instance(domain, seed=seed)
+        second = build_instance(domain, seed=seed)
+        assert rows_fingerprint(first) == rows_fingerprint(second)
+        assert rules_fingerprint(first) == rules_fingerprint(second)
+        program_a = generate_program(first, 20, seed=wseed)
+        program_b = generate_program(second, 20, seed=wseed)
+        assert program_a == program_b
+
+    @pytest.mark.parametrize("domain", ["hospital", "logistics",
+                                        "ontology"])
+    def test_different_seeds_differ(self, domain):
+        fingerprints = {rows_fingerprint(build_instance(domain, seed=seed))
+                        for seed in range(4)}
+        assert len(fingerprints) == 4
+
+    @pytest.mark.parametrize("domain", ["hospital", "logistics"])
+    def test_adversarial_flag_changes_data_not_schema(self, domain):
+        plain = build_instance(domain, seed=1)
+        adversarial = build_instance(domain, seed=1, adversarial=True)
+        assert (schema_fingerprint(plain)
+                == schema_fingerprint(adversarial))
+        assert (rows_fingerprint(plain)
+                != rows_fingerprint(adversarial))
+
+    def test_scale_grows_rows(self):
+        small = build_instance("hospital", seed=0)
+        large = build_instance("hospital", seed=0, scale=3)
+        assert (len(large.database.relation("PATIENT"))
+                == 3 * len(small.database.relation("PATIENT")))
+
+
+class TestWorkloadValidity:
+    @settings(max_examples=12, deadline=None)
+    @given(st.sampled_from(DOMAIN_NAMES), st.integers(0, 500))
+    def test_every_statement_parses(self, domain, seed):
+        instance = build_instance(domain, seed=seed % 5, induce=False)
+        for statement in generate_program(instance, 25, seed=seed):
+            parse_statement(statement.sql)
+
+    def test_mix_covers_all_kinds(self):
+        instance = build_instance("hospital", seed=0, induce=False)
+        kinds = {statement.kind
+                 for statement in generate_program(instance, 60, seed=0)}
+        assert kinds == {"select", "ask", "dml"}
+
+
+class TestDomainShape:
+    def test_every_domain_induces_rules(self):
+        for domain in DOMAIN_NAMES:
+            instance = build_instance(domain, seed=0)
+            assert len(instance.rules) > 0, domain
+
+    def test_ontology_hierarchy_depth(self):
+        instance = build_instance("ontology", seed=0)
+        assert instance.schema.ancestor_names("SPORT") == [
+            "CAR", "VEHICLE", "MOBILE", "ASSET"]
+
+    def test_reinduce_tracks_data(self):
+        from repro.sql.executor import execute_statement
+        instance = build_instance("hospital", seed=0)
+        before = instance.rules
+        assert before.fresh_for(instance.database.relation("PATIENT"))
+        execute_statement(
+            instance.database,
+            "INSERT INTO PATIENT (Id, Age, Severity, Triage, Ward) "
+            "VALUES ('Z001', 30, 5, 'RED', 'W01')")
+        assert not before.fresh_for(
+            instance.database.relation("PATIENT"))
+        after = instance.reinduce()
+        assert after.fresh_for(instance.database.relation("PATIENT"))
