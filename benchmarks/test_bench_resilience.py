@@ -1,0 +1,221 @@
+"""E26 -- the price of resilience: the retrying, deadline-stamping
+client on a clean wire, and its behaviour on a lossy one.
+
+Two claims:
+
+* **Resilience is ~free when nothing fails.**  A client with the
+  shipped resilient configuration armed (retry policy, circuit
+  breaker, automatic idempotency tokens -- exactly what the CLI's
+  ``\\connect`` installs) may pay at most 5% over the plain client on
+  the E24 hot-read workload -- the fault machinery must cost nothing
+  on the fault-free path.  The opt-in ``deadline_ms`` header is a
+  per-request feature with a real (few-microsecond) stamping cost;
+  its delta is measured and reported, not guarded.
+* **A lossy wire costs retries, not errors.**  With a seeded schedule
+  dropping 10% of replies *after full server-side processing* (the
+  ambiguous-ack worst case), the same read workload completes with
+  zero application-level errors -- every loss is absorbed by
+  reconnect-and-retry, and the row counts match the clean run.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import pytest
+
+from repro.query import IntensionalQueryProcessor
+from repro.reporting import render_table
+from repro.rules.ruleset import RuleSet
+from repro.server import IntensionalQueryServer
+from repro.server.chaosproxy import ChaosSchedule, ChaosSocket
+from repro.server.client import Client
+from repro.server.resilience import CircuitBreaker, RetryPolicy
+from repro.testbed.generators import synthetic_star_database
+
+from conftest import record_report
+
+N_ENTITIES = 5_000
+N_GROUPS = 20
+OVERHEAD_BUDGET = 0.05
+DROP_RATE = 0.10
+FAULT_SEED = 11
+REQUESTS_PER_ROUND = 250
+ROUNDS = 7
+
+#: E24's hot read mix: small results, all wire-memo-servable.
+HOT_QUERIES = [
+    "SELECT Label, Weight FROM GROUPS WHERE Weight > 150",
+    "SELECT GroupId, Label FROM GROUPS WHERE Label = 'G01'",
+    "SELECT Id, Size FROM ENTITY WHERE Size > 1990",
+    "SELECT ENTITY.Id, GROUPS.Weight FROM ENTITY, GROUPS "
+    "WHERE ENTITY.GroupId = GROUPS.GroupId AND ENTITY.Size > 1990 "
+    "AND GROUPS.Label = 'G03'",
+]
+
+_RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module")
+def server():
+    database = synthetic_star_database(
+        n_entities=N_ENTITIES, n_groups=N_GROUPS, seed=11)
+    system = IntensionalQueryProcessor(database, RuleSet())
+    with IntensionalQueryServer(system) as live:
+        with Client("127.0.0.1", live.port) as warm:
+            for sql in HOT_QUERIES:
+                warm.sql(sql)
+        yield live
+
+
+def _read_round(client: Client, requests: int) -> float:
+    start = time.perf_counter()
+    for index in range(requests):
+        client.sql(HOT_QUERIES[index % len(HOT_QUERIES)])
+    return time.perf_counter() - start
+
+
+def test_zero_fault_overhead(server):
+    """The shipped resilient configuration (retry + breaker + tokens,
+    what ``\\connect`` arms) vs the plain client, interleaved
+    best-of-N on the identical hot-read loop: <= 5% overhead.
+
+    A third, unguarded leg stamps every request with the opt-in
+    ``deadline_ms`` header so its per-request cost lands in the E26
+    report -- it is a real feature with a real price (one extra clock
+    read, a dict copy, and a header the server validates), and it is
+    off by default, so it is measured rather than budgeted.
+    """
+    plain = Client("127.0.0.1", server.port).connect()
+    armed = Client("127.0.0.1", server.port,
+                   retry=RetryPolicy(seed=3),
+                   breaker=CircuitBreaker()).connect()
+    stamped = Client("127.0.0.1", server.port,
+                     retry=RetryPolicy(seed=3),
+                     breaker=CircuitBreaker(),
+                     default_deadline_s=30.0).connect()
+    try:
+        # A warm lap per client, then GC held off for the measured
+        # rounds: this module runs after other benchmarks have heated
+        # the process, and a collection landing inside one leg of an
+        # 18ms round swamps the few-percent signal under guard.
+        for client in (plain, armed, stamped):
+            _read_round(client, REQUESTS_PER_ROUND)
+        gc.collect()
+        gc.disable()
+        try:
+            best_plain = best_armed = best_stamped = float("inf")
+            for _round in range(ROUNDS):
+                best_plain = min(best_plain,
+                                 _read_round(plain, REQUESTS_PER_ROUND))
+                best_armed = min(best_armed,
+                                 _read_round(armed, REQUESTS_PER_ROUND))
+                best_stamped = min(
+                    best_stamped,
+                    _read_round(stamped, REQUESTS_PER_ROUND))
+        finally:
+            gc.enable()
+        assert armed.stats["retries"] == 0, \
+            "the clean wire must trigger no retries"
+        assert stamped.stats["retries"] == 0
+    finally:
+        plain.close()
+        armed.close()
+        stamped.close()
+    overhead = best_armed / best_plain - 1.0
+    deadline_overhead = best_stamped / best_plain - 1.0
+    _RESULTS["zero-fault overhead"] = {
+        "plain_s": best_plain, "resilient_s": best_armed,
+        "overhead": overhead,
+        "guard": f"<= {OVERHEAD_BUDGET:.0%}",
+        "guard_passed": overhead <= OVERHEAD_BUDGET}
+    _RESULTS["deadline header cost"] = {
+        "stamped_s": best_stamped, "overhead": deadline_overhead,
+        "guard": "reported only (opt-in feature)",
+        "guard_passed": True}
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"resilient client costs {overhead * 100:+.1f}% over plain "
+        f"({best_armed * 1000:.1f}ms vs {best_plain * 1000:.1f}ms "
+        f"for {REQUESTS_PER_ROUND} hot reads)")
+
+
+def test_lossy_wire_completes_with_zero_errors(server):
+    """10% of replies vanish after full processing; the client must
+    absorb every loss and return correct rows for all requests."""
+    requests = 400
+    schedule = ChaosSchedule.dropping(FAULT_SEED, DROP_RATE)
+    client = Client(
+        "127.0.0.1", server.port, timeout_s=30.0,
+        retry=RetryPolicy(seed=FAULT_SEED, max_attempts=10,
+                          base_delay_s=0.001, max_delay_s=0.02),
+        client_id="e26-lossy",
+        wrap_socket=lambda sock: ChaosSocket(sock, schedule),
+    ).connect()
+    expected = {}
+    with Client("127.0.0.1", server.port) as oracle:
+        for sql in HOT_QUERIES:
+            expected[sql] = sorted(oracle.sql(sql))
+    errors = 0
+    start = time.perf_counter()
+    try:
+        for index in range(requests):
+            sql = HOT_QUERIES[index % len(HOT_QUERIES)]
+            try:
+                rows = client.sql(sql)
+            except Exception:
+                errors += 1
+                continue
+            assert sorted(rows) == expected[sql]
+        elapsed = time.perf_counter() - start
+        stats = dict(client.stats)
+    finally:
+        client.close()
+    faults = len(schedule.injected)
+    assert faults >= requests * DROP_RATE * 0.5, (
+        f"only {faults} faults injected over {requests} requests -- "
+        f"the schedule is not exercising the wire")
+    _RESULTS["lossy wire"] = {
+        "requests": requests, "drop_rate": DROP_RATE,
+        "faults_injected": faults, "retries": stats["retries"],
+        "reconnects": stats["reconnects"], "errors": errors,
+        "elapsed_s": elapsed,
+        "guard": "0 application-level errors",
+        "guard_passed": errors == 0}
+    assert errors == 0, (
+        f"{errors} of {requests} requests surfaced errors despite the "
+        f"retry stack (drop rate {DROP_RATE:.0%})")
+    assert stats["retries"] >= faults, \
+        "every dropped reply must have been retried"
+
+
+def test_report(server):
+    clean = _RESULTS.get("zero-fault overhead", {})
+    lossy = _RESULTS.get("lossy wire", {})
+    rows = []
+    deadline = _RESULTS.get("deadline header cost", {})
+    if clean:
+        rows.append(["zero-fault overhead",
+                     f"{clean['overhead'] * 100:+.2f}%",
+                     clean["guard"],
+                     "pass" if clean["guard_passed"] else "FAIL"])
+    if deadline:
+        rows.append(["deadline_ms header cost",
+                     f"{deadline['overhead'] * 100:+.2f}%",
+                     deadline["guard"], "-"])
+    if lossy:
+        rows.append(["lossy wire errors",
+                     f"{lossy['errors']} / {lossy['requests']}",
+                     lossy["guard"],
+                     "pass" if lossy["guard_passed"] else "FAIL"])
+        rows.append(["lossy wire retries",
+                     f"{lossy['retries']} "
+                     f"({lossy['faults_injected']} faults)",
+                     "-", "-"])
+    record_report(
+        "E26",
+        f"Client resilience: zero-fault wire overhead and a "
+        f"{DROP_RATE:.0%} reply-drop schedule over the "
+        f"{N_ENTITIES}-row star testbed",
+        render_table(["metric", "value", "guard", "verdict"], rows),
+        data=_RESULTS)

@@ -31,7 +31,10 @@ times.  Backslash commands inspect the system:
 ``\\begin``         open an explicit transaction (needs ``--data-dir``)
 ``\\commit``        commit it durably; ``\\rollback`` undoes it
 ``\\connect H:P``   drive a remote repro-server: SQL/ask/DML and
-                   transactions go over the wire until ``\\disconnect``
+                   transactions go over the wire (with retries, an
+                   idempotency token per DML and a circuit breaker)
+                   until ``\\disconnect``; bare ``\\connect`` while
+                   connected prints client+server resilience status
 ``\\checkpoint``    snapshot the database and truncate the WAL
 ``\\wal [N]``       storage status and the last N WAL records
 ``\\recover``       reload from the data directory (snapshot + WAL)
@@ -67,7 +70,7 @@ class Shell:
     REMOTE_COMMANDS = frozenset({
         "begin", "commit", "rollback", "cache", "hierarchy", "lint",
         "locks", "metrics", "obs", "rules", "schema", "sessions",
-        "show", "slowlog", "tables", "trace", "wal",
+        "show", "slowlog", "status", "tables", "trace", "wal",
     })
 
     def __init__(self, system: IntensionalQueryProcessor,
@@ -234,15 +237,33 @@ class Shell:
 
     def _connect_command(self, argument: str) -> bool:
         from repro.server.client import connect
+        from repro.server.resilience import CircuitBreaker, RetryPolicy
         if not argument:
-            self.write("usage: \\connect HOST:PORT")
+            if self.remote is None:
+                self.write("usage: \\connect HOST:PORT")
+                return True
+            # Bare \connect while connected: the resilience dashboard.
+            status = self.remote.resilience_status()
+            self.write(f"connected to {self.remote.host}:"
+                       f"{self.remote.port} "
+                       f"(session {self.remote.session})")
+            self.write(
+                f"client: {status['requests']} requests, "
+                f"{status['retries']} retries, "
+                f"{status['reconnects']} reconnects, "
+                f"{status['deduped']} deduped DML"
+                + (f", breaker {status['breaker']['state']}"
+                   if "breaker" in status else ""))
+            self.write(self.remote.admin("status"))
             return True
         if self.remote is not None:
             self._disconnect()
-        self.remote = connect(argument)
+        self.remote = connect(argument, retry=RetryPolicy(),
+                              breaker=CircuitBreaker())
         self.write(f"connected to {argument} "
                    f"(session {self.remote.session}); statements now "
-                   "run remotely -- \\disconnect to go back local")
+                   "run remotely with retries -- \\connect for status, "
+                   "\\disconnect to go back local")
         return True
 
     def _disconnect(self, silent: bool = False) -> None:

@@ -125,6 +125,46 @@ class LockTimeout(StorageError):
             "statement (if a transaction was open it was rolled back "
             "as the deadlock victim -- re-issue it from \\begin)")
 
+    #: a fresh attempt of the same request may succeed (the conflicting
+    #: holder finishes eventually); the client's retry loop honours this.
+    retryable = True
+
+
+class RetryLater(StorageError):
+    """The server shed this request under overload (admission control):
+    nothing was executed, nothing changed -- resubmit after the hinted
+    delay."""
+
+    hint = ("the server is at its in-flight limit; back off and retry "
+            "-- nothing was executed")
+    retryable = True
+
+    def __init__(self, message: str, hint: str | None = None,
+                 retry_after_s: float | None = None):
+        super().__init__(message, hint)
+        #: server-suggested backoff, carried in the error frame.
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(StorageError):
+    """The request's propagated deadline expired before (or while) the
+    server could finish it.  Not retryable: the client's time budget is
+    already gone."""
+
+    hint = ("the per-request deadline elapsed; raise the deadline or "
+            "reduce the statement's work")
+    retryable = False
+
+
+class StatementTimeout(StorageError):
+    """A statement exceeded the server's per-statement execution budget
+    and its streaming plan was cancelled mid-flight."""
+
+    hint = ("the statement ran past the server's statement timeout and "
+            "was cancelled; narrow the query or raise "
+            "--statement-timeout")
+    retryable = False
+
 
 class ServerError(ReproError):
     """A client/server exchange failed (connection, protocol, or an
@@ -137,14 +177,34 @@ class ServerError(ReproError):
 
     def __init__(self, message: str, hint: str | None = None,
                  remote_type: str | None = None,
-                 aborted: bool = False):
+                 aborted: bool = False,
+                 retryable: bool = False,
+                 retry_after_s: float | None = None):
         super().__init__(message)
         self.hint = hint
         self.remote_type = remote_type
         #: the server rolled back the session's open transaction while
         #: failing this request (lock-timeout victim, shutdown drain).
         self.aborted = aborted
+        #: the error frame's machine-readable verdict: resending the
+        #: same request can succeed (and cannot double-apply).
+        self.retryable = retryable
+        #: server-suggested backoff before retrying, when it sent one.
+        self.retry_after_s = retry_after_s
 
 
 class ProtocolError(ServerError):
     """A wire frame was malformed, oversized, or torn mid-read."""
+
+
+class CircuitOpen(ServerError):
+    """The client's circuit breaker is open: recent requests failed at
+    the transport level, so new ones fail fast instead of piling onto a
+    server that is down or unreachable."""
+
+    def __init__(self, message: str, retry_after_s: float | None = None):
+        super().__init__(
+            message,
+            hint="the breaker re-probes after its cooldown; wait, or "
+                 "call reset() on the breaker to force an attempt")
+        self.retry_after_s = retry_after_s

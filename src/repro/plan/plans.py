@@ -42,6 +42,7 @@ E22 use as the reference pipeline.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from typing import Callable, Iterator, Sequence
 
@@ -76,6 +77,61 @@ def set_batch_observer(
     """Install (or clear, with ``None``) the per-batch observer hook."""
     global _batch_observer
     _batch_observer = observer
+
+
+#: Per-thread statement deadline (a ``time.monotonic`` instant, or
+#: absent).  The server sets it around statement execution so a
+#: runaway streaming plan is cancelled at the next batch boundary
+#: instead of holding the engine lock forever; the cost while unset is
+#: one attribute lookup per batch.
+_statement_deadline = threading.local()
+
+
+def set_statement_deadline(at: float | None) -> None:
+    """Arm (or clear, with ``None``) this thread's statement deadline.
+
+    Cooperative cancellation: every instrumented ``batches()`` stream
+    checks the deadline once per batch and raises
+    :class:`~repro.errors.StatementTimeout` past it.  Callers must
+    clear the deadline in a ``finally`` -- it is thread state, not
+    call-scoped.
+    """
+    _statement_deadline.at = at
+
+
+def _check_statement_deadline() -> None:
+    at = getattr(_statement_deadline, "at", None)
+    if at is not None and time.monotonic() > at:
+        from repro.errors import StatementTimeout
+        raise StatementTimeout(
+            "statement cancelled: execution ran past its deadline "
+            "(server statement timeout or request deadline)")
+
+
+class _DeadlineScope:
+    """Context manager arming this thread's statement deadline for the
+    given *budget* in seconds (``None`` = no deadline), restoring the
+    previous value on exit so scopes nest."""
+
+    __slots__ = ("budget", "_previous")
+
+    def __init__(self, budget: float | None):
+        self.budget = budget
+
+    def __enter__(self) -> "_DeadlineScope":
+        self._previous = getattr(_statement_deadline, "at", None)
+        if self.budget is not None:
+            _statement_deadline.at = time.monotonic() + self.budget
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        _statement_deadline.at = self._previous
+
+
+def statement_deadline_scope(budget: float | None) -> _DeadlineScope:
+    """``with statement_deadline_scope(seconds): ...`` -- cooperative
+    cancellation for everything streamed inside the block."""
+    return _DeadlineScope(budget)
 
 
 #: Rejected ``REPRO_BATCH_SIZE`` spellings already warned about -- the
@@ -165,6 +221,7 @@ class Plan:
         batch_count = 0
         try:
             while True:
+                _check_statement_deadline()
                 start = time.perf_counter()
                 try:
                     batch = next(source)

@@ -13,26 +13,43 @@ Four layers (see ``docs/SERVER.md``):
   per-connection :class:`~repro.server.server.Session` objects,
   connection limits, idle timeouts and graceful drain-on-shutdown;
 * :mod:`repro.server.client` -- the blocking client the ``repro-client``
-  CLI and the shell's ``\\connect`` command drive.
+  CLI and the shell's ``\\connect`` command drive;
+* :mod:`repro.server.resilience` -- deadlines, retry policies, circuit
+  breaker, idempotency tokens, admission control and the dedup table;
+* :mod:`repro.server.chaosproxy` -- seeded wire-fault injection for the
+  chaos differential harness.
 """
 
+from repro.server.chaosproxy import ChaosSchedule, ChaosSocket
 from repro.server.client import AskReply, Client, connect
 from repro.server.concurrency import LockManager, LockTable
 from repro.server.protocol import (
     MAX_FRAME_BYTES, ProtocolError, decode_frame, encode_frame,
     error_frame, read_frame, write_frame,
 )
+from repro.server.resilience import (
+    AdmissionController, CircuitBreaker, Deadline, DedupTable,
+    RetryPolicy, TokenSource,
+)
 from repro.server.server import IntensionalQueryServer, Session
 
 __all__ = [
+    "AdmissionController",
     "AskReply",
+    "ChaosSchedule",
+    "ChaosSocket",
+    "CircuitBreaker",
     "Client",
+    "Deadline",
+    "DedupTable",
     "IntensionalQueryServer",
     "LockManager",
     "LockTable",
     "MAX_FRAME_BYTES",
     "ProtocolError",
+    "RetryPolicy",
     "Session",
+    "TokenSource",
     "connect",
     "decode_frame",
     "encode_frame",

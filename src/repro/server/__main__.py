@@ -34,6 +34,18 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="SECONDS",
                         help="lock wait budget before a request is "
                              "declared the deadlock victim")
+    parser.add_argument("--statement-timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="per-statement execution budget; runaway "
+                             "streaming plans are cancelled past it "
+                             "(0 disables)")
+    parser.add_argument("--max-in-flight", type=int, default=8,
+                        help="admission control: statements executing "
+                             "concurrently before new work queues")
+    parser.add_argument("--max-queue", type=int, default=16,
+                        help="admission control: queued statements "
+                             "before further work is shed with "
+                             "RETRY_LATER")
     arguments = parser.parse_args(argv)
     system = build_system(arguments.db, arguments.ker, n_c=arguments.nc,
                           data_dir=arguments.data_dir,
@@ -42,7 +54,10 @@ def main(argv: list[str] | None = None) -> int:
         system, host=arguments.host, port=arguments.port,
         max_connections=arguments.max_connections,
         idle_timeout_s=arguments.idle_timeout,
-        lock_timeout_s=arguments.lock_timeout)
+        lock_timeout_s=arguments.lock_timeout,
+        statement_timeout_s=(arguments.statement_timeout or None),
+        max_in_flight=arguments.max_in_flight,
+        max_queue=arguments.max_queue)
     server.start()
     print(f"repro server listening on {server.address} "
           f"(max {server.max_connections} connections)", flush=True)

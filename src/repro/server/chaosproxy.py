@@ -1,0 +1,224 @@
+"""Deterministic network fault injection for the wire protocol.
+
+The storage layer proved crash-safety with an injectable
+:class:`~repro.storage.faults.FaultInjector` over its file operations;
+this module is the same idea one layer up: every socket the client
+uses can be wrapped in a :class:`ChaosSocket` that applies a **seeded
+fault schedule** to whole protocol frames --
+
+* ``drop``     -- the request frame is never delivered; the connection
+  is reset before the server sees anything;
+* ``truncate`` -- a prefix of the frame's bytes is delivered, then the
+  connection dies (the server observes a torn frame mid-read);
+* ``corrupt``  -- the frame arrives with its final body byte replaced
+  by an invalid UTF-8 byte, so the server's decoder must reject it
+  (corruption never silently becomes a *different valid* request);
+* ``drop_reply`` -- the request is delivered and **fully processed**;
+  the response frame is read off the wire and discarded, then the
+  connection is reset.  This is the ambiguous-ack case idempotency
+  tokens exist for: the client cannot know whether its DML committed;
+* ``delay``    -- a deterministic pause before the frame is sent;
+* ``reset``    -- the connection is reset instead of sending.
+
+Faults are decided per *request frame* by :class:`ChaosSchedule` from a
+seeded generator (or an explicit scripted list), so a given
+``(seed, rates)`` pair replays the identical fault sequence every run --
+the property the differential chaos leg and ddmin minimization depend
+on.  ``drop_reply`` deliberately *reads* the full response before
+resetting, which both guarantees the server finished the request and
+keeps the schedule deterministic at the application level.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import time
+from typing import Sequence
+
+__all__ = ["ChaosSchedule", "ChaosSocket", "FAULT_KINDS"]
+
+#: Every fault kind a schedule may emit; ``None`` means "deliver".
+FAULT_KINDS = ("drop", "truncate", "corrupt", "drop_reply", "delay",
+               "reset")
+
+_HEADER = struct.Struct(">I")
+
+
+class ChaosSchedule:
+    """The seeded per-frame fault plan shared across reconnects.
+
+    Either give *rates* (kind -> probability, drawn independently in
+    :data:`FAULT_KINDS` order from one seeded generator) or *script*
+    (an explicit ``{frame_index: kind}`` map for unit tests).  The
+    frame counter spans the whole client lifetime, not one connection,
+    so a retry after a fault sees the *next* scheduled decision rather
+    than replaying the first one forever.
+    """
+
+    def __init__(self, seed: int = 0,
+                 rates: dict[str, float] | None = None,
+                 script: dict[int, str] | None = None,
+                 delay_s: float = 0.002,
+                 max_faults: int | None = None):
+        for kind in (rates or {}):
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        for kind in (script or {}).values():
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        self.seed = seed
+        self.rates = dict(rates or {})
+        self.script = dict(script or {})
+        self.delay_s = delay_s
+        self.max_faults = max_faults
+        self._rng = random.Random(seed)
+        self.frames_sent = 0
+        self.injected: list[tuple[int, str]] = []
+
+    @classmethod
+    def dropping(cls, seed: int, rate: float,
+                 **kwargs) -> "ChaosSchedule":
+        """The bench/CI shape: *rate* of request frames lose their
+        reply after full server-side processing -- the harshest case
+        for exactly-once accounting."""
+        return cls(seed, rates={"drop_reply": rate}, **kwargs)
+
+    def decide(self) -> str | None:
+        """The fault (or ``None``) for the next request frame."""
+        index = self.frames_sent
+        self.frames_sent += 1
+        if (self.max_faults is not None
+                and len(self.injected) >= self.max_faults):
+            return None
+        kind = self.script.get(index)
+        if kind is None:
+            for candidate in FAULT_KINDS:
+                rate = self.rates.get(candidate, 0.0)
+                # Always draw: the consumed-randomness sequence must
+                # not depend on which rates are zero.
+                draw = self._rng.random()
+                if kind is None and rate > 0 and draw < rate:
+                    kind = candidate
+        if kind is not None:
+            self.injected.append((index, kind))
+        return kind
+
+    def truncate_point(self, size: int) -> int:
+        """How many bytes of a *size*-byte frame survive a truncation
+        (at least 1, at most size - 1; seeded)."""
+        if size <= 1:
+            return 0
+        return self._rng.randrange(1, size)
+
+
+class ChaosSocket:
+    """A socket wrapper applying a :class:`ChaosSchedule` to frames.
+
+    Wraps exactly the surface :mod:`repro.server.protocol` and the
+    client use: ``sendall`` (one call per frame), ``recv``,
+    ``settimeout``, ``shutdown``, ``close``.  Fault semantics are
+    documented on the module; after any connection-killing fault the
+    wrapper raises :class:`ConnectionResetError` for every further
+    operation until the client reconnects (with a fresh wrapper).
+    """
+
+    def __init__(self, sock: socket.socket, schedule: ChaosSchedule,
+                 sleep=time.sleep):
+        self._sock = sock
+        self._schedule = schedule
+        self._sleep = sleep
+        self._dead = False
+        #: set while a ``drop_reply`` is swallowing the response.
+        self._swallow_reply = False
+
+    # -- helpers -----------------------------------------------------------
+
+    def _kill(self, why: str) -> ConnectionResetError:
+        self._dead = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        return ConnectionResetError(f"chaos: {why}")
+
+    def _require_alive(self) -> None:
+        if self._dead:
+            raise ConnectionResetError("chaos: connection already reset")
+
+    def _read_exact(self, count: int) -> bytes | None:
+        chunks, remaining = [], count
+        while remaining:
+            chunk = self._sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _discard_reply(self) -> None:
+        """Read and throw away one full response frame (guaranteeing
+        the server finished processing before the reset)."""
+        header = self._read_exact(_HEADER.size)
+        if header is not None:
+            (length,) = _HEADER.unpack(header)
+            self._read_exact(length)
+
+    # -- the wrapped surface -----------------------------------------------
+
+    def sendall(self, data: bytes) -> None:
+        self._require_alive()
+        fault = self._schedule.decide()
+        if fault is None:
+            self._sock.sendall(data)
+            return
+        if fault == "delay":
+            self._sleep(self._schedule.delay_s)
+            self._sock.sendall(data)
+            return
+        if fault in ("drop", "reset"):
+            raise self._kill(f"{fault} before frame "
+                             f"{self._schedule.frames_sent - 1}")
+        if fault == "truncate":
+            keep = self._schedule.truncate_point(len(data))
+            if keep:
+                self._sock.sendall(data[:keep])
+            raise self._kill(
+                f"truncated frame after {keep} of {len(data)} bytes")
+        if fault == "corrupt":
+            # 0xFF is never valid UTF-8, so the receiver's JSON decode
+            # must fail -- the frame can be rejected but never
+            # reinterpreted as a different request.
+            self._sock.sendall(data[:-1] + b"\xff")
+            return
+        # drop_reply: deliver, then swallow the whole response.
+        self._sock.sendall(data)
+        self._swallow_reply = True
+
+    def recv(self, bufsize: int) -> bytes:
+        self._require_alive()
+        if self._swallow_reply:
+            self._swallow_reply = False
+            self._discard_reply()
+            raise self._kill("reply dropped after full processing")
+        return self._sock.recv(bufsize)
+
+    def settimeout(self, value: float | None) -> None:
+        if not self._dead:
+            self._sock.settimeout(value)
+
+    def setsockopt(self, *args) -> None:
+        if not self._dead:
+            self._sock.setsockopt(*args)
+
+    def shutdown(self, how: int) -> None:
+        if not self._dead:
+            self._sock.shutdown(how)
+
+    def close(self) -> None:
+        self._dead = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass

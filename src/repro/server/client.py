@@ -15,6 +15,20 @@ the server-side exception type, its CLI hint, and whether the server
 rolled the session's transaction back while failing the request.  The
 connection stays usable after a statement error.
 
+Resilience (PR 8).  Connecting is bounded by ``connect_timeout_s``
+(TCP connect *and* the hello handshake) and every read by
+``timeout_s``.  Give the client a
+:class:`~repro.server.resilience.RetryPolicy` and failed requests are
+retried with exponential backoff across reconnects: reads always,
+DML only under an idempotency token (attached automatically, so a
+retried ``INSERT`` applies exactly once server-side), transaction
+control never -- and nothing auto-retries across a reconnect while an
+explicit transaction is open, because its state died with the session.
+A :class:`~repro.server.resilience.CircuitBreaker` (optional) fails
+fast while the server is unreachable; ``default_deadline_s`` stamps
+each request with a ``deadline_ms`` budget the server honours.  The
+``wrap_socket`` hook is the chaos harness's injection point.
+
 ``python -m repro.server.client HOST:PORT`` (the ``repro-client``
 entry point) wraps this in a minimal remote REPL; the full-featured
 shell is ``repro.cli`` with ``\\connect``.
@@ -25,11 +39,18 @@ from __future__ import annotations
 import socket
 import sys
 import time
+import uuid
 from dataclasses import dataclass, field
+from typing import Callable
 
-from repro.errors import ProtocolError, ServerError
+from repro.errors import (
+    DeadlineExceeded, ProtocolError, ServerError,
+)
 from repro.relational.relation import Relation
 from repro.server import protocol
+from repro.server.resilience import (
+    CircuitBreaker, Deadline, RetryPolicy, TokenSource,
+)
 
 __all__ = ["AskReply", "Client", "connect", "main"]
 
@@ -66,37 +87,97 @@ class Client:
     """A blocking connection to an :class:`IntensionalQueryServer`."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7654,
-                 timeout_s: float | None = 60.0):
+                 timeout_s: float | None = 60.0,
+                 connect_timeout_s: float | None = 10.0,
+                 retry: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 default_deadline_s: float | None = None,
+                 client_id: str | None = None,
+                 wrap_socket: Callable | None = None,
+                 sleep: Callable[[float], None] = time.sleep):
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.retry = retry
+        self.breaker = breaker
+        self.default_deadline_s = default_deadline_s
+        #: stable across reconnects: idempotency keys are scoped to it.
+        self.client_id = client_id or f"c-{uuid.uuid4().hex[:12]}"
+        self.tokens = TokenSource(self.client_id)
+        self.wrap_socket = wrap_socket
         self.session: str | None = None
+        self.stats = {"requests": 0, "retries": 0, "reconnects": 0,
+                      "deduped": 0}
+        self._sleep = sleep
         self._sock: socket.socket | None = None
+        #: explicit server-side transaction open on this session (the
+        #: auto-retry guard: never retry across a reconnect in a tx).
+        self._server_tx = False
 
     # -- lifecycle ---------------------------------------------------------
 
     def connect(self) -> "Client":
         if self._sock is not None:
             return self
+        if self.breaker is not None:
+            self.breaker.admit()
         try:
-            sock = socket.create_connection((self.host, self.port),
-                                            timeout=self.timeout_s)
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            hello = protocol.read_frame(sock)
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s)
         except OSError as error:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise ServerError(
+                f"cannot connect to {self.host}:{self.port}: {error}",
+                hint="is the server running? start one with "
+                     "repro-server") from error
+        if self.wrap_socket is not None:
+            sock = self.wrap_socket(sock)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # The connect timeout still governs the hello read: a
+            # listener that accepts but never speaks (wrong service,
+            # wedged server) must not hang the client forever.
+            hello = protocol.read_frame(sock)
+        except (TimeoutError, socket.timeout) as error:
+            self._close_raw(sock)
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise ProtocolError(
+                f"no handshake from {self.host}:{self.port} within "
+                f"{self.connect_timeout_s:g}s -- the TCP connection "
+                f"opened but the server never sent its hello (wrong "
+                f"service on that port, or a wedged server?)") from error
+        except OSError as error:
+            self._close_raw(sock)
+            if self.breaker is not None:
+                self.breaker.record_failure()
             raise ServerError(
                 f"cannot connect to {self.host}:{self.port}: {error}",
                 hint="is the server running? start one with "
                      "repro-server") from error
         if hello is None:
+            self._close_raw(sock)
             raise ServerError(
                 f"server at {self.host}:{self.port} closed the "
                 "connection during handshake")
         if not hello.get("ok"):
+            self._close_raw(sock)
             self._raise_error_frame(hello)
+        sock.settimeout(self.timeout_s)
         self.session = hello.get("session")
         self._sock = sock
+        if self.breaker is not None:
+            self.breaker.record_success()
         return self
+
+    @staticmethod
+    def _close_raw(sock) -> None:
+        try:
+            sock.close()
+        except OSError:
+            pass
 
     def close(self) -> None:
         """Polite disconnect (``bye`` frame, then close)."""
@@ -126,17 +207,105 @@ class Client:
 
     # -- request/response core ---------------------------------------------
 
-    def request(self, message: dict) -> dict:
+    def request(self, message: dict,
+                deadline: Deadline | None = None) -> dict:
         """Send one frame; return the success payload or raise
-        :class:`ServerError` for an error frame."""
+        :class:`ServerError` for an error frame.
+
+        With a :class:`RetryPolicy` installed, transport failures and
+        server errors marked ``retryable`` are retried with backoff --
+        but only for requests that are safe to resend (see
+        :meth:`_request_retry_safe`).
+        """
+        if deadline is None and self.default_deadline_s is not None:
+            deadline = Deadline.after(self.default_deadline_s)
+        self.stats["requests"] += 1
+        if self.retry is None:
+            return self._request_once(message, deadline)
+        last_error: Exception | None = None
+        retry_safe = self._request_retry_safe(message)
+        for attempt in self.retry.attempts():
+            if attempt:
+                self.stats["retries"] += 1
+            try:
+                if self._sock is None:
+                    self.stats["reconnects"] += 1 if attempt else 0
+                    self.connect()
+                return self._request_once(message, deadline)
+            except (ServerError, OSError) as error:
+                last_error = error
+                if not self._should_retry(error, retry_safe):
+                    raise
+                self._backoff(attempt, error, deadline)
+        assert last_error is not None
+        raise last_error
+
+    def _request_retry_safe(self, message: dict) -> bool:
+        """May *message* be resent after an ambiguous failure?
+
+        Reads always; DML only under an idempotency token (the server
+        dedups the re-execution); transaction control never -- and
+        nothing is retry-safe while an explicit transaction is open,
+        because a reconnect lands on a fresh session whose transaction
+        state (and transaction-private reads) died with the old one.
+        """
+        if self._server_tx:
+            return False
+        op = str(message.get("op", ""))
+        if op in ("begin", "commit", "rollback", "bye"):
+            return False
+        if op == "sql":
+            first = str(message.get("sql", "")).strip().split(None, 1)
+            word = first[0].lower() if first else ""
+            if word not in ("select", "explain"):
+                return bool(message.get("token"))
+        return True
+
+    def _should_retry(self, error: Exception, retry_safe: bool) -> bool:
+        if isinstance(error, ServerError) and error.remote_type:
+            # The server answered: the connection is intact, so even a
+            # tokenless DML may resend -- nothing executed when the
+            # frame says retryable (shed, lock-timeout victim).
+            return bool(error.retryable)
+        # Transport failure (reset, torn frame, refused): the request
+        # outcome is unknown -- only retry what is safe to resend.
+        return retry_safe
+
+    def _backoff(self, attempt: int, error: Exception,
+                 deadline: Deadline | None) -> None:
+        delay = self.retry.delay(attempt)
+        hinted = getattr(error, "retry_after_s", None)
+        if hinted is not None:
+            delay = max(delay, float(hinted))
+        if deadline is not None and delay >= deadline.remaining():
+            raise DeadlineExceeded(
+                f"retry budget exhausted: backing off {delay:.3f}s "
+                f"would pass the request deadline") from error
+        if delay > 0:
+            self._sleep(delay)
+
+    def _request_once(self, message: dict,
+                      deadline: Deadline | None) -> dict:
         if self._sock is None:
             raise ServerError("not connected",
                               hint="call connect() first")
+        if deadline is not None:
+            # One clock read serves both the local expiry check and the
+            # wire header -- this path runs per attempt on every
+            # deadline-stamped request.
+            remaining = deadline.remaining()
+            if remaining <= 0:
+                raise DeadlineExceeded(
+                    "deadline expired before sending the request")
+            message = dict(message,
+                           deadline_ms=int(remaining * 1000))
         try:
             protocol.write_frame(self._sock, message)
             response = protocol.read_frame(self._sock)
         except (OSError, ProtocolError) as error:
             self._drop()
+            if self.breaker is not None:
+                self.breaker.record_failure()
             if isinstance(error, ProtocolError):
                 raise
             raise ServerError(
@@ -144,14 +313,29 @@ class Client:
                 f"{error}") from error
         if response is None:
             self._drop()
+            if self.breaker is not None:
+                self.breaker.record_failure()
             raise ServerError(
                 "server closed the connection mid-request")
+        if self.breaker is not None:
+            self.breaker.record_success()
         if not response.get("ok"):
+            self._note_abort(response)
             self._raise_error_frame(response)
+        if response.get("deduplicated"):
+            self.stats["deduped"] += 1
         return response
+
+    def _note_abort(self, response: dict) -> None:
+        error = response.get("error") or {}
+        if error.get("aborted"):
+            self._server_tx = False
 
     def _drop(self) -> None:
         sock, self._sock = self._sock, None
+        #: the server rolls back an open transaction when the session
+        #: dies, so the client-side flag must not outlive the socket.
+        self._server_tx = False
         if sock is not None:
             try:
                 sock.close()
@@ -165,7 +349,9 @@ class Client:
             error.get("message", "server error"),
             hint=error.get("hint"),
             remote_type=error.get("type"),
-            aborted=bool(error.get("aborted")))
+            aborted=bool(error.get("aborted")),
+            retryable=bool(error.get("retryable")),
+            retry_after_s=error.get("retry_after_s"))
 
     # -- typed operations --------------------------------------------------
 
@@ -175,10 +361,27 @@ class Client:
         self.request({"op": "ping"})
         return time.perf_counter() - start
 
-    def sql(self, text: str) -> Relation | int | str:
+    def sql(self, text: str,
+            token: str | None = None) -> Relation | int | str:
         """Run any SQL statement: SELECT -> :class:`Relation`, DML ->
-        affected row count, EXPLAIN -> rendered plan text."""
-        response = self.request({"op": "sql", "sql": text})
+        affected row count, EXPLAIN -> rendered plan text.
+
+        DML gets an idempotency *token* (auto-generated when a retry
+        policy is installed) so a resend after an ambiguous failure is
+        applied exactly once; pass an explicit token to make unrelated
+        calls share one logical attempt.
+        """
+        message: dict = {"op": "sql", "sql": text}
+        first = text.strip().split(None, 1)
+        word = first[0].lower() if first else ""
+        if word not in ("select", "explain"):
+            if token is None and self.retry is not None \
+                    and not self._server_tx:
+                token = self.tokens.next()
+            if token is not None:
+                message["token"] = token
+                message["client"] = self.client_id
+        response = self.request(message)
         return self._decode_payload(response)
 
     def ask(self, text: str, forward: bool = True,
@@ -202,12 +405,20 @@ class Client:
 
     def begin(self) -> None:
         self.request({"op": "begin"})
+        self._server_tx = True
 
     def commit(self) -> None:
         self.request({"op": "commit"})
+        self._server_tx = False
 
     def rollback(self) -> None:
         self.request({"op": "rollback"})
+        self._server_tx = False
+
+    @property
+    def in_transaction(self) -> bool:
+        """The client's view of its server-side transaction state."""
+        return self._server_tx
 
     def admin(self, command: str) -> str:
         """Run a whitelisted shell command server-side; returns its
@@ -225,11 +436,26 @@ class Client:
             return response["text"]
         raise ProtocolError(f"unexpected response kind {kind!r}")
 
+    def resilience_status(self) -> dict:
+        """Client-side resilience counters (for ``\\connect`` status)."""
+        status: dict = {"client_id": self.client_id, **self.stats,
+                        "retry": self.retry is not None,
+                        "default_deadline_s": self.default_deadline_s}
+        if self.breaker is not None:
+            status["breaker"] = {"state": self.breaker.state,
+                                 **self.breaker.stats}
+        return status
 
-def connect(address: str, timeout_s: float | None = 60.0) -> Client:
-    """``connect("host:port")`` -> a connected :class:`Client`."""
+
+def connect(address: str, timeout_s: float | None = 60.0,
+            **kwargs) -> Client:
+    """``connect("host:port")`` -> a connected :class:`Client`.
+
+    Keyword arguments (``retry``, ``breaker``, ``connect_timeout_s``,
+    ``default_deadline_s``, ...) pass through to :class:`Client`.
+    """
     host, port = parse_address(address)
-    return Client(host, port, timeout_s=timeout_s).connect()
+    return Client(host, port, timeout_s=timeout_s, **kwargs).connect()
 
 
 # -- repro-client ------------------------------------------------------------

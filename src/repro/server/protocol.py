@@ -26,6 +26,18 @@ exception onto a structured error::
 
 ``aborted`` tells the client its open transaction was rolled back while
 failing the request (lock-timeout victim, server drain).
+
+Resilience metadata (PR 8):
+
+* requests may carry ``deadline_ms`` (the client's remaining time
+  budget in whole milliseconds; the server refuses work whose deadline
+  already passed and stops streaming plans that outlive it), ``token``
+  (an idempotency token on DML, see ``docs/SERVER.md``) and ``client``
+  (the stable client id tokens are scoped to);
+* every error frame carries a machine-readable ``retryable`` flag --
+  ``true`` exactly when retrying the *same* request can succeed without
+  double effects (``LockTimeout``, ``RetryLater``); shed requests add
+  ``retry_after_s``, the server's suggested backoff.
 """
 
 from __future__ import annotations
@@ -131,12 +143,19 @@ def error_frame(error: BaseException, aborted: bool = False) -> dict:
     payload: dict[str, Any] = {
         "type": kind,
         "message": str(error) or kind,
+        "retryable": bool(getattr(error, "retryable", False)),
     }
     hint = getattr(error, "hint", None)
     if hint:
         payload["hint"] = hint
+    retry_after = getattr(error, "retry_after_s", None)
+    if retry_after is not None:
+        payload["retry_after_s"] = retry_after
     if aborted:
         payload["aborted"] = True
+        # A rolled-back transaction cannot be recovered by resending
+        # one statement, whatever the error class said.
+        payload["retryable"] = False
     return {"ok": False, "error": payload}
 
 

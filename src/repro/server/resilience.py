@@ -1,0 +1,413 @@
+"""Resilience primitives for the client/server wire path.
+
+Everything here is deterministic and injectable -- clocks, sleepers and
+random sources are parameters, never ambient state -- so the chaos
+harness (:mod:`repro.server.chaosproxy`) and the unit tests can drive
+each primitive through its full state space without real time passing.
+
+Client side
+-----------
+
+* :class:`Deadline` -- one request's absolute time budget, propagated
+  to the server as a relative ``deadline_ms`` header so the server can
+  stop working on a request whose client has already given up.
+* :class:`RetryPolicy` -- bounded exponential backoff with
+  deterministic jitter; the delay sequence is a pure function of the
+  attempt number and the policy's seed.
+* :class:`CircuitBreaker` -- after ``failure_threshold`` consecutive
+  transport failures the circuit opens and requests fail fast with
+  :class:`~repro.errors.CircuitOpen`; after ``reset_after_s`` one
+  half-open probe is allowed through and its outcome closes or
+  re-opens the circuit.
+* :class:`TokenSource` -- idempotency tokens (``client_id:counter``)
+  attached to DML so a retried statement is applied exactly once.
+
+Server side
+-----------
+
+* :class:`AdmissionController` -- a max-in-flight gate with a bounded
+  wait queue; requests beyond both are shed with
+  :class:`~repro.errors.RetryLater` carrying a retry-after hint.
+  ``overloaded()`` feeds the degraded-serving ladder.
+* :class:`DedupTable` -- bounded (client, token) -> response memory
+  backing exactly-once DML; the durable half lives in the storage
+  engine's WAL (``dedup`` records committed atomically with the DML
+  they describe).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable
+
+from repro import obs
+from repro.errors import CircuitOpen, DeadlineExceeded, RetryLater
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "Deadline",
+    "DedupTable",
+    "RetryPolicy",
+    "TokenSource",
+]
+
+
+# ---------------------------------------------------------------------------
+# deadlines
+
+
+class Deadline:
+    """An absolute point on a monotonic clock a request must beat."""
+
+    __slots__ = ("at", "_clock")
+
+    def __init__(self, at: float, clock: Callable[[], float] = time.monotonic):
+        self.at = at
+        self._clock = clock
+
+    @classmethod
+    def after(cls, seconds: float,
+              clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        return cls(clock() + seconds, clock)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def remaining_ms(self) -> int:
+        """The wire form: whole milliseconds left, floored at 0."""
+        return max(0, int(self.remaining() * 1000))
+
+    def check(self, doing: str) -> None:
+        if self.expired:
+            raise DeadlineExceeded(f"deadline expired {doing}")
+
+
+# ---------------------------------------------------------------------------
+# retries
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` for attempt 0, 1, 2, ... is
+    ``min(max_delay_s, base_delay_s * multiplier**attempt)`` scaled by a
+    jitter factor drawn uniformly from ``[1 - jitter, 1]`` out of a
+    seeded generator -- full determinism for tests and the chaos
+    harness, decorrelation for real fleets (each client seeds from its
+    id by default).
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.02
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    jitter: float = 0.5
+    seed: int | None = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def delay(self, attempt: int) -> float:
+        raw = min(self.max_delay_s,
+                  self.base_delay_s * (self.multiplier ** attempt))
+        if self.jitter <= 0:
+            return raw
+        return raw * (1.0 - self.jitter * self._rng.random())
+
+    def attempts(self) -> range:
+        return range(self.max_attempts)
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open transport-failure breaker."""
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_after_s: float = 2.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self.stats = {"opened": 0, "fast_failures": 0, "probes": 0}
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (self._state == self.OPEN
+                and self._clock() - self._opened_at >= self.reset_after_s):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def admit(self) -> None:
+        """Gate one request: raise :class:`CircuitOpen` while open;
+        half-open lets exactly one probe through (callers race for it,
+        the lock picks the winner)."""
+        with self._lock:
+            state = self._state_locked()
+            if state == self.OPEN:
+                self.stats["fast_failures"] += 1
+                remaining = self.reset_after_s - (self._clock()
+                                                  - self._opened_at)
+                raise CircuitOpen(
+                    f"circuit breaker open after {self._failures} "
+                    f"consecutive failures",
+                    retry_after_s=max(0.0, remaining))
+            if state == self.HALF_OPEN:
+                # One probe at a time: re-open pre-emptively; a success
+                # will close, a failure re-arms the cooldown.
+                self.stats["probes"] += 1
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if (self._failures >= self.failure_threshold
+                    and self._state != self.OPEN):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.stats["opened"] += 1
+                obs.counter("client_breaker_opened_total",
+                            "circuit breaker open transitions").inc()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = self.CLOSED
+
+
+# ---------------------------------------------------------------------------
+# idempotency tokens
+
+
+class TokenSource:
+    """``client_id:n`` idempotency tokens, one per logical DML attempt
+    (a *retry* reuses the token; the next statement gets a fresh one)."""
+
+    def __init__(self, client_id: str):
+        self.client_id = client_id
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def next(self) -> str:
+        with self._lock:
+            self._counter += 1
+            return f"{self.client_id}:{self._counter}"
+
+
+# ---------------------------------------------------------------------------
+# admission control (server side)
+
+
+class AdmissionController:
+    """Max-in-flight gate with a bounded wait queue.
+
+    ``admit()`` grants a slot immediately when fewer than
+    ``max_in_flight`` requests are executing; otherwise the caller
+    queues (at most ``max_queue`` waiters, at most ``queue_timeout_s``
+    each, never past the request's deadline).  Anything beyond that is
+    *shed*: :class:`RetryLater` with a retry-after hint sized to the
+    current queue depth, and nothing has executed.
+    """
+
+    def __init__(self, max_in_flight: int = 8, max_queue: int = 16,
+                 queue_timeout_s: float = 1.0,
+                 retry_after_s: float = 0.05):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+        self.queue_timeout_s = queue_timeout_s
+        self.retry_after_s = retry_after_s
+        self._condition = threading.Condition()
+        self._in_flight = 0
+        self._waiting = 0
+        self._last_shed = 0.0
+        self.stats = {"admitted": 0, "queued": 0, "shed": 0}
+
+    # -- the gate ----------------------------------------------------------
+
+    def admit(self, deadline: Deadline | None = None) -> "_AdmissionTicket":
+        with self._condition:
+            if self._in_flight < self.max_in_flight:
+                self._grant()
+                return _AdmissionTicket(self)
+            if self._waiting >= self.max_queue:
+                self._shed("wait queue full")
+            budget = self.queue_timeout_s
+            if deadline is not None:
+                budget = min(budget, deadline.remaining())
+            if budget <= 0:
+                self._shed("no wait budget left")
+            self._waiting += 1
+            self.stats["queued"] += 1
+            give_up = time.monotonic() + budget
+            try:
+                while self._in_flight >= self.max_in_flight:
+                    remaining = give_up - time.monotonic()
+                    if remaining <= 0:
+                        self._shed(
+                            f"queued past {self.queue_timeout_s:g}s")
+                    self._condition.wait(remaining)
+            finally:
+                self._waiting -= 1
+            self._grant()
+            return _AdmissionTicket(self)
+
+    def _grant(self) -> None:
+        self._in_flight += 1
+        self.stats["admitted"] += 1
+        obs.gauge("server_in_flight",
+                  "requests currently executing").set(self._in_flight)
+
+    def _shed(self, why: str) -> None:
+        self.stats["shed"] += 1
+        self._last_shed = time.monotonic()
+        obs.counter("server_shed_total",
+                    "requests shed by admission control").inc()
+        # Spread retries: deeper queue -> longer suggested backoff.
+        hint_s = self.retry_after_s * (1 + self._waiting)
+        raise RetryLater(
+            f"server overloaded ({self._in_flight} in flight, "
+            f"{self._waiting} queued): {why}",
+            retry_after_s=hint_s)
+
+    def release(self) -> None:
+        with self._condition:
+            self._in_flight = max(0, self._in_flight - 1)
+            obs.gauge("server_in_flight",
+                      "requests currently executing").set(self._in_flight)
+            self._condition.notify()
+
+    # -- pressure signals --------------------------------------------------
+
+    def overloaded(self, shed_memory_s: float = 1.0) -> bool:
+        """True while the gate is saturated (someone is queued) or a
+        request was shed within the last *shed_memory_s* -- the signal
+        the degraded-serving ladder keys off."""
+        with self._condition:
+            if self._waiting > 0:
+                return True
+            return (self._last_shed > 0.0
+                    and time.monotonic() - self._last_shed
+                    < shed_memory_s)
+
+    def status(self) -> dict:
+        with self._condition:
+            return {
+                "in_flight": self._in_flight,
+                "max_in_flight": self.max_in_flight,
+                "waiting": self._waiting,
+                "max_queue": self.max_queue,
+                "queue_timeout_s": self.queue_timeout_s,
+                **self.stats,
+            }
+
+
+class _AdmissionTicket:
+    """Context manager releasing one admission slot."""
+
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller: AdmissionController):
+        self._controller = controller
+
+    def __enter__(self) -> "_AdmissionTicket":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._controller.release()
+
+
+# ---------------------------------------------------------------------------
+# idempotency dedup (server side)
+
+
+class DedupTable:
+    """Bounded (client, token) -> recorded-response map.
+
+    The table is the *serving* half of exactly-once DML; the *durable*
+    half is the ``dedup`` WAL record the storage engine commits in the
+    same transaction as the statement's mutations, so recovery rebuilds
+    exactly the entries whose effects survived.  FIFO eviction bounds
+    memory: a client that waited past ``capacity`` other DMLs to retry
+    has long since exhausted its retry budget anyway.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: dict[Hashable, dict] = {}
+        self._lock = threading.Lock()
+        self.stats = {"hits": 0, "misses": 0, "recovered": 0}
+
+    def get(self, key: Hashable) -> dict | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats["misses"] += 1
+                return None
+            self.stats["hits"] += 1
+            obs.counter("server_dedup_hits_total",
+                        "retried DML served from the dedup "
+                        "journal").inc()
+            return dict(entry)
+
+    def put(self, key: Hashable, response: dict) -> None:
+        with self._lock:
+            if key not in self._entries and \
+                    len(self._entries) >= self.capacity:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = dict(response)
+
+    def seed(self, entries: Iterable[tuple[Hashable, dict]]) -> int:
+        """Load recovered entries (WAL replay); returns how many."""
+        count = 0
+        for key, response in entries:
+            self.put(key, response)
+            count += 1
+        with self._lock:
+            self.stats["recovered"] += count
+        return count
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def status(self) -> dict:
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "capacity": self.capacity, **self.stats}

@@ -37,6 +37,24 @@ Lifecycle: connection limits refuse excess clients with an error
 frame; idle sessions are closed after ``idle_timeout_s``; shutdown
 drains in-flight requests, rolls back every open transaction, and only
 then returns.
+
+Resilience (PR 8)
+-----------------
+
+Statement execution sits behind an :class:`AdmissionController`
+(bounded in-flight + bounded queue; overflow is shed with a
+``RetryLater`` error frame carrying a retry-after hint, and nothing has
+executed).  The wire-memo fast path runs *before* admission, so cached
+reads keep serving under overload.  Requests may carry ``deadline_ms``;
+expired work is refused up front and streaming plans are cancelled
+cooperatively (:func:`repro.plan.plans.set_statement_deadline`) at the
+earlier of the request deadline and ``statement_timeout_s``.  DML with
+an idempotency ``token`` is answered from a :class:`DedupTable` on
+retry; the commit journals a ``dedup`` record atomically with the
+mutation so exactly-once survives recovery.  ``ask`` degrades to an
+extensional-only answer (with a warning) while the gate is saturated.
+An idle reaper closes silent connections but never one with a
+statement in flight.
 """
 
 from __future__ import annotations
@@ -49,11 +67,15 @@ from typing import Any
 
 from repro import obs
 from repro.errors import (
-    LockTimeout, ProtocolError, ReproError, SqlError, StorageError,
+    DeadlineExceeded, LockTimeout, ProtocolError, ReproError, SqlError,
+    StorageError,
 )
 from repro.server import protocol
 from repro.server.concurrency import (
     LockManager, LockTable, RULES_TOKEN, TXN_TOKEN,
+)
+from repro.server.resilience import (
+    AdmissionController, Deadline, DedupTable,
 )
 from repro.sql import ast
 from repro.sql.fingerprint import normalize_sql
@@ -86,6 +108,11 @@ class Session:
         self.in_transaction = False
         self.requests_served = 0
         self.started_at = time.time()
+        #: idle-reaper state: a session is only reapable when it is
+        #: *between* requests (``in_flight`` false) and its last
+        #: activity is older than the idle timeout.
+        self.last_activity = time.monotonic()
+        self.in_flight = False
         self._closing = False
         self._done = False
 
@@ -110,7 +137,16 @@ class Session:
                     break
                 if request is None:  # clean EOF
                     break
-                response, keep_going = self._serve(request)
+                # Bump activity at statement *start* as well as end:
+                # the reaper must never mistake a long-running
+                # statement for an idle connection.
+                self.in_flight = True
+                self.last_activity = time.monotonic()
+                try:
+                    response, keep_going = self._serve(request)
+                finally:
+                    self.last_activity = time.monotonic()
+                    self.in_flight = False
                 if response is not None:
                     self._try_send(response)
                 if not keep_going:
@@ -177,6 +213,9 @@ class Session:
         aborted = False
         try:
             with obs.span("server.request", op=op, session=self.id):
+                # Control ops bypass admission and deadlines entirely:
+                # a commit must never be shed, and liveness probes must
+                # answer even under full load.
                 if op == "ping":
                     return {"ok": True, "kind": "ok", "pong": True}, True
                 if op == "bye":
@@ -184,15 +223,18 @@ class Session:
                             "message": "bye"}, False
                 if op in ("begin", "commit", "rollback"):
                     return self._transaction_op(op), True
+                deadline = self._request_deadline(request)
                 if op == "admin":
-                    return self._admin(str(request.get("command", ""))), \
-                        True
+                    with self.server.admission.admit(deadline):
+                        return self._admin(
+                            str(request.get("command", ""))), True
                 if op == "sql":
-                    return self._sql(request), True
+                    return self._sql(request, deadline), True
                 if op == "ask":
-                    return self._ask(request), True
+                    return self._ask(request, deadline), True
                 if op == "explain":
-                    return self._explain(request), True
+                    with self.server.admission.admit(deadline):
+                        return self._explain(request, deadline), True
                 raise ProtocolError(f"unknown op {op!r}")
         except LockTimeout as error:
             # The deadlock policy: the waiter is the victim.  An open
@@ -267,17 +309,22 @@ class Session:
 
     # -- statements --------------------------------------------------------
 
-    def _sql(self, request: dict) -> dict | bytes:
+    def _sql(self, request: dict,
+             deadline: Deadline | None = None) -> dict | bytes:
         text = str(request.get("sql", ""))
         if not text.strip():
             raise SqlError("empty sql request")
+        # Memo before admission: a cached read costs no execution slot,
+        # so hot reads keep serving even while the gate sheds new work.
         hit = self._memo_fast_path(("sql", normalize_sql(text)))
         if hit is not None:
             return hit
-        statement = parse_statement(text)
-        if isinstance(statement, (ast.SelectStmt, ast.ExplainStmt)):
-            return self._read_statement(text, statement)
-        return self._write_statement(text, statement)
+        with self.server.admission.admit(deadline):
+            statement = parse_statement(text)
+            if isinstance(statement, (ast.SelectStmt, ast.ExplainStmt)):
+                return self._read_statement(text, statement, deadline)
+            return self._write_statement(text, statement, request,
+                                         deadline)
 
     def _memo_fast_path(self, key: tuple) -> bytes | None:
         """Serve a memoized frame without parsing or locking.
@@ -292,7 +339,8 @@ class Session:
         with self.server.engine_lock:
             return self.server._wire_memo_get(key)
 
-    def _read_statement(self, text: str, statement) -> dict | bytes:
+    def _read_statement(self, text: str, statement,
+                        deadline: Deadline | None = None) -> dict | bytes:
         select = (statement.select
                   if isinstance(statement, ast.ExplainStmt) else statement)
         memo_key = None
@@ -310,15 +358,17 @@ class Session:
                 rules = None if degraded else system.rules
                 if isinstance(statement, ast.ExplainStmt):
                     from repro.plan.explain import explain_select
-                    return {"ok": True, "kind": "text",
-                            "text": explain_select(
-                                system.database, select, rules=rules,
-                                analyze=statement.analyze)}
+                    with self._statement_guard(deadline):
+                        return {"ok": True, "kind": "text",
+                                "text": explain_select(
+                                    system.database, select, rules=rules,
+                                    analyze=statement.analyze)}
                 self._enter_cache_scope()
                 try:
                     from repro.sql.executor import execute_select
-                    result = execute_select(system.database, select,
-                                            rules=rules)
+                    with self._statement_guard(deadline):
+                        result = execute_select(system.database, select,
+                                                rules=rules)
                 finally:
                     self._exit_cache_scope()
                 response = {
@@ -331,32 +381,78 @@ class Session:
         finally:
             self.locks.statement_done()
 
-    def _write_statement(self, text: str, statement) -> dict:
+    def _write_statement(self, text: str, statement, request: dict,
+                         deadline: Deadline | None = None) -> dict:
         table = getattr(statement, "table", None)
         if table is None:
             raise SqlError(
                 f"unsupported statement {type(statement).__name__}")
+        server = self.server
+        dedup_key = self._dedup_key(request)
+        if dedup_key is not None:
+            cached = server.dedup.get(dedup_key)
+            if cached is not None:
+                return dict(cached, deduplicated=True)
         # Writers serialize behind the transaction token (the storage
         # engine has one transaction buffer): an autocommit write waits
         # for any open explicit transaction to finish, and never joins
         # it by accident.
         self.locks.xlock(TXN_TOKEN)
         self.locks.xlock(table)
-        system = self.server.system
+        system = server.system
         try:
-            with self.server.engine_lock:
+            record = journaled = False
+            with server.engine_lock:
+                if dedup_key is not None:
+                    # Re-probe under the engine lock: the retried twin
+                    # may have committed while this attempt waited.
+                    cached = server.dedup.get(dedup_key)
+                    if cached is not None:
+                        return dict(cached, deduplicated=True)
                 self._enter_cache_scope()
                 try:
                     from repro.sql.executor import execute_statement
-                    count = execute_statement(system.database, text)
+                    storage = system.database.storage
+                    # Inside an explicit transaction the statement's
+                    # effects can still roll back, so no dedup entry
+                    # may outlive it; everywhere else the entry is
+                    # recorded -- durably (WAL) when storage is
+                    # attached, in memory otherwise (no restart to
+                    # survive without storage).
+                    record = (dedup_key is not None
+                              and not (storage is not None
+                                       and storage.in_transaction()))
+                    journaled = record and storage is not None
+                    with self._statement_guard(deadline):
+                        if journaled:
+                            # An outer statement scope: the executor's
+                            # inner scope exits at depth 1 without
+                            # flushing, so the dedup record commits in
+                            # the same WAL batch as the mutation.
+                            with storage.statement():
+                                count = execute_statement(
+                                    system.database, text)
+                                storage.note_dedup(dedup_key, {
+                                    "ok": True, "kind": "count",
+                                    "count": int(count)})
+                        else:
+                            count = execute_statement(
+                                system.database, text)
                 finally:
                     self._exit_cache_scope()
-            self.server.stats["writes_total"] += 1
-            return {"ok": True, "kind": "count", "count": int(count)}
+            server.stats["writes_total"] += 1
+            response = {"ok": True, "kind": "count", "count": int(count)}
+            if record:
+                # Only after a successful commit: an exception above
+                # skipped this, so a failed attempt leaves no entry and
+                # the retry re-executes from scratch.
+                server.dedup.put(dedup_key, response)
+            return response
         finally:
             self.locks.statement_done()
 
-    def _ask(self, request: dict) -> dict | bytes:
+    def _ask(self, request: dict,
+             deadline: Deadline | None = None) -> dict | bytes:
         text = str(request.get("sql", ""))
         if not text.strip():
             raise SqlError("empty ask request")
@@ -366,6 +462,13 @@ class Session:
         hit = self._memo_fast_path(memo_key)
         if hit is not None:
             return hit
+        with self.server.admission.admit(deadline):
+            return self._ask_slow(text, forward, backward, memo_key,
+                                  deadline)
+
+    def _ask_slow(self, text: str, forward: bool, backward: bool,
+                  memo_key: tuple,
+                  deadline: Deadline | None) -> dict | bytes:
         select = parse_select(text)
         self._lock_tables(select, exclusive=False)
         system = self.server.system
@@ -374,12 +477,24 @@ class Session:
                 hit = self.server._wire_memo_get(memo_key)
                 if hit is not None:
                     return hit
+                # Degraded serving: while the admission gate is
+                # saturated, skip rule inference and answer
+                # extensionally -- a smaller, honest answer beats a
+                # shed request.
+                shedding = self.server.admission.overloaded()
                 self._enter_cache_scope()
                 try:
-                    result = system.ask(text, forward=forward,
-                                        backward=backward)
+                    with self._statement_guard(deadline):
+                        result = system.ask(
+                            text, forward=forward and not shedding,
+                            backward=backward and not shedding)
                 finally:
                     self._exit_cache_scope()
+                warnings = list(result.warnings)
+                if shedding and (forward or backward):
+                    warnings.append(
+                        "server overloaded: intensional inference "
+                        "skipped, extensional answer only")
                 response = {
                     "ok": True, "kind": "ask",
                     "relation": protocol.encode_relation_payload(
@@ -388,14 +503,19 @@ class Session:
                                     for answer in result.intensional],
                     "summary": result.inference.summary(),
                     "rendered": result.render(),
-                    "warnings": list(result.warnings)}
-                self.server._wire_memo_put(memo_key, response, select,
-                                           in_tx=self._any_tx())
+                    "warnings": warnings}
+                if not shedding:
+                    # A degraded answer is not the full answer: never
+                    # let it shadow future healthy serves.
+                    self.server._wire_memo_put(memo_key, response,
+                                               select,
+                                               in_tx=self._any_tx())
                 return response
         finally:
             self.locks.statement_done()
 
-    def _explain(self, request: dict) -> dict:
+    def _explain(self, request: dict,
+                 deadline: Deadline | None = None) -> dict:
         text = str(request.get("sql", ""))
         analyze = bool(request.get("analyze", False))
         statement = parse_statement(text)
@@ -410,10 +530,12 @@ class Session:
                 from repro.plan.explain import explain_select
                 system = self.server.system
                 rules = None if self._degraded() else system.rules
-                return {"ok": True, "kind": "text",
-                        "text": explain_select(system.database, statement,
-                                               rules=rules,
-                                               analyze=analyze)}
+                with self._statement_guard(deadline):
+                    return {"ok": True, "kind": "text",
+                            "text": explain_select(system.database,
+                                                   statement,
+                                                   rules=rules,
+                                                   analyze=analyze)}
         finally:
             self.locks.statement_done()
 
@@ -428,10 +550,15 @@ class Session:
         if word == "sessions":
             return {"ok": True, "kind": "text",
                     "text": self.server.render_sessions()}
+        if word == "status":
+            import json
+            return {"ok": True, "kind": "text",
+                    "text": json.dumps(self.server.status(), indent=2,
+                                       sort_keys=True, default=str)}
         if word not in ADMIN_COMMANDS:
             raise ProtocolError(
                 f"admin command {word or '(empty)'!r} is not allowed "
-                f"over the wire (allowed: locks, sessions, "
+                f"over the wire (allowed: locks, sessions, status, "
                 f"{', '.join(sorted(ADMIN_COMMANDS))})")
         with self.server.engine_lock:
             out = io.StringIO()
@@ -442,6 +569,53 @@ class Session:
                     "text": out.getvalue().rstrip("\n")}
 
     # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _request_deadline(request: dict) -> Deadline | None:
+        """The request's remaining time budget, from ``deadline_ms``.
+
+        A request that arrives already expired is refused here, before
+        any admission or parsing work -- the integer header says so
+        without touching the clock."""
+        raw = request.get("deadline_ms")
+        if raw is None:
+            return None
+        try:
+            remaining_ms = int(raw)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"deadline_ms must be an integer, got {raw!r}") from None
+        if remaining_ms <= 0:
+            raise DeadlineExceeded(
+                "the request arrived with its deadline already "
+                "expired; nothing was executed")
+        return Deadline.after(remaining_ms / 1000.0)
+
+    @staticmethod
+    def _dedup_key(request: dict) -> str | None:
+        """The idempotency key for a DML request, or ``None``.
+
+        Keyed on the *client* id (stable across reconnects), not the
+        session id -- a retry after a wire fault arrives on a fresh
+        session and must still hit the original entry.
+        """
+        token = request.get("token")
+        if not token:
+            return None
+        client = str(request.get("client") or "")
+        return f"{client}|{token}"
+
+    def _statement_guard(self, deadline: Deadline | None):
+        """Arm the cooperative per-statement execution deadline (the
+        earlier of the server's statement timeout and the request's
+        remaining budget) around one statement's execution."""
+        from repro.plan import plans
+        budget = self.server.statement_timeout_s
+        if deadline is not None:
+            remaining = deadline.remaining()
+            budget = remaining if budget is None \
+                else min(budget, remaining)
+        return plans.statement_deadline_scope(budget)
 
     def _lock_tables(self, select: ast.SelectStmt,
                      exclusive: bool = False) -> None:
@@ -479,6 +653,8 @@ class Session:
         return {"id": self.id, "peer": f"{self.address}",
                 "requests": self.requests_served,
                 "in_transaction": self.in_transaction,
+                "in_flight": self.in_flight,
+                "idle_s": time.monotonic() - self.last_activity,
                 "age_s": time.time() - self.started_at}
 
 
@@ -489,13 +665,26 @@ class IntensionalQueryServer:
                  max_connections: int = 64,
                  idle_timeout_s: float = 300.0,
                  lock_timeout_s: float = 10.0,
-                 drain_timeout_s: float = 5.0):
+                 drain_timeout_s: float = 5.0,
+                 statement_timeout_s: float | None = 30.0,
+                 max_in_flight: int = 8,
+                 max_queue: int = 16):
         self.system = system
         self.host = host
         self._requested_port = port
         self.max_connections = max_connections
         self.idle_timeout_s = idle_timeout_s
         self.drain_timeout_s = drain_timeout_s
+        self.statement_timeout_s = statement_timeout_s
+        self.admission = AdmissionController(max_in_flight=max_in_flight,
+                                             max_queue=max_queue)
+        self.dedup = DedupTable()
+        storage = getattr(system.database, "storage", None)
+        recovered = getattr(storage, "_dedup_recent", None)
+        if recovered:
+            # Recovery rebuilt exactly the idempotency entries whose
+            # DML effects survived; serve retries from them.
+            self.dedup.seed(recovered.items())
         self.lock_table = LockTable(timeout_s=lock_timeout_s)
         #: serializes statement execution on the shared engine.
         self.engine_lock = threading.RLock()
@@ -503,6 +692,7 @@ class IntensionalQueryServer:
                       "writes_total": 0, "refused_total": 0}
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
+        self._reaper_thread: threading.Thread | None = None
         self._sessions: dict[str, tuple[Session, threading.Thread]] = {}
         self._sessions_guard = threading.Lock()
         self._next_session = 1
@@ -539,6 +729,10 @@ class IntensionalQueryServer:
             target=self._accept_loop, name="repro-server-accept",
             daemon=True)
         self._accept_thread.start()
+        self._reaper_thread = threading.Thread(
+            target=self._reaper_loop, name="repro-server-reaper",
+            daemon=True)
+        self._reaper_thread.start()
         return self
 
     def __enter__(self) -> "IntensionalQueryServer":
@@ -594,6 +788,34 @@ class IntensionalQueryServer:
         self._set_connection_gauge()
         thread.start()
 
+    def _reaper_loop(self) -> None:
+        interval = max(0.05, min(1.0, self.idle_timeout_s / 4))
+        while not self._closing.wait(interval):
+            self._reap_idle()
+
+    def _reap_idle(self) -> None:
+        """Close sessions idle past the timeout -- but never one with a
+        statement in flight: a slow statement is *work*, not idleness,
+        whatever the wall clock says (its activity stamp was bumped at
+        statement start precisely so this check cannot misfire on a
+        request older than the idle window)."""
+        now = time.monotonic()
+        with self._sessions_guard:
+            sessions = [session for session, _ in self._sessions.values()]
+        for session in sessions:
+            if session.in_flight:
+                continue
+            if now - session.last_activity <= self.idle_timeout_s:
+                continue
+            session._try_send(protocol.error_frame(
+                ProtocolError(
+                    f"idle for more than {self.idle_timeout_s:g}s; "
+                    f"closing"),
+                aborted=session.in_transaction))
+            session.request_shutdown()
+            obs.counter("server_idle_reaped_total",
+                        "sessions closed by the idle reaper").inc()
+
     def _unregister(self, session: Session) -> None:
         with self._sessions_guard:
             self._sessions.pop(session.id, None)
@@ -638,6 +860,9 @@ class IntensionalQueryServer:
         if self._accept_thread is not None:
             self._accept_thread.join(1.0)
         self._accept_thread = None
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(2.0)
+        self._reaper_thread = None
         self._listener = None
         self._wire_memo.clear()
 
@@ -734,6 +959,11 @@ class IntensionalQueryServer:
             "max_connections": self.max_connections,
             "idle_timeout_s": self.idle_timeout_s,
             "lock_timeout_s": self.lock_table.timeout_s,
+            "statement_timeout_s": self.statement_timeout_s,
             "stats": dict(self.stats),
             "locks": self.lock_table.status(),
+            "admission": self.admission.status(),
+            "dedup": self.dedup.status(),
+            "overloaded": self.admission.overloaded(),
+            "degraded_rules": self._degraded_now(),
         }

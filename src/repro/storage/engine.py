@@ -59,6 +59,11 @@ from repro.storage.wal import WriteAheadLog, read_records
 
 WAL_FILE = "wal.jsonl"
 
+#: How many idempotency-dedup entries the engine keeps (and carries
+#: across checkpoints in the snapshot metadata).  Retry windows are
+#: seconds; the cap only bounds memory, not correctness within them.
+DEDUP_KEEP = 4096
+
 #: Relations that *are* the knowledge base; mutations of anything else
 #: count as data mutations for rule-staleness tracking.
 RULE_RELATIONS = frozenset(name.lower() for name in (
@@ -133,6 +138,11 @@ class RecoveryReport:
         self.rules_stale = False
         self.has_rules = False
         self.last_lsn = 0
+        #: committed idempotency entries (key -> recorded response):
+        #: snapshot metadata overlaid with the WAL tail's ``dedup``
+        #: records, exactly the retried-DML answers whose effects
+        #: survived recovery.
+        self.dedup_entries: dict[str, dict] = {}
 
     def render(self) -> str:
         lines = [
@@ -177,6 +187,10 @@ class StorageEngine:
         self.has_rules = any(is_rule_relation(name)
                              for name in database.catalog.names())
         self.rules_stale = False
+        #: committed idempotency entries (insertion-ordered, capped at
+        #: :data:`DEDUP_KEEP`); carried into checkpoint metadata so a
+        #: WAL rotation cannot forget a recent retried-DML answer.
+        self._dedup_recent: dict[str, dict] = {}
         # Attach: become the journal of the catalog and every relation.
         database.storage = self
         database.catalog.journal = self
@@ -337,6 +351,33 @@ class StorageEngine:
             "stats_version": self.database.catalog.stats_version()})
         self._maybe_autocommit()
 
+    def note_dedup(self, key: str, response: dict[str, Any]) -> None:
+        """Journal an idempotency entry in the *current* transaction.
+
+        The server wraps an autocommit DML statement in an outer
+        :meth:`statement` scope, executes it (the executor's inner scope
+        exits at depth 1 without flushing), then calls this -- so the
+        ``dedup`` record commits in the same WAL batch as the mutation
+        it acknowledges.  A crash therefore either keeps both (retry
+        answered from the journal) or neither (retry re-executes
+        safely); there is no window where the effect is durable but the
+        acknowledgement key is not.
+        """
+        if self._suspended:
+            return
+        tx = self._ensure_tx()
+        tx.last_insert_rel = None
+        tx.records.append({"type": "dedup", "tx": tx.txid,
+                           "key": key, "resp": dict(response)})
+        self._maybe_autocommit()
+
+    def _remember_dedup(self, records: list[dict]) -> None:
+        for record in records:
+            if record["type"] == "dedup":
+                self._dedup_recent[record["key"]] = record["resp"]
+        while len(self._dedup_recent) > DEDUP_KEEP:
+            self._dedup_recent.pop(next(iter(self._dedup_recent)))
+
     # -- transaction machinery ---------------------------------------------
 
     def _ensure_tx(self) -> _Transaction:
@@ -404,6 +445,7 @@ class StorageEngine:
         obs.counter("wal_transactions_total",
                     "transactions committed to the WAL").inc()
         self._track_staleness(tx.records)
+        self._remember_dedup(tx.records)
         self._notify_cache("commit")
 
     def _notify_cache(self, event: str) -> None:
@@ -494,6 +536,7 @@ class StorageEngine:
             "next_tx": self._next_tx,
             "has_rules": self.has_rules,
             "rules_stale": self.rules_stale,
+            "dedup": dict(self._dedup_recent),
         }
         write_snapshot(self.database, self.snapshot_path, meta, self.ops)
         self.wal.rotate(meta["lsn"])
@@ -520,6 +563,7 @@ class StorageEngine:
             report.snapshot_lsn = int(meta.get("lsn", 0))
             report.has_rules = bool(meta.get("has_rules"))
             report.rules_stale = bool(meta.get("rules_stale"))
+            report.dedup_entries = dict(meta.get("dedup") or {})
             next_tx = int(meta.get("next_tx", 1))
         else:
             database = Database()
@@ -528,7 +572,7 @@ class StorageEngine:
         _replay(database, records, report.snapshot_lsn, report)
         for record in records:
             if record["type"] in ("begin", "mut", "ddl", "rule_sync",
-                                  "commit"):
+                                  "dedup", "commit"):
                 next_tx = max(next_tx, int(record["tx"]) + 1)
         report.has_rules = RULE_RELATION_NAME in database.catalog
         if not report.has_rules:
@@ -537,6 +581,8 @@ class StorageEngine:
         engine._next_tx = next_tx
         engine.has_rules = report.has_rules
         engine.rules_stale = report.rules_stale
+        engine._dedup_recent = dict(report.dedup_entries)
+        engine._remember_dedup(())  # enforce the DEDUP_KEEP cap
         report.last_lsn = engine.wal.last_lsn
         obs.counter("recovery_runs_total", "recoveries performed").inc()
         obs.counter("recovery_replayed_records_total",
@@ -609,6 +655,12 @@ def _replay(database: Database, records: list[dict], start_lsn: int,
             continue
         if record["tx"] not in committed:
             report.discarded_records += 1
+            continue
+        if record["type"] == "dedup":
+            # Idempotency entries mutate no relation: collect the
+            # committed answer for the server's dedup table and move on.
+            report.dedup_entries[record["key"]] = record["resp"]
+            report.replayed_records += 1
             continue
         _apply(database, record)
         report.replayed_records += 1

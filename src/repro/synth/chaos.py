@@ -1,0 +1,232 @@
+"""The chaos differential leg: wire faults vs a fault-free oracle.
+
+The cross-engine harness (:mod:`repro.synth.differential`) proves that
+every engine configuration computes the same answers.  This module
+proves something harsher: that the *resilient client* computes those
+same answers **through a faulty network**.  One leg replays a generated
+statement program over a clean server connection (the oracle); the
+other replays it through a :class:`~repro.server.chaosproxy.ChaosSocket`
+driven by a seeded :class:`~repro.server.chaosproxy.ChaosSchedule`
+that drops, truncates, corrupts, delays and resets protocol frames --
+including ``drop_reply``, the ambiguous-ack case where the server fully
+processed a DML but the client never saw the answer.
+
+Agreement is checked statement by statement *and* on the final
+database fingerprint, so the leg fails if any client-acknowledged DML
+was lost (fingerprint missing a row) or double-applied (fingerprint
+has an extra row, or a retried count disagrees) -- the exactly-once
+guarantee idempotency tokens exist to provide.
+
+Failures delta-debug through :func:`repro.synth.differential.minimize`
+with a chaos-replaying predicate and land in the same corpus format,
+extended with a ``chaos`` key that :func:`replay_chaos_case` (and
+``replay_case``) dispatch on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.server.chaosproxy import ChaosSchedule, ChaosSocket
+from repro.server.resilience import RetryPolicy
+from repro.synth.differential import (
+    Divergence, Report, _error_outcome, canonical_outcome, minimize,
+    run_config,
+)
+from repro.synth.domains import SynthInstance, build_instance
+from repro.synth.workload import Statement, generate_program, \
+    rows_fingerprint
+
+__all__ = [
+    "ChaosClientSession",
+    "chaos_diverges",
+    "mixed_rates",
+    "minimize_chaos",
+    "replay_chaos_case",
+    "run_chaos",
+]
+
+#: The oracle leg: the plain server config from the differential matrix.
+ORACLE_CONFIG = "server"
+
+#: How hard the chaos client retries.  Attempt counts are high and
+#: backoffs tiny: the goal is correctness under faults, not production
+#: pacing, and the probability that *every* attempt of one statement is
+#: faulted must be negligible at the rates the legs run.
+CHAOS_RETRY = dict(max_attempts=10, base_delay_s=0.001,
+                   multiplier=2.0, max_delay_s=0.02, jitter=0.5)
+
+
+def mixed_rates(rate: float) -> dict[str, float]:
+    """A representative fault mix summing to *rate* per request frame,
+    weighted toward the cases that matter most for exactly-once."""
+    return {
+        "drop_reply": rate * 0.35,
+        "drop": rate * 0.20,
+        "truncate": rate * 0.15,
+        "corrupt": rate * 0.10,
+        "reset": rate * 0.10,
+        "delay": rate * 0.10,
+    }
+
+
+class ChaosClientSession:
+    """Replays a program through a live server over a faulty wire.
+
+    The same shape as ``ServerSession`` from the differential matrix,
+    except the client (a) wraps every socket it opens in a
+    :class:`ChaosSocket` bound to one shared schedule -- the frame
+    counter spans reconnects, so a retry meets the *next* scheduled
+    fault, not the same one forever -- and (b) runs with a retry
+    policy, so transport faults surface as reconnect-and-retry instead
+    of errors.  No circuit breaker: its cooldown is deliberate
+    slowness, and the leg asserts correctness, not pacing.
+    """
+
+    def __init__(self, instance: SynthInstance, schedule: ChaosSchedule):
+        from repro.cache.core import query_cache
+        from repro.query.system import IntensionalQueryProcessor
+        from repro.server import IntensionalQueryServer
+        from repro.server.client import Client
+        self.instance = instance
+        self.schedule = schedule
+        query_cache(instance.database).enabled = False
+        system = IntensionalQueryProcessor(
+            instance.database, instance.rules, binding=instance.binding)
+        self.server = IntensionalQueryServer(system, port=0,
+                                             lock_timeout_s=5.0)
+        self.server.start()
+        self.client = Client(
+            "127.0.0.1", self.server.port,
+            timeout_s=30.0, connect_timeout_s=10.0,
+            retry=RetryPolicy(seed=schedule.seed, **CHAOS_RETRY),
+            client_id=f"chaos-{schedule.seed}",
+            wrap_socket=lambda sock: ChaosSocket(sock, schedule),
+        ).connect()
+
+    def run(self, statement: Statement) -> dict:
+        try:
+            return canonical_outcome(self.client.sql(statement.sql))
+        except Exception as error:
+            return _error_outcome(error)
+
+    def final_state(self) -> str:
+        return rows_fingerprint(self.instance)
+
+    def close(self) -> None:
+        try:
+            self.client.close()
+        except Exception:
+            pass  # the farewell frame is fair game for the schedule
+        self.server.shutdown(drain=False)
+
+
+def run_chaos(domain: str, seed: int,
+              statements: Sequence[Statement] | None = None, *,
+              fault_seed: int = 0, rate: float = 0.15,
+              rates: dict[str, float] | None = None,
+              n_statements: int = 30, workload_seed: int = 0,
+              scale: int = 1, adversarial: bool = False) -> Report:
+    """One chaos cell: faulty-wire leg vs the fault-free oracle.
+
+    Returns a :class:`Report` whose configs are ``(server, chaos)``;
+    a :class:`Divergence` at index -1 means the final fingerprints
+    disagree -- a lost or double-applied committed DML.
+    """
+    if statements is None:
+        instance = build_instance(domain, seed=seed, scale=scale,
+                                  adversarial=adversarial)
+        statements = generate_program(instance, n_statements,
+                                      seed=workload_seed)
+    statements = list(statements)
+    chaos_name = f"chaos(fault_seed={fault_seed})"
+    report = Report(domain, seed, (ORACLE_CONFIG, chaos_name),
+                    statements)
+
+    base_outcomes, base_final = run_config(
+        ORACLE_CONFIG, domain, seed, statements,
+        scale=scale, adversarial=adversarial)
+
+    schedule = ChaosSchedule(fault_seed,
+                             rates=rates if rates is not None
+                             else mixed_rates(rate))
+    instance = build_instance(domain, seed=seed, scale=scale,
+                              adversarial=adversarial)
+    session = ChaosClientSession(instance, schedule)
+    try:
+        outcomes = [session.run(statement) for statement in statements]
+        final = session.final_state()
+    finally:
+        session.close()
+
+    report.outcomes[ORACLE_CONFIG] = base_outcomes
+    report.outcomes[chaos_name] = outcomes
+    for index, statement in enumerate(statements):
+        if outcomes[index] != base_outcomes[index]:
+            report.divergences.append(Divergence(
+                domain, seed, index, statement, ORACLE_CONFIG,
+                chaos_name, base_outcomes[index], outcomes[index]))
+    if final != base_final:
+        report.divergences.append(Divergence(
+            domain, seed, -1, None, ORACLE_CONFIG, chaos_name,
+            base_final, final))
+    return report
+
+
+def chaos_diverges(domain: str, seed: int,
+                   statements: Sequence[Statement], *,
+                   fault_seed: int, rate: float = 0.15,
+                   rates: dict[str, float] | None = None,
+                   scale: int = 1, adversarial: bool = False) -> bool:
+    report = run_chaos(domain, seed, statements, fault_seed=fault_seed,
+                       rate=rate, rates=rates, scale=scale,
+                       adversarial=adversarial)
+    return not report.ok
+
+
+def minimize_chaos(domain: str, seed: int,
+                   statements: Sequence[Statement], *,
+                   fault_seed: int, rate: float = 0.15,
+                   rates: dict[str, float] | None = None,
+                   scale: int = 1,
+                   adversarial: bool = False) -> list[Statement]:
+    """ddmin with a chaos-replaying predicate.
+
+    Each candidate subset replays with a *fresh* schedule from the same
+    fault seed, so shrinking stays deterministic even though removing a
+    statement shifts which frames meet which faults.
+    """
+
+    def predicate(subset: Sequence[Statement]) -> bool:
+        return chaos_diverges(domain, seed, subset,
+                              fault_seed=fault_seed, rate=rate,
+                              rates=rates, scale=scale,
+                              adversarial=adversarial)
+
+    return minimize(domain, seed, statements, configs=(ORACLE_CONFIG,),
+                    predicate=predicate)
+
+
+def chaos_case_payload(payload: dict, *, fault_seed: int,
+                       rate: float,
+                       rates: dict[str, float] | None = None) -> dict:
+    """Extend a differential corpus payload with the chaos schedule."""
+    payload = dict(payload)
+    payload["chaos"] = {"fault_seed": fault_seed, "rate": rate}
+    if rates is not None:
+        payload["chaos"]["rates"] = rates
+    return payload
+
+
+def replay_chaos_case(payload: dict) -> Report:
+    """Re-run a pinned chaos counterexample (corpus regression path)."""
+    chaos = payload["chaos"]
+    statements = [Statement(kind, sql)
+                  for kind, sql in payload["statements"]]
+    return run_chaos(
+        payload["domain"], payload["seed"], statements,
+        fault_seed=int(chaos["fault_seed"]),
+        rate=float(chaos.get("rate", 0.15)),
+        rates=chaos.get("rates"),
+        scale=payload.get("scale", 1),
+        adversarial=payload.get("adversarial", False))

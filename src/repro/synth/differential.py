@@ -531,6 +531,11 @@ def load_case(path: str) -> dict:
 
 def replay_case(payload: dict) -> Report:
     """Re-run a pinned corpus case; a fixed bug must stay agreeing."""
+    if payload.get("chaos"):
+        # Wire-fault counterexample: replay through the chaos harness
+        # (imported lazily -- chaos depends on this module).
+        from repro.synth.chaos import replay_chaos_case
+        return replay_chaos_case(payload)
     statements = [Statement(kind, sql)
                   for kind, sql in payload["statements"]]
     return run_differential(

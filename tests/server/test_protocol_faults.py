@@ -1,0 +1,133 @@
+"""Property tests: the frame decoder against torn, truncated,
+corrupted, and hostile byte streams.
+
+The invariant under test is total: for *any* byte prefix a failing
+network can deliver, :func:`repro.server.protocol.read_frame` either
+returns a decoded dict, returns ``None`` (clean EOF between frames),
+or raises :class:`~repro.errors.ProtocolError` -- it never hangs once
+the peer is gone, never raises anything else, and never reinterprets
+damage as a different valid frame.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.server import protocol
+
+#: A representative frame with nested values and multi-byte UTF-8, so
+#: truncation points can land inside a code point.
+MESSAGE = {"op": "sql", "sql": "SELECT Name FROM SOUS_MARIN é中",
+           "deadline_ms": 1500, "nested": {"ok": True, "n": [1, 2, 3]}}
+FRAME = protocol.encode_frame(MESSAGE)
+
+FAULT_SETTINGS = settings(
+    max_examples=60, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+def deliver(data: bytes):
+    """Write *data* to a dead-ending pipe and decode from the far side:
+    exactly what a server session sees when a client dies mid-send."""
+    left, right = socket.socketpair()
+    right.settimeout(2.0)
+    try:
+        if data:
+            left.sendall(data)
+        left.close()
+        return protocol.read_frame(right)
+    finally:
+        right.close()
+
+
+class TestTornFrames:
+    @FAULT_SETTINGS
+    @given(cut=st.integers(min_value=0, max_value=len(FRAME)))
+    def test_every_truncation_point_is_handled(self, cut):
+        prefix = FRAME[:cut]
+        if cut == len(FRAME):
+            assert deliver(prefix) == MESSAGE
+        elif cut == 0:
+            assert deliver(prefix) is None  # clean EOF between frames
+        else:
+            # Torn header, torn length/body boundary, or torn body --
+            # all must surface as ProtocolError, never a partial dict.
+            with pytest.raises(ProtocolError):
+                deliver(prefix)
+
+    @FAULT_SETTINGS
+    @given(announced=st.integers(min_value=1, max_value=1 << 20),
+           short=st.integers(min_value=0, max_value=64))
+    def test_body_shorter_than_announced(self, announced, short):
+        body = FRAME[4:]
+        delivered = body[:max(0, min(len(body), announced - short - 1))]
+        with pytest.raises(ProtocolError):
+            deliver(struct.pack(">I", announced) + delivered)
+
+
+class TestOversizedFrames:
+    @FAULT_SETTINGS
+    @given(length=st.integers(min_value=protocol.MAX_FRAME_BYTES + 1,
+                              max_value=2 ** 32 - 1))
+    def test_oversized_announcement_refused_before_reading(self, length):
+        # The decoder must refuse on the 4 header bytes alone -- never
+        # try to allocate or read a body the announcement sized.
+        with pytest.raises(ProtocolError, match="limit"):
+            deliver(struct.pack(">I", length))
+
+
+class TestCorruptedFrames:
+    @FAULT_SETTINGS
+    @given(position=st.integers(min_value=0, max_value=len(FRAME) - 5),
+           value=st.integers(min_value=0, max_value=255))
+    def test_flipped_body_byte_never_escapes_as_success(self, position,
+                                                        value):
+        # Corrupt one body byte (headers stay intact so length still
+        # matches): the decode either fails as ProtocolError or yields
+        # a JSON object -- never a crash, never a non-dict.
+        body_at = 4 + position
+        corrupted = (FRAME[:body_at] + bytes([value])
+                     + FRAME[body_at + 1:])
+        try:
+            result = deliver(corrupted)
+        except ProtocolError:
+            return
+        assert isinstance(result, dict)
+
+    @FAULT_SETTINGS
+    @given(data=st.binary(max_size=4096))
+    def test_arbitrary_garbage_is_total(self, data):
+        # Any byte soup: a dict, a clean None, or ProtocolError.
+        try:
+            result = deliver(data)
+        except ProtocolError:
+            return
+        assert result is None or isinstance(result, dict)
+
+
+class TestServerSurvivesTornFrames:
+    def test_session_cleanup_after_torn_frame(self):
+        # A live server fed a torn frame must drop that session cleanly
+        # and keep serving new connections.
+        from repro.query import IntensionalQueryProcessor
+        from repro.server import IntensionalQueryServer
+        from repro.server.client import Client
+        from repro.testbed import ship_database, ship_ker_schema
+        system = IntensionalQueryProcessor.from_database(
+            ship_database(), ker_schema=ship_ker_schema(),
+            relation_order=["SUBMARINE", "CLASS", "SONAR", "INSTALL"])
+        with IntensionalQueryServer(system, lock_timeout_s=0.3) as live:
+            raw = socket.create_connection(("127.0.0.1", live.port),
+                                           timeout=2.0)
+            try:
+                assert protocol.read_frame(raw)["kind"] == "hello"
+                raw.sendall(FRAME[:len(FRAME) // 2])
+            finally:
+                raw.close()
+            with Client("127.0.0.1", live.port) as client:
+                assert client.ping() >= 0.0

@@ -1,0 +1,700 @@
+"""The resilience layer: deadlines, retries, circuit breaking,
+admission control, idempotent DML dedup, statement timeouts, connect
+timeouts, and the idle reaper.
+
+Unit tests drive every primitive with injected clocks (no real time);
+wire tests run real sockets against a live server, with the scripted
+:class:`~repro.server.chaosproxy.ChaosSocket` standing in for the
+network when a test needs a fault at an exact frame.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    CircuitOpen, DeadlineExceeded, ProtocolError, RetryLater,
+    ServerError,
+)
+from repro.plan import plans
+from repro.query import IntensionalQueryProcessor
+from repro.server import IntensionalQueryServer
+from repro.server.chaosproxy import ChaosSchedule, ChaosSocket
+from repro.server.client import Client
+from repro.server.resilience import (
+    AdmissionController, CircuitBreaker, Deadline, DedupTable,
+    RetryPolicy, TokenSource,
+)
+from repro.testbed import ship_database, ship_ker_schema
+
+EXAMPLE_1 = (
+    "SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE "
+    "FROM SUBMARINE, CLASS "
+    "WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000")
+
+
+def _ship_system():
+    return IntensionalQueryProcessor.from_database(
+        ship_database(), ker_schema=ship_ker_schema(),
+        relation_order=["SUBMARINE", "CLASS", "SONAR", "INSTALL"])
+
+
+@pytest.fixture()
+def server():
+    with IntensionalQueryServer(_ship_system(),
+                                lock_timeout_s=0.3) as live:
+        yield live
+
+
+@pytest.fixture()
+def client(server):
+    with Client("127.0.0.1", server.port) as live:
+        yield live
+
+
+def _fast_retry(**overrides) -> RetryPolicy:
+    options = dict(max_attempts=5, base_delay_s=0.001,
+                   max_delay_s=0.01, seed=7)
+    options.update(overrides)
+    return RetryPolicy(**options)
+
+
+# ---------------------------------------------------------------------------
+# primitives (injected clocks, no wall time)
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        now = [100.0]
+        deadline = Deadline.after(5.0, clock=lambda: now[0])
+        assert deadline.remaining() == pytest.approx(5.0)
+        assert not deadline.expired
+        now[0] += 5.5
+        assert deadline.expired
+        assert deadline.remaining() == pytest.approx(-0.5)
+
+    def test_check_raises_with_context(self):
+        deadline = Deadline.after(-1.0, clock=lambda: 0.0)
+        with pytest.raises(DeadlineExceeded, match="parsing the query"):
+            deadline.check("parsing the query")
+
+    def test_wire_form_floors_at_zero(self):
+        now = [0.0]
+        deadline = Deadline.after(0.5, clock=lambda: now[0])
+        assert deadline.remaining_ms() == 500
+        now[0] += 2.0
+        assert deadline.remaining_ms() == 0
+
+
+class TestRetryPolicy:
+    def test_same_seed_same_delays(self):
+        first = RetryPolicy(seed=42)
+        second = RetryPolicy(seed=42)
+        assert [first.delay(n) for n in range(5)] == \
+            [second.delay(n) for n in range(5)]
+
+    def test_delays_bounded_by_exponential_envelope(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0,
+                             max_delay_s=1.0, jitter=0.5, seed=1)
+        for attempt in range(8):
+            raw = min(1.0, 0.1 * 2 ** attempt)
+            delay = policy.delay(attempt)
+            assert raw * 0.5 <= delay <= raw
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(base_delay_s=0.25, multiplier=2.0,
+                             max_delay_s=10.0, jitter=0.0)
+        assert [policy.delay(n) for n in range(3)] == [0.25, 0.5, 1.0]
+
+    def test_attempt_range(self):
+        assert list(RetryPolicy(max_attempts=3).attempts()) == [0, 1, 2]
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_fails_fast(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=3, reset_after_s=2.0,
+                                 clock=lambda: now[0])
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.admit()  # still closed
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpen) as info:
+            breaker.admit()
+        assert info.value.retry_after_s == pytest.approx(2.0)
+        assert breaker.stats["opened"] == 1
+        assert breaker.stats["fast_failures"] == 1
+
+    def test_half_open_probe_then_close(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=1.0,
+                                 clock=lambda: now[0])
+        breaker.record_failure()
+        now[0] += 1.5
+        assert breaker.state == "half-open"
+        breaker.admit()  # the single probe
+        with pytest.raises(CircuitOpen):
+            breaker.admit()  # racing second caller is refused
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.admit()
+
+    def test_failed_probe_rearms_cooldown(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=1.0,
+                                 clock=lambda: now[0])
+        breaker.record_failure()
+        now[0] += 1.5
+        breaker.admit()  # probe...
+        breaker.record_failure()  # ...fails
+        with pytest.raises(CircuitOpen):
+            breaker.admit()
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestTokenSource:
+    def test_tokens_are_scoped_and_unique(self):
+        source = TokenSource("c-abc")
+        first, second = source.next(), source.next()
+        assert first == "c-abc:1"
+        assert second == "c-abc:2"
+        assert first != second
+
+
+class TestAdmissionController:
+    def test_admit_and_release(self):
+        gate = AdmissionController(max_in_flight=2, max_queue=0)
+        with gate.admit():
+            with gate.admit():
+                assert gate.status()["in_flight"] == 2
+        assert gate.status()["in_flight"] == 0
+        assert gate.stats["admitted"] == 2
+
+    def test_full_queue_sheds_with_hint(self):
+        gate = AdmissionController(max_in_flight=1, max_queue=0,
+                                   retry_after_s=0.05)
+        with gate.admit():
+            with pytest.raises(RetryLater) as info:
+                gate.admit()
+        assert info.value.retryable
+        assert info.value.retry_after_s >= 0.05
+        assert gate.stats["shed"] == 1
+
+    def test_queue_timeout_sheds(self):
+        gate = AdmissionController(max_in_flight=1, max_queue=4,
+                                   queue_timeout_s=0.05)
+        with gate.admit():
+            start = time.monotonic()
+            with pytest.raises(RetryLater, match="queued past"):
+                gate.admit()
+            assert time.monotonic() - start >= 0.04
+
+    def test_queued_request_admitted_on_release(self):
+        gate = AdmissionController(max_in_flight=1, max_queue=4,
+                                   queue_timeout_s=2.0)
+        ticket = gate.admit()
+        admitted = threading.Event()
+
+        def waiter():
+            with gate.admit():
+                admitted.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        try:
+            time.sleep(0.02)
+            assert not admitted.is_set()
+            ticket.__exit__()
+            assert admitted.wait(2.0)
+        finally:
+            thread.join(2.0)
+        assert gate.stats["queued"] == 1
+
+    def test_expired_deadline_is_shed_without_waiting(self):
+        gate = AdmissionController(max_in_flight=1, max_queue=4)
+        with gate.admit():
+            with pytest.raises(RetryLater, match="no wait budget"):
+                gate.admit(Deadline.after(-1.0))
+
+    def test_overloaded_after_shed(self):
+        gate = AdmissionController(max_in_flight=1, max_queue=0)
+        assert not gate.overloaded()
+        with gate.admit():
+            with pytest.raises(RetryLater):
+                gate.admit()
+        assert gate.overloaded()
+        assert not gate.overloaded(shed_memory_s=0.0)
+
+
+class TestDedupTable:
+    def test_miss_then_hit_returns_copy(self):
+        table = DedupTable()
+        assert table.get("k") is None
+        table.put("k", {"count": 1})
+        entry = table.get("k")
+        assert entry == {"count": 1}
+        entry["count"] = 99
+        assert table.get("k") == {"count": 1}
+        assert table.stats == {"hits": 2, "misses": 1, "recovered": 0}
+
+    def test_fifo_eviction_at_capacity(self):
+        table = DedupTable(capacity=2)
+        table.put("a", {"n": 1})
+        table.put("b", {"n": 2})
+        table.put("c", {"n": 3})
+        assert table.get("a") is None
+        assert table.get("b") == {"n": 2}
+        assert len(table) == 2
+
+    def test_seed_counts_recovered_entries(self):
+        table = DedupTable()
+        assert table.seed([("x", {"n": 1}), ("y", {"n": 2})]) == 2
+        assert table.stats["recovered"] == 2
+        assert table.get("y") == {"n": 2}
+
+
+# ---------------------------------------------------------------------------
+# deadlines and timeouts over the wire
+
+
+class TestWireDeadlines:
+    def test_expired_deadline_refused_before_execution(self, client):
+        before = len(client.sql("SELECT Name FROM SUBMARINE"))
+        with pytest.raises(ServerError) as info:
+            client.request({
+                "op": "sql", "deadline_ms": 0,
+                "sql": "INSERT INTO SUBMARINE VALUES "
+                       "('9901', 'Late', '1301')"})
+        assert info.value.remote_type == "DeadlineExceeded"
+        assert "nothing was executed" in str(info.value)
+        assert len(client.sql("SELECT Name FROM SUBMARINE")) == before
+
+    def test_client_checks_deadline_before_sending(self, client):
+        with pytest.raises(DeadlineExceeded, match="before sending"):
+            client.request({"op": "ping"}, deadline=Deadline.after(-1.0))
+
+    def test_bad_deadline_header_is_protocol_error(self, client):
+        with pytest.raises(ServerError) as info:
+            client.request({"op": "sql", "sql": "SELECT 1",
+                            "deadline_ms": "soonish"})
+        assert info.value.remote_type == "ProtocolError"
+
+    def test_statement_timeout_cancels_streaming_plan(self):
+        system = _ship_system()
+        with IntensionalQueryServer(system, lock_timeout_s=0.3,
+                                    statement_timeout_s=0.05) as server:
+            with Client("127.0.0.1", server.port,
+                        timeout_s=5.0) as client:
+                plans.set_batch_observer(
+                    lambda plan, batch: time.sleep(0.03))
+                try:
+                    with pytest.raises(ServerError) as info:
+                        client.sql(EXAMPLE_1)
+                finally:
+                    plans.set_batch_observer(None)
+                assert info.value.remote_type == "StatementTimeout"
+                assert not info.value.retryable
+                # the session survives a cancelled statement
+                assert client.ping() >= 0.0
+                rows = client.sql("SELECT Name FROM SUBMARINE "
+                                  "WHERE Class = '1301'")
+                assert len(rows) > 0
+
+
+# ---------------------------------------------------------------------------
+# admission control and degraded serving over the wire
+
+
+class TestAdmissionOverWire:
+    # Statement execution serializes behind the engine lock, so the
+    # gate saturates in production when slots are held across lock
+    # waits; the tests occupy a slot directly -- the same condition,
+    # minus the thread ballet.
+
+    def test_overflow_is_shed_with_retry_later(self):
+        with IntensionalQueryServer(_ship_system(), lock_timeout_s=0.3,
+                                    max_in_flight=1,
+                                    max_queue=0) as server:
+            ticket = server.admission.admit()
+            try:
+                with Client("127.0.0.1", server.port) as other:
+                    with pytest.raises(ServerError) as info:
+                        other.sql("SELECT Type FROM CLASS")
+            finally:
+                ticket.__exit__()
+            assert info.value.remote_type == "RetryLater"
+            assert info.value.retryable
+            assert info.value.retry_after_s > 0
+            assert "nothing was executed" in info.value.hint
+
+    def test_retry_policy_rides_out_the_shed(self):
+        with IntensionalQueryServer(_ship_system(), lock_timeout_s=0.3,
+                                    max_in_flight=1,
+                                    max_queue=0) as server:
+            ticket = server.admission.admit()
+            released = threading.Timer(0.05, ticket.__exit__)
+            released.start()
+            retrier = Client("127.0.0.1", server.port,
+                             retry=_fast_retry(max_attempts=50),
+                             timeout_s=10.0).connect()
+            try:
+                rows = retrier.sql("SELECT Type FROM CLASS")
+            finally:
+                retrier.close()
+                released.join()
+            assert len(rows) > 0
+            assert retrier.stats["retries"] > 0
+
+    def test_ping_and_commit_bypass_admission(self):
+        with IntensionalQueryServer(_ship_system(), lock_timeout_s=0.3,
+                                    max_in_flight=1,
+                                    max_queue=0) as server:
+            ticket = server.admission.admit()
+            try:
+                with Client("127.0.0.1", server.port) as other:
+                    assert other.ping() >= 0.0
+            finally:
+                ticket.__exit__()
+
+    def test_overloaded_ask_degrades_to_extensional(self, server,
+                                                    client):
+        # A near-identical variant the wire memo has never seen.
+        variant = EXAMPLE_1.replace("> 8000", "> 7999")
+        healthy = client.ask(EXAMPLE_1)
+        assert healthy.intensional
+        server.admission.overloaded = lambda *a, **k: True
+        try:
+            # Memoized reads keep serving in full under overload (the
+            # fast path runs before the gate)...
+            assert client.ask(EXAMPLE_1).intensional
+            # ...but fresh work degrades to the extensional half, with
+            # an honest warning.
+            degraded = client.ask(variant)
+            assert degraded.intensional == []
+            assert any("overloaded" in warning
+                       for warning in degraded.warnings)
+            assert len(degraded.extensional) == len(healthy.extensional)
+        finally:
+            del server.admission.overloaded
+        # the degraded answer was never memoized: healthy asks get the
+        # full intensional half again
+        assert client.ask(variant).intensional
+
+
+# ---------------------------------------------------------------------------
+# idempotent DML: exactly-once under retries and recovery
+
+
+class TestIdempotentDedup:
+    INSERT = "INSERT INTO SUBMARINE VALUES ('9911', 'Redelivered', '1301')"
+
+    def test_same_token_applies_exactly_once(self, server, client):
+        first = client.request({"op": "sql", "sql": self.INSERT,
+                                "token": "t-1", "client": "cli-a"})
+        again = client.request({"op": "sql", "sql": self.INSERT,
+                                "token": "t-1", "client": "cli-a"})
+        assert first["count"] == 1
+        assert again["count"] == 1
+        assert again.get("deduplicated") is True
+        rows = client.sql("SELECT Name FROM SUBMARINE "
+                          "WHERE Name = 'Redelivered'")
+        assert len(rows) == 1
+        assert server.dedup.stats["hits"] >= 1
+
+    def test_retry_from_another_session_hits_the_entry(self, server):
+        # The key is the *client* id: a retry lands on a fresh session
+        # after a reconnect and must still dedup.
+        with Client("127.0.0.1", server.port) as one:
+            one.request({"op": "sql", "sql": self.INSERT,
+                         "token": "t-9", "client": "cli-b"})
+        with Client("127.0.0.1", server.port) as two:
+            again = two.request({"op": "sql", "sql": self.INSERT,
+                                 "token": "t-9", "client": "cli-b"})
+            assert again.get("deduplicated") is True
+            rows = two.sql("SELECT Name FROM SUBMARINE "
+                           "WHERE Name = 'Redelivered'")
+        assert len(rows) == 1
+
+    def test_distinct_tokens_apply_independently(self, client):
+        client.request({"op": "sql", "sql": self.INSERT, "token": "a-1",
+                        "client": "cli-c"})
+        client.request({
+            "op": "sql", "token": "a-2", "client": "cli-c",
+            "sql": "INSERT INTO SUBMARINE VALUES "
+                   "('9912', 'Second', '1301')"})
+        rows = client.sql("SELECT Name FROM SUBMARINE "
+                          "WHERE Name = 'Redelivered' "
+                          "OR Name = 'Second'")
+        assert len(rows) == 2
+
+    def test_tokenless_dml_is_not_deduplicated(self, server, client):
+        delete = "DELETE FROM SUBMARINE WHERE Name = 'NoSuchBoat'"
+        client.sql(delete)
+        client.sql(delete)
+        assert len(server.dedup) == 0
+
+    def test_dedup_survives_recovery_from_wal_tail(self, tmp_path):
+        data_dir = str(tmp_path / "data")
+        system = _ship_system()
+        system.attach_storage(data_dir)
+        system.storage.checkpoint()
+        with IntensionalQueryServer(system, lock_timeout_s=0.3) as live:
+            with Client("127.0.0.1", live.port) as client:
+                first = client.request({
+                    "op": "sql", "sql": self.INSERT,
+                    "token": "t-wal", "client": "cli-d"})
+                assert first["count"] == 1
+        recovered, report = IntensionalQueryProcessor.recover(data_dir)
+        assert report.dedup_entries, \
+            "the dedup record must replay from the WAL tail"
+        with IntensionalQueryServer(recovered,
+                                    lock_timeout_s=0.3) as live:
+            assert len(live.dedup) > 0
+            with Client("127.0.0.1", live.port) as client:
+                again = client.request({
+                    "op": "sql", "sql": self.INSERT,
+                    "token": "t-wal", "client": "cli-d"})
+                assert again.get("deduplicated") is True
+                assert again["count"] == 1
+                rows = client.sql("SELECT Name FROM SUBMARINE "
+                                  "WHERE Name = 'Redelivered'")
+                assert len(rows) == 1
+
+    def test_dedup_survives_checkpoint_then_recovery(self, tmp_path):
+        # A checkpoint rotates the WAL away; the entries must ride the
+        # snapshot metadata instead.
+        data_dir = str(tmp_path / "data")
+        system = _ship_system()
+        system.attach_storage(data_dir)
+        system.storage.checkpoint()
+        with IntensionalQueryServer(system, lock_timeout_s=0.3) as live:
+            with Client("127.0.0.1", live.port) as client:
+                client.request({"op": "sql", "sql": self.INSERT,
+                                "token": "t-ckpt", "client": "cli-e"})
+            system.storage.checkpoint()
+        recovered, report = IntensionalQueryProcessor.recover(data_dir)
+        assert "cli-e|t-ckpt" in report.dedup_entries
+        with IntensionalQueryServer(recovered,
+                                    lock_timeout_s=0.3) as live:
+            with Client("127.0.0.1", live.port) as client:
+                again = client.request({
+                    "op": "sql", "sql": self.INSERT,
+                    "token": "t-ckpt", "client": "cli-e"})
+                assert again.get("deduplicated") is True
+
+
+# ---------------------------------------------------------------------------
+# the retrying client against scripted wire faults
+
+
+class TestClientRetries:
+    def test_dropped_request_is_retried_transparently(self, server):
+        schedule = ChaosSchedule(script={0: "drop"})
+        client = Client(
+            "127.0.0.1", server.port, retry=_fast_retry(),
+            wrap_socket=lambda sock: ChaosSocket(sock, schedule),
+        ).connect()
+        try:
+            rows = client.sql("SELECT Name FROM SUBMARINE "
+                              "WHERE Class = '1301'")
+        finally:
+            client.close()
+        local = server.system.ask("SELECT Name FROM SUBMARINE "
+                                  "WHERE Class = '1301'").extensional
+        assert list(rows) == list(local)
+        assert client.stats["retries"] == 1
+        assert client.stats["reconnects"] == 1
+
+    def test_dropped_reply_dml_applies_exactly_once(self, server):
+        # The ambiguous ack: the server fully processed the INSERT but
+        # the reply died.  The retry must be served from the dedup
+        # table, not re-executed.
+        schedule = ChaosSchedule(script={0: "drop_reply"})
+        client = Client(
+            "127.0.0.1", server.port, retry=_fast_retry(),
+            client_id="cli-chaos",
+            wrap_socket=lambda sock: ChaosSocket(sock, schedule),
+        ).connect()
+        try:
+            count = client.sql("INSERT INTO SUBMARINE VALUES "
+                               "('9920', 'Ambiguous', '1301')")
+            assert count == 1
+            assert client.stats["deduped"] == 1
+            rows = client.sql("SELECT Name FROM SUBMARINE "
+                              "WHERE Name = 'Ambiguous'")
+        finally:
+            client.close()
+        assert len(rows) == 1
+        assert server.dedup.stats["hits"] >= 1
+
+    def test_no_retry_inside_explicit_transaction(self, tmp_path):
+        # Transaction state dies with the session, so a mid-transaction
+        # transport fault must surface, not silently reconnect onto a
+        # fresh session.
+        system = _ship_system()
+        system.attach_storage(str(tmp_path / "data"))
+        system.storage.checkpoint()
+        schedule = ChaosSchedule(script={1: "reset"})
+        with IntensionalQueryServer(system, lock_timeout_s=0.3) as live:
+            client = Client(
+                "127.0.0.1", live.port, retry=_fast_retry(),
+                wrap_socket=lambda sock: ChaosSocket(sock, schedule),
+            ).connect()
+            try:
+                client.begin()
+                assert client.in_transaction
+                with pytest.raises(ServerError):
+                    client.sql("SELECT Name FROM SUBMARINE")
+                assert client.stats["retries"] == 0
+                assert not client.in_transaction
+            finally:
+                client.close()
+
+    def test_transaction_control_is_never_retried(self):
+        client = Client(retry=_fast_retry())
+        assert not client._request_retry_safe({"op": "begin"})
+        assert not client._request_retry_safe({"op": "commit"})
+        assert not client._request_retry_safe({"op": "rollback"})
+        assert client._request_retry_safe({"op": "sql",
+                                           "sql": "SELECT 1"})
+        assert not client._request_retry_safe(
+            {"op": "sql", "sql": "DELETE FROM T"})
+        assert client._request_retry_safe(
+            {"op": "sql", "sql": "DELETE FROM T", "token": "t"})
+
+    def test_backoff_honours_server_hint_and_deadline(self):
+        slept = []
+        client = Client(retry=_fast_retry(), sleep=slept.append)
+        hinted = RetryLater("busy", retry_after_s=0.5)
+        client._backoff(0, hinted, None)
+        assert slept == [0.5]
+        with pytest.raises(DeadlineExceeded, match="retry budget"):
+            client._backoff(0, hinted,
+                            Deadline.after(0.1))
+
+    def test_breaker_fails_fast_when_server_unreachable(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        breaker = CircuitBreaker(failure_threshold=2,
+                                 reset_after_s=60.0)
+        client = Client("127.0.0.1", port, breaker=breaker,
+                        connect_timeout_s=0.5)
+        for _ in range(2):
+            with pytest.raises(ServerError):
+                client.connect()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpen):
+            client.connect()
+        assert breaker.stats["fast_failures"] == 1
+
+
+# ---------------------------------------------------------------------------
+# connect timeouts (satellite: a listener that never speaks)
+
+
+class TestConnectTimeout:
+    def test_accepting_but_silent_listener_times_out(self):
+        # The TCP handshake succeeds (the connection parks in the
+        # listen backlog) but no hello ever arrives: the client must
+        # fail with a clear error within connect_timeout_s, not hang.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        try:
+            start = time.monotonic()
+            with pytest.raises(ProtocolError,
+                               match="no handshake") as info:
+                Client("127.0.0.1", listener.getsockname()[1],
+                       connect_timeout_s=0.3).connect()
+            assert time.monotonic() - start < 5.0
+            assert "hello" in str(info.value)
+        finally:
+            listener.close()
+
+
+# ---------------------------------------------------------------------------
+# the idle reaper (satellite: in-flight statements are not idleness)
+
+
+class TestIdleReaper:
+    def test_idle_connection_is_reaped(self):
+        with IntensionalQueryServer(_ship_system(), lock_timeout_s=0.3,
+                                    idle_timeout_s=0.2) as server:
+            client = Client("127.0.0.1", server.port,
+                            timeout_s=5.0).connect()
+            try:
+                assert client.ping() >= 0.0
+                time.sleep(0.8)
+                with pytest.raises(ServerError):
+                    client.ping()
+            finally:
+                client.close()
+
+    def test_slow_statement_is_not_reaped(self):
+        # A statement running longer than the idle window is work, not
+        # idleness: the reaper must leave the session alone.
+        with IntensionalQueryServer(_ship_system(), lock_timeout_s=2.0,
+                                    idle_timeout_s=0.3) as server:
+            with Client("127.0.0.1", server.port,
+                        timeout_s=10.0) as client:
+                calls = {"n": 0}
+
+                def slow(plan, batch):
+                    # One long stall mid-statement: ~10 reaper sweeps
+                    # (interval 0.075s) pass while the session's wall
+                    # clock looks idle far beyond the 0.3s window.
+                    if calls["n"] == 0:
+                        calls["n"] += 1
+                        time.sleep(0.8)
+
+                plans.set_batch_observer(slow)
+                try:
+                    rows = client.sql("SELECT Name, Class "
+                                      "FROM SUBMARINE")
+                finally:
+                    plans.set_batch_observer(None)
+                assert calls["n"] == 1, \
+                    "statement never reached the stalled batch"
+                assert len(rows) > 0
+                # and the session is still alive afterwards
+                assert client.ping() >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# observability of the whole ladder
+
+
+class TestStatusSurface:
+    def test_server_status_reports_resilience_state(self, server,
+                                                    client):
+        import json
+        status = json.loads(client.admin("status"))
+        assert status["admission"]["max_in_flight"] == 8
+        assert status["dedup"]["capacity"] == 4096
+        assert status["overloaded"] is False
+        assert status["degraded_rules"] is False
+        assert status["statement_timeout_s"] == 30.0
+
+    def test_client_resilience_status(self, server):
+        client = Client("127.0.0.1", server.port, retry=_fast_retry(),
+                        breaker=CircuitBreaker(),
+                        client_id="cli-status").connect()
+        try:
+            client.sql("SELECT Name FROM SUBMARINE")
+            status = client.resilience_status()
+        finally:
+            client.close()
+        assert status["client_id"] == "cli-status"
+        assert status["retry"] is True
+        assert status["requests"] >= 1
+        assert status["breaker"]["state"] == "closed"
