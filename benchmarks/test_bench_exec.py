@@ -25,7 +25,7 @@ import pytest
 from repro.plan.planner import plan_select
 from repro.plan.plans import UNBOUNDED, set_batch_observer
 from repro.plan.stats import statistics
-from repro.relational import compiled
+from repro.relational import columnar, compiled
 from repro.reporting import render_table
 from repro.sql.executor import execute_select_legacy
 from repro.sql.parser import parse_select
@@ -45,6 +45,20 @@ SCAN_JOIN_SQL = (
 POINT_SQL = "SELECT GroupId FROM ENTITY WHERE Id = 1234"
 
 _RESULTS: dict[str, tuple[float, float]] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _row_pipeline():
+    """Pin the pre-columnar row pipeline for the whole module.
+
+    E22 is the streamed *row* reference that E27 measures the columnar
+    kernels against, and its O(batch) assertion needs TableScan to
+    actually stream morsels rather than be fused into one columnar
+    selection."""
+    before = columnar.FORCED
+    columnar.set_enabled(False)
+    yield
+    columnar.set_enabled(before)
 
 
 @pytest.fixture(scope="module")

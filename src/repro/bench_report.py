@@ -1,0 +1,141 @@
+"""Aggregate ``BENCH_*.json`` artifacts into one trajectory table.
+
+Every benchmark writes a machine-readable ``BENCH_<ID>.json`` next to
+the repo root (see ``benchmarks/conftest.py``); this module folds all of
+them into a single summary::
+
+    python -m repro.bench_report [directory]
+
+The summary has one row per experiment -- id, title, number of guarded
+metrics, guard verdicts, and the extreme speedup observed -- followed by
+a flat metric table (one row per numeric leaf of each ``data`` payload),
+so a whole benchmark run can be diffed or eyeballed as one table instead
+of two dozen JSON files.  The rendered text is also written to
+``benchmark_reports/summary.txt``.
+
+Exits non-zero when any recorded guard failed, making the aggregation
+double as a CI gate over artifacts produced by earlier timed steps.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Any, Iterator
+
+
+def _flatten(data: Any, prefix: str = "") -> Iterator[tuple[str, Any]]:
+    """Leaf (path, value) pairs of a nested dict, dotted-path keyed."""
+    if isinstance(data, dict):
+        for key, value in sorted(data.items()):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from _flatten(value, path)
+    else:
+        yield prefix, data
+
+
+def _sort_key(report: dict) -> tuple:
+    """E2 before E13, E13 before E13b."""
+    identifier = str(report.get("id", ""))
+    digits = "".join(ch for ch in identifier if ch.isdigit())
+    return (int(digits) if digits else 0, identifier)
+
+
+def load_reports(directory: pathlib.Path) -> list[dict]:
+    reports = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"skipping {path.name}: {error}", file=sys.stderr)
+            continue
+        payload.setdefault("id", path.stem.removeprefix("BENCH_"))
+        reports.append(payload)
+    reports.sort(key=_sort_key)
+    return reports
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render(reports: list[dict]) -> tuple[str, int]:
+    """(rendered summary, number of failed guards)."""
+    lines: list[str] = []
+    rows: list[tuple[str, str, str, str, str]] = []
+    metric_rows: list[tuple[str, str, str]] = []
+    failures = 0
+    for report in reports:
+        identifier = str(report["id"])
+        leaves = list(_flatten(report.get("data") or {}))
+        speedups = [value for path, value in leaves
+                    if path.endswith("speedup")
+                    and isinstance(value, (int, float))]
+        verdicts = [(path, value) for path, value in leaves
+                    if path.endswith("guard_passed")]
+        failed = [path for path, value in verdicts if not value]
+        failures += len(failed)
+        guard_cell = ("-" if not verdicts else
+                      f"{len(verdicts) - len(failed)}/{len(verdicts)} ok")
+        if failed:
+            guard_cell += " FAIL"
+        speedup_cell = (f"{max(speedups):.2f}x" if speedups else "-")
+        rows.append((identifier, str(report.get("title", ""))[:52],
+                     str(len(leaves)) if leaves else "-",
+                     guard_cell, speedup_cell))
+        for path, value in leaves:
+            if isinstance(value, (int, float, bool)):
+                metric_rows.append((identifier, path,
+                                    _format_value(value)))
+
+    header = ("id", "experiment", "metrics", "guards", "max speedup")
+    widths = [max(len(row[i]) for row in rows + [header])
+              for i in range(len(header))]
+    lines.append("Benchmark trajectory "
+                 f"({len(reports)} experiments)")
+    lines.append("")
+    lines.append("  ".join(cell.ljust(width)
+                           for cell, width in zip(header, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+    if metric_rows:
+        lines.append("")
+        lines.append("Recorded metrics")
+        lines.append("")
+        metric_widths = [
+            max(len(row[i]) for row in metric_rows) for i in range(3)]
+        for identifier, path, value in metric_rows:
+            lines.append(
+                f"{identifier.ljust(metric_widths[0])}  "
+                f"{path.ljust(metric_widths[1])}  {value}")
+    if failures:
+        lines.append("")
+        lines.append(f"{failures} guard(s) FAILED")
+    return "\n".join(lines) + "\n", failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    directory = pathlib.Path(argv[0]) if argv else pathlib.Path.cwd()
+    reports = load_reports(directory)
+    if not reports:
+        print(f"no BENCH_*.json artifacts under {directory}",
+              file=sys.stderr)
+        return 2
+    text, failures = render(reports)
+    print(text, end="")
+    output_dir = directory / "benchmark_reports"
+    output_dir.mkdir(exist_ok=True)
+    (output_dir / "summary.txt").write_text(text)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,9 +22,11 @@ from repro.induction.candidates import (
 )
 from repro.induction.config import InductionConfig
 from repro.induction.pairwise import (
-    extract_pairs_native, extract_pairs_quel, induce_from_pairs,
+    extract_pairs_columnar, extract_pairs_native, extract_pairs_quel,
+    induce_from_pairs,
 )
 from repro.ker.binding import SchemaBinding
+from repro.relational import columnar
 from repro.relational.indexes import HashIndex
 from repro.rules.clause import AttributeRef
 from repro.rules.rule import Rule
@@ -243,6 +245,13 @@ class InductiveLearningSubsystem:
         if self.config.use_quel:
             extraction = extract_pairs_quel(
                 database, relation.name,
+                scheme.x_ref.attribute, scheme.y_ref.attribute)
+        elif columnar.enabled():
+            # Aggregation sweep over the column store: the interval
+            # passes reduce over distinct-pair counts (dictionary codes
+            # when encoded) instead of walking rows.
+            extraction = extract_pairs_columnar(
+                relation.column_store(),
                 scheme.x_ref.attribute, scheme.y_ref.attribute)
         else:
             xs, ys = relation.columns(scheme.x_ref.attribute,

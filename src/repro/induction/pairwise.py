@@ -20,12 +20,17 @@ Both produce a :class:`PairExtraction`; a test pins their equivalence.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Iterable, NamedTuple
 
 from repro.errors import InductionError
 from repro.induction.config import InductionConfig
 from repro.induction.runs import build_runs
 from repro.quel.interpreter import QuelSession
+from repro.relational import columnar
+from repro.relational.columnar import (
+    ColumnStore, DictionaryColumn, PlainColumn,
+)
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.rules.clause import AttributeRef, Clause, Interval
@@ -75,6 +80,103 @@ def extract_pairs_native(pairs: Iterable[tuple[Any, Any]]) -> PairExtraction:
     consistent_counts = {x: n for x, n in counts.items() if x in mapping}
     return PairExtraction(tuple(occurring), mapping, removed,
                           consistent_counts, source_size)
+
+
+def extract_pairs_columnar(store: ColumnStore, x_column: str,
+                           y_column: str) -> PairExtraction:
+    """Steps 1-2 as an aggregation sweep over a column store.
+
+    Instead of one dict probe per row, the (X, Y) pair distribution is
+    counted in bulk -- ``np.unique`` over packed dictionary/integer
+    codes when numpy is in play, a C-speed ``Counter(zip(...))``
+    otherwise -- and the :class:`PairExtraction` is reconstructed from
+    the *distinct-pair* counts, which for the low-cardinality attributes
+    rule induction targets is orders of magnitude smaller than the row
+    count.  Exactly equivalent to :func:`extract_pairs_native` over the
+    same rows (a hypothesis test pins this).
+    """
+    x_position = store.schema.position(x_column)
+    y_position = store.schema.position(y_column)
+    pair_counts = _pair_counts(store.columns[x_position],
+                               store.columns[y_position])
+    ys_by_x: dict[Any, set] = {}
+    counts: dict[Any, int] = {}
+    null_y_xs: set = set()
+    source_size = 0
+    for (x, y), occurrences in pair_counts:
+        if x is None:
+            continue
+        source_size += occurrences
+        if y is None:
+            null_y_xs.add(x)
+            continue
+        ys_by_x.setdefault(x, set()).add(y)
+        counts[x] = counts.get(x, 0) + occurrences
+
+    removed = frozenset(x for x, ys in ys_by_x.items() if len(ys) > 1)
+    mapping = {x: next(iter(ys)) for x, ys in ys_by_x.items()
+               if len(ys) == 1}
+    occurring = sorted(set(ys_by_x) | null_y_xs)
+    consistent_counts = {x: n for x, n in counts.items() if x in mapping}
+    return PairExtraction(tuple(occurring), mapping, removed,
+                          consistent_counts, source_size)
+
+
+def _pair_counts(x_col, y_col) -> list[tuple[tuple[Any, Any], int]]:
+    """Distinct (x, y) value pairs with their occurrence counts."""
+    np = columnar.numpy_module()
+    if np is not None:
+        counted = _np_pair_counts(np, x_col, y_col)
+        if counted is not None:
+            return counted
+    xs = x_col.decode() if isinstance(x_col, DictionaryColumn) \
+        else x_col.values
+    ys = y_col.decode() if isinstance(y_col, DictionaryColumn) \
+        else y_col.values
+    return list(Counter(zip(xs, ys)).items())
+
+
+def _np_pair_counts(np, x_col, y_col):
+    """Pair counts via one ``np.unique`` over packed codes, or ``None``
+    when either column has no small-integer surrogate."""
+    x_view = _surrogate_codes(np, x_col)
+    y_view = _surrogate_codes(np, y_col)
+    if x_view is None or y_view is None:
+        return None
+    x_codes, x_decode = x_view
+    y_codes, y_decode = y_view
+    if not len(x_codes):
+        return []
+    span = int(y_codes.max()) + 1
+    if int(x_codes.max()) >= (2 ** 62) // max(span, 1):
+        return None  # packing would overflow; let Counter handle it
+    packed, occurrences = np.unique(
+        x_codes.astype(np.int64) * span + y_codes, return_counts=True)
+    return [((x_decode(int(key) // span), y_decode(int(key) % span)),
+             int(count)) for key, count in zip(packed, occurrences)]
+
+
+def _surrogate_codes(np, column):
+    """``(codes, decode)`` mapping the column to non-negative int codes
+    (NULL included), or ``None`` when no cheap encoding exists."""
+    if isinstance(column, DictionaryColumn):
+        values = column.values
+
+        def decode_dict(code: int):
+            return None if code == 0 else values[code - 1]
+
+        return column.np_codes().astype(np.int64) + 1, decode_dict
+    if isinstance(column, PlainColumn) and column.datatype.name == "integer":
+        array = column.array()
+        if array is None:  # NULLs or non-int64 values: no surrogate
+            return None
+        low = int(array.min()) if len(array) else 0
+
+        def decode_int(code: int, low: int = low) -> int:
+            return code + low
+
+        return array - low, decode_int
+    return None
 
 
 def extract_pairs_quel(database: Database, relation_name: str,
@@ -171,6 +273,9 @@ def induce_scheme(relation: Relation, x_column: str, y_column: str,
                 "the QUEL induction path needs the owning database")
         extraction = extract_pairs_quel(database, relation.name,
                                         x_column, y_column)
+    elif columnar.enabled():
+        extraction = extract_pairs_columnar(relation.column_store(),
+                                            x_column, y_column)
     else:
         x_position = relation.schema.position(x_column)
         y_position = relation.schema.position(y_column)

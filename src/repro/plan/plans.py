@@ -44,10 +44,10 @@ from __future__ import annotations
 import os
 import threading
 import time
-from typing import Callable, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro import obs
-from repro.relational import compiled
+from repro.relational import columnar, compiled, kernels
 from repro.relational.relation import Relation
 from repro.rules.clause import Interval
 from repro.sql import ast
@@ -169,6 +169,69 @@ def default_batch_size() -> int:
                 f"default batch size {DEFAULT_BATCH_SIZE}", stacklevel=2)
         return DEFAULT_BATCH_SIZE
     return value
+
+
+def _columnar_ready() -> bool:
+    """Whether fused columnar execution may engage: the columnar flag
+    is on AND predicate compilation is on (``compiled.ENABLED`` off
+    means "give me the interpreted pipeline end to end", which the
+    kernels would defeat)."""
+    return compiled.ENABLED and columnar.enabled()
+
+
+def _scan_filter_chain(plan: "Plan"):
+    """``(scan, [filter, ...])`` when *plan* is a TableScan optionally
+    wrapped in FilterPlans (outermost last) -- the shape the fused
+    columnar path can execute -- else ``None``."""
+    filters: list[FilterPlan] = []
+    node = plan
+    while isinstance(node, FilterPlan):
+        filters.append(node)
+        node = node.child
+    if not isinstance(node, TableScanPlan):
+        return None
+    filters.reverse()
+    return node, filters
+
+
+def _resolve_columnar(scan: "TableScanPlan", filters: Sequence["FilterPlan"],
+                      *, account_last: bool):
+    """Execute a scan+filter chain as column kernels.
+
+    Returns ``(store, rows, mask)`` where *rows* is the store's aligned
+    row snapshot and *mask* selects the survivors (``None`` = all).
+    Sets the chain nodes' actuals to exactly what the row path would
+    have accumulated on full consumption (*account_last* off leaves the
+    last filter to its own ``_instrumented`` accounting).  Raises
+    :class:`~repro.relational.kernels.UnsupportedKernel` when any
+    predicate falls outside the compilable subset -- callers fall back
+    to the row path, which re-resolves everything and surfaces exact
+    interpreter semantics.
+    """
+    start = time.perf_counter()
+    store = scan.relation.column_store()
+    rows = store.rows
+    scan.actual_rows = len(rows)
+    scan.actual_time_s = time.perf_counter() - start
+    mask = None
+    last = filters[-1] if filters else None
+    for node in filters:
+        node_start = time.perf_counter()
+        part = kernels.predicate_mask(store, node.predicates,
+                                      [scan.binding])
+        mask = kernels.combine_and(mask, part)
+        if account_last or node is not last:
+            node.actual_rows = kernels.count(mask, len(rows))
+            node.actual_time_s = time.perf_counter() - node_start
+    return store, rows, mask
+
+
+def _count_fused(node_type: str, fused: bool) -> None:
+    if obs.enabled():
+        obs.counter("columnar_fused_total",
+                    "plan subtrees executed via column kernels",
+                    node=node_type,
+                    result="fused" if fused else "fallback").inc()
 
 
 class Plan:
@@ -407,7 +470,36 @@ class FilterPlan(Plan):
                     fallback=lambda p=predicate: interpreted(p))
                 for predicate in self.predicates]
 
+    def _fused_selection(self):
+        """``(rows, selection)`` via column kernels when this node tops
+        a kernel-capable scan+filter chain, else ``None`` (row path)."""
+        if not _columnar_ready():
+            return None
+        chain = _scan_filter_chain(self)
+        if chain is None:
+            return None
+        scan, filters = chain
+        try:
+            _store, rows, mask = _resolve_columnar(scan, filters,
+                                                   account_last=False)
+        except kernels.UnsupportedKernel:
+            _count_fused("FilterPlan", False)
+            return None
+        _count_fused("FilterPlan", True)
+        return rows, kernels.to_selection(mask)
+
     def _batches(self, size: int) -> Iterator[list[tuple]]:
+        fused = self._fused_selection()
+        if fused is not None:
+            rows, selection = fused
+            if selection is None:
+                for start in range(0, len(rows), size):
+                    yield [(row,) for row in rows[start:start + size]]
+            else:
+                for start in range(0, len(selection), size):
+                    yield [(rows[i],)
+                           for i in selection[start:start + size]]
+            return
         tests = self._compiled_predicates()
         if len(tests) == 1:
             test = tests[0]
@@ -484,6 +576,11 @@ class HashJoinPlan(Plan):
 
     def _batches(self, size: int) -> Iterator[list[tuple]]:
         left_keys, right_keys = self._key_positions()
+        fused_build = self._fused_build(right_keys)
+        if fused_build is not None:
+            yield from self._join_fused_build(fused_build, left_keys,
+                                              right_keys, size)
+            return
         buckets: dict[tuple, list[tuple]] = {}
         for batch in self.right.batches(size):
             for rows in batch:
@@ -493,6 +590,10 @@ class HashJoinPlan(Plan):
                 buckets.setdefault(key, []).append(rows)
         if not buckets:
             return  # early termination: the left side is never pulled
+        fused = self._fused_probe(left_keys)
+        if fused is not None:
+            yield from self._probe_columnar(fused, buckets, left_keys, size)
+            return
         out: list[tuple] = []
         for batch in self.left.batches(size):
             for rows in batch:
@@ -501,6 +602,135 @@ class HashJoinPlan(Plan):
                     continue
                 for match in buckets.get(key, ()):
                     out.append(rows + match)
+                    if len(out) >= size:
+                        yield out
+                        out = []
+        if out:
+            yield out
+
+    def _fused_build(self, right_keys):
+        """Resolve the build (right) side through column kernels when it
+        is a kernel-capable scan+filter chain over a single join key;
+        ``None`` = build buckets from streamed right batches."""
+        if not _columnar_ready() or len(self.edges) != 1:
+            return None
+        chain = _scan_filter_chain(self.right)
+        if chain is None:
+            return None
+        scan, filters = chain
+        try:
+            store, rows, mask = _resolve_columnar(scan, filters,
+                                                  account_last=True)
+            notnull = kernels.notnull_mask(store, right_keys[0][1])
+        except kernels.UnsupportedKernel:
+            _count_fused("HashJoinPlan", False)
+            return None
+        _count_fused("HashJoinPlan", True)
+        # NULL join keys never enter buckets, so fold their exclusion
+        # into the build mask up front.
+        return store, rows, kernels.combine_and(mask, notnull)
+
+    def _join_fused_build(self, fused, left_keys, right_keys,
+                          size: int) -> Iterator[list[tuple]]:
+        """Join with a columnar build side: the probe keys are collected
+        first and pushed into the build side as a vectorized membership
+        prefilter (a semi-join), so only build rows that can match at
+        all pay the per-row bucket insert.  Output order matches the row
+        path exactly (left row order, build ascending order per bucket).
+        """
+        store, rows, mask = fused
+        if kernels.count(mask, len(rows)) == 0:
+            return  # early termination: the left side is never pulled
+        slot, left_position = left_keys[0]
+        left_rows = [joined for batch in self.left.batches(size)
+                     for joined in batch]
+        probe_keys = {joined[slot][left_position] for joined in left_rows}
+        probe_keys.discard(None)
+        position = right_keys[0][1]
+        buckets: dict[Any, list[tuple]] = {}
+        if probe_keys:
+            member = kernels.membership_mask(store, position,
+                                             list(probe_keys))
+            selection = kernels.to_selection(
+                kernels.combine_and(mask, member))
+            column = store.values(position)
+            if selection is None:
+                selection = range(len(rows))
+            for i in selection:
+                buckets.setdefault(column[i], []).append((rows[i],))
+        out: list[tuple] = []
+        for joined in left_rows:
+            key = joined[slot][left_position]
+            if key is None:
+                continue
+            for match in buckets.get(key, ()):
+                out.append(joined + match)
+                if len(out) >= size:
+                    yield out
+                    out = []
+        if out:
+            yield out
+
+    def _fused_probe(self, left_keys):
+        """Resolve the probe (left) side through column kernels when it
+        is a kernel-capable scan+filter chain; ``None`` = stream it."""
+        if not _columnar_ready():
+            return None
+        chain = _scan_filter_chain(self.left)
+        if chain is None:
+            return None
+        scan, filters = chain
+        try:
+            store, rows, mask = _resolve_columnar(scan, filters,
+                                                  account_last=True)
+        except kernels.UnsupportedKernel:
+            _count_fused("HashJoinPlan", False)
+            return None
+        _count_fused("HashJoinPlan", True)
+        return store, rows, mask
+
+    def _probe_columnar(self, fused, buckets, left_keys,
+                        size: int) -> Iterator[list[tuple]]:
+        """Probe *buckets* with the fused left side: a vectorized
+        membership prefilter shrinks the selection to rows whose key
+        occurs on the build side at all, then only those few rows pay
+        the per-row bucket lookup.  Output order matches the row path
+        exactly (left row order, build insertion order per bucket)."""
+        store, rows, mask = fused
+        positions = [position for _slot, position in left_keys]
+        out: list[tuple] = []
+        if len(positions) == 1:
+            position = positions[0]
+            scalar_buckets = {key[0]: matches
+                              for key, matches in buckets.items()}
+            member = kernels.membership_mask(store, position,
+                                             list(scalar_buckets))
+            selection = kernels.to_selection(
+                kernels.combine_and(mask, member))
+            column = store.values(position)
+            for i in selection:
+                matches = scalar_buckets.get(column[i])
+                if not matches:
+                    continue
+                base = (rows[i],)
+                for match in matches:
+                    out.append(base + match)
+                    if len(out) >= size:
+                        yield out
+                        out = []
+        else:
+            columns = [store.values(position) for position in positions]
+            selection = kernels.to_selection(mask)
+            indexes = (range(len(rows)) if selection is None
+                       else selection)
+            for i in indexes:
+                key = tuple(column[i] for column in columns)
+                matches = buckets.get(key)
+                if not matches:
+                    continue
+                base = (rows[i],)
+                for match in matches:
+                    out.append(base + match)
                     if len(out) >= size:
                         yield out
                         out = []

@@ -20,6 +20,8 @@ import math
 from typing import Any
 
 from repro import obs
+from repro.relational import columnar
+from repro.relational.columnar import DictionaryColumn, PlainColumn
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.rules.clause import Interval
@@ -31,6 +33,25 @@ HISTOGRAM_BUCKETS = 16
 #: Fallback fraction for predicates statistics cannot estimate
 #: (SimpleDB uses a constant reduction factor in the same role).
 DEFAULT_SELECTIVITY = 1 / 3
+
+
+def _array_exact(np, array) -> bool:
+    """Whether array reductions over *array* match the scalar path
+    bit-for-bit.
+
+    NaNs diverge (``set()`` distinguishes NaN objects by identity while
+    ``np.unique`` collapses them) and integers at or past 2**53 round
+    differently under int->float64 conversion than Python's
+    correctly-rounded big-int division, so both fall back.
+    """
+    if array.dtype.kind == "f":
+        return not bool(np.isnan(array).any())
+    if array.dtype.kind == "i":
+        if not len(array):
+            return True
+        bound = max(abs(int(array.min())), abs(int(array.max())))
+        return bound < 2 ** 53
+    return False
 
 
 class Histogram:
@@ -71,6 +92,28 @@ class Histogram:
             counts[index] += 1
         edges = [low + width * i for i in range(buckets)] + [float(high)]
         return cls(edges, counts)
+
+    @classmethod
+    def _from_array(cls, np, array,
+                    buckets: int = HISTOGRAM_BUCKETS) -> "Histogram":
+        """:meth:`build` as one vectorized bucketing pass.
+
+        Bucket boundaries and indexes replicate the scalar formula
+        bit-for-bit (same float64 operations in the same order), so the
+        planner sees identical histograms on either path.
+        """
+        low = array.min().item()
+        high = array.max().item()
+        if low == high:
+            return cls([float(low), float(high)], [len(array)])
+        width = (high - low) / buckets
+        if not (width > 0 and math.isfinite(width)):
+            return cls([float(low), float(high)], [len(array)])
+        indexes = ((array - low) / width).astype(np.int64)
+        np.clip(indexes, 0, buckets - 1, out=indexes)
+        counts = np.bincount(indexes, minlength=buckets)
+        edges = [low + width * i for i in range(buckets)] + [float(high)]
+        return cls(edges, [int(count) for count in counts])
 
     def fraction(self, interval: Interval) -> float:
         """Estimated fraction of values falling inside *interval*,
@@ -121,6 +164,58 @@ class ColumnStats:
         except TypeError:  # mixed, incomparable values
             self.min = self.max = None
         self.histogram = Histogram.build(present)
+
+    @classmethod
+    def from_column(cls, name: str, column) -> "ColumnStats":
+        """Build from a column-store column without materializing rows.
+
+        Dictionary columns read null/distinct counts straight off the
+        code space; numeric plain columns reduce over their array.  Any
+        column the fast paths cannot describe *exactly* (NULLs in a
+        numeric column, NaN floats, integers past float53 precision,
+        non-numeric plain values) falls back to the scalar constructor,
+        so the numbers never depend on the storage layout.
+        """
+        np = columnar.numpy_module()
+        if isinstance(column, DictionaryColumn):
+            self = cls.__new__(cls)
+            self.name = name
+            size = len(column.codes)
+            if np is not None:
+                nulls = int((column.np_codes() < 0).sum())
+            else:
+                nulls = sum(1 for code in column.codes if code < 0)
+            self.nulls = nulls
+            self.non_null = size - nulls
+            # Incremental appends only ever add values and every other
+            # mutation rebuilds the store, so each dictionary entry is
+            # backed by at least one live row: cardinality IS distinct.
+            self.distinct = column.cardinality
+            values = column.values
+            try:
+                self.min = min(values) if values else None
+                self.max = max(values) if values else None
+            except TypeError:
+                self.min = self.max = None
+            self.histogram = None  # dictionary columns are non-numeric
+            return self
+        if np is not None and isinstance(column, PlainColumn):
+            array = column.array()  # built => numeric and NULL-free
+            if array is not None and _array_exact(np, array):
+                self = cls.__new__(cls)
+                self.name = name
+                self.non_null = len(array)
+                self.nulls = 0
+                self.distinct = int(np.unique(array).size)
+                if len(array):
+                    self.min = array.min().item()
+                    self.max = array.max().item()
+                    self.histogram = Histogram._from_array(np, array)
+                else:
+                    self.min = self.max = None
+                    self.histogram = None
+                return self
+        return cls(name, list(column.values))
 
     def selectivity(self, interval: Interval, row_count: int) -> float:
         """Estimated fraction of the relation's rows whose column value
@@ -186,6 +281,16 @@ class TableStats:
         self.name = relation.name
         self.row_count = len(relation)
         self.columns: dict[str, ColumnStats] = {}
+        if columnar.enabled():
+            # Reduce over the relation's column store (shared with the
+            # execution kernels, so the transpose is paid once for
+            # both); numbers match the scalar path exactly.
+            store = relation.column_store()
+            for column, store_column in zip(relation.schema.columns,
+                                            store.columns):
+                self.columns[column.key] = ColumnStats.from_column(
+                    column.name, store_column)
+            return
         # One transpose of the row list instead of one per-row position
         # lookup pass per column.
         for column, values in zip(relation.schema.columns,

@@ -43,6 +43,9 @@ class Relation:
         self._version = 0
         self._mutation_hooks: dict[int, Callable[["Relation"], None]] = {}
         self._next_hook_token = 1
+        #: lazy columnar snapshot (see :meth:`column_store`); inserts
+        #: fold in incrementally, every other mutation drops it.
+        self._column_store = None
         #: durable-storage journal (set by an attached StorageEngine via
         #: the catalog); mutators report their redo payload to it
         #: *before* applying, so the engine can capture the pre-image.
@@ -151,23 +154,30 @@ class Relation:
         Batches share the underlying row tuples (no copies); only the
         per-batch list of references is materialized, so a consumer that
         stops early never pays for the rest of the relation.
+
+        The row list is snapshotted (a pointer copy) when the first
+        batch is requested, matching the plan nodes and the columnar
+        store: a mutation arriving mid-iteration neither shifts nor
+        extends what this stream yields -- the next call sees it.
         """
         if size <= 0:
             raise ValueError(f"batch size must be positive, got {size}")
-        rows = self._rows
+        rows = list(self._rows)  # iteration-start snapshot
         for start in range(0, len(rows), size):
             yield rows[start:start + size]
 
     def columns(self, *names: str) -> tuple[tuple, ...]:
-        """Value sequences for the named columns, one pass per column.
+        """Value sequences for the named columns, via one transpose.
 
         ``xs, ys = relation.columns("X", "Y")`` replaces per-row
         position lookups with positional column extraction -- the shape
-        rule induction and statistics consume.
+        rule induction and statistics consume.  Shares the single
+        C-speed ``zip(*rows)`` pass with :meth:`column_arrays` instead
+        of one Python pass per requested column.
         """
         positions = [self.schema.position(name) for name in names]
-        return tuple(tuple(row[position] for row in self._rows)
-                     for position in positions)
+        arrays = self.column_arrays()
+        return tuple(arrays[position] for position in positions)
 
     def column_arrays(self) -> list[tuple]:
         """All columns as value tuples, in schema order, via a single
@@ -176,6 +186,37 @@ class Relation:
         if not self._rows:
             return [() for _ in self.schema.columns]
         return list(zip(*self._rows))
+
+    def column_store(self):
+        """The relation's columnar snapshot (see
+        :mod:`repro.relational.columnar`), rebuilt when stale.
+
+        The store is a cache keyed on :attr:`version`: inserts fold in
+        incrementally (row indices never move, so outstanding selection
+        vectors stay valid), any other mutation drops it and the next
+        caller pays one transpose.  Consumers must not mutate the
+        returned store.
+        """
+        from repro.relational.columnar import ColumnStore
+        store = self._column_store
+        if store is not None and store.version == self._version:
+            return store
+        store = ColumnStore(self.schema, self._rows)
+        store.version = self._version
+        self._column_store = store
+        return store
+
+    def _store_appended(self, rows: list[tuple]) -> None:
+        """Fold freshly appended *rows* into a live store (called by the
+        insert paths before :meth:`_touch` bumps the version)."""
+        store = self._column_store
+        if store is None:
+            return
+        if store.version == self._version:
+            store.append_rows(rows)
+            store.version = self._version + 1  # stays fresh past _touch
+        else:
+            self._column_store = None  # already stale; stop paying rent
 
     # -- mutation (used by the Database facade and QUEL delete/append) ----
 
@@ -217,6 +258,7 @@ class Relation:
         row = self.schema.check_row(values)
         self._log("insert", rows=[row])
         self._rows.append(row)
+        self._store_appended([row])
         self._touch()
         return row
 
@@ -225,6 +267,7 @@ class Relation:
         if checked:
             self._log("insert", rows=checked)
             self._rows.extend(checked)
+            self._store_appended(checked)
             self._touch()
         return len(checked)
 
@@ -235,6 +278,7 @@ class Relation:
         if not positions:
             return 0
         self._log("delete", positions=positions)
+        self._column_store = None
         doomed = set(positions)
         self._rows[:] = [row for index, row in enumerate(self._rows)
                          if index not in doomed]
@@ -258,6 +302,7 @@ class Relation:
         if not changes:
             return 0
         self._log("replace", changes=changes)
+        self._column_store = None
         for index, row in changes:
             self._rows[index] = row
         self._touch()
@@ -267,6 +312,7 @@ class Relation:
         if not self._rows:
             return
         self._log("clear")
+        self._column_store = None
         self._rows.clear()
         self._touch()
 
@@ -275,6 +321,7 @@ class Relation:
         recovery replay).  Bypasses the journal -- the caller *is* the
         storage engine -- but still bumps the mutation version and fires
         hooks, so caches invalidate exactly as for a live mutation."""
+        self._column_store = None
         self._rows[:] = [tuple(row) for row in rows]
         self._touch()
 

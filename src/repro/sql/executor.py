@@ -21,7 +21,7 @@ from typing import Iterable, NamedTuple, Sequence
 
 from repro import obs
 from repro.errors import SqlError
-from repro.relational import compiled
+from repro.relational import columnar, compiled, kernels
 from repro.relational.database import Database
 from repro.relational.datatypes import infer_type, INTEGER, REAL
 from repro.relational.expressions import (
@@ -315,6 +315,7 @@ def _filtered_rows(scope: Scope, binding: str,
     relation = scope.relations[binding]
     rows: Sequence[tuple] = relation.rows
     remaining = list(predicates)
+    probed = False
     for conjunct in remaining:
         probe = equality_probe(conjunct)
         if probe is not None:
@@ -322,7 +323,25 @@ def _filtered_rows(scope: Scope, binding: str,
             index = scope.database.indexes.hash_index(relation, column)
             rows = index.lookup(value)
             remaining.remove(conjunct)
+            probed = True
             break
+    if (remaining and not probed and compiled.ENABLED
+            and columnar.enabled()):
+        # Vectorized fast path: evaluate the conjunction as column
+        # kernels over the relation's store and gather survivors.  An
+        # index probe already shrank ``rows`` to a subset the store
+        # cannot address, so kernels only engage on full scans.
+        try:
+            store = relation.column_store()
+            selection = kernels.to_selection(kernels.predicate_mask(
+                store, remaining, [binding]))
+        except kernels.UnsupportedKernel:
+            pass
+        else:
+            if selection is None:
+                return list(store.rows)
+            store_rows = store.rows
+            return [store_rows[i] for i in selection]
     resolve = compiled.schema_resolver(relation.schema, [binding])
     for predicate in remaining:
         test = compiled.compile_predicate(

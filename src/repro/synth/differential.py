@@ -31,7 +31,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.relational import compiled
+from repro.relational import columnar, compiled
 from repro.relational.expressions import ColumnRef
 from repro.relational.relation import Relation
 from repro.sql import ast
@@ -87,7 +87,8 @@ class EngineSession:
                  reinduce_after_dml: bool = False,
                  compiled_predicates: bool = True,
                  cache_enabled: bool = False,
-                 batch_size: int | None = None):
+                 batch_size: int | None = None,
+                 columnar_enabled: bool | None = None):
         self.instance = instance
         self.use_planner = use_planner
         self.with_rules = with_rules
@@ -95,6 +96,8 @@ class EngineSession:
         self.batch_size = batch_size
         self._compiled_before = compiled.ENABLED
         compiled.ENABLED = compiled_predicates
+        self._columnar_before = columnar.FORCED
+        columnar.set_enabled(columnar_enabled)
         from repro.cache.core import query_cache
         self._cache = query_cache(instance.database)
         self._cache.enabled = cache_enabled
@@ -126,6 +129,7 @@ class EngineSession:
 
     def close(self) -> None:
         compiled.ENABLED = self._compiled_before
+        columnar.set_enabled(self._columnar_before)
 
 
 class ServerSession:
@@ -204,12 +208,19 @@ _register("unbounded", "planner materializing everything per operator",
 _register("cached", "planner behind the version-aware query cache",
           lambda instance: EngineSession(instance, with_rules=True,
                                          cache_enabled=True))
+_register("columnar", "planner over the columnar store with vectorized "
+          "predicate kernels forced on",
+          lambda instance: EngineSession(instance, columnar_enabled=True))
+_register("columnar-off", "planner forced onto the row pipeline "
+          "(columnar store and kernels disabled)",
+          lambda instance: EngineSession(instance, columnar_enabled=False))
 _register("server", "statements shipped over the wire protocol",
           ServerSession)
 
 #: The default matrix: one representative per engine dimension.
 DEFAULT_CONFIGS = ("legacy", "planner", "planner-rules", "interpreted",
-                   "batch-1", "unbounded", "cached", "server")
+                   "batch-1", "unbounded", "cached", "columnar",
+                   "columnar-off", "server")
 
 
 # ---------------------------------------------------------------------------

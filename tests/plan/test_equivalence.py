@@ -10,11 +10,12 @@ values), random projections, DISTINCT, and ORDER BY.  Relation
 equality is bag equality, so plan-dependent row order is ignored.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.plan.planner import plan_select
 from repro.plan.plans import UNBOUNDED
-from repro.relational import compiled
+from repro.relational import columnar, compiled
 from repro.sql.executor import execute_select, execute_select_legacy
 from repro.sql.parser import parse_select
 from tests.domain_fixtures import EQUIVALENCE_FIXTURES
@@ -147,6 +148,67 @@ def test_compiled_predicates_match_interpreted(case):
         compiled.ENABLED = True
     assert list(with_compiler.rows) == list(interpreted.rows), sql
     assert list(legacy_compiled.rows) == list(legacy_interpreted.rows), sql
+
+
+@settings(max_examples=25, deadline=None)
+@given(select_statements(), st.sampled_from([1, 7, None]))
+def test_columnar_matches_row_pipeline(case, batch_size):
+    """REPRO_COLUMNAR is a storage/execution knob, never a semantic
+    one: the fused columnar path yields tuple-for-tuple the rows of the
+    row pipeline at every batch size, on the planner and the legacy
+    executor, with compiled predicates on and off."""
+    fixture, sql = case
+    statement = parse_select(sql)
+
+    def run():
+        return plan_select(fixture.database, statement,
+                           rules=fixture.rules).execute(
+            batch_size=batch_size)
+
+    before = columnar.FORCED
+    try:
+        columnar.set_enabled(True)
+        fused = run()
+        legacy_on = execute_select_legacy(fixture.database, statement)
+        columnar.set_enabled(False)
+        rowwise = run()
+        legacy_off = execute_select_legacy(fixture.database, statement)
+        assert list(fused.rows) == list(rowwise.rows), sql
+        assert list(legacy_on.rows) == list(legacy_off.rows), sql
+        columnar.set_enabled(True)
+        assert compiled.ENABLED
+        try:
+            compiled.ENABLED = False
+            interpreted = run()
+        finally:
+            compiled.ENABLED = True
+        assert list(interpreted.rows) == list(rowwise.rows), sql
+    finally:
+        columnar.set_enabled(before)
+
+
+@pytest.mark.skipif(not columnar.HAS_NUMPY, reason="numpy not installed")
+@settings(max_examples=15, deadline=None)
+@given(select_statements())
+def test_columnar_pure_python_matches_numpy(case):
+    """The pure-Python kernel fallback (no numpy) is row-identical to
+    the vectorized path."""
+    fixture, sql = case
+    statement = parse_select(sql)
+    before = columnar.FORCED
+    try:
+        columnar.set_enabled(True)
+        vectorized = plan_select(fixture.database, statement,
+                                 rules=fixture.rules).execute()
+        columnar.set_numpy_enabled(False)
+        try:
+            pure = plan_select(fixture.database, statement,
+                               rules=fixture.rules).execute()
+        finally:
+            columnar.set_numpy_enabled(True)
+        assert list(vectorized.rows) == list(pure.rows), sql
+    finally:
+        columnar.set_enabled(before)
 
 
 @settings(max_examples=25, deadline=None)
