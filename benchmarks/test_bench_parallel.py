@@ -1,0 +1,287 @@
+"""E28 -- parallel morsel execution vs the serial pipeline.
+
+Four claims, measured by the interleaved best-of-N discipline of
+E22/E27, over a 98k-row table sized so the planner picks DOP=4 at four
+workers:
+
+* a selective scan (skewed values keep the range predicate past the
+  index-fraction threshold, so it stays on the TableScan+Filter chain
+  that :class:`MergeExchangePlan` parallelizes) gains at least
+  :data:`SPEEDUP_TARGET` x over the DOP=1 pipeline;
+* the selective scan+join -- partitioned parallel build plus fused
+  per-partition probe -- gains at least :data:`SPEEDUP_TARGET` x;
+* partial aggregation (COUNT GROUP BY over a dictionary column with a
+  fused filter) gains at least :data:`SPEEDUP_TARGET` x;
+* the machinery is free when it does not help: executing an
+  exchange-bearing plan re-clamped to one worker costs at most 10%
+  over the serial plan, and index point lookups (always planned
+  serial) cost at most 10% with the knob on.
+
+The speedup guards assume real parallel hardware and the numpy
+kernels (morsel mask evaluation releases the GIL; the pure-Python
+fallback is correct but GIL-bound), so they are enforced only on
+4+-core runners with numpy -- elsewhere the measured ratios are
+recorded informationally and the guard is reported as not applicable.
+Result equivalence (tuple-for-tuple rows and row order) is asserted
+before any timing is trusted.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.plan import parallel
+from repro.plan.planner import plan_select
+from repro.plan.stats import statistics
+from repro.relational import columnar
+from repro.relational.database import Database
+from repro.relational.datatypes import INTEGER, char
+from repro.reporting import render_table
+from repro.sql.parser import parse_select
+from repro.testbed.generators import synthetic_star_database
+
+from conftest import record_report
+
+N_ROWS = 98_304  # 12 * ROWS_PER_WORKER: choose_dop picks 4 at 4 workers
+WORKERS = 4
+
+#: The E22/E27 workload shapes at 5x their scale: a range predicate
+#: past the index-fraction threshold keeps the scan on the
+#: TableScan+Filter chain that the exchange operators parallelize.
+SCAN_SQL = ("SELECT ENTITY.Id, ENTITY.Size FROM ENTITY "
+            "WHERE ENTITY.Size > 150")
+JOIN_SQL = ("SELECT ENTITY.Id, GROUPS.Weight FROM ENTITY, GROUPS "
+            "WHERE ENTITY.GroupId = GROUPS.GroupId "
+            "AND ENTITY.Size > 150 AND GROUPS.Label = 'G01'")
+AGG_SQL = ("SELECT BIG.Cat, COUNT(*) FROM BIG "
+           "WHERE BIG.V != 500 GROUP BY BIG.Cat")
+POINT_SQL = "SELECT BIG.V FROM BIG WHERE BIG.Id = 1234"
+
+SPEEDUP_TARGET = 2.5
+OVERHEAD_LIMIT = 0.10
+
+#: The speedup guards need hardware parallelism and kernels that
+#: release the GIL; elsewhere the ratios are informational.
+CORES = os.cpu_count() or 1
+GUARDS_ENFORCED = CORES >= WORKERS and columnar.HAS_NUMPY
+
+_RESULTS: dict[str, dict] = {}
+
+
+def build_database() -> Database:
+    """The aggregation/point-lookup bed: a keyed table with a
+    dictionary-encoded ``Cat`` column for the grouped COUNT fast path
+    and a never-indexable ``!=`` filter."""
+    db = Database("parallel-bench")
+    rows = [(i, (i * 7919) % 1000, f"cat{i % 7}", i % 20)
+            for i in range(N_ROWS)]
+    db.create("BIG", [("Id", INTEGER), ("V", INTEGER),
+                      ("Cat", char(8)), ("K", INTEGER)],
+              rows, key=["Id"])
+    return db
+
+
+def _with_workers(count, fn):
+    before = parallel.FORCED
+    parallel.set_workers(count)
+    try:
+        return fn()
+    finally:
+        parallel.set_workers(before)
+
+
+def _run(database, statement, count):
+    return _with_workers(
+        count, lambda: plan_select(database, statement).execute())
+
+
+def _interleaved(fn_pre, fn_post, repeats=7):
+    """Best-of-N with alternating runs, so noise hits both pipelines."""
+    best_pre = best_post = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn_pre()
+        best_pre = min(best_pre, time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_post()
+        best_post = min(best_post, time.perf_counter() - start)
+    return best_pre, best_post
+
+
+def _speedup_entry(serial_s, parallel_s):
+    speedup = serial_s / parallel_s
+    return {
+        "serial_s": serial_s, "parallel_s": parallel_s,
+        "speedup": speedup,
+        "guard": (f">= {SPEEDUP_TARGET}x at {WORKERS} workers"
+                  if GUARDS_ENFORCED else
+                  f">= {SPEEDUP_TARGET}x (n/a: {CORES} cores, "
+                  f"numpy={columnar.HAS_NUMPY})"),
+        "guard_passed": (speedup >= SPEEDUP_TARGET
+                         if GUARDS_ENFORCED else True),
+    }
+
+
+def _guard_speedup(label, serial_s, parallel_s):
+    _RESULTS[label] = _speedup_entry(serial_s, parallel_s)
+    if GUARDS_ENFORCED:
+        assert serial_s / parallel_s >= SPEEDUP_TARGET, (
+            f"{label}: expected >={SPEEDUP_TARGET}x at {WORKERS} "
+            f"workers, got {serial_s / parallel_s:.2f}x "
+            f"({serial_s * 1000:.2f}ms serial vs "
+            f"{parallel_s * 1000:.2f}ms parallel)")
+
+
+@pytest.fixture(scope="module")
+def star_db():
+    database = synthetic_star_database(
+        n_entities=N_ROWS, n_groups=20, seed=11)
+    statistics(database).table_stats("ENTITY")
+    statistics(database).table_stats("GROUPS")
+    # Warm the plan cache, indexes, and the column store on both
+    # configurations, and pin down result equivalence first.
+    for sql in (SCAN_SQL, JOIN_SQL):
+        statement = parse_select(sql)
+        serial = _run(database, statement, 1)
+        fanned = _run(database, statement, WORKERS)
+        assert list(serial.rows) == list(fanned.rows), sql
+    return database
+
+
+@pytest.fixture(scope="module")
+def bench_db():
+    database = build_database()
+    for sql in (AGG_SQL, POINT_SQL):
+        statement = parse_select(sql)
+        serial = _run(database, statement, 1)
+        fanned = _run(database, statement, WORKERS)
+        assert list(serial.rows) == list(fanned.rows), sql
+    return database
+
+
+def test_parallel_scan_speedup(benchmark, star_db):
+    statement = parse_select(SCAN_SQL)
+    rendered = _with_workers(
+        WORKERS, lambda: plan_select(star_db, statement).render())
+    assert f"MergeExchange [dop={WORKERS}]" in rendered, rendered
+
+    result = benchmark(lambda: _run(star_db, statement, WORKERS))
+    assert 0 < len(result) < N_ROWS
+
+    serial_s, parallel_s = _interleaved(
+        lambda: _run(star_db, statement, 1),
+        lambda: _run(star_db, statement, WORKERS))
+    _guard_speedup("scan", serial_s, parallel_s)
+
+
+def test_parallel_scan_join_speedup(benchmark, star_db):
+    statement = parse_select(JOIN_SQL)
+    rendered = _with_workers(
+        WORKERS, lambda: plan_select(star_db, statement).render())
+    assert f"parallel dop={WORKERS}" in rendered, rendered
+
+    result = benchmark(lambda: _run(star_db, statement, WORKERS))
+    assert 0 < len(result) < N_ROWS // 2
+
+    serial_s, parallel_s = _interleaved(
+        lambda: _run(star_db, statement, 1),
+        lambda: _run(star_db, statement, WORKERS))
+    _guard_speedup("scan+join", serial_s, parallel_s)
+
+
+def test_partial_aggregation_speedup(benchmark, bench_db):
+    statement = parse_select(AGG_SQL)
+    rendered = _with_workers(
+        WORKERS, lambda: plan_select(bench_db, statement).render())
+    assert f"MergeExchange [dop={WORKERS}]" in rendered, rendered
+
+    result = benchmark(lambda: _run(bench_db, statement, WORKERS))
+    assert len(result) == 7  # one row per Cat value
+
+    serial_s, parallel_s = _interleaved(
+        lambda: _run(bench_db, statement, 1),
+        lambda: _run(bench_db, statement, WORKERS))
+    _guard_speedup("aggregation", serial_s, parallel_s)
+
+
+def test_dop_one_overhead_bounded(benchmark, bench_db):
+    """An exchange-bearing plan executed after the knob drops to one
+    worker re-clamps to the serial inner pipeline; the leftover node
+    may cost at most 10% over the plan that never had it."""
+    statement = parse_select(AGG_SQL)
+    clamped = _with_workers(
+        WORKERS, lambda: plan_select(bench_db, statement))
+    assert f"MergeExchange [dop={WORKERS}]" in clamped.render()
+
+    def run_clamped():
+        return _with_workers(1, lambda: clamped.execute())
+
+    def run_serial():
+        return _run(bench_db, statement, 1)
+
+    assert list(run_clamped().rows) == list(run_serial().rows)
+    benchmark(run_clamped)
+
+    serial_s, clamped_s = _interleaved(run_serial, run_clamped,
+                                       repeats=15)
+    overhead = clamped_s / serial_s - 1.0
+    _RESULTS["dop=1 re-clamp"] = {
+        "serial_s": serial_s, "parallel_s": clamped_s,
+        "speedup": serial_s / clamped_s,
+        "guard": f"<= {OVERHEAD_LIMIT:.0%} overhead",
+        "guard_passed": overhead <= OVERHEAD_LIMIT,
+    }
+    assert overhead <= OVERHEAD_LIMIT, (
+        f"DOP=1 re-clamp overhead over {OVERHEAD_LIMIT:.0%}: "
+        f"{clamped_s * 1000:.3f}ms vs {serial_s * 1000:.3f}ms serial")
+
+
+def test_point_lookup_overhead_bounded(benchmark, bench_db):
+    """Index point probes plan serial whatever the knob says; turning
+    the knob on may add at most 10% to the plan+execute round trip."""
+    statement = parse_select(POINT_SQL)
+    rendered = _with_workers(
+        WORKERS, lambda: plan_select(bench_db, statement).render())
+    assert "IndexScan" in rendered and "Exchange" not in rendered
+
+    result = benchmark(lambda: _run(bench_db, statement, WORKERS))
+    assert len(result) == 1
+
+    serial_s, parallel_s = _interleaved(
+        lambda: _run(bench_db, statement, 1),
+        lambda: _run(bench_db, statement, WORKERS), repeats=15)
+    overhead = parallel_s / serial_s - 1.0
+    _RESULTS["point"] = {
+        "serial_s": serial_s, "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "guard": f"<= {OVERHEAD_LIMIT:.0%} overhead",
+        "guard_passed": overhead <= OVERHEAD_LIMIT,
+    }
+    assert overhead <= OVERHEAD_LIMIT, (
+        f"point-lookup overhead over {OVERHEAD_LIMIT:.0%}: "
+        f"{parallel_s * 1000:.3f}ms at {WORKERS} workers vs "
+        f"{serial_s * 1000:.3f}ms serial")
+
+
+def test_record_report(bench_db):
+    assert set(_RESULTS) == {"scan", "scan+join", "aggregation",
+                             "dop=1 re-clamp", "point"}
+    rows = [[label,
+             f"{entry['serial_s'] * 1000:.3f}",
+             f"{entry['parallel_s'] * 1000:.3f}",
+             f"{entry['speedup']:.2f}x",
+             entry["guard"]]
+            for label, entry in sorted(_RESULTS.items())]
+    backend = "numpy" if columnar.HAS_NUMPY else "pure-python"
+    record_report(
+        "E28",
+        f"Parallel morsel execution vs serial pipeline "
+        f"({backend}; {CORES} cores; ENTITY/BIG {N_ROWS} rows; "
+        f"guards {'enforced' if GUARDS_ENFORCED else 'informational'})",
+        render_table(
+            ["workload", "serial ms", f"{WORKERS}-worker ms",
+             "speedup", "guard"],
+            rows),
+        data={**_RESULTS, "backend": backend, "cores": CORES,
+              "workers": WORKERS, "guards_enforced": GUARDS_ENFORCED})

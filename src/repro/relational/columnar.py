@@ -112,13 +112,14 @@ class DictionaryColumn:
     stay valid across DML appends -- the code space only ever grows.
     """
 
-    __slots__ = ("codes", "values", "_code_of", "_np_codes")
+    __slots__ = ("codes", "values", "_code_of", "_np_codes", "_decoded")
 
     def __init__(self) -> None:
         self.codes = array("i")
         self.values: list[str] = []
         self._code_of: dict[str, int] = {}
         self._np_codes = None
+        self._decoded = None
 
     def append(self, value: Any) -> None:
         if value is None:
@@ -131,6 +132,7 @@ class DictionaryColumn:
                 self.values.append(value)
             self.codes.append(code)
         self._np_codes = None
+        self._decoded = None
 
     @property
     def cardinality(self) -> int:
@@ -143,9 +145,15 @@ class DictionaryColumn:
 
     def decode(self) -> list:
         """The raw values back, in row order (round-trip inverse of the
-        encoding)."""
-        values = self.values
-        return [None if code < 0 else values[code] for code in self.codes]
+        encoding).  Cached until the next append -- repeated gathers
+        (parallel morsel workers, column-at-a-time projection) must not
+        pay one full decode each.  Treat the returned list as
+        read-only."""
+        if self._decoded is None:
+            values = self.values
+            self._decoded = [None if code < 0 else values[code]
+                             for code in self.codes]
+        return self._decoded
 
     def np_codes(self):
         """The code array as an int32 numpy array (cached), or ``None``

@@ -951,6 +951,7 @@ class IntensionalQueryServer:
         return "\n".join(lines)
 
     def status(self) -> dict[str, Any]:
+        from repro.plan import parallel
         with self._sessions_guard:
             live = len(self._sessions)
         return {
@@ -960,6 +961,7 @@ class IntensionalQueryServer:
             "idle_timeout_s": self.idle_timeout_s,
             "lock_timeout_s": self.lock_table.timeout_s,
             "statement_timeout_s": self.statement_timeout_s,
+            "parallel_workers": parallel.workers(),
             "stats": dict(self.stats),
             "locks": self.lock_table.status(),
             "admission": self.admission.status(),

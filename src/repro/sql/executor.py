@@ -486,9 +486,15 @@ def _slot_resolver(scope: Scope, bindings: Sequence[str]):
          for binding in bindings])
 
 
-def _project(scope: Scope, statement: ast.SelectStmt,
-             bindings: Sequence[str], input_rows: Iterable[tuple],
-             result_name: str) -> Relation:
+def _projection_items(scope: Scope,
+                      statement: ast.SelectStmt) -> list[ast.SelectItem]:
+    """The effective SELECT items (star expanded in FROM order), with
+    every output and sort reference validated up-front so unknown
+    aliases, unknown columns and ambiguities surface as SqlError.
+
+    Shared by the row-path projection and the vectorized fast path
+    (:mod:`repro.plan.vectorized`), so both validate identically.
+    """
     if statement.star:
         # Expand in FROM order (scope.bindings), not join order: the
         # planner may reorder joins, but * output columns must not move.
@@ -501,15 +507,44 @@ def _project(scope: Scope, statement: ast.SelectStmt,
     else:
         items = list(statement.items)
 
-    # Validate output and sort expressions up-front so unknown aliases,
-    # unknown columns and ambiguities surface as SqlError.
     for item in items:
         for ref in item.expression.references():
             scope.resolve(ref)
     for key in statement.order_by:
         for ref in key.references():
             scope.resolve(ref)
+    return items
 
+
+def _plain_result(scope: Scope, statement: ast.SelectStmt,
+                  items: Sequence[ast.SelectItem], names: Sequence[str],
+                  rows: list[tuple], result_name: str) -> Relation:
+    """Column typing + DISTINCT tail of the plain projection (shared
+    with the vectorized fast path so output schemas stay identical)."""
+    columns = []
+    for position, (name, item) in enumerate(zip(names, items)):
+        datatype = None
+        expression = item.expression
+        if isinstance(expression, ColumnRef):
+            binding = scope.resolve(expression)
+            datatype = scope.relations[binding].schema.column(
+                expression.column).datatype
+        if datatype is None:
+            sample = next((row[position] for row in rows
+                           if row[position] is not None), None)
+            datatype = infer_type(sample) if sample is not None else REAL
+        columns.append(Column(name, datatype))
+    result = Relation(RelationSchema(result_name, columns), rows,
+                      validated=True)
+    if statement.distinct:
+        result = result.distinct()
+    return result
+
+
+def _project(scope: Scope, statement: ast.SelectStmt,
+             bindings: Sequence[str], input_rows: Iterable[tuple],
+             result_name: str) -> Relation:
+    items = _projection_items(scope, statement)
     names = _output_names(items)
     rows: list[tuple] = []
     sort_values: list[tuple] = []
@@ -543,14 +578,58 @@ def _project(scope: Scope, statement: ast.SelectStmt,
                            for v in sort_values[i]))
         rows = [rows[i] for i in order]
 
+    return _plain_result(scope, statement, items, names, rows, result_name)
+
+
+def _validate_grouped(scope: Scope,
+                      statement: ast.SelectStmt) -> list[Expression]:
+    """Up-front validation shared by the grouped projection and the
+    vectorized aggregate fast path: star/aggregate mixing, the
+    syntactic GROUP BY membership check, and reference resolution.
+    Returns the GROUP BY expressions."""
+    if statement.star:
+        raise SqlError("SELECT * cannot be combined with aggregates")
+    group_exprs = list(statement.group_by)
+    group_renders = [e.render().lower() for e in group_exprs]
+    for item in statement.items:
+        if item.is_aggregate():
+            continue
+        if item.expression.render().lower() not in group_renders:
+            raise SqlError(
+                f"{item.expression.render()} must appear in GROUP BY "
+                "or inside an aggregate")
+
+    for item in statement.items:
+        for ref in item.expression.references():
+            scope.resolve(ref)
+    for expression in group_exprs:
+        for ref in expression.references():
+            scope.resolve(ref)
+    return group_exprs
+
+
+def _grouped_result(scope: Scope, statement: ast.SelectStmt,
+                    names: Sequence[str], rows: list[tuple],
+                    result_name: str) -> Relation:
+    """Column typing + DISTINCT tail of the grouped projection (shared
+    with the vectorized aggregate fast path)."""
     columns = []
-    for position, (name, item) in enumerate(zip(names, items)):
+    for position, (name, item) in enumerate(zip(names, statement.items)):
         datatype = None
-        expression = item.expression
-        if isinstance(expression, ColumnRef):
-            binding = scope.resolve(expression)
+        if item.is_aggregate():
+            call = item.expression
+            if call.op == "count":
+                datatype = INTEGER
+            elif call.op in ("sum", "avg"):
+                datatype = REAL
+            elif isinstance(call.operand, ColumnRef):
+                binding = scope.resolve(call.operand)
+                datatype = scope.relations[binding].schema.column(
+                    call.operand.column).datatype
+        elif isinstance(item.expression, ColumnRef):
+            binding = scope.resolve(item.expression)
             datatype = scope.relations[binding].schema.column(
-                expression.column).datatype
+                item.expression.column).datatype
         if datatype is None:
             sample = next((row[position] for row in rows
                            if row[position] is not None), None)
@@ -573,25 +652,7 @@ def _project_grouped(scope: Scope, statement: ast.SelectStmt,
     group and every item must be an aggregate; an empty input then
     yields the conventional single row (COUNT = 0, others NULL).
     """
-    if statement.star:
-        raise SqlError("SELECT * cannot be combined with aggregates")
-    group_exprs = list(statement.group_by)
-    group_renders = [e.render().lower() for e in group_exprs]
-    for item in statement.items:
-        if item.is_aggregate():
-            continue
-        if item.expression.render().lower() not in group_renders:
-            raise SqlError(
-                f"{item.expression.render()} must appear in GROUP BY "
-                "or inside an aggregate")
-
-    # Validate column references up-front.
-    for item in statement.items:
-        for ref in item.expression.references():
-            scope.resolve(ref)
-    for expression in group_exprs:
-        for ref in expression.references():
-            scope.resolve(ref)
+    group_exprs = _validate_grouped(scope, statement)
 
     resolve = _slot_resolver(scope, bindings)
     groups: dict[tuple, list[tuple]] = {}
@@ -666,33 +727,7 @@ def _project_grouped(scope: Scope, statement: ast.SelectStmt,
         paired = sorted(zip(order, rows), key=sort_key)
         rows = [row for _key, row in paired]
 
-    columns = []
-    for position, (name, item) in enumerate(zip(names, statement.items)):
-        datatype = None
-        if item.is_aggregate():
-            call = item.expression
-            if call.op == "count":
-                datatype = INTEGER
-            elif call.op in ("sum", "avg"):
-                datatype = REAL
-            elif isinstance(call.operand, ColumnRef):
-                binding = scope.resolve(call.operand)
-                datatype = scope.relations[binding].schema.column(
-                    call.operand.column).datatype
-        elif isinstance(item.expression, ColumnRef):
-            binding = scope.resolve(item.expression)
-            datatype = scope.relations[binding].schema.column(
-                item.expression.column).datatype
-        if datatype is None:
-            sample = next((row[position] for row in rows
-                           if row[position] is not None), None)
-            datatype = infer_type(sample) if sample is not None else REAL
-        columns.append(Column(name, datatype))
-    result = Relation(RelationSchema(result_name, columns), rows,
-                      validated=True)
-    if statement.distinct:
-        result = result.distinct()
-    return result
+    return _grouped_result(scope, statement, names, rows, result_name)
 
 
 def _fold_sql_aggregate(call: ast.AggregateCall, values: list):

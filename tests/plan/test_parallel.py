@@ -1,0 +1,399 @@
+"""Parallel morsel execution: exchange operators are performance
+knobs, never semantic ones.
+
+Covers the ``REPRO_PARALLEL`` knob and its warn-once fallback, the
+planner's DOP choice, order-preserving :class:`MergeExchange`
+semantics (exact serial row order, error ordinal positions, nested
+fan-out running inline), exchange plans over a deliberately large
+synthetic table (scan+filter, partitioned hash join, COUNT/GROUP BY
+partial aggregation, numpy on and off), snapshot semantics under
+mid-stream mutation, early termination, EXPLAIN ANALYZE per-worker
+actuals, and statement-deadline propagation into worker threads.
+"""
+
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.errors import StatementTimeout
+from repro.plan import parallel
+from repro.plan.explain import explain_select
+from repro.plan.planner import plan_select
+from repro.plan.plans import (
+    MergeExchangePlan, ParallelHashJoinPlan, statement_deadline_scope,
+)
+from repro.relational import columnar
+from repro.relational.database import Database
+from repro.relational.datatypes import INTEGER, char
+from repro.sql.executor import execute_select_legacy
+from repro.sql.parser import parse_select
+
+#: Large enough that the default thresholds plan DOP=4 at 4 workers
+#: (``choose_dop`` hands out one degree per 8192 estimated rows).
+BIG_ROWS = 4 * parallel.ROWS_PER_WORKER
+
+CATS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+
+def build_database(rows: int = BIG_ROWS) -> Database:
+    """A deterministic big/dim pair.  ``BIG.V`` is non-uniform so
+    ``!=`` predicates (never indexable) keep the scan on the
+    TableScan+Filter chain that exchange operators parallelize."""
+    db = Database("parallel-bed")
+    big = []
+    for i in range(rows):
+        big.append((i,
+                    (i * 7919) % 1000,
+                    CATS[i % len(CATS)],
+                    None if i % 13 == 0 else CATS[(i // 7) % 3],
+                    None if i % 11 == 0 else i % 50,
+                    i % 20))
+    db.create("BIG", [("Id", INTEGER), ("V", INTEGER),
+                      ("Cat", char(8)), ("Mark", char(8)),
+                      ("Nul", INTEGER), ("K", INTEGER)], big)
+    db.create("DIM", [("K", INTEGER), ("Name", char(8))],
+              [(k, f"dim-{k}") for k in range(15)])
+    return db
+
+
+@pytest.fixture(scope="module")
+def big_db():
+    return build_database()
+
+
+@pytest.fixture()
+def workers4():
+    """Force four workers for the test, restoring the prior setting."""
+    before = parallel.FORCED
+    parallel.set_workers(4)
+    yield
+    parallel.set_workers(before)
+
+
+def run_query(db, sql, *, batch_size=None):
+    return plan_select(db, parse_select(sql)).execute(
+        batch_size=batch_size)
+
+
+QUERIES = [
+    "SELECT BIG.Id, BIG.V FROM BIG WHERE BIG.V != 500",
+    "SELECT BIG.Cat FROM BIG WHERE BIG.V != 500 AND BIG.Nul >= 25",
+    "SELECT DISTINCT BIG.Cat FROM BIG WHERE BIG.V != 3",
+    "SELECT BIG.V FROM BIG WHERE BIG.V != 500 ORDER BY BIG.V",
+    "SELECT BIG.Id, DIM.Name FROM BIG, DIM "
+    "WHERE BIG.K = DIM.K AND BIG.V != 500",
+    "SELECT COUNT(*) FROM BIG WHERE BIG.V != 500",
+    "SELECT COUNT(BIG.Nul) FROM BIG WHERE BIG.V != 500",
+    "SELECT BIG.Cat, COUNT(*) FROM BIG WHERE BIG.V != 500 "
+    "GROUP BY BIG.Cat",
+    "SELECT BIG.Mark, COUNT(BIG.Nul) FROM BIG WHERE BIG.V != 3 "
+    "GROUP BY BIG.Mark",
+]
+
+#: An unfiltered probe side keeps the estimated join input above the
+#: ``choose_dop`` threshold (filters are estimated at 1/3 selectivity,
+#: which would plan the join serial at this table size).
+PARALLEL_JOIN_SQL = ("SELECT BIG.Id, DIM.Name FROM BIG, DIM "
+                     "WHERE BIG.K = DIM.K")
+QUERIES.append(PARALLEL_JOIN_SQL)
+
+
+# -- the REPRO_PARALLEL knob -------------------------------------------------
+
+
+class TestKnob:
+    def test_forced_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "7")
+        monkeypatch.setattr(parallel, "FORCED", 3)
+        assert parallel.workers() == 3
+
+    @pytest.mark.parametrize("value", ["off", "0", "false", "no", "1"])
+    def test_off_spellings(self, monkeypatch, value):
+        monkeypatch.setattr(parallel, "FORCED", None)
+        monkeypatch.setenv("REPRO_PARALLEL", value)
+        assert parallel.workers() == 1
+        assert not parallel.enabled()
+
+    @pytest.mark.parametrize("value", ["", "on", "true", "yes"])
+    def test_on_spellings_take_the_default(self, monkeypatch, value):
+        monkeypatch.setattr(parallel, "FORCED", None)
+        monkeypatch.setenv("REPRO_PARALLEL", value)
+        assert parallel.workers() == parallel._default_workers()
+
+    def test_integer_count(self, monkeypatch):
+        monkeypatch.setattr(parallel, "FORCED", None)
+        monkeypatch.setenv("REPRO_PARALLEL", "6")
+        assert parallel.workers() == 6
+
+    def test_bad_spelling_warns_once_and_keeps_default(self, monkeypatch):
+        monkeypatch.setattr(parallel, "FORCED", None)
+        monkeypatch.setenv("REPRO_PARALLEL", "lots-please")
+        parallel._warned_values.discard("lots-please")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert parallel.workers() == parallel._default_workers()
+            assert parallel.workers() == parallel._default_workers()
+        assert len(caught) == 1
+        assert "REPRO_PARALLEL" in str(caught[0].message)
+
+    def test_choose_dop_thresholds(self):
+        before = parallel.FORCED
+        try:
+            parallel.set_workers(4)
+            per = parallel.ROWS_PER_WORKER
+            assert parallel.choose_dop(0) == 1
+            assert parallel.choose_dop(2 * per - 1) == 1
+            assert parallel.choose_dop(2 * per) == 2
+            assert parallel.choose_dop(100 * per) == 4  # capped
+            parallel.set_workers(1)
+            assert parallel.choose_dop(100 * per) == 1
+        finally:
+            parallel.set_workers(before)
+
+
+# -- the exchange runtime ----------------------------------------------------
+
+
+class TestRunOrdered:
+    def test_preserves_sequence_order_under_skew(self):
+        def morsel(seq):
+            time.sleep(((19 - seq) % 3) * 0.002)
+            return [seq]
+
+        parts = list(parallel.run_ordered(20, 4, morsel))
+        assert [seq for part in parts for seq in part] == list(range(20))
+
+    def test_error_surfaces_at_its_ordinal_position(self):
+        def morsel(seq):
+            if seq == 5:
+                raise ValueError("morsel five")
+            return [seq]
+
+        seen = []
+        with pytest.raises(ValueError, match="morsel five"):
+            for part in parallel.run_ordered(12, 3, morsel):
+                seen.extend(part)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_nested_fan_out_runs_inline_on_pool_threads(self):
+        inline = []
+
+        def inner(seq):
+            inline.append(parallel.on_worker_thread())
+            return [seq * 10]
+
+        def outer(seq):
+            return list(parallel.run_ordered(2, 4, inner))
+
+        parts = list(parallel.run_ordered(3, 3, outer))
+        assert all(part == [[0], [10]] for part in parts)
+        assert all(inline)  # nested run never re-entered the pool
+
+    def test_expired_deadline_raises_statement_timeout(self):
+        with pytest.raises(StatementTimeout):
+            list(parallel.run_ordered(
+                8, 2, lambda seq: [seq],
+                deadline=time.monotonic() - 1.0))
+
+    def test_worker_stats_record_morsels_and_rows(self):
+        stats = []
+        parts = list(parallel.run_ordered(
+            10, 2, lambda seq: [seq, seq], label="unit",
+            worker_stats=stats))
+        assert len(parts) == 10
+        assert sum(entry["morsels"] for entry in stats) == 10
+        assert sum(entry["rows"] for entry in stats) == 20
+        assert all(entry["label"] == "unit" for entry in stats)
+
+    def test_early_close_cancels_workers(self):
+        started = []
+
+        def morsel(seq):
+            started.append(seq)
+            time.sleep(0.005)
+            return [seq]
+
+        stream = iter(parallel.run_ordered(64, 4, morsel))
+        assert next(stream) == [0]
+        stream.close()
+        time.sleep(0.05)  # let any already-claimed morsels drain
+        settled = len(started)
+        time.sleep(0.05)
+        assert len(started) == settled  # no new claims after close
+        assert settled < 64
+
+
+# -- exchange plans over the big table ---------------------------------------
+
+
+def exchange_nodes(plan):
+    found = []
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (MergeExchangePlan, ParallelHashJoinPlan)):
+            found.append(node)
+        stack.extend(getattr(node, "children", lambda: [])())
+    return found
+
+
+class TestPlannerDop:
+    def test_big_scan_gets_a_merge_exchange(self, big_db, workers4):
+        planned = plan_select(
+            big_db, parse_select(QUERIES[0]))
+        nodes = exchange_nodes(planned.root)
+        assert any(isinstance(node, MergeExchangePlan)
+                   for node in nodes), planned.render()
+        assert "MergeExchange [dop=4]" in planned.render()
+
+    def test_big_join_gets_a_parallel_hash_join(self, big_db, workers4):
+        planned = plan_select(big_db, parse_select(PARALLEL_JOIN_SQL))
+        assert any(isinstance(node, ParallelHashJoinPlan)
+                   for node in exchange_nodes(planned.root)), \
+            planned.render()
+        assert "parallel dop=" in planned.render()
+
+    def test_serial_config_plans_no_exchanges(self, big_db):
+        before = parallel.FORCED
+        try:
+            parallel.set_workers(1)
+            for sql in QUERIES:
+                planned = plan_select(big_db, parse_select(sql))
+                assert not exchange_nodes(planned.root), sql
+        finally:
+            parallel.set_workers(before)
+
+    def test_small_table_plans_serial_even_at_four_workers(
+            self, big_db, workers4):
+        planned = plan_select(
+            big_db, parse_select("SELECT DIM.Name FROM DIM "
+                                 "WHERE DIM.K != 3"))
+        assert not exchange_nodes(planned.root)
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("sql", QUERIES)
+    @pytest.mark.parametrize("worker_count", [2, 4])
+    def test_rows_identical_to_serial(self, big_db, sql, worker_count):
+        before = parallel.FORCED
+        columnar_before = columnar.FORCED
+        try:
+            parallel.set_workers(1)
+            serial = run_query(big_db, sql)
+            parallel.set_workers(worker_count)
+            for fused in (True, False):
+                columnar.set_enabled(fused)
+                result = run_query(big_db, sql)
+                assert list(result.rows) == list(serial.rows), \
+                    f"workers={worker_count} fused={fused} {sql}"
+                assert result.schema.column_names() == \
+                    serial.schema.column_names()
+        finally:
+            parallel.set_workers(before)
+            columnar.set_enabled(columnar_before)
+
+    @pytest.mark.parametrize(
+        "sql", [QUERIES[0], PARALLEL_JOIN_SQL, QUERIES[7]])
+    def test_batch_size_one_matches_default(self, big_db, sql, workers4):
+        assert list(run_query(big_db, sql, batch_size=1).rows) == \
+            list(run_query(big_db, sql).rows), sql
+
+    @pytest.mark.skipif(not columnar.HAS_NUMPY,
+                        reason="numpy not installed")
+    @pytest.mark.parametrize(
+        "sql", [QUERIES[0], QUERIES[5], QUERIES[7], QUERIES[8]])
+    def test_pure_python_kernels_match_numpy(self, big_db, sql, workers4):
+        vectorized = run_query(big_db, sql)
+        columnar.set_numpy_enabled(False)
+        try:
+            pure = run_query(big_db, sql)
+        finally:
+            columnar.set_numpy_enabled(True)
+        assert list(pure.rows) == list(vectorized.rows), sql
+
+    def test_matches_legacy_executor(self, big_db, workers4):
+        for sql in QUERIES:
+            statement = parse_select(sql)
+            planned = plan_select(big_db, statement).execute()
+            assert planned == execute_select_legacy(big_db, statement), \
+                sql
+
+
+class TestStreamingSemantics:
+    def test_early_termination_then_reuse(self, big_db, workers4):
+        planned = plan_select(big_db, parse_select(QUERIES[0]))
+        stream = planned.root.child.batches(64)
+        first = next(stream)
+        assert 0 < len(first) <= 64
+        stream.close()  # must cancel workers without deadlocking
+        again = run_query(big_db, QUERIES[0])
+        assert len(again) > 0  # the shared pool is still serviceable
+
+    def test_mutation_mid_stream_is_invisible(self, workers4):
+        db = build_database()
+        sql = QUERIES[0]
+        serial_rows = list(run_query(db, sql).rows)
+
+        planned = plan_select(db, parse_select(sql))
+        stream = planned.root.child.batches(64)
+        drained = list(next(stream))
+        db.insert("BIG", [(BIG_ROWS + i, 1, "alpha", None, None, 0)
+                          for i in range(100)])
+        for batch in stream:
+            drained.extend(batch)
+        assert len(drained) == len(serial_rows)
+
+    def test_explain_analyze_reports_worker_actuals(
+            self, big_db, workers4):
+        rendered = explain_select(big_db, parse_select(QUERIES[0]),
+                                  analyze=True)
+        assert "MergeExchange [dop=4]" in rendered
+        assert "worker " in rendered and "morsels" in rendered
+
+
+class TestDeadlinePropagation:
+    def test_timed_out_parallel_scan_cancels_at_batch_boundary(
+            self, big_db, workers4):
+        """Satellite regression: a statement deadline armed on the
+        consumer thread must propagate into the worker pool and stop
+        the scan at a morsel boundary with the same
+        :class:`StatementTimeout` a serial plan raises."""
+        planned = plan_select(big_db, parse_select(QUERIES[0]))
+        with statement_deadline_scope(0.000001):
+            time.sleep(0.002)  # guarantee the deadline has passed
+            with pytest.raises(StatementTimeout):
+                for _batch in planned.root.child.batches(64):
+                    pass
+        # The pool survives a cancelled pipeline.
+        assert len(run_query(big_db, QUERIES[0])) > 0
+
+    def test_workers_observe_a_mid_stream_expiry(self):
+        release = time.monotonic() + 0.03
+
+        def morsel(seq):
+            while time.monotonic() < release:
+                time.sleep(0.002)
+            return [seq]
+
+        consumed = []
+        with pytest.raises(StatementTimeout):
+            for part in parallel.run_ordered(
+                    40, 4, morsel, deadline=release):
+                consumed.append(part)
+        assert len(consumed) < 40  # cancelled, not run to completion
+
+    def test_deadline_checks_happen_on_worker_threads(self):
+        """The deadline travels by value into ``run_ordered`` -- the
+        workers never read the consumer's thread-local."""
+        seen_threads = set()
+
+        def morsel(seq):
+            seen_threads.add(threading.current_thread().name)
+            return [seq]
+
+        list(parallel.run_ordered(
+            12, 3, morsel, deadline=time.monotonic() + 60.0))
+        assert any(name != threading.current_thread().name
+                   for name in seen_threads)

@@ -1,0 +1,168 @@
+"""Two-session 2PL isolation when statements execute on worker pools.
+
+The server executes every statement in-process, so shrinking the DOP
+thresholds makes its reads genuinely fan out across the shared worker
+pool (``EXPLAIN`` over the wire proves the exchange operator is in the
+plan).  The scripted interleaving and the seeded concurrent burst then
+check that parallel execution changes nothing about two-phase locking:
+
+* a reader never observes another session's uncommitted rows -- it
+  either blocks on the writer's exclusive lock (``LockTimeout``) or
+  sees a committed count;
+* rolled-back work is invisible;
+* every successful read during a concurrent writer burst lands exactly
+  on a committed transaction boundary, never between the statements of
+  an open transaction.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServerError
+from repro.plan import parallel
+from repro.query import IntensionalQueryProcessor
+from repro.relational.database import Database
+from repro.relational.datatypes import INTEGER, char
+from repro.server import IntensionalQueryServer
+from repro.server.client import Client
+
+ROWS = 6000
+COUNT_SQL = "SELECT COUNT(*) FROM EVENT WHERE EVENT.V != 500"
+SCAN_SQL = "SELECT EVENT.Id FROM EVENT WHERE EVENT.V != 500"
+
+
+def event_database() -> Database:
+    db = Database("parallel-server-bed")
+    db.create("EVENT", [("Id", INTEGER), ("V", INTEGER),
+                        ("Cat", char(8))],
+              [(i, (i * 7919) % 1000, f"c{i % 5}")
+               for i in range(ROWS)])
+    return db
+
+
+@pytest.fixture(scope="module")
+def harness(tmp_path_factory):
+    """Server plus two clients, with DOP thresholds shrunk so the
+    6000-row table plans four-way parallel pipelines in the server."""
+    workers_before = parallel.FORCED
+    per_before = parallel.ROWS_PER_WORKER
+    morsel_before = parallel.MORSEL_ROWS
+    parallel.set_workers(4)
+    parallel.ROWS_PER_WORKER = 256
+    parallel.MORSEL_ROWS = 512
+    system = IntensionalQueryProcessor.from_database(event_database())
+    system.attach_storage(
+        str(tmp_path_factory.mktemp("parallel-server") / "data"))
+    system.storage.checkpoint()
+    server = IntensionalQueryServer(system, lock_timeout_s=0.25)
+    server.start()
+    clients = [Client("127.0.0.1", server.port).connect()
+               for _ in range(2)]
+    yield server, clients
+    for client in clients:
+        client.close()
+    server.shutdown()
+    parallel.set_workers(workers_before)
+    parallel.ROWS_PER_WORKER = per_before
+    parallel.MORSEL_ROWS = morsel_before
+
+
+def _count(client) -> int:
+    return client.sql(COUNT_SQL).rows[0][0]
+
+
+def _reset(clients):
+    for client in clients:
+        try:
+            client.rollback()
+        except ServerError:
+            pass
+    clients[0].sql(f"DELETE FROM EVENT WHERE EVENT.Id >= {ROWS}")
+
+
+def test_server_executes_parallel_plans(harness):
+    _server, clients = harness
+    rendered = clients[0].explain(SCAN_SQL)
+    assert "MergeExchange [dop=4]" in rendered
+    assert _count(clients[0]) == _count(clients[1])
+
+
+def test_uncommitted_writes_block_the_other_session(harness):
+    _server, clients = harness
+    _reset(clients)
+    writer, reader = clients
+    base = _count(reader)
+    writer.begin()
+    try:
+        writer.sql(f"INSERT INTO EVENT VALUES ({ROWS}, 1, 'new')")
+        # 2PL: the writer holds an exclusive lock, so the parallel
+        # read cannot observe the uncommitted row -- it must block
+        # until the lock timeout instead of returning a dirty count.
+        with pytest.raises(ServerError) as exc:
+            reader.sql(COUNT_SQL)
+        assert exc.value.remote_type == "LockTimeout"
+    finally:
+        writer.commit()
+    assert _count(reader) == base + 1
+    _reset(clients)
+
+
+def test_rolled_back_writes_stay_invisible(harness):
+    _server, clients = harness
+    _reset(clients)
+    writer, reader = clients
+    base = _count(reader)
+    writer.begin()
+    writer.sql(f"INSERT INTO EVENT VALUES ({ROWS + 1}, 1, 'gone')")
+    writer.rollback()
+    assert _count(reader) == base
+    assert _count(writer) == base
+    _reset(clients)
+
+
+def test_seeded_burst_reads_only_committed_boundaries(harness):
+    """Seeded concurrent burst: the writer commits in strides of
+    TX_ROWS rows while the reader hammers parallel COUNTs.  Every
+    successful read must land on a commit boundary -- an intermediate
+    count would mean a worker-pool scan saw half a transaction."""
+    _server, clients = harness
+    _reset(clients)
+    writer, reader = clients
+    rng = random.Random(1234)
+    base = _count(reader)
+    tx_rows, tx_count = 10, 5
+    committed = {base + tx_rows * j for j in range(tx_count + 1)}
+    violations: list[int] = []
+    done = threading.Event()
+
+    def read_loop():
+        while not done.is_set():
+            try:
+                seen = _count(reader)
+            except ServerError as error:  # blocked on the writer: fine
+                assert error.remote_type == "LockTimeout"
+            else:
+                if seen not in committed:
+                    violations.append(seen)
+
+    thread = threading.Thread(target=read_loop, daemon=True)
+    thread.start()
+    try:
+        for j in range(tx_count):
+            time.sleep(rng.uniform(0.0, 0.01))  # seeded interleaving
+            writer.begin()
+            for i in range(tx_rows):
+                row_id = ROWS + 100 + j * tx_rows + i
+                writer.sql(
+                    f"INSERT INTO EVENT VALUES ({row_id}, 1, 'b')")
+            writer.commit()
+    finally:
+        done.set()
+        thread.join(10.0)
+    assert not thread.is_alive()
+    assert violations == []
+    assert _count(reader) == base + tx_rows * tx_count
+    _reset(clients)
